@@ -1,0 +1,544 @@
+//! EX-MEM: exhaustive segment-by-segment search with memoization.
+//!
+//! The paper's optimal reference: it "exhaustively checks all possible
+//! mappings for each of the mapping segments; in each constructed mapping
+//! segment it cuts the segment on the shortest job, and generates the next
+//! mapping segment", memoizing "the best energy consumption for a given
+//! current state (a pair of jobs, their progress rates, and time)".
+//!
+//! This implementation keeps the search *exact* while making it fast enough
+//! for Rust-scale sweeps:
+//!
+//! * per-state memoization on quantized `(time, {job, ρ})` keys, storing
+//!   either the exact optimum (with the optimal first-segment assignment,
+//!   for schedule reconstruction) or a proven lower bound;
+//! * admissible branch-and-bound: a branch is cut when the energy spent so
+//!   far plus `Σ_jobs min_point(ξ)·ρ` cannot beat the incumbent — this
+//!   bound never overestimates, so optimality is preserved;
+//! * incumbent seeding with the MMKP-MDF solution: the heuristic's energy
+//!   is a valid upper bound and prunes most of the tree immediately.
+
+use std::collections::HashMap;
+
+use amrm_core::{MmkpMdf, Scheduler};
+use amrm_model::{Job, JobMapping, JobSet, Schedule, Segment};
+use amrm_platform::{Platform, ResourceVec, EPS};
+
+/// Quantization step for memoization keys (progress ratios and time).
+const KEY_QUANTUM: f64 = 1e-9;
+/// Remaining ratio below which a job counts as finished.
+const RHO_EPS: f64 = 1e-9;
+
+/// The exhaustive optimal scheduler (EX-MEM).
+///
+/// # Examples
+///
+/// ```
+/// use amrm_baselines::ExMem;
+/// use amrm_core::Scheduler;
+/// use amrm_workload::scenarios;
+///
+/// // The adaptive schedule of Fig. 1(c) is optimal for S1 at t = 1.
+/// let jobs = scenarios::s1_jobs_at_t1();
+/// let schedule = ExMem::new()
+///     .schedule(&jobs, &scenarios::platform(), 1.0)
+///     .expect("feasible");
+/// let rho1 = 1.0 - 1.0 / 5.3;
+/// assert!((schedule.energy(&jobs) - (5.73 + 8.9 * rho1)).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExMem {
+    seed_with_mdf: bool,
+    nodes_explored: u64,
+}
+
+/// One memoized result.
+#[derive(Debug, Clone)]
+enum MemoVal {
+    /// Exact optimum from this state, with the optimal first-segment
+    /// assignment (`None` = job suspended) in state order.
+    Exact {
+        energy: f64,
+        choice: Vec<Option<usize>>,
+    },
+    /// The optimum from this state is ≥ this bound (search with that budget
+    /// found nothing better).
+    Bound { at_least: f64 },
+    /// No feasible completion exists at all.
+    Infeasible,
+}
+
+type Key = (u64, Vec<(u32, u64)>);
+
+struct SearchCtx<'a> {
+    jobs: &'a [Job],
+    platform: &'a Platform,
+    /// Per job: operating points that fit the platform, by index.
+    options: Vec<Vec<usize>>,
+    /// Per job: minimum full-execution energy over its feasible points.
+    min_energy: Vec<f64>,
+    /// Per job: minimum full-execution time over its feasible points.
+    min_time: Vec<f64>,
+    memo: HashMap<Key, MemoVal>,
+    nodes: u64,
+}
+
+impl ExMem {
+    /// Creates an EX-MEM scheduler (incumbent-seeded by default).
+    pub fn new() -> Self {
+        ExMem {
+            seed_with_mdf: true,
+            nodes_explored: 0,
+        }
+    }
+
+    /// Disables MDF incumbent seeding (pure exhaustive search with
+    /// memoization — slower, same result; used by ablation benches).
+    pub fn without_seed(mut self) -> Self {
+        self.seed_with_mdf = false;
+        self
+    }
+
+    /// Search nodes explored by the most recent
+    /// [`schedule`](Scheduler::schedule) call.
+    pub fn nodes_explored(&self) -> u64 {
+        self.nodes_explored
+    }
+}
+
+impl Scheduler for ExMem {
+    fn name(&self) -> &str {
+        "EX-MEM"
+    }
+
+    fn schedule(&mut self, jobs: &JobSet, platform: &Platform, now: f64) -> Option<Schedule> {
+        if jobs.is_empty() {
+            return Some(Schedule::new());
+        }
+
+        let job_slice = jobs.jobs();
+        let mut options = Vec::with_capacity(job_slice.len());
+        let mut min_energy = Vec::with_capacity(job_slice.len());
+        let mut min_time = Vec::with_capacity(job_slice.len());
+        for job in job_slice {
+            let opts: Vec<usize> = (0..job.app().num_points())
+                .filter(|&j| job.point(j).resources().fits_within(platform.counts()))
+                .collect();
+            if opts.is_empty() {
+                return None;
+            }
+            min_energy.push(
+                opts.iter()
+                    .map(|&j| job.point(j).energy())
+                    .fold(f64::INFINITY, f64::min),
+            );
+            min_time.push(
+                opts.iter()
+                    .map(|&j| job.point(j).time())
+                    .fold(f64::INFINITY, f64::min),
+            );
+            options.push(opts);
+        }
+
+        let mut ctx = SearchCtx {
+            jobs: job_slice,
+            platform,
+            options,
+            min_energy,
+            min_time,
+            memo: HashMap::new(),
+            nodes: 0,
+        };
+
+        // Incumbent: MDF's energy is an upper bound on the optimum.
+        let budget = if self.seed_with_mdf {
+            MmkpMdf::new()
+                .schedule(jobs, platform, now)
+                .map(|s| s.energy(jobs) + 1e-7)
+                .unwrap_or(f64::INFINITY)
+        } else {
+            f64::INFINITY
+        };
+
+        let state: Vec<(usize, f64)> = (0..job_slice.len())
+            .map(|i| (i, job_slice[i].remaining()))
+            .collect();
+        let result = solve(&mut ctx, &state, now, budget);
+        self.nodes_explored = ctx.nodes;
+        result?;
+
+        let schedule = reconstruct(&ctx, state, now);
+        debug_assert!(schedule.validate(jobs, platform, now).is_ok());
+        Some(schedule)
+    }
+}
+
+fn key_of(state: &[(usize, f64)], t: f64) -> Key {
+    (
+        (t / KEY_QUANTUM).round() as u64,
+        state
+            .iter()
+            .map(|&(i, rho)| (i as u32, (rho / KEY_QUANTUM).round() as u64))
+            .collect(),
+    )
+}
+
+/// Admissible lower bound on the energy needed to finish `state`.
+fn lower_bound(ctx: &SearchCtx<'_>, state: &[(usize, f64)]) -> f64 {
+    state
+        .iter()
+        .map(|&(i, rho)| ctx.min_energy[i] * rho)
+        .sum()
+}
+
+/// Returns `false` if some job can no longer meet its deadline even on its
+/// fastest point with exclusive resources (admissible feasibility cut).
+fn viable(ctx: &SearchCtx<'_>, state: &[(usize, f64)], t: f64) -> bool {
+    state
+        .iter()
+        .all(|&(i, rho)| t + ctx.min_time[i] * rho <= ctx.jobs[i].deadline() + EPS)
+}
+
+/// One enumerated first-segment candidate.
+struct Candidate {
+    choice: Vec<Option<usize>>,
+    seg_energy: f64,
+    next_state: Vec<(usize, f64)>,
+    next_t: f64,
+    bound: f64,
+}
+
+/// Exact minimum energy to finish `state` from time `t`, if it is `<
+/// budget`. Memoizes exact values and failure bounds.
+fn solve(ctx: &mut SearchCtx<'_>, state: &[(usize, f64)], t: f64, budget: f64) -> Option<f64> {
+    if state.is_empty() {
+        return if budget > 0.0 { Some(0.0) } else { None };
+    }
+    if !viable(ctx, state, t) {
+        return None;
+    }
+    if lower_bound(ctx, state) >= budget {
+        return None;
+    }
+
+    let key = key_of(state, t);
+    match ctx.memo.get(&key) {
+        Some(MemoVal::Exact { energy, .. }) => {
+            return if *energy < budget { Some(*energy) } else { None };
+        }
+        Some(MemoVal::Infeasible) => return None,
+        Some(MemoVal::Bound { at_least }) if budget <= *at_least + EPS => return None,
+        _ => {}
+    }
+
+    ctx.nodes += 1;
+
+    // Enumerate all joint first-segment assignments.
+    let mut candidates = Vec::new();
+    enumerate(
+        ctx,
+        state,
+        t,
+        0,
+        &mut vec![None; state.len()],
+        &ResourceVec::zeros(ctx.platform.num_types()),
+        &mut candidates,
+    );
+    // Best-first exploration makes the local branch-and-bound effective.
+    candidates.sort_by(|a, b| a.bound.total_cmp(&b.bound));
+
+    let mut local_best = budget;
+    let mut best_choice: Option<Vec<Option<usize>>> = None;
+    let mut pruned = false;
+    for cand in candidates {
+        if cand.bound >= local_best {
+            pruned = true;
+            continue;
+        }
+        if let Some(sub) = solve(ctx, &cand.next_state, cand.next_t, local_best - cand.seg_energy)
+        {
+            let total = cand.seg_energy + sub;
+            if total < local_best {
+                local_best = total;
+                best_choice = Some(cand.choice);
+            }
+        }
+    }
+
+    match best_choice {
+        Some(choice) => {
+            ctx.memo.insert(
+                key,
+                MemoVal::Exact {
+                    energy: local_best,
+                    choice,
+                },
+            );
+            Some(local_best)
+        }
+        None => {
+            let val = if pruned || budget.is_finite() {
+                MemoVal::Bound { at_least: budget }
+            } else {
+                MemoVal::Infeasible
+            };
+            ctx.memo.insert(key, val);
+            None
+        }
+    }
+}
+
+/// Depth-first enumeration of per-job choices (run a feasible point or
+/// suspend), with component-wise resource pruning; complete assignments
+/// with at least one running job become [`Candidate`]s.
+fn enumerate(
+    ctx: &SearchCtx<'_>,
+    state: &[(usize, f64)],
+    t: f64,
+    depth: usize,
+    choice: &mut Vec<Option<usize>>,
+    used: &ResourceVec,
+    out: &mut Vec<Candidate>,
+) {
+    if depth == state.len() {
+        push_candidate(ctx, state, t, choice, out);
+        return;
+    }
+    let (ji, _) = state[depth];
+    // Option A: suspend this job in the first segment.
+    choice[depth] = None;
+    enumerate(ctx, state, t, depth + 1, choice, used, out);
+    // Option B: run one of its feasible points.
+    for &cfg in &ctx.options[ji] {
+        let demand = used + ctx.jobs[ji].point(cfg).resources();
+        if !demand.fits_within(ctx.platform.counts()) {
+            continue;
+        }
+        choice[depth] = Some(cfg);
+        enumerate(ctx, state, t, depth + 1, choice, &demand, out);
+    }
+    choice[depth] = None;
+}
+
+fn push_candidate(
+    ctx: &SearchCtx<'_>,
+    state: &[(usize, f64)],
+    t: f64,
+    choice: &[Option<usize>],
+    out: &mut Vec<Candidate>,
+) {
+    // Segment is cut at the earliest completion among running jobs.
+    let mut delta = f64::INFINITY;
+    for (slot, &(ji, rho)) in state.iter().enumerate() {
+        if let Some(cfg) = choice[slot] {
+            delta = delta.min(ctx.jobs[ji].point(cfg).time() * rho);
+        }
+    }
+    if !delta.is_finite() {
+        return; // everybody suspended: time would not advance
+    }
+
+    let next_t = t + delta;
+    let mut seg_energy = 0.0;
+    let mut next_state = Vec::with_capacity(state.len());
+    for (slot, &(ji, rho)) in state.iter().enumerate() {
+        match choice[slot] {
+            Some(cfg) => {
+                let p = ctx.jobs[ji].point(cfg);
+                seg_energy += p.energy() * delta / p.time();
+                let rho2 = rho - delta / p.time();
+                if rho2 > RHO_EPS {
+                    next_state.push((ji, rho2));
+                } else if next_t > ctx.jobs[ji].deadline() + EPS {
+                    return; // completes past its deadline
+                }
+            }
+            None => next_state.push((ji, rho)),
+        }
+    }
+    if !viable(ctx, &next_state, next_t) {
+        return;
+    }
+    let bound = seg_energy + lower_bound(ctx, &next_state);
+    out.push(Candidate {
+        choice: choice.to_vec(),
+        seg_energy,
+        next_state,
+        next_t,
+        bound,
+    });
+}
+
+/// Rebuilds the optimal schedule by replaying the memoized first-segment
+/// choices from the root state.
+fn reconstruct(ctx: &SearchCtx<'_>, mut state: Vec<(usize, f64)>, mut t: f64) -> Schedule {
+    let mut schedule = Schedule::new();
+    while !state.is_empty() {
+        let key = key_of(&state, t);
+        let Some(MemoVal::Exact { choice, .. }) = ctx.memo.get(&key) else {
+            unreachable!("optimal path must be memoized exactly");
+        };
+        let mut delta = f64::INFINITY;
+        for (slot, &(ji, rho)) in state.iter().enumerate() {
+            if let Some(cfg) = choice[slot] {
+                delta = delta.min(ctx.jobs[ji].point(cfg).time() * rho);
+            }
+        }
+        let mut mappings = Vec::new();
+        let mut next_state = Vec::new();
+        for (slot, &(ji, rho)) in state.iter().enumerate() {
+            match choice[slot] {
+                Some(cfg) => {
+                    mappings.push(JobMapping::new(ctx.jobs[ji].id(), cfg));
+                    let rho2 = rho - delta / ctx.jobs[ji].point(cfg).time();
+                    if rho2 > RHO_EPS {
+                        next_state.push((ji, rho2));
+                    }
+                }
+                None => next_state.push((ji, rho)),
+            }
+        }
+        schedule.push(Segment::new(t, t + delta, mappings));
+        state = next_state;
+        t += delta;
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrm_model::{Application, JobId, JobSet, OperatingPoint};
+    use amrm_workload::scenarios;
+
+    #[test]
+    fn single_job_is_optimal() {
+        let jobs = JobSet::new(vec![Job::new(
+            JobId(1),
+            scenarios::lambda1(),
+            0.0,
+            9.0,
+            1.0,
+        )]);
+        let platform = scenarios::platform();
+        let schedule = ExMem::new().schedule(&jobs, &platform, 0.0).unwrap();
+        schedule.validate(&jobs, &platform, 0.0).unwrap();
+        assert!((schedule.energy(&jobs) - 8.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fig1c_is_the_optimum_for_s1_at_t1() {
+        let jobs = scenarios::s1_jobs_at_t1();
+        let platform = scenarios::platform();
+        let schedule = ExMem::new().schedule(&jobs, &platform, 1.0).unwrap();
+        schedule.validate(&jobs, &platform, 1.0).unwrap();
+        let rho1 = 1.0 - 1.0 / 5.3;
+        assert!((schedule.energy(&jobs) - (5.73 + 8.9 * rho1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn s2_feasible_with_same_energy() {
+        let jobs = scenarios::s2_jobs_at_t1();
+        let platform = scenarios::platform();
+        let schedule = ExMem::new().schedule(&jobs, &platform, 1.0).unwrap();
+        schedule.validate(&jobs, &platform, 1.0).unwrap();
+        let rho1 = 1.0 - 1.0 / 5.3;
+        assert!((schedule.energy(&jobs) - (5.73 + 8.9 * rho1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn never_worse_than_mdf() {
+        // EX-MEM is exact, so on any instance it must be ≤ MDF.
+        let platform = scenarios::platform();
+        for (d1, d2) in [(9.0, 5.0), (12.0, 6.0), (20.0, 8.0), (9.0, 4.0)] {
+            let jobs = JobSet::new(vec![
+                Job::new(JobId(1), scenarios::lambda1(), 0.0, d1, 1.0),
+                Job::new(JobId(2), scenarios::lambda2(), 0.0, d2, 1.0),
+            ]);
+            let opt = ExMem::new().schedule(&jobs, &platform, 0.0);
+            let heur = MmkpMdf::new().schedule(&jobs, &platform, 0.0);
+            if let Some(h) = &heur {
+                let o = opt.as_ref().expect("EX-MEM must succeed when MDF does");
+                assert!(
+                    o.energy(&jobs) <= h.energy(&jobs) + 1e-6,
+                    "EX-MEM {} > MDF {} for ({d1},{d2})",
+                    o.energy(&jobs),
+                    h.energy(&jobs)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_and_unseeded_agree() {
+        let jobs = scenarios::s1_jobs_at_t1();
+        let platform = scenarios::platform();
+        let a = ExMem::new().schedule(&jobs, &platform, 1.0).unwrap();
+        let b = ExMem::new()
+            .without_seed()
+            .schedule(&jobs, &platform, 1.0)
+            .unwrap();
+        assert!((a.energy(&jobs) - b.energy(&jobs)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_case_rejected() {
+        let jobs = JobSet::new(vec![Job::new(
+            JobId(1),
+            scenarios::lambda1(),
+            0.0,
+            1.0,
+            1.0,
+        )]);
+        assert!(ExMem::new()
+            .schedule(&jobs, &scenarios::platform(), 0.0)
+            .is_none());
+    }
+
+    #[test]
+    fn finds_schedules_where_fixed_reasoning_fails() {
+        // S2 at t = 1 (the fixed mapper rejects it — see fixed.rs tests).
+        let jobs = scenarios::s2_jobs_at_t1();
+        assert!(ExMem::new()
+            .schedule(&jobs, &scenarios::platform(), 1.0)
+            .is_some());
+    }
+
+    #[test]
+    fn three_jobs_feasible_and_not_worse_than_mdf() {
+        let platform = scenarios::platform();
+        let jobs = JobSet::new(vec![
+            Job::new(JobId(1), scenarios::lambda1(), 0.0, 25.0, 1.0),
+            Job::new(JobId(2), scenarios::lambda2(), 0.0, 9.0, 1.0),
+            Job::new(JobId(3), scenarios::lambda2(), 0.0, 16.0, 0.6),
+        ]);
+        let opt = ExMem::new().schedule(&jobs, &platform, 0.0).unwrap();
+        opt.validate(&jobs, &platform, 0.0).unwrap();
+        let heur = MmkpMdf::new().schedule(&jobs, &platform, 0.0).unwrap();
+        assert!(opt.energy(&jobs) <= heur.energy(&jobs) + 1e-6);
+    }
+
+    #[test]
+    fn oversized_only_app_rejected() {
+        let app = Application::shared(
+            "fat",
+            vec![OperatingPoint::new(
+                amrm_platform::ResourceVec::from_slice(&[4, 0]),
+                1.0,
+                1.0,
+            )],
+        );
+        let jobs = JobSet::new(vec![Job::new(JobId(1), app, 0.0, 10.0, 1.0)]);
+        assert!(ExMem::new()
+            .schedule(&jobs, &scenarios::platform(), 0.0)
+            .is_none());
+    }
+
+    #[test]
+    fn node_counter_reports_work() {
+        let jobs = scenarios::s1_jobs_at_t1();
+        let mut ex = ExMem::new();
+        ex.schedule(&jobs, &scenarios::platform(), 1.0).unwrap();
+        assert!(ex.nodes_explored() > 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Fixed mappers: the state-of-the-art behaviour the paper improves on.
+//!
+//! A fixed mapper assigns one operating point per job at every RM
+//! activation and never reconfigures or suspends jobs: all jobs run
+//! concurrently from the activation instant until they individually finish.
+//! Consequently the *sum* of all chosen resource vectors must fit the
+//! platform, which is exactly why scenario S2 of the motivational example
+//! is infeasible for fixed mappers.
+//!
+//! Combined with the runtime manager's
+//! [`ReactivationPolicy`](amrm_core::ReactivationPolicy):
+//! `OnArrival` yields Fig. 1(a), `OnArrivalAndCompletion` yields Fig. 1(b).
+
+use amrm_core::Scheduler;
+use amrm_model::{JobMapping, JobSet, Schedule, Segment};
+use amrm_platform::{Platform, ResourceVec, EPS};
+
+/// Energy-optimal fixed mapper.
+///
+/// Finds the joint configuration assignment minimizing total remaining
+/// energy subject to (a) every job meeting its deadline when started
+/// immediately and (b) all configurations fitting the platform
+/// *simultaneously*. The search is exact (depth-first with an admissible
+/// lower bound), which is affordable because fixed mappings have no
+/// segment structure to explore.
+///
+/// # Examples
+///
+/// ```
+/// use amrm_baselines::FixedMapper;
+/// use amrm_core::Scheduler;
+/// use amrm_workload::scenarios;
+///
+/// // S1 at t = 1: the best fixed mapping is 1L1B for both jobs.
+/// let jobs = scenarios::s1_jobs_at_t1();
+/// let schedule = FixedMapper::new()
+///     .schedule(&jobs, &scenarios::platform(), 1.0)
+///     .expect("feasible");
+/// // σ1 remaining on 1L1B: 10.9·ρ1 = 8.84 J, σ2: 6.44 J.
+/// let rho1 = 1.0 - 1.0 / 5.3;
+/// assert!((schedule.energy(&jobs) - (10.9 * rho1 + 6.44)).abs() < 1e-9);
+///
+/// // S2 is infeasible for any fixed mapping (Section III).
+/// let jobs = scenarios::s2_jobs_at_t1();
+/// assert!(FixedMapper::new().schedule(&jobs, &scenarios::platform(), 1.0).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FixedMapper {
+    _priv: (),
+}
+
+impl FixedMapper {
+    /// Creates a fixed mapper.
+    pub fn new() -> Self {
+        FixedMapper::default()
+    }
+}
+
+impl Scheduler for FixedMapper {
+    fn name(&self) -> &str {
+        "FIXED"
+    }
+
+    fn schedule(&mut self, jobs: &JobSet, platform: &Platform, now: f64) -> Option<Schedule> {
+        if jobs.is_empty() {
+            return Some(Schedule::new());
+        }
+
+        // Per-job feasible configs, sorted by remaining energy.
+        let mut options: Vec<(usize, Vec<usize>)> = Vec::new(); // (job index, configs)
+        for (ji, job) in jobs.iter().enumerate() {
+            let mut cl: Vec<usize> = (0..job.app().num_points())
+                .filter(|&j| {
+                    job.point(j).resources().fits_within(platform.counts())
+                        && job.meets_deadline_with(j, now)
+                })
+                .collect();
+            if cl.is_empty() {
+                return None;
+            }
+            cl.sort_by(|&a, &b| job.remaining_energy(a).total_cmp(&job.remaining_energy(b)));
+            options.push((ji, cl));
+        }
+        // Tightest jobs first prunes faster.
+        options.sort_by_key(|(_, cl)| cl.len());
+
+        // Admissible bound: suffix sums of per-job minimum energies.
+        let n = options.len();
+        let mut suffix_min = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            let (ji, cl) = &options[i];
+            let job = &jobs.jobs()[*ji];
+            suffix_min[i] = suffix_min[i + 1] + job.remaining_energy(cl[0]);
+        }
+
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        let mut chosen = vec![0usize; n];
+        dfs(
+            jobs,
+            platform,
+            &options,
+            &suffix_min,
+            0,
+            &ResourceVec::zeros(platform.num_types()),
+            0.0,
+            &mut chosen,
+            &mut best,
+        );
+
+        let (_, picks) = best?;
+        // Map job index -> chosen point.
+        let mut assignment = vec![0usize; jobs.len()];
+        for (slot, (ji, cl)) in options.iter().enumerate() {
+            assignment[*ji] = cl[picks[slot]];
+        }
+        Some(build_fixed_schedule(jobs, &assignment, now))
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    jobs: &JobSet,
+    platform: &Platform,
+    options: &[(usize, Vec<usize>)],
+    suffix_min: &[f64],
+    depth: usize,
+    used: &ResourceVec,
+    energy: f64,
+    chosen: &mut Vec<usize>,
+    best: &mut Option<(f64, Vec<usize>)>,
+) {
+    if let Some((b, _)) = best {
+        if energy + suffix_min[depth] >= *b - EPS {
+            return;
+        }
+    }
+    if depth == options.len() {
+        *best = Some((energy, chosen[..].to_vec()));
+        return;
+    }
+    let (ji, cl) = &options[depth];
+    let job = &jobs.jobs()[*ji];
+    for (ci, &cfg) in cl.iter().enumerate() {
+        let demand = used + job.point(cfg).resources();
+        if !demand.fits_within(platform.counts()) {
+            continue;
+        }
+        chosen[depth] = ci;
+        dfs(
+            jobs,
+            platform,
+            options,
+            suffix_min,
+            depth + 1,
+            &demand,
+            energy + job.remaining_energy(cfg),
+            chosen,
+            best,
+        );
+    }
+}
+
+/// Expresses a fixed assignment as a segmented schedule: one boundary per
+/// distinct completion time, each job mapped until it finishes.
+fn build_fixed_schedule(jobs: &JobSet, assignment: &[usize], now: f64) -> Schedule {
+    let completions: Vec<f64> = jobs
+        .iter()
+        .enumerate()
+        .map(|(ji, job)| now + job.remaining_time(assignment[ji]))
+        .collect();
+    let mut boundaries = completions.clone();
+    boundaries.sort_by(f64::total_cmp);
+    boundaries.dedup_by(|a, b| (*a - *b).abs() < EPS);
+
+    let mut schedule = Schedule::new();
+    let mut start = now;
+    for &end in &boundaries {
+        if end - start <= EPS {
+            continue;
+        }
+        let mappings: Vec<JobMapping> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(ji, _)| completions[*ji] > start + EPS)
+            .map(|(ji, job)| JobMapping::new(job.id(), assignment[ji]))
+            .collect();
+        schedule.push(Segment::new(start, end, mappings));
+        start = end;
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrm_model::{Job, JobId, JobSet};
+    use amrm_workload::scenarios;
+
+    #[test]
+    fn s1_at_t1_picks_1l1b_for_both() {
+        let jobs = scenarios::s1_jobs_at_t1();
+        let platform = scenarios::platform();
+        let schedule = FixedMapper::new().schedule(&jobs, &platform, 1.0).unwrap();
+        schedule.validate(&jobs, &platform, 1.0).unwrap();
+        let rho1 = 1.0 - 1.0 / 5.3;
+        // Fig. 1(a): remaining energy 8.84 + 6.44; with the 1.679 J prefix
+        // this is the paper's 16.96 J.
+        let expected = 10.9 * rho1 + 6.44;
+        assert!((schedule.energy(&jobs) - expected).abs() < 1e-9);
+        let total = schedule.energy(&jobs) + scenarios::fig1::PREFIX_J;
+        assert!((total - scenarios::fig1::FIXED_AT_START_J).abs() < 5e-3);
+    }
+
+    #[test]
+    fn s2_is_rejected() {
+        let jobs = scenarios::s2_jobs_at_t1();
+        assert!(FixedMapper::new()
+            .schedule(&jobs, &scenarios::platform(), 1.0)
+            .is_none());
+    }
+
+    #[test]
+    fn schedule_splits_at_completions() {
+        let jobs = scenarios::s1_jobs_at_t1();
+        let platform = scenarios::platform();
+        let schedule = FixedMapper::new().schedule(&jobs, &platform, 1.0).unwrap();
+        // σ2 finishes at 4.5, σ1 at 1 + 6.57 ≈ 7.57 → two segments.
+        assert_eq!(schedule.num_segments(), 2);
+        assert!((schedule.completion_time(JobId(2)).unwrap() - 4.5).abs() < 1e-9);
+        assert!(schedule.segments()[1].contains_job(JobId(1)));
+        assert!(!schedule.segments()[1].contains_job(JobId(2)));
+    }
+
+    #[test]
+    fn single_job_matches_mdf_choice() {
+        let jobs = JobSet::new(vec![Job::new(JobId(1), scenarios::lambda1(), 0.0, 9.0, 1.0)]);
+        let platform = scenarios::platform();
+        let schedule = FixedMapper::new().schedule(&jobs, &platform, 0.0).unwrap();
+        assert!((schedule.energy(&jobs) - 8.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_set_is_trivially_feasible() {
+        let schedule = FixedMapper::new()
+            .schedule(&JobSet::default(), &scenarios::platform(), 0.0)
+            .unwrap();
+        assert!(schedule.is_empty());
+    }
+}

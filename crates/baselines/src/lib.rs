@@ -1,0 +1,34 @@
+//! Baseline schedulers evaluated against MMKP-MDF in the paper.
+//!
+//! * [`ExMem`] — the exhaustive, memoized optimal reference (Section VI-A);
+//! * [`MmkpLr`] — the Lagrangian-relaxation MMKP heuristic with
+//!   single-segment analysis scope (Wildermann et al.);
+//! * [`FixedMapper`] — a state-of-the-art fixed mapper that never
+//!   reconfigures running jobs (Fig. 1(a)/(b) behaviour).
+//!
+//! All three implement [`amrm_core::Scheduler`] and can be plugged into the
+//! [`amrm_core::RuntimeManager`] unchanged.
+//!
+//! # Examples
+//!
+//! ```
+//! use amrm_baselines::ExMem;
+//! use amrm_core::{MmkpMdf, Scheduler};
+//! use amrm_workload::scenarios;
+//!
+//! let jobs = scenarios::s1_jobs_at_t1();
+//! let platform = scenarios::platform();
+//! let optimal = ExMem::new().schedule(&jobs, &platform, 1.0).unwrap();
+//! let heuristic = MmkpMdf::new().schedule(&jobs, &platform, 1.0).unwrap();
+//! assert!(optimal.energy(&jobs) <= heuristic.energy(&jobs) + 1e-9);
+//! ```
+
+mod exmem;
+mod fixed;
+mod incremental;
+mod lr;
+
+pub use crate::exmem::ExMem;
+pub use crate::fixed::FixedMapper;
+pub use crate::incremental::IncrementalMapper;
+pub use crate::lr::MmkpLr;

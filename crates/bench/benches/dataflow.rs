@@ -1,0 +1,32 @@
+//! Dataflow-substrate throughput: one self-timed simulation and one full
+//! characterization sweep (the design-time cost that replaces the paper's
+//! on-board benchmarking).
+
+use amrm_dataflow::{apps, characterize, simulate, CharacterizeConfig, SimConfig};
+use amrm_platform::{Platform, ResourceVec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_dataflow(c: &mut Criterion) {
+    let platform = Platform::odroid_xu4();
+
+    let mut group = c.benchmark_group("dataflow");
+    group.sample_size(40);
+
+    let graph = apps::audio_filter();
+    let alloc = ResourceVec::from_slice(&[4, 4]);
+    let cfg = SimConfig::default();
+    group.bench_function("simulate_audio_filter_4l4b", |b| {
+        b.iter(|| simulate(&graph, &platform, &alloc, &cfg))
+    });
+
+    let pedestrian = apps::pedestrian_recognition();
+    let ccfg = CharacterizeConfig::default();
+    group.bench_function("characterize_pedestrian", |b| {
+        b.iter(|| characterize(&pedestrian, &platform, &ccfg))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataflow);
+criterion_main!(benches);

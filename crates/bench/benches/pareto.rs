@@ -1,0 +1,38 @@
+//! Pareto-filter throughput on synthetic operating-point clouds — the
+//! design-time cost of `amrm-model::pareto_filter`.
+
+use amrm_model::{pareto_filter, OperatingPoint};
+use amrm_platform::ResourceVec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_points(n: usize, seed: u64) -> Vec<OperatingPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let l = rng.gen_range(0..5u32);
+            let b = rng.gen_range(0..5u32);
+            let (l, b) = if l + b == 0 { (1, 0) } else { (l, b) };
+            let speed = f64::from(l) + 1.68 * f64::from(b);
+            let t = rng.gen_range(5.0..20.0) / speed;
+            let e = t * (0.45 * f64::from(l) + 1.6 * f64::from(b)) * rng.gen_range(0.8..1.2);
+            OperatingPoint::new(ResourceVec::from_slice(&[l, b]), t, e)
+        })
+        .collect()
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_filter");
+    group.sample_size(30);
+    for n in [32usize, 256, 2048] {
+        let pts = random_points(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| pareto_filter(pts.clone()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pareto);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Steady-state scheduler overhead by job count — the Criterion companion
+//! to Fig. 4 of the paper.
+//!
+//! Each group benches one algorithm on representative test cases with 1–4
+//! jobs drawn from the paper's generator (tight deadlines, feasible for
+//! the algorithm under test). EX-MEM at 4 jobs is bounded to few samples:
+//! it is the exponential reference, not a runtime candidate.
+
+use amrm_baselines::{ExMem, MmkpLr};
+use amrm_core::{MmkpMdf, Scheduler};
+use amrm_model::JobSet;
+use amrm_platform::Platform;
+use amrm_workload::{generate_suite, scenarios, DeadlineLevel, SuiteSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Picks, per job count, the first tight case every algorithm can solve.
+fn representative_cases(platform: &Platform) -> Vec<(usize, JobSet)> {
+    let lib = vec![scenarios::lambda1(), scenarios::lambda2()];
+    let spec = SuiteSpec {
+        weak_counts: [0, 0, 0, 0],
+        tight_counts: [30, 30, 30, 30],
+        ..SuiteSpec::default()
+    };
+    let suite = generate_suite(&lib, &spec, 2020);
+    let mut out = Vec::new();
+    for jobs in 1..=4 {
+        let found = suite
+            .iter()
+            .filter(|c| c.num_jobs() == jobs && c.level == DeadlineLevel::Tight)
+            .map(|c| c.to_job_set())
+            .find(|set| {
+                MmkpMdf::new().schedule(set, platform, 0.0).is_some()
+                    && MmkpLr::new().schedule(set, platform, 0.0).is_some()
+            });
+        if let Some(set) = found {
+            out.push((jobs, set));
+        }
+    }
+    out
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let platform = Platform::motivational_2l2b();
+    let cases = representative_cases(&platform);
+
+    let mut group = c.benchmark_group("mmkp_mdf");
+    group.sample_size(60);
+    for (jobs, set) in &cases {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), set, |b, set| {
+            b.iter(|| MmkpMdf::new().schedule(set, &platform, 0.0))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("mmkp_lr");
+    group.sample_size(40);
+    for (jobs, set) in &cases {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), set, |b, set| {
+            b.iter(|| MmkpLr::new().schedule(set, &platform, 0.0))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ex_mem");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for (jobs, set) in cases.iter().filter(|(j, _)| *j <= 3) {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), set, |b, set| {
+            b.iter(|| ExMem::new().schedule(set, &platform, 0.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

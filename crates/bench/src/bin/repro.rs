@@ -1,0 +1,190 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [COMMAND] [--seed N] [--threads N] [--quick] [--suite-out FILE]
+//!
+//! COMMANDS
+//!   table2      Table II  — motivational operating points
+//!   motivation  Table I + Figure 1 — the three management scenarios
+//!   table3      Table III — test-case counts
+//!   fig2        Figure 2  — scheduling rate (tight deadlines)
+//!   table4      Table IV  — geomean relative energy vs EX-MEM
+//!   fig3        Figure 3  — S-curves of relative energy
+//!   fig4        Figure 4  — search-time box plots
+//!   ablation    extensions: job-order policy, online admission, DVFS
+//!   all         everything above except `ablation` (default)
+//!
+//! OPTIONS
+//!   --seed N        RNG seed for suite generation (default 2020)
+//!   --threads N     worker threads (default: available parallelism)
+//!   --quick         divide all Table III counts by 10 (smoke run)
+//!   --suite-out F   save the generated suite as JSON
+//! ```
+
+use std::process::ExitCode;
+
+use amrm_bench::reports;
+use amrm_bench::runner::evaluate_suite;
+use amrm_dataflow::apps;
+use amrm_platform::Platform;
+use amrm_workload::{generate_suite, save_suite, SuiteSpec};
+
+struct Options {
+    command: String,
+    seed: u64,
+    threads: usize,
+    quick: bool,
+    suite_out: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        command: "all".to_string(),
+        seed: 2020,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        quick: false,
+        suite_out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad thread count: {e}"))?;
+            }
+            "--quick" => opts.quick = true,
+            "--suite-out" => {
+                opts.suite_out = Some(args.next().ok_or("--suite-out needs a path")?);
+            }
+            "--help" | "-h" => {
+                return Err("help".to_string());
+            }
+            cmd if !cmd.starts_with('-') => opts.command = cmd.to_string(),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("usage: repro [table2|motivation|table3|fig2|table4|fig3|fig4|all] [--seed N] [--threads N] [--quick] [--suite-out FILE]");
+            return if msg == "help" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+
+    let needs_suite = matches!(
+        opts.command.as_str(),
+        "table3" | "fig2" | "table4" | "fig3" | "fig4" | "all"
+    );
+
+    match opts.command.as_str() {
+        "table2" | "all" => println!("{}", reports::table2_report()),
+        _ => {}
+    }
+    if matches!(opts.command.as_str(), "motivation" | "all") {
+        println!("{}", reports::motivation_report());
+    }
+    if opts.command == "ablation" {
+        let platform = Platform::odroid_xu4();
+        let suite = amrm_bench::ablation::ablation_suite(opts.seed);
+        println!(
+            "{}",
+            amrm_bench::ablation::job_order_report(&suite, &amrm_workload::scenarios::platform())
+        );
+        println!(
+            "{}",
+            amrm_bench::ablation::online_admission_report(&platform, opts.seed)
+        );
+        println!("{}", amrm_bench::ablation::dvfs_report());
+        return ExitCode::SUCCESS;
+    }
+
+    if !needs_suite {
+        return ExitCode::SUCCESS;
+    }
+
+    let platform = Platform::odroid_xu4();
+    eprintln!("characterizing application library on {} ...", platform.name());
+    let library = apps::benchmark_suite(&platform);
+    println!("{}", reports::library_report(&library));
+
+    let mut spec = SuiteSpec::default();
+    if opts.quick {
+        for c in spec
+            .weak_counts
+            .iter_mut()
+            .chain(spec.tight_counts.iter_mut())
+        {
+            *c = (*c / 10).max(1);
+        }
+    }
+    eprintln!(
+        "generating {} test cases (seed {}) ...",
+        spec.total(),
+        opts.seed
+    );
+    let cases = generate_suite(&library, &spec, opts.seed);
+    if let Some(path) = &opts.suite_out {
+        if let Err(e) = save_suite(path, &cases) {
+            eprintln!("error: cannot save suite to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("suite saved to {path}");
+    }
+
+    if matches!(opts.command.as_str(), "table3" | "all") {
+        println!("{}", reports::table3_report(&cases));
+        if opts.command == "table3" {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    eprintln!(
+        "evaluating {} cases × 3 schedulers on {} threads ...",
+        cases.len(),
+        opts.threads
+    );
+    let t0 = std::time::Instant::now();
+    let results = evaluate_suite(&cases, &platform, opts.threads);
+    eprintln!("evaluation finished in {:.1} s", t0.elapsed().as_secs_f64());
+
+    match opts.command.as_str() {
+        "fig2" => println!("{}", reports::fig2_report(&results)),
+        "table4" => println!("{}", reports::table4_report(&results)),
+        "fig3" => println!("{}", reports::fig3_report(&results)),
+        "fig4" => println!("{}", reports::fig4_report(&results)),
+        "all" => {
+            println!("{}", reports::fig2_report(&results));
+            println!("{}", reports::table4_report(&results));
+            println!("{}", reports::fig3_report(&results));
+            println!("{}", reports::fig4_report(&results));
+        }
+        other => {
+            eprintln!("error: unknown command {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,20 @@
+//! Benchmark and experiment-regeneration harness.
+//!
+//! One module per concern:
+//!
+//! * [`runner`] — evaluates every scheduler over a workload suite,
+//!   collecting feasibility, energy and wall-clock search time;
+//! * [`reports`] — renders each table/figure of the paper from those
+//!   results (see `DESIGN.md` for the experiment index).
+//!
+//! The `repro` binary drives both; Criterion benches under `benches/`
+//! measure steady-state scheduler overhead (Fig. 4) and ablations.
+
+pub mod ablation;
+pub mod reports;
+pub mod runner;
+
+pub use crate::runner::{
+    evaluate_case, evaluate_suite, relative_energies, scheduler_names, scheduling_rate,
+    search_times, CaseResult, SchedResult, EXMEM, LR, MDF,
+};

@@ -1,0 +1,280 @@
+//! Suite evaluation: run every scheduler over every test case and collect
+//! feasibility, energy and search time.
+
+use std::time::Instant;
+
+use amrm_baselines::{ExMem, MmkpLr};
+use amrm_core::{MmkpMdf, Scheduler};
+use amrm_platform::Platform;
+use amrm_workload::{DeadlineLevel, TestCase};
+use serde::{Deserialize, Serialize};
+
+/// Index of EX-MEM in [`scheduler_names`] and every per-scheduler array.
+pub const EXMEM: usize = 0;
+/// Index of MMKP-LR.
+pub const LR: usize = 1;
+/// Index of MMKP-MDF.
+pub const MDF: usize = 2;
+
+/// The evaluated algorithms, in the order used by all result arrays.
+pub fn scheduler_names() -> [&'static str; 3] {
+    ["EX-MEM", "MMKP-LR", "MMKP-MDF"]
+}
+
+fn make_scheduler(idx: usize) -> Box<dyn Scheduler> {
+    match idx {
+        EXMEM => Box::new(ExMem::new()),
+        LR => Box::new(MmkpLr::new()),
+        MDF => Box::new(MmkpMdf::new()),
+        _ => unreachable!("unknown scheduler index"),
+    }
+}
+
+/// Result of one scheduler on one test case.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SchedResult {
+    /// Whether a feasible (and validated) schedule was found.
+    pub feasible: bool,
+    /// Energy of the schedule (objective 2a); meaningless if infeasible.
+    pub energy: f64,
+    /// Wall-clock search time in seconds.
+    pub seconds: f64,
+}
+
+/// Results of all schedulers on one test case.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CaseResult {
+    /// Suite-wide case id.
+    pub case_id: usize,
+    /// Deadline tightness of the case.
+    pub level: DeadlineLevel,
+    /// Number of jobs (1–4).
+    pub num_jobs: usize,
+    /// Per-scheduler outcomes, indexed by [`EXMEM`]/[`LR`]/[`MDF`].
+    pub schedulers: [SchedResult; 3],
+}
+
+/// Evaluates one case with every scheduler (validating each schedule).
+pub fn evaluate_case(case: &TestCase, platform: &Platform) -> CaseResult {
+    let jobs = case.to_job_set();
+    let schedulers: [SchedResult; 3] = std::array::from_fn(|idx| {
+        let mut scheduler = make_scheduler(idx);
+        let t0 = Instant::now();
+        let schedule = scheduler.schedule(&jobs, platform, 0.0);
+        let seconds = t0.elapsed().as_secs_f64();
+        match schedule {
+            Some(s) if s.validate(&jobs, platform, 0.0).is_ok() => SchedResult {
+                feasible: true,
+                energy: s.energy(&jobs),
+                seconds,
+            },
+            _ => SchedResult {
+                feasible: false,
+                energy: f64::NAN,
+                seconds,
+            },
+        }
+    });
+    CaseResult {
+        case_id: case.id,
+        level: case.level,
+        num_jobs: case.num_jobs(),
+        schedulers,
+    }
+}
+
+/// Evaluates a whole suite, fanning the cases out over `threads` OS
+/// threads.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn evaluate_suite(cases: &[TestCase], platform: &Platform, threads: usize) -> Vec<CaseResult> {
+    assert!(threads > 0, "need at least one worker thread");
+    if threads == 1 || cases.len() < 2 {
+        return cases.iter().map(|c| evaluate_case(c, platform)).collect();
+    }
+    let mut results: Vec<Option<CaseResult>> = vec![None; cases.len()];
+    let chunk = cases.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (case_chunk, out_chunk) in cases.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (case, slot) in case_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(evaluate_case(case, platform));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled by workers"))
+        .collect()
+}
+
+/// Scheduling success rate (%) per scheduler for a (level, #jobs) bucket —
+/// the bars of Fig. 2.
+pub fn scheduling_rate(
+    results: &[CaseResult],
+    level: DeadlineLevel,
+    num_jobs: usize,
+) -> Option<[f64; 3]> {
+    let bucket: Vec<&CaseResult> = results
+        .iter()
+        .filter(|r| r.level == level && r.num_jobs == num_jobs)
+        .collect();
+    if bucket.is_empty() {
+        return None;
+    }
+    Some(std::array::from_fn(|idx| {
+        let ok = bucket.iter().filter(|r| r.schedulers[idx].feasible).count();
+        100.0 * ok as f64 / bucket.len() as f64
+    }))
+}
+
+/// Relative energies vs EX-MEM for scheduler `idx` over a bucket (cases
+/// where both the scheduler and EX-MEM found a schedule) — the samples
+/// behind Table IV and Fig. 3.
+pub fn relative_energies(
+    results: &[CaseResult],
+    idx: usize,
+    level: Option<DeadlineLevel>,
+    num_jobs: Option<usize>,
+) -> Vec<f64> {
+    results
+        .iter()
+        .filter(|r| level.is_none_or(|l| r.level == l))
+        .filter(|r| num_jobs.is_none_or(|n| r.num_jobs == n))
+        .filter(|r| r.schedulers[idx].feasible && r.schedulers[EXMEM].feasible)
+        .map(|r| {
+            let rel = r.schedulers[idx].energy / r.schedulers[EXMEM].energy;
+            // Guard against heuristics occasionally *tying* the optimum
+            // within float noise: clamp to 1.0 from below.
+            rel.max(1.0)
+        })
+        .collect()
+}
+
+/// Search times (seconds) of scheduler `idx` over cases with `num_jobs`
+/// jobs — the samples behind Fig. 4.
+pub fn search_times(results: &[CaseResult], idx: usize, num_jobs: usize) -> Vec<f64> {
+    results
+        .iter()
+        .filter(|r| r.num_jobs == num_jobs)
+        .map(|r| r.schedulers[idx].seconds)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrm_workload::{generate_suite, scenarios, SuiteSpec};
+
+    fn small_suite() -> Vec<TestCase> {
+        let lib = vec![scenarios::lambda1(), scenarios::lambda2()];
+        let spec = SuiteSpec {
+            weak_counts: [2, 3, 2, 0],
+            tight_counts: [2, 3, 2, 0],
+            ..SuiteSpec::default()
+        };
+        generate_suite(&lib, &spec, 99)
+    }
+
+    #[test]
+    fn exmem_is_never_beaten() {
+        let platform = scenarios::platform();
+        let results = evaluate_suite(&small_suite(), &platform, 1);
+        for r in &results {
+            if r.schedulers[EXMEM].feasible {
+                for idx in [LR, MDF] {
+                    if r.schedulers[idx].feasible {
+                        assert!(
+                            r.schedulers[idx].energy >= r.schedulers[EXMEM].energy - 1e-6,
+                            "case {}: {} beat EX-MEM",
+                            r.case_id,
+                            scheduler_names()[idx]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exmem_schedules_whenever_heuristics_do() {
+        let platform = scenarios::platform();
+        let results = evaluate_suite(&small_suite(), &platform, 1);
+        for r in &results {
+            if r.schedulers[MDF].feasible || r.schedulers[LR].feasible {
+                assert!(
+                    r.schedulers[EXMEM].feasible,
+                    "case {}: EX-MEM missed a feasible case",
+                    r.case_id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_agree_on_feasibility() {
+        let platform = scenarios::platform();
+        let suite = small_suite();
+        let serial = evaluate_suite(&suite, &platform, 1);
+        let parallel = evaluate_suite(&suite, &platform, 4);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.case_id, b.case_id);
+            for idx in 0..3 {
+                assert_eq!(a.schedulers[idx].feasible, b.schedulers[idx].feasible);
+                if a.schedulers[idx].feasible {
+                    assert!((a.schedulers[idx].energy - b.schedulers[idx].energy).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_job_relative_energy_is_one() {
+        let platform = scenarios::platform();
+        let results = evaluate_suite(&small_suite(), &platform, 1);
+        for idx in [LR, MDF] {
+            for rel in relative_energies(
+                &results
+                    .iter()
+                    .filter(|r| r.num_jobs == 1)
+                    .cloned()
+                    .collect::<Vec<_>>(),
+                idx,
+                None,
+                Some(1),
+            ) {
+                assert!((rel - 1.0).abs() < 1e-6, "{idx}: rel {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn rates_are_percentages() {
+        let platform = scenarios::platform();
+        let results = evaluate_suite(&small_suite(), &platform, 2);
+        for level in [DeadlineLevel::Weak, DeadlineLevel::Tight] {
+            for jobs in 1..=3 {
+                if let Some(rates) = scheduling_rate(&results, level, jobs) {
+                    for r in rates {
+                        assert!((0.0..=100.0).contains(&r));
+                    }
+                }
+            }
+        }
+        assert!(scheduling_rate(&results, DeadlineLevel::Weak, 4).is_none());
+    }
+
+    #[test]
+    fn search_times_are_positive() {
+        let platform = scenarios::platform();
+        let results = evaluate_suite(&small_suite(), &platform, 1);
+        for idx in 0..3 {
+            for t in search_times(&results, idx, 2) {
+                assert!(t >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Energy-efficient runtime resource management with adaptive mapping
+//! segments — the core contribution of Khasanov & Castrillon, DATE 2020.
+//!
+//! The crate provides:
+//!
+//! * [`Scheduler`] — the algorithm abstraction shared with the baselines in
+//!   `amrm-baselines`;
+//! * [`MmkpMdf`] — the paper's fast MMKP heuristic with
+//!   Maximum-Difference-First job selection (Algorithm 1);
+//! * [`schedule_jobs`] — the EDF segment packer (Algorithm 2), exposed for
+//!   reuse and testing;
+//! * [`RuntimeManager`] — an online RM that admits requests, executes
+//!   adaptive schedules, meters energy and re-activates the scheduler.
+//!
+//! # Examples
+//!
+//! ```
+//! use amrm_core::{MmkpMdf, RuntimeManager};
+//! use amrm_workload::scenarios;
+//!
+//! // Scenario S2: a fixed mapper must reject σ2, the adaptive RM accepts.
+//! let mut rm = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+//! assert!(rm.submit(scenarios::lambda1(), 9.0).is_accepted());
+//! rm.advance_to(1.0);
+//! assert!(rm.submit(scenarios::lambda2(), 4.0).is_accepted());
+//! rm.run_to_completion();
+//! assert_eq!(rm.stats().deadline_misses, 0);
+//! ```
+
+mod manager;
+mod mdf;
+mod schedule_jobs;
+mod scheduler;
+mod variants;
+
+pub use crate::manager::{Admission, ReactivationPolicy, RmStats, RuntimeManager};
+pub use crate::mdf::MmkpMdf;
+pub use crate::schedule_jobs::schedule_jobs;
+pub use crate::scheduler::Scheduler;
+pub use crate::variants::{JobOrderPolicy, MmkpVariant};

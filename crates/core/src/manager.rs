@@ -1,0 +1,503 @@
+//! The runtime manager: admission control, progress tracking, energy
+//! metering, and scheduler re-activation.
+
+use amrm_model::{AppRef, Job, JobId, JobSet, Schedule, Segment};
+use amrm_platform::{Platform, EPS};
+
+use crate::Scheduler;
+
+/// Remaining-ratio threshold below which a job counts as finished.
+const RHO_DONE: f64 = 1e-9;
+
+/// When the runtime manager re-invokes its scheduler.
+///
+/// The paper's RM is activated "every time a request arrives"; re-activating
+/// at job completions as well lets fixed mappers pick fresh mappings when
+/// resources free up (the Fig. 1(b) behaviour) and is a cheap improvement
+/// for any scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReactivationPolicy {
+    /// Re-schedule only when a new request arrives (Fig. 1(a) for fixed
+    /// mappers; sufficient for adaptive schedules, which already plan the
+    /// whole horizon).
+    #[default]
+    OnArrival,
+    /// Additionally re-schedule whenever a job completes (Fig. 1(b)).
+    OnArrivalAndCompletion,
+}
+
+/// Outcome of submitting a request to the runtime manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The request was admitted; the job will meet its deadline.
+    Accepted {
+        /// Id assigned to the admitted job.
+        job: JobId,
+    },
+    /// No feasible schedule exists; the request is rejected and the
+    /// previously admitted jobs continue undisturbed.
+    Rejected {
+        /// Id that was tentatively assigned to the rejected request.
+        job: JobId,
+    },
+}
+
+impl Admission {
+    /// Returns `true` for [`Admission::Accepted`].
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Admission::Accepted { .. })
+    }
+
+    /// The job id assigned to the request (whether admitted or not).
+    pub fn job(&self) -> JobId {
+        match *self {
+            Admission::Accepted { job } | Admission::Rejected { job } => job,
+        }
+    }
+}
+
+/// Counters kept by the runtime manager.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RmStats {
+    /// Requests submitted.
+    pub submitted: usize,
+    /// Requests admitted.
+    pub accepted: usize,
+    /// Requests rejected.
+    pub rejected: usize,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+    /// Completed jobs that finished after their deadline (always 0 unless a
+    /// scheduler produced an invalid schedule).
+    pub deadline_misses: usize,
+}
+
+/// An online runtime manager for firm real-time multi-threaded applications.
+///
+/// Drive it with [`advance_to`](RuntimeManager::advance_to) and
+/// [`submit`](RuntimeManager::submit); it tracks job progress along the
+/// current adaptive schedule, meters consumed energy, removes completed
+/// jobs, and re-invokes the scheduling algorithm per its
+/// [`ReactivationPolicy`].
+///
+/// # Examples
+///
+/// Reproducing Fig. 1(c) end to end:
+///
+/// ```
+/// use amrm_core::{MmkpMdf, RuntimeManager};
+/// use amrm_workload::scenarios;
+///
+/// let mut rm = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+/// assert!(rm.submit(scenarios::lambda1(), 9.0).is_accepted());
+/// rm.advance_to(1.0);
+/// assert!(rm.submit(scenarios::lambda2(), 5.0).is_accepted());
+/// rm.run_to_completion();
+/// assert!((rm.total_energy() - 14.63).abs() < 5e-3);
+/// ```
+#[derive(Debug)]
+pub struct RuntimeManager<S> {
+    platform: Platform,
+    scheduler: S,
+    policy: ReactivationPolicy,
+    clock: f64,
+    next_id: u64,
+    active: Vec<ActiveJob>,
+    schedule: Schedule,
+    energy: f64,
+    stats: RmStats,
+    executed: Vec<Segment>,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveJob {
+    id: JobId,
+    app: AppRef,
+    arrival: f64,
+    deadline: f64,
+    remaining: f64,
+}
+
+impl ActiveJob {
+    fn as_job(&self) -> Job {
+        Job::new(
+            self.id,
+            AppRef::clone(&self.app),
+            self.arrival,
+            self.deadline,
+            self.remaining.max(RHO_DONE),
+        )
+    }
+}
+
+impl<S: Scheduler> RuntimeManager<S> {
+    /// Creates a runtime manager with the default
+    /// [`ReactivationPolicy::OnArrival`].
+    pub fn new(platform: Platform, scheduler: S) -> Self {
+        RuntimeManager::with_policy(platform, scheduler, ReactivationPolicy::default())
+    }
+
+    /// Creates a runtime manager with an explicit re-activation policy.
+    pub fn with_policy(platform: Platform, scheduler: S, policy: ReactivationPolicy) -> Self {
+        RuntimeManager {
+            platform,
+            scheduler,
+            policy,
+            clock: 0.0,
+            next_id: 1,
+            active: Vec::new(),
+            schedule: Schedule::new(),
+            energy: 0.0,
+            stats: RmStats::default(),
+            executed: Vec::new(),
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Total energy consumed by all (partially) executed jobs so far.
+    pub fn total_energy(&self) -> f64 {
+        self.energy
+    }
+
+    /// Admission and completion counters.
+    pub fn stats(&self) -> RmStats {
+        self.stats
+    }
+
+    /// The platform this manager runs on.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The scheduling algorithm's name.
+    pub fn scheduler_name(&self) -> &str {
+        self.scheduler.name()
+    }
+
+    /// Snapshot of the unfinished jobs, with progress advanced to
+    /// [`now`](RuntimeManager::now).
+    pub fn active_jobs(&self) -> JobSet {
+        self.active.iter().map(ActiveJob::as_job).collect()
+    }
+
+    /// The schedule currently being executed (covering `now` onwards; the
+    /// already-consumed prefix is retained for inspection).
+    pub fn current_schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Everything executed so far, as one contiguous trace of mapping
+    /// segments — exactly what Fig. 1 of the paper draws.
+    ///
+    /// Unlike [`current_schedule`](RuntimeManager::current_schedule), which
+    /// is replaced on every scheduler re-activation, the trace accumulates
+    /// the actually consumed portions of all successive schedules.
+    pub fn executed_trace(&self) -> Schedule {
+        Schedule::from_segments(self.executed.clone())
+    }
+
+    /// Submits a request for `app` with absolute deadline `deadline` at the
+    /// current time, and re-runs the scheduler over all unfinished jobs.
+    ///
+    /// On rejection the previous schedule continues untouched (the paper's
+    /// semantics: "otherwise the request is rejected").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is in the past.
+    pub fn submit(&mut self, app: AppRef, deadline: f64) -> Admission {
+        assert!(deadline >= self.clock, "deadline in the past");
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.stats.submitted += 1;
+
+        let candidate = ActiveJob {
+            id,
+            app,
+            arrival: self.clock,
+            deadline,
+            remaining: 1.0,
+        };
+        let jobs: JobSet = self
+            .active
+            .iter()
+            .chain(std::iter::once(&candidate))
+            .map(ActiveJob::as_job)
+            .collect();
+
+        match self.scheduler.schedule(&jobs, &self.platform, self.clock) {
+            Some(schedule) => {
+                debug_assert!(
+                    schedule.validate(&jobs, &self.platform, self.clock).is_ok(),
+                    "scheduler {} produced an invalid schedule: {:?}",
+                    self.scheduler.name(),
+                    schedule.validate(&jobs, &self.platform, self.clock)
+                );
+                self.schedule = schedule;
+                self.active.push(candidate);
+                self.stats.accepted += 1;
+                Admission::Accepted { job: id }
+            }
+            None => {
+                self.stats.rejected += 1;
+                Admission::Rejected { job: id }
+            }
+        }
+    }
+
+    /// Advances time to `t`, executing the current schedule: job progress
+    /// and energy are accounted, completed jobs are retired, and — under
+    /// [`ReactivationPolicy::OnArrivalAndCompletion`] — the scheduler is
+    /// re-invoked at every completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is before the current time.
+    pub fn advance_to(&mut self, t: f64) {
+        assert!(t >= self.clock - EPS, "cannot advance into the past");
+        loop {
+            self.reap_completed();
+            let next_completion = self
+                .active
+                .iter()
+                .filter_map(|job| self.completion_in_schedule(job))
+                .filter(|&tc| tc > self.clock + EPS)
+                .min_by(f64::total_cmp);
+            match next_completion {
+                Some(tc) if tc <= t + EPS => {
+                    self.consume(tc);
+                    let before = self.active.len();
+                    self.reap_completed();
+                    let completed_some = self.active.len() < before;
+                    if completed_some
+                        && self.policy == ReactivationPolicy::OnArrivalAndCompletion
+                        && !self.active.is_empty()
+                    {
+                        let jobs = self.active_jobs();
+                        if let Some(schedule) =
+                            self.scheduler.schedule(&jobs, &self.platform, self.clock)
+                        {
+                            debug_assert!(schedule
+                                .validate(&jobs, &self.platform, self.clock)
+                                .is_ok());
+                            self.schedule = schedule;
+                        }
+                    }
+                }
+                _ => {
+                    self.consume(t);
+                    self.reap_completed();
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Runs until every admitted job has completed; returns the total
+    /// energy consumed.
+    pub fn run_to_completion(&mut self) -> f64 {
+        while !self.active.is_empty() {
+            let Some(end) = self.schedule.end_time() else {
+                break; // no schedule covers the leftovers; nothing to do
+            };
+            if end <= self.clock + EPS {
+                break;
+            }
+            self.advance_to(end);
+        }
+        self.energy
+    }
+
+    /// Accounts execution on `[clock, t)` against the current schedule.
+    fn consume(&mut self, t: f64) {
+        if t <= self.clock {
+            return;
+        }
+        for seg in self.schedule.segments() {
+            let from = seg.start().max(self.clock);
+            let to = seg.end().min(t);
+            if to - from <= EPS {
+                continue;
+            }
+            let dur = to - from;
+            let mut consumed = Vec::new();
+            for mp in seg.mappings() {
+                if let Some(job) = self.active.iter_mut().find(|j| j.id == mp.job) {
+                    let p = job.app.point(mp.point);
+                    job.remaining -= dur / p.time();
+                    self.energy += p.energy() * dur / p.time();
+                    consumed.push(*mp);
+                }
+            }
+            if !consumed.is_empty() {
+                self.executed.push(Segment::new(from, to, consumed));
+            }
+        }
+        self.clock = t;
+    }
+
+    /// Removes finished jobs and updates counters.
+    fn reap_completed(&mut self) {
+        let clock = self.clock;
+        let stats = &mut self.stats;
+        self.active.retain(|job| {
+            if job.remaining <= RHO_DONE {
+                stats.completed += 1;
+                if clock > job.deadline + 1e-6 {
+                    stats.deadline_misses += 1;
+                }
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// The absolute time at which `job` completes under the current
+    /// schedule, or `None` if the schedule does not finish it.
+    fn completion_in_schedule(&self, job: &ActiveJob) -> Option<f64> {
+        let mut rho = job.remaining;
+        for seg in self.schedule.segments() {
+            if seg.end() <= self.clock + EPS {
+                continue;
+            }
+            let Some(mp) = seg.mapping_for(job.id) else {
+                continue;
+            };
+            let from = seg.start().max(self.clock);
+            let available = seg.end() - from;
+            let p = job.app.point(mp.point);
+            let needed = rho * p.time();
+            if needed <= available + EPS {
+                return Some(from + needed);
+            }
+            rho -= available / p.time();
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MmkpMdf;
+    use amrm_workload::scenarios;
+
+    #[test]
+    fn fig1c_end_to_end_energy() {
+        let mut rm = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+        assert!(rm.submit(scenarios::lambda1(), 9.0).is_accepted());
+        rm.advance_to(1.0);
+        assert!(rm.submit(scenarios::lambda2(), 5.0).is_accepted());
+        let total = rm.run_to_completion();
+        assert!((total - scenarios::fig1::ADAPTIVE_J).abs() < 5e-3, "got {total}");
+        let stats = rm.stats();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.deadline_misses, 0);
+    }
+
+    #[test]
+    fn s2_is_accepted_by_adaptive_mapper() {
+        let mut rm = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+        assert!(rm.submit(scenarios::lambda1(), 9.0).is_accepted());
+        rm.advance_to(1.0);
+        assert!(rm.submit(scenarios::lambda2(), 4.0).is_accepted());
+        let total = rm.run_to_completion();
+        assert!((total - scenarios::fig1::ADAPTIVE_J).abs() < 5e-3);
+    }
+
+    #[test]
+    fn rejection_preserves_running_jobs() {
+        let mut rm = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+        assert!(rm.submit(scenarios::lambda1(), 9.0).is_accepted());
+        rm.advance_to(1.0);
+        // Deadline 1.5 is impossible for λ2 (fastest point needs 2 s).
+        let admission = rm.submit(scenarios::lambda2(), 1.5);
+        assert!(!admission.is_accepted());
+        let total = rm.run_to_completion();
+        // σ1 alone on 2L1B: 8.9 J.
+        assert!((total - 8.9).abs() < 1e-6, "got {total}");
+        assert_eq!(rm.stats().rejected, 1);
+        assert_eq!(rm.stats().completed, 1);
+    }
+
+    #[test]
+    fn progress_is_tracked_partially() {
+        let mut rm = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+        rm.submit(scenarios::lambda1(), 9.0);
+        rm.advance_to(1.0);
+        let jobs = rm.active_jobs();
+        let job = jobs.jobs().first().unwrap();
+        assert!((job.remaining() - (1.0 - 1.0 / 5.3)).abs() < 1e-9);
+        assert!((rm.total_energy() - 8.9 / 5.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_without_jobs_is_a_noop() {
+        let mut rm = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+        rm.advance_to(5.0);
+        assert!((rm.now() - 5.0).abs() < 1e-12);
+        assert_eq!(rm.total_energy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline in the past")]
+    fn past_deadline_panics() {
+        let mut rm = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+        rm.advance_to(5.0);
+        rm.submit(scenarios::lambda1(), 4.0);
+    }
+
+    #[test]
+    fn completion_reactivation_reschedules() {
+        // With OnArrivalAndCompletion the manager re-invokes the scheduler
+        // when σ2 finishes; for MMKP-MDF the remaining schedule is
+        // re-derived and σ1 still completes on time.
+        let mut rm = RuntimeManager::with_policy(
+            scenarios::platform(),
+            MmkpMdf::new(),
+            ReactivationPolicy::OnArrivalAndCompletion,
+        );
+        rm.submit(scenarios::lambda1(), 9.0);
+        rm.advance_to(1.0);
+        rm.submit(scenarios::lambda2(), 5.0);
+        let total = rm.run_to_completion();
+        assert_eq!(rm.stats().completed, 2);
+        assert_eq!(rm.stats().deadline_misses, 0);
+        // Re-scheduling at completions can only help or match.
+        assert!(total <= scenarios::fig1::ADAPTIVE_J + 5e-3);
+    }
+
+    #[test]
+    fn executed_trace_accounts_all_energy() {
+        let mut rm = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+        rm.submit(scenarios::lambda1(), 9.0);
+        rm.advance_to(1.0);
+        rm.submit(scenarios::lambda2(), 5.0);
+        let total = rm.run_to_completion();
+        // The trace spans [0, 8.3) and its (2a) energy equals the metered
+        // total, because full executions have ρ = 1.
+        let trace = rm.executed_trace();
+        let all_jobs = amrm_model::JobSet::new(vec![
+            amrm_model::Job::new(JobId(1), scenarios::lambda1(), 0.0, 9.0, 1.0),
+            amrm_model::Job::new(JobId(2), scenarios::lambda2(), 1.0, 5.0, 1.0),
+        ]);
+        assert!((trace.energy(&all_jobs) - total).abs() < 1e-9);
+        assert!((trace.start_time().unwrap() - 0.0).abs() < 1e-12);
+        let rho1 = 1.0 - 1.0 / 5.3;
+        assert!((trace.end_time().unwrap() - (4.0 + 5.3 * rho1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let mut rm = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+        let a = rm.submit(scenarios::lambda2(), 50.0);
+        let b = rm.submit(scenarios::lambda2(), 60.0);
+        assert_eq!(a.job(), JobId(1));
+        assert_eq!(b.job(), JobId(2));
+    }
+}

@@ -1,0 +1,248 @@
+//! SCHEDULEJOBS — Algorithm 2 of the paper.
+//!
+//! Given one chosen configuration per job, this routine constructs a
+//! feasible segmented schedule (or reports failure). Jobs are placed in EDF
+//! order: each job first fills already-constructed segments (skipping those
+//! whose resources are exhausted — that is how *suspensions* arise), a
+//! segment is *split* when the job completes inside it, and any remaining
+//! work is appended as new segments at the tail.
+
+use std::collections::HashMap;
+
+use amrm_model::{JobId, JobMapping, JobSet, Schedule, Segment};
+use amrm_platform::{Platform, EPS};
+
+/// Remaining-ratio threshold below which a job counts as finished while
+/// packing. Far below [`amrm_model::PROGRESS_TOL`], so packed schedules
+/// always validate.
+const RHO_EPS: f64 = 1e-12;
+
+/// Builds a feasible schedule for the jobs that have an assigned
+/// configuration in `configs` (Algorithm 2).
+///
+/// Jobs of `jobs` without an entry in `configs` are ignored — Algorithm 1
+/// calls this with a growing partial assignment.
+///
+/// Returns `None` if some job misses its deadline under this assignment
+/// (line 23 of the paper's listing).
+///
+/// # Examples
+///
+/// Packing the two motivational jobs with both on their `2L1B` points
+/// yields the adaptive schedule of Fig. 1(c): σ2 runs `[1, 4)`, σ1 is
+/// suspended and resumes on `[4, 8.3)`.
+///
+/// ```
+/// use std::collections::HashMap;
+/// use amrm_core::schedule_jobs;
+/// use amrm_model::JobId;
+/// use amrm_workload::scenarios;
+///
+/// let jobs = scenarios::s1_jobs_at_t1();
+/// let configs = HashMap::from([(JobId(1), 6), (JobId(2), 6)]); // both 2L1B
+/// let schedule = schedule_jobs(&jobs, &configs, &scenarios::platform(), 1.0).unwrap();
+/// assert_eq!(schedule.num_segments(), 2);
+/// assert!((schedule.segments()[0].end() - 4.0).abs() < 1e-9);
+/// ```
+pub fn schedule_jobs(
+    jobs: &JobSet,
+    configs: &HashMap<JobId, usize>,
+    platform: &Platform,
+    now: f64,
+) -> Option<Schedule> {
+    let m = platform.num_types();
+    let mut schedule = Schedule::new();
+    // te: end of the last appended segment (line 1).
+    let mut te = now;
+
+    for id in jobs.ids_by_deadline() {
+        let Some(&point_idx) = configs.get(&id) else {
+            continue;
+        };
+        let job = jobs.get(id).expect("id comes from the job set");
+        let point = job.point(point_idx);
+        let mut rho = job.remaining();
+        // tf: completion time of this job (for the deadline check, line 23).
+        let mut tf = now;
+
+        // Lines 5–18: fill existing segments in time order.
+        let mut si = 0;
+        while si < schedule.num_segments() && rho > RHO_EPS {
+            let seg = &schedule.segments()[si];
+            let used = seg.demand(jobs, m);
+            if !(point.resources() + &used).fits_within(platform.counts()) {
+                si += 1;
+                continue; // suspended during this segment (line 7)
+            }
+            let r = point.time() * rho; // remaining runtime (line 8)
+            let dur = seg.duration();
+            if r >= dur - EPS {
+                // Runs for the whole segment (lines 10–11).
+                schedule.add_mapping_to(si, JobMapping::new(id, point_idx));
+                rho = (rho - dur / point.time()).max(0.0);
+                if rho <= RHO_EPS {
+                    rho = 0.0;
+                    tf = schedule.segments()[si].end(); // line 18
+                }
+            } else {
+                // Completes mid-segment: split it (lines 13–17).
+                let at = seg.start() + r;
+                schedule.split_segment(si, at);
+                schedule.add_mapping_to(si, JobMapping::new(id, point_idx));
+                rho = 0.0;
+                tf = schedule.segments()[si].end();
+            }
+            si += 1;
+        }
+
+        // Lines 19–22: leftover work goes into a fresh tail segment.
+        if rho > RHO_EPS {
+            let r = point.time() * rho;
+            let seg = Segment::new(te, te + r, vec![JobMapping::new(id, point_idx)]);
+            schedule.push(seg);
+            te += r;
+            tf = te;
+        }
+        // Keep te at the schedule tail even when the job fit entirely into
+        // existing segments created by earlier (EDF-earlier) jobs.
+        if let Some(end) = schedule.end_time() {
+            te = te.max(end);
+        }
+
+        // Line 23: firm deadline check.
+        if tf > job.deadline() + EPS {
+            return None;
+        }
+    }
+    Some(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrm_model::{Application, Job, OperatingPoint};
+    use amrm_platform::ResourceVec;
+    use amrm_workload::scenarios;
+
+    fn cfg(pairs: &[(u64, usize)]) -> HashMap<JobId, usize> {
+        pairs.iter().map(|&(id, j)| (JobId(id), j)).collect()
+    }
+
+    #[test]
+    fn reproduces_fig1c_packing() {
+        let jobs = scenarios::s1_jobs_at_t1();
+        // Index 6 is the 2L1B row in both Table II fixtures.
+        let schedule =
+            schedule_jobs(&jobs, &cfg(&[(1, 6), (2, 6)]), &scenarios::platform(), 1.0).unwrap();
+        schedule
+            .validate(&jobs, &scenarios::platform(), 1.0)
+            .unwrap();
+        assert_eq!(schedule.num_segments(), 2);
+        // σ2 (EDF-first) on [1, 4); σ1 suspended, then [4, 4 + 5.3·ρ1).
+        let s0 = &schedule.segments()[0];
+        assert!((s0.start() - 1.0).abs() < 1e-9 && (s0.end() - 4.0).abs() < 1e-9);
+        assert!(s0.contains_job(JobId(2)) && !s0.contains_job(JobId(1)));
+        let s1 = &schedule.segments()[1];
+        let rho1 = 1.0 - 1.0 / 5.3;
+        assert!((s1.end() - (4.0 + 5.3 * rho1)).abs() < 1e-9);
+        assert!(s1.contains_job(JobId(1)) && !s1.contains_job(JobId(2)));
+        // Energy of the remaining work: 5.73 + 8.9·ρ1 ≈ 12.951 J.
+        assert!((schedule.energy(&jobs) - (5.73 + 8.9 * rho1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_jobs_share_a_segment_when_resources_allow() {
+        let jobs = scenarios::s1_jobs_at_t1();
+        // σ1 on 1L1B (idx 4), σ2 on 1L1B (idx 4): 2L2B total — fits 2L2B.
+        let schedule =
+            schedule_jobs(&jobs, &cfg(&[(1, 4), (2, 4)]), &scenarios::platform(), 1.0).unwrap();
+        schedule
+            .validate(&jobs, &scenarios::platform(), 1.0)
+            .unwrap();
+        // σ2 finishes at 4.5; σ1 runs in parallel and continues till 7.57.
+        assert!((schedule.completion_time(JobId(2)).unwrap() - 4.5).abs() < 1e-9);
+        let rho1 = 1.0 - 1.0 / 5.3;
+        assert!(
+            (schedule.completion_time(JobId(1)).unwrap() - (1.0 + 8.1 * rho1)).abs() < 1e-9
+        );
+        // First segment hosts both jobs (σ1 is split off when σ2 finishes).
+        assert!(schedule.segments()[0].contains_job(JobId(1)));
+        assert!(schedule.segments()[0].contains_job(JobId(2)));
+    }
+
+    #[test]
+    fn deadline_violation_returns_none() {
+        let jobs = scenarios::s2_jobs_at_t1();
+        // σ2 on 1L1B takes 3.5 s from t = 1 → misses deadline 4.
+        assert!(schedule_jobs(&jobs, &cfg(&[(2, 4)]), &scenarios::platform(), 1.0).is_none());
+    }
+
+    #[test]
+    fn jobs_without_config_are_ignored() {
+        let jobs = scenarios::s1_jobs_at_t1();
+        let schedule =
+            schedule_jobs(&jobs, &cfg(&[(2, 6)]), &scenarios::platform(), 1.0).unwrap();
+        assert!(schedule.completion_time(JobId(1)).is_none());
+        assert!(schedule.completion_time(JobId(2)).is_some());
+    }
+
+    #[test]
+    fn empty_config_map_gives_empty_schedule() {
+        let jobs = scenarios::s1_jobs_at_t1();
+        let schedule = schedule_jobs(&jobs, &cfg(&[]), &scenarios::platform(), 1.0).unwrap();
+        assert!(schedule.is_empty());
+    }
+
+    #[test]
+    fn split_happens_when_later_job_finishes_first() {
+        // EDF-first job is long; the second job finishes mid-segment and
+        // forces a split of the first job's segment.
+        let app = Application::shared(
+            "a",
+            vec![
+                OperatingPoint::new(ResourceVec::from_slice(&[1, 0]), 10.0, 5.0),
+                OperatingPoint::new(ResourceVec::from_slice(&[1, 0]), 4.0, 4.0),
+            ],
+        );
+        let jobs = JobSet::new(vec![
+            Job::new(JobId(1), app.clone(), 0.0, 10.0, 1.0),
+            Job::new(JobId(2), app, 0.0, 20.0, 1.0),
+        ]);
+        let platform = amrm_platform::Platform::motivational_2l2b();
+        let schedule = schedule_jobs(&jobs, &cfg(&[(1, 0), (2, 1)]), &platform, 0.0).unwrap();
+        schedule.validate(&jobs, &platform, 0.0).unwrap();
+        // Job 2 (deadline 20) is packed second, finishes at 4 → split at 4.
+        assert_eq!(schedule.num_segments(), 2);
+        assert!((schedule.segments()[0].end() - 4.0).abs() < 1e-9);
+        assert!(schedule.segments()[0].contains_job(JobId(2)));
+        assert!(schedule.segments()[1].contains_job(JobId(1)));
+        assert!(!schedule.segments()[1].contains_job(JobId(2)));
+    }
+
+    #[test]
+    fn zero_length_tail_is_not_created() {
+        // A job that exactly fills existing segments must not append an
+        // empty segment.
+        let app = Application::shared(
+            "a",
+            vec![OperatingPoint::new(ResourceVec::from_slice(&[1, 0]), 4.0, 4.0)],
+        );
+        let jobs = JobSet::new(vec![
+            Job::new(JobId(1), app.clone(), 0.0, 10.0, 1.0),
+            Job::new(JobId(2), app, 0.0, 20.0, 1.0),
+        ]);
+        let platform = amrm_platform::Platform::motivational_2l2b();
+        let schedule = schedule_jobs(&jobs, &cfg(&[(1, 0), (2, 0)]), &platform, 0.0).unwrap();
+        assert_eq!(schedule.num_segments(), 1);
+        assert!((schedule.segments()[0].duration() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn earlier_deadline_job_goes_first_even_if_listed_later() {
+        let jobs = scenarios::s1_jobs_at_t1(); // σ2 deadline 5 < σ1 deadline 9
+        let schedule =
+            schedule_jobs(&jobs, &cfg(&[(1, 6), (2, 6)]), &scenarios::platform(), 1.0).unwrap();
+        // σ2 occupies the first segment despite σ1 being listed first.
+        assert!(schedule.segments()[0].contains_job(JobId(2)));
+    }
+}

@@ -1,0 +1,62 @@
+//! The scheduler abstraction shared by MMKP-MDF and all baselines.
+
+use amrm_model::{JobSet, Schedule};
+use amrm_platform::Platform;
+
+/// A runtime-manager scheduling algorithm.
+///
+/// At every RM activation (time `now`) the scheduler receives the full set
+/// of unfinished jobs `Σ` — progress ratios already advanced to `now` — and
+/// either produces a feasible adaptive [`Schedule`] covering the remaining
+/// execution of *all* jobs, or reports that no feasible schedule exists
+/// (in which case the RM rejects the newly arrived request and keeps the
+/// previous schedule).
+///
+/// Implementations take `&mut self` so they may keep internal caches
+/// (EX-MEM's memoization table) or tuning state across activations.
+pub trait Scheduler {
+    /// A short human-readable algorithm name (e.g. `"MMKP-MDF"`).
+    fn name(&self) -> &str;
+
+    /// Attempts to build a feasible minimum-energy schedule for `jobs` on
+    /// `platform` starting at time `now`.
+    ///
+    /// Returns `None` if the algorithm cannot find a feasible schedule —
+    /// the paper's `return ∅`.
+    fn schedule(&mut self, jobs: &JobSet, platform: &Platform, now: f64) -> Option<Schedule>;
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn schedule(&mut self, jobs: &JobSet, platform: &Platform, now: f64) -> Option<Schedule> {
+        (**self).schedule(jobs, platform, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+
+    impl Scheduler for Dummy {
+        fn name(&self) -> &str {
+            "dummy"
+        }
+
+        fn schedule(&mut self, _: &JobSet, _: &Platform, _: f64) -> Option<Schedule> {
+            Some(Schedule::new())
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_boxable() {
+        let mut boxed: Box<dyn Scheduler> = Box::new(Dummy);
+        assert_eq!(boxed.name(), "dummy");
+        let s = boxed.schedule(&JobSet::default(), &Platform::homogeneous(1), 0.0);
+        assert!(s.is_some());
+    }
+}

@@ -1,0 +1,293 @@
+//! Dataflow process networks.
+//!
+//! The paper's applications are KPN-style dataflow programs ("in which each
+//! thread performs computations during the whole execution of the
+//! application"). We model them as graphs of processes connected by FIFO
+//! channels; one *iteration* fires every process once.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a process within one [`DataflowGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProcessId(pub usize);
+
+/// A dataflow process: a named computation with a per-iteration workload in
+/// baseline cycles (cycles on a reference core with IPC factor 1.0).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Process {
+    name: String,
+    work_cycles: f64,
+}
+
+impl Process {
+    /// The process name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Baseline cycles consumed per firing.
+    pub fn work_cycles(&self) -> f64 {
+        self.work_cycles
+    }
+}
+
+/// A FIFO channel between two processes carrying `bytes` per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Channel {
+    /// Producing process.
+    pub src: ProcessId,
+    /// Consuming process.
+    pub dst: ProcessId,
+    /// Bytes transferred per iteration.
+    pub bytes: f64,
+}
+
+/// A dataflow application graph.
+///
+/// The graph must be acyclic (self-timed execution of one iteration follows
+/// topological order; pipelining across iterations is handled by the
+/// simulator).
+///
+/// # Examples
+///
+/// ```
+/// use amrm_dataflow::DataflowGraph;
+///
+/// let mut g = DataflowGraph::new("pipeline");
+/// let a = g.add_process("src", 1.0e9);
+/// let b = g.add_process("sink", 2.0e9);
+/// g.connect(a, b, 64.0 * 1024.0);
+/// assert_eq!(g.num_processes(), 2);
+/// assert!(g.topological_order().is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataflowGraph {
+    name: String,
+    processes: Vec<Process>,
+    channels: Vec<Channel>,
+}
+
+impl DataflowGraph {
+    /// Creates an empty graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        DataflowGraph {
+            name: name.into(),
+            processes: Vec::new(),
+            channels: Vec::new(),
+        }
+    }
+
+    /// The application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the graph (used for input-size variants).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Adds a process with the given per-iteration workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work_cycles` is not strictly positive.
+    pub fn add_process(&mut self, name: impl Into<String>, work_cycles: f64) -> ProcessId {
+        assert!(work_cycles > 0.0, "process workload must be positive");
+        self.processes.push(Process {
+            name: name.into(),
+            work_cycles,
+        });
+        ProcessId(self.processes.len() - 1)
+    }
+
+    /// Adds a channel carrying `bytes` per iteration from `src` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint does not exist, on self-loops, or if
+    /// `bytes` is negative.
+    pub fn connect(&mut self, src: ProcessId, dst: ProcessId, bytes: f64) {
+        assert!(src.0 < self.processes.len(), "unknown source process");
+        assert!(dst.0 < self.processes.len(), "unknown destination process");
+        assert!(src != dst, "self-loop channels are not allowed");
+        assert!(bytes >= 0.0, "channel payload must be non-negative");
+        self.channels.push(Channel { src, dst, bytes });
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// The processes, indexable by [`ProcessId`].
+    pub fn processes(&self) -> &[Process] {
+        &self.processes
+    }
+
+    /// The channels.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Incoming channels of `p`.
+    pub fn predecessors(&self, p: ProcessId) -> impl Iterator<Item = &Channel> {
+        self.channels.iter().filter(move |c| c.dst == p)
+    }
+
+    /// Total baseline cycles of one iteration.
+    pub fn total_work(&self) -> f64 {
+        self.processes.iter().map(Process::work_cycles).sum()
+    }
+
+    /// A topological order of the processes, or `None` if the graph has a
+    /// cycle.
+    pub fn topological_order(&self) -> Option<Vec<ProcessId>> {
+        let n = self.processes.len();
+        let mut indegree = vec![0usize; n];
+        for c in &self.channels {
+            indegree[c.dst.0] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            order.push(ProcessId(i));
+            for c in &self.channels {
+                if c.src.0 == i {
+                    indegree[c.dst.0] -= 1;
+                    if indegree[c.dst.0] == 0 {
+                        queue.push(c.dst.0);
+                    }
+                }
+            }
+        }
+        (order.len() == n).then(|| {
+            order.sort_by_key(|p| topo_rank(self, *p));
+            order
+        })
+    }
+
+    /// Returns a copy with all workloads and payloads scaled by `factor`
+    /// (modelling a different input size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    pub fn scaled(&self, factor: f64) -> DataflowGraph {
+        assert!(factor > 0.0, "scale factor must be positive");
+        DataflowGraph {
+            name: self.name.clone(),
+            processes: self
+                .processes
+                .iter()
+                .map(|p| Process {
+                    name: p.name.clone(),
+                    work_cycles: p.work_cycles * factor,
+                })
+                .collect(),
+            channels: self
+                .channels
+                .iter()
+                .map(|c| Channel {
+                    src: c.src,
+                    dst: c.dst,
+                    bytes: c.bytes * factor,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Longest-path rank used to produce a stable topological order.
+fn topo_rank(g: &DataflowGraph, p: ProcessId) -> usize {
+    fn rank(g: &DataflowGraph, p: ProcessId, memo: &mut [Option<usize>]) -> usize {
+        if let Some(r) = memo[p.0] {
+            return r;
+        }
+        let r = g
+            .predecessors(p)
+            .map(|c| rank(g, c.src, memo) + 1)
+            .max()
+            .unwrap_or(0);
+        memo[p.0] = Some(r);
+        r
+    }
+    let mut memo = vec![None; g.num_processes()];
+    rank(g, p, &mut memo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DataflowGraph {
+        let mut g = DataflowGraph::new("diamond");
+        let a = g.add_process("a", 1.0e9);
+        let b = g.add_process("b", 2.0e9);
+        let c = g.add_process("c", 2.0e9);
+        let d = g.add_process("d", 1.0e9);
+        g.connect(a, b, 1024.0);
+        g.connect(a, c, 1024.0);
+        g.connect(b, d, 512.0);
+        g.connect(c, d, 512.0);
+        g
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = diamond();
+        let order = g.topological_order().unwrap();
+        let pos = |p: ProcessId| order.iter().position(|&q| q == p).unwrap();
+        for c in g.channels() {
+            assert!(pos(c.src) < pos(c.dst), "{:?} before {:?}", c.src, c.dst);
+        }
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut g = DataflowGraph::new("cyclic");
+        let a = g.add_process("a", 1.0e9);
+        let b = g.add_process("b", 1.0e9);
+        g.connect(a, b, 1.0);
+        g.connect(b, a, 1.0);
+        assert!(g.topological_order().is_none());
+    }
+
+    #[test]
+    fn scaled_multiplies_work_and_bytes() {
+        let g = diamond().scaled(2.0);
+        assert!((g.total_work() - 12.0e9).abs() < 1.0);
+        assert!((g.channels()[0].bytes - 2048.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut g = DataflowGraph::new("bad");
+        let a = g.add_process("a", 1.0e9);
+        g.connect(a, a, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "workload must be positive")]
+    fn zero_work_rejected() {
+        let mut g = DataflowGraph::new("bad");
+        g.add_process("a", 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown destination")]
+    fn dangling_edge_rejected() {
+        let mut g = DataflowGraph::new("bad");
+        let a = g.add_process("a", 1.0e9);
+        g.connect(a, ProcessId(7), 1.0);
+    }
+
+    #[test]
+    fn predecessors_lists_incoming_edges() {
+        let g = diamond();
+        let preds: Vec<_> = g.predecessors(ProcessId(3)).map(|c| c.src).collect();
+        assert_eq!(preds.len(), 2);
+        assert!(preds.contains(&ProcessId(1)) && preds.contains(&ProcessId(2)));
+    }
+}

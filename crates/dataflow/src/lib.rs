@@ -1,0 +1,42 @@
+//! Dataflow application substrate: the design-time side of the paper.
+//!
+//! The paper characterizes real dataflow applications by exhaustively
+//! benchmarking them on an Odroid XU4. That hardware loop is replaced here
+//! by a simulation substrate:
+//!
+//! * [`DataflowGraph`] — KPN-style process networks;
+//! * [`simulate`] — self-timed, list-scheduled execution on a core
+//!   allocation with an active/idle energy model;
+//! * [`place`] — LPT process placement;
+//! * [`characterize`] — allocation sweep + Pareto filter producing the
+//!   operating-point tables (`⟨θ, τ, ξ⟩`) the runtime manager consumes;
+//! * [`apps`] — the paper's three benchmark applications (speaker
+//!   recognition, audio filter, pedestrian recognition) with matching
+//!   process counts and topology.
+//!
+//! # Examples
+//!
+//! ```
+//! use amrm_dataflow::{apps, characterize, CharacterizeConfig};
+//! use amrm_platform::Platform;
+//!
+//! let app = characterize(
+//!     &apps::pedestrian_recognition(),
+//!     &Platform::odroid_xu4(),
+//!     &CharacterizeConfig::default(),
+//! );
+//! assert!(app.is_pareto_filtered());
+//! ```
+
+pub mod apps;
+mod characterize;
+mod dvfs;
+mod graph;
+mod simulate;
+
+pub use crate::characterize::{all_allocations, characterize, CharacterizeConfig};
+pub use crate::dvfs::{characterize_dvfs, frequency_variants, odroid_xu4_dvfs};
+pub use crate::graph::{Channel, DataflowGraph, Process, ProcessId};
+pub use crate::simulate::{
+    expand_cores, place, simulate, simulate_with_placement, SimConfig, SimResult,
+};

@@ -1,0 +1,22 @@
+//! Evaluation metrics and text reporting for the amrm workspace.
+//!
+//! Provides the statistics behind the paper's evaluation artifacts —
+//! geometric means (Table IV), S-curves (Fig. 3), box plots (Fig. 4) — and
+//! a small aligned-text table renderer for the regeneration harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use amrm_metrics::{geometric_mean, BoxplotStats, SCurve};
+//!
+//! let rel = [1.0, 1.05, 1.2];
+//! assert!(geometric_mean(&rel).unwrap() < 1.1);
+//! assert_eq!(SCurve::new(rel.to_vec()).count_at_or_below(1.0), 1);
+//! assert!(BoxplotStats::from_samples(&rel).unwrap().median > 1.0);
+//! ```
+
+mod stats;
+mod table;
+
+pub use crate::stats::{geometric_mean, mean, quantile_sorted, BoxplotStats, SCurve};
+pub use crate::table::TextTable;

@@ -1,0 +1,103 @@
+//! Minimal aligned text tables for the experiment reports.
+
+/// A column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use amrm_metrics::TextTable;
+///
+/// let mut t = TextTable::new(vec!["# Jobs", "Weak", "Tight"]);
+/// t.add_row(vec!["1".into(), "1.0000".into(), "1.0000".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("# Jobs"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>w$}", w = w)?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a", "bbbb"]);
+        t.add_row(vec!["123".into(), "1".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains('a') && lines[0].contains("bbbb"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert_eq!(lines[1].len(), lines[0].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_rejected() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.add_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn counts_rows() {
+        let mut t = TextTable::new(vec!["x"]);
+        assert_eq!(t.num_rows(), 0);
+        t.add_row(vec!["1".into()]);
+        assert_eq!(t.num_rows(), 1);
+    }
+}

@@ -1,0 +1,250 @@
+//! Schedule analysis: quantifying what adaptivity buys.
+//!
+//! The paper argues for mapping segments via energy alone; these helpers
+//! expose the mechanics — how often jobs are reconfigured or suspended,
+//! how well cores are utilized — which the ablation reports use to explain
+//! *why* the adaptive schedules win.
+
+use amrm_platform::Platform;
+use serde::{Deserialize, Serialize};
+
+use crate::{JobId, JobSet, Schedule};
+
+/// Per-job behavioural counters extracted from a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobBehaviour {
+    /// The job.
+    pub job: JobId,
+    /// Number of segments the job runs in.
+    pub segments: usize,
+    /// Times the job switches operating points between its consecutive
+    /// running segments.
+    pub reconfigurations: usize,
+    /// Times the job is suspended (a gap between two running segments, or
+    /// between schedule start and its first running segment after its
+    /// arrival).
+    pub suspensions: usize,
+    /// Total time the job spends running.
+    pub running_time: f64,
+    /// Completion time, if the job finishes in this schedule.
+    pub completion: Option<f64>,
+}
+
+/// Whole-schedule statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Per-job counters in job-set order.
+    pub jobs: Vec<JobBehaviour>,
+    /// Average number of busy cores over the schedule span.
+    pub avg_busy_cores: f64,
+    /// Peak number of busy cores in any segment.
+    pub peak_busy_cores: u32,
+    /// Core-utilization per resource type: busy core-seconds over
+    /// available core-seconds within the schedule span.
+    pub utilization: Vec<f64>,
+    /// Total schedule span (last end − first start), 0 for empty.
+    pub span: f64,
+}
+
+impl ScheduleStats {
+    /// Total reconfigurations across all jobs.
+    pub fn total_reconfigurations(&self) -> usize {
+        self.jobs.iter().map(|j| j.reconfigurations).sum()
+    }
+
+    /// Total suspensions across all jobs.
+    pub fn total_suspensions(&self) -> usize {
+        self.jobs.iter().map(|j| j.suspensions).sum()
+    }
+}
+
+/// Computes behavioural statistics of `schedule` for `jobs` on `platform`.
+///
+/// # Examples
+///
+/// In the Fig. 1(c) schedule σ1 is suspended once and never reconfigured:
+///
+/// ```
+/// use amrm_model::{analyze_schedule, Application, Job, JobId, JobMapping, JobSet,
+///                  OperatingPoint, Schedule, Segment};
+/// use amrm_platform::{Platform, ResourceVec};
+///
+/// let app = Application::shared(
+///     "λ1",
+///     vec![OperatingPoint::new(ResourceVec::from_slice(&[2, 1]), 5.3, 8.9)],
+/// );
+/// let jobs = JobSet::new(vec![Job::new(JobId(1), app, 0.0, 9.0, 0.8113)]);
+/// let mut s = Schedule::new();
+/// s.push(Segment::new(1.0, 4.0, vec![]));
+/// s.push(Segment::new(4.0, 8.3, vec![JobMapping::new(JobId(1), 0)]));
+/// let stats = analyze_schedule(&s, &jobs, &Platform::motivational_2l2b());
+/// assert_eq!(stats.jobs[0].suspensions, 1);
+/// assert_eq!(stats.jobs[0].reconfigurations, 0);
+/// ```
+pub fn analyze_schedule(schedule: &Schedule, jobs: &JobSet, platform: &Platform) -> ScheduleStats {
+    let m = platform.num_types();
+    let span = match (schedule.start_time(), schedule.end_time()) {
+        (Some(a), Some(b)) => b - a,
+        _ => 0.0,
+    };
+
+    let mut per_job = Vec::with_capacity(jobs.len());
+    for job in jobs.iter() {
+        let mut segments = 0usize;
+        let mut reconfigurations = 0usize;
+        let mut suspensions = 0usize;
+        let mut running_time = 0.0;
+        let mut last_point: Option<usize> = None;
+        let mut last_end: Option<f64> = None;
+        for seg in schedule.segments() {
+            let Some(mp) = seg.mapping_for(job.id()) else {
+                continue;
+            };
+            segments += 1;
+            running_time += seg.duration();
+            if let Some(p) = last_point {
+                if p != mp.point {
+                    reconfigurations += 1;
+                }
+            }
+            match last_end {
+                Some(end) if seg.start() > end + amrm_platform::EPS => suspensions += 1,
+                None => {
+                    // Gap between the job becoming available and first run.
+                    let avail = job.arrival().max(schedule.start_time().unwrap_or(0.0));
+                    if seg.start() > avail + amrm_platform::EPS {
+                        suspensions += 1;
+                    }
+                }
+                _ => {}
+            }
+            last_point = Some(mp.point);
+            last_end = Some(seg.end());
+        }
+        per_job.push(JobBehaviour {
+            job: job.id(),
+            segments,
+            reconfigurations,
+            suspensions,
+            running_time,
+            completion: schedule.completion_time(job.id()),
+        });
+    }
+
+    let mut busy_core_seconds = vec![0.0f64; m];
+    let mut peak = 0u32;
+    let mut busy_integral = 0.0;
+    for seg in schedule.segments() {
+        let demand = seg.demand(jobs, m);
+        peak = peak.max(demand.total());
+        busy_integral += f64::from(demand.total()) * seg.duration();
+        for k in 0..m {
+            busy_core_seconds[k] += f64::from(demand[k]) * seg.duration();
+        }
+    }
+    let utilization = (0..m)
+        .map(|k| {
+            if span > 0.0 {
+                busy_core_seconds[k] / (f64::from(platform.counts()[k]) * span)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+
+    ScheduleStats {
+        jobs: per_job,
+        avg_busy_cores: if span > 0.0 { busy_integral / span } else { 0.0 },
+        peak_busy_cores: peak,
+        utilization,
+        span,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Application, Job, JobMapping, OperatingPoint, Segment};
+    use amrm_platform::ResourceVec;
+
+    fn two_point_app() -> crate::AppRef {
+        Application::shared(
+            "app",
+            vec![
+                OperatingPoint::new(ResourceVec::from_slice(&[2, 1]), 5.3, 8.9),
+                OperatingPoint::new(ResourceVec::from_slice(&[1, 1]), 8.1, 10.9),
+            ],
+        )
+    }
+
+    #[test]
+    fn reconfiguration_is_counted() {
+        let jobs = JobSet::new(vec![Job::new(JobId(1), two_point_app(), 0.0, 20.0, 1.0)]);
+        let mut s = Schedule::new();
+        s.push(Segment::new(0.0, 2.65, vec![JobMapping::new(JobId(1), 0)]));
+        s.push(Segment::new(2.65, 6.7, vec![JobMapping::new(JobId(1), 1)]));
+        let stats = analyze_schedule(&s, &jobs, &Platform::motivational_2l2b());
+        assert_eq!(stats.jobs[0].reconfigurations, 1);
+        assert_eq!(stats.jobs[0].segments, 2);
+        assert_eq!(stats.jobs[0].suspensions, 0);
+    }
+
+    #[test]
+    fn suspension_gap_is_counted() {
+        let jobs = JobSet::new(vec![Job::new(JobId(1), two_point_app(), 0.0, 30.0, 1.0)]);
+        let mut s = Schedule::new();
+        s.push(Segment::new(0.0, 2.0, vec![JobMapping::new(JobId(1), 0)]));
+        s.push(Segment::new(2.0, 5.0, vec![]));
+        s.push(Segment::new(5.0, 8.0, vec![JobMapping::new(JobId(1), 0)]));
+        let stats = analyze_schedule(&s, &jobs, &Platform::motivational_2l2b());
+        assert_eq!(stats.jobs[0].suspensions, 1);
+        assert_eq!(stats.jobs[0].reconfigurations, 0);
+    }
+
+    #[test]
+    fn initial_delay_counts_as_suspension() {
+        let jobs = JobSet::new(vec![Job::new(JobId(1), two_point_app(), 0.0, 30.0, 1.0)]);
+        let mut s = Schedule::new();
+        s.push(Segment::new(0.0, 3.0, vec![]));
+        s.push(Segment::new(3.0, 8.3, vec![JobMapping::new(JobId(1), 0)]));
+        let stats = analyze_schedule(&s, &jobs, &Platform::motivational_2l2b());
+        assert_eq!(stats.jobs[0].suspensions, 1);
+    }
+
+    #[test]
+    fn utilization_and_peaks() {
+        let jobs = JobSet::new(vec![Job::new(JobId(1), two_point_app(), 0.0, 20.0, 1.0)]);
+        let mut s = Schedule::new();
+        // 2L1B busy for the whole span on a 2L2B platform.
+        s.push(Segment::new(0.0, 5.3, vec![JobMapping::new(JobId(1), 0)]));
+        let stats = analyze_schedule(&s, &jobs, &Platform::motivational_2l2b());
+        assert_eq!(stats.peak_busy_cores, 3);
+        assert!((stats.avg_busy_cores - 3.0).abs() < 1e-9);
+        assert!((stats.utilization[0] - 1.0).abs() < 1e-9); // both little busy
+        assert!((stats.utilization[1] - 0.5).abs() < 1e-9); // 1 of 2 big busy
+        assert!((stats.span - 5.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_schedule_has_zero_stats() {
+        let stats = analyze_schedule(
+            &Schedule::new(),
+            &JobSet::default(),
+            &Platform::motivational_2l2b(),
+        );
+        assert_eq!(stats.total_reconfigurations(), 0);
+        assert_eq!(stats.peak_busy_cores, 0);
+        assert_eq!(stats.span, 0.0);
+    }
+
+    #[test]
+    fn running_time_sums_segments() {
+        let jobs = JobSet::new(vec![Job::new(JobId(1), two_point_app(), 0.0, 30.0, 1.0)]);
+        let mut s = Schedule::new();
+        s.push(Segment::new(0.0, 2.0, vec![JobMapping::new(JobId(1), 0)]));
+        s.push(Segment::new(4.0, 7.3, vec![JobMapping::new(JobId(1), 0)]));
+        let stats = analyze_schedule(&s, &jobs, &Platform::motivational_2l2b());
+        assert!((stats.jobs[0].running_time - 5.3).abs() < 1e-9);
+        assert!((stats.jobs[0].completion.unwrap() - 7.3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,189 @@
+//! Applications and their design-time characterization tables.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{is_pareto_front, OperatingPoint};
+
+/// A multi-threaded application characterized at design time by a set of
+/// Pareto-optimal operating points (cf. Table II of the paper).
+///
+/// Applications are cheap to share: the runtime manager and all schedulers
+/// hold them behind [`Arc`] (see [`AppRef`]).
+///
+/// # Examples
+///
+/// ```
+/// use amrm_model::{Application, OperatingPoint};
+/// use amrm_platform::ResourceVec;
+///
+/// let app = Application::new(
+///     "toy",
+///     vec![
+///         OperatingPoint::new(ResourceVec::from_slice(&[1, 0]), 10.0, 2.0),
+///         OperatingPoint::new(ResourceVec::from_slice(&[0, 1]), 5.0, 7.55),
+///     ],
+/// );
+/// assert_eq!(app.num_points(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Application {
+    name: String,
+    points: Vec<OperatingPoint>,
+}
+
+/// Shared handle to an [`Application`].
+pub type AppRef = Arc<Application>;
+
+impl Application {
+    /// Creates an application from a list of operating points.
+    ///
+    /// The points are stored in the given order; indices into this list are
+    /// the configuration identifiers `j` used by job mappings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn new(name: impl Into<String>, points: Vec<OperatingPoint>) -> Self {
+        assert!(!points.is_empty(), "application needs at least one operating point");
+        Application {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Creates an application and wraps it in an [`Arc`] in one step.
+    pub fn shared(name: impl Into<String>, points: Vec<OperatingPoint>) -> AppRef {
+        Arc::new(Application::new(name, points))
+    }
+
+    /// The application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operating points in configuration-index order.
+    pub fn points(&self) -> &[OperatingPoint] {
+        &self.points
+    }
+
+    /// Number of operating points `Nλ`.
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The operating point with configuration index `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn point(&self, j: usize) -> &OperatingPoint {
+        &self.points[j]
+    }
+
+    /// Returns `true` if the stored points form a Pareto front (the paper's
+    /// precondition on tables handed to the RM).
+    pub fn is_pareto_filtered(&self) -> bool {
+        is_pareto_front(&self.points)
+    }
+
+    /// Configuration indices sorted by increasing full-execution energy.
+    pub fn indices_by_energy(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.points.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.points[a]
+                .energy()
+                .total_cmp(&self.points[b].energy())
+        });
+        idx
+    }
+
+    /// The configuration index of the fastest operating point.
+    pub fn fastest_point(&self) -> usize {
+        (0..self.points.len())
+            .min_by(|&a, &b| self.points[a].time().total_cmp(&self.points[b].time()))
+            .expect("non-empty by construction")
+    }
+
+    /// The minimum execution time over all points.
+    pub fn min_time(&self) -> f64 {
+        self.points[self.fastest_point()].time()
+    }
+}
+
+impl fmt::Display for Application {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} points)", self.name, self.points.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrm_platform::ResourceVec;
+
+    fn app() -> Application {
+        Application::new(
+            "λ2",
+            vec![
+                OperatingPoint::new(ResourceVec::from_slice(&[1, 0]), 10.0, 2.00),
+                OperatingPoint::new(ResourceVec::from_slice(&[2, 0]), 7.0, 2.87),
+                OperatingPoint::new(ResourceVec::from_slice(&[0, 1]), 5.0, 7.55),
+                OperatingPoint::new(ResourceVec::from_slice(&[2, 1]), 3.0, 5.73),
+            ],
+        )
+    }
+
+    #[test]
+    fn indices_by_energy_sorted() {
+        let a = app();
+        let idx = a.indices_by_energy();
+        assert_eq!(idx, vec![0, 1, 3, 2]);
+        let energies: Vec<f64> = idx.iter().map(|&j| a.point(j).energy()).collect();
+        assert!(energies.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn fastest_point_has_min_time() {
+        let a = app();
+        assert_eq!(a.fastest_point(), 3);
+        assert!((a.min_time() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_precondition_detected() {
+        let a = app();
+        assert!(a.is_pareto_filtered());
+        let bad = Application::new(
+            "bad",
+            vec![
+                OperatingPoint::new(ResourceVec::from_slice(&[1]), 5.0, 1.0),
+                OperatingPoint::new(ResourceVec::from_slice(&[1]), 6.0, 2.0),
+            ],
+        );
+        assert!(!bad.is_pareto_filtered());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operating point")]
+    fn empty_table_rejected() {
+        let _ = Application::new("none", vec![]);
+    }
+
+    #[test]
+    fn shared_returns_arc() {
+        let a = Application::shared("x", app().points().to_vec());
+        let b = Arc::clone(&a);
+        assert_eq!(a.name(), b.name());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = app();
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Application = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,165 @@
+//! Schedule validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+use amrm_platform::ResourceVec;
+
+use crate::JobId;
+
+/// Violation of the schedule well-formedness rules or of the optimization
+/// constraints (2b)–(2e) of the paper.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// Segment `index` starts before the previous segment ends.
+    Overlap {
+        /// Index of the offending segment.
+        index: usize,
+    },
+    /// Segment `index` starts before the schedule's reference time.
+    StartsBeforeNow {
+        /// Index of the offending segment.
+        index: usize,
+        /// The segment start time.
+        start: f64,
+        /// The reference time the schedule was created at.
+        now: f64,
+    },
+    /// A mapping references a job that is not part of the job set.
+    UnknownJob {
+        /// The unknown job id.
+        job: JobId,
+    },
+    /// A mapping references a configuration index out of range for the app.
+    BadPoint {
+        /// The job whose mapping is invalid.
+        job: JobId,
+        /// The out-of-range configuration index.
+        point: usize,
+    },
+    /// Constraint (2c): a job appears more than once in one segment.
+    DuplicateMapping {
+        /// The duplicated job.
+        job: JobId,
+        /// Index of the segment with the duplicate.
+        segment: usize,
+    },
+    /// Constraint (2b): a segment demands more cores than the platform has.
+    ResourceOverflow {
+        /// Index of the over-subscribed segment.
+        segment: usize,
+        /// Aggregate demand of the segment.
+        demand: ResourceVec,
+        /// Available cores per type.
+        available: ResourceVec,
+    },
+    /// Constraint (2d): the scheduled progress does not equal the job's
+    /// remaining ratio.
+    ProgressMismatch {
+        /// The job with wrong total progress.
+        job: JobId,
+        /// Progress accumulated over the schedule.
+        scheduled: f64,
+        /// Required remaining ratio ρ.
+        required: f64,
+    },
+    /// Constraint (2e): the job completes after its deadline.
+    DeadlineMiss {
+        /// The late job.
+        job: JobId,
+        /// Time the job finishes in the schedule.
+        completion: f64,
+        /// The job's absolute deadline.
+        deadline: f64,
+    },
+    /// A job is mapped in a segment that starts before its arrival.
+    MappedBeforeArrival {
+        /// The prematurely mapped job.
+        job: JobId,
+        /// Start of the offending segment.
+        start: f64,
+        /// The job's arrival time.
+        arrival: f64,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Overlap { index } => {
+                write!(f, "segment {index} overlaps its predecessor")
+            }
+            ScheduleError::StartsBeforeNow { index, start, now } => write!(
+                f,
+                "segment {index} starts at {start:.6} before reference time {now:.6}"
+            ),
+            ScheduleError::UnknownJob { job } => write!(f, "mapping references unknown job {job}"),
+            ScheduleError::BadPoint { job, point } => {
+                write!(f, "job {job} mapped to non-existent configuration {point}")
+            }
+            ScheduleError::DuplicateMapping { job, segment } => {
+                write!(f, "job {job} mapped twice in segment {segment}")
+            }
+            ScheduleError::ResourceOverflow {
+                segment,
+                demand,
+                available,
+            } => write!(
+                f,
+                "segment {segment} demands {demand} cores but only {available} are available"
+            ),
+            ScheduleError::ProgressMismatch {
+                job,
+                scheduled,
+                required,
+            } => write!(
+                f,
+                "job {job} accumulates progress {scheduled:.6} instead of {required:.6}"
+            ),
+            ScheduleError::DeadlineMiss {
+                job,
+                completion,
+                deadline,
+            } => write!(
+                f,
+                "job {job} finishes at {completion:.6} after its deadline {deadline:.6}"
+            ),
+            ScheduleError::MappedBeforeArrival { job, start, arrival } => write!(
+                f,
+                "job {job} mapped from {start:.6} before its arrival {arrival:.6}"
+            ),
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            ScheduleError::Overlap { index: 1 },
+            ScheduleError::UnknownJob { job: JobId(3) },
+            ScheduleError::DeadlineMiss {
+                job: JobId(1),
+                completion: 9.5,
+                deadline: 9.0,
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("job"));
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error>(_: E) {}
+        takes_err(ScheduleError::Overlap { index: 0 });
+    }
+}

@@ -1,0 +1,229 @@
+//! ASCII Gantt rendering of schedules (cf. Figure 1 of the paper).
+
+use std::collections::HashMap;
+
+use amrm_platform::Platform;
+
+use crate::{JobId, JobSet, Schedule};
+
+/// Options controlling [`render_gantt`].
+#[derive(Debug, Clone)]
+pub struct GanttOptions {
+    /// Total number of timeline characters.
+    pub width: usize,
+    /// Character drawn for an idle core.
+    pub idle: char,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions {
+            width: 64,
+            idle: '.',
+        }
+    }
+}
+
+/// Renders a schedule as a per-core ASCII Gantt chart.
+///
+/// Each core of the platform becomes one row (cluster order reversed so the
+/// "big" cluster appears on top, as in Figure 1); each job is drawn with a
+/// letter `A`, `B`, … in job-set order. Core lanes are kept stable across
+/// consecutive segments where possible. A legend and a time axis are
+/// appended.
+///
+/// This is a presentation aid: the concrete core indices are chosen greedily
+/// and carry no semantic weight (the model only constrains per-type counts).
+///
+/// # Examples
+///
+/// ```
+/// use amrm_model::{render_gantt, Application, GanttOptions, Job, JobId, JobMapping, JobSet,
+///                  OperatingPoint, Schedule, Segment};
+/// use amrm_platform::{Platform, ResourceVec};
+///
+/// let app = Application::shared(
+///     "λ",
+///     vec![OperatingPoint::new(ResourceVec::from_slice(&[2, 1]), 3.0, 5.73)],
+/// );
+/// let jobs = JobSet::new(vec![Job::new(JobId(1), app, 0.0, 5.0, 1.0)]);
+/// let mut s = Schedule::new();
+/// s.push(Segment::new(0.0, 3.0, vec![JobMapping::new(JobId(1), 0)]));
+/// let chart = render_gantt(&s, &jobs, &Platform::motivational_2l2b(), &GanttOptions::default());
+/// assert!(chart.contains("A"));
+/// ```
+pub fn render_gantt(
+    schedule: &Schedule,
+    jobs: &JobSet,
+    platform: &Platform,
+    options: &GanttOptions,
+) -> String {
+    let mut out = String::new();
+    let (Some(t0), Some(t1)) = (schedule.start_time(), schedule.end_time()) else {
+        return "(empty schedule)\n".to_string();
+    };
+    let span = (t1 - t0).max(1e-12);
+    let width = options.width.max(8);
+
+    // Job symbols in job-set order: A, B, C, …
+    let symbols: HashMap<JobId, char> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| (j.id(), char::from(b'A' + (i % 26) as u8)))
+        .collect();
+
+    // Assign concrete core lanes per segment, keeping lanes stable.
+    // lanes[k] has platform.counts()[k] entries; each holds Option<JobId>.
+    let m = platform.num_types();
+    let mut per_segment_lanes: Vec<Vec<Vec<Option<JobId>>>> = Vec::new();
+    let mut prev: Vec<Vec<Option<JobId>>> = (0..m)
+        .map(|k| vec![None; platform.counts()[k] as usize])
+        .collect();
+    for seg in schedule.segments() {
+        let mut lanes: Vec<Vec<Option<JobId>>> = (0..m)
+            .map(|k| vec![None; platform.counts()[k] as usize])
+            .collect();
+        for k in 0..m {
+            // First pass: keep previously used lanes for continuing jobs.
+            for mp in seg.mappings() {
+                let Some(job) = jobs.get(mp.job) else { continue };
+                let mut need = job.point(mp.point).resources()[k] as usize;
+                for (lane, slot) in lanes[k].iter_mut().enumerate() {
+                    if need == 0 {
+                        break;
+                    }
+                    if prev[k][lane] == Some(mp.job) && slot.is_none() {
+                        *slot = Some(mp.job);
+                        need -= 1;
+                    }
+                }
+            }
+            // Second pass: fill remaining demand with free lanes.
+            for mp in seg.mappings() {
+                let Some(job) = jobs.get(mp.job) else { continue };
+                let total = job.point(mp.point).resources()[k] as usize;
+                let have = lanes[k].iter().filter(|s| **s == Some(mp.job)).count();
+                let mut need = total.saturating_sub(have);
+                for slot in lanes[k].iter_mut() {
+                    if need == 0 {
+                        break;
+                    }
+                    if slot.is_none() {
+                        *slot = Some(mp.job);
+                        need -= 1;
+                    }
+                }
+            }
+        }
+        prev = lanes.clone();
+        per_segment_lanes.push(lanes);
+    }
+
+    // Draw rows: clusters in reverse order, lanes in descending index.
+    for k in (0..m).rev() {
+        let count = platform.counts()[k] as usize;
+        for lane in (0..count).rev() {
+            let label = format!("{}{}", platform.core_type(k).name(), lane + 1);
+            out.push_str(&format!("{label:>4} |"));
+            for col in 0..width {
+                let t = t0 + (col as f64 + 0.5) / width as f64 * span;
+                let ch = schedule
+                    .segments()
+                    .iter()
+                    .position(|s| t >= s.start() && t < s.end())
+                    .and_then(|si| per_segment_lanes[si][k][lane])
+                    .and_then(|id| symbols.get(&id).copied())
+                    .unwrap_or(options.idle);
+                out.push(ch);
+            }
+            out.push_str("|\n");
+        }
+    }
+    // Time axis.
+    out.push_str(&format!("{:>4} +", ""));
+    out.push_str(&"-".repeat(width));
+    out.push_str("+\n");
+    out.push_str(&format!("{:>5}{:<width$.2}{:.2}\n", "", t0, t1, width = width - 3));
+    // Legend.
+    for job in jobs.iter() {
+        out.push_str(&format!(
+            "  {} = {} ({}), deadline {:.2}\n",
+            symbols[&job.id()],
+            job.id(),
+            job.app().name(),
+            job.deadline()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Application, Job, JobMapping, OperatingPoint, Segment};
+    use amrm_platform::ResourceVec;
+
+    fn fig1c_setup() -> (Schedule, JobSet, Platform) {
+        let l1 = Application::shared(
+            "λ1",
+            vec![OperatingPoint::new(ResourceVec::from_slice(&[2, 1]), 5.3, 8.9)],
+        );
+        let l2 = Application::shared(
+            "λ2",
+            vec![OperatingPoint::new(ResourceVec::from_slice(&[2, 1]), 3.0, 5.73)],
+        );
+        let rho1 = 1.0 - 1.0 / 5.3;
+        let jobs = JobSet::new(vec![
+            Job::new(JobId(1), l1, 0.0, 9.0, rho1),
+            Job::new(JobId(2), l2, 1.0, 5.0, 1.0),
+        ]);
+        let mut s = Schedule::new();
+        s.push(Segment::new(1.0, 4.0, vec![JobMapping::new(JobId(2), 0)]));
+        s.push(Segment::new(
+            4.0,
+            4.0 + 5.3 * rho1,
+            vec![JobMapping::new(JobId(1), 0)],
+        ));
+        (s, jobs, Platform::motivational_2l2b())
+    }
+
+    #[test]
+    fn renders_all_core_rows_and_legend() {
+        let (s, jobs, p) = fig1c_setup();
+        let chart = render_gantt(&s, &jobs, &p, &GanttOptions::default());
+        for row in ["B2", "B1", "L2", "L1"] {
+            assert!(chart.contains(row), "missing row {row} in:\n{chart}");
+        }
+        assert!(chart.contains("A = σ1"));
+        assert!(chart.contains("B = σ2"));
+    }
+
+    #[test]
+    fn both_jobs_appear_in_timeline() {
+        let (s, jobs, p) = fig1c_setup();
+        let chart = render_gantt(&s, &jobs, &p, &GanttOptions::default());
+        let body: String = chart.lines().take(4).collect();
+        assert!(body.contains('A'));
+        assert!(body.contains('B'));
+    }
+
+    #[test]
+    fn empty_schedule_renders_placeholder() {
+        let s = Schedule::new();
+        let jobs = JobSet::default();
+        let p = Platform::motivational_2l2b();
+        assert!(render_gantt(&s, &jobs, &p, &GanttOptions::default()).contains("empty"));
+    }
+
+    #[test]
+    fn width_is_respected() {
+        let (s, jobs, p) = fig1c_setup();
+        let opts = GanttOptions {
+            width: 32,
+            idle: ' ',
+        };
+        let chart = render_gantt(&s, &jobs, &p, &opts);
+        let first = chart.lines().next().unwrap();
+        assert_eq!(first.len(), 4 + 2 + 32 + 1); // label + " |" + timeline + "|"
+    }
+}

@@ -1,0 +1,61 @@
+//! System model for adaptable multi-application mapping.
+//!
+//! This crate implements Section IV of *"Energy-efficient Runtime Resource
+//! Management for Adaptable Multi-application Mapping"* (Khasanov &
+//! Castrillon, DATE 2020):
+//!
+//! * [`OperatingPoint`] — a design-time configuration `c = ⟨θ, τ, ξ⟩`;
+//! * [`pareto_filter`] — the design-time Pareto filtering the RM relies on;
+//! * [`Application`] — an application `λ` with its point table;
+//! * [`Job`]/[`JobSet`] — requests `σ = ⟨α, δ, λ, ρ⟩` visible to the RM;
+//! * [`Segment`]/[`Schedule`] — the mapping-segment schedule `κ`,
+//!   with the energy objective (2a) and validation of constraints
+//!   (2b)–(2e);
+//! * [`render_gantt`] — ASCII rendering in the style of Figure 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use amrm_model::{Application, Job, JobId, JobSet, OperatingPoint};
+//! use amrm_platform::ResourceVec;
+//!
+//! let app = Application::shared(
+//!     "λ2",
+//!     vec![OperatingPoint::new(ResourceVec::from_slice(&[2, 1]), 3.0, 5.73)],
+//! );
+//! let jobs = JobSet::new(vec![Job::new(JobId(2), app, 1.0, 5.0, 1.0)]);
+//! assert!(jobs.get(JobId(2)).unwrap().meets_deadline_with(0, 1.0));
+//! ```
+
+mod analysis;
+mod application;
+mod error;
+mod gantt;
+mod job;
+mod pareto;
+mod point;
+mod schedule;
+
+pub use crate::analysis::{analyze_schedule, JobBehaviour, ScheduleStats};
+pub use crate::application::{AppRef, Application};
+pub use crate::error::ScheduleError;
+pub use crate::gantt::{render_gantt, GanttOptions};
+pub use crate::job::{Job, JobId, JobSet};
+pub use crate::pareto::{is_pareto_front, pareto_filter};
+pub use crate::point::OperatingPoint;
+pub use crate::schedule::{JobMapping, Schedule, Segment, PROGRESS_TOL};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Application>();
+        assert_send_sync::<Job>();
+        assert_send_sync::<JobSet>();
+        assert_send_sync::<Schedule>();
+        assert_send_sync::<ScheduleError>();
+    }
+}

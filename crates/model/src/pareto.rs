@@ -1,0 +1,158 @@
+//! Pareto filtering of operating points.
+
+use crate::OperatingPoint;
+
+/// Removes all dominated operating points.
+///
+/// A point survives iff no other point is at least as good in *all* three
+/// criteria (per-type resources, execution time, energy) and strictly better
+/// in at least one. Exact duplicates are collapsed to a single
+/// representative (the earliest one).
+///
+/// The paper assumes operating points handed to the runtime manager are
+/// "already Pareto-filtered" (Section IV); this function is what the
+/// design-time characterization in `amrm-dataflow` uses to produce them.
+///
+/// # Examples
+///
+/// ```
+/// use amrm_model::{pareto_filter, OperatingPoint};
+/// use amrm_platform::ResourceVec;
+///
+/// let dominated = OperatingPoint::new(ResourceVec::from_slice(&[2, 0]), 9.0, 5.0);
+/// let better = OperatingPoint::new(ResourceVec::from_slice(&[1, 0]), 8.0, 4.0);
+/// let filtered = pareto_filter(vec![dominated, better.clone()]);
+/// assert_eq!(filtered, vec![better]);
+/// ```
+pub fn pareto_filter(points: Vec<OperatingPoint>) -> Vec<OperatingPoint> {
+    let mut kept: Vec<OperatingPoint> = Vec::with_capacity(points.len());
+    'candidate: for p in points {
+        let mut i = 0;
+        while i < kept.len() {
+            if kept[i].dominates(&p) || kept[i] == p {
+                continue 'candidate;
+            }
+            if p.dominates(&kept[i]) {
+                kept.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        kept.push(p);
+    }
+    kept
+}
+
+/// Returns `true` if no point in `points` dominates another and there are no
+/// duplicates — i.e. the set is a valid Pareto front.
+pub fn is_pareto_front(points: &[OperatingPoint]) -> bool {
+    for (i, a) in points.iter().enumerate() {
+        for (j, b) in points.iter().enumerate() {
+            if i != j && (a.dominates(b) || a == b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrm_platform::ResourceVec;
+
+    fn pt(r: &[u32], t: f64, e: f64) -> OperatingPoint {
+        OperatingPoint::new(ResourceVec::from_slice(r), t, e)
+    }
+
+    #[test]
+    fn keeps_incomparable_points() {
+        let pts = vec![pt(&[1, 0], 10.0, 2.0), pt(&[0, 1], 5.0, 7.0)];
+        let f = pareto_filter(pts.clone());
+        assert_eq!(f.len(), 2);
+        assert!(is_pareto_front(&f));
+    }
+
+    #[test]
+    fn removes_dominated_chain() {
+        let pts = vec![
+            pt(&[1, 0], 10.0, 2.0),
+            pt(&[1, 0], 11.0, 2.5),
+            pt(&[1, 0], 12.0, 3.0),
+        ];
+        let f = pareto_filter(pts);
+        assert_eq!(f.len(), 1);
+        assert!((f[0].time() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collapses_duplicates() {
+        let pts = vec![pt(&[1, 1], 5.0, 4.0), pt(&[1, 1], 5.0, 4.0)];
+        assert_eq!(pareto_filter(pts).len(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_empty_front() {
+        assert!(pareto_filter(vec![]).is_empty());
+        assert!(is_pareto_front(&[]));
+    }
+
+    #[test]
+    fn later_dominating_point_evicts_earlier() {
+        let pts = vec![pt(&[2, 0], 10.0, 5.0), pt(&[1, 0], 9.0, 4.0)];
+        let f = pareto_filter(pts);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].resources().as_slice(), &[1, 0]);
+    }
+
+    #[test]
+    fn detects_non_front() {
+        let pts = vec![pt(&[1, 0], 10.0, 2.0), pt(&[1, 0], 11.0, 3.0)];
+        assert!(!is_pareto_front(&pts));
+    }
+
+    #[test]
+    fn table_ii_lambda1_is_already_a_front() {
+        // The eight λ1 points of the motivational example survive intact.
+        let pts = vec![
+            pt(&[1, 0], 16.8, 7.90),
+            pt(&[2, 0], 10.3, 7.01),
+            pt(&[0, 1], 11.2, 18.54),
+            pt(&[0, 2], 6.3, 17.70),
+            pt(&[1, 1], 8.1, 10.90),
+            pt(&[1, 2], 7.9, 10.60),
+            pt(&[2, 1], 5.3, 8.90),
+            pt(&[2, 2], 4.7, 11.00),
+        ];
+        let f = pareto_filter(pts.clone());
+        assert_eq!(f.len(), pts.len());
+        assert!(is_pareto_front(&f));
+    }
+
+    #[test]
+    fn brute_force_agreement_on_grid() {
+        // Cross-check against a quadratic brute-force filter on a small grid.
+        let mut pts = Vec::new();
+        for l in 0..3u32 {
+            for b in 0..3u32 {
+                if l + b == 0 {
+                    continue;
+                }
+                let speed = f64::from(l) + 1.6 * f64::from(b);
+                let t = 12.0 / speed;
+                let e = t * (0.45 * f64::from(l) + 1.6 * f64::from(b));
+                pts.push(pt(&[l, b], t, e));
+            }
+        }
+        let filtered = pareto_filter(pts.clone());
+        let brute: Vec<_> = pts
+            .iter()
+            .filter(|p| !pts.iter().any(|q| q.dominates(p)))
+            .cloned()
+            .collect();
+        assert_eq!(filtered.len(), brute.len());
+        for p in &filtered {
+            assert!(brute.contains(p));
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Application operating points.
+
+use std::fmt;
+
+use amrm_platform::ResourceVec;
+use serde::{Deserialize, Serialize};
+
+/// One operating point `c = ⟨θ, τ, ξ⟩` of an application: a resource demand
+/// vector, the worst-case execution time of the *whole* application under
+/// that configuration, and the corresponding energy consumption.
+///
+/// A job that has a remaining progress ratio `ρ ∈ (0, 1]` needs
+/// `τ · ρ` more seconds and `ξ · ρ` more joules to finish under this point
+/// (the paper assumes constant progress rate per configuration, Section IV).
+///
+/// # Examples
+///
+/// ```
+/// use amrm_model::OperatingPoint;
+/// use amrm_platform::ResourceVec;
+///
+/// // λ1 on 2 little + 1 big core: 5.3 s, 8.9 J (Table II).
+/// let p = OperatingPoint::new(ResourceVec::from_slice(&[2, 1]), 5.3, 8.9);
+/// assert!((p.remaining_time(0.8113) - 4.2999).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    resources: ResourceVec,
+    time: f64,
+    energy: f64,
+}
+
+impl OperatingPoint {
+    /// Creates an operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not strictly positive, `energy` is negative, or
+    /// the resource demand is all-zero (an application must occupy at least
+    /// one core to make progress).
+    pub fn new(resources: ResourceVec, time: f64, energy: f64) -> Self {
+        assert!(time > 0.0 && time.is_finite(), "execution time must be positive");
+        assert!(energy >= 0.0 && energy.is_finite(), "energy must be non-negative");
+        assert!(!resources.is_zero(), "operating point must use at least one core");
+        OperatingPoint {
+            resources,
+            time,
+            energy,
+        }
+    }
+
+    /// The per-type core demand `θ`.
+    pub fn resources(&self) -> &ResourceVec {
+        &self.resources
+    }
+
+    /// Worst-case execution time `τ` of the full application, in seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Energy `ξ` of the full application execution, in joules.
+    pub fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    /// Average power draw `ξ / τ`, in watts.
+    pub fn power(&self) -> f64 {
+        self.energy / self.time
+    }
+
+    /// Time to finish a job with remaining progress ratio `ratio`.
+    pub fn remaining_time(&self, ratio: f64) -> f64 {
+        self.time * ratio
+    }
+
+    /// Energy to finish a job with remaining progress ratio `ratio`.
+    pub fn remaining_energy(&self, ratio: f64) -> f64 {
+        self.energy * ratio
+    }
+
+    /// Pareto dominance: `self` dominates `other` if it is no worse in all
+    /// three criteria (resources per type, time, energy) and strictly better
+    /// in at least one.
+    pub fn dominates(&self, other: &OperatingPoint) -> bool {
+        let no_worse = self.resources.fits_within(&other.resources)
+            && self.time <= other.time
+            && self.energy <= other.energy;
+        if !no_worse {
+            return false;
+        }
+        self.resources != other.resources || self.time < other.time || self.energy < other.energy
+    }
+}
+
+impl fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "⟨θ={}, τ={:.3}s, ξ={:.3}J⟩",
+            self.resources, self.time, self.energy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(r: &[u32], t: f64, e: f64) -> OperatingPoint {
+        OperatingPoint::new(ResourceVec::from_slice(r), t, e)
+    }
+
+    #[test]
+    fn remaining_scales_linearly() {
+        let p = pt(&[1, 0], 10.0, 2.0);
+        assert!((p.remaining_time(0.5) - 5.0).abs() < 1e-12);
+        assert!((p.remaining_energy(0.25) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_is_energy_over_time() {
+        let p = pt(&[0, 1], 5.0, 7.55);
+        assert!((p.power() - 1.51).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominance_requires_all_dims() {
+        let better = pt(&[1, 0], 5.0, 2.0);
+        let worse = pt(&[1, 0], 6.0, 3.0);
+        assert!(better.dominates(&worse));
+        assert!(!worse.dominates(&better));
+    }
+
+    #[test]
+    fn equal_points_do_not_dominate() {
+        let a = pt(&[1, 1], 5.0, 2.0);
+        let b = a.clone();
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+    }
+
+    #[test]
+    fn incomparable_resources_never_dominate() {
+        // Big-core point is faster but hungrier; little-core point frugal.
+        let big = pt(&[0, 1], 5.0, 7.55);
+        let little = pt(&[1, 0], 10.0, 2.0);
+        assert!(!big.dominates(&little));
+        assert!(!little.dominates(&big));
+    }
+
+    #[test]
+    fn fewer_resources_same_cost_dominates() {
+        let lean = pt(&[1, 0], 5.0, 2.0);
+        let fat = pt(&[2, 0], 5.0, 2.0);
+        assert!(lean.dominates(&fat));
+        assert!(!fat.dominates(&lean));
+    }
+
+    #[test]
+    #[should_panic(expected = "execution time must be positive")]
+    fn zero_time_rejected() {
+        let _ = pt(&[1], 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_resources_rejected() {
+        let _ = pt(&[0, 0], 1.0, 1.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Processor core types and their power/performance parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// A voltage/frequency operating level of a core type.
+///
+/// The paper pins the Odroid XU4 clusters at fixed frequencies (1.5 GHz
+/// little, 1.8 GHz big); DVFS levels are provided as an extension hook for
+/// characterization sweeps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyLevel {
+    /// Clock frequency in Hz.
+    pub frequency_hz: f64,
+    /// Active (fully-loaded) power draw of one core at this level, in watts.
+    pub active_power_w: f64,
+    /// Idle power draw of one core at this level, in watts.
+    pub idle_power_w: f64,
+}
+
+impl FrequencyLevel {
+    /// Creates a frequency level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency_hz` is not strictly positive or if either power
+    /// value is negative.
+    pub fn new(frequency_hz: f64, active_power_w: f64, idle_power_w: f64) -> Self {
+        assert!(frequency_hz > 0.0, "frequency must be positive");
+        assert!(active_power_w >= 0.0, "active power must be non-negative");
+        assert!(idle_power_w >= 0.0, "idle power must be non-negative");
+        FrequencyLevel {
+            frequency_hz,
+            active_power_w,
+            idle_power_w,
+        }
+    }
+}
+
+/// A processor core type (one heterogeneous cluster kind).
+///
+/// Performance is modelled as `frequency × ipc_factor`: the effective rate at
+/// which a core retires work units (cycles normalized to the little core's
+/// ISA efficiency). Power is split into active and idle components, which is
+/// what makes the energy/latency trade-off of big.LITTLE visible to the
+/// scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use amrm_platform::CoreType;
+///
+/// let big = CoreType::new("A15", 1.8e9, 1.4, 1.65, 0.15);
+/// assert!(big.effective_rate_hz() > 1.8e9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreType {
+    name: String,
+    level: FrequencyLevel,
+    ipc_factor: f64,
+    dvfs_levels: Vec<FrequencyLevel>,
+}
+
+impl CoreType {
+    /// Creates a core type pinned at one frequency level.
+    ///
+    /// `ipc_factor` scales throughput relative to a baseline core at the
+    /// same clock (e.g. an out-of-order A15 retires ~1.4× the work of an
+    /// in-order A7 per cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ipc_factor` is not strictly positive, or on the conditions
+    /// of [`FrequencyLevel::new`].
+    pub fn new(
+        name: impl Into<String>,
+        frequency_hz: f64,
+        ipc_factor: f64,
+        active_power_w: f64,
+        idle_power_w: f64,
+    ) -> Self {
+        assert!(ipc_factor > 0.0, "ipc factor must be positive");
+        CoreType {
+            name: name.into(),
+            level: FrequencyLevel::new(frequency_hz, active_power_w, idle_power_w),
+            ipc_factor,
+            dvfs_levels: Vec::new(),
+        }
+    }
+
+    /// Adds an alternative DVFS level (extension beyond the paper).
+    pub fn with_dvfs_level(mut self, level: FrequencyLevel) -> Self {
+        self.dvfs_levels.push(level);
+        self
+    }
+
+    /// The human-readable cluster name (e.g. `"A7"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pinned operating frequency in Hz.
+    pub fn frequency_hz(&self) -> f64 {
+        self.level.frequency_hz
+    }
+
+    /// Active power of one busy core, in watts.
+    pub fn active_power_w(&self) -> f64 {
+        self.level.active_power_w
+    }
+
+    /// Idle power of one allocated-but-idle core, in watts.
+    pub fn idle_power_w(&self) -> f64 {
+        self.level.idle_power_w
+    }
+
+    /// Instructions-per-cycle scaling factor relative to the baseline core.
+    pub fn ipc_factor(&self) -> f64 {
+        self.ipc_factor
+    }
+
+    /// Effective work rate in baseline-cycles per second.
+    pub fn effective_rate_hz(&self) -> f64 {
+        self.level.frequency_hz * self.ipc_factor
+    }
+
+    /// The currently pinned frequency level.
+    pub fn level(&self) -> &FrequencyLevel {
+        &self.level
+    }
+
+    /// Alternative DVFS levels registered via [`CoreType::with_dvfs_level`].
+    pub fn dvfs_levels(&self) -> &[FrequencyLevel] {
+        &self.dvfs_levels
+    }
+
+    /// Returns a copy of this core type re-pinned at the given DVFS level.
+    pub fn at_level(&self, level: FrequencyLevel) -> CoreType {
+        CoreType {
+            name: self.name.clone(),
+            level,
+            ipc_factor: self.ipc_factor,
+            dvfs_levels: self.dvfs_levels.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_rate_combines_frequency_and_ipc() {
+        let t = CoreType::new("A15", 2.0e9, 1.5, 1.0, 0.1);
+        assert!((t.effective_rate_hz() - 3.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn zero_frequency_rejected() {
+        let _ = CoreType::new("bad", 0.0, 1.0, 1.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ipc factor must be positive")]
+    fn zero_ipc_rejected() {
+        let _ = CoreType::new("bad", 1.0e9, 0.0, 1.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "active power must be non-negative")]
+    fn negative_power_rejected() {
+        let _ = FrequencyLevel::new(1.0e9, -1.0, 0.0);
+    }
+
+    #[test]
+    fn dvfs_levels_accumulate_and_repin() {
+        let lo = FrequencyLevel::new(0.6e9, 0.2, 0.02);
+        let t = CoreType::new("A7", 1.5e9, 1.0, 0.45, 0.05).with_dvfs_level(lo.clone());
+        assert_eq!(t.dvfs_levels().len(), 1);
+        let slow = t.at_level(lo);
+        assert!((slow.frequency_hz() - 0.6e9).abs() < 1.0);
+        assert_eq!(slow.name(), "A7");
+    }
+}

@@ -1,0 +1,277 @@
+//! Heterogeneous platform descriptions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreType, ResourceVec};
+
+/// A heterogeneous multi-core platform: an ordered list of core types and a
+/// core-count vector `Θ` over those types.
+///
+/// The ordering of core types defines the component order of every
+/// [`ResourceVec`] used against this platform. By convention, presets list
+/// the *little* (low-power) cluster first.
+///
+/// # Examples
+///
+/// ```
+/// use amrm_platform::Platform;
+///
+/// let odroid = Platform::odroid_xu4();
+/// assert_eq!(odroid.num_types(), 2);
+/// assert_eq!(odroid.counts().as_slice(), &[4, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    name: String,
+    core_types: Vec<CoreType>,
+    counts: ResourceVec,
+}
+
+impl Platform {
+    /// Creates a platform from core types and their counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_types` is empty, if the lengths differ, or if any
+    /// count is zero (empty clusters are not representable in the paper's
+    /// model — drop the type instead).
+    pub fn new(name: impl Into<String>, core_types: Vec<CoreType>, counts: ResourceVec) -> Self {
+        assert!(!core_types.is_empty(), "platform needs at least one core type");
+        assert_eq!(
+            core_types.len(),
+            counts.num_types(),
+            "one count per core type required"
+        );
+        assert!(
+            counts.iter().all(|c| c > 0),
+            "every cluster must have at least one core"
+        );
+        Platform {
+            name: name.into(),
+            core_types,
+            counts,
+        }
+    }
+
+    /// The Hardkernel Odroid XU4 used in the paper's evaluation: an Exynos
+    /// 5422 with four Cortex-A7 cores pinned at 1.5 GHz and four Cortex-A15
+    /// cores pinned at 1.8 GHz.
+    ///
+    /// Power parameters are calibrated so that per-core active power matches
+    /// what Table II of the paper implies (~0.47 W per busy little core,
+    /// ~1.66 W per busy big core).
+    pub fn odroid_xu4() -> Self {
+        Platform::new(
+            "odroid-xu4",
+            vec![
+                CoreType::new("A7", 1.5e9, 1.0, 0.45, 0.045),
+                CoreType::new("A15", 1.8e9, 1.4, 1.60, 0.16),
+            ],
+            ResourceVec::from_slice(&[4, 4]),
+        )
+    }
+
+    /// The 2-little + 2-big device of the paper's motivational example
+    /// (Section III, Tables I–II, Figure 1).
+    pub fn motivational_2l2b() -> Self {
+        Platform::new(
+            "example-2L2B",
+            vec![
+                CoreType::new("L", 1.5e9, 1.0, 0.45, 0.045),
+                CoreType::new("B", 1.8e9, 1.4, 1.60, 0.16),
+            ],
+            ResourceVec::from_slice(&[2, 2]),
+        )
+    }
+
+    /// A homogeneous platform with `n` identical cores — the degenerate
+    /// single-resource-type case (m = 1) under which MMKP-MDF reduces to the
+    /// single-threaded formulation of Niknafs et al.
+    pub fn homogeneous(n: u32) -> Self {
+        assert!(n > 0, "platform needs at least one core");
+        Platform::new(
+            format!("homogeneous-{n}"),
+            vec![CoreType::new("C", 2.0e9, 1.0, 1.0, 0.1)],
+            ResourceVec::from_slice(&[n]),
+        )
+    }
+
+    /// The platform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of resource types `m`.
+    pub fn num_types(&self) -> usize {
+        self.core_types.len()
+    }
+
+    /// The core-count vector `Θ`.
+    pub fn counts(&self) -> &ResourceVec {
+        &self.counts
+    }
+
+    /// Total number of cores.
+    pub fn total_cores(&self) -> u32 {
+        self.counts.total()
+    }
+
+    /// The core type of cluster `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.num_types()`.
+    pub fn core_type(&self, k: usize) -> &CoreType {
+        &self.core_types[k]
+    }
+
+    /// All core types in cluster order.
+    pub fn core_types(&self) -> &[CoreType] {
+        &self.core_types
+    }
+
+    /// Returns `true` if `demand` can be satisfied by this platform at all.
+    pub fn can_fit(&self, demand: &ResourceVec) -> bool {
+        demand.fits_within(&self.counts)
+    }
+
+    /// Idle power of the whole chip (every core idle), in watts.
+    pub fn idle_power_w(&self) -> f64 {
+        self.core_types
+            .iter()
+            .zip(self.counts.iter())
+            .map(|(t, n)| t.idle_power_w() * f64::from(n))
+            .sum()
+    }
+}
+
+/// Incremental builder for custom [`Platform`]s.
+///
+/// # Examples
+///
+/// ```
+/// use amrm_platform::{CoreType, PlatformBuilder};
+///
+/// let platform = PlatformBuilder::new("my-soc")
+///     .cluster(CoreType::new("eff", 1.2e9, 1.0, 0.3, 0.03), 6)
+///     .cluster(CoreType::new("perf", 2.4e9, 1.5, 2.0, 0.2), 2)
+///     .build();
+/// assert_eq!(platform.total_cores(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlatformBuilder {
+    name: String,
+    core_types: Vec<CoreType>,
+    counts: Vec<u32>,
+}
+
+impl PlatformBuilder {
+    /// Starts a builder for a platform with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        PlatformBuilder {
+            name: name.into(),
+            core_types: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Appends a cluster of `count` cores of the given type.
+    pub fn cluster(mut self, core_type: CoreType, count: u32) -> Self {
+        self.core_types.push(core_type);
+        self.counts.push(count);
+        self
+    }
+
+    /// Builds the platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Platform::new`].
+    pub fn build(self) -> Platform {
+        Platform::new(
+            self.name,
+            self.core_types,
+            ResourceVec::from_slice(&self.counts),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odroid_preset_matches_paper_setup() {
+        let p = Platform::odroid_xu4();
+        assert_eq!(p.num_types(), 2);
+        assert_eq!(p.total_cores(), 8);
+        assert_eq!(p.core_type(0).name(), "A7");
+        assert!((p.core_type(0).frequency_hz() - 1.5e9).abs() < 1.0);
+        assert!((p.core_type(1).frequency_hz() - 1.8e9).abs() < 1.0);
+        // Big cores must be both faster and more power hungry.
+        assert!(p.core_type(1).effective_rate_hz() > p.core_type(0).effective_rate_hz());
+        assert!(p.core_type(1).active_power_w() > p.core_type(0).active_power_w());
+    }
+
+    #[test]
+    fn motivational_platform_is_2l2b() {
+        let p = Platform::motivational_2l2b();
+        assert_eq!(p.counts().as_slice(), &[2, 2]);
+    }
+
+    #[test]
+    fn can_fit_checks_against_counts() {
+        let p = Platform::motivational_2l2b();
+        assert!(p.can_fit(&ResourceVec::from_slice(&[2, 2])));
+        assert!(!p.can_fit(&ResourceVec::from_slice(&[3, 0])));
+    }
+
+    #[test]
+    fn builder_assembles_clusters_in_order() {
+        let p = PlatformBuilder::new("soc")
+            .cluster(CoreType::new("a", 1.0e9, 1.0, 0.2, 0.02), 2)
+            .cluster(CoreType::new("b", 2.0e9, 1.2, 1.0, 0.1), 4)
+            .build();
+        assert_eq!(p.num_types(), 2);
+        assert_eq!(p.counts().as_slice(), &[2, 4]);
+        assert_eq!(p.core_type(1).name(), "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core type")]
+    fn empty_platform_rejected() {
+        let _ = Platform::new("none", vec![], ResourceVec::zeros(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_count_cluster_rejected() {
+        let _ = Platform::new(
+            "bad",
+            vec![CoreType::new("a", 1.0e9, 1.0, 0.2, 0.02)],
+            ResourceVec::from_slice(&[0]),
+        );
+    }
+
+    #[test]
+    fn homogeneous_has_single_type() {
+        let p = Platform::homogeneous(16);
+        assert_eq!(p.num_types(), 1);
+        assert_eq!(p.total_cores(), 16);
+    }
+
+    #[test]
+    fn idle_power_sums_all_cores() {
+        let p = Platform::motivational_2l2b();
+        let expected = 2.0 * 0.045 + 2.0 * 0.16;
+        assert!((p.idle_power_w() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Platform::odroid_xu4();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Platform = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,281 @@
+//! Event-driven simulation of the online runtime manager.
+//!
+//! Feeds a request stream into an [`amrm_core::RuntimeManager`], advancing
+//! simulated time between arrivals and collecting admissions, energy and an
+//! executed Gantt trace — enough to reproduce the management scenarios of
+//! Fig. 1 and to run workloads beyond the paper (e.g. Poisson streams).
+//!
+//! # Examples
+//!
+//! Reproducing Fig. 1(c):
+//!
+//! ```
+//! use amrm_core::{MmkpMdf, ReactivationPolicy};
+//! use amrm_sim::run_scenario;
+//! use amrm_workload::scenarios;
+//!
+//! let outcome = run_scenario(
+//!     scenarios::platform(),
+//!     MmkpMdf::new(),
+//!     ReactivationPolicy::OnArrival,
+//!     &scenarios::scenario_s1(),
+//! );
+//! assert_eq!(outcome.accepted(), 2);
+//! assert!((outcome.total_energy - 14.63).abs() < 5e-3);
+//! ```
+
+mod sweep;
+
+pub use crate::sweep::{load_sweep, LoadPoint};
+
+use amrm_core::{Admission, ReactivationPolicy, RmStats, RuntimeManager, Scheduler};
+use amrm_model::{Job, JobId, JobSet, Schedule};
+use amrm_platform::Platform;
+use amrm_workload::ScenarioRequest;
+
+/// The outcome of simulating one request stream.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Per request (in arrival order): the assigned job id and whether the
+    /// request was admitted.
+    pub admissions: Vec<(JobId, bool)>,
+    /// Total energy metered over the whole run, in joules.
+    pub total_energy: f64,
+    /// Final simulated time (all admitted jobs completed).
+    pub end_time: f64,
+    /// Runtime-manager counters.
+    pub stats: RmStats,
+    /// The executed mapping-segment trace (Fig. 1 style).
+    pub trace: Schedule,
+    /// All admitted jobs at full remaining ratio — the lookup table for
+    /// rendering/energy-checking the trace.
+    pub admitted_jobs: JobSet,
+}
+
+impl SimOutcome {
+    /// Number of admitted requests.
+    pub fn accepted(&self) -> usize {
+        self.admissions.iter().filter(|(_, ok)| *ok).count()
+    }
+
+    /// Number of rejected requests.
+    pub fn rejected(&self) -> usize {
+        self.admissions.len() - self.accepted()
+    }
+
+    /// Acceptance rate in `[0, 1]`; 1.0 for an empty stream.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.admissions.is_empty() {
+            return 1.0;
+        }
+        self.accepted() as f64 / self.admissions.len() as f64
+    }
+
+    /// Renders the executed trace as an ASCII Gantt chart.
+    pub fn gantt(&self, platform: &Platform) -> String {
+        amrm_model::render_gantt(
+            &self.trace,
+            &self.admitted_jobs,
+            platform,
+            &amrm_model::GanttOptions::default(),
+        )
+    }
+}
+
+/// Runs a stream of requests (sorted by arrival internally) through a
+/// runtime manager with the given scheduler and re-activation policy, then
+/// lets all admitted jobs run to completion.
+///
+/// # Panics
+///
+/// Panics if any request has a deadline before its arrival.
+pub fn run_scenario<S: Scheduler>(
+    platform: Platform,
+    scheduler: S,
+    policy: ReactivationPolicy,
+    requests: &[ScenarioRequest],
+) -> SimOutcome {
+    let mut ordered: Vec<&ScenarioRequest> = requests.iter().collect();
+    ordered.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+
+    let mut rm = RuntimeManager::with_policy(platform, scheduler, policy);
+    let mut admissions = Vec::with_capacity(ordered.len());
+    let mut admitted = Vec::new();
+    for req in ordered {
+        rm.advance_to(req.arrival);
+        let admission = rm.submit(amrm_model::AppRef::clone(&req.app), req.deadline);
+        if let Admission::Accepted { job } = admission {
+            admitted.push(Job::new(
+                job,
+                amrm_model::AppRef::clone(&req.app),
+                req.arrival,
+                req.deadline,
+                1.0,
+            ));
+        }
+        admissions.push((admission.job(), admission.is_accepted()));
+    }
+    let total_energy = rm.run_to_completion();
+
+    SimOutcome {
+        admissions,
+        total_energy,
+        end_time: rm.now(),
+        stats: rm.stats(),
+        trace: rm.executed_trace(),
+        admitted_jobs: JobSet::new(admitted),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrm_baselines::{ExMem, FixedMapper, MmkpLr};
+    use amrm_core::MmkpMdf;
+    use amrm_workload::scenarios;
+
+    #[test]
+    fn fig1a_fixed_mapper_on_arrival() {
+        let outcome = run_scenario(
+            scenarios::platform(),
+            FixedMapper::new(),
+            ReactivationPolicy::OnArrival,
+            &scenarios::scenario_s1(),
+        );
+        assert_eq!(outcome.accepted(), 2);
+        assert!(
+            (outcome.total_energy - scenarios::fig1::FIXED_AT_START_J).abs() < 5e-3,
+            "got {}",
+            outcome.total_energy
+        );
+    }
+
+    #[test]
+    fn fig1b_fixed_mapper_remaps_at_finish() {
+        let outcome = run_scenario(
+            scenarios::platform(),
+            FixedMapper::new(),
+            ReactivationPolicy::OnArrivalAndCompletion,
+            &scenarios::scenario_s1(),
+        );
+        assert_eq!(outcome.accepted(), 2);
+        assert!(
+            (outcome.total_energy - scenarios::fig1::FIXED_AT_START_AND_FINISH_J).abs() < 5e-3,
+            "got {}",
+            outcome.total_energy
+        );
+    }
+
+    #[test]
+    fn fig1c_adaptive_mapper() {
+        let outcome = run_scenario(
+            scenarios::platform(),
+            MmkpMdf::new(),
+            ReactivationPolicy::OnArrival,
+            &scenarios::scenario_s1(),
+        );
+        assert_eq!(outcome.accepted(), 2);
+        assert!(
+            (outcome.total_energy - scenarios::fig1::ADAPTIVE_J).abs() < 5e-3,
+            "got {}",
+            outcome.total_energy
+        );
+    }
+
+    #[test]
+    fn s2_fixed_rejects_adaptive_accepts() {
+        let fixed = run_scenario(
+            scenarios::platform(),
+            FixedMapper::new(),
+            ReactivationPolicy::OnArrival,
+            &scenarios::scenario_s2(),
+        );
+        assert_eq!(fixed.accepted(), 1);
+        assert_eq!(fixed.rejected(), 1);
+
+        let adaptive = run_scenario(
+            scenarios::platform(),
+            MmkpMdf::new(),
+            ReactivationPolicy::OnArrival,
+            &scenarios::scenario_s2(),
+        );
+        assert_eq!(adaptive.accepted(), 2);
+        assert!((adaptive.acceptance_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_energy_matches_metered_energy() {
+        for policy in [
+            ReactivationPolicy::OnArrival,
+            ReactivationPolicy::OnArrivalAndCompletion,
+        ] {
+            let outcome = run_scenario(
+                scenarios::platform(),
+                MmkpMdf::new(),
+                policy,
+                &scenarios::scenario_s1(),
+            );
+            let trace_energy = outcome.trace.energy(&outcome.admitted_jobs);
+            assert!((trace_energy - outcome.total_energy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gantt_renders_both_jobs() {
+        let outcome = run_scenario(
+            scenarios::platform(),
+            MmkpMdf::new(),
+            ReactivationPolicy::OnArrival,
+            &scenarios::scenario_s1(),
+        );
+        let chart = outcome.gantt(&scenarios::platform());
+        assert!(chart.contains('A') && chart.contains('B'), "{chart}");
+    }
+
+    #[test]
+    fn all_schedulers_complete_s1_without_misses() {
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(MmkpMdf::new()),
+            Box::new(ExMem::new()),
+            Box::new(MmkpLr::new()),
+            Box::new(FixedMapper::new()),
+        ];
+        for s in schedulers {
+            let outcome = run_scenario(
+                scenarios::platform(),
+                s,
+                ReactivationPolicy::OnArrival,
+                &scenarios::scenario_s1(),
+            );
+            assert_eq!(outcome.stats.deadline_misses, 0);
+            assert_eq!(outcome.stats.completed, outcome.accepted());
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_trivial() {
+        let outcome = run_scenario(
+            scenarios::platform(),
+            MmkpMdf::new(),
+            ReactivationPolicy::OnArrival,
+            &[],
+        );
+        assert_eq!(outcome.accepted(), 0);
+        assert!((outcome.acceptance_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(outcome.total_energy, 0.0);
+    }
+
+    #[test]
+    fn unsorted_arrivals_are_handled() {
+        let mut reqs = scenarios::scenario_s1();
+        reqs.reverse();
+        let outcome = run_scenario(
+            scenarios::platform(),
+            MmkpMdf::new(),
+            ReactivationPolicy::OnArrival,
+            &reqs,
+        );
+        assert_eq!(outcome.accepted(), 2);
+        assert!((outcome.total_energy - scenarios::fig1::ADAPTIVE_J).abs() < 5e-3);
+    }
+}

@@ -1,0 +1,126 @@
+//! Load sweeps: acceptance rate and energy of the online RM as a function
+//! of offered load (extension beyond the paper's static evaluation).
+
+use amrm_core::{ReactivationPolicy, Scheduler};
+use amrm_model::AppRef;
+use amrm_platform::Platform;
+use amrm_workload::{poisson_stream, StreamSpec};
+
+use crate::{run_scenario, SimOutcome};
+
+/// One point of a load sweep.
+#[derive(Debug, Clone)]
+pub struct LoadPoint {
+    /// Mean inter-arrival time of the Poisson stream at this point.
+    pub mean_interarrival: f64,
+    /// Acceptance rate in `[0, 1]`.
+    pub acceptance_rate: f64,
+    /// Energy per admitted job, in joules (0 if nothing admitted).
+    pub energy_per_job: f64,
+    /// The full simulation outcome.
+    pub outcome: SimOutcome,
+}
+
+/// Sweeps offered load by varying the Poisson mean inter-arrival time, re-
+/// running the same seeded stream shape for every scheduler instantiation
+/// returned by `make_scheduler`.
+///
+/// # Panics
+///
+/// Panics if `interarrivals` is empty or the stream spec is invalid.
+pub fn load_sweep<S, F>(
+    platform: &Platform,
+    make_scheduler: F,
+    policy: ReactivationPolicy,
+    apps: &[AppRef],
+    interarrivals: &[f64],
+    spec: &StreamSpec,
+    seed: u64,
+) -> Vec<LoadPoint>
+where
+    S: Scheduler,
+    F: Fn() -> S,
+{
+    assert!(!interarrivals.is_empty(), "sweep needs at least one load point");
+    interarrivals
+        .iter()
+        .map(|&mean| {
+            let stream = poisson_stream(apps, mean, spec, seed);
+            let outcome = run_scenario(platform.clone(), make_scheduler(), policy, &stream);
+            let accepted = outcome.accepted().max(1) as f64;
+            LoadPoint {
+                mean_interarrival: mean,
+                acceptance_rate: outcome.acceptance_rate(),
+                energy_per_job: outcome.total_energy / accepted,
+                outcome,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrm_core::MmkpMdf;
+    use amrm_workload::scenarios;
+
+    fn lib() -> Vec<AppRef> {
+        vec![scenarios::lambda1(), scenarios::lambda2()]
+    }
+
+    #[test]
+    fn lighter_load_is_never_worse_on_acceptance() {
+        let spec = StreamSpec {
+            requests: 25,
+            slack_range: (1.2, 2.0),
+        };
+        let points = load_sweep(
+            &scenarios::platform(),
+            MmkpMdf::new,
+            ReactivationPolicy::OnArrival,
+            &lib(),
+            &[2.0, 20.0],
+            &spec,
+            11,
+        );
+        assert_eq!(points.len(), 2);
+        // Very light load (mean 20 s between ~5 s jobs) must admit at
+        // least as much as heavy load in aggregate.
+        assert!(points[1].acceptance_rate >= points[0].acceptance_rate - 1e-9);
+        assert!(points[1].acceptance_rate > 0.9);
+    }
+
+    #[test]
+    fn deadline_misses_never_occur() {
+        let spec = StreamSpec {
+            requests: 30,
+            slack_range: (1.1, 2.5),
+        };
+        for p in load_sweep(
+            &scenarios::platform(),
+            MmkpMdf::new,
+            ReactivationPolicy::OnArrival,
+            &lib(),
+            &[1.0, 4.0, 16.0],
+            &spec,
+            3,
+        ) {
+            assert_eq!(p.outcome.stats.deadline_misses, 0);
+            assert!(p.energy_per_job >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one load point")]
+    fn empty_sweep_panics() {
+        let _ = load_sweep(
+            &scenarios::platform(),
+            MmkpMdf::new,
+            ReactivationPolicy::OnArrival,
+            &lib(),
+            &[],
+            &StreamSpec::default(),
+            0,
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Saving and loading workload suites as JSON.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use crate::TestCase;
+
+/// Saves a suite to a JSON file.
+///
+/// # Errors
+///
+/// Returns any I/O or serialization error.
+pub fn save_suite(path: impl AsRef<Path>, cases: &[TestCase]) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    serde_json::to_writer(BufWriter::new(file), cases).map_err(std::io::Error::other)
+}
+
+/// Loads a suite from a JSON file written by [`save_suite`].
+///
+/// # Errors
+///
+/// Returns any I/O or deserialization error.
+pub fn load_suite(path: impl AsRef<Path>) -> std::io::Result<Vec<TestCase>> {
+    let file = File::open(path)?;
+    serde_json::from_reader(BufReader::new(file)).map_err(std::io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_suite, scenarios, SuiteSpec};
+
+    #[test]
+    fn roundtrip_through_file() {
+        let lib = vec![scenarios::lambda1(), scenarios::lambda2()];
+        let spec = SuiteSpec {
+            weak_counts: [2, 2, 0, 0],
+            tight_counts: [1, 1, 1, 0],
+            ..SuiteSpec::default()
+        };
+        let suite = generate_suite(&lib, &spec, 5);
+        let path = std::env::temp_dir().join("amrm_suite_roundtrip.json");
+        save_suite(&path, &suite).unwrap();
+        let back = load_suite(&path).unwrap();
+        assert_eq!(back.len(), suite.len());
+        for (a, b) in suite.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.num_jobs(), b.num_jobs());
+            assert_eq!(a.jobs[0].app.name(), b.jobs[0].app.name());
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_suite("/nonexistent/amrm.json").is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! Workloads for evaluating runtime resource managers.
+//!
+//! The two ingredients of the paper's evaluation (Sections III and VI):
+//!
+//! * [`scenarios`] — the motivational example (Tables I–II, Figure 1) as
+//!   exact fixtures;
+//! * [`generate_suite`] — the reproducible random multi-application setup
+//!   of Table III: 1676 cases of 1–4 jobs at weak/tight deadline levels,
+//!   drawn over the application library characterized by `amrm-dataflow`;
+//! * [`save_suite`]/[`load_suite`] — JSON persistence for generated suites.
+//!
+//! # Examples
+//!
+//! ```
+//! use amrm_workload::{generate_suite, scenarios, SuiteSpec};
+//!
+//! let library = vec![scenarios::lambda1(), scenarios::lambda2()];
+//! let spec = SuiteSpec {
+//!     weak_counts: [1, 1, 0, 0],
+//!     tight_counts: [1, 0, 0, 0],
+//!     ..SuiteSpec::default()
+//! };
+//! let suite = generate_suite(&library, &spec, 42);
+//! assert_eq!(suite.len(), 3);
+//! ```
+
+mod generator;
+mod io;
+pub mod scenarios;
+mod streams;
+mod testcase;
+
+pub use crate::generator::{generate_suite, tabulate, SuiteSpec, TABLE_III};
+pub use crate::io::{load_suite, save_suite};
+pub use crate::scenarios::ScenarioRequest;
+pub use crate::streams::{bursty_stream, periodic_stream, poisson_stream, StreamSpec};
+pub use crate::testcase::{DeadlineLevel, TestCase, TestJob};

@@ -1,0 +1,209 @@
+//! Online request-stream generators (extension beyond the paper's static
+//! test cases): Poisson, periodic, and bursty arrival processes over an
+//! application library. Streams feed `amrm-sim::run_scenario`.
+
+use amrm_model::AppRef;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ScenarioRequest;
+
+/// Parameters shared by all stream generators.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Deadline slack: the deadline is set `slack × fastest execution`
+    /// after arrival, with the factor drawn uniformly from this range.
+    pub slack_range: (f64, f64),
+}
+
+impl Default for StreamSpec {
+    fn default() -> Self {
+        StreamSpec {
+            requests: 50,
+            slack_range: (1.2, 3.0),
+        }
+    }
+}
+
+fn request_at(apps: &[AppRef], t: f64, spec: &StreamSpec, rng: &mut StdRng) -> ScenarioRequest {
+    let app = AppRef::clone(&apps[rng.gen_range(0..apps.len())]);
+    let slack = rng.gen_range(spec.slack_range.0..spec.slack_range.1);
+    let deadline = t + app.min_time() * slack;
+    ScenarioRequest {
+        app,
+        arrival: t,
+        deadline,
+    }
+}
+
+/// Poisson arrivals with the given mean inter-arrival time.
+///
+/// # Panics
+///
+/// Panics if `apps` is empty, `mean_interarrival` is not positive, or the
+/// slack range is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use amrm_workload::{poisson_stream, scenarios, StreamSpec};
+///
+/// let lib = vec![scenarios::lambda1(), scenarios::lambda2()];
+/// let stream = poisson_stream(&lib, 5.0, &StreamSpec::default(), 7);
+/// assert_eq!(stream.len(), 50);
+/// assert!(stream.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+/// ```
+pub fn poisson_stream(
+    apps: &[AppRef],
+    mean_interarrival: f64,
+    spec: &StreamSpec,
+    seed: u64,
+) -> Vec<ScenarioRequest> {
+    validate(apps, spec);
+    assert!(mean_interarrival > 0.0, "mean inter-arrival must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    (0..spec.requests)
+        .map(|_| {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            t += -mean_interarrival * u.ln();
+            request_at(apps, t, spec, &mut rng)
+        })
+        .collect()
+}
+
+/// Strictly periodic arrivals with the given period.
+///
+/// # Panics
+///
+/// Panics if `apps` is empty, `period` is not positive, or the slack range
+/// is invalid.
+pub fn periodic_stream(
+    apps: &[AppRef],
+    period: f64,
+    spec: &StreamSpec,
+    seed: u64,
+) -> Vec<ScenarioRequest> {
+    validate(apps, spec);
+    assert!(period > 0.0, "period must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..spec.requests)
+        .map(|i| request_at(apps, i as f64 * period, spec, &mut rng))
+        .collect()
+}
+
+/// Bursty on/off arrivals: bursts of `burst_len` back-to-back requests
+/// (spaced by `intra_gap`), separated by `inter_gap` idle periods.
+///
+/// # Panics
+///
+/// Panics if `apps` is empty, any gap is negative, `burst_len` is zero, or
+/// the slack range is invalid.
+pub fn bursty_stream(
+    apps: &[AppRef],
+    burst_len: usize,
+    intra_gap: f64,
+    inter_gap: f64,
+    spec: &StreamSpec,
+    seed: u64,
+) -> Vec<ScenarioRequest> {
+    validate(apps, spec);
+    assert!(burst_len > 0, "bursts need at least one request");
+    assert!(intra_gap >= 0.0 && inter_gap >= 0.0, "gaps must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    let mut in_burst = 0;
+    (0..spec.requests)
+        .map(|_| {
+            let req = request_at(apps, t, spec, &mut rng);
+            in_burst += 1;
+            if in_burst == burst_len {
+                in_burst = 0;
+                t += inter_gap;
+            } else {
+                t += intra_gap;
+            }
+            req
+        })
+        .collect()
+}
+
+fn validate(apps: &[AppRef], spec: &StreamSpec) {
+    assert!(!apps.is_empty(), "application library must not be empty");
+    assert!(
+        spec.slack_range.0 > 0.0 && spec.slack_range.1 > spec.slack_range.0,
+        "slack range must be positive and non-empty"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+
+    fn lib() -> Vec<AppRef> {
+        vec![scenarios::lambda1(), scenarios::lambda2()]
+    }
+
+    #[test]
+    fn poisson_is_deterministic_and_ordered() {
+        let a = poisson_stream(&lib(), 4.0, &StreamSpec::default(), 1);
+        let b = poisson_stream(&lib(), 4.0, &StreamSpec::default(), 1);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.arrival - y.arrival).abs() < 1e-12);
+        }
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn poisson_mean_interarrival_is_close() {
+        let spec = StreamSpec {
+            requests: 4000,
+            ..StreamSpec::default()
+        };
+        let stream = poisson_stream(&lib(), 5.0, &spec, 3);
+        let mean = stream.last().unwrap().arrival / stream.len() as f64;
+        assert!((mean - 5.0).abs() < 0.5, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn periodic_spacing_is_exact() {
+        let spec = StreamSpec {
+            requests: 5,
+            ..StreamSpec::default()
+        };
+        let stream = periodic_stream(&lib(), 3.0, &spec, 9);
+        for (i, r) in stream.iter().enumerate() {
+            assert!((r.arrival - i as f64 * 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bursts_have_expected_shape() {
+        let spec = StreamSpec {
+            requests: 6,
+            ..StreamSpec::default()
+        };
+        let stream = bursty_stream(&lib(), 3, 0.0, 10.0, &spec, 5);
+        // Two bursts of three simultaneous arrivals, 10 s apart.
+        assert!((stream[0].arrival - stream[2].arrival).abs() < 1e-12);
+        assert!((stream[3].arrival - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadlines_respect_slack() {
+        for r in poisson_stream(&lib(), 2.0, &StreamSpec::default(), 6) {
+            let slack = (r.deadline - r.arrival) / r.app.min_time();
+            assert!(slack >= 1.2 - 1e-9 && slack <= 3.0 + 1e-9, "slack {slack}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_library_panics() {
+        poisson_stream(&[], 1.0, &StreamSpec::default(), 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Test cases: snapshots of the job mix handed to a scheduler.
+
+use amrm_model::{AppRef, Job, JobId, JobSet};
+use serde::{Deserialize, Serialize};
+
+/// Deadline tightness class of a test case (Section VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeadlineLevel {
+    /// Deadline factors drawn from U[2, 6].
+    Weak,
+    /// Deadline factors drawn from U[0.6, 2].
+    Tight,
+}
+
+impl DeadlineLevel {
+    /// The factor range the paper samples for this level.
+    pub fn factor_range(self) -> (f64, f64) {
+        match self {
+            DeadlineLevel::Weak => (2.0, 6.0),
+            DeadlineLevel::Tight => (0.6, 2.0),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeadlineLevel::Weak => "weak",
+            DeadlineLevel::Tight => "tight",
+        }
+    }
+}
+
+/// One job of a test case: an application variant, the remaining progress
+/// ratio, and a deadline relative to the scheduling instant (t = 0).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TestJob {
+    /// The application (with its Pareto operating-point table).
+    pub app: AppRef,
+    /// Remaining progress ratio ρ ∈ (0, 1].
+    pub remaining: f64,
+    /// Deadline relative to the scheduling instant.
+    pub deadline: f64,
+}
+
+/// A test case: 1–4 jobs observed at one RM activation (t = 0).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TestCase {
+    /// Sequential id within the suite.
+    pub id: usize,
+    /// Deadline tightness class.
+    pub level: DeadlineLevel,
+    /// The jobs of this case.
+    pub jobs: Vec<TestJob>,
+}
+
+impl TestCase {
+    /// Number of jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Returns `true` if every job runs the same application variant.
+    pub fn is_single_app(&self) -> bool {
+        self.jobs
+            .windows(2)
+            .all(|w| w[0].app.name() == w[1].app.name())
+    }
+
+    /// Returns `true` if every job is in its initial state (ρ = 1).
+    pub fn is_all_initial(&self) -> bool {
+        self.jobs.iter().all(|j| (j.remaining - 1.0).abs() < 1e-12)
+    }
+
+    /// Materializes the case as a [`JobSet`] at scheduling time 0, with job
+    /// ids 1, 2, ….
+    pub fn to_job_set(&self) -> JobSet {
+        self.jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                Job::new(
+                    JobId(i as u64 + 1),
+                    AppRef::clone(&j.app),
+                    0.0,
+                    j.deadline,
+                    j.remaining,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+
+    fn case() -> TestCase {
+        TestCase {
+            id: 7,
+            level: DeadlineLevel::Tight,
+            jobs: vec![
+                TestJob {
+                    app: scenarios::lambda1(),
+                    remaining: 1.0,
+                    deadline: 9.0,
+                },
+                TestJob {
+                    app: scenarios::lambda2(),
+                    remaining: 0.5,
+                    deadline: 5.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn to_job_set_assigns_sequential_ids() {
+        let set = case().to_job_set();
+        assert_eq!(set.len(), 2);
+        assert!(set.get(JobId(1)).is_some());
+        assert!(set.get(JobId(2)).is_some());
+        assert!((set.get(JobId(2)).unwrap().remaining() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let c = case();
+        assert!(!c.is_single_app());
+        assert!(!c.is_all_initial());
+        let mut single = c.clone();
+        single.jobs[1].app = scenarios::lambda1();
+        single.jobs.iter_mut().for_each(|j| j.remaining = 1.0);
+        assert!(single.is_single_app());
+        assert!(single.is_all_initial());
+    }
+
+    #[test]
+    fn factor_ranges_match_paper() {
+        assert_eq!(DeadlineLevel::Weak.factor_range(), (2.0, 6.0));
+        assert_eq!(DeadlineLevel::Tight.factor_range(), (0.6, 2.0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = case();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: TestCase = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, 7);
+        assert_eq!(back.num_jobs(), 2);
+        assert_eq!(back.jobs[0].app.name(), "λ1");
+    }
+}

@@ -1,0 +1,72 @@
+//! Design-time characterization walkthrough: simulate the paper's three
+//! dataflow applications on every core allocation of the Odroid XU4 and
+//! print the Pareto-filtered operating-point tables.
+//!
+//! ```sh
+//! cargo run --example characterize
+//! ```
+
+use amrm::dataflow::{all_allocations, apps, simulate, CharacterizeConfig, SimConfig};
+use amrm::model::pareto_filter;
+use amrm::model::OperatingPoint;
+use amrm::platform::Platform;
+
+fn main() {
+    let platform = Platform::odroid_xu4();
+    let config = SimConfig::default();
+
+    for graph in apps::all_graphs() {
+        println!(
+            "== {} ({} processes, {:.1e} cycles/iteration)",
+            graph.name(),
+            graph.num_processes(),
+            graph.total_work()
+        );
+
+        // Raw sweep: every allocation, dominated points included.
+        let mut raw = Vec::new();
+        for alloc in all_allocations(&platform) {
+            if alloc.total() as usize > graph.num_processes() {
+                continue;
+            }
+            let r = simulate(&graph, &platform, &alloc, &config);
+            raw.push(OperatingPoint::new(alloc, r.makespan, r.energy));
+        }
+        let kept = pareto_filter(raw.clone());
+        println!(
+            "   swept {} allocations -> {} Pareto-optimal points",
+            raw.len(),
+            kept.len()
+        );
+        println!("   {:<10} {:>8} {:>9} {:>8}", "alloc", "τ [s]", "ξ [J]", "P [W]");
+        let mut sorted = kept.clone();
+        sorted.sort_by(|a, b| a.energy().total_cmp(&b.energy()));
+        for p in &sorted {
+            println!(
+                "   {:<10} {:>8.2} {:>9.2} {:>8.2}",
+                p.resources().to_string(),
+                p.time(),
+                p.energy(),
+                p.power()
+            );
+        }
+        println!();
+    }
+
+    // Input-size variants, as used by the evaluation workload.
+    println!("benchmark suite (3 apps × 3 input sizes):");
+    let suite = apps::benchmark_suite(&platform);
+    for app in &suite {
+        println!(
+            "  {:<28} {:>2} points, fastest {:>5.1} s, frugal {:>5.1} J",
+            app.name(),
+            app.num_points(),
+            app.min_time(),
+            app.points()
+                .iter()
+                .map(|p| p.energy())
+                .fold(f64::INFINITY, f64::min),
+        );
+    }
+    let _ = CharacterizeConfig::default(); // see amrm_dataflow::characterize
+}

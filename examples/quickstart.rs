@@ -1,0 +1,73 @@
+//! Quickstart: characterize an application, run the adaptive runtime
+//! manager, and print the resulting schedule.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use amrm::core::{MmkpMdf, RuntimeManager};
+use amrm::dataflow::{apps, characterize, CharacterizeConfig};
+use amrm::model::{render_gantt, GanttOptions};
+use amrm::platform::Platform;
+
+fn main() {
+    // 1. A heterogeneous platform: the Odroid XU4 of the paper.
+    let platform = Platform::odroid_xu4();
+    println!(
+        "platform: {} ({} little + {} big cores)\n",
+        platform.name(),
+        platform.counts()[0],
+        platform.counts()[1]
+    );
+
+    // 2. Design time: characterize applications into Pareto-optimal
+    //    operating points (resources, execution time, energy).
+    let audio = characterize(
+        &apps::audio_filter(),
+        &platform,
+        &CharacterizeConfig::default(),
+    );
+    let pedestrian = characterize(
+        &apps::pedestrian_recognition(),
+        &platform,
+        &CharacterizeConfig::default(),
+    );
+    for app in [&audio, &pedestrian] {
+        println!("{} — {} Pareto operating points:", app.name(), app.num_points());
+        for p in app.points() {
+            println!("  {p}");
+        }
+        println!();
+    }
+
+    // 3. Runtime: an adaptive manager with the paper's MMKP-MDF heuristic.
+    let mut rm = RuntimeManager::new(platform.clone(), MmkpMdf::new());
+
+    // t = 0: an audio-filter request with a 20 s deadline.
+    let first = rm.submit(audio.clone(), 20.0);
+    println!("t=0.0  submit {:<28} -> {:?}", audio.name(), first);
+
+    // t = 2: a pedestrian-recognition request with a tight deadline.
+    rm.advance_to(2.0);
+    let second = rm.submit(pedestrian.clone(), 8.0);
+    println!("t=2.0  submit {:<28} -> {:?}", pedestrian.name(), second);
+
+    // 4. Execute everything and inspect the outcome.
+    let energy = rm.run_to_completion();
+    println!(
+        "\nall jobs completed at t={:.2}s, total energy {:.2} J, {} deadline misses",
+        rm.now(),
+        energy,
+        rm.stats().deadline_misses
+    );
+
+    let trace = rm.executed_trace();
+    let jobs: amrm::model::JobSet = [
+        amrm::model::Job::new(first.job(), audio, 0.0, 20.0, 1.0),
+        amrm::model::Job::new(second.job(), pedestrian, 2.0, 8.0, 1.0),
+    ]
+    .into_iter()
+    .collect();
+    println!("\nexecuted schedule:");
+    print!("{}", render_gantt(&trace, &jobs, &platform, &GanttOptions::default()));
+}

@@ -1,0 +1,47 @@
+//! # amrm — Adaptable Multi-application Runtime resource Management
+//!
+//! A Rust reproduction of *"Energy-efficient Runtime Resource Management
+//! for Adaptable Multi-application Mapping"* (Khasanov & Castrillon,
+//! DATE 2020).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`platform`] — heterogeneous platforms (`amrm-platform`);
+//! * [`model`] — operating points, jobs, mapping-segment schedules
+//!   (`amrm-model`);
+//! * [`core`] — the MMKP-MDF scheduler and the runtime manager
+//!   (`amrm-core`);
+//! * [`baselines`] — EX-MEM, MMKP-LR and the fixed mapper
+//!   (`amrm-baselines`);
+//! * [`dataflow`] — the KPN benchmarking substrate (`amrm-dataflow`);
+//! * [`workload`] — motivational scenarios and the Table III generator
+//!   (`amrm-workload`);
+//! * [`sim`] — event-driven online RM simulation (`amrm-sim`);
+//! * [`metrics`] — evaluation statistics (`amrm-metrics`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use amrm::core::{MmkpMdf, RuntimeManager};
+//! use amrm::workload::scenarios;
+//!
+//! // Serve the paper's motivational scenario S1 with the adaptive RM.
+//! let mut rm = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+//! rm.submit(scenarios::lambda1(), 9.0);
+//! rm.advance_to(1.0);
+//! rm.submit(scenarios::lambda2(), 5.0);
+//! let energy = rm.run_to_completion();
+//! assert!((energy - 14.63).abs() < 5e-3); // Fig. 1(c)
+//! ```
+
+pub use amrm_baselines as baselines;
+pub use amrm_core as core;
+pub use amrm_dataflow as dataflow;
+pub use amrm_metrics as metrics;
+pub use amrm_model as model;
+pub use amrm_platform as platform;
+pub use amrm_sim as sim;
+pub use amrm_workload as workload;
+
+/// The workspace version.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

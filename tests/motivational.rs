@@ -1,0 +1,114 @@
+//! End-to-end integration tests on the paper's motivational example
+//! (Section III, Tables I–II, Figure 1), exercised through the facade.
+
+use amrm::baselines::{ExMem, FixedMapper, MmkpLr};
+use amrm::core::{MmkpMdf, ReactivationPolicy, Scheduler};
+use amrm::sim::run_scenario;
+use amrm::workload::scenarios;
+
+#[test]
+fn fig1_all_three_strategies_match_paper_energies() {
+    let platform = scenarios::platform();
+    let s1 = scenarios::scenario_s1();
+
+    let fixed_a = run_scenario(
+        platform.clone(),
+        FixedMapper::new(),
+        ReactivationPolicy::OnArrival,
+        &s1,
+    );
+    assert!((fixed_a.total_energy - 16.96).abs() < 5e-3);
+
+    let fixed_b = run_scenario(
+        platform.clone(),
+        FixedMapper::new(),
+        ReactivationPolicy::OnArrivalAndCompletion,
+        &s1,
+    );
+    assert!((fixed_b.total_energy - 15.49).abs() < 5e-3);
+
+    let adaptive = run_scenario(
+        platform,
+        MmkpMdf::new(),
+        ReactivationPolicy::OnArrival,
+        &s1,
+    );
+    assert!((adaptive.total_energy - 14.63).abs() < 5e-3);
+}
+
+#[test]
+fn s2_separates_fixed_from_adaptive_mappers() {
+    let platform = scenarios::platform();
+    let s2 = scenarios::scenario_s2();
+
+    let fixed = run_scenario(
+        platform.clone(),
+        FixedMapper::new(),
+        ReactivationPolicy::OnArrival,
+        &s2,
+    );
+    assert_eq!(fixed.accepted(), 1, "fixed mapper must reject σ2");
+
+    for scheduler in [
+        Box::new(MmkpMdf::new()) as Box<dyn Scheduler>,
+        Box::new(ExMem::new()),
+    ] {
+        let outcome = run_scenario(
+            platform.clone(),
+            scheduler,
+            ReactivationPolicy::OnArrival,
+            &s2,
+        );
+        assert_eq!(outcome.accepted(), 2, "adaptive mappers must admit σ2");
+        assert_eq!(outcome.stats.deadline_misses, 0);
+    }
+}
+
+#[test]
+fn adaptive_schedule_is_provably_optimal_here() {
+    // EX-MEM agrees with MMKP-MDF on the motivational example: 14.63 J is
+    // not just better, it is optimal (for completion-cut segments).
+    let platform = scenarios::platform();
+    let opt = run_scenario(
+        platform,
+        ExMem::new(),
+        ReactivationPolicy::OnArrival,
+        &scenarios::scenario_s1(),
+    );
+    assert!((opt.total_energy - 14.63).abs() < 5e-3);
+}
+
+#[test]
+fn lr_is_feasible_but_costlier_on_s1() {
+    let platform = scenarios::platform();
+    let lr = run_scenario(
+        platform,
+        MmkpLr::new(),
+        ReactivationPolicy::OnArrival,
+        &scenarios::scenario_s1(),
+    );
+    assert_eq!(lr.accepted(), 2);
+    assert_eq!(lr.stats.deadline_misses, 0);
+    // Single-segment scope costs energy against the adaptive optimum.
+    assert!(lr.total_energy >= 14.63 - 5e-3);
+}
+
+#[test]
+fn gantt_traces_render_for_every_strategy() {
+    let platform = scenarios::platform();
+    for scheduler in [
+        Box::new(MmkpMdf::new()) as Box<dyn Scheduler>,
+        Box::new(FixedMapper::new()),
+        Box::new(MmkpLr::new()),
+        Box::new(ExMem::new()),
+    ] {
+        let outcome = run_scenario(
+            platform.clone(),
+            scheduler,
+            ReactivationPolicy::OnArrival,
+            &scenarios::scenario_s1(),
+        );
+        let chart = outcome.gantt(&platform);
+        assert!(chart.contains("L1") && chart.contains("B2"));
+    }
+}

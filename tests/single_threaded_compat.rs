@@ -1,0 +1,119 @@
+//! Backward compatibility with the single-threaded formulation.
+//!
+//! The paper notes MMKP-MDF "is backward-compatible with the
+//! single-threaded version of the algorithm (without predictions)
+//! [Niknafs et al.]": when every operating point uses exactly one core,
+//! the MDF/EDF machinery reduces to the original single-threaded scheduler.
+
+use amrm::baselines::ExMem;
+use amrm::core::{MmkpMdf, Scheduler};
+use amrm::model::{Application, Job, JobId, JobSet, OperatingPoint};
+use amrm::platform::Platform;
+use amrm::platform::ResourceVec;
+
+/// A single-threaded app with three DVFS-like speed levels on one core.
+fn single_threaded_app(name: &str, base_time: f64) -> amrm::model::AppRef {
+    Application::shared(
+        name,
+        vec![
+            // slow & frugal, medium, fast & hungry — Pareto by construction
+            OperatingPoint::new(ResourceVec::from_slice(&[1]), base_time, base_time * 0.4),
+            OperatingPoint::new(
+                ResourceVec::from_slice(&[1]),
+                base_time * 0.66,
+                base_time * 0.55,
+            ),
+            OperatingPoint::new(
+                ResourceVec::from_slice(&[1]),
+                base_time * 0.5,
+                base_time * 0.8,
+            ),
+        ],
+    )
+}
+
+#[test]
+fn single_threaded_jobs_occupy_one_core_each() {
+    let platform = Platform::homogeneous(4);
+    let jobs = JobSet::new(vec![
+        Job::new(JobId(1), single_threaded_app("a", 10.0), 0.0, 12.0, 1.0),
+        Job::new(JobId(2), single_threaded_app("b", 8.0), 0.0, 9.0, 1.0),
+        Job::new(JobId(3), single_threaded_app("c", 6.0), 0.0, 20.0, 0.5),
+    ]);
+    let schedule = MmkpMdf::new().schedule(&jobs, &platform, 0.0).unwrap();
+    schedule.validate(&jobs, &platform, 0.0).unwrap();
+    for seg in schedule.segments() {
+        let demand = seg.demand(&jobs, 1);
+        assert_eq!(
+            demand[0] as usize,
+            seg.mappings().len(),
+            "every single-threaded job uses exactly one core"
+        );
+    }
+}
+
+#[test]
+fn contention_forces_edf_suspension() {
+    // Four single-threaded jobs on a 2-core machine: the two most urgent
+    // run first (EDF), the others are suspended — exactly the Niknafs
+    // behaviour the segment model generalizes.
+    let platform = Platform::homogeneous(2);
+    let jobs = JobSet::new(vec![
+        Job::new(JobId(1), single_threaded_app("a", 4.0), 0.0, 30.0, 1.0),
+        Job::new(JobId(2), single_threaded_app("b", 4.0), 0.0, 5.0, 1.0),
+        Job::new(JobId(3), single_threaded_app("c", 4.0), 0.0, 6.0, 1.0),
+        Job::new(JobId(4), single_threaded_app("d", 4.0), 0.0, 31.0, 1.0),
+    ]);
+    let schedule = MmkpMdf::new().schedule(&jobs, &platform, 0.0).unwrap();
+    schedule.validate(&jobs, &platform, 0.0).unwrap();
+    // The first segment hosts the two earliest deadlines.
+    let first = &schedule.segments()[0];
+    assert!(first.contains_job(JobId(2)));
+    assert!(first.contains_job(JobId(3)));
+    assert!(!first.contains_job(JobId(1)) || !first.contains_job(JobId(4)));
+}
+
+#[test]
+fn single_threaded_matches_exhaustive_optimum_on_small_cases() {
+    let platform = Platform::homogeneous(2);
+    for (d1, d2) in [(12.0, 9.0), (20.0, 6.0), (10.0, 10.0)] {
+        let jobs = JobSet::new(vec![
+            Job::new(JobId(1), single_threaded_app("a", 10.0), 0.0, d1, 1.0),
+            Job::new(JobId(2), single_threaded_app("b", 8.0), 0.0, d2, 1.0),
+        ]);
+        let mdf = MmkpMdf::new().schedule(&jobs, &platform, 0.0);
+        let opt = ExMem::new().schedule(&jobs, &platform, 0.0);
+        match (mdf, opt) {
+            (Some(h), Some(o)) => {
+                // With one-core points and ≤ #cores jobs, MDF picks each
+                // job's cheapest deadline-feasible level — optimal.
+                assert!(
+                    (h.energy(&jobs) - o.energy(&jobs)).abs() < 1e-6,
+                    "({d1},{d2}): mdf {} vs opt {}",
+                    h.energy(&jobs),
+                    o.energy(&jobs)
+                );
+            }
+            (None, None) => {}
+            (h, o) => panic!("feasibility mismatch: mdf={:?} opt={:?}", h.is_some(), o.is_some()),
+        }
+    }
+}
+
+#[test]
+fn homogeneous_platform_is_a_degenerate_heterogeneous_one() {
+    // m = 1 resource type flows through the whole stack unchanged.
+    let platform = Platform::homogeneous(8);
+    assert_eq!(platform.num_types(), 1);
+    let jobs = JobSet::new(vec![Job::new(
+        JobId(1),
+        single_threaded_app("solo", 5.0),
+        0.0,
+        10.0,
+        1.0,
+    )]);
+    let schedule = MmkpMdf::new().schedule(&jobs, &platform, 0.0).unwrap();
+    schedule.validate(&jobs, &platform, 0.0).unwrap();
+    // Cheapest level that meets the deadline: the slow one (5 s ≤ 10 s).
+    assert!((schedule.energy(&jobs) - 2.0).abs() < 1e-9);
+}

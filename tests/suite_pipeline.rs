@@ -1,0 +1,109 @@
+//! Integration of the full design-time → workload → runtime pipeline:
+//! dataflow characterization feeds the Table III generator, whose cases are
+//! scheduled, validated, and round-tripped through JSON.
+
+use amrm::core::{MmkpMdf, Scheduler};
+use amrm::baselines::MmkpLr;
+use amrm::dataflow::apps;
+use amrm::platform::Platform;
+use amrm::workload::{generate_suite, load_suite, save_suite, tabulate, SuiteSpec};
+
+fn small_spec() -> SuiteSpec {
+    SuiteSpec {
+        weak_counts: [2, 6, 6, 4],
+        tight_counts: [2, 8, 8, 4],
+        ..SuiteSpec::default()
+    }
+}
+
+#[test]
+fn characterized_library_feeds_valid_schedulable_cases() {
+    let platform = Platform::odroid_xu4();
+    let library = apps::benchmark_suite(&platform);
+    assert_eq!(library.len(), 9);
+    let suite = generate_suite(&library, &small_spec(), 11);
+
+    let mut scheduled = 0;
+    for case in &suite {
+        let jobs = case.to_job_set();
+        for mut s in [
+            Box::new(MmkpMdf::new()) as Box<dyn Scheduler>,
+            Box::new(MmkpLr::new()),
+        ] {
+            if let Some(schedule) = s.schedule(&jobs, &platform, 0.0) {
+                schedule
+                    .validate(&jobs, &platform, 0.0)
+                    .unwrap_or_else(|e| panic!("{} invalid on case {}: {e}", s.name(), case.id));
+                scheduled += 1;
+            }
+        }
+    }
+    // Weak-deadline cases are overwhelmingly schedulable; something must
+    // succeed or the pipeline is broken.
+    assert!(scheduled > suite.len() / 2, "only {scheduled} schedules");
+}
+
+#[test]
+fn weak_deadline_cases_are_all_mdf_schedulable() {
+    // The paper: "all algorithms scheduled 100% of the test cases with
+    // weak deadlines" — MDF must reproduce that on the real library.
+    let platform = Platform::odroid_xu4();
+    let library = apps::benchmark_suite(&platform);
+    let spec = SuiteSpec {
+        weak_counts: [3, 10, 10, 8],
+        tight_counts: [0, 0, 0, 0],
+        ..SuiteSpec::default()
+    };
+    let suite = generate_suite(&library, &spec, 4);
+    for case in &suite {
+        let jobs = case.to_job_set();
+        assert!(
+            MmkpMdf::new().schedule(&jobs, &platform, 0.0).is_some(),
+            "weak case {} rejected",
+            case.id
+        );
+    }
+}
+
+#[test]
+fn suite_roundtrips_through_json_with_schedulable_outcomes() {
+    let platform = Platform::odroid_xu4();
+    let library = apps::benchmark_suite(&platform);
+    let suite = generate_suite(&library, &small_spec(), 23);
+
+    let path = std::env::temp_dir().join("amrm_pipeline_suite.json");
+    save_suite(&path, &suite).unwrap();
+    let restored = load_suite(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(tabulate(&suite), tabulate(&restored));
+    for (a, b) in suite.iter().zip(&restored) {
+        let ja = a.to_job_set();
+        let jb = b.to_job_set();
+        let sa = MmkpMdf::new().schedule(&ja, &platform, 0.0);
+        let sb = MmkpMdf::new().schedule(&jb, &platform, 0.0);
+        match (sa, sb) {
+            (Some(x), Some(y)) => {
+                assert!((x.energy(&ja) - y.energy(&jb)).abs() < 1e-9);
+            }
+            (None, None) => {}
+            _ => panic!("restored case {} changed feasibility", a.id),
+        }
+    }
+}
+
+#[test]
+fn generator_respects_paper_counts_at_full_scale() {
+    let platform = Platform::odroid_xu4();
+    let library = apps::benchmark_suite(&platform);
+    let suite = generate_suite(&library, &SuiteSpec::default(), 2020);
+    assert_eq!(suite.len(), 1676);
+    let tab = tabulate(&suite);
+    assert_eq!(tab[0].1, [15, 255, 255, 230]);
+    assert_eq!(tab[1].1, [35, 340, 340, 206]);
+    // Fractions land near the paper's 31.9% / 22.6%.
+    let singles = suite.iter().filter(|c| c.is_single_app()).count() as f64 / 1676.0;
+    let initials = suite.iter().filter(|c| c.is_all_initial()).count() as f64 / 1676.0;
+    assert!((singles - 0.319).abs() < 0.08, "single-app fraction {singles}");
+    assert!((initials - 0.226).abs() < 0.08, "all-initial fraction {initials}");
+}

@@ -1,0 +1,63 @@
+//! Integration of the executed-trace recording with schedule analysis:
+//! the mechanics of Fig. 1(c) — one suspension, no reconfiguration — are
+//! recovered from a live RuntimeManager run.
+
+use amrm::core::{MmkpMdf, ReactivationPolicy};
+use amrm::model::analyze_schedule;
+use amrm::sim::run_scenario;
+use amrm::workload::scenarios;
+
+#[test]
+fn adaptive_trace_shows_one_suspension_and_no_reconfiguration() {
+    let platform = scenarios::platform();
+    let outcome = run_scenario(
+        platform.clone(),
+        MmkpMdf::new(),
+        ReactivationPolicy::OnArrival,
+        &scenarios::scenario_s1(),
+    );
+    let stats = analyze_schedule(&outcome.trace, &outcome.admitted_jobs, &platform);
+
+    // σ1 runs [0,1), is suspended during [1,4), resumes [4,8.3).
+    let sigma1 = &stats.jobs[0];
+    assert_eq!(sigma1.suspensions, 1);
+    assert_eq!(sigma1.reconfigurations, 0);
+    assert!((sigma1.running_time - 5.3).abs() < 1e-6);
+
+    // σ2 runs once, uninterrupted.
+    let sigma2 = &stats.jobs[1];
+    assert_eq!(sigma2.suspensions, 0);
+    assert_eq!(sigma2.segments, 1);
+}
+
+#[test]
+fn fixed_trace_has_no_suspensions_but_wastes_energy() {
+    let platform = scenarios::platform();
+    let fixed = run_scenario(
+        platform.clone(),
+        amrm::baselines::FixedMapper::new(),
+        ReactivationPolicy::OnArrival,
+        &scenarios::scenario_s1(),
+    );
+    let stats = analyze_schedule(&fixed.trace, &fixed.admitted_jobs, &platform);
+    assert_eq!(stats.total_suspensions(), 0);
+    // The fixed mapping reconfigures σ1 once: at σ2's arrival the RM
+    // re-activates and moves σ1 from 2L1B to 1L1B.
+    assert_eq!(stats.jobs[0].reconfigurations, 1);
+    assert!(fixed.total_energy > 16.9);
+}
+
+#[test]
+fn utilization_is_higher_for_the_adaptive_schedule_while_running() {
+    let platform = scenarios::platform();
+    let adaptive = run_scenario(
+        platform.clone(),
+        MmkpMdf::new(),
+        ReactivationPolicy::OnArrival,
+        &scenarios::scenario_s1(),
+    );
+    let stats = analyze_schedule(&adaptive.trace, &adaptive.admitted_jobs, &platform);
+    // 2L1B throughout: both little cores always busy.
+    assert!(stats.utilization[0] > 0.99);
+    assert_eq!(stats.peak_busy_cores, 3);
+}
