@@ -185,10 +185,7 @@ fn key_of(state: &[(usize, f64)], t: f64) -> Key {
 
 /// Admissible lower bound on the energy needed to finish `state`.
 fn lower_bound(ctx: &SearchCtx<'_>, state: &[(usize, f64)]) -> f64 {
-    state
-        .iter()
-        .map(|&(i, rho)| ctx.min_energy[i] * rho)
-        .sum()
+    state.iter().map(|&(i, rho)| ctx.min_energy[i] * rho).sum()
 }
 
 /// Returns `false` if some job can no longer meet its deadline even on its
@@ -224,7 +221,11 @@ fn solve(ctx: &mut SearchCtx<'_>, state: &[(usize, f64)], t: f64, budget: f64) -
     let key = key_of(state, t);
     match ctx.memo.get(&key) {
         Some(MemoVal::Exact { energy, .. }) => {
-            return if *energy < budget { Some(*energy) } else { None };
+            return if *energy < budget {
+                Some(*energy)
+            } else {
+                None
+            };
         }
         Some(MemoVal::Infeasible) => return None,
         Some(MemoVal::Bound { at_least }) if budget <= *at_least + EPS => return None,
@@ -255,8 +256,12 @@ fn solve(ctx: &mut SearchCtx<'_>, state: &[(usize, f64)], t: f64, budget: f64) -
             pruned = true;
             continue;
         }
-        if let Some(sub) = solve(ctx, &cand.next_state, cand.next_t, local_best - cand.seg_energy)
-        {
+        if let Some(sub) = solve(
+            ctx,
+            &cand.next_state,
+            cand.next_t,
+            local_best - cand.seg_energy,
+        ) {
             let total = cand.seg_energy + sub;
             if total < local_best {
                 local_best = total;

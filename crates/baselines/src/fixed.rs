@@ -233,7 +233,13 @@ mod tests {
 
     #[test]
     fn single_job_matches_mdf_choice() {
-        let jobs = JobSet::new(vec![Job::new(JobId(1), scenarios::lambda1(), 0.0, 9.0, 1.0)]);
+        let jobs = JobSet::new(vec![Job::new(
+            JobId(1),
+            scenarios::lambda1(),
+            0.0,
+            9.0,
+            1.0,
+        )]);
         let platform = scenarios::platform();
         let schedule = FixedMapper::new().schedule(&jobs, &platform, 0.0).unwrap();
         assert!((schedule.energy(&jobs) - 8.9).abs() < 1e-9);

@@ -83,8 +83,7 @@ impl Scheduler for IncrementalMapper {
             let free = platform.counts().saturating_sub(&used);
             let choice = (0..job.app().num_points())
                 .filter(|&j| {
-                    job.point(j).resources().fits_within(&free)
-                        && job.meets_deadline_with(j, now)
+                    job.point(j).resources().fits_within(&free) && job.meets_deadline_with(j, now)
                 })
                 .min_by(|&a, &b| job.remaining_energy(a).total_cmp(&job.remaining_energy(b)));
             let Some(point) = choice else {
@@ -152,7 +151,13 @@ mod tests {
     fn first_job_gets_cheapest_feasible_point() {
         let mut inc = IncrementalMapper::new();
         let platform = scenarios::platform();
-        let jobs = JobSet::new(vec![Job::new(JobId(1), scenarios::lambda1(), 0.0, 9.0, 1.0)]);
+        let jobs = JobSet::new(vec![Job::new(
+            JobId(1),
+            scenarios::lambda1(),
+            0.0,
+            9.0,
+            1.0,
+        )]);
         let s = inc.schedule(&jobs, &platform, 0.0).unwrap();
         s.validate(&jobs, &platform, 0.0).unwrap();
         assert!((s.energy(&jobs) - 8.9).abs() < 1e-9);
@@ -197,7 +202,9 @@ mod tests {
             1.0,
         )]);
         inc.schedule(&first, &platform, 0.0).unwrap(); // takes 2L1B
-        assert!(inc.schedule(&scenarios::s1_jobs_at_t1(), &platform, 1.0).is_none());
+        assert!(inc
+            .schedule(&scenarios::s1_jobs_at_t1(), &platform, 1.0)
+            .is_none());
         // Rejection must not leak state for σ2.
         assert!(inc.assignment(JobId(2)).is_none());
         assert_eq!(inc.assignment(JobId(1)), Some(6));

@@ -1,0 +1,201 @@
+//! Execution-engine hot path: the indexed `ExecutionEngine` against the
+//! pre-refactor linear-scan accounting, plus the end-to-end
+//! `RuntimeManager::run_to_completion` cost on a long Poisson stream.
+//!
+//! `LinearManager` drives the hidden `LinearScanEngine` through exactly the
+//! pre-refactor admission/advance logic, so `linear_scan_pre_refactor` is
+//! the old implementation and `indexed_engine` is the new one, with the
+//! identical MMKP-MDF scheduler doing the identical work in both.
+
+use amrm_core::{EngineJob, ExecutionEngine, LinearScanEngine, MmkpMdf, Scheduler};
+use amrm_dataflow::apps;
+use amrm_model::{AppRef, JobId, JobMapping, JobSet, Schedule, Segment};
+use amrm_platform::{Platform, EPS};
+use amrm_workload::{poisson_stream, scenarios, ScenarioRequest, StreamSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// The pre-refactor runtime manager, reconstructed over the linear-scan
+/// engine: submit re-schedules on arrival, advance walks completions.
+struct LinearManager {
+    platform: Platform,
+    scheduler: MmkpMdf,
+    engine: LinearScanEngine,
+    next_id: u64,
+}
+
+impl LinearManager {
+    fn new(platform: Platform) -> Self {
+        LinearManager {
+            platform,
+            scheduler: MmkpMdf::new(),
+            engine: LinearScanEngine::new(),
+            next_id: 1,
+        }
+    }
+
+    fn submit(&mut self, app: AppRef, deadline: f64) -> bool {
+        let now = self.engine.clock();
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        let candidate = EngineJob::fresh(id, app, now, deadline);
+        let jobs: JobSet = self
+            .engine
+            .jobs()
+            .iter()
+            .chain(std::iter::once(&candidate))
+            .map(EngineJob::as_job)
+            .collect();
+        match self.scheduler.schedule(&jobs, &self.platform, now) {
+            Some(schedule) => {
+                self.engine.admit(candidate, schedule);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn advance_to(&mut self, t: f64) {
+        loop {
+            self.engine.retire_finished();
+            match self.engine.next_completion() {
+                Some(tc) if tc <= t + EPS => {
+                    self.engine.consume(tc);
+                    self.engine.retire_finished();
+                }
+                _ => {
+                    self.engine.consume(t);
+                    self.engine.retire_finished();
+                    break;
+                }
+            }
+        }
+    }
+
+    fn run_to_completion(&mut self) -> f64 {
+        while !self.engine.is_idle() {
+            let Some(end) = self.engine.schedule().end_time() else {
+                break;
+            };
+            if end <= self.engine.clock() + EPS {
+                break;
+            }
+            self.advance_to(end);
+        }
+        self.engine.total_energy()
+    }
+}
+
+fn run_linear(platform: &Platform, stream: &[ScenarioRequest]) -> f64 {
+    let mut rm = LinearManager::new(platform.clone());
+    for req in stream {
+        rm.advance_to(req.arrival);
+        rm.submit(AppRef::clone(&req.app), req.deadline);
+    }
+    rm.run_to_completion()
+}
+
+fn run_indexed(platform: &Platform, stream: &[ScenarioRequest]) -> f64 {
+    let mut rm = amrm_core::RuntimeManager::new(platform.clone(), MmkpMdf::new());
+    for req in stream {
+        rm.advance_to(req.arrival);
+        rm.submit(AppRef::clone(&req.app), req.deadline);
+    }
+    rm.run_to_completion()
+}
+
+/// A wide synthetic schedule: `jobs` jobs round-robined over `segments`
+/// segments with `width` jobs each — the shape where per-segment scans
+/// hurt.
+fn synthetic(jobs: usize, segments: usize, width: usize) -> (Vec<EngineJob>, Schedule) {
+    let app = scenarios::lambda2();
+    let engine_jobs: Vec<EngineJob> = (0..jobs)
+        .map(|i| {
+            let mut job = EngineJob::fresh(JobId(i as u64 + 1), AppRef::clone(&app), 0.0, 1e9);
+            // Half-done jobs: they complete at staggered points inside the
+            // schedule, so the completion loop actually turns over.
+            job.remaining = 0.5;
+            job
+        })
+        .collect();
+    let mut schedule = Schedule::new();
+    let dur = 0.05; // short slices: every job needs many segments to finish
+    for s in 0..segments {
+        let mappings = (0..width)
+            .map(|w| JobMapping::new(JobId(((s * width + w) % jobs) as u64 + 1), 0))
+            .collect();
+        schedule.push(Segment::new(s as f64 * dur, (s + 1) as f64 * dur, mappings));
+    }
+    (engine_jobs, schedule)
+}
+
+macro_rules! drive {
+    ($name:ident, $engine:ty) => {
+        fn $name(jobs: &[EngineJob], schedule: &Schedule) -> f64 {
+            let mut engine = <$engine>::new();
+            for (i, job) in jobs.iter().enumerate() {
+                if i + 1 == jobs.len() {
+                    engine.admit(job.clone(), schedule.clone());
+                } else {
+                    engine.admit(job.clone(), Schedule::new());
+                }
+            }
+            while let Some(tc) = engine.next_completion() {
+                engine.consume(tc);
+                engine.retire_finished();
+            }
+            if let Some(end) = schedule.end_time() {
+                engine.consume(end);
+            }
+            engine.total_energy()
+        }
+    };
+}
+
+drive!(drive_indexed, ExecutionEngine);
+drive!(drive_linear, LinearScanEngine);
+
+fn bench_engine(c: &mut Criterion) {
+    let platform = Platform::odroid_xu4();
+    let library = apps::benchmark_suite(&platform);
+    let spec = StreamSpec {
+        requests: 150,
+        slack_range: (1.2, 3.0),
+    };
+    let stream = poisson_stream(&library, 4.0, &spec, 2020);
+
+    // Both managers must agree before their timings mean anything.
+    let e_linear = run_linear(&platform, &stream);
+    let e_indexed = run_indexed(&platform, &stream);
+    assert!(
+        (e_linear - e_indexed).abs() < 1e-6,
+        "engines diverged: linear {e_linear} vs indexed {e_indexed}"
+    );
+
+    let mut group = c.benchmark_group("run_to_completion_150req_poisson");
+    group.sample_size(10);
+    group.bench_function("linear_scan_pre_refactor", |b| {
+        b.iter(|| run_linear(&platform, &stream))
+    });
+    group.bench_function("indexed_engine", |b| {
+        b.iter(|| run_indexed(&platform, &stream))
+    });
+    group.finish();
+
+    let (jobs, schedule) = synthetic(96, 1200, 12);
+    let s_linear = drive_linear(&jobs, &schedule);
+    let s_indexed = drive_indexed(&jobs, &schedule);
+    assert!((s_linear - s_indexed).abs() < 1e-6, "hot path diverged");
+
+    let mut group = c.benchmark_group("engine_hotpath_96jobs_1200segs");
+    group.sample_size(10);
+    group.bench_function("linear_scan_pre_refactor", |b| {
+        b.iter(|| drive_linear(&jobs, &schedule))
+    });
+    group.bench_function("indexed_engine", |b| {
+        b.iter(|| drive_indexed(&jobs, &schedule))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

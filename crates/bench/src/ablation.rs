@@ -2,8 +2,8 @@
 //! the MDF job-order policy, the value of adaptivity at admission time
 //! (incremental/fixed/LR/MDF under load), and DVFS-aware characterization.
 
-use amrm_baselines::{FixedMapper, IncrementalMapper, MmkpLr};
-use amrm_core::{JobOrderPolicy, MmkpMdf, MmkpVariant, ReactivationPolicy, Scheduler};
+use amrm_baselines::{standard_registry, EXMEM_NAME, FIXED_NAME};
+use amrm_core::{JobOrderPolicy, MmkpVariant, ReactivationPolicy, Scheduler, SchedulerRegistry};
 use amrm_dataflow::{apps, characterize, characterize_dvfs, odroid_xu4_dvfs, CharacterizeConfig};
 use amrm_metrics::{geometric_mean, TextTable};
 use amrm_platform::Platform;
@@ -62,9 +62,29 @@ pub fn job_order_report(cases: &[TestCase], platform: &Platform) -> String {
     out
 }
 
-/// Compares admission quality of the four RM classes under an online
+/// The registry for online-load ablations: every standard scheduler except
+/// EX-MEM, whose exponential search is not an online candidate once more
+/// than a handful of jobs overlap.
+pub fn online_registry() -> SchedulerRegistry {
+    let standard = standard_registry();
+    let names: Vec<&str> = standard
+        .names()
+        .into_iter()
+        .filter(|n| *n != EXMEM_NAME)
+        .collect();
+    standard.subset(&names)
+}
+
+/// Compares admission quality of the registered RM classes under an online
 /// Poisson load (extension: the paper evaluates static snapshots).
-pub fn online_admission_report(platform: &Platform, seed: u64) -> String {
+///
+/// The fixed mapper re-activates at completions as well (its Fig. 1(b)
+/// best case); every other scheduler re-activates on arrivals only.
+pub fn online_admission_report(
+    platform: &Platform,
+    seed: u64,
+    registry: &SchedulerRegistry,
+) -> String {
     let library = apps::benchmark_suite(platform);
     let spec = StreamSpec {
         requests: 40,
@@ -74,29 +94,12 @@ pub fn online_admission_report(platform: &Platform, seed: u64) -> String {
 
     let mut out = String::from("Ablation: online admission under Poisson load (mean 5 s)\n\n");
     let mut t = TextTable::new(vec!["RM class", "accepted", "energy/job [J]", "misses"]);
-    let runs: Vec<(&str, Box<dyn Scheduler>, ReactivationPolicy)> = vec![
-        (
-            "MMKP-MDF (adaptive)",
-            Box::new(MmkpMdf::new()),
-            ReactivationPolicy::OnArrival,
-        ),
-        (
-            "MMKP-LR (per-segment)",
-            Box::new(MmkpLr::new()),
-            ReactivationPolicy::OnArrival,
-        ),
-        (
-            "FIXED (remap @ events)",
-            Box::new(FixedMapper::new()),
-            ReactivationPolicy::OnArrivalAndCompletion,
-        ),
-        (
-            "INCREMENTAL (free cores)",
-            Box::new(IncrementalMapper::new()),
-            ReactivationPolicy::OnArrival,
-        ),
-    ];
-    for (name, scheduler, policy) in runs {
+    for (name, scheduler) in registry.instantiate_all() {
+        let policy = if name == FIXED_NAME {
+            ReactivationPolicy::OnArrivalAndCompletion
+        } else {
+            ReactivationPolicy::OnArrival
+        };
         let outcome = run_scenario(platform.clone(), scheduler, policy, &stream);
         t.add_row(vec![
             name.to_string(),
@@ -167,6 +170,16 @@ mod tests {
         let report = job_order_report(&cases, &scenarios::platform());
         assert!(report.contains("MDF"));
         assert!(report.contains("cheapest-first"));
+    }
+
+    #[test]
+    fn online_registry_runs_everything_but_exmem() {
+        let registry = online_registry();
+        assert!(!registry.names().contains(&EXMEM_NAME));
+        assert_eq!(registry.len(), standard_registry().len() - 1);
+        let report =
+            online_admission_report(&scenarios::platform(), 7, &registry.subset(&[FIXED_NAME]));
+        assert!(report.contains("FIXED"));
     }
 
     #[test]

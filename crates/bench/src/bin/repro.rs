@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [COMMAND] [--seed N] [--threads N] [--quick] [--suite-out FILE]
+//!       [--json FILE] [--schedulers A,B,...]
 //!
 //! COMMANDS
 //!   table2      Table II  — motivational operating points
@@ -15,16 +16,22 @@
 //!   all         everything above except `ablation` (default)
 //!
 //! OPTIONS
-//!   --seed N        RNG seed for suite generation (default 2020)
-//!   --threads N     worker threads (default: available parallelism)
-//!   --quick         divide all Table III counts by 10 (smoke run)
-//!   --suite-out F   save the generated suite as JSON
+//!   --seed N         RNG seed for suite generation (default 2020)
+//!   --threads N      worker threads (default: available parallelism)
+//!   --quick          divide all Table III counts by 10 (smoke run)
+//!   --suite-out F    save the generated suite as JSON
+//!   --json F         with suite commands: write per-scheduler energy/
+//!                    feasibility/search-time aggregates to F
+//!   --schedulers L   comma-separated registry subset to evaluate (suite
+//!                    commands and ablation; default: every registered scheduler)
 //! ```
 
 use std::process::ExitCode;
 
-use amrm_bench::reports;
+use amrm_baselines::standard_registry;
 use amrm_bench::runner::evaluate_suite;
+use amrm_bench::{baseline, reports};
+use amrm_core::SchedulerRegistry;
 use amrm_dataflow::apps;
 use amrm_platform::Platform;
 use amrm_workload::{generate_suite, save_suite, SuiteSpec};
@@ -35,6 +42,8 @@ struct Options {
     threads: usize,
     quick: bool,
     suite_out: Option<String>,
+    json_out: Option<String>,
+    schedulers: Option<Vec<String>>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -46,6 +55,8 @@ fn parse_args() -> Result<Options, String> {
             .unwrap_or(4),
         quick: false,
         suite_out: None,
+        json_out: None,
+        schedulers: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -68,6 +79,13 @@ fn parse_args() -> Result<Options, String> {
             "--suite-out" => {
                 opts.suite_out = Some(args.next().ok_or("--suite-out needs a path")?);
             }
+            "--json" => {
+                opts.json_out = Some(args.next().ok_or("--json needs a path")?);
+            }
+            "--schedulers" => {
+                let list = args.next().ok_or("--schedulers needs a list")?;
+                opts.schedulers = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+            }
             "--help" | "-h" => {
                 return Err("help".to_string());
             }
@@ -78,6 +96,25 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+/// Resolves the evaluation registry: the full standard registry, or the
+/// `--schedulers` subset of it.
+fn resolve_registry(opts: &Options) -> Result<SchedulerRegistry, String> {
+    let standard = standard_registry();
+    let Some(requested) = &opts.schedulers else {
+        return Ok(standard);
+    };
+    for name in requested {
+        if standard.index_of(name).is_none() {
+            return Err(format!(
+                "unknown scheduler `{name}` (registered: {})",
+                standard.names().join(", ")
+            ));
+        }
+    }
+    let names: Vec<&str> = requested.iter().map(String::as_str).collect();
+    Ok(standard.subset(&names))
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -85,7 +122,11 @@ fn main() -> ExitCode {
             if msg != "help" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!("usage: repro [table2|motivation|table3|fig2|table4|fig3|fig4|all] [--seed N] [--threads N] [--quick] [--suite-out FILE]");
+            eprintln!(
+                "usage: repro [table2|motivation|table3|fig2|table4|fig3|fig4|ablation|all] \
+                 [--seed N] [--threads N] [--quick] [--suite-out FILE] [--json FILE] \
+                 [--schedulers A,B,...]"
+            );
             return if msg == "help" {
                 ExitCode::SUCCESS
             } else {
@@ -93,6 +134,34 @@ fn main() -> ExitCode {
             };
         }
     };
+    let registry = match resolve_registry(&opts) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Reject flags the selected command would silently ignore.
+    let evaluates_suite = matches!(
+        opts.command.as_str(),
+        "fig2" | "table4" | "fig3" | "fig4" | "all"
+    );
+    if opts.json_out.is_some() && !evaluates_suite {
+        eprintln!(
+            "error: --json only applies to commands that evaluate the suite \
+             (fig2, table4, fig3, fig4, all), not `{}`",
+            opts.command
+        );
+        return ExitCode::FAILURE;
+    }
+    if opts.schedulers.is_some() && !evaluates_suite && opts.command != "ablation" {
+        eprintln!(
+            "error: --schedulers only applies to suite evaluation or `ablation`, not `{}`",
+            opts.command
+        );
+        return ExitCode::FAILURE;
+    }
 
     let needs_suite = matches!(
         opts.command.as_str(),
@@ -113,9 +182,16 @@ fn main() -> ExitCode {
             "{}",
             amrm_bench::ablation::job_order_report(&suite, &amrm_workload::scenarios::platform())
         );
+        // An explicit --schedulers subset overrides the default online
+        // registry (which is every scheduler except EX-MEM).
+        let online = if opts.schedulers.is_some() {
+            registry
+        } else {
+            amrm_bench::ablation::online_registry()
+        };
         println!(
             "{}",
-            amrm_bench::ablation::online_admission_report(&platform, opts.seed)
+            amrm_bench::ablation::online_admission_report(&platform, opts.seed, &online)
         );
         println!("{}", amrm_bench::ablation::dvfs_report());
         return ExitCode::SUCCESS;
@@ -126,7 +202,10 @@ fn main() -> ExitCode {
     }
 
     let platform = Platform::odroid_xu4();
-    eprintln!("characterizing application library on {} ...", platform.name());
+    eprintln!(
+        "characterizing application library on {} ...",
+        platform.name()
+    );
     let library = apps::benchmark_suite(&platform);
     println!("{}", reports::library_report(&library));
 
@@ -162,24 +241,36 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "evaluating {} cases × 3 schedulers on {} threads ...",
+        "evaluating {} cases × {} schedulers ({}) on {} threads ...",
         cases.len(),
+        registry.len(),
+        registry.names().join(", "),
         opts.threads
     );
     let t0 = std::time::Instant::now();
-    let results = evaluate_suite(&cases, &platform, opts.threads);
-    eprintln!("evaluation finished in {:.1} s", t0.elapsed().as_secs_f64());
+    let eval = evaluate_suite(&cases, &platform, opts.threads, &registry);
+    let elapsed = t0.elapsed().as_secs_f64();
+    eprintln!("evaluation finished in {elapsed:.1} s");
+
+    if let Some(path) = &opts.json_out {
+        let summary = baseline::summarize(&eval, opts.seed, opts.threads, opts.quick, elapsed);
+        if let Err(e) = baseline::write_json(path, &summary) {
+            eprintln!("error: cannot write baseline to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("perf baseline written to {path}");
+    }
 
     match opts.command.as_str() {
-        "fig2" => println!("{}", reports::fig2_report(&results)),
-        "table4" => println!("{}", reports::table4_report(&results)),
-        "fig3" => println!("{}", reports::fig3_report(&results)),
-        "fig4" => println!("{}", reports::fig4_report(&results)),
+        "fig2" => println!("{}", reports::fig2_report(&eval)),
+        "table4" => println!("{}", reports::table4_report(&eval)),
+        "fig3" => println!("{}", reports::fig3_report(&eval)),
+        "fig4" => println!("{}", reports::fig4_report(&eval)),
         "all" => {
-            println!("{}", reports::fig2_report(&results));
-            println!("{}", reports::table4_report(&results));
-            println!("{}", reports::fig3_report(&results));
-            println!("{}", reports::fig4_report(&results));
+            println!("{}", reports::fig2_report(&eval));
+            println!("{}", reports::table4_report(&eval));
+            println!("{}", reports::fig3_report(&eval));
+            println!("{}", reports::fig4_report(&eval));
         }
         other => {
             eprintln!("error: unknown command {other}");

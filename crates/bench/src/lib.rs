@@ -2,19 +2,22 @@
 //!
 //! One module per concern:
 //!
-//! * [`runner`] — evaluates every scheduler over a workload suite,
-//!   collecting feasibility, energy and wall-clock search time;
+//! * [`runner`] — evaluates every scheduler in a
+//!   [`SchedulerRegistry`](amrm_core::SchedulerRegistry) over a workload
+//!   suite, collecting feasibility, energy and wall-clock search time;
 //! * [`reports`] — renders each table/figure of the paper from those
-//!   results (see `DESIGN.md` for the experiment index).
+//!   results, one column per registered scheduler;
+//! * [`baseline`] — condenses an evaluation into the machine-readable
+//!   perf baseline (`BENCH_baseline.json`).
 //!
-//! The `repro` binary drives both; Criterion benches under `benches/`
-//! measure steady-state scheduler overhead (Fig. 4) and ablations.
+//! The `repro` binary drives all three; Criterion benches under `benches/`
+//! measure steady-state scheduler overhead (Fig. 4), the execution-engine
+//! hot path, and ablations.
 
 pub mod ablation;
+pub mod baseline;
 pub mod reports;
 pub mod runner;
 
-pub use crate::runner::{
-    evaluate_case, evaluate_suite, relative_energies, scheduler_names, scheduling_rate,
-    search_times, CaseResult, SchedResult, EXMEM, LR, MDF,
-};
+pub use crate::baseline::{summarize, write_json, PerfBaseline, SchedulerBaseline};
+pub use crate::runner::{evaluate_case, evaluate_suite, CaseResult, SchedResult, SuiteEvaluation};

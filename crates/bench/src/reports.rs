@@ -1,15 +1,18 @@
 //! Text reports regenerating each table and figure of the paper.
+//!
+//! Every report that consumes suite results takes a
+//! [`SuiteEvaluation`] and renders one column (or block) per scheduler the
+//! evaluation ran, in registry order — adding an algorithm to the registry
+//! changes the reports without touching this module.
 
+use amrm_baselines::{FixedMapper, EXMEM_NAME};
 use amrm_core::{MmkpMdf, ReactivationPolicy};
-use amrm_baselines::FixedMapper;
 use amrm_metrics::{geometric_mean, BoxplotStats, SCurve, TextTable};
 use amrm_model::AppRef;
 use amrm_sim::run_scenario;
 use amrm_workload::{scenarios, tabulate, DeadlineLevel, TestCase};
 
-use crate::runner::{
-    relative_energies, scheduling_rate, search_times, scheduler_names, CaseResult, EXMEM, LR, MDF,
-};
+use crate::runner::SuiteEvaluation;
 
 /// Regenerates Table II: the operating points of λ1 and λ2, including the
 /// progressed-state triples (0%, 18.87%, 62.08%) the paper prints for λ1.
@@ -53,12 +56,18 @@ pub fn motivation_report() -> String {
         "Figure 1: three resource management scenarios (S1: σ1=⟨λ1,0,9⟩, σ2=⟨λ2,1,5⟩)\n\n",
     );
     let runs: [(&str, f64); 3] = [
-        ("(a) Fixed mapper, remap @ application start", scenarios::fig1::FIXED_AT_START_J),
+        (
+            "(a) Fixed mapper, remap @ application start",
+            scenarios::fig1::FIXED_AT_START_J,
+        ),
         (
             "(b) Fixed mapper, remap @ start and finish",
             scenarios::fig1::FIXED_AT_START_AND_FINISH_J,
         ),
-        ("(c) Adaptive mapper (MMKP-MDF)", scenarios::fig1::ADAPTIVE_J),
+        (
+            "(c) Adaptive mapper (MMKP-MDF)",
+            scenarios::fig1::ADAPTIVE_J,
+        ),
     ];
     for (i, (title, paper)) in runs.iter().enumerate() {
         let outcome = match i {
@@ -141,78 +150,81 @@ pub fn table3_report(cases: &[TestCase]) -> String {
     out
 }
 
+fn rate_table(eval: &SuiteEvaluation, level: DeadlineLevel) -> TextTable {
+    let mut header = vec!["# Jobs".to_string()];
+    header.extend(eval.scheduler_names.iter().cloned());
+    let mut t = TextTable::new(header);
+    for jobs in 1..=4 {
+        if let Some(rates) = eval.scheduling_rate(level, jobs) {
+            let mut row = vec![jobs.to_string()];
+            row.extend(rates.iter().map(|r| format!("{r:.1}")));
+            t.add_row(row);
+        }
+    }
+    t
+}
+
 /// Regenerates Fig. 2: scheduling success rates for tight deadlines (and,
 /// as a cross-check, the weak-deadline rates the paper reports as 100%).
-pub fn fig2_report(results: &[CaseResult]) -> String {
+pub fn fig2_report(eval: &SuiteEvaluation) -> String {
     let mut out = String::from("Figure 2: scheduling rate [%], tight deadlines\n\n");
-    let mut t = TextTable::new(vec!["# Jobs", "EX-MEM", "MMKP-LR", "MMKP-MDF"]);
-    for jobs in 1..=4 {
-        if let Some(rates) = scheduling_rate(results, DeadlineLevel::Tight, jobs) {
-            t.add_row(vec![
-                jobs.to_string(),
-                format!("{:.1}", rates[EXMEM]),
-                format!("{:.1}", rates[LR]),
-                format!("{:.1}", rates[MDF]),
-            ]);
-        }
-    }
-    out.push_str(&t.to_string());
-    out.push_str("\nWeak deadlines (paper: all 100%):\n");
-    let mut t = TextTable::new(vec!["# Jobs", "EX-MEM", "MMKP-LR", "MMKP-MDF"]);
-    for jobs in 1..=4 {
-        if let Some(rates) = scheduling_rate(results, DeadlineLevel::Weak, jobs) {
-            t.add_row(vec![
-                jobs.to_string(),
-                format!("{:.1}", rates[EXMEM]),
-                format!("{:.1}", rates[LR]),
-                format!("{:.1}", rates[MDF]),
-            ]);
-        }
-    }
-    out.push_str(&t.to_string());
+    out.push_str(&rate_table(eval, DeadlineLevel::Tight).to_string());
+    out.push_str("\nWeak deadlines (paper: all 100% for EX-MEM/MMKP-LR/MMKP-MDF):\n");
+    out.push_str(&rate_table(eval, DeadlineLevel::Weak).to_string());
     out
 }
 
+/// The schedulers compared against the optimal reference: everything in
+/// the evaluation except EX-MEM itself.
+fn challengers(eval: &SuiteEvaluation) -> Vec<&str> {
+    eval.scheduler_names
+        .iter()
+        .map(String::as_str)
+        .filter(|n| *n != EXMEM_NAME)
+        .collect()
+}
+
 /// Regenerates Table IV: geometric means of relative energy vs EX-MEM.
-pub fn table4_report(results: &[CaseResult]) -> String {
+pub fn table4_report(eval: &SuiteEvaluation) -> String {
     let mut out =
         String::from("Table IV: geometric mean of relative energy consumption vs EX-MEM\n\n");
-    let mut t = TextTable::new(vec![
-        "# Jobs",
-        "LR weak",
-        "LR tight",
-        "MDF weak",
-        "MDF tight",
-    ]);
-    let gm = |idx: usize, level: Option<DeadlineLevel>, jobs: Option<usize>| -> String {
-        match geometric_mean(&relative_energies(results, idx, level, jobs)) {
+    if eval.index_of(EXMEM_NAME).is_none() {
+        out.push_str("(EX-MEM not in this evaluation; no reference to compare against)\n");
+        return out;
+    }
+    let names = challengers(eval);
+    let mut header = vec!["# Jobs".to_string()];
+    for name in &names {
+        header.push(format!("{name} weak"));
+        header.push(format!("{name} tight"));
+    }
+    let mut t = TextTable::new(header);
+    let gm = |name: &str, level: Option<DeadlineLevel>, jobs: Option<usize>| -> String {
+        match geometric_mean(&eval.relative_energies(name, EXMEM_NAME, level, jobs)) {
             Some(g) => format!("{g:.4}"),
             None => "-".to_string(),
         }
     };
     for jobs in 1..=4 {
-        t.add_row(vec![
-            jobs.to_string(),
-            gm(LR, Some(DeadlineLevel::Weak), Some(jobs)),
-            gm(LR, Some(DeadlineLevel::Tight), Some(jobs)),
-            gm(MDF, Some(DeadlineLevel::Weak), Some(jobs)),
-            gm(MDF, Some(DeadlineLevel::Tight), Some(jobs)),
-        ]);
+        let mut row = vec![jobs.to_string()];
+        for name in &names {
+            row.push(gm(name, Some(DeadlineLevel::Weak), Some(jobs)));
+            row.push(gm(name, Some(DeadlineLevel::Tight), Some(jobs)));
+        }
+        t.add_row(row);
     }
-    t.add_row(vec![
-        "Overall".to_string(),
-        gm(LR, Some(DeadlineLevel::Weak), None),
-        gm(LR, Some(DeadlineLevel::Tight), None),
-        gm(MDF, Some(DeadlineLevel::Weak), None),
-        gm(MDF, Some(DeadlineLevel::Tight), None),
-    ]);
-    t.add_row(vec![
-        "(all levels)".to_string(),
-        gm(LR, None, None),
-        String::new(),
-        gm(MDF, None, None),
-        String::new(),
-    ]);
+    let mut row = vec!["Overall".to_string()];
+    for name in &names {
+        row.push(gm(name, Some(DeadlineLevel::Weak), None));
+        row.push(gm(name, Some(DeadlineLevel::Tight), None));
+    }
+    t.add_row(row);
+    let mut row = vec!["(all levels)".to_string()];
+    for name in &names {
+        row.push(gm(name, None, None));
+        row.push(String::new());
+    }
+    t.add_row(row);
     out.push_str(&t.to_string());
     out.push_str("\nPaper: LR overall 1.1452 (weak) / 1.1923 (tight) / 1.1665 (all);\n");
     out.push_str("       MDF overall 1.0042 (weak) / 1.0756 (tight) / 1.0356 (all).\n");
@@ -220,15 +232,16 @@ pub fn table4_report(results: &[CaseResult]) -> String {
 }
 
 /// Regenerates Fig. 3: S-curves of relative energy vs EX-MEM.
-pub fn fig3_report(results: &[CaseResult]) -> String {
-    let mut out = String::from("Figure 3: S-curves of relative energy vs EX-MEM (lower is better)\n\n");
-    for idx in [LR, MDF] {
-        let rel = relative_energies(results, idx, None, None);
+pub fn fig3_report(eval: &SuiteEvaluation) -> String {
+    let mut out =
+        String::from("Figure 3: S-curves of relative energy vs EX-MEM (lower is better)\n\n");
+    for name in challengers(eval) {
+        let rel = eval.relative_energies(name, EXMEM_NAME, None, None);
         let curve = SCurve::new(rel);
         let optimal = curve.count_at_or_below(1.0);
         out.push_str(&format!(
             "{}: {} scheduled cases, optimal in {} ({:.1}%)\n",
-            scheduler_names()[idx],
+            name,
             curve.len(),
             optimal,
             if curve.is_empty() {
@@ -249,18 +262,25 @@ pub fn fig3_report(results: &[CaseResult]) -> String {
 
 /// Regenerates Fig. 4: box plots (five-number summaries + mean) of the
 /// scheduling overhead per algorithm and job count.
-pub fn fig4_report(results: &[CaseResult]) -> String {
+pub fn fig4_report(eval: &SuiteEvaluation) -> String {
     let mut out = String::from("Figure 4: search time statistics [ms]\n\n");
     let mut t = TextTable::new(vec![
-        "Scheduler", "# Jobs", "min", "q1", "median", "q3", "max", "mean",
+        "Scheduler",
+        "# Jobs",
+        "min",
+        "q1",
+        "median",
+        "q3",
+        "max",
+        "mean",
     ]);
-    for idx in [EXMEM, LR, MDF] {
+    for name in &eval.scheduler_names {
         for jobs in 1..=4 {
-            let times = search_times(results, idx, jobs);
+            let times = eval.search_times(name, jobs);
             if let Some(s) = BoxplotStats::from_samples(&times) {
                 let ms = |v: f64| format!("{:.3}", v * 1e3);
                 t.add_row(vec![
-                    scheduler_names()[idx].to_string(),
+                    name.clone(),
                     jobs.to_string(),
                     ms(s.min),
                     ms(s.q1),
@@ -282,7 +302,12 @@ pub fn fig4_report(results: &[CaseResult]) -> String {
 /// Summary block listing the application library used for the suite.
 pub fn library_report(apps: &[AppRef]) -> String {
     let mut out = String::from("Application library (characterized by amrm-dataflow):\n");
-    let mut t = TextTable::new(vec!["Application", "Pareto points", "τ range [s]", "ξ range [J]"]);
+    let mut t = TextTable::new(vec![
+        "Application",
+        "Pareto points",
+        "τ range [s]",
+        "ξ range [J]",
+    ]);
     for app in apps {
         let tmin = app
             .points()
@@ -311,6 +336,7 @@ pub fn library_report(apps: &[AppRef]) -> String {
 mod tests {
     use super::*;
     use crate::runner::evaluate_suite;
+    use amrm_baselines::standard_registry;
     use amrm_workload::{generate_suite, SuiteSpec};
 
     #[test]
@@ -339,16 +365,38 @@ mod tests {
             ..SuiteSpec::default()
         };
         let cases = generate_suite(&lib, &spec, 3);
-        let results = evaluate_suite(&cases, &scenarios::platform(), 2);
+        let eval = evaluate_suite(&cases, &scenarios::platform(), 2, &standard_registry());
         for report in [
             table3_report(&cases),
-            fig2_report(&results),
-            table4_report(&results),
-            fig3_report(&results),
-            fig4_report(&results),
+            fig2_report(&eval),
+            table4_report(&eval),
+            fig3_report(&eval),
+            fig4_report(&eval),
             library_report(&lib),
         ] {
             assert!(!report.is_empty());
         }
+    }
+
+    #[test]
+    fn reports_include_every_registered_scheduler() {
+        let lib = vec![scenarios::lambda1(), scenarios::lambda2()];
+        let spec = SuiteSpec {
+            weak_counts: [1, 1, 0, 0],
+            tight_counts: [1, 1, 0, 0],
+            ..SuiteSpec::default()
+        };
+        let cases = generate_suite(&lib, &spec, 5);
+        let eval = evaluate_suite(&cases, &scenarios::platform(), 1, &standard_registry());
+        let fig2 = fig2_report(&eval);
+        let fig4 = fig4_report(&eval);
+        for name in &eval.scheduler_names {
+            assert!(fig2.contains(name.as_str()), "fig2 missing {name}");
+            assert!(fig4.contains(name.as_str()), "fig4 missing {name}");
+        }
+        // Table IV compares the challengers against EX-MEM.
+        let table4 = table4_report(&eval);
+        assert!(table4.contains("FIXED weak"));
+        assert!(table4.contains("INCREMENTAL tight"));
     }
 }

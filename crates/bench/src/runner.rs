@@ -1,34 +1,18 @@
-//! Suite evaluation: run every scheduler over every test case and collect
-//! feasibility, energy and search time.
+//! Suite evaluation: run every registered scheduler over every test case
+//! and collect feasibility, energy and search time.
+//!
+//! The set of algorithms is not hard-coded: callers hand in a
+//! [`SchedulerRegistry`] (usually [`amrm_baselines::standard_registry`])
+//! and every result row carries one [`SchedResult`] per registered
+//! scheduler, in registry order. Result queries are by scheduler *name*,
+//! so reports keep working when schedulers are added or reordered.
 
 use std::time::Instant;
 
-use amrm_baselines::{ExMem, MmkpLr};
-use amrm_core::{MmkpMdf, Scheduler};
+use amrm_core::SchedulerRegistry;
 use amrm_platform::Platform;
 use amrm_workload::{DeadlineLevel, TestCase};
 use serde::{Deserialize, Serialize};
-
-/// Index of EX-MEM in [`scheduler_names`] and every per-scheduler array.
-pub const EXMEM: usize = 0;
-/// Index of MMKP-LR.
-pub const LR: usize = 1;
-/// Index of MMKP-MDF.
-pub const MDF: usize = 2;
-
-/// The evaluated algorithms, in the order used by all result arrays.
-pub fn scheduler_names() -> [&'static str; 3] {
-    ["EX-MEM", "MMKP-LR", "MMKP-MDF"]
-}
-
-fn make_scheduler(idx: usize) -> Box<dyn Scheduler> {
-    match idx {
-        EXMEM => Box::new(ExMem::new()),
-        LR => Box::new(MmkpLr::new()),
-        MDF => Box::new(MmkpMdf::new()),
-        _ => unreachable!("unknown scheduler index"),
-    }
-}
 
 /// Result of one scheduler on one test case.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -50,31 +34,140 @@ pub struct CaseResult {
     pub level: DeadlineLevel,
     /// Number of jobs (1–4).
     pub num_jobs: usize,
-    /// Per-scheduler outcomes, indexed by [`EXMEM`]/[`LR`]/[`MDF`].
-    pub schedulers: [SchedResult; 3],
+    /// Per-scheduler outcomes, in the registry order recorded by the
+    /// enclosing [`SuiteEvaluation`].
+    pub schedulers: Vec<SchedResult>,
 }
 
-/// Evaluates one case with every scheduler (validating each schedule).
-pub fn evaluate_case(case: &TestCase, platform: &Platform) -> CaseResult {
-    let jobs = case.to_job_set();
-    let schedulers: [SchedResult; 3] = std::array::from_fn(|idx| {
-        let mut scheduler = make_scheduler(idx);
-        let t0 = Instant::now();
-        let schedule = scheduler.schedule(&jobs, platform, 0.0);
-        let seconds = t0.elapsed().as_secs_f64();
-        match schedule {
-            Some(s) if s.validate(&jobs, platform, 0.0).is_ok() => SchedResult {
-                feasible: true,
-                energy: s.energy(&jobs),
-                seconds,
-            },
-            _ => SchedResult {
-                feasible: false,
-                energy: f64::NAN,
-                seconds,
-            },
+/// A whole suite's results plus the scheduler enumeration they are keyed
+/// by.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteEvaluation {
+    /// Scheduler names, in the column order of every
+    /// [`CaseResult::schedulers`] vector.
+    pub scheduler_names: Vec<String>,
+    /// One row per test case, in input order.
+    pub results: Vec<CaseResult>,
+}
+
+impl SuiteEvaluation {
+    /// The column index of `scheduler`, if registered for this run.
+    pub fn index_of(&self, scheduler: &str) -> Option<usize> {
+        self.scheduler_names.iter().position(|n| n == scheduler)
+    }
+
+    /// Scheduling success rate (%) per scheduler for a (level, #jobs)
+    /// bucket — the bars of Fig. 2. Returns `None` for an empty bucket.
+    ///
+    /// The returned vector is aligned with
+    /// [`scheduler_names`](SuiteEvaluation::scheduler_names).
+    pub fn scheduling_rate(&self, level: DeadlineLevel, num_jobs: usize) -> Option<Vec<f64>> {
+        let bucket: Vec<&CaseResult> = self
+            .results
+            .iter()
+            .filter(|r| r.level == level && r.num_jobs == num_jobs)
+            .collect();
+        if bucket.is_empty() {
+            return None;
         }
-    });
+        Some(
+            (0..self.scheduler_names.len())
+                .map(|idx| {
+                    let ok = bucket.iter().filter(|r| r.schedulers[idx].feasible).count();
+                    100.0 * ok as f64 / bucket.len() as f64
+                })
+                .collect(),
+        )
+    }
+
+    /// Relative energies of `scheduler` vs `reference` over a bucket
+    /// (cases where both found a schedule) — the samples behind Table IV
+    /// and Fig. 3. Empty if either name is unknown.
+    ///
+    /// When the reference is the optimal EX-MEM, ratios are clamped to
+    /// `≥ 1.0`: a heuristic can only *tie* the optimum, so sub-1 values
+    /// are float noise. Any other reference can genuinely be beaten, so
+    /// ratios are reported as-is.
+    pub fn relative_energies(
+        &self,
+        scheduler: &str,
+        reference: &str,
+        level: Option<DeadlineLevel>,
+        num_jobs: Option<usize>,
+    ) -> Vec<f64> {
+        let (Some(idx), Some(ref_idx)) = (self.index_of(scheduler), self.index_of(reference))
+        else {
+            return Vec::new();
+        };
+        let reference_is_optimal = reference == amrm_baselines::EXMEM_NAME;
+        self.results
+            .iter()
+            .filter(|r| level.is_none_or(|l| r.level == l))
+            .filter(|r| num_jobs.is_none_or(|n| r.num_jobs == n))
+            .filter(|r| r.schedulers[idx].feasible && r.schedulers[ref_idx].feasible)
+            .map(|r| {
+                let rel = r.schedulers[idx].energy / r.schedulers[ref_idx].energy;
+                if reference_is_optimal {
+                    rel.max(1.0)
+                } else {
+                    rel
+                }
+            })
+            .collect()
+    }
+
+    /// Search times (seconds) of `scheduler` over cases with `num_jobs`
+    /// jobs — the samples behind Fig. 4. Empty if the name is unknown.
+    pub fn search_times(&self, scheduler: &str, num_jobs: usize) -> Vec<f64> {
+        let Some(idx) = self.index_of(scheduler) else {
+            return Vec::new();
+        };
+        self.results
+            .iter()
+            .filter(|r| r.num_jobs == num_jobs)
+            .map(|r| r.schedulers[idx].seconds)
+            .collect()
+    }
+
+    /// A copy of this evaluation restricted to the cases accepted by
+    /// `keep`.
+    pub fn filtered(&self, keep: impl Fn(&CaseResult) -> bool) -> SuiteEvaluation {
+        SuiteEvaluation {
+            scheduler_names: self.scheduler_names.clone(),
+            results: self.results.iter().filter(|r| keep(r)).cloned().collect(),
+        }
+    }
+}
+
+/// Evaluates one case with every registered scheduler (validating each
+/// schedule).
+pub fn evaluate_case(
+    case: &TestCase,
+    platform: &Platform,
+    registry: &SchedulerRegistry,
+) -> CaseResult {
+    let jobs = case.to_job_set();
+    let schedulers = registry
+        .iter()
+        .map(|(_, factory)| {
+            let mut scheduler = factory();
+            let t0 = Instant::now();
+            let schedule = scheduler.schedule(&jobs, platform, 0.0);
+            let seconds = t0.elapsed().as_secs_f64();
+            match schedule {
+                Some(s) if s.validate(&jobs, platform, 0.0).is_ok() => SchedResult {
+                    feasible: true,
+                    energy: s.energy(&jobs),
+                    seconds,
+                },
+                _ => SchedResult {
+                    feasible: false,
+                    energy: f64::NAN,
+                    seconds,
+                },
+            }
+        })
+        .collect();
     CaseResult {
         case_id: case.id,
         level: case.level,
@@ -83,16 +176,32 @@ pub fn evaluate_case(case: &TestCase, platform: &Platform) -> CaseResult {
     }
 }
 
-/// Evaluates a whole suite, fanning the cases out over `threads` OS
-/// threads.
+/// Evaluates a whole suite with every scheduler in `registry`, fanning the
+/// cases out over `threads` OS threads.
 ///
 /// # Panics
 ///
-/// Panics if `threads` is zero.
-pub fn evaluate_suite(cases: &[TestCase], platform: &Platform, threads: usize) -> Vec<CaseResult> {
+/// Panics if `threads` is zero or the registry is empty.
+pub fn evaluate_suite(
+    cases: &[TestCase],
+    platform: &Platform,
+    threads: usize,
+    registry: &SchedulerRegistry,
+) -> SuiteEvaluation {
     assert!(threads > 0, "need at least one worker thread");
+    assert!(
+        !registry.is_empty(),
+        "registry must hold at least one scheduler"
+    );
+    let scheduler_names: Vec<String> = registry.names().iter().map(|n| n.to_string()).collect();
     if threads == 1 || cases.len() < 2 {
-        return cases.iter().map(|c| evaluate_case(c, platform)).collect();
+        return SuiteEvaluation {
+            scheduler_names,
+            results: cases
+                .iter()
+                .map(|c| evaluate_case(c, platform, registry))
+                .collect(),
+        };
     }
     let mut results: Vec<Option<CaseResult>> = vec![None; cases.len()];
     let chunk = cases.len().div_ceil(threads);
@@ -100,73 +209,24 @@ pub fn evaluate_suite(cases: &[TestCase], platform: &Platform, threads: usize) -
         for (case_chunk, out_chunk) in cases.chunks(chunk).zip(results.chunks_mut(chunk)) {
             scope.spawn(move || {
                 for (case, slot) in case_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(evaluate_case(case, platform));
+                    *slot = Some(evaluate_case(case, platform, registry));
                 }
             });
         }
     });
-    results
-        .into_iter()
-        .map(|r| r.expect("all slots filled by workers"))
-        .collect()
-}
-
-/// Scheduling success rate (%) per scheduler for a (level, #jobs) bucket —
-/// the bars of Fig. 2.
-pub fn scheduling_rate(
-    results: &[CaseResult],
-    level: DeadlineLevel,
-    num_jobs: usize,
-) -> Option<[f64; 3]> {
-    let bucket: Vec<&CaseResult> = results
-        .iter()
-        .filter(|r| r.level == level && r.num_jobs == num_jobs)
-        .collect();
-    if bucket.is_empty() {
-        return None;
+    SuiteEvaluation {
+        scheduler_names,
+        results: results
+            .into_iter()
+            .map(|r| r.expect("all slots filled by workers"))
+            .collect(),
     }
-    Some(std::array::from_fn(|idx| {
-        let ok = bucket.iter().filter(|r| r.schedulers[idx].feasible).count();
-        100.0 * ok as f64 / bucket.len() as f64
-    }))
-}
-
-/// Relative energies vs EX-MEM for scheduler `idx` over a bucket (cases
-/// where both the scheduler and EX-MEM found a schedule) — the samples
-/// behind Table IV and Fig. 3.
-pub fn relative_energies(
-    results: &[CaseResult],
-    idx: usize,
-    level: Option<DeadlineLevel>,
-    num_jobs: Option<usize>,
-) -> Vec<f64> {
-    results
-        .iter()
-        .filter(|r| level.is_none_or(|l| r.level == l))
-        .filter(|r| num_jobs.is_none_or(|n| r.num_jobs == n))
-        .filter(|r| r.schedulers[idx].feasible && r.schedulers[EXMEM].feasible)
-        .map(|r| {
-            let rel = r.schedulers[idx].energy / r.schedulers[EXMEM].energy;
-            // Guard against heuristics occasionally *tying* the optimum
-            // within float noise: clamp to 1.0 from below.
-            rel.max(1.0)
-        })
-        .collect()
-}
-
-/// Search times (seconds) of scheduler `idx` over cases with `num_jobs`
-/// jobs — the samples behind Fig. 4.
-pub fn search_times(results: &[CaseResult], idx: usize, num_jobs: usize) -> Vec<f64> {
-    results
-        .iter()
-        .filter(|r| r.num_jobs == num_jobs)
-        .map(|r| r.schedulers[idx].seconds)
-        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use amrm_baselines::{standard_registry, EXMEM_NAME, LR_NAME, MDF_NAME};
     use amrm_workload::{generate_suite, scenarios, SuiteSpec};
 
     fn small_suite() -> Vec<TestCase> {
@@ -180,18 +240,33 @@ mod tests {
     }
 
     #[test]
+    fn evaluation_covers_all_registered_schedulers() {
+        let platform = scenarios::platform();
+        let registry = standard_registry();
+        let eval = evaluate_suite(&small_suite(), &platform, 1, &registry);
+        assert_eq!(eval.scheduler_names.len(), registry.len());
+        for r in &eval.results {
+            assert_eq!(r.schedulers.len(), registry.len());
+        }
+        // FIXED and INCREMENTAL are evaluated alongside the paper's three.
+        assert!(eval.index_of("FIXED").is_some());
+        assert!(eval.index_of("INCREMENTAL").is_some());
+    }
+
+    #[test]
     fn exmem_is_never_beaten() {
         let platform = scenarios::platform();
-        let results = evaluate_suite(&small_suite(), &platform, 1);
-        for r in &results {
-            if r.schedulers[EXMEM].feasible {
-                for idx in [LR, MDF] {
-                    if r.schedulers[idx].feasible {
+        let eval = evaluate_suite(&small_suite(), &platform, 1, &standard_registry());
+        let opt = eval.index_of(EXMEM_NAME).unwrap();
+        for r in &eval.results {
+            if r.schedulers[opt].feasible {
+                for (idx, name) in eval.scheduler_names.iter().enumerate() {
+                    if idx != opt && r.schedulers[idx].feasible {
                         assert!(
-                            r.schedulers[idx].energy >= r.schedulers[EXMEM].energy - 1e-6,
+                            r.schedulers[idx].energy >= r.schedulers[opt].energy - 1e-6,
                             "case {}: {} beat EX-MEM",
                             r.case_id,
-                            scheduler_names()[idx]
+                            name
                         );
                     }
                 }
@@ -202,11 +277,14 @@ mod tests {
     #[test]
     fn exmem_schedules_whenever_heuristics_do() {
         let platform = scenarios::platform();
-        let results = evaluate_suite(&small_suite(), &platform, 1);
-        for r in &results {
-            if r.schedulers[MDF].feasible || r.schedulers[LR].feasible {
+        let eval = evaluate_suite(&small_suite(), &platform, 1, &standard_registry());
+        let opt = eval.index_of(EXMEM_NAME).unwrap();
+        let mdf = eval.index_of(MDF_NAME).unwrap();
+        let lr = eval.index_of(LR_NAME).unwrap();
+        for r in &eval.results {
+            if r.schedulers[mdf].feasible || r.schedulers[lr].feasible {
                 assert!(
-                    r.schedulers[EXMEM].feasible,
+                    r.schedulers[opt].feasible,
                     "case {}: EX-MEM missed a feasible case",
                     r.case_id
                 );
@@ -218,11 +296,13 @@ mod tests {
     fn parallel_and_serial_agree_on_feasibility() {
         let platform = scenarios::platform();
         let suite = small_suite();
-        let serial = evaluate_suite(&suite, &platform, 1);
-        let parallel = evaluate_suite(&suite, &platform, 4);
-        for (a, b) in serial.iter().zip(&parallel) {
+        let registry = standard_registry();
+        let serial = evaluate_suite(&suite, &platform, 1, &registry);
+        let parallel = evaluate_suite(&suite, &platform, 4, &registry);
+        assert_eq!(serial.scheduler_names, parallel.scheduler_names);
+        for (a, b) in serial.results.iter().zip(&parallel.results) {
             assert_eq!(a.case_id, b.case_id);
-            for idx in 0..3 {
+            for idx in 0..serial.scheduler_names.len() {
                 assert_eq!(a.schedulers[idx].feasible, b.schedulers[idx].feasible);
                 if a.schedulers[idx].feasible {
                     assert!((a.schedulers[idx].energy - b.schedulers[idx].energy).abs() < 1e-9);
@@ -234,19 +314,11 @@ mod tests {
     #[test]
     fn single_job_relative_energy_is_one() {
         let platform = scenarios::platform();
-        let results = evaluate_suite(&small_suite(), &platform, 1);
-        for idx in [LR, MDF] {
-            for rel in relative_energies(
-                &results
-                    .iter()
-                    .filter(|r| r.num_jobs == 1)
-                    .cloned()
-                    .collect::<Vec<_>>(),
-                idx,
-                None,
-                Some(1),
-            ) {
-                assert!((rel - 1.0).abs() < 1e-6, "{idx}: rel {rel}");
+        let eval = evaluate_suite(&small_suite(), &platform, 1, &standard_registry());
+        let singles = eval.filtered(|r| r.num_jobs == 1);
+        for name in [LR_NAME, MDF_NAME] {
+            for rel in singles.relative_energies(name, EXMEM_NAME, None, Some(1)) {
+                assert!((rel - 1.0).abs() < 1e-6, "{name}: rel {rel}");
             }
         }
     }
@@ -254,27 +326,68 @@ mod tests {
     #[test]
     fn rates_are_percentages() {
         let platform = scenarios::platform();
-        let results = evaluate_suite(&small_suite(), &platform, 2);
+        let eval = evaluate_suite(&small_suite(), &platform, 2, &standard_registry());
         for level in [DeadlineLevel::Weak, DeadlineLevel::Tight] {
             for jobs in 1..=3 {
-                if let Some(rates) = scheduling_rate(&results, level, jobs) {
+                if let Some(rates) = eval.scheduling_rate(level, jobs) {
+                    assert_eq!(rates.len(), eval.scheduler_names.len());
                     for r in rates {
                         assert!((0.0..=100.0).contains(&r));
                     }
                 }
             }
         }
-        assert!(scheduling_rate(&results, DeadlineLevel::Weak, 4).is_none());
+        assert!(eval.scheduling_rate(DeadlineLevel::Weak, 4).is_none());
     }
 
     #[test]
     fn search_times_are_positive() {
         let platform = scenarios::platform();
-        let results = evaluate_suite(&small_suite(), &platform, 1);
-        for idx in 0..3 {
-            for t in search_times(&results, idx, 2) {
+        let eval = evaluate_suite(&small_suite(), &platform, 1, &standard_registry());
+        for name in &eval.scheduler_names {
+            for t in eval.search_times(name, 2) {
                 assert!(t >= 0.0);
             }
+        }
+    }
+
+    #[test]
+    fn non_optimal_references_are_not_clamped() {
+        let platform = scenarios::platform();
+        let eval = evaluate_suite(&small_suite(), &platform, 1, &standard_registry());
+        // MDF frequently beats FIXED; against a non-optimal reference the
+        // sub-1.0 ratios must survive.
+        let rel = eval.relative_energies(MDF_NAME, "FIXED", None, None);
+        assert!(!rel.is_empty());
+        assert!(
+            rel.iter().any(|&r| r < 1.0),
+            "expected MDF to beat FIXED somewhere: {rel:?}"
+        );
+        // Against EX-MEM the clamp still applies.
+        for r in eval.relative_energies(MDF_NAME, EXMEM_NAME, None, None) {
+            assert!(r >= 1.0);
+        }
+    }
+
+    #[test]
+    fn unknown_scheduler_names_yield_empty_samples() {
+        let platform = scenarios::platform();
+        let eval = evaluate_suite(&small_suite()[..2], &platform, 1, &standard_registry());
+        assert!(eval
+            .relative_energies("NOPE", EXMEM_NAME, None, None)
+            .is_empty());
+        assert!(eval.search_times("NOPE", 1).is_empty());
+        assert!(eval.index_of("NOPE").is_none());
+    }
+
+    #[test]
+    fn custom_registry_restricts_columns() {
+        let platform = scenarios::platform();
+        let registry = standard_registry().subset(&[MDF_NAME]);
+        let eval = evaluate_suite(&small_suite()[..3], &platform, 1, &registry);
+        assert_eq!(eval.scheduler_names, vec![MDF_NAME.to_string()]);
+        for r in &eval.results {
+            assert_eq!(r.schedulers.len(), 1);
         }
     }
 }

@@ -1,0 +1,518 @@
+//! The execution engine: progress tracking, energy metering and trace
+//! recording for an adaptive schedule.
+//!
+//! Extracted from the runtime manager so that everything that *executes*
+//! schedules — the online [`RuntimeManager`](crate::RuntimeManager), the
+//! `amrm-sim` scenario driver, load sweeps — shares one accounting engine.
+//!
+//! The engine pre-indexes the current schedule by [`JobId`]: for every job
+//! it stores the (segment index, operating-point index) pairs of the
+//! segments that map it, and it keeps a cursor over the consumed schedule
+//! prefix. [`consume`](ExecutionEngine::consume) and
+//! [`next_completion`](ExecutionEngine::next_completion) therefore touch
+//! only live segments and resolve jobs by hash lookup, replacing the
+//! per-segment linear scans the manager used to do on its hottest path.
+
+use std::collections::HashMap;
+
+use amrm_model::{AppRef, Job, JobId, JobSet, Schedule, Segment};
+use amrm_platform::EPS;
+
+/// Remaining-ratio threshold below which a job counts as finished.
+pub(crate) const RHO_DONE: f64 = 1e-9;
+
+/// A job under execution: identity, application, request parameters and
+/// remaining progress ratio.
+#[derive(Debug, Clone)]
+pub struct EngineJob {
+    /// The job id.
+    pub id: JobId,
+    /// The application the job executes.
+    pub app: AppRef,
+    /// Absolute arrival time.
+    pub arrival: f64,
+    /// Absolute deadline.
+    pub deadline: f64,
+    /// Remaining progress ratio; `<= RHO_DONE` means finished.
+    pub remaining: f64,
+}
+
+impl EngineJob {
+    /// Creates a job in its initial state (`ρ = 1`).
+    pub fn fresh(id: JobId, app: AppRef, arrival: f64, deadline: f64) -> Self {
+        EngineJob {
+            id,
+            app,
+            arrival,
+            deadline,
+            remaining: 1.0,
+        }
+    }
+
+    /// Snapshot as a scheduler-facing [`Job`] (progress clamped away from
+    /// zero so the `(0, 1]` invariant holds).
+    pub fn as_job(&self) -> Job {
+        Job::new(
+            self.id,
+            AppRef::clone(&self.app),
+            self.arrival,
+            self.deadline,
+            self.remaining.max(RHO_DONE),
+        )
+    }
+
+    /// Returns `true` once the remaining ratio is (numerically) zero.
+    pub fn is_finished(&self) -> bool {
+        self.remaining <= RHO_DONE
+    }
+}
+
+/// Indexed executor for adaptive schedules.
+///
+/// Owns the set of unfinished jobs, the schedule being executed, the
+/// simulation clock, the metered energy, and the executed-segment trace.
+/// Scheduling policy (admission, re-activation) stays with the caller.
+///
+/// # Examples
+///
+/// ```
+/// use amrm_core::{EngineJob, ExecutionEngine};
+/// use amrm_model::{JobId, JobMapping, Schedule, Segment};
+/// use amrm_workload::scenarios;
+///
+/// let mut engine = ExecutionEngine::new();
+/// let mut schedule = Schedule::new();
+/// schedule.push(Segment::new(0.0, 3.0, vec![JobMapping::new(JobId(1), 6)]));
+/// engine.admit(
+///     EngineJob::fresh(JobId(1), scenarios::lambda2(), 0.0, 5.0),
+///     schedule,
+/// );
+/// let done = engine.next_completion().unwrap();
+/// assert!((done - 3.0).abs() < 1e-9);
+/// engine.consume(done);
+/// assert_eq!(engine.retire_finished().len(), 1);
+/// assert!((engine.total_energy() - 5.73).abs() < 1e-9);
+/// ```
+#[derive(Debug, Default)]
+pub struct ExecutionEngine {
+    clock: f64,
+    energy: f64,
+    schedule: Schedule,
+    /// Per job: ascending `(segment index, operating-point index)` pairs
+    /// over the current schedule. Rebuilt on schedule replacement.
+    segments_by_job: HashMap<JobId, Vec<(u32, u32)>>,
+    /// Index of the first segment that may still overlap `[clock, ∞)`.
+    live_from: usize,
+    jobs: Vec<EngineJob>,
+    job_index: HashMap<JobId, usize>,
+    executed: Vec<Segment>,
+}
+
+impl ExecutionEngine {
+    /// Creates an idle engine at time 0 with an empty schedule.
+    pub fn new() -> Self {
+        ExecutionEngine::default()
+    }
+
+    /// The current execution time.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Total energy metered so far, in joules.
+    pub fn total_energy(&self) -> f64 {
+        self.energy
+    }
+
+    /// The unfinished jobs, in admission order.
+    pub fn jobs(&self) -> &[EngineJob] {
+        &self.jobs
+    }
+
+    /// Returns `true` if no unfinished job remains.
+    pub fn is_idle(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The schedule currently being executed.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Snapshot of the unfinished jobs as a [`JobSet`] with progress
+    /// advanced to [`clock`](ExecutionEngine::clock).
+    pub fn job_set(&self) -> JobSet {
+        self.jobs.iter().map(EngineJob::as_job).collect()
+    }
+
+    /// The executed trace: the consumed portions of all successive
+    /// schedules, as one contiguous list of mapping segments.
+    pub fn executed_trace(&self) -> Schedule {
+        Schedule::from_segments(self.executed.clone())
+    }
+
+    /// Admits a job and installs the schedule covering it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job with the same id is already active.
+    pub fn admit(&mut self, job: EngineJob, schedule: Schedule) {
+        assert!(
+            !self.job_index.contains_key(&job.id),
+            "job {} already active",
+            job.id
+        );
+        self.job_index.insert(job.id, self.jobs.len());
+        self.jobs.push(job);
+        self.replace_schedule(schedule);
+    }
+
+    /// Replaces the schedule under execution (a scheduler re-activation)
+    /// and rebuilds the per-job segment index.
+    pub fn replace_schedule(&mut self, schedule: Schedule) {
+        self.schedule = schedule;
+        self.live_from = 0;
+        self.segments_by_job.clear();
+        for (si, seg) in self.schedule.segments().iter().enumerate() {
+            for mp in seg.mappings() {
+                self.segments_by_job
+                    .entry(mp.job)
+                    .or_default()
+                    .push((si as u32, mp.point as u32));
+            }
+        }
+    }
+
+    /// Accounts execution on `[clock, t)` against the current schedule:
+    /// job progress and energy are updated and the consumed segment
+    /// portions are appended to the executed trace. Completed jobs stay
+    /// active until [`retire_finished`](ExecutionEngine::retire_finished).
+    pub fn consume(&mut self, t: f64) {
+        if t <= self.clock {
+            return;
+        }
+        let segments = self.schedule.segments();
+        while self.live_from < segments.len() && segments[self.live_from].end() <= self.clock + EPS
+        {
+            self.live_from += 1;
+        }
+        for seg in &segments[self.live_from..] {
+            if seg.start() >= t - EPS {
+                break;
+            }
+            let from = seg.start().max(self.clock);
+            let to = seg.end().min(t);
+            if to - from <= EPS {
+                continue;
+            }
+            let dur = to - from;
+            let mut consumed = Vec::new();
+            for mp in seg.mappings() {
+                let Some(&slot) = self.job_index.get(&mp.job) else {
+                    continue;
+                };
+                let job = &mut self.jobs[slot];
+                let p = job.app.point(mp.point);
+                job.remaining -= dur / p.time();
+                self.energy += p.energy() * dur / p.time();
+                consumed.push(*mp);
+            }
+            if !consumed.is_empty() {
+                self.executed.push(Segment::new(from, to, consumed));
+            }
+        }
+        self.clock = t;
+    }
+
+    /// Removes finished jobs, preserving admission order of the rest, and
+    /// returns the retired jobs.
+    pub fn retire_finished(&mut self) -> Vec<EngineJob> {
+        if self.jobs.iter().all(|j| !j.is_finished()) {
+            return Vec::new();
+        }
+        let (finished, rest): (Vec<EngineJob>, Vec<EngineJob>) = std::mem::take(&mut self.jobs)
+            .into_iter()
+            .partition(EngineJob::is_finished);
+        self.jobs = rest;
+        self.job_index = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (j.id, i))
+            .collect();
+        finished
+    }
+
+    /// The earliest strictly-future completion time of any unfinished job
+    /// under the current schedule, or `None` if the schedule finishes no
+    /// further job.
+    pub fn next_completion(&self) -> Option<f64> {
+        self.jobs
+            .iter()
+            .filter_map(|job| self.completion_time(job))
+            .filter(|&tc| tc > self.clock + EPS)
+            .min_by(f64::total_cmp)
+    }
+
+    /// The absolute time at which `job` completes under the current
+    /// schedule, or `None` if the schedule does not finish it.
+    ///
+    /// Only the segments mapping `job` are visited, via the per-job index.
+    pub fn completion_time(&self, job: &EngineJob) -> Option<f64> {
+        let entries = self.segments_by_job.get(&job.id)?;
+        let segments = self.schedule.segments();
+        let mut rho = job.remaining;
+        for &(si, point) in entries {
+            let seg = &segments[si as usize];
+            if seg.end() <= self.clock + EPS {
+                continue;
+            }
+            let from = seg.start().max(self.clock);
+            let available = seg.end() - from;
+            let p = job.app.point(point as usize);
+            let needed = rho * p.time();
+            if needed <= available + EPS {
+                return Some(from + needed);
+            }
+            rho -= available / p.time();
+        }
+        None
+    }
+}
+
+/// The pre-refactor accounting, kept verbatim as a correctness and
+/// performance reference: `consume` walks every segment and resolves jobs
+/// with a linear `Vec` scan, `completion_time` scans the whole schedule
+/// per job. Used by equivalence tests and `benches/engine.rs`; not part of
+/// the public API surface.
+#[doc(hidden)]
+#[derive(Debug, Default)]
+pub struct LinearScanEngine {
+    clock: f64,
+    energy: f64,
+    schedule: Schedule,
+    jobs: Vec<EngineJob>,
+    executed: Vec<Segment>,
+}
+
+#[doc(hidden)]
+impl LinearScanEngine {
+    pub fn new() -> Self {
+        LinearScanEngine::default()
+    }
+
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    pub fn total_energy(&self) -> f64 {
+        self.energy
+    }
+
+    pub fn jobs(&self) -> &[EngineJob] {
+        &self.jobs
+    }
+
+    pub fn is_idle(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    pub fn executed_trace(&self) -> Schedule {
+        Schedule::from_segments(self.executed.clone())
+    }
+
+    pub fn admit(&mut self, job: EngineJob, schedule: Schedule) {
+        self.jobs.push(job);
+        self.replace_schedule(schedule);
+    }
+
+    pub fn replace_schedule(&mut self, schedule: Schedule) {
+        self.schedule = schedule;
+    }
+
+    pub fn consume(&mut self, t: f64) {
+        if t <= self.clock {
+            return;
+        }
+        for seg in self.schedule.segments() {
+            let from = seg.start().max(self.clock);
+            let to = seg.end().min(t);
+            if to - from <= EPS {
+                continue;
+            }
+            let dur = to - from;
+            let mut consumed = Vec::new();
+            for mp in seg.mappings() {
+                if let Some(job) = self.jobs.iter_mut().find(|j| j.id == mp.job) {
+                    let p = job.app.point(mp.point);
+                    job.remaining -= dur / p.time();
+                    self.energy += p.energy() * dur / p.time();
+                    consumed.push(*mp);
+                }
+            }
+            if !consumed.is_empty() {
+                self.executed.push(Segment::new(from, to, consumed));
+            }
+        }
+        self.clock = t;
+    }
+
+    pub fn retire_finished(&mut self) -> Vec<EngineJob> {
+        let (finished, rest): (Vec<EngineJob>, Vec<EngineJob>) = std::mem::take(&mut self.jobs)
+            .into_iter()
+            .partition(EngineJob::is_finished);
+        self.jobs = rest;
+        finished
+    }
+
+    pub fn next_completion(&self) -> Option<f64> {
+        self.jobs
+            .iter()
+            .filter_map(|job| self.completion_time(job))
+            .filter(|&tc| tc > self.clock + EPS)
+            .min_by(f64::total_cmp)
+    }
+
+    pub fn completion_time(&self, job: &EngineJob) -> Option<f64> {
+        let mut rho = job.remaining;
+        for seg in self.schedule.segments() {
+            if seg.end() <= self.clock + EPS {
+                continue;
+            }
+            let Some(mp) = seg.mapping_for(job.id) else {
+                continue;
+            };
+            let from = seg.start().max(self.clock);
+            let available = seg.end() - from;
+            let p = job.app.point(mp.point);
+            let needed = rho * p.time();
+            if needed <= available + EPS {
+                return Some(from + needed);
+            }
+            rho -= available / p.time();
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrm_model::JobMapping;
+    use amrm_workload::scenarios;
+
+    fn fig1c_engine<E: Default>(admit: fn(&mut E, EngineJob, Schedule)) -> E {
+        // The Fig. 1(c) schedule at t = 1 for jobs σ1 (progressed) and σ2.
+        let rho1 = 1.0 - 1.0 / 5.3;
+        let mut schedule = Schedule::new();
+        schedule.push(Segment::new(1.0, 4.0, vec![JobMapping::new(JobId(2), 6)]));
+        schedule.push(Segment::new(
+            4.0,
+            4.0 + 5.3 * rho1,
+            vec![JobMapping::new(JobId(1), 6)],
+        ));
+        let mut engine = E::default();
+        let mut j1 = EngineJob::fresh(JobId(1), scenarios::lambda1(), 0.0, 9.0);
+        j1.remaining = rho1;
+        admit(&mut engine, j1, Schedule::new());
+        admit(
+            &mut engine,
+            EngineJob::fresh(JobId(2), scenarios::lambda2(), 1.0, 5.0),
+            schedule,
+        );
+        engine
+    }
+
+    #[test]
+    fn indexed_engine_executes_fig1c_tail() {
+        let mut engine: ExecutionEngine = fig1c_engine(|e, j, s| e.admit(j, s));
+        engine.consume(1.0);
+        let c2 = engine.next_completion().unwrap();
+        assert!((c2 - 4.0).abs() < 1e-9);
+        engine.consume(c2);
+        assert_eq!(engine.retire_finished().len(), 1);
+        let c1 = engine.next_completion().unwrap();
+        engine.consume(c1);
+        assert_eq!(engine.retire_finished().len(), 1);
+        assert!(engine.is_idle());
+        let rho1 = 1.0 - 1.0 / 5.3;
+        assert!((engine.total_energy() - (5.73 + 8.9 * rho1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn indexed_and_linear_engines_agree_exactly() {
+        let mut indexed: ExecutionEngine = fig1c_engine(|e, j, s| e.admit(j, s));
+        let mut linear: LinearScanEngine = fig1c_engine(|e, j, s| e.admit(j, s));
+        for engine_step in [1.0, 2.5, 4.0, 6.0, 9.0] {
+            indexed.consume(engine_step);
+            linear.consume(engine_step);
+            assert_eq!(indexed.next_completion(), linear.next_completion());
+            assert_eq!(
+                indexed.retire_finished().len(),
+                linear.retire_finished().len()
+            );
+            assert_eq!(indexed.total_energy(), linear.total_energy());
+        }
+        assert_eq!(indexed.executed_trace(), linear.executed_trace());
+    }
+
+    #[test]
+    fn consume_ignores_unknown_jobs_in_segments() {
+        // A schedule may still reference retired jobs; they are skipped.
+        let mut engine = ExecutionEngine::new();
+        let mut schedule = Schedule::new();
+        schedule.push(Segment::new(
+            0.0,
+            2.0,
+            vec![JobMapping::new(JobId(7), 0), JobMapping::new(JobId(1), 6)],
+        ));
+        engine.admit(
+            EngineJob::fresh(JobId(1), scenarios::lambda2(), 0.0, 9.0),
+            schedule,
+        );
+        engine.consume(2.0);
+        // Only σ1's energy is metered: 2/3 of λ2 on 2L1B.
+        assert!((engine.total_energy() - 5.73 * 2.0 / 3.0).abs() < 1e-9);
+        // The trace keeps only the mappings that were actually consumed.
+        let trace = engine.executed_trace();
+        assert_eq!(trace.segments()[0].mappings().len(), 1);
+        assert_eq!(trace.segments()[0].mappings()[0].job, JobId(1));
+    }
+
+    #[test]
+    fn replace_schedule_rebuilds_index() {
+        let mut engine = ExecutionEngine::new();
+        let mut first = Schedule::new();
+        first.push(Segment::new(0.0, 10.0, vec![JobMapping::new(JobId(1), 0)]));
+        engine.admit(
+            EngineJob::fresh(JobId(1), scenarios::lambda2(), 0.0, 20.0),
+            first,
+        );
+        engine.consume(1.0);
+        // Re-activation: switch the job to the fast point from t = 1.
+        let mut second = Schedule::new();
+        second.push(Segment::new(1.0, 10.0, vec![JobMapping::new(JobId(1), 6)]));
+        engine.replace_schedule(second);
+        let done = engine.next_completion().unwrap();
+        // 90% of the work remains; 2.7 s on the 3.0 s point.
+        assert!((done - (1.0 + 0.9 * 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn duplicate_admission_panics() {
+        let mut engine = ExecutionEngine::new();
+        engine.admit(
+            EngineJob::fresh(JobId(1), scenarios::lambda2(), 0.0, 9.0),
+            Schedule::new(),
+        );
+        engine.admit(
+            EngineJob::fresh(JobId(1), scenarios::lambda2(), 0.0, 9.0),
+            Schedule::new(),
+        );
+    }
+}

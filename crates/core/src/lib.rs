@@ -5,10 +5,15 @@
 //!
 //! * [`Scheduler`] — the algorithm abstraction shared with the baselines in
 //!   `amrm-baselines`;
+//! * [`SchedulerRegistry`] — a named, ordered set of scheduler factories;
+//!   the extension point through which suites, sweeps and the repro binary
+//!   enumerate algorithms without hard-coded indices;
 //! * [`MmkpMdf`] — the paper's fast MMKP heuristic with
 //!   Maximum-Difference-First job selection (Algorithm 1);
 //! * [`schedule_jobs`] — the EDF segment packer (Algorithm 2), exposed for
 //!   reuse and testing;
+//! * [`ExecutionEngine`] — indexed progress/energy accounting over an
+//!   adaptive schedule, shared by the manager and the simulators;
 //! * [`RuntimeManager`] — an online RM that admits requests, executes
 //!   adaptive schedules, meters energy and re-activates the scheduler.
 //!
@@ -27,14 +32,19 @@
 //! assert_eq!(rm.stats().deadline_misses, 0);
 //! ```
 
+mod engine;
 mod manager;
 mod mdf;
 mod schedule_jobs;
 mod scheduler;
 mod variants;
 
+pub use crate::engine::{EngineJob, ExecutionEngine};
 pub use crate::manager::{Admission, ReactivationPolicy, RmStats, RuntimeManager};
 pub use crate::mdf::MmkpMdf;
 pub use crate::schedule_jobs::schedule_jobs;
-pub use crate::scheduler::Scheduler;
+pub use crate::scheduler::{Scheduler, SchedulerFactory, SchedulerRegistry};
 pub use crate::variants::{JobOrderPolicy, MmkpVariant};
+
+#[doc(hidden)]
+pub use crate::engine::LinearScanEngine;

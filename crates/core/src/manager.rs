@@ -1,13 +1,11 @@
-//! The runtime manager: admission control, progress tracking, energy
-//! metering, and scheduler re-activation.
+//! The runtime manager: admission control and scheduler re-activation on
+//! top of the indexed [`ExecutionEngine`].
 
-use amrm_model::{AppRef, Job, JobId, JobSet, Schedule, Segment};
+use amrm_model::{AppRef, JobId, JobSet, Schedule};
 use amrm_platform::{Platform, EPS};
 
+use crate::engine::{EngineJob, ExecutionEngine};
 use crate::Scheduler;
-
-/// Remaining-ratio threshold below which a job counts as finished.
-const RHO_DONE: f64 = 1e-9;
 
 /// When the runtime manager re-invokes its scheduler.
 ///
@@ -75,9 +73,10 @@ pub struct RmStats {
 /// An online runtime manager for firm real-time multi-threaded applications.
 ///
 /// Drive it with [`advance_to`](RuntimeManager::advance_to) and
-/// [`submit`](RuntimeManager::submit); it tracks job progress along the
-/// current adaptive schedule, meters consumed energy, removes completed
-/// jobs, and re-invokes the scheduling algorithm per its
+/// [`submit`](RuntimeManager::submit); execution accounting — job progress
+/// along the current adaptive schedule, energy metering, the executed
+/// trace — is delegated to an [`ExecutionEngine`], while the manager
+/// decides admission and re-invokes the scheduling algorithm per its
 /// [`ReactivationPolicy`].
 ///
 /// # Examples
@@ -100,34 +99,9 @@ pub struct RuntimeManager<S> {
     platform: Platform,
     scheduler: S,
     policy: ReactivationPolicy,
-    clock: f64,
     next_id: u64,
-    active: Vec<ActiveJob>,
-    schedule: Schedule,
-    energy: f64,
+    engine: ExecutionEngine,
     stats: RmStats,
-    executed: Vec<Segment>,
-}
-
-#[derive(Debug, Clone)]
-struct ActiveJob {
-    id: JobId,
-    app: AppRef,
-    arrival: f64,
-    deadline: f64,
-    remaining: f64,
-}
-
-impl ActiveJob {
-    fn as_job(&self) -> Job {
-        Job::new(
-            self.id,
-            AppRef::clone(&self.app),
-            self.arrival,
-            self.deadline,
-            self.remaining.max(RHO_DONE),
-        )
-    }
 }
 
 impl<S: Scheduler> RuntimeManager<S> {
@@ -143,24 +117,20 @@ impl<S: Scheduler> RuntimeManager<S> {
             platform,
             scheduler,
             policy,
-            clock: 0.0,
             next_id: 1,
-            active: Vec::new(),
-            schedule: Schedule::new(),
-            energy: 0.0,
+            engine: ExecutionEngine::new(),
             stats: RmStats::default(),
-            executed: Vec::new(),
         }
     }
 
     /// The current simulation time.
     pub fn now(&self) -> f64 {
-        self.clock
+        self.engine.clock()
     }
 
     /// Total energy consumed by all (partially) executed jobs so far.
     pub fn total_energy(&self) -> f64 {
-        self.energy
+        self.engine.total_energy()
     }
 
     /// Admission and completion counters.
@@ -178,16 +148,21 @@ impl<S: Scheduler> RuntimeManager<S> {
         self.scheduler.name()
     }
 
+    /// The execution engine driving this manager.
+    pub fn engine(&self) -> &ExecutionEngine {
+        &self.engine
+    }
+
     /// Snapshot of the unfinished jobs, with progress advanced to
     /// [`now`](RuntimeManager::now).
     pub fn active_jobs(&self) -> JobSet {
-        self.active.iter().map(ActiveJob::as_job).collect()
+        self.engine.job_set()
     }
 
     /// The schedule currently being executed (covering `now` onwards; the
     /// already-consumed prefix is retained for inspection).
     pub fn current_schedule(&self) -> &Schedule {
-        &self.schedule
+        self.engine.schedule()
     }
 
     /// Everything executed so far, as one contiguous trace of mapping
@@ -197,7 +172,7 @@ impl<S: Scheduler> RuntimeManager<S> {
     /// is replaced on every scheduler re-activation, the trace accumulates
     /// the actually consumed portions of all successive schedules.
     pub fn executed_trace(&self) -> Schedule {
-        Schedule::from_segments(self.executed.clone())
+        self.engine.executed_trace()
     }
 
     /// Submits a request for `app` with absolute deadline `deadline` at the
@@ -210,35 +185,30 @@ impl<S: Scheduler> RuntimeManager<S> {
     ///
     /// Panics if `deadline` is in the past.
     pub fn submit(&mut self, app: AppRef, deadline: f64) -> Admission {
-        assert!(deadline >= self.clock, "deadline in the past");
+        let now = self.engine.clock();
+        assert!(deadline >= now, "deadline in the past");
         let id = JobId(self.next_id);
         self.next_id += 1;
         self.stats.submitted += 1;
 
-        let candidate = ActiveJob {
-            id,
-            app,
-            arrival: self.clock,
-            deadline,
-            remaining: 1.0,
-        };
+        let candidate = EngineJob::fresh(id, app, now, deadline);
         let jobs: JobSet = self
-            .active
+            .engine
+            .jobs()
             .iter()
             .chain(std::iter::once(&candidate))
-            .map(ActiveJob::as_job)
+            .map(EngineJob::as_job)
             .collect();
 
-        match self.scheduler.schedule(&jobs, &self.platform, self.clock) {
+        match self.scheduler.schedule(&jobs, &self.platform, now) {
             Some(schedule) => {
                 debug_assert!(
-                    schedule.validate(&jobs, &self.platform, self.clock).is_ok(),
+                    schedule.validate(&jobs, &self.platform, now).is_ok(),
                     "scheduler {} produced an invalid schedule: {:?}",
                     self.scheduler.name(),
-                    schedule.validate(&jobs, &self.platform, self.clock)
+                    schedule.validate(&jobs, &self.platform, now)
                 );
-                self.schedule = schedule;
-                self.active.push(candidate);
+                self.engine.admit(candidate, schedule);
                 self.stats.accepted += 1;
                 Admission::Accepted { job: id }
             }
@@ -258,39 +228,32 @@ impl<S: Scheduler> RuntimeManager<S> {
     ///
     /// Panics if `t` is before the current time.
     pub fn advance_to(&mut self, t: f64) {
-        assert!(t >= self.clock - EPS, "cannot advance into the past");
+        assert!(
+            t >= self.engine.clock() - EPS,
+            "cannot advance into the past"
+        );
         loop {
-            self.reap_completed();
-            let next_completion = self
-                .active
-                .iter()
-                .filter_map(|job| self.completion_in_schedule(job))
-                .filter(|&tc| tc > self.clock + EPS)
-                .min_by(f64::total_cmp);
-            match next_completion {
+            self.retire_finished();
+            match self.engine.next_completion() {
                 Some(tc) if tc <= t + EPS => {
-                    self.consume(tc);
-                    let before = self.active.len();
-                    self.reap_completed();
-                    let completed_some = self.active.len() < before;
+                    self.engine.consume(tc);
+                    let completed_some = self.retire_finished() > 0;
                     if completed_some
                         && self.policy == ReactivationPolicy::OnArrivalAndCompletion
-                        && !self.active.is_empty()
+                        && !self.engine.is_idle()
                     {
-                        let jobs = self.active_jobs();
-                        if let Some(schedule) =
-                            self.scheduler.schedule(&jobs, &self.platform, self.clock)
+                        let jobs = self.engine.job_set();
+                        let now = self.engine.clock();
+                        if let Some(schedule) = self.scheduler.schedule(&jobs, &self.platform, now)
                         {
-                            debug_assert!(schedule
-                                .validate(&jobs, &self.platform, self.clock)
-                                .is_ok());
-                            self.schedule = schedule;
+                            debug_assert!(schedule.validate(&jobs, &self.platform, now).is_ok());
+                            self.engine.replace_schedule(schedule);
                         }
                     }
                 }
                 _ => {
-                    self.consume(t);
-                    self.reap_completed();
+                    self.engine.consume(t);
+                    self.retire_finished();
                     break;
                 }
             }
@@ -300,84 +263,30 @@ impl<S: Scheduler> RuntimeManager<S> {
     /// Runs until every admitted job has completed; returns the total
     /// energy consumed.
     pub fn run_to_completion(&mut self) -> f64 {
-        while !self.active.is_empty() {
-            let Some(end) = self.schedule.end_time() else {
+        while !self.engine.is_idle() {
+            let Some(end) = self.engine.schedule().end_time() else {
                 break; // no schedule covers the leftovers; nothing to do
             };
-            if end <= self.clock + EPS {
+            if end <= self.engine.clock() + EPS {
                 break;
             }
             self.advance_to(end);
         }
-        self.energy
+        self.engine.total_energy()
     }
 
-    /// Accounts execution on `[clock, t)` against the current schedule.
-    fn consume(&mut self, t: f64) {
-        if t <= self.clock {
-            return;
-        }
-        for seg in self.schedule.segments() {
-            let from = seg.start().max(self.clock);
-            let to = seg.end().min(t);
-            if to - from <= EPS {
-                continue;
-            }
-            let dur = to - from;
-            let mut consumed = Vec::new();
-            for mp in seg.mappings() {
-                if let Some(job) = self.active.iter_mut().find(|j| j.id == mp.job) {
-                    let p = job.app.point(mp.point);
-                    job.remaining -= dur / p.time();
-                    self.energy += p.energy() * dur / p.time();
-                    consumed.push(*mp);
-                }
-            }
-            if !consumed.is_empty() {
-                self.executed.push(Segment::new(from, to, consumed));
+    /// Retires finished jobs from the engine and updates the counters;
+    /// returns how many jobs completed.
+    fn retire_finished(&mut self) -> usize {
+        let clock = self.engine.clock();
+        let finished = self.engine.retire_finished();
+        for job in &finished {
+            self.stats.completed += 1;
+            if clock > job.deadline + 1e-6 {
+                self.stats.deadline_misses += 1;
             }
         }
-        self.clock = t;
-    }
-
-    /// Removes finished jobs and updates counters.
-    fn reap_completed(&mut self) {
-        let clock = self.clock;
-        let stats = &mut self.stats;
-        self.active.retain(|job| {
-            if job.remaining <= RHO_DONE {
-                stats.completed += 1;
-                if clock > job.deadline + 1e-6 {
-                    stats.deadline_misses += 1;
-                }
-                false
-            } else {
-                true
-            }
-        });
-    }
-
-    /// The absolute time at which `job` completes under the current
-    /// schedule, or `None` if the schedule does not finish it.
-    fn completion_in_schedule(&self, job: &ActiveJob) -> Option<f64> {
-        let mut rho = job.remaining;
-        for seg in self.schedule.segments() {
-            if seg.end() <= self.clock + EPS {
-                continue;
-            }
-            let Some(mp) = seg.mapping_for(job.id) else {
-                continue;
-            };
-            let from = seg.start().max(self.clock);
-            let available = seg.end() - from;
-            let p = job.app.point(mp.point);
-            let needed = rho * p.time();
-            if needed <= available + EPS {
-                return Some(from + needed);
-            }
-            rho -= available / p.time();
-        }
-        None
+        finished.len()
     }
 }
 
@@ -385,6 +294,7 @@ impl<S: Scheduler> RuntimeManager<S> {
 mod tests {
     use super::*;
     use crate::MmkpMdf;
+    use amrm_model::JobId;
     use amrm_workload::scenarios;
 
     #[test]
@@ -394,7 +304,10 @@ mod tests {
         rm.advance_to(1.0);
         assert!(rm.submit(scenarios::lambda2(), 5.0).is_accepted());
         let total = rm.run_to_completion();
-        assert!((total - scenarios::fig1::ADAPTIVE_J).abs() < 5e-3, "got {total}");
+        assert!(
+            (total - scenarios::fig1::ADAPTIVE_J).abs() < 5e-3,
+            "got {total}"
+        );
         let stats = rm.stats();
         assert_eq!(stats.completed, 2);
         assert_eq!(stats.deadline_misses, 0);
@@ -499,5 +412,15 @@ mod tests {
         let b = rm.submit(scenarios::lambda2(), 60.0);
         assert_eq!(a.job(), JobId(1));
         assert_eq!(b.job(), JobId(2));
+    }
+
+    #[test]
+    fn engine_accessor_exposes_live_state() {
+        let mut rm = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+        rm.submit(scenarios::lambda1(), 9.0);
+        rm.advance_to(2.0);
+        assert_eq!(rm.engine().jobs().len(), 1);
+        assert!((rm.engine().clock() - 2.0).abs() < 1e-12);
+        assert!(rm.engine().total_energy() > 0.0);
     }
 }

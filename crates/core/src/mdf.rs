@@ -145,8 +145,7 @@ impl Scheduler for MmkpMdf {
                 if let Some(built) = schedule_jobs(jobs, &trial, platform, now) {
                     // Lines 11–12: commit and charge the containers.
                     let p = job.point(j_star);
-                    containers
-                        .consume(&p.resources().scale(p.time() * job.remaining()));
+                    containers.consume(&p.resources().scale(p.time() * job.remaining()));
                     assigned = trial;
                     schedule = built;
                     placed = true;
@@ -188,7 +187,11 @@ mod tests {
         assert_eq!(schedule.num_segments(), 1);
         let mapping = schedule.segments()[0].mappings()[0];
         assert_eq!(
-            jobs.get(JobId(1)).unwrap().point(mapping.point).resources().as_slice(),
+            jobs.get(JobId(1))
+                .unwrap()
+                .point(mapping.point)
+                .resources()
+                .as_slice(),
             &[2, 1]
         );
     }

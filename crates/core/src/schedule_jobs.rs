@@ -162,9 +162,7 @@ mod tests {
         // σ2 finishes at 4.5; σ1 runs in parallel and continues till 7.57.
         assert!((schedule.completion_time(JobId(2)).unwrap() - 4.5).abs() < 1e-9);
         let rho1 = 1.0 - 1.0 / 5.3;
-        assert!(
-            (schedule.completion_time(JobId(1)).unwrap() - (1.0 + 8.1 * rho1)).abs() < 1e-9
-        );
+        assert!((schedule.completion_time(JobId(1)).unwrap() - (1.0 + 8.1 * rho1)).abs() < 1e-9);
         // First segment hosts both jobs (σ1 is split off when σ2 finishes).
         assert!(schedule.segments()[0].contains_job(JobId(1)));
         assert!(schedule.segments()[0].contains_job(JobId(2)));
@@ -180,8 +178,7 @@ mod tests {
     #[test]
     fn jobs_without_config_are_ignored() {
         let jobs = scenarios::s1_jobs_at_t1();
-        let schedule =
-            schedule_jobs(&jobs, &cfg(&[(2, 6)]), &scenarios::platform(), 1.0).unwrap();
+        let schedule = schedule_jobs(&jobs, &cfg(&[(2, 6)]), &scenarios::platform(), 1.0).unwrap();
         assert!(schedule.completion_time(JobId(1)).is_none());
         assert!(schedule.completion_time(JobId(2)).is_some());
     }
@@ -225,7 +222,11 @@ mod tests {
         // empty segment.
         let app = Application::shared(
             "a",
-            vec![OperatingPoint::new(ResourceVec::from_slice(&[1, 0]), 4.0, 4.0)],
+            vec![OperatingPoint::new(
+                ResourceVec::from_slice(&[1, 0]),
+                4.0,
+                4.0,
+            )],
         );
         let jobs = JobSet::new(vec![
             Job::new(JobId(1), app.clone(), 0.0, 10.0, 1.0),

@@ -36,6 +36,149 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
     }
 }
 
+/// A factory producing fresh scheduler instances. Shared (`Arc`) so
+/// registries can be subset and handed across evaluation threads.
+pub type SchedulerFactory = std::sync::Arc<dyn Fn() -> Box<dyn Scheduler> + Send + Sync>;
+
+/// A named, ordered collection of scheduler factories.
+///
+/// The registry is the single point where an evaluation (a benchmark
+/// suite, the repro binary, a load sweep) learns *which* algorithms exist:
+/// callers enumerate it instead of hard-coding per-scheduler indices, so
+/// adding a scheduler to a run means registering one factory — result
+/// tables, reports and sweeps pick it up unchanged.
+///
+/// Registration order is meaningful: it defines column order in reports
+/// and the index space of per-scheduler result vectors.
+///
+/// # Examples
+///
+/// ```
+/// use amrm_core::{MmkpMdf, SchedulerRegistry};
+///
+/// let mut registry = SchedulerRegistry::new();
+/// registry.register("MMKP-MDF", || Box::new(MmkpMdf::new()));
+/// let mut scheduler = registry.create("MMKP-MDF").unwrap();
+/// assert_eq!(scheduler.name(), "MMKP-MDF");
+/// assert_eq!(registry.names(), vec!["MMKP-MDF"]);
+/// ```
+#[derive(Default)]
+pub struct SchedulerRegistry {
+    entries: Vec<(String, SchedulerFactory)>,
+}
+
+impl SchedulerRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        SchedulerRegistry::default()
+    }
+
+    /// Registers a factory under `name`, appending it to the enumeration
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered — scheduler names key result
+    /// tables, so shadowing would silently corrupt reports.
+    pub fn register<F, S>(&mut self, name: impl Into<String>, factory: F)
+    where
+        F: Fn() -> Box<S> + Send + Sync + 'static,
+        S: Scheduler + 'static,
+    {
+        let name = name.into();
+        assert!(
+            self.index_of(&name).is_none(),
+            "scheduler `{name}` already registered"
+        );
+        self.entries.push((
+            name,
+            std::sync::Arc::new(move || factory() as Box<dyn Scheduler>),
+        ));
+    }
+
+    /// Builder-style [`register`](SchedulerRegistry::register).
+    #[must_use]
+    pub fn with<F, S>(mut self, name: impl Into<String>, factory: F) -> Self
+    where
+        F: Fn() -> Box<S> + Send + Sync + 'static,
+        S: Scheduler + 'static,
+    {
+        self.register(name, factory);
+        self
+    }
+
+    /// Number of registered schedulers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// The position of `name` in the enumeration order.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|(n, _)| n == name)
+    }
+
+    /// Instantiates the scheduler registered under `name`.
+    pub fn create(&self, name: &str) -> Option<Box<dyn Scheduler>> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, f)| f())
+    }
+
+    /// Instantiates the scheduler at `index` in the enumeration order.
+    pub fn create_at(&self, index: usize) -> Option<Box<dyn Scheduler>> {
+        self.entries.get(index).map(|(_, f)| f())
+    }
+
+    /// Iterates over `(name, factory)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &SchedulerFactory)> {
+        self.entries.iter().map(|(n, f)| (n.as_str(), f))
+    }
+
+    /// Instantiates every scheduler, in registration order.
+    pub fn instantiate_all(&self) -> Vec<(&str, Box<dyn Scheduler>)> {
+        self.entries
+            .iter()
+            .map(|(n, f)| (n.as_str(), f()))
+            .collect()
+    }
+
+    /// A copy of this registry restricted to `names`, in the given order.
+    ///
+    /// Unknown names are skipped; use [`index_of`](SchedulerRegistry::index_of)
+    /// to detect them beforehand if that matters.
+    pub fn subset(&self, names: &[&str]) -> SchedulerRegistry {
+        let mut out = SchedulerRegistry::new();
+        for &name in names {
+            if let Some(idx) = self.index_of(name) {
+                out.entries.push((
+                    self.entries[idx].0.clone(),
+                    std::sync::Arc::clone(&self.entries[idx].1),
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for SchedulerRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,5 +201,58 @@ mod tests {
         assert_eq!(boxed.name(), "dummy");
         let s = boxed.schedule(&JobSet::default(), &Platform::homogeneous(1), 0.0);
         assert!(s.is_some());
+    }
+
+    #[test]
+    fn registry_enumerates_in_registration_order() {
+        let registry = SchedulerRegistry::new()
+            .with("first", || Box::new(Dummy))
+            .with("second", || Box::new(Dummy));
+        assert_eq!(registry.names(), vec!["first", "second"]);
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.index_of("second"), Some(1));
+        assert_eq!(registry.index_of("absent"), None);
+        let all = registry.instantiate_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, "first");
+    }
+
+    #[test]
+    fn registry_creates_fresh_instances() {
+        let registry = SchedulerRegistry::new().with("dummy", || Box::new(Dummy));
+        let mut a = registry.create("dummy").unwrap();
+        let mut b = registry.create_at(0).unwrap();
+        assert!(a
+            .schedule(&JobSet::default(), &Platform::homogeneous(1), 0.0)
+            .is_some());
+        assert!(b
+            .schedule(&JobSet::default(), &Platform::homogeneous(1), 0.0)
+            .is_some());
+        assert!(registry.create("missing").is_none());
+    }
+
+    #[test]
+    fn registry_subset_preserves_requested_order() {
+        let registry = SchedulerRegistry::new()
+            .with("a", || Box::new(Dummy))
+            .with("b", || Box::new(Dummy))
+            .with("c", || Box::new(Dummy));
+        let subset = registry.subset(&["c", "a", "nope"]);
+        assert_eq!(subset.names(), vec!["c", "a"]);
+        assert!(subset.create("c").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_registration_panics() {
+        let _ = SchedulerRegistry::new()
+            .with("dup", || Box::new(Dummy))
+            .with("dup", || Box::new(Dummy));
+    }
+
+    #[test]
+    fn registry_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SchedulerRegistry>();
     }
 }

@@ -130,9 +130,7 @@ impl Scheduler for MmkpVariant {
                                 f64::INFINITY
                             }
                         };
-                        diff(ia, ca)
-                            .total_cmp(&diff(ib, cb))
-                            .then(ib.cmp(ia)) // smaller id wins ties
+                        diff(ia, ca).total_cmp(&diff(ib, cb)).then(ib.cmp(ia)) // smaller id wins ties
                     })
                     .map(|(i, _)| i),
                 JobOrderPolicy::EarliestDeadline => pending

@@ -194,7 +194,7 @@ mod tests {
         let suite = benchmark_suite(&platform);
         let total: usize = suite.iter().map(|a| a.num_points()).sum();
         assert!(
-            total >= 27 && total <= 150,
+            (27..=150).contains(&total),
             "total Pareto points {total} out of plausible range"
         );
     }

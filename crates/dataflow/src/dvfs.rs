@@ -26,10 +26,7 @@ pub fn odroid_xu4_dvfs() -> Platform {
     PlatformBuilder::new("odroid-xu4-dvfs")
         .cluster(little, 4)
         .cluster(big, 2)
-        .cluster(
-            CoreType::new("A15", 1.8e9, 1.4, 1.60, 0.16),
-            2,
-        )
+        .cluster(CoreType::new("A15", 1.8e9, 1.4, 1.60, 0.16), 2)
         .build()
 }
 

@@ -50,7 +50,10 @@ pub struct SimResult {
 /// earliest given current load and core speed.
 pub fn place(graph: &DataflowGraph, platform: &Platform, allocation: &ResourceVec) -> Vec<usize> {
     let cores = expand_cores(platform, allocation);
-    assert!(!cores.is_empty(), "allocation must contain at least one core");
+    assert!(
+        !cores.is_empty(),
+        "allocation must contain at least one core"
+    );
     let rates: Vec<f64> = cores
         .iter()
         .map(|&k| platform.core_type(k).effective_rate_hz())
@@ -68,9 +71,7 @@ pub fn place(graph: &DataflowGraph, platform: &Platform, allocation: &ResourceVe
     for p in order {
         let work = graph.processes()[p].work_cycles();
         let best = (0..cores.len())
-            .min_by(|&a, &b| {
-                (load[a] + work / rates[a]).total_cmp(&(load[b] + work / rates[b]))
-            })
+            .min_by(|&a, &b| (load[a] + work / rates[a]).total_cmp(&(load[b] + work / rates[b])))
             .expect("non-empty core list");
         placement[p] = best;
         load[best] += work / rates[best];

@@ -154,7 +154,11 @@ pub fn analyze_schedule(schedule: &Schedule, jobs: &JobSet, platform: &Platform)
 
     ScheduleStats {
         jobs: per_job,
-        avg_busy_cores: if span > 0.0 { busy_integral / span } else { 0.0 },
+        avg_busy_cores: if span > 0.0 {
+            busy_integral / span
+        } else {
+            0.0
+        },
         peak_busy_cores: peak,
         utilization,
         span,

@@ -47,7 +47,10 @@ impl Application {
     ///
     /// Panics if `points` is empty.
     pub fn new(name: impl Into<String>, points: Vec<OperatingPoint>) -> Self {
-        assert!(!points.is_empty(), "application needs at least one operating point");
+        assert!(
+            !points.is_empty(),
+            "application needs at least one operating point"
+        );
         Application {
             name: name.into(),
             points,
@@ -92,11 +95,7 @@ impl Application {
     /// Configuration indices sorted by increasing full-execution energy.
     pub fn indices_by_energy(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.points.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.points[a]
-                .energy()
-                .total_cmp(&self.points[b].energy())
-        });
+        idx.sort_by(|&a, &b| self.points[a].energy().total_cmp(&self.points[b].energy()));
         idx
     }
 

@@ -125,7 +125,11 @@ impl fmt::Display for ScheduleError {
                 f,
                 "job {job} finishes at {completion:.6} after its deadline {deadline:.6}"
             ),
-            ScheduleError::MappedBeforeArrival { job, start, arrival } => write!(
+            ScheduleError::MappedBeforeArrival {
+                job,
+                start,
+                arrival,
+            } => write!(
                 f,
                 "job {job} mapped from {start:.6} before its arrival {arrival:.6}"
             ),

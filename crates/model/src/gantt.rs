@@ -86,7 +86,9 @@ pub fn render_gantt(
         for k in 0..m {
             // First pass: keep previously used lanes for continuing jobs.
             for mp in seg.mappings() {
-                let Some(job) = jobs.get(mp.job) else { continue };
+                let Some(job) = jobs.get(mp.job) else {
+                    continue;
+                };
                 let mut need = job.point(mp.point).resources()[k] as usize;
                 for (lane, slot) in lanes[k].iter_mut().enumerate() {
                     if need == 0 {
@@ -100,7 +102,9 @@ pub fn render_gantt(
             }
             // Second pass: fill remaining demand with free lanes.
             for mp in seg.mappings() {
-                let Some(job) = jobs.get(mp.job) else { continue };
+                let Some(job) = jobs.get(mp.job) else {
+                    continue;
+                };
                 let total = job.point(mp.point).resources()[k] as usize;
                 let have = lanes[k].iter().filter(|s| **s == Some(mp.job)).count();
                 let mut need = total.saturating_sub(have);
@@ -143,7 +147,13 @@ pub fn render_gantt(
     out.push_str(&format!("{:>4} +", ""));
     out.push_str(&"-".repeat(width));
     out.push_str("+\n");
-    out.push_str(&format!("{:>5}{:<width$.2}{:.2}\n", "", t0, t1, width = width - 3));
+    out.push_str(&format!(
+        "{:>5}{:<width$.2}{:.2}\n",
+        "",
+        t0,
+        t1,
+        width = width - 3
+    ));
     // Legend.
     for job in jobs.iter() {
         out.push_str(&format!(
@@ -166,11 +176,19 @@ mod tests {
     fn fig1c_setup() -> (Schedule, JobSet, Platform) {
         let l1 = Application::shared(
             "λ1",
-            vec![OperatingPoint::new(ResourceVec::from_slice(&[2, 1]), 5.3, 8.9)],
+            vec![OperatingPoint::new(
+                ResourceVec::from_slice(&[2, 1]),
+                5.3,
+                8.9,
+            )],
         );
         let l2 = Application::shared(
             "λ2",
-            vec![OperatingPoint::new(ResourceVec::from_slice(&[2, 1]), 3.0, 5.73)],
+            vec![OperatingPoint::new(
+                ResourceVec::from_slice(&[2, 1]),
+                3.0,
+                5.73,
+            )],
         );
         let rho1 = 1.0 - 1.0 / 5.3;
         let jobs = JobSet::new(vec![

@@ -96,7 +96,13 @@ impl Job {
     ///
     /// Panics if `remaining` is outside `(0, 1]`.
     pub fn with_remaining(&self, remaining: f64) -> Job {
-        Job::new(self.id, AppRef::clone(&self.app), self.arrival, self.deadline, remaining)
+        Job::new(
+            self.id,
+            AppRef::clone(&self.app),
+            self.arrival,
+            self.deadline,
+            remaining,
+        )
     }
 
     /// The operating point with configuration index `j` of this job's app.
@@ -173,16 +179,12 @@ impl JobSet {
     ///
     /// This bounds the analysis scope of Algorithm 1 (line 1).
     pub fn max_deadline(&self) -> Option<f64> {
-        self.jobs
-            .iter()
-            .map(Job::deadline)
-            .max_by(f64::total_cmp)
+        self.jobs.iter().map(Job::deadline).max_by(f64::total_cmp)
     }
 
     /// Job ids sorted by non-decreasing deadline (EDF order, Algorithm 2).
     pub fn ids_by_deadline(&self) -> Vec<JobId> {
-        let mut ids: Vec<(JobId, f64)> =
-            self.jobs.iter().map(|j| (j.id(), j.deadline())).collect();
+        let mut ids: Vec<(JobId, f64)> = self.jobs.iter().map(|j| (j.id(), j.deadline())).collect();
         ids.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         ids.into_iter().map(|(id, _)| id).collect()
     }

@@ -39,9 +39,18 @@ impl OperatingPoint {
     /// the resource demand is all-zero (an application must occupy at least
     /// one core to make progress).
     pub fn new(resources: ResourceVec, time: f64, energy: f64) -> Self {
-        assert!(time > 0.0 && time.is_finite(), "execution time must be positive");
-        assert!(energy >= 0.0 && energy.is_finite(), "energy must be non-negative");
-        assert!(!resources.is_zero(), "operating point must use at least one core");
+        assert!(
+            time > 0.0 && time.is_finite(),
+            "execution time must be positive"
+        );
+        assert!(
+            energy >= 0.0 && energy.is_finite(),
+            "energy must be non-negative"
+        );
+        assert!(
+            !resources.is_zero(),
+            "operating point must use at least one core"
+        );
         OperatingPoint {
             resources,
             time,

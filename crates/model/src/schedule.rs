@@ -405,7 +405,11 @@ mod tests {
     fn lambda2() -> crate::AppRef {
         Application::shared(
             "λ2",
-            vec![OperatingPoint::new(ResourceVec::from_slice(&[2, 1]), 3.0, 5.73)],
+            vec![OperatingPoint::new(
+                ResourceVec::from_slice(&[2, 1]),
+                3.0,
+                5.73,
+            )],
         )
     }
 
@@ -461,7 +465,11 @@ mod tests {
         let jobs = JobSet::new(vec![Job::new(JobId(1), lambda1(), 0.0, 20.0, 1.0)]);
         let mut s = Schedule::new();
         // Only half the required work is scheduled.
-        s.push(Segment::new(0.0, 5.3 / 2.0, vec![JobMapping::new(JobId(1), 0)]));
+        s.push(Segment::new(
+            0.0,
+            5.3 / 2.0,
+            vec![JobMapping::new(JobId(1), 0)],
+        ));
         let platform = Platform::motivational_2l2b();
         match s.validate(&jobs, &platform, 0.0) {
             Err(ScheduleError::ProgressMismatch { job, .. }) => assert_eq!(job, JobId(1)),
@@ -562,7 +570,11 @@ mod tests {
         let jobs = JobSet::new(vec![Job::new(JobId(1), lambda1(), 0.0, 30.0, 1.0)]);
         let mut s = Schedule::new();
         s.push(Segment::new(0.0, 2.65, vec![JobMapping::new(JobId(1), 0)]));
-        s.push(Segment::new(10.0, 12.65, vec![JobMapping::new(JobId(1), 0)]));
+        s.push(Segment::new(
+            10.0,
+            12.65,
+            vec![JobMapping::new(JobId(1), 0)],
+        ));
         let platform = Platform::motivational_2l2b();
         s.validate(&jobs, &platform, 0.0).unwrap();
     }
@@ -587,13 +599,7 @@ mod tests {
         let app = lambda1();
         let half0 = 5.3 / 2.0; // half the work on point 0
         let half1 = 8.1 / 2.0; // other half on point 1
-        let jobs = JobSet::new(vec![Job::new(
-            JobId(1),
-            Arc::clone(&app),
-            0.0,
-            20.0,
-            1.0,
-        )]);
+        let jobs = JobSet::new(vec![Job::new(JobId(1), Arc::clone(&app), 0.0, 20.0, 1.0)]);
         let mut s = Schedule::new();
         s.push(Segment::new(0.0, half0, vec![JobMapping::new(JobId(1), 0)]));
         s.push(Segment::new(

@@ -34,7 +34,8 @@ mod tests {
 
     #[test]
     fn eps_is_small() {
-        assert!(EPS < 1e-6);
+        let eps = EPS;
+        assert!(eps < 1e-6);
     }
 
     #[test]

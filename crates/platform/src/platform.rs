@@ -36,7 +36,10 @@ impl Platform {
     /// count is zero (empty clusters are not representable in the paper's
     /// model — drop the type instead).
     pub fn new(name: impl Into<String>, core_types: Vec<CoreType>, counts: ResourceVec) -> Self {
-        assert!(!core_types.is_empty(), "platform needs at least one core type");
+        assert!(
+            !core_types.is_empty(),
+            "platform needs at least one core type"
+        );
         assert_eq!(
             core_types.len(),
             counts.num_types(),

@@ -26,7 +26,7 @@
 
 mod sweep;
 
-pub use crate::sweep::{load_sweep, LoadPoint};
+pub use crate::sweep::{load_sweep, registry_load_sweep, LoadPoint};
 
 use amrm_core::{Admission, ReactivationPolicy, RmStats, RuntimeManager, Scheduler};
 use amrm_model::{Job, JobId, JobSet, Schedule};

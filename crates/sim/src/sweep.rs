@@ -1,7 +1,7 @@
 //! Load sweeps: acceptance rate and energy of the online RM as a function
 //! of offered load (extension beyond the paper's static evaluation).
 
-use amrm_core::{ReactivationPolicy, Scheduler};
+use amrm_core::{ReactivationPolicy, Scheduler, SchedulerRegistry};
 use amrm_model::AppRef;
 use amrm_platform::Platform;
 use amrm_workload::{poisson_stream, StreamSpec};
@@ -41,7 +41,10 @@ where
     S: Scheduler,
     F: Fn() -> S,
 {
-    assert!(!interarrivals.is_empty(), "sweep needs at least one load point");
+    assert!(
+        !interarrivals.is_empty(),
+        "sweep needs at least one load point"
+    );
     interarrivals
         .iter()
         .map(|&mean| {
@@ -54,6 +57,44 @@ where
                 energy_per_job: outcome.total_energy / accepted,
                 outcome,
             }
+        })
+        .collect()
+}
+
+/// Runs [`load_sweep`] for every scheduler in `registry`, re-using the
+/// same seeded stream shapes, and returns `(name, sweep)` pairs in
+/// registry order.
+///
+/// This is the online counterpart of the registry-driven suite
+/// evaluation: any scheduler set — including ones the paper never swept —
+/// can be compared under identical offered load without touching sweep
+/// code.
+///
+/// # Panics
+///
+/// Panics if `interarrivals` is empty or the stream spec is invalid.
+pub fn registry_load_sweep(
+    platform: &Platform,
+    registry: &SchedulerRegistry,
+    policy: ReactivationPolicy,
+    apps: &[AppRef],
+    interarrivals: &[f64],
+    spec: &StreamSpec,
+    seed: u64,
+) -> Vec<(String, Vec<LoadPoint>)> {
+    registry
+        .iter()
+        .map(|(name, factory)| {
+            let points = load_sweep(
+                platform,
+                || factory(),
+                policy,
+                apps,
+                interarrivals,
+                spec,
+                seed,
+            );
+            (name.to_string(), points)
         })
         .collect()
 }
@@ -107,6 +148,35 @@ mod tests {
         ) {
             assert_eq!(p.outcome.stats.deadline_misses, 0);
             assert!(p.energy_per_job >= 0.0);
+        }
+    }
+
+    #[test]
+    fn registry_sweep_covers_every_scheduler_in_order() {
+        let registry = amrm_baselines::standard_registry()
+            .subset(&[amrm_baselines::MDF_NAME, amrm_baselines::FIXED_NAME]);
+        let spec = StreamSpec {
+            requests: 10,
+            slack_range: (1.5, 2.5),
+        };
+        let sweeps = registry_load_sweep(
+            &scenarios::platform(),
+            &registry,
+            ReactivationPolicy::OnArrival,
+            &lib(),
+            &[4.0, 16.0],
+            &spec,
+            21,
+        );
+        assert_eq!(sweeps.len(), 2);
+        assert_eq!(sweeps[0].0, amrm_baselines::MDF_NAME);
+        assert_eq!(sweeps[1].0, amrm_baselines::FIXED_NAME);
+        for (_, points) in &sweeps {
+            assert_eq!(points.len(), 2);
+            for p in points {
+                assert_eq!(p.outcome.stats.deadline_misses, 0);
+                assert!((0.0..=1.0).contains(&p.acceptance_rate));
+            }
         }
     }
 

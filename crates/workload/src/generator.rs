@@ -151,10 +151,7 @@ pub fn tabulate(cases: &[TestCase]) -> [(DeadlineLevel, [usize; 4]); 2] {
             DeadlineLevel::Tight => tight[bucket] += 1,
         }
     }
-    [
-        (DeadlineLevel::Weak, weak),
-        (DeadlineLevel::Tight, tight),
-    ]
+    [(DeadlineLevel::Weak, weak), (DeadlineLevel::Tight, tight)]
 }
 
 #[cfg(test)]
@@ -246,13 +243,8 @@ mod tests {
                     .map(|p| p.time())
                     .fold(f64::INFINITY, f64::min)
                     * j.remaining;
-                let tmax = j
-                    .app
-                    .points()
-                    .iter()
-                    .map(|p| p.time())
-                    .fold(0.0, f64::max)
-                    * j.remaining;
+                let tmax =
+                    j.app.points().iter().map(|p| p.time()).fold(0.0, f64::max) * j.remaining;
                 assert!(j.deadline >= tmin * lo - 1e-9);
                 assert!(j.deadline <= tmax * hi + 1e-9);
             }

@@ -134,11 +134,7 @@ mod tests {
     fn lambda1_best_initial_choice_is_2l1b() {
         // At t = 0 with deadline 9 the cheapest feasible point is 2L1B, 8.9 J.
         let app = lambda1();
-        let feasible: Vec<_> = app
-            .points()
-            .iter()
-            .filter(|p| p.time() <= 9.0)
-            .collect();
+        let feasible: Vec<_> = app.points().iter().filter(|p| p.time() <= 9.0).collect();
         let best = feasible
             .iter()
             .min_by(|a, b| a.energy().total_cmp(&b.energy()))
@@ -183,7 +179,12 @@ mod tests {
 
     #[test]
     fn fig1_constants_are_ordered() {
-        assert!(fig1::ADAPTIVE_J < fig1::FIXED_AT_START_AND_FINISH_J);
-        assert!(fig1::FIXED_AT_START_AND_FINISH_J < fig1::FIXED_AT_START_J);
+        let (adaptive, fixed_both, fixed_start) = (
+            fig1::ADAPTIVE_J,
+            fig1::FIXED_AT_START_AND_FINISH_J,
+            fig1::FIXED_AT_START_J,
+        );
+        assert!(adaptive < fixed_both);
+        assert!(fixed_both < fixed_start);
     }
 }

@@ -14,7 +14,9 @@ pub struct StreamSpec {
     /// Number of requests to generate.
     pub requests: usize,
     /// Deadline slack: the deadline is set `slack × fastest execution`
-    /// after arrival, with the factor drawn uniformly from this range.
+    /// after arrival, with the factor drawn uniformly from this *closed*
+    /// range. A degenerate range (`lo == hi`) pins the slack to that
+    /// value.
     pub slack_range: (f64, f64),
 }
 
@@ -27,9 +29,33 @@ impl Default for StreamSpec {
     }
 }
 
+impl StreamSpec {
+    /// Checks the spec's invariants: the slack range must satisfy
+    /// `0 < lo ≤ hi` and both bounds must be finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let (lo, hi) = self.slack_range;
+        if !(lo.is_finite() && hi.is_finite()) {
+            return Err(format!("slack range ({lo}, {hi}) must be finite"));
+        }
+        if lo <= 0.0 {
+            return Err(format!("slack lower bound {lo} must be positive"));
+        }
+        if hi < lo {
+            return Err(format!("slack range ({lo}, {hi}) is reversed"));
+        }
+        Ok(())
+    }
+}
+
 fn request_at(apps: &[AppRef], t: f64, spec: &StreamSpec, rng: &mut StdRng) -> ScenarioRequest {
     let app = AppRef::clone(&apps[rng.gen_range(0..apps.len())]);
-    let slack = rng.gen_range(spec.slack_range.0..spec.slack_range.1);
+    // Inclusive sampling: a degenerate range (lo == hi) is a constant
+    // slack, not a panic.
+    let slack = rng.gen_range(spec.slack_range.0..=spec.slack_range.1);
     let deadline = t + app.min_time() * slack;
     ScenarioRequest {
         app,
@@ -62,7 +88,10 @@ pub fn poisson_stream(
     seed: u64,
 ) -> Vec<ScenarioRequest> {
     validate(apps, spec);
-    assert!(mean_interarrival > 0.0, "mean inter-arrival must be positive");
+    assert!(
+        mean_interarrival > 0.0,
+        "mean inter-arrival must be positive"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut t = 0.0;
     (0..spec.requests)
@@ -111,7 +140,10 @@ pub fn bursty_stream(
 ) -> Vec<ScenarioRequest> {
     validate(apps, spec);
     assert!(burst_len > 0, "bursts need at least one request");
-    assert!(intra_gap >= 0.0 && inter_gap >= 0.0, "gaps must be non-negative");
+    assert!(
+        intra_gap >= 0.0 && inter_gap >= 0.0,
+        "gaps must be non-negative"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut t = 0.0;
     let mut in_burst = 0;
@@ -132,10 +164,9 @@ pub fn bursty_stream(
 
 fn validate(apps: &[AppRef], spec: &StreamSpec) {
     assert!(!apps.is_empty(), "application library must not be empty");
-    assert!(
-        spec.slack_range.0 > 0.0 && spec.slack_range.1 > spec.slack_range.0,
-        "slack range must be positive and non-empty"
-    );
+    if let Err(msg) = spec.validate() {
+        panic!("invalid stream spec: {msg}");
+    }
 }
 
 #[cfg(test)]
@@ -197,7 +228,7 @@ mod tests {
     fn deadlines_respect_slack() {
         for r in poisson_stream(&lib(), 2.0, &StreamSpec::default(), 6) {
             let slack = (r.deadline - r.arrival) / r.app.min_time();
-            assert!(slack >= 1.2 - 1e-9 && slack <= 3.0 + 1e-9, "slack {slack}");
+            assert!((1.2 - 1e-9..=3.0 + 1e-9).contains(&slack), "slack {slack}");
         }
     }
 
@@ -205,5 +236,47 @@ mod tests {
     #[should_panic(expected = "must not be empty")]
     fn empty_library_panics() {
         poisson_stream(&[], 1.0, &StreamSpec::default(), 0);
+    }
+
+    #[test]
+    fn degenerate_slack_range_pins_the_slack() {
+        // Regression: `lo == hi` used to panic inside `gen_range` with an
+        // empty half-open range.
+        let spec = StreamSpec {
+            requests: 20,
+            slack_range: (2.0, 2.0),
+        };
+        for r in poisson_stream(&lib(), 3.0, &spec, 11) {
+            let slack = (r.deadline - r.arrival) / r.app.min_time();
+            assert!((slack - 2.0).abs() < 1e-9, "slack {slack}");
+        }
+    }
+
+    #[test]
+    fn spec_validation_rejects_bad_ranges() {
+        let ok = StreamSpec::default();
+        assert!(ok.validate().is_ok());
+        let pinned = StreamSpec {
+            slack_range: (1.5, 1.5),
+            ..ok.clone()
+        };
+        assert!(pinned.validate().is_ok());
+        for bad in [(0.0, 2.0), (-1.0, 2.0), (3.0, 2.0), (1.0, f64::NAN)] {
+            let spec = StreamSpec {
+                slack_range: bad,
+                ..ok.clone()
+            };
+            assert!(spec.validate().is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stream spec")]
+    fn reversed_slack_range_panics_with_context() {
+        let spec = StreamSpec {
+            requests: 5,
+            slack_range: (3.0, 1.2),
+        };
+        poisson_stream(&lib(), 1.0, &spec, 0);
     }
 }

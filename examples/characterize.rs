@@ -38,7 +38,10 @@ fn main() {
             raw.len(),
             kept.len()
         );
-        println!("   {:<10} {:>8} {:>9} {:>8}", "alloc", "τ [s]", "ξ [J]", "P [W]");
+        println!(
+            "   {:<10} {:>8} {:>9} {:>8}",
+            "alloc", "τ [s]", "ξ [J]", "P [W]"
+        );
         let mut sorted = kept.clone();
         sorted.sort_by(|a, b| a.energy().total_cmp(&b.energy()));
         for p in &sorted {

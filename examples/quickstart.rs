@@ -33,7 +33,11 @@ fn main() {
         &CharacterizeConfig::default(),
     );
     for app in [&audio, &pedestrian] {
-        println!("{} — {} Pareto operating points:", app.name(), app.num_points());
+        println!(
+            "{} — {} Pareto operating points:",
+            app.name(),
+            app.num_points()
+        );
         for p in app.points() {
             println!("  {p}");
         }
@@ -69,5 +73,8 @@ fn main() {
     .into_iter()
     .collect();
     println!("\nexecuted schedule:");
-    print!("{}", render_gantt(&trace, &jobs, &platform, &GanttOptions::default()));
+    print!(
+        "{}",
+        render_gantt(&trace, &jobs, &platform, &GanttOptions::default())
+    );
 }

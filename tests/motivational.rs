@@ -27,12 +27,7 @@ fn fig1_all_three_strategies_match_paper_energies() {
     );
     assert!((fixed_b.total_energy - 15.49).abs() < 5e-3);
 
-    let adaptive = run_scenario(
-        platform,
-        MmkpMdf::new(),
-        ReactivationPolicy::OnArrival,
-        &s1,
-    );
+    let adaptive = run_scenario(platform, MmkpMdf::new(), ReactivationPolicy::OnArrival, &s1);
     assert!((adaptive.total_energy - 14.63).abs() < 5e-3);
 }
 

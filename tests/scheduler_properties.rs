@@ -11,13 +11,8 @@ use proptest::prelude::*;
 /// Strategy: a job over λ1/λ2 with arbitrary progress and a deadline set
 /// like the paper's generator (remaining time of a random point × factor).
 fn job_strategy(id: u64) -> impl Strategy<Value = Job> {
-    (
-        prop::bool::ANY,
-        0.1f64..=1.0,
-        0usize..8,
-        0.6f64..4.0,
-    )
-        .prop_map(move |(first_app, remaining, cfg, factor)| {
+    (prop::bool::ANY, 0.1f64..=1.0, 0usize..8, 0.6f64..4.0).prop_map(
+        move |(first_app, remaining, cfg, factor)| {
             let app = if first_app {
                 scenarios::lambda1()
             } else {
@@ -25,7 +20,8 @@ fn job_strategy(id: u64) -> impl Strategy<Value = Job> {
             };
             let deadline = app.point(cfg).time() * remaining * factor;
             Job::new(JobId(id), app, 0.0, deadline, remaining)
-        })
+        },
+    )
 }
 
 fn jobset_strategy() -> impl Strategy<Value = JobSet> {

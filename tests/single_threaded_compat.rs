@@ -95,7 +95,11 @@ fn single_threaded_matches_exhaustive_optimum_on_small_cases() {
                 );
             }
             (None, None) => {}
-            (h, o) => panic!("feasibility mismatch: mdf={:?} opt={:?}", h.is_some(), o.is_some()),
+            (h, o) => panic!(
+                "feasibility mismatch: mdf={:?} opt={:?}",
+                h.is_some(),
+                o.is_some()
+            ),
         }
     }
 }

@@ -1,0 +1,120 @@
+//! Property tests for the request-stream generators: arrival monotonicity,
+//! the deadline-slack contract, and per-seed determinism — including the
+//! degenerate slack range (`lo == hi`) that used to panic.
+
+use amrm::model::AppRef;
+use amrm::workload::{bursty_stream, periodic_stream, poisson_stream, scenarios, StreamSpec};
+use proptest::prelude::*;
+
+fn library() -> Vec<AppRef> {
+    vec![scenarios::lambda1(), scenarios::lambda2()]
+}
+
+/// Strategy for a valid spec: 1–40 requests, slack lower bound in
+/// [0.5, 2.5], and a width in [0, 2] — width 0 pins the slack.
+fn spec_strategy() -> impl Strategy<Value = StreamSpec> {
+    (1usize..=40, 0.5f64..=2.5, 0.0f64..=2.0).prop_map(|(requests, lo, width)| StreamSpec {
+        requests,
+        slack_range: (lo, lo + width),
+    })
+}
+
+fn assert_stream_contract(stream: &[amrm::workload::ScenarioRequest], spec: &StreamSpec) {
+    assert_eq!(stream.len(), spec.requests);
+    // Arrivals are non-decreasing.
+    for w in stream.windows(2) {
+        assert!(
+            w[0].arrival <= w[1].arrival + 1e-12,
+            "arrivals regressed: {} then {}",
+            w[0].arrival,
+            w[1].arrival
+        );
+    }
+    // Every deadline honours the minimum slack over the fastest point.
+    let (lo, hi) = spec.slack_range;
+    for r in stream {
+        let min_gap = r.app.min_time() * lo;
+        let max_gap = r.app.min_time() * hi;
+        let gap = r.deadline - r.arrival;
+        assert!(
+            gap >= min_gap - 1e-9,
+            "deadline gap {gap} below minimum {min_gap}"
+        );
+        assert!(
+            gap <= max_gap + 1e-9,
+            "deadline gap {gap} above maximum {max_gap}"
+        );
+    }
+}
+
+fn assert_same_stream(
+    a: &[amrm::workload::ScenarioRequest],
+    b: &[amrm::workload::ScenarioRequest],
+) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.app.name(), y.app.name());
+        assert!((x.arrival - y.arrival).abs() < 1e-12);
+        assert!((x.deadline - y.deadline).abs() < 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn poisson_streams_honour_the_contract(
+        spec in spec_strategy(),
+        mean in 0.1f64..=10.0,
+        seed in 0u64..1000,
+    ) {
+        let stream = poisson_stream(&library(), mean, &spec, seed);
+        assert_stream_contract(&stream, &spec);
+        assert_same_stream(&stream, &poisson_stream(&library(), mean, &spec, seed));
+    }
+
+    #[test]
+    fn periodic_streams_honour_the_contract(
+        spec in spec_strategy(),
+        period in 0.1f64..=10.0,
+        seed in 0u64..1000,
+    ) {
+        let stream = periodic_stream(&library(), period, &spec, seed);
+        assert_stream_contract(&stream, &spec);
+        // Periodic arrivals are exactly i × period.
+        for (i, r) in stream.iter().enumerate() {
+            prop_assert!((r.arrival - i as f64 * period).abs() < 1e-9);
+        }
+        assert_same_stream(&stream, &periodic_stream(&library(), period, &spec, seed));
+    }
+
+    #[test]
+    fn bursty_streams_honour_the_contract(
+        spec in spec_strategy(),
+        burst_len in 1usize..=5,
+        intra in 0.0f64..=1.0,
+        inter in 0.0f64..=20.0,
+    ) {
+        let stream = bursty_stream(&library(), burst_len, intra, inter, &spec, 7);
+        assert_stream_contract(&stream, &spec);
+        assert_same_stream(
+            &stream,
+            &bursty_stream(&library(), burst_len, intra, inter, &spec, 7),
+        );
+    }
+
+    #[test]
+    fn different_seeds_usually_differ(spec in spec_strategy(), seed in 0u64..1000) {
+        // Not a hard guarantee for 1-request streams of a pinned-slack
+        // spec, so only check when there is room for variation.
+        if spec.requests >= 5 {
+            let a = poisson_stream(&library(), 2.0, &spec, seed);
+            let b = poisson_stream(&library(), 2.0, &spec, seed.wrapping_add(1));
+            let differs = a
+                .iter()
+                .zip(&b)
+                .any(|(x, y)| (x.arrival - y.arrival).abs() > 1e-12);
+            prop_assert!(differs, "seeds {seed} and {} collided", seed.wrapping_add(1));
+        }
+    }
+}

@@ -2,8 +2,8 @@
 //! dataflow characterization feeds the Table III generator, whose cases are
 //! scheduled, validated, and round-tripped through JSON.
 
-use amrm::core::{MmkpMdf, Scheduler};
 use amrm::baselines::MmkpLr;
+use amrm::core::{MmkpMdf, Scheduler};
 use amrm::dataflow::apps;
 use amrm::platform::Platform;
 use amrm::workload::{generate_suite, load_suite, save_suite, tabulate, SuiteSpec};
@@ -104,6 +104,12 @@ fn generator_respects_paper_counts_at_full_scale() {
     // Fractions land near the paper's 31.9% / 22.6%.
     let singles = suite.iter().filter(|c| c.is_single_app()).count() as f64 / 1676.0;
     let initials = suite.iter().filter(|c| c.is_all_initial()).count() as f64 / 1676.0;
-    assert!((singles - 0.319).abs() < 0.08, "single-app fraction {singles}");
-    assert!((initials - 0.226).abs() < 0.08, "all-initial fraction {initials}");
+    assert!(
+        (singles - 0.319).abs() < 0.08,
+        "single-app fraction {singles}"
+    );
+    assert!(
+        (initials - 0.226).abs() < 0.08,
+        "all-initial fraction {initials}"
+    );
 }

@@ -1,0 +1,11 @@
+//! The usual proptest imports, mirroring `proptest::prelude`.
+
+pub use crate::{prop_assert, prop_assert_eq, proptest};
+pub use crate::{Just, ProptestConfig, Strategy};
+
+pub mod prop {
+    //! Namespaced strategy constructors (`prop::bool`, `prop::collection`).
+
+    pub use crate::bool;
+    pub use crate::collection;
+}

@@ -1,0 +1,63 @@
+//! The in-memory serialization value shared by `serde` and `serde_json`.
+
+use crate::Error;
+
+/// A JSON-like in-memory value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats and `None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object: ordered key/value pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object's fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The array's items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a field in an object's field list (derive-macro helper).
+///
+/// # Errors
+///
+/// Returns an [`Error`] naming the missing field.
+pub fn get_field<'v>(fields: &'v [(String, Value)], name: &str) -> Result<&'v Value, Error> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::new(format!("missing field `{name}`")))
+}

@@ -1,0 +1,289 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Hand-rolled (no `syn`/`quote`) derive macros for the value-based
+//! `serde` stub. Supported shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields → JSON objects;
+//! * newtype structs (one unnamed field) → the inner value;
+//! * tuple structs (several unnamed fields) → JSON arrays;
+//! * enums whose variants are all unit variants → variant-name strings.
+//!
+//! Generics, `where` clauses and `#[serde(...)]` attributes are not
+//! supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// `n` unnamed fields.
+    Tuple(usize),
+    /// Unit enum variants, in declaration order.
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` for the supported shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::value::Value::Obj(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Arr(vec![{}])", entries.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "::serde::value::Value::Str(String::from(match self {{ {} }}))",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` for the supported shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::value::get_field(fields, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let fields = v.as_obj().ok_or_else(|| \
+                 ::serde::Error::new(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_arr().ok_or_else(|| \
+                 ::serde::Error::new(\"expected array for {name}\"))?;\n\
+                 if items.len() != {n} {{ return Err(::serde::Error::new(\
+                 \"wrong arity for {name}\")); }}\n\
+                 Ok({name}({}))",
+                entries.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "let s = v.as_str().ok_or_else(|| \
+                 ::serde::Error::new(\"expected variant string for {name}\"))?;\n\
+                 match s {{ {} _ => Err(::serde::Error::new(\
+                 format!(\"unknown {name} variant `{{s}}`\"))) }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         \tfn from_value(v: &::serde::value::Value) \
+         -> Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
+
+/// Parses the derive input down to a name and a [`Shape`].
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // Optional (crate)/(super)/... restriction.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                shape: Shape::Tuple(count_tuple_fields(g.stream())),
+            },
+            other => panic!("serde_derive stub: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                shape: Shape::UnitEnum(parse_unit_variants(&name, g.stream())),
+                name,
+            },
+            other => panic!("serde_derive stub: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}`"),
+    }
+}
+
+/// Extracts field names from a named-struct body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive stub: expected field name, got {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected `:`, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                None => break,
+                _ => {}
+            }
+            tokens.next();
+        }
+    }
+    fields
+}
+
+/// Counts the unnamed fields of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut depth = 0i32;
+    let mut saw_tokens = false;
+    for tt in stream {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}
+
+/// Extracts variant names from an enum body, rejecting data variants.
+fn parse_unit_variants(enum_name: &str, stream: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes (e.g. `#[default]`, doc comments).
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive stub: expected variant name, got {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => panic!(
+                "serde_derive stub: enum `{enum_name}` has a non-unit variant \
+                 ({other:?}); only unit enums are supported"
+            ),
+        }
+    }
+    variants
+}
