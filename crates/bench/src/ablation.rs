@@ -104,10 +104,7 @@ pub fn online_admission_report(
         t.add_row(vec![
             name.to_string(),
             format!("{}/{}", outcome.accepted(), stream.len()),
-            format!(
-                "{:.2}",
-                outcome.total_energy / outcome.accepted().max(1) as f64
-            ),
+            format!("{:.2}", outcome.energy_per_job()),
             outcome.stats.deadline_misses.to_string(),
         ]);
     }

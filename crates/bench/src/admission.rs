@@ -1,0 +1,282 @@
+//! Admission-policy A/B evaluation: every registered scheduler crossed
+//! with every batched-admission policy on one seeded request stream.
+//!
+//! The grid quantifies the lever the event kernel exposes — *when and how
+//! many* requests reach the mapper per activation — in the three
+//! currencies that matter online: acceptance rate, energy per admitted
+//! job, and scheduler activations. [`admission_grid`] produces the cells,
+//! [`admission_report`] renders them, and the `repro` binary embeds them
+//! in the perf baseline (`BENCH_baseline.json`) whenever a suite run
+//! writes JSON.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use amrm_core::{AdmissionPolicy, ReactivationPolicy, SchedulerRegistry};
+use amrm_metrics::TextTable;
+use amrm_platform::Platform;
+use amrm_sim::Simulation;
+use amrm_workload::ScenarioRequest;
+use serde::{Deserialize, Serialize};
+
+/// One cell of the policy × scheduler grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdmissionCell {
+    /// Admission-policy label (e.g. `"BatchK(4)"`), stable across runs.
+    pub policy: String,
+    /// Scheduler (registry) name.
+    pub scheduler: String,
+    /// Requests offered to the runtime manager.
+    pub requests: usize,
+    /// Requests admitted.
+    pub accepted: usize,
+    /// Acceptance rate in `[0, 1]` (0.0 for an empty stream).
+    pub acceptance_rate: f64,
+    /// Energy per admitted job, in joules (0.0 if nothing was admitted).
+    pub energy_per_job: f64,
+    /// Scheduler activations over the whole run — what batching buys.
+    pub activations: usize,
+    /// Requests dropped from the admission queue at their deadline.
+    pub queue_deadline_drops: usize,
+    /// Admitted jobs that finished late (0 unless a scheduler misbehaved).
+    pub deadline_misses: usize,
+}
+
+/// The default policy set for A/B runs: the paper's per-request
+/// discipline, a size-4 batch, and a 2-second gathering window.
+pub fn standard_policies() -> Vec<AdmissionPolicy> {
+    vec![
+        AdmissionPolicy::Immediate,
+        AdmissionPolicy::BatchK(4),
+        AdmissionPolicy::WindowTau(2.0),
+    ]
+}
+
+/// Runs every (policy × scheduler) combination over the same request
+/// stream and collects one [`AdmissionCell`] per combination, policies
+/// outermost, schedulers in registry order within each policy. Cells are
+/// independent simulations, so they are fanned out over `threads` OS
+/// threads via a shared work index (EX-MEM's slow online cells would
+/// otherwise serialize the whole grid).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, the registry or policy set is empty, or
+/// a policy is invalid.
+pub fn admission_grid(
+    platform: &Platform,
+    registry: &SchedulerRegistry,
+    policies: &[AdmissionPolicy],
+    stream: &[ScenarioRequest],
+    threads: usize,
+) -> Vec<AdmissionCell> {
+    assert!(threads > 0, "need at least one worker thread");
+    assert!(!registry.is_empty(), "registry must not be empty");
+    assert!(!policies.is_empty(), "need at least one admission policy");
+    for policy in policies {
+        if let Err(msg) = policy.validate() {
+            panic!("invalid admission policy: {msg}");
+        }
+    }
+    let columns = registry.len();
+    let total = policies.len() * columns;
+    let names = registry.names();
+    let run_cell = |cell: usize| -> AdmissionCell {
+        let policy = policies[cell / columns];
+        let sched_idx = cell % columns;
+        let scheduler = registry
+            .create_at(sched_idx)
+            .expect("scheduler index in range");
+        let outcome = Simulation::new(
+            platform.clone(),
+            scheduler,
+            ReactivationPolicy::OnArrival,
+            policy,
+            stream,
+        )
+        .run();
+        AdmissionCell {
+            policy: policy.label(),
+            scheduler: names[sched_idx].to_string(),
+            requests: stream.len(),
+            accepted: outcome.accepted(),
+            acceptance_rate: outcome.acceptance_rate(),
+            energy_per_job: outcome.energy_per_job(),
+            activations: outcome.stats.activations,
+            queue_deadline_drops: outcome.queue_deadline_drops,
+            deadline_misses: outcome.stats.deadline_misses,
+        }
+    };
+    if threads == 1 || total < 2 {
+        return (0..total).map(run_cell).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut flat: Vec<Option<AdmissionCell>> = vec![None; total];
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads.min(total))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        produced.push((i, run_cell(i)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (i, cell) in worker.join().expect("worker panicked") {
+                flat[i] = Some(cell);
+            }
+        }
+    });
+    flat.into_iter()
+        .map(|c| c.expect("all cells filled by workers"))
+        .collect()
+}
+
+/// Renders a grid as a text table, one row per (policy, scheduler).
+pub fn admission_report(cells: &[AdmissionCell]) -> String {
+    let mut out = String::from(
+        "Admission-policy A/B: batched admission vs the paper's per-request discipline\n\n",
+    );
+    let mut t = TextTable::new(vec![
+        "Policy",
+        "Scheduler",
+        "accepted",
+        "energy/job [J]",
+        "activations",
+        "queue drops",
+        "misses",
+    ]);
+    for c in cells {
+        t.add_row(vec![
+            c.policy.clone(),
+            c.scheduler.clone(),
+            format!("{}/{}", c.accepted, c.requests),
+            format!("{:.2}", c.energy_per_job),
+            c.activations.to_string(),
+            c.queue_deadline_drops.to_string(),
+            c.deadline_misses.to_string(),
+        ]);
+    }
+    out.push_str(&t.to_string());
+    out.push_str(
+        "\nBatching trades scheduler activations (runtime overhead) against\n\
+         acceptance under tight slack; windows additionally risk queue-deadline\n\
+         drops at low load.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrm_baselines::{standard_registry, FIXED_NAME, MDF_NAME};
+    use amrm_workload::{poisson_stream, scenarios, StreamSpec};
+
+    fn small_stream() -> Vec<ScenarioRequest> {
+        let lib = vec![scenarios::lambda1(), scenarios::lambda2()];
+        let spec = StreamSpec {
+            requests: 12,
+            slack_range: (1.3, 2.5),
+        };
+        poisson_stream(&lib, 4.0, &spec, 31)
+    }
+
+    #[test]
+    fn grid_covers_every_policy_scheduler_pair() {
+        let registry = standard_registry().subset(&[MDF_NAME, FIXED_NAME]);
+        let policies = standard_policies();
+        let cells = admission_grid(
+            &scenarios::platform(),
+            &registry,
+            &policies,
+            &small_stream(),
+            2,
+        );
+        assert_eq!(cells.len(), policies.len() * registry.len());
+        // Policies outermost, registry order within.
+        assert_eq!(cells[0].policy, "Immediate");
+        assert_eq!(cells[0].scheduler, MDF_NAME);
+        assert_eq!(cells[1].scheduler, FIXED_NAME);
+        assert_eq!(cells[2].policy, "BatchK(4)");
+        for c in &cells {
+            assert!((0.0..=1.0).contains(&c.acceptance_rate));
+            assert!(c.accepted <= c.requests);
+            assert!(c.energy_per_job >= 0.0);
+            assert_eq!(c.deadline_misses, 0);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_grids_agree() {
+        let registry = standard_registry().subset(&[MDF_NAME, FIXED_NAME]);
+        let policies = standard_policies();
+        let stream = small_stream();
+        let serial = admission_grid(&scenarios::platform(), &registry, &policies, &stream, 1);
+        let parallel = admission_grid(&scenarios::platform(), &registry, &policies, &stream, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.policy, b.policy);
+            assert_eq!(a.scheduler, b.scheduler);
+            assert_eq!(a.accepted, b.accepted);
+            assert_eq!(a.activations, b.activations);
+            assert_eq!(a.energy_per_job.to_bits(), b.energy_per_job.to_bits());
+        }
+    }
+
+    #[test]
+    fn batching_reduces_activations() {
+        let registry = standard_registry().subset(&[MDF_NAME]);
+        let cells = admission_grid(
+            &scenarios::platform(),
+            &registry,
+            &[AdmissionPolicy::Immediate, AdmissionPolicy::BatchK(4)],
+            &small_stream(),
+            1,
+        );
+        let immediate = &cells[0];
+        let batched = &cells[1];
+        assert!(immediate.activations >= batched.activations);
+        assert!(batched.activations >= 1);
+    }
+
+    #[test]
+    fn report_lists_all_cells() {
+        let registry = standard_registry().subset(&[MDF_NAME]);
+        let cells = admission_grid(
+            &scenarios::platform(),
+            &registry,
+            &standard_policies(),
+            &small_stream(),
+            1,
+        );
+        let report = admission_report(&cells);
+        assert!(report.contains("Immediate"));
+        assert!(report.contains("BatchK(4)"));
+        assert!(report.contains("WindowTau(2)"));
+        assert!(report.contains(MDF_NAME));
+    }
+
+    #[test]
+    fn cells_roundtrip_through_serde_json() {
+        let registry = standard_registry().subset(&[MDF_NAME]);
+        let cells = admission_grid(
+            &scenarios::platform(),
+            &registry,
+            &[AdmissionPolicy::BatchK(2)],
+            &small_stream(),
+            1,
+        );
+        let text = serde_json::to_string(&cells).unwrap();
+        let back: Vec<AdmissionCell> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.len(), cells.len());
+        assert_eq!(back[0].policy, cells[0].policy);
+        assert_eq!(back[0].accepted, cells[0].accepted);
+        assert_eq!(back[0].activations, cells[0].activations);
+    }
+}

@@ -34,7 +34,11 @@ pub struct SchedulerBaseline {
 }
 
 /// A whole suite run, ready to serialize as the repo's perf baseline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (the vendored serde stub has no
+/// `#[serde(default)]`): a baseline written before the admission grid
+/// existed simply lacks the `admission` key and reads back as empty.
+#[derive(Debug, Clone, Serialize)]
 pub struct PerfBaseline {
     /// RNG seed the suite was generated with.
     pub seed: u64,
@@ -48,6 +52,32 @@ pub struct PerfBaseline {
     pub evaluation_seconds: f64,
     /// Per-scheduler aggregates, in registry order.
     pub schedulers: Vec<SchedulerBaseline>,
+    /// Admission-policy × scheduler grid on the seeded online stream
+    /// (empty when the producing command skipped the online A/B, or the
+    /// file predates the grid).
+    pub admission: Vec<crate::admission::AdmissionCell>,
+}
+
+impl serde::Deserialize for PerfBaseline {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let Some(fields) = v.as_obj() else {
+            return Err(serde::Error::new("expected PerfBaseline object"));
+        };
+        let field = |name: &str| serde::value::get_field(fields, name);
+        Ok(PerfBaseline {
+            seed: u64::from_value(field("seed")?)?,
+            threads: usize::from_value(field("threads")?)?,
+            quick: bool::from_value(field("quick")?)?,
+            cases: usize::from_value(field("cases")?)?,
+            evaluation_seconds: f64::from_value(field("evaluation_seconds")?)?,
+            schedulers: Vec::from_value(field("schedulers")?)?,
+            // Absent in baselines written before the grid existed.
+            admission: match field("admission") {
+                Ok(value) => Vec::from_value(value)?,
+                Err(_) => Vec::new(),
+            },
+        })
+    }
 }
 
 /// Condenses `eval` into a [`PerfBaseline`].
@@ -92,6 +122,7 @@ pub fn summarize(
         cases,
         evaluation_seconds,
         schedulers,
+        admission: Vec::new(),
     }
 }
 
@@ -154,8 +185,41 @@ mod tests {
     }
 
     #[test]
+    fn legacy_baseline_without_admission_field_still_parses() {
+        // The exact shape `repro --json` wrote before the admission grid
+        // existed — it must read back with an empty grid, not error.
+        let legacy = r#"{
+            "seed": 2020, "threads": 1, "quick": true, "cases": 2,
+            "evaluation_seconds": 0.5,
+            "schedulers": [{
+                "scheduler": "MMKP-MDF", "scheduled": 2, "cases": 2,
+                "geomean_energy_vs_exmem": null,
+                "mean_search_seconds": 0.001, "max_search_seconds": 0.002
+            }]
+        }"#;
+        let back: PerfBaseline = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.seed, 2020);
+        assert_eq!(back.schedulers.len(), 1);
+        assert!(back.admission.is_empty());
+    }
+
+    #[test]
     fn baseline_roundtrips_through_json() {
-        let baseline = summarize(&tiny_eval(), 13, 2, false, 1.25);
+        let mut baseline = summarize(&tiny_eval(), 13, 2, false, 1.25);
+        // Attach a small policy grid, as `repro --json` does.
+        let lib = vec![scenarios::lambda1(), scenarios::lambda2()];
+        let spec = amrm_workload::StreamSpec {
+            requests: 6,
+            slack_range: (1.3, 2.5),
+        };
+        let stream = amrm_workload::poisson_stream(&lib, 5.0, &spec, 13);
+        baseline.admission = crate::admission::admission_grid(
+            &scenarios::platform(),
+            &standard_registry().subset(&[amrm_baselines::MDF_NAME]),
+            &crate::admission::standard_policies(),
+            &stream,
+            1,
+        );
         let path = std::env::temp_dir().join("amrm_baseline_roundtrip.json");
         write_json(&path, &baseline).unwrap();
         let back = read_json(&path).unwrap();
@@ -167,6 +231,12 @@ mod tests {
         for (a, b) in baseline.schedulers.iter().zip(&back.schedulers) {
             assert_eq!(a.scheduler, b.scheduler);
             assert_eq!(a.scheduled, b.scheduled);
+        }
+        assert_eq!(back.admission.len(), 3);
+        for (a, b) in baseline.admission.iter().zip(&back.admission) {
+            assert_eq!(a.policy, b.policy);
+            assert_eq!(a.accepted, b.accepted);
+            assert_eq!(a.activations, b.activations);
         }
     }
 }

@@ -13,7 +13,9 @@
 //!   fig3        Figure 3  — S-curves of relative energy
 //!   fig4        Figure 4  — search-time box plots
 //!   ablation    extensions: job-order policy, online admission, DVFS
-//!   all         everything above except `ablation` (default)
+//!   admission   extension: admission-policy × scheduler A/B grid
+//!               (Immediate vs BatchK vs WindowTau on one Poisson stream)
+//!   all         everything above except `ablation`/`admission` (default)
 //!
 //! OPTIONS
 //!   --seed N         RNG seed for suite generation (default 2020)
@@ -21,20 +23,25 @@
 //!   --quick          divide all Table III counts by 10 (smoke run)
 //!   --suite-out F    save the generated suite as JSON
 //!   --json F         with suite commands: write per-scheduler energy/
-//!                    feasibility/search-time aggregates to F
+//!                    feasibility/search-time aggregates plus the
+//!                    admission-policy grid to F
 //!   --schedulers L   comma-separated registry subset to evaluate (suite
-//!                    commands and ablation; default: every registered scheduler)
+//!                    commands, ablation and admission; default: every
+//!                    registered scheduler)
 //! ```
 
 use std::process::ExitCode;
 
 use amrm_baselines::standard_registry;
 use amrm_bench::runner::evaluate_suite;
-use amrm_bench::{baseline, reports};
+use amrm_bench::{admission, baseline, reports};
 use amrm_core::SchedulerRegistry;
 use amrm_dataflow::apps;
+use amrm_model::AppRef;
 use amrm_platform::Platform;
-use amrm_workload::{generate_suite, save_suite, SuiteSpec};
+use amrm_workload::{
+    generate_suite, poisson_stream, save_suite, ScenarioRequest, StreamSpec, SuiteSpec,
+};
 
 struct Options {
     command: String,
@@ -96,6 +103,21 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+/// The seeded Poisson stream the admission-policy grid runs on (shared by
+/// the `admission` command and the `--json` baseline embedding so both
+/// report the same cells).
+fn admission_stream(library: &[AppRef], quick: bool, seed: u64) -> Vec<ScenarioRequest> {
+    // Dense enough that a size-4 batch fills well inside a request's
+    // deadline slack — at sparse load BatchK degenerates to queue-deadline
+    // drops and the grid says nothing. Length is bounded by EX-MEM, whose
+    // exponential search runs online in every cell.
+    let spec = StreamSpec {
+        requests: if quick { 30 } else { 60 },
+        slack_range: (1.5, 3.0),
+    };
+    poisson_stream(library, 2.0, &spec, seed)
+}
+
 /// Resolves the evaluation registry: the full standard registry, or the
 /// `--schedulers` subset of it.
 fn resolve_registry(opts: &Options) -> Result<SchedulerRegistry, String> {
@@ -123,9 +145,9 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprintln!(
-                "usage: repro [table2|motivation|table3|fig2|table4|fig3|fig4|ablation|all] \
-                 [--seed N] [--threads N] [--quick] [--suite-out FILE] [--json FILE] \
-                 [--schedulers A,B,...]"
+                "usage: repro [table2|motivation|table3|fig2|table4|fig3|fig4|ablation|\
+                 admission|all] [--seed N] [--threads N] [--quick] [--suite-out FILE] \
+                 [--json FILE] [--schedulers A,B,...]"
             );
             return if msg == "help" {
                 ExitCode::SUCCESS
@@ -155,9 +177,14 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    if opts.schedulers.is_some() && !evaluates_suite && opts.command != "ablation" {
+    if opts.schedulers.is_some()
+        && !evaluates_suite
+        && opts.command != "ablation"
+        && opts.command != "admission"
+    {
         eprintln!(
-            "error: --schedulers only applies to suite evaluation or `ablation`, not `{}`",
+            "error: --schedulers only applies to suite evaluation, `ablation` or `admission`, \
+             not `{}`",
             opts.command
         );
         return ExitCode::FAILURE;
@@ -167,6 +194,14 @@ fn main() -> ExitCode {
         opts.command.as_str(),
         "table3" | "fig2" | "table4" | "fig3" | "fig4" | "all"
     );
+    if opts.suite_out.is_some() && !needs_suite {
+        eprintln!(
+            "error: --suite-out only applies to commands that generate the suite \
+             (table3, fig2, table4, fig3, fig4, all), not `{}`",
+            opts.command
+        );
+        return ExitCode::FAILURE;
+    }
 
     match opts.command.as_str() {
         "table2" | "all" => println!("{}", reports::table2_report()),
@@ -194,6 +229,30 @@ fn main() -> ExitCode {
             amrm_bench::ablation::online_admission_report(&platform, opts.seed, &online)
         );
         println!("{}", amrm_bench::ablation::dvfs_report());
+        return ExitCode::SUCCESS;
+    }
+    if opts.command == "admission" {
+        let platform = Platform::odroid_xu4();
+        eprintln!(
+            "characterizing application library on {} ...",
+            platform.name()
+        );
+        let library = apps::benchmark_suite(&platform);
+        let stream = admission_stream(&library, opts.quick, opts.seed);
+        eprintln!(
+            "running {} policies × {} schedulers over {} requests ...",
+            admission::standard_policies().len(),
+            registry.len(),
+            stream.len()
+        );
+        let cells = admission::admission_grid(
+            &platform,
+            &registry,
+            &admission::standard_policies(),
+            &stream,
+            opts.threads,
+        );
+        println!("{}", admission::admission_report(&cells));
         return ExitCode::SUCCESS;
     }
 
@@ -253,7 +312,21 @@ fn main() -> ExitCode {
     eprintln!("evaluation finished in {elapsed:.1} s");
 
     if let Some(path) = &opts.json_out {
-        let summary = baseline::summarize(&eval, opts.seed, opts.threads, opts.quick, elapsed);
+        let mut summary = baseline::summarize(&eval, opts.seed, opts.threads, opts.quick, elapsed);
+        let stream = admission_stream(&library, opts.quick, opts.seed);
+        eprintln!(
+            "running admission-policy grid ({} policies × {} schedulers, {} requests) ...",
+            admission::standard_policies().len(),
+            registry.len(),
+            stream.len()
+        );
+        summary.admission = admission::admission_grid(
+            &platform,
+            &registry,
+            &admission::standard_policies(),
+            &stream,
+            opts.threads,
+        );
         if let Err(e) = baseline::write_json(path, &summary) {
             eprintln!("error: cannot write baseline to {path}: {e}");
             return ExitCode::FAILURE;

@@ -5,6 +5,9 @@
 //! * [`runner`] — evaluates every scheduler in a
 //!   [`SchedulerRegistry`](amrm_core::SchedulerRegistry) over a workload
 //!   suite, collecting feasibility, energy and wall-clock search time;
+//! * [`admission`] — A/B-evaluates batched-admission policies × registry
+//!   schedulers on one seeded online stream (acceptance, energy/job,
+//!   activations);
 //! * [`reports`] — renders each table/figure of the paper from those
 //!   results, one column per registered scheduler;
 //! * [`baseline`] — condenses an evaluation into the machine-readable
@@ -15,9 +18,11 @@
 //! hot path, and ablations.
 
 pub mod ablation;
+pub mod admission;
 pub mod baseline;
 pub mod reports;
 pub mod runner;
 
+pub use crate::admission::{admission_grid, admission_report, standard_policies, AdmissionCell};
 pub use crate::baseline::{summarize, write_json, PerfBaseline, SchedulerBaseline};
 pub use crate::runner::{evaluate_case, evaluate_suite, CaseResult, SchedResult, SuiteEvaluation};

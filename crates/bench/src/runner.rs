@@ -7,6 +7,7 @@
 //! scheduler, in registry order. Result queries are by scheduler *name*,
 //! so reports keep working when schedulers are added or reordered.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use amrm_core::SchedulerRegistry;
@@ -139,6 +140,34 @@ impl SuiteEvaluation {
     }
 }
 
+/// Runs one (case, scheduler) cell: instantiate, schedule, validate,
+/// time.
+fn evaluate_cell(
+    jobs: &amrm_model::JobSet,
+    platform: &Platform,
+    registry: &SchedulerRegistry,
+    scheduler_idx: usize,
+) -> SchedResult {
+    let mut scheduler = registry
+        .create_at(scheduler_idx)
+        .expect("scheduler index in range");
+    let t0 = Instant::now();
+    let schedule = scheduler.schedule(jobs, platform, 0.0);
+    let seconds = t0.elapsed().as_secs_f64();
+    match schedule {
+        Some(s) if s.validate(jobs, platform, 0.0).is_ok() => SchedResult {
+            feasible: true,
+            energy: s.energy(jobs),
+            seconds,
+        },
+        _ => SchedResult {
+            feasible: false,
+            energy: f64::NAN,
+            seconds,
+        },
+    }
+}
+
 /// Evaluates one case with every registered scheduler (validating each
 /// schedule).
 pub fn evaluate_case(
@@ -147,37 +176,24 @@ pub fn evaluate_case(
     registry: &SchedulerRegistry,
 ) -> CaseResult {
     let jobs = case.to_job_set();
-    let schedulers = registry
-        .iter()
-        .map(|(_, factory)| {
-            let mut scheduler = factory();
-            let t0 = Instant::now();
-            let schedule = scheduler.schedule(&jobs, platform, 0.0);
-            let seconds = t0.elapsed().as_secs_f64();
-            match schedule {
-                Some(s) if s.validate(&jobs, platform, 0.0).is_ok() => SchedResult {
-                    feasible: true,
-                    energy: s.energy(&jobs),
-                    seconds,
-                },
-                _ => SchedResult {
-                    feasible: false,
-                    energy: f64::NAN,
-                    seconds,
-                },
-            }
-        })
-        .collect();
     CaseResult {
         case_id: case.id,
         level: case.level,
         num_jobs: case.num_jobs(),
-        schedulers,
+        schedulers: (0..registry.len())
+            .map(|idx| evaluate_cell(&jobs, platform, registry, idx))
+            .collect(),
     }
 }
 
-/// Evaluates a whole suite with every scheduler in `registry`, fanning the
-/// cases out over `threads` OS threads.
+/// Evaluates a whole suite with every scheduler in `registry`, fanning
+/// *individual (case × scheduler) cells* out over `threads` OS threads
+/// via a shared work index.
+///
+/// Per-cell stealing matters because scheduler costs are wildly uneven:
+/// one EX-MEM cell can outlast hundreds of heuristic cells, and under the
+/// old per-case chunking a chunk containing a hard EX-MEM case stalled
+/// its whole thread while the others sat idle.
 ///
 /// # Panics
 ///
@@ -194,7 +210,9 @@ pub fn evaluate_suite(
         "registry must hold at least one scheduler"
     );
     let scheduler_names: Vec<String> = registry.names().iter().map(|n| n.to_string()).collect();
-    if threads == 1 || cases.len() < 2 {
+    let columns = registry.len();
+    let total = cases.len() * columns;
+    if threads == 1 || total < 2 {
         return SuiteEvaluation {
             scheduler_names,
             results: cases
@@ -203,22 +221,52 @@ pub fn evaluate_suite(
                 .collect(),
         };
     }
-    let mut results: Vec<Option<CaseResult>> = vec![None; cases.len()];
-    let chunk = cases.len().div_ceil(threads);
+
+    // Job sets are shared across a case's cells, so build them once.
+    let job_sets: Vec<amrm_model::JobSet> = cases.iter().map(TestCase::to_job_set).collect();
+    let next = AtomicUsize::new(0);
+    let mut flat: Vec<Option<SchedResult>> = vec![None; total];
     std::thread::scope(|scope| {
-        for (case_chunk, out_chunk) in cases.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (case, slot) in case_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(evaluate_case(case, platform, registry));
-                }
-            });
+        let workers: Vec<_> = (0..threads.min(total))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced: Vec<(usize, SchedResult)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let (case_idx, sched_idx) = (i / columns, i % columns);
+                        produced.push((
+                            i,
+                            evaluate_cell(&job_sets[case_idx], platform, registry, sched_idx),
+                        ));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (i, result) in worker.join().expect("worker panicked") {
+                flat[i] = Some(result);
+            }
         }
     });
+
+    let mut flat = flat.into_iter();
     SuiteEvaluation {
         scheduler_names,
-        results: results
-            .into_iter()
-            .map(|r| r.expect("all slots filled by workers"))
+        results: cases
+            .iter()
+            .map(|case| CaseResult {
+                case_id: case.id,
+                level: case.level,
+                num_jobs: case.num_jobs(),
+                schedulers: (&mut flat)
+                    .take(columns)
+                    .map(|r| r.expect("all cells filled by workers"))
+                    .collect(),
+            })
             .collect(),
     }
 }

@@ -1,0 +1,189 @@
+//! Batched-admission policies: *when* queued requests reach the scheduler.
+//!
+//! The paper's runtime manager is activated once per arriving request, but
+//! the registry makes the scheduling algorithm a plug-in — and the same
+//! holds for the admission discipline. An [`AdmissionPolicy`] decides how
+//! arrivals are grouped into scheduler activations: one at a time (the
+//! paper's discipline), in batches of a fixed size, or within a gathering
+//! time window. The `amrm-sim` event kernel consults the policy at every
+//! arrival; [`RuntimeManager::submit_batch`](crate::RuntimeManager::submit_batch)
+//! then admits or rejects the flushed batch atomically.
+
+/// What the simulation kernel should do with the admission queue after a
+/// new request has been appended to it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionDirective {
+    /// Flush the whole queue to the scheduler now.
+    Flush,
+    /// Keep queueing; no timer is involved (a later arrival or the end of
+    /// the stream will trigger the flush).
+    Defer,
+    /// Keep queueing and flush when the batching window expires at the
+    /// given absolute time (only emitted when a new window opens).
+    OpenWindow {
+        /// Absolute expiry time of the freshly opened window.
+        expiry: f64,
+    },
+}
+
+/// A batched-admission policy: decides how many queued requests reach the
+/// scheduler in one activation.
+///
+/// * [`Immediate`](AdmissionPolicy::Immediate) — the paper's discipline:
+///   every request triggers its own scheduler activation on arrival.
+/// * [`BatchK`](AdmissionPolicy::BatchK) — gather `k` requests and admit
+///   them in one activation (leftovers flush at the end of the stream).
+///   `BatchK(1)` is exactly the per-request discipline.
+/// * [`WindowTau`](AdmissionPolicy::WindowTau) — the first queued arrival
+///   opens a gathering window of length `τ`; everything that arrives
+///   before the window expires is admitted together. `WindowTau(0.0)`
+///   degenerates to per-request admission (up to simultaneous arrivals,
+///   which are grouped).
+///
+/// # Examples
+///
+/// ```
+/// use amrm_core::{AdmissionDirective, AdmissionPolicy};
+///
+/// let policy = AdmissionPolicy::BatchK(3);
+/// assert_eq!(policy.on_arrival(1, 0.0), AdmissionDirective::Defer);
+/// assert_eq!(policy.on_arrival(3, 0.5), AdmissionDirective::Flush);
+/// assert_eq!(policy.label(), "BatchK(3)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionPolicy {
+    /// One scheduler activation per request, at its arrival.
+    Immediate,
+    /// Flush once the queue holds this many requests.
+    BatchK(usize),
+    /// Flush a gathering window this long after its first queued arrival.
+    WindowTau(f64),
+}
+
+impl AdmissionPolicy {
+    /// Checks the policy's invariants: a batch size of at least one, a
+    /// finite non-negative window.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violation.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            AdmissionPolicy::Immediate => Ok(()),
+            AdmissionPolicy::BatchK(0) => {
+                Err("BatchK needs a batch size of at least 1".to_string())
+            }
+            AdmissionPolicy::BatchK(_) => Ok(()),
+            AdmissionPolicy::WindowTau(tau) if !tau.is_finite() || tau < 0.0 => {
+                Err(format!("WindowTau needs a finite window ≥ 0, got {tau}"))
+            }
+            AdmissionPolicy::WindowTau(_) => Ok(()),
+        }
+    }
+
+    /// The directive for a queue of `queue_len` requests (the newest just
+    /// appended) at time `now`, assuming no window is currently open —
+    /// the kernel tracks open windows itself and only asks on arrivals.
+    pub fn on_arrival(&self, queue_len: usize, now: f64) -> AdmissionDirective {
+        match *self {
+            AdmissionPolicy::Immediate => AdmissionDirective::Flush,
+            AdmissionPolicy::BatchK(k) if queue_len >= k => AdmissionDirective::Flush,
+            AdmissionPolicy::BatchK(_) => AdmissionDirective::Defer,
+            AdmissionPolicy::WindowTau(tau) if queue_len == 1 => {
+                AdmissionDirective::OpenWindow { expiry: now + tau }
+            }
+            AdmissionPolicy::WindowTau(_) => AdmissionDirective::Defer,
+        }
+    }
+
+    /// Whether leftovers must be flushed when the request stream ends
+    /// (`BatchK` would otherwise starve a partial final batch; window
+    /// policies flush at their expiry instead).
+    pub fn flush_at_stream_end(&self) -> bool {
+        matches!(self, AdmissionPolicy::BatchK(_))
+    }
+
+    /// A short stable label (`"Immediate"`, `"BatchK(4)"`,
+    /// `"WindowTau(2)"`) — the key used by reports and the perf
+    /// baseline. The window is rendered at full precision so distinct
+    /// policies never share a label.
+    pub fn label(&self) -> String {
+        match *self {
+            AdmissionPolicy::Immediate => "Immediate".to_string(),
+            AdmissionPolicy::BatchK(k) => format!("BatchK({k})"),
+            AdmissionPolicy::WindowTau(tau) => format!("WindowTau({tau})"),
+        }
+    }
+}
+
+impl std::fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_always_flushes() {
+        for n in 1..5 {
+            assert_eq!(
+                AdmissionPolicy::Immediate.on_arrival(n, 1.0),
+                AdmissionDirective::Flush
+            );
+        }
+    }
+
+    #[test]
+    fn batch_k_flushes_at_k() {
+        let p = AdmissionPolicy::BatchK(2);
+        assert_eq!(p.on_arrival(1, 0.0), AdmissionDirective::Defer);
+        assert_eq!(p.on_arrival(2, 0.0), AdmissionDirective::Flush);
+        assert_eq!(p.on_arrival(3, 0.0), AdmissionDirective::Flush);
+        assert!(p.flush_at_stream_end());
+    }
+
+    #[test]
+    fn batch_one_is_per_request() {
+        assert_eq!(
+            AdmissionPolicy::BatchK(1).on_arrival(1, 7.0),
+            AdmissionDirective::Flush
+        );
+    }
+
+    #[test]
+    fn window_opens_once_per_queue() {
+        let p = AdmissionPolicy::WindowTau(2.5);
+        assert_eq!(
+            p.on_arrival(1, 4.0),
+            AdmissionDirective::OpenWindow { expiry: 6.5 }
+        );
+        assert_eq!(p.on_arrival(2, 5.0), AdmissionDirective::Defer);
+        assert!(!p.flush_at_stream_end());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_policies() {
+        assert!(AdmissionPolicy::Immediate.validate().is_ok());
+        assert!(AdmissionPolicy::BatchK(0).validate().is_err());
+        assert!(AdmissionPolicy::BatchK(4).validate().is_ok());
+        assert!(AdmissionPolicy::WindowTau(-1.0).validate().is_err());
+        assert!(AdmissionPolicy::WindowTau(f64::NAN).validate().is_err());
+        assert!(AdmissionPolicy::WindowTau(0.0).validate().is_ok());
+    }
+
+    #[test]
+    fn labels_are_stable_and_injective() {
+        assert_eq!(AdmissionPolicy::Immediate.label(), "Immediate");
+        assert_eq!(AdmissionPolicy::BatchK(4).label(), "BatchK(4)");
+        assert_eq!(AdmissionPolicy::WindowTau(2.0).label(), "WindowTau(2)");
+        assert_eq!(format!("{}", AdmissionPolicy::BatchK(2)), "BatchK(2)");
+        // Full precision: close-but-distinct windows stay distinguishable.
+        assert_ne!(
+            AdmissionPolicy::WindowTau(0.25).label(),
+            AdmissionPolicy::WindowTau(0.251).label()
+        );
+    }
+}

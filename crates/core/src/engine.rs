@@ -157,13 +157,27 @@ impl ExecutionEngine {
     ///
     /// Panics if a job with the same id is already active.
     pub fn admit(&mut self, job: EngineJob, schedule: Schedule) {
-        assert!(
-            !self.job_index.contains_key(&job.id),
-            "job {} already active",
-            job.id
-        );
-        self.job_index.insert(job.id, self.jobs.len());
-        self.jobs.push(job);
+        self.admit_batch(vec![job], schedule);
+    }
+
+    /// Admits several jobs atomically and installs the one schedule
+    /// covering them all — one scheduler activation for a whole admission
+    /// batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job's id is already active (or duplicated in the
+    /// batch).
+    pub fn admit_batch(&mut self, jobs: Vec<EngineJob>, schedule: Schedule) {
+        for job in jobs {
+            assert!(
+                !self.job_index.contains_key(&job.id),
+                "job {} already active",
+                job.id
+            );
+            self.job_index.insert(job.id, self.jobs.len());
+            self.jobs.push(job);
+        }
         self.replace_schedule(schedule);
     }
 
@@ -500,6 +514,38 @@ mod tests {
         let done = engine.next_completion().unwrap();
         // 90% of the work remains; 2.7 s on the 3.0 s point.
         assert!((done - (1.0 + 0.9 * 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_admission_installs_one_schedule_for_all_jobs() {
+        let mut engine = ExecutionEngine::new();
+        let mut schedule = Schedule::new();
+        schedule.push(Segment::new(0.0, 3.0, vec![JobMapping::new(JobId(1), 6)]));
+        schedule.push(Segment::new(3.0, 6.0, vec![JobMapping::new(JobId(2), 6)]));
+        engine.admit_batch(
+            vec![
+                EngineJob::fresh(JobId(1), scenarios::lambda2(), 0.0, 5.0),
+                EngineJob::fresh(JobId(2), scenarios::lambda2(), 0.0, 9.0),
+            ],
+            schedule,
+        );
+        assert_eq!(engine.jobs().len(), 2);
+        engine.consume(6.0);
+        assert_eq!(engine.retire_finished().len(), 2);
+        assert!((engine.total_energy() - 2.0 * 5.73).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn duplicate_batch_ids_panic() {
+        let mut engine = ExecutionEngine::new();
+        engine.admit_batch(
+            vec![
+                EngineJob::fresh(JobId(3), scenarios::lambda2(), 0.0, 9.0),
+                EngineJob::fresh(JobId(3), scenarios::lambda2(), 0.0, 9.0),
+            ],
+            Schedule::new(),
+        );
     }
 
     #[test]

@@ -14,8 +14,12 @@
 //!   reuse and testing;
 //! * [`ExecutionEngine`] — indexed progress/energy accounting over an
 //!   adaptive schedule, shared by the manager and the simulators;
-//! * [`RuntimeManager`] — an online RM that admits requests, executes
-//!   adaptive schedules, meters energy and re-activates the scheduler.
+//! * [`RuntimeManager`] — an online RM that admits requests (one at a
+//!   time or in atomic batches), executes adaptive schedules, meters
+//!   energy and re-activates the scheduler;
+//! * [`AdmissionPolicy`] — pluggable batched-admission disciplines
+//!   (per-request, fixed batch size, gathering window) consulted by the
+//!   `amrm-sim` event kernel.
 //!
 //! # Examples
 //!
@@ -32,6 +36,7 @@
 //! assert_eq!(rm.stats().deadline_misses, 0);
 //! ```
 
+mod admission;
 mod engine;
 mod manager;
 mod mdf;
@@ -39,6 +44,7 @@ mod schedule_jobs;
 mod scheduler;
 mod variants;
 
+pub use crate::admission::{AdmissionDirective, AdmissionPolicy};
 pub use crate::engine::{EngineJob, ExecutionEngine};
 pub use crate::manager::{Admission, ReactivationPolicy, RmStats, RuntimeManager};
 pub use crate::mdf::MmkpMdf;

@@ -68,6 +68,9 @@ pub struct RmStats {
     /// Completed jobs that finished after their deadline (always 0 unless a
     /// scheduler produced an invalid schedule).
     pub deadline_misses: usize,
+    /// Scheduler invocations (admission attempts and re-activations) — the
+    /// cost batched admission trades against acceptance.
+    pub activations: usize,
 }
 
 /// An online runtime manager for firm real-time multi-threaded applications.
@@ -179,44 +182,128 @@ impl<S: Scheduler> RuntimeManager<S> {
     /// current time, and re-runs the scheduler over all unfinished jobs.
     ///
     /// On rejection the previous schedule continues untouched (the paper's
-    /// semantics: "otherwise the request is rejected").
+    /// semantics: "otherwise the request is rejected"). A zero-slack
+    /// request (`deadline == now`) is rejected outright without consulting
+    /// the scheduler — no schedule can finish remaining work in zero time.
     ///
     /// # Panics
     ///
     /// Panics if `deadline` is in the past.
     pub fn submit(&mut self, app: AppRef, deadline: f64) -> Admission {
-        let now = self.engine.clock();
-        assert!(deadline >= now, "deadline in the past");
-        let id = JobId(self.next_id);
-        self.next_id += 1;
-        self.stats.submitted += 1;
+        assert!(deadline >= self.engine.clock(), "deadline in the past");
+        self.submit_batch(&[(app, deadline)])[0]
+    }
 
-        let candidate = EngineJob::fresh(id, app, now, deadline);
+    /// Submits a whole batch of `(application, deadline)` requests at the
+    /// current time and decides them *atomically*: one scheduler
+    /// activation covers the unfinished jobs plus every candidate, and if
+    /// that joint schedule is feasible the entire batch is admitted under
+    /// it.
+    ///
+    /// If the joint schedule is infeasible the batch is rolled back — the
+    /// engine keeps its previous jobs and schedule untouched — and the
+    /// candidates are re-tried greedily in submission order, each against
+    /// the jobs admitted so far, exactly like a sequence of per-request
+    /// [`submit`](RuntimeManager::submit) calls at one instant. A batch of
+    /// one viable candidate therefore behaves identically to `submit`:
+    /// one activation, no retry.
+    ///
+    /// Unlike `submit`, a candidate whose deadline is not strictly in the
+    /// future is rejected (without a scheduler activation) instead of
+    /// panicking: under windowed admission a queued request may
+    /// legitimately expire before its batch is flushed.
+    ///
+    /// Returns one [`Admission`] per request, in input order; job ids are
+    /// assigned in input order whether admitted or not.
+    pub fn submit_batch(&mut self, requests: &[(AppRef, f64)]) -> Vec<Admission> {
+        let now = self.engine.clock();
+        let mut admissions = Vec::with_capacity(requests.len());
+        // Candidates still decidable by the scheduler, with the positions
+        // of their (initially Rejected) admission slots.
+        let mut viable: Vec<EngineJob> = Vec::new();
+        let mut viable_slots: Vec<usize> = Vec::new();
+        for (app, deadline) in requests {
+            let id = JobId(self.next_id);
+            self.next_id += 1;
+            self.stats.submitted += 1;
+            if *deadline <= now {
+                // Expired (or zero-slack) while queued: reject without an
+                // activation — no scheduler sees a deadline at/behind
+                // `now`.
+                self.stats.rejected += 1;
+            } else {
+                viable_slots.push(admissions.len());
+                viable.push(EngineJob::fresh(id, AppRef::clone(app), now, *deadline));
+            }
+            admissions.push(Admission::Rejected { job: id });
+        }
+        if viable.is_empty() {
+            return admissions;
+        }
+
+        // Fast path: one activation schedules existing jobs + whole batch.
+        if let Some(schedule) = self.activate_with(&viable, now) {
+            for &slot in &viable_slots {
+                admissions[slot] = Admission::Accepted {
+                    job: admissions[slot].job(),
+                };
+            }
+            self.stats.accepted += viable.len();
+            self.engine.admit_batch(viable, schedule);
+            return admissions;
+        }
+        if viable.len() == 1 {
+            self.stats.rejected += 1;
+            return admissions;
+        }
+
+        // Partially-infeasible batch: nothing was installed, so re-try the
+        // candidates greedily in submission order against the accepted
+        // prefix; only the final accepted set and its schedule land in the
+        // engine.
+        let mut accepted: Vec<EngineJob> = Vec::new();
+        let mut accepted_schedule: Option<Schedule> = None;
+        for (slot, candidate) in viable_slots.into_iter().zip(viable) {
+            accepted.push(candidate);
+            match self.activate_with(&accepted, now) {
+                Some(schedule) => {
+                    admissions[slot] = Admission::Accepted {
+                        job: admissions[slot].job(),
+                    };
+                    self.stats.accepted += 1;
+                    accepted_schedule = Some(schedule);
+                }
+                None => {
+                    self.stats.rejected += 1;
+                    accepted.pop();
+                }
+            }
+        }
+        if let Some(schedule) = accepted_schedule {
+            self.engine.admit_batch(accepted, schedule);
+        }
+        admissions
+    }
+
+    /// Runs one scheduler activation over the engine's unfinished jobs
+    /// plus `candidates`, counting it in the stats.
+    fn activate_with(&mut self, candidates: &[EngineJob], now: f64) -> Option<Schedule> {
         let jobs: JobSet = self
             .engine
             .jobs()
             .iter()
-            .chain(std::iter::once(&candidate))
+            .chain(candidates.iter())
             .map(EngineJob::as_job)
             .collect();
-
-        match self.scheduler.schedule(&jobs, &self.platform, now) {
-            Some(schedule) => {
-                debug_assert!(
-                    schedule.validate(&jobs, &self.platform, now).is_ok(),
-                    "scheduler {} produced an invalid schedule: {:?}",
-                    self.scheduler.name(),
-                    schedule.validate(&jobs, &self.platform, now)
-                );
-                self.engine.admit(candidate, schedule);
-                self.stats.accepted += 1;
-                Admission::Accepted { job: id }
-            }
-            None => {
-                self.stats.rejected += 1;
-                Admission::Rejected { job: id }
-            }
-        }
+        self.stats.activations += 1;
+        let schedule = self.scheduler.schedule(&jobs, &self.platform, now)?;
+        debug_assert!(
+            schedule.validate(&jobs, &self.platform, now).is_ok(),
+            "scheduler {} produced an invalid schedule: {:?}",
+            self.scheduler.name(),
+            schedule.validate(&jobs, &self.platform, now)
+        );
+        Some(schedule)
     }
 
     /// Advances time to `t`, executing the current schedule: job progress
@@ -244,6 +331,7 @@ impl<S: Scheduler> RuntimeManager<S> {
                     {
                         let jobs = self.engine.job_set();
                         let now = self.engine.clock();
+                        self.stats.activations += 1;
                         if let Some(schedule) = self.scheduler.schedule(&jobs, &self.platform, now)
                         {
                             debug_assert!(schedule.validate(&jobs, &self.platform, now).is_ok());
@@ -403,6 +491,103 @@ mod tests {
         assert!((trace.start_time().unwrap() - 0.0).abs() < 1e-12);
         let rho1 = 1.0 - 1.0 / 5.3;
         assert!((trace.end_time().unwrap() - (4.0 + 5.3 * rho1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_of_one_matches_submit_exactly() {
+        let mut a = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+        let mut b = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+        assert!(a.submit(scenarios::lambda1(), 9.0).is_accepted());
+        assert!(b.submit_batch(&[(scenarios::lambda1(), 9.0)])[0].is_accepted());
+        a.advance_to(1.0);
+        b.advance_to(1.0);
+        assert!(a.submit(scenarios::lambda2(), 5.0).is_accepted());
+        assert!(b.submit_batch(&[(scenarios::lambda2(), 5.0)])[0].is_accepted());
+        let ea = a.run_to_completion();
+        let eb = b.run_to_completion();
+        assert_eq!(ea.to_bits(), eb.to_bits());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn feasible_batch_is_admitted_in_one_activation() {
+        let mut rm = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+        let batch = rm.submit_batch(&[
+            (scenarios::lambda1(), 20.0),
+            (scenarios::lambda2(), 20.0),
+            (scenarios::lambda2(), 25.0),
+        ]);
+        assert!(batch.iter().all(Admission::is_accepted));
+        assert_eq!(rm.stats().activations, 1);
+        assert_eq!(rm.stats().accepted, 3);
+        rm.run_to_completion();
+        assert_eq!(rm.stats().completed, 3);
+        assert_eq!(rm.stats().deadline_misses, 0);
+    }
+
+    #[test]
+    fn partially_infeasible_batch_rolls_back_and_readmits_greedily() {
+        let mut rm = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+        assert!(rm.submit(scenarios::lambda1(), 9.0).is_accepted());
+        rm.advance_to(1.0);
+        // λ2 with deadline 5 fits next to the running σ1 (Fig. 1(c)), but a
+        // second λ2 with an impossible deadline poisons the joint batch.
+        let batch = rm.submit_batch(&[
+            (scenarios::lambda2(), 5.0),
+            (scenarios::lambda2(), 1.5), // fastest point needs 2 s
+        ]);
+        assert!(batch[0].is_accepted());
+        assert!(!batch[1].is_accepted());
+        assert_eq!(batch[0].job(), JobId(2));
+        assert_eq!(batch[1].job(), JobId(3));
+        // One joint attempt + two greedy retries.
+        assert_eq!(rm.stats().activations, 1 + 2 + 1); // +1 for the first submit
+        let total = rm.run_to_completion();
+        // The surviving pair executes exactly the Fig. 1(c) scenario.
+        assert!(
+            (total - scenarios::fig1::ADAPTIVE_J).abs() < 5e-3,
+            "got {total}"
+        );
+        assert_eq!(rm.stats().completed, 2);
+        assert_eq!(rm.stats().deadline_misses, 0);
+    }
+
+    #[test]
+    fn fully_infeasible_batch_leaves_engine_untouched() {
+        let mut rm = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+        assert!(rm.submit(scenarios::lambda1(), 9.0).is_accepted());
+        rm.advance_to(1.0);
+        let schedule_before = rm.current_schedule().clone();
+        let batch = rm.submit_batch(&[(scenarios::lambda2(), 1.5), (scenarios::lambda2(), 1.2)]);
+        assert!(batch.iter().all(|a| !a.is_accepted()));
+        assert_eq!(rm.current_schedule(), &schedule_before);
+        assert_eq!(rm.engine().jobs().len(), 1);
+        let total = rm.run_to_completion();
+        assert!((total - 8.9).abs() < 1e-6, "got {total}");
+    }
+
+    #[test]
+    fn expired_deadlines_are_rejected_not_panicking() {
+        let mut rm = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+        rm.advance_to(5.0);
+        let batch = rm.submit_batch(&[
+            (scenarios::lambda2(), 4.0),  // already past
+            (scenarios::lambda2(), 12.0), // still viable
+        ]);
+        assert!(!batch[0].is_accepted());
+        assert!(batch[1].is_accepted());
+        let stats = rm.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.rejected, 1);
+        // The expired request never reaches the scheduler.
+        assert_eq!(stats.activations, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut rm = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+        assert!(rm.submit_batch(&[]).is_empty());
+        assert_eq!(rm.stats(), RmStats::default());
     }
 
     #[test]

@@ -1,0 +1,635 @@
+//! The event-driven simulation kernel.
+//!
+//! [`Simulation`] composes any [`Scheduler`] with any [`AdmissionPolicy`]
+//! and drives a [`RuntimeManager`] from a time-ordered event queue instead
+//! of a hand-rolled per-arrival loop. Four event kinds exist:
+//!
+//! * **arrival** — a request joins the admission queue; the policy decides
+//!   whether to flush the queue, keep gathering, or open a batching
+//!   window;
+//! * **window expiry** — an open `WindowTau` batching window closes and
+//!   the queue is flushed to [`RuntimeManager::submit_batch`];
+//! * **job completion** — the next completion under the current schedule
+//!   (re-armed after every handled event and guarded by a generation
+//!   counter, so only *exact* completion instants are consumed — energy
+//!   accounting stays bit-identical to the sequential driver);
+//! * **queue deadline** — a queued request's deadline passes before its
+//!   batch is flushed; the request is pulled out of the queue and
+//!   submitted alone at that instant, where it is rejected without a
+//!   scheduler activation.
+//!
+//! With [`AdmissionPolicy::Immediate`] the kernel reproduces the paper's
+//! per-request discipline event for event; `BatchK(1)` and `WindowTau(0)`
+//! are equivalent by construction (the property tests in
+//! `tests/admission_equivalence.rs` pin this down to the bit level).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use amrm_core::{
+    Admission, AdmissionDirective, AdmissionPolicy, ReactivationPolicy, RuntimeManager, Scheduler,
+};
+use amrm_model::{AppRef, Job, JobId, JobSet};
+use amrm_platform::Platform;
+use amrm_workload::ScenarioRequest;
+
+use crate::SimOutcome;
+
+/// The kind of a kernel event. Variant order is the tie-break at equal
+/// times: completions retire first, arrivals join the queue next, window
+/// expiries flush after them (so simultaneous arrivals land in the same
+/// window flush), and queue deadlines come last — a flush at the very
+/// instant a queued request expires wins the tie, and the zero-slack
+/// candidate is uniformly auto-rejected by `submit_batch` rather than
+/// counted as a queue drop (keeping `WindowTau(0)` aligned with
+/// `Immediate` even for `deadline == arrival` requests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// A job completes under the current schedule; `generation` must match
+    /// the kernel's current completion generation or the event is stale.
+    Completion { generation: u64 },
+    /// The request with this (sorted) index arrives.
+    Arrival { request: usize },
+    /// The batching window with this id expires.
+    WindowExpiry { window: u64 },
+    /// The deadline of the queued request with this (sorted) index passes.
+    QueueDeadline { request: usize },
+}
+
+impl EventKind {
+    /// Tie-break class at equal event times (see the enum docs).
+    fn class(&self) -> u8 {
+        match self {
+            EventKind::Completion { .. } => 0,
+            EventKind::Arrival { .. } => 1,
+            EventKind::WindowExpiry { .. } => 2,
+            EventKind::QueueDeadline { .. } => 3,
+        }
+    }
+}
+
+/// A time-stamped kernel event. Ordered for a min-heap on
+/// `(time, class, seq)`; `seq` makes the order total and deterministic.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we pop the earliest event.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.kind.class().cmp(&self.kind.class()))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// An event-driven online-RM simulation: a request stream, a scheduler,
+/// a re-activation policy and a batched-admission policy.
+///
+/// # Examples
+///
+/// Admitting the Fig. 1 scenario in one `BatchK(2)` activation:
+///
+/// ```
+/// use amrm_core::{AdmissionPolicy, MmkpMdf, ReactivationPolicy};
+/// use amrm_sim::Simulation;
+/// use amrm_workload::scenarios;
+///
+/// let outcome = Simulation::new(
+///     scenarios::platform(),
+///     MmkpMdf::new(),
+///     ReactivationPolicy::OnArrival,
+///     AdmissionPolicy::BatchK(2),
+///     &scenarios::scenario_s1(),
+/// )
+/// .run();
+/// assert_eq!(outcome.accepted(), 2);
+/// // Both requests were decided in a single scheduler activation.
+/// assert_eq!(outcome.stats.activations, 1);
+/// ```
+#[derive(Debug)]
+pub struct Simulation<S> {
+    rm: RuntimeManager<S>,
+    admission: AdmissionPolicy,
+    requests: Vec<ScenarioRequest>,
+    events: BinaryHeap<Event>,
+    /// Sorted request indices waiting for a batch flush, FIFO.
+    queue: VecDeque<usize>,
+    /// Per sorted request: the admission decision, once made.
+    decisions: Vec<Option<(JobId, bool)>>,
+    /// Arrivals not yet popped from the event queue.
+    pending_arrivals: usize,
+    /// Liveness stamp for completion events; bumped on every re-arm.
+    completion_generation: u64,
+    /// Id of the currently open batching window, if any.
+    open_window: Option<u64>,
+    next_window: u64,
+    next_seq: u64,
+    /// Admitted jobs at full remaining ratio, for the outcome.
+    admitted: Vec<Job>,
+    /// Requests dropped from the queue because their deadline passed
+    /// before their batch was flushed.
+    queue_deadline_drops: usize,
+}
+
+impl<S: Scheduler> Simulation<S> {
+    /// Creates a simulation over `requests` (sorted by arrival
+    /// internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the admission policy is invalid or any request has a
+    /// deadline before its arrival.
+    pub fn new(
+        platform: Platform,
+        scheduler: S,
+        reactivation: ReactivationPolicy,
+        admission: AdmissionPolicy,
+        requests: &[ScenarioRequest],
+    ) -> Self {
+        if let Err(msg) = admission.validate() {
+            panic!("invalid admission policy: {msg}");
+        }
+        for req in requests {
+            assert!(
+                req.deadline >= req.arrival,
+                "request deadline {} before its arrival {}",
+                req.deadline,
+                req.arrival
+            );
+        }
+        let mut ordered: Vec<ScenarioRequest> = requests.to_vec();
+        ordered.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+
+        let mut sim = Simulation {
+            rm: RuntimeManager::with_policy(platform, scheduler, reactivation),
+            admission,
+            decisions: vec![None; ordered.len()],
+            pending_arrivals: ordered.len(),
+            events: BinaryHeap::with_capacity(ordered.len() * 2),
+            queue: VecDeque::new(),
+            completion_generation: 0,
+            open_window: None,
+            next_window: 0,
+            next_seq: 0,
+            admitted: Vec::new(),
+            queue_deadline_drops: 0,
+            requests: ordered,
+        };
+        for i in 0..sim.requests.len() {
+            let time = sim.requests[i].arrival;
+            sim.push_event(time, EventKind::Arrival { request: i });
+        }
+        sim
+    }
+
+    /// The admission policy this simulation runs under.
+    pub fn admission_policy(&self) -> AdmissionPolicy {
+        self.admission
+    }
+
+    /// Runs the event loop to quiescence, lets every admitted job finish,
+    /// and returns the outcome.
+    pub fn run(mut self) -> SimOutcome {
+        while let Some(event) = self.events.pop() {
+            self.handle(event);
+        }
+        debug_assert!(self.queue.is_empty(), "requests stranded in the queue");
+        let total_energy = self.rm.run_to_completion();
+
+        SimOutcome {
+            admissions: self
+                .decisions
+                .into_iter()
+                .map(|d| d.expect("every request decided"))
+                .collect(),
+            total_energy,
+            end_time: self.rm.now(),
+            stats: self.rm.stats(),
+            trace: self.rm.executed_trace(),
+            admitted_jobs: JobSet::new(self.admitted),
+            queue_deadline_drops: self.queue_deadline_drops,
+        }
+    }
+
+    fn push_event(&mut self, time: f64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Event { time, seq, kind });
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event.kind {
+            EventKind::Arrival { request } => {
+                self.pending_arrivals -= 1;
+                self.rm.advance_to(event.time);
+                self.queue.push_back(request);
+                let directive = if self.open_window.is_some() {
+                    // A gathering window is already open; join it.
+                    AdmissionDirective::Defer
+                } else {
+                    self.admission.on_arrival(self.queue.len(), event.time)
+                };
+                match directive {
+                    AdmissionDirective::Flush => self.flush_queue(),
+                    AdmissionDirective::OpenWindow { expiry } => {
+                        let id = self.next_window;
+                        self.next_window += 1;
+                        self.open_window = Some(id);
+                        self.push_event(expiry, EventKind::WindowExpiry { window: id });
+                        self.guard_queued_deadline(request);
+                    }
+                    AdmissionDirective::Defer => {
+                        // BatchK never starves a partial final batch.
+                        if self.pending_arrivals == 0 && self.admission.flush_at_stream_end() {
+                            self.flush_queue();
+                        } else {
+                            self.guard_queued_deadline(request);
+                        }
+                    }
+                }
+                self.rearm_completion();
+            }
+            EventKind::WindowExpiry { window } => {
+                if self.open_window != Some(window) {
+                    return; // superseded window, nothing to do
+                }
+                self.open_window = None;
+                if !self.queue.is_empty() {
+                    self.rm.advance_to(event.time);
+                    self.flush_queue();
+                    self.rearm_completion();
+                }
+            }
+            EventKind::Completion { generation } => {
+                if generation != self.completion_generation {
+                    return; // stale: the schedule changed since arming
+                }
+                // `event.time` is the exact next completion instant, so
+                // the consume split matches the sequential driver's.
+                self.rm.advance_to(event.time);
+                self.rearm_completion();
+            }
+            EventKind::QueueDeadline { request } => {
+                let Some(pos) = self.queue.iter().position(|&r| r == request) else {
+                    return; // already flushed
+                };
+                self.queue.remove(pos);
+                self.queue_deadline_drops += 1;
+                // If the drop emptied an open gathering window, close it:
+                // the next arrival must open a fresh full-length window,
+                // not join the stale one (its expiry event is skipped via
+                // the id check above).
+                if self.queue.is_empty() {
+                    self.open_window = None;
+                }
+                self.rm.advance_to(event.time);
+                // Submitted alone at its deadline: `submit_batch` rejects
+                // it without a scheduler activation once the deadline is
+                // no longer in the future.
+                self.flush_requests(&[request]);
+                self.rearm_completion();
+            }
+        }
+    }
+
+    /// Flushes the whole admission queue as one batch.
+    fn flush_queue(&mut self) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let batch: Vec<usize> = std::mem::take(&mut self.queue).into();
+        self.flush_requests(&batch);
+    }
+
+    /// Submits the given (sorted-index) requests as one batch and records
+    /// the decisions.
+    fn flush_requests(&mut self, batch: &[usize]) {
+        let submissions: Vec<(AppRef, f64)> = batch
+            .iter()
+            .map(|&i| {
+                let req = &self.requests[i];
+                (AppRef::clone(&req.app), req.deadline)
+            })
+            .collect();
+        let admissions = self.rm.submit_batch(&submissions);
+        for (&i, admission) in batch.iter().zip(&admissions) {
+            self.decisions[i] = Some((admission.job(), admission.is_accepted()));
+            if let Admission::Accepted { job } = admission {
+                let req = &self.requests[i];
+                self.admitted.push(Job::new(
+                    *job,
+                    AppRef::clone(&req.app),
+                    req.arrival,
+                    req.deadline,
+                    1.0,
+                ));
+            }
+        }
+    }
+
+    /// Schedules a queue-deadline guard for a request that stayed queued.
+    /// Guards are always armed and filtered at pop time instead: an event
+    /// whose request has already been flushed finds it gone from the
+    /// queue and is discarded without touching the clock.
+    fn guard_queued_deadline(&mut self, request: usize) {
+        let deadline = self.requests[request].deadline;
+        self.push_event(deadline, EventKind::QueueDeadline { request });
+    }
+
+    /// Re-arms the single live completion event from the engine's next
+    /// completion; every previously armed event becomes stale.
+    ///
+    /// Once the stream is exhausted and nothing waits for admission, no
+    /// event can change the schedule any more and the tail execution is
+    /// left to `run_to_completion` — exactly like the sequential driver,
+    /// whose final clock is the *schedule end*, not the last completion.
+    fn rearm_completion(&mut self) {
+        self.completion_generation += 1;
+        if self.pending_arrivals == 0 && self.queue.is_empty() {
+            return;
+        }
+        if let Some(tc) = self.rm.engine().next_completion() {
+            self.push_event(
+                tc,
+                EventKind::Completion {
+                    generation: self.completion_generation,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrm_core::MmkpMdf;
+    use amrm_workload::{poisson_stream, scenarios, StreamSpec};
+
+    fn lib() -> Vec<AppRef> {
+        vec![scenarios::lambda1(), scenarios::lambda2()]
+    }
+
+    fn simulate(admission: AdmissionPolicy, requests: &[ScenarioRequest]) -> SimOutcome {
+        Simulation::new(
+            scenarios::platform(),
+            MmkpMdf::new(),
+            ReactivationPolicy::OnArrival,
+            admission,
+            requests,
+        )
+        .run()
+    }
+
+    #[test]
+    fn immediate_reproduces_fig1c() {
+        let outcome = simulate(AdmissionPolicy::Immediate, &scenarios::scenario_s1());
+        assert_eq!(outcome.accepted(), 2);
+        assert!((outcome.total_energy - scenarios::fig1::ADAPTIVE_J).abs() < 5e-3);
+        assert_eq!(outcome.stats.activations, 2);
+        assert_eq!(outcome.queue_deadline_drops, 0);
+    }
+
+    #[test]
+    fn batch_k_admits_whole_queue_in_one_activation() {
+        // Both S1 requests deferred until the second arrival at t = 1,
+        // then admitted atomically.
+        let outcome = simulate(AdmissionPolicy::BatchK(2), &scenarios::scenario_s1());
+        assert_eq!(outcome.accepted(), 2);
+        assert_eq!(outcome.stats.activations, 1);
+        assert_eq!(outcome.stats.deadline_misses, 0);
+    }
+
+    #[test]
+    fn batch_leftovers_flush_at_stream_end() {
+        // Three requests with k = 2: the trailing odd request must not
+        // starve.
+        let mut reqs = scenarios::scenario_s1();
+        reqs.push(ScenarioRequest {
+            app: scenarios::lambda2(),
+            arrival: 6.0,
+            deadline: 20.0,
+        });
+        let outcome = simulate(AdmissionPolicy::BatchK(2), &reqs);
+        assert_eq!(outcome.admissions.len(), 3);
+        assert_eq!(outcome.accepted(), 3);
+        assert_eq!(outcome.stats.completed, 3);
+    }
+
+    #[test]
+    fn window_gathers_requests_before_flushing() {
+        // A 2-second window opened at t = 0 gathers the t = 1 arrival;
+        // admission happens at t = 2 in one joint activation.
+        let reqs = vec![
+            ScenarioRequest {
+                app: scenarios::lambda1(),
+                arrival: 0.0,
+                deadline: 20.0,
+            },
+            ScenarioRequest {
+                app: scenarios::lambda2(),
+                arrival: 1.0,
+                deadline: 20.0,
+            },
+        ];
+        let outcome = simulate(AdmissionPolicy::WindowTau(2.0), &reqs);
+        assert_eq!(outcome.accepted(), 2);
+        assert_eq!(outcome.stats.activations, 1);
+        assert_eq!(outcome.stats.deadline_misses, 0);
+    }
+
+    #[test]
+    fn window_gathering_can_cost_acceptance_under_tight_slack() {
+        // On S1 itself the 2-second wait eats σ2's slack: the joint batch
+        // at t = 2 is infeasible for MMKP-MDF, the rollback path admits
+        // only σ1. Batching trades activations against acceptance — the
+        // very dimension the policy grid measures.
+        let outcome = simulate(AdmissionPolicy::WindowTau(2.0), &scenarios::scenario_s1());
+        assert_eq!(outcome.accepted(), 1);
+        // One joint attempt + two greedy retries.
+        assert_eq!(outcome.stats.activations, 3);
+        assert_eq!(outcome.stats.deadline_misses, 0);
+    }
+
+    #[test]
+    fn queued_requests_expiring_before_flush_are_dropped() {
+        // A huge window: both S1 deadlines (9.0 and 5.0) pass before the
+        // window expires at t = 50, so both requests are dropped at
+        // exactly their deadlines and no scheduler activation ever runs.
+        let outcome = simulate(AdmissionPolicy::WindowTau(50.0), &scenarios::scenario_s1());
+        assert_eq!(outcome.accepted(), 0);
+        assert_eq!(outcome.rejected(), 2);
+        assert_eq!(outcome.queue_deadline_drops, 2);
+        assert_eq!(outcome.stats.activations, 0);
+        assert_eq!(outcome.total_energy, 0.0);
+    }
+
+    #[test]
+    fn drop_emptied_window_closes_so_next_arrival_opens_a_fresh_one() {
+        // r1 opens a 5 s window at t = 0 but expires (deadline 2) before
+        // it flushes, emptying the queue. r2 arriving at t = 3 must open
+        // a *fresh* window expiring at t = 8 — not join the stale one
+        // expiring at t = 5.
+        let reqs = vec![
+            ScenarioRequest {
+                app: scenarios::lambda2(),
+                arrival: 0.0,
+                deadline: 2.0,
+            },
+            ScenarioRequest {
+                app: scenarios::lambda2(),
+                arrival: 3.0,
+                deadline: 20.0,
+            },
+        ];
+        let outcome = simulate(AdmissionPolicy::WindowTau(5.0), &reqs);
+        assert_eq!(outcome.queue_deadline_drops, 1);
+        assert_eq!(outcome.accepted(), 1);
+        // r2 is admitted at t = 8 (fresh window) and runs ≥ 2 s from
+        // there; a stale-window flush at t = 5 would finish before 8.
+        assert!(
+            outcome.end_time >= 10.0 - 1e-9,
+            "end {} implies the stale window flushed early",
+            outcome.end_time
+        );
+    }
+
+    #[test]
+    fn window_zero_matches_immediate_on_poisson_load() {
+        let spec = StreamSpec {
+            requests: 30,
+            slack_range: (1.2, 2.5),
+        };
+        let stream = poisson_stream(&lib(), 3.0, &spec, 17);
+        let immediate = simulate(AdmissionPolicy::Immediate, &stream);
+        let window = simulate(AdmissionPolicy::WindowTau(0.0), &stream);
+        assert_eq!(immediate.admissions, window.admissions);
+        assert_eq!(
+            immediate.total_energy.to_bits(),
+            window.total_energy.to_bits()
+        );
+        assert_eq!(immediate.stats, window.stats);
+    }
+
+    #[test]
+    fn simultaneous_arrivals_share_a_zero_window() {
+        // Two requests at the same instant: WindowTau(0) groups them into
+        // one activation, Immediate decides them separately.
+        let reqs = vec![
+            ScenarioRequest {
+                app: scenarios::lambda1(),
+                arrival: 0.0,
+                deadline: 20.0,
+            },
+            ScenarioRequest {
+                app: scenarios::lambda2(),
+                arrival: 0.0,
+                deadline: 20.0,
+            },
+        ];
+        let grouped = simulate(AdmissionPolicy::WindowTau(0.0), &reqs);
+        assert_eq!(grouped.accepted(), 2);
+        assert_eq!(grouped.stats.activations, 1);
+        let separate = simulate(AdmissionPolicy::Immediate, &reqs);
+        assert_eq!(separate.accepted(), 2);
+        assert_eq!(separate.stats.activations, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid admission policy")]
+    fn zero_batch_size_panics() {
+        let _ = simulate(AdmissionPolicy::BatchK(0), &scenarios::scenario_s1());
+    }
+
+    #[test]
+    #[should_panic(expected = "before its arrival")]
+    fn deadline_before_arrival_panics() {
+        let reqs = vec![ScenarioRequest {
+            app: scenarios::lambda1(),
+            arrival: 2.0,
+            deadline: 1.0,
+        }];
+        let _ = simulate(AdmissionPolicy::Immediate, &reqs);
+    }
+
+    #[test]
+    fn event_order_is_deterministic_at_equal_times() {
+        let mut heap = BinaryHeap::new();
+        heap.push(Event {
+            time: 1.0,
+            seq: 3,
+            kind: EventKind::WindowExpiry { window: 0 },
+        });
+        heap.push(Event {
+            time: 1.0,
+            seq: 1,
+            kind: EventKind::Arrival { request: 0 },
+        });
+        heap.push(Event {
+            time: 1.0,
+            seq: 2,
+            kind: EventKind::Completion { generation: 0 },
+        });
+        heap.push(Event {
+            time: 1.0,
+            seq: 5,
+            kind: EventKind::QueueDeadline { request: 0 },
+        });
+        heap.push(Event {
+            time: 0.5,
+            seq: 4,
+            kind: EventKind::Arrival { request: 1 },
+        });
+        let order: Vec<u8> = std::iter::from_fn(|| heap.pop())
+            .map(|e| e.kind.class())
+            .collect();
+        // Earliest time first; at equal times completion < arrival <
+        // window expiry < queue deadline.
+        assert_eq!(order, vec![1, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_slack_request_under_window_zero_matches_immediate() {
+        // deadline == arrival is legal input; both disciplines must
+        // reject it identically — in particular it is a rejection, not a
+        // queue-deadline drop (the same-instant flush wins the tie).
+        let reqs = vec![
+            ScenarioRequest {
+                app: scenarios::lambda2(),
+                arrival: 1.0,
+                deadline: 1.0,
+            },
+            ScenarioRequest {
+                app: scenarios::lambda2(),
+                arrival: 2.0,
+                deadline: 10.0,
+            },
+        ];
+        let immediate = simulate(AdmissionPolicy::Immediate, &reqs);
+        let window = simulate(AdmissionPolicy::WindowTau(0.0), &reqs);
+        assert_eq!(immediate.admissions, window.admissions);
+        assert_eq!(immediate.stats, window.stats);
+        assert_eq!(immediate.queue_deadline_drops, 0);
+        assert_eq!(window.queue_deadline_drops, 0);
+        assert_eq!(window.accepted(), 1);
+    }
+}

@@ -1,12 +1,12 @@
 //! Load sweeps: acceptance rate and energy of the online RM as a function
 //! of offered load (extension beyond the paper's static evaluation).
 
-use amrm_core::{ReactivationPolicy, Scheduler, SchedulerRegistry};
+use amrm_core::{AdmissionPolicy, ReactivationPolicy, Scheduler, SchedulerRegistry};
 use amrm_model::AppRef;
 use amrm_platform::Platform;
 use amrm_workload::{poisson_stream, StreamSpec};
 
-use crate::{run_scenario, SimOutcome};
+use crate::{SimOutcome, Simulation};
 
 /// One point of a load sweep.
 #[derive(Debug, Clone)]
@@ -41,6 +41,41 @@ where
     S: Scheduler,
     F: Fn() -> S,
 {
+    load_sweep_with(
+        platform,
+        make_scheduler,
+        policy,
+        AdmissionPolicy::Immediate,
+        apps,
+        interarrivals,
+        spec,
+        seed,
+    )
+}
+
+/// [`load_sweep`] under an explicit batched-admission policy: the same
+/// seeded streams are driven through the event kernel, so per-request and
+/// batched admission can be A/B-compared point by point.
+///
+/// # Panics
+///
+/// Panics if `interarrivals` is empty, the stream spec is invalid, or the
+/// admission policy is invalid.
+#[allow(clippy::too_many_arguments)]
+pub fn load_sweep_with<S, F>(
+    platform: &Platform,
+    make_scheduler: F,
+    policy: ReactivationPolicy,
+    admission: AdmissionPolicy,
+    apps: &[AppRef],
+    interarrivals: &[f64],
+    spec: &StreamSpec,
+    seed: u64,
+) -> Vec<LoadPoint>
+where
+    S: Scheduler,
+    F: Fn() -> S,
+{
     assert!(
         !interarrivals.is_empty(),
         "sweep needs at least one load point"
@@ -49,12 +84,18 @@ where
         .iter()
         .map(|&mean| {
             let stream = poisson_stream(apps, mean, spec, seed);
-            let outcome = run_scenario(platform.clone(), make_scheduler(), policy, &stream);
-            let accepted = outcome.accepted().max(1) as f64;
+            let outcome = Simulation::new(
+                platform.clone(),
+                make_scheduler(),
+                policy,
+                admission,
+                &stream,
+            )
+            .run();
             LoadPoint {
                 mean_interarrival: mean,
                 acceptance_rate: outcome.acceptance_rate(),
-                energy_per_job: outcome.total_energy / accepted,
+                energy_per_job: outcome.energy_per_job(),
                 outcome,
             }
         })
@@ -178,6 +219,73 @@ mod tests {
                 assert!((0.0..=1.0).contains(&p.acceptance_rate));
             }
         }
+    }
+
+    #[test]
+    fn batched_sweep_matches_per_request_at_k1() {
+        let spec = StreamSpec {
+            requests: 20,
+            slack_range: (1.2, 2.0),
+        };
+        let per_request = load_sweep(
+            &scenarios::platform(),
+            MmkpMdf::new,
+            ReactivationPolicy::OnArrival,
+            &lib(),
+            &[2.0, 8.0],
+            &spec,
+            5,
+        );
+        let batched = load_sweep_with(
+            &scenarios::platform(),
+            MmkpMdf::new,
+            ReactivationPolicy::OnArrival,
+            AdmissionPolicy::BatchK(1),
+            &lib(),
+            &[2.0, 8.0],
+            &spec,
+            5,
+        );
+        for (a, b) in per_request.iter().zip(&batched) {
+            assert_eq!(a.acceptance_rate.to_bits(), b.acceptance_rate.to_bits());
+            assert_eq!(a.energy_per_job.to_bits(), b.energy_per_job.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_acceptance_point_reports_zero_energy_per_job() {
+        // A scheduler that rejects everything: the sweep aggregates must
+        // come out as exact zeros, not NaN from a 0/0.
+        struct RejectAll;
+        impl Scheduler for RejectAll {
+            fn name(&self) -> &str {
+                "REJECT-ALL"
+            }
+            fn schedule(
+                &mut self,
+                _: &amrm_model::JobSet,
+                _: &Platform,
+                _: f64,
+            ) -> Option<amrm_model::Schedule> {
+                None
+            }
+        }
+        let spec = StreamSpec {
+            requests: 8,
+            slack_range: (1.5, 2.0),
+        };
+        let points = load_sweep(
+            &scenarios::platform(),
+            || RejectAll,
+            ReactivationPolicy::OnArrival,
+            &lib(),
+            &[4.0],
+            &spec,
+            2,
+        );
+        assert_eq!(points[0].acceptance_rate, 0.0);
+        assert_eq!(points[0].energy_per_job, 0.0);
+        assert_eq!(points[0].outcome.total_energy, 0.0);
     }
 
     #[test]

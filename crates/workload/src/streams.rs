@@ -51,6 +51,28 @@ impl StreamSpec {
     }
 }
 
+/// The shared sampling loop behind every (possibly rate-modulated)
+/// Poisson shape: exponential inter-arrivals drawn from the local mean at
+/// the current time. `mean_at` must not consume randomness, so the RNG
+/// stream — and therefore per-seed determinism — is identical across
+/// shapes.
+fn modulated_stream(
+    apps: &[AppRef],
+    spec: &StreamSpec,
+    seed: u64,
+    mean_at: impl Fn(f64) -> f64,
+) -> Vec<ScenarioRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    (0..spec.requests)
+        .map(|_| {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            t += -mean_at(t) * u.ln();
+            request_at(apps, t, spec, &mut rng)
+        })
+        .collect()
+}
+
 fn request_at(apps: &[AppRef], t: f64, spec: &StreamSpec, rng: &mut StdRng) -> ScenarioRequest {
     let app = AppRef::clone(&apps[rng.gen_range(0..apps.len())]);
     // Inclusive sampling: a degenerate range (lo == hi) is a constant
@@ -92,15 +114,7 @@ pub fn poisson_stream(
         mean_interarrival > 0.0,
         "mean inter-arrival must be positive"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut t = 0.0;
-    (0..spec.requests)
-        .map(|_| {
-            let u: f64 = rng.gen_range(1e-12..1.0);
-            t += -mean_interarrival * u.ln();
-            request_at(apps, t, spec, &mut rng)
-        })
-        .collect()
+    modulated_stream(apps, spec, seed, |_| mean_interarrival)
 }
 
 /// Strictly periodic arrivals with the given period.
@@ -160,6 +174,98 @@ pub fn bursty_stream(
             req
         })
         .collect()
+}
+
+/// Diurnal (day/night) load: Poisson arrivals whose mean inter-arrival
+/// time swings sinusoidally between `mean_interarrival / peak_factor`
+/// (rush hour) and `mean_interarrival * peak_factor` (dead of night) over
+/// each `period`. Sized for thousands of requests — the stream is built in
+/// one pass with O(1) state per request.
+///
+/// # Panics
+///
+/// Panics if `apps` is empty, `mean_interarrival` or `period` is not
+/// positive, `peak_factor < 1`, or the slack range is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use amrm_workload::{diurnal_stream, scenarios, StreamSpec};
+///
+/// let lib = vec![scenarios::lambda1(), scenarios::lambda2()];
+/// let spec = StreamSpec { requests: 2000, ..StreamSpec::default() };
+/// let stream = diurnal_stream(&lib, 5.0, 4.0, 200.0, &spec, 11);
+/// assert_eq!(stream.len(), 2000);
+/// assert!(stream.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+/// ```
+pub fn diurnal_stream(
+    apps: &[AppRef],
+    mean_interarrival: f64,
+    peak_factor: f64,
+    period: f64,
+    spec: &StreamSpec,
+    seed: u64,
+) -> Vec<ScenarioRequest> {
+    validate(apps, spec);
+    assert!(
+        mean_interarrival > 0.0,
+        "mean inter-arrival must be positive"
+    );
+    assert!(period > 0.0, "diurnal period must be positive");
+    assert!(peak_factor >= 1.0, "peak factor must be at least 1");
+    // The local mean swings log-symmetrically around the base:
+    // peak_factor^-sin(phase) ∈ [1/peak (rush), peak (night)], with the
+    // first half of each period being the rush side.
+    modulated_stream(apps, spec, seed, |t| {
+        let phase = (2.0 * std::f64::consts::PI * t / period).sin();
+        mean_interarrival * peak_factor.powf(-phase)
+    })
+}
+
+/// Bursty-window load: Poisson arrivals that alternate between an "on"
+/// window (mean inter-arrival `on_interarrival`) and an "off" window
+/// (mean `off_interarrival`), each `window` seconds long. Unlike
+/// [`bursty_stream`], which counts requests per burst, this shape switches
+/// *rates* on a wall-clock grid — the square-wave cousin of
+/// [`diurnal_stream`], sized for thousands of requests.
+///
+/// # Panics
+///
+/// Panics if `apps` is empty, any mean or the window length is not
+/// positive, or the slack range is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use amrm_workload::{bursty_window_stream, scenarios, StreamSpec};
+///
+/// let lib = vec![scenarios::lambda1(), scenarios::lambda2()];
+/// let spec = StreamSpec { requests: 3000, ..StreamSpec::default() };
+/// let stream = bursty_window_stream(&lib, 1.0, 20.0, 50.0, &spec, 3);
+/// assert_eq!(stream.len(), 3000);
+/// ```
+pub fn bursty_window_stream(
+    apps: &[AppRef],
+    on_interarrival: f64,
+    off_interarrival: f64,
+    window: f64,
+    spec: &StreamSpec,
+    seed: u64,
+) -> Vec<ScenarioRequest> {
+    validate(apps, spec);
+    assert!(
+        on_interarrival > 0.0 && off_interarrival > 0.0,
+        "mean inter-arrivals must be positive"
+    );
+    assert!(window > 0.0, "window length must be positive");
+    // Even-numbered windows are "on", odd ones "off".
+    modulated_stream(apps, spec, seed, |t| {
+        if ((t / window) as u64).is_multiple_of(2) {
+            on_interarrival
+        } else {
+            off_interarrival
+        }
+    })
 }
 
 fn validate(apps: &[AppRef], spec: &StreamSpec) {
@@ -236,6 +342,85 @@ mod tests {
     #[should_panic(expected = "must not be empty")]
     fn empty_library_panics() {
         poisson_stream(&[], 1.0, &StreamSpec::default(), 0);
+    }
+
+    #[test]
+    fn diurnal_peaks_are_denser_than_troughs_at_scale() {
+        let spec = StreamSpec {
+            requests: 5000,
+            ..StreamSpec::default()
+        };
+        let period = 400.0;
+        let stream = diurnal_stream(&lib(), 4.0, 4.0, period, &spec, 7);
+        assert_eq!(stream.len(), 5000);
+        assert!(stream.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        // Count arrivals in rush-hour quarters (sin > 0 half-periods'
+        // first halves) vs night quarters. Rush phases draw from mean/4,
+        // night from mean*4 — the density gap must be large.
+        let mut rush = 0usize;
+        let mut night = 0usize;
+        for r in &stream {
+            let phase = (r.arrival / period).fract();
+            if (0.1..0.4).contains(&phase) {
+                rush += 1;
+            } else if (0.6..0.9).contains(&phase) {
+                night += 1;
+            }
+        }
+        assert!(
+            rush > 4 * night.max(1),
+            "rush {rush} vs night {night}: no diurnal modulation"
+        );
+    }
+
+    #[test]
+    fn diurnal_is_deterministic_per_seed() {
+        let spec = StreamSpec {
+            requests: 200,
+            ..StreamSpec::default()
+        };
+        let a = diurnal_stream(&lib(), 5.0, 3.0, 100.0, &spec, 42);
+        let b = diurnal_stream(&lib(), 5.0, 3.0, 100.0, &spec, 42);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.arrival - y.arrival).abs() < 1e-12);
+            assert!((x.deadline - y.deadline).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bursty_windows_switch_rates_on_the_clock_grid() {
+        let spec = StreamSpec {
+            requests: 4000,
+            ..StreamSpec::default()
+        };
+        let window = 60.0;
+        let stream = bursty_window_stream(&lib(), 0.5, 10.0, window, &spec, 9);
+        assert_eq!(stream.len(), 4000);
+        assert!(stream.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        let mut on = 0usize;
+        let mut off = 0usize;
+        for r in &stream {
+            if ((r.arrival / window) as u64).is_multiple_of(2) {
+                on += 1;
+            } else {
+                off += 1;
+            }
+        }
+        // On-windows run 20× denser; allow plenty of slack for edge
+        // effects around window boundaries.
+        assert!(on > 5 * off.max(1), "on {on} vs off {off}: no bursts");
+    }
+
+    #[test]
+    #[should_panic(expected = "peak factor")]
+    fn diurnal_sub_one_peak_factor_panics() {
+        diurnal_stream(&lib(), 5.0, 0.5, 100.0, &StreamSpec::default(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window length")]
+    fn bursty_window_zero_window_panics() {
+        bursty_window_stream(&lib(), 1.0, 5.0, 0.0, &StreamSpec::default(), 0);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! The equivalence gate for the event-driven admission refactor.
+//!
+//! The kernel in `amrm-sim` replaced the hand-rolled per-arrival loop, so
+//! the degenerate batched policies must reproduce the old driver *bit for
+//! bit*: `Immediate`, `BatchK(1)` and `WindowTau(0)` runs are compared
+//! against the retained sequential reference
+//! (`run_scenario_sequential`) on seeded Poisson streams, for **every**
+//! scheduler in the standard registry — admissions, total energy (as raw
+//! f64 bits), end time, counters and the executed trace.
+//!
+//! A second group pins the atomic-batch semantics: partially-infeasible
+//! batches roll back and re-admit greedily, fully-infeasible batches
+//! leave the engine untouched.
+
+use amrm::baselines::standard_registry;
+use amrm::core::{AdmissionPolicy, MmkpMdf, ReactivationPolicy, RuntimeManager};
+use amrm::model::AppRef;
+use amrm::sim::{run_scenario_sequential, SimOutcome, Simulation};
+use amrm::workload::{poisson_stream, scenarios, ScenarioRequest, StreamSpec};
+use proptest::prelude::*;
+
+fn library() -> Vec<AppRef> {
+    vec![scenarios::lambda1(), scenarios::lambda2()]
+}
+
+fn kernel_outcome(
+    scheduler: Box<dyn amrm::core::Scheduler>,
+    admission: AdmissionPolicy,
+    stream: &[ScenarioRequest],
+) -> SimOutcome {
+    Simulation::new(
+        scenarios::platform(),
+        scheduler,
+        ReactivationPolicy::OnArrival,
+        admission,
+        stream,
+    )
+    .run()
+}
+
+/// Asserts the strongest equivalence we claim: identical admission
+/// decisions and bit-identical accumulated floats.
+fn assert_byte_identical(name: &str, policy: &str, kernel: &SimOutcome, reference: &SimOutcome) {
+    assert_eq!(
+        kernel.admissions, reference.admissions,
+        "{name}/{policy}: admissions diverged"
+    );
+    assert_eq!(
+        kernel.total_energy.to_bits(),
+        reference.total_energy.to_bits(),
+        "{name}/{policy}: energy diverged ({} vs {})",
+        kernel.total_energy,
+        reference.total_energy
+    );
+    assert_eq!(
+        kernel.end_time.to_bits(),
+        reference.end_time.to_bits(),
+        "{name}/{policy}: end time diverged"
+    );
+    assert_eq!(
+        kernel.stats, reference.stats,
+        "{name}/{policy}: counters diverged"
+    );
+    assert_eq!(
+        kernel.trace, reference.trace,
+        "{name}/{policy}: executed trace diverged"
+    );
+    assert_eq!(kernel.queue_deadline_drops, 0, "{name}/{policy}: drops");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// `BatchK(1)` and `WindowTau(0)` are the per-request discipline on
+    /// Poisson streams, for every registry scheduler.
+    #[test]
+    fn degenerate_batching_equals_per_request_path(
+        seed in 0u64..1000,
+        mean in 1.5f64..8.0,
+        requests in 6usize..14,
+    ) {
+        let spec = StreamSpec { requests, slack_range: (1.2, 2.5) };
+        let stream = poisson_stream(&library(), mean, &spec, seed);
+        let registry = standard_registry();
+        for (name, _) in registry.iter() {
+            let reference = run_scenario_sequential(
+                scenarios::platform(),
+                registry.create(name).unwrap(),
+                ReactivationPolicy::OnArrival,
+                &stream,
+            );
+            for policy in [
+                AdmissionPolicy::Immediate,
+                AdmissionPolicy::BatchK(1),
+                AdmissionPolicy::WindowTau(0.0),
+            ] {
+                let kernel = kernel_outcome(registry.create(name).unwrap(), policy, &stream);
+                assert_byte_identical(name, &policy.label(), &kernel, &reference);
+            }
+        }
+    }
+
+    /// The re-activation policy does not disturb the equivalence (the
+    /// kernel's completion events must consume at the exact instants the
+    /// sequential driver does).
+    #[test]
+    fn equivalence_holds_under_completion_reactivation(
+        seed in 0u64..1000,
+        requests in 6usize..12,
+    ) {
+        let spec = StreamSpec { requests, slack_range: (1.3, 2.2) };
+        let stream = poisson_stream(&library(), 3.0, &spec, seed);
+        let reference = run_scenario_sequential(
+            scenarios::platform(),
+            MmkpMdf::new(),
+            ReactivationPolicy::OnArrivalAndCompletion,
+            &stream,
+        );
+        let kernel = Simulation::new(
+            scenarios::platform(),
+            MmkpMdf::new(),
+            ReactivationPolicy::OnArrivalAndCompletion,
+            AdmissionPolicy::BatchK(1),
+            &stream,
+        )
+        .run();
+        assert_byte_identical("MMKP-MDF", "BatchK(1)+completion", &kernel, &reference);
+    }
+}
+
+#[test]
+fn partially_infeasible_batch_rolls_back_for_every_scheduler() {
+    // S1's λ2 next to a poisoned twin with an impossible deadline: the
+    // joint batch must fail, the rollback must admit exactly what the
+    // per-request sequence would.
+    let registry = standard_registry();
+    for (name, _) in registry.iter() {
+        let mut rm = RuntimeManager::new(scenarios::platform(), registry.create(name).unwrap());
+        assert!(
+            rm.submit(scenarios::lambda1(), 30.0).is_accepted(),
+            "{name}: σ1 rejected"
+        );
+        let batch = rm.submit_batch(&[
+            (scenarios::lambda2(), rm.now() + 30.0),
+            (scenarios::lambda2(), rm.now() + 1.5), // fastest point needs 2 s
+        ]);
+        assert!(batch[0].is_accepted(), "{name}: viable candidate rejected");
+        assert!(
+            !batch[1].is_accepted(),
+            "{name}: impossible candidate admitted"
+        );
+        let stats = rm.stats();
+        assert_eq!(stats.accepted, 2, "{name}");
+        assert_eq!(stats.rejected, 1, "{name}");
+        rm.run_to_completion();
+        assert_eq!(rm.stats().completed, 2, "{name}");
+        assert_eq!(rm.stats().deadline_misses, 0, "{name}");
+    }
+}
+
+#[test]
+fn fully_infeasible_batch_preserves_prior_state_for_every_scheduler() {
+    let registry = standard_registry();
+    for (name, _) in registry.iter() {
+        let mut rm = RuntimeManager::new(scenarios::platform(), registry.create(name).unwrap());
+        assert!(rm.submit(scenarios::lambda1(), 30.0).is_accepted());
+        rm.advance_to(1.0);
+        let energy_before = rm.total_energy();
+        let schedule_before = rm.current_schedule().clone();
+        let batch = rm.submit_batch(&[
+            (scenarios::lambda2(), 2.0), // 1 s of slack, needs 2 s
+            (scenarios::lambda2(), 2.5),
+        ]);
+        assert!(
+            batch.iter().all(|a| !a.is_accepted()),
+            "{name}: impossible batch admitted"
+        );
+        assert_eq!(
+            rm.current_schedule(),
+            &schedule_before,
+            "{name}: schedule disturbed by rejected batch"
+        );
+        assert_eq!(rm.engine().jobs().len(), 1, "{name}");
+        assert_eq!(rm.total_energy().to_bits(), energy_before.to_bits());
+        rm.run_to_completion();
+        assert_eq!(rm.stats().completed, 1, "{name}");
+        assert_eq!(rm.stats().deadline_misses, 0, "{name}");
+    }
+}
+
+#[test]
+fn batched_admission_still_beats_nothing_on_fig1() {
+    // Sanity: a BatchK(2) run over S1 defers σ1 until σ2 arrives at
+    // t = 1, then admits both in one joint activation.
+    let outcome = Simulation::new(
+        scenarios::platform(),
+        MmkpMdf::new(),
+        ReactivationPolicy::OnArrival,
+        AdmissionPolicy::BatchK(2),
+        &scenarios::scenario_s1(),
+    )
+    .run();
+    assert_eq!(outcome.accepted(), 2);
+    assert_eq!(outcome.stats.activations, 1);
+    assert_eq!(outcome.stats.deadline_misses, 0);
+}
