@@ -1,26 +1,39 @@
 //! Admission-policy A/B evaluation: every registered scheduler crossed
-//! with every batched-admission policy on one seeded request stream.
+//! with every batched-admission policy on seeded request streams.
 //!
 //! The grid quantifies the lever the event kernel exposes — *when and how
 //! many* requests reach the mapper per activation — in the three
 //! currencies that matter online: acceptance rate, energy per admitted
-//! job, and scheduler activations. [`admission_grid`] produces the cells,
-//! [`admission_report`] renders them, and the `repro` binary embeds them
-//! in the perf baseline (`BENCH_baseline.json`) whenever a suite run
-//! writes JSON.
+//! job, and scheduler activations. Policies are supplied as **boxed
+//! factories** ([`PolicyFactory`]): the adaptive ones are stateful, so
+//! every grid cell gets a fresh instance. [`admission_grid`] produces the
+//! cells (now labelled by *stream* as well, so steady Poisson and bursty
+//! shapes sit side by side), [`admission_report`] renders them, and the
+//! `repro` binary embeds them — including each cell's
+//! [`TelemetrySummary`] aggregates — in the perf baseline
+//! (`BENCH_baseline.json`) whenever a suite run writes JSON.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use amrm_core::{AdmissionPolicy, ReactivationPolicy, SchedulerRegistry};
-use amrm_metrics::TextTable;
+use amrm_core::{
+    AdaptiveBatch, AdmissionPolicy, BatchK, Immediate, ReactivationPolicy, SchedulerRegistry,
+    SlackAware, WindowTau,
+};
+use amrm_metrics::{TelemetrySummary, TextTable};
 use amrm_platform::Platform;
 use amrm_sim::Simulation;
 use amrm_workload::ScenarioRequest;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
-/// One cell of the policy × scheduler grid.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// A thread-shareable factory for (possibly stateful) admission policies:
+/// each grid cell and load-sweep point calls it for a fresh instance.
+pub type PolicyFactory = Box<dyn Fn() -> Box<dyn AdmissionPolicy> + Send + Sync>;
+
+/// One cell of the stream × policy × scheduler grid.
+#[derive(Debug, Clone, Serialize)]
 pub struct AdmissionCell {
+    /// Label of the request stream the cell ran on (e.g. `"poisson"`).
+    pub stream: String,
     /// Admission-policy label (e.g. `"BatchK(4)"`), stable across runs.
     pub policy: String,
     /// Scheduler (registry) name.
@@ -39,50 +52,131 @@ pub struct AdmissionCell {
     pub queue_deadline_drops: usize,
     /// Admitted jobs that finished late (0 unless a scheduler misbehaved).
     pub deadline_misses: usize,
+    /// End-of-run telemetry aggregates (queue-wait percentiles, EWMA
+    /// utilization and arrival rate, rolling acceptance, …).
+    pub telemetry: TelemetrySummary,
+}
+
+impl serde::Deserialize for AdmissionCell {
+    /// Hand-written like `PerfBaseline`'s (the vendored serde stub has no
+    /// `#[serde(default)]`): baselines written before the telemetry
+    /// subsystem lack `stream`/`telemetry` and read back with defaults.
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let Some(fields) = v.as_obj() else {
+            return Err(serde::Error::new("expected AdmissionCell object"));
+        };
+        let field = |name: &str| serde::value::get_field(fields, name);
+        Ok(AdmissionCell {
+            stream: match field("stream") {
+                Ok(value) => String::from_value(value)?,
+                Err(_) => "poisson".to_string(),
+            },
+            policy: String::from_value(field("policy")?)?,
+            scheduler: String::from_value(field("scheduler")?)?,
+            requests: usize::from_value(field("requests")?)?,
+            accepted: usize::from_value(field("accepted")?)?,
+            acceptance_rate: f64::from_value(field("acceptance_rate")?)?,
+            energy_per_job: f64::from_value(field("energy_per_job")?)?,
+            activations: usize::from_value(field("activations")?)?,
+            queue_deadline_drops: usize::from_value(field("queue_deadline_drops")?)?,
+            deadline_misses: usize::from_value(field("deadline_misses")?)?,
+            telemetry: match field("telemetry") {
+                Ok(value) => TelemetrySummary::from_value(value)?,
+                Err(_) => TelemetrySummary::default(),
+            },
+        })
+    }
 }
 
 /// The default policy set for A/B runs: the paper's per-request
-/// discipline, a size-4 batch, and a 2-second gathering window.
-pub fn standard_policies() -> Vec<AdmissionPolicy> {
+/// discipline, a size-4 batch, a 2-second gathering window, and the two
+/// telemetry-driven adaptive policies.
+pub fn standard_policies() -> Vec<PolicyFactory> {
     vec![
-        AdmissionPolicy::Immediate,
-        AdmissionPolicy::BatchK(4),
-        AdmissionPolicy::WindowTau(2.0),
+        Box::new(|| Box::new(Immediate)),
+        Box::new(|| Box::new(BatchK(4))),
+        Box::new(|| Box::new(WindowTau(2.0))),
+        Box::new(|| Box::new(AdaptiveBatch::default())),
+        Box::new(|| Box::new(SlackAware::default())),
     ]
 }
 
-/// Runs every (policy × scheduler) combination over the same request
-/// stream and collects one [`AdmissionCell`] per combination, policies
-/// outermost, schedulers in registry order within each policy. Cells are
-/// independent simulations, so they are fanned out over `threads` OS
-/// threads via a shared work index (EX-MEM's slow online cells would
-/// otherwise serialize the whole grid).
+/// The seeded streams the standard A/B grid runs on — one definition
+/// shared by the `repro` binary and the test pinning the committed
+/// baseline's reproducibility claim, so tuning the streams cannot
+/// silently decouple the two: a steady Poisson stream (mean 2 s — dense
+/// enough that a size-4 batch fills well inside a request's deadline
+/// slack) and a bursty on/off stream (~1 s inter-arrivals for 15 s, then
+/// ~8 s lulls) whose load swings are what the adaptive policies exploit.
+///
+/// When EX-MEM runs in the grid its exponential online search bounds the
+/// stream length (`with_exmem`); without it the heuristics get
+/// full-length streams.
+pub fn standard_streams(
+    library: &[amrm_model::AppRef],
+    quick: bool,
+    seed: u64,
+    with_exmem: bool,
+) -> Vec<(&'static str, Vec<ScenarioRequest>)> {
+    let requests = match (with_exmem, quick) {
+        (true, true) => 30,
+        (true, false) => 60,
+        (false, true) => 120,
+        (false, false) => 300,
+    };
+    let spec = amrm_workload::StreamSpec {
+        requests,
+        slack_range: (1.5, 3.0),
+    };
+    vec![
+        (
+            "poisson",
+            amrm_workload::poisson_stream(library, 2.0, &spec, seed),
+        ),
+        (
+            "bursty",
+            amrm_workload::bursty_window_stream(library, 1.0, 8.0, 15.0, &spec, seed),
+        ),
+    ]
+}
+
+/// Runs every (stream × policy × scheduler) combination and collects one
+/// [`AdmissionCell`] per combination — streams outermost, then policies,
+/// schedulers in registry order innermost. Cells are independent
+/// simulations, so they are fanned out over `threads` OS threads via a
+/// shared work index (EX-MEM's slow online cells would otherwise
+/// serialize the whole grid).
 ///
 /// # Panics
 ///
-/// Panics if `threads` is zero, the registry or policy set is empty, or
-/// a policy is invalid.
+/// Panics if `threads` is zero, the registry, policy or stream set is
+/// empty, or a policy factory produces an invalid policy.
 pub fn admission_grid(
     platform: &Platform,
     registry: &SchedulerRegistry,
-    policies: &[AdmissionPolicy],
-    stream: &[ScenarioRequest],
+    policies: &[PolicyFactory],
+    streams: &[(&str, &[ScenarioRequest])],
     threads: usize,
 ) -> Vec<AdmissionCell> {
     assert!(threads > 0, "need at least one worker thread");
     assert!(!registry.is_empty(), "registry must not be empty");
     assert!(!policies.is_empty(), "need at least one admission policy");
-    for policy in policies {
-        if let Err(msg) = policy.validate() {
+    assert!(!streams.is_empty(), "need at least one request stream");
+    for factory in policies {
+        if let Err(msg) = factory().validate() {
             panic!("invalid admission policy: {msg}");
         }
     }
     let columns = registry.len();
-    let total = policies.len() * columns;
+    let per_stream = policies.len() * columns;
+    let total = streams.len() * per_stream;
     let names = registry.names();
     let run_cell = |cell: usize| -> AdmissionCell {
-        let policy = policies[cell / columns];
+        let (stream_label, stream) = streams[cell / per_stream];
+        let policy_idx = (cell % per_stream) / columns;
         let sched_idx = cell % columns;
+        let policy = policies[policy_idx]();
+        let policy_label = policy.label();
         let scheduler = registry
             .create_at(sched_idx)
             .expect("scheduler index in range");
@@ -95,7 +189,8 @@ pub fn admission_grid(
         )
         .run();
         AdmissionCell {
-            policy: policy.label(),
+            stream: stream_label.to_string(),
+            policy: policy_label,
             scheduler: names[sched_idx].to_string(),
             requests: stream.len(),
             accepted: outcome.accepted(),
@@ -104,6 +199,7 @@ pub fn admission_grid(
             activations: outcome.stats.activations,
             queue_deadline_drops: outcome.queue_deadline_drops,
             deadline_misses: outcome.stats.deadline_misses,
+            telemetry: outcome.telemetry,
         }
     };
     if threads == 1 || total < 2 {
@@ -138,12 +234,14 @@ pub fn admission_grid(
         .collect()
 }
 
-/// Renders a grid as a text table, one row per (policy, scheduler).
+/// Renders a grid as a text table, one row per (stream, policy,
+/// scheduler), with the telemetry-side queue-wait p95 as the last column.
 pub fn admission_report(cells: &[AdmissionCell]) -> String {
     let mut out = String::from(
-        "Admission-policy A/B: batched admission vs the paper's per-request discipline\n\n",
+        "Admission-policy A/B: fixed and adaptive batching vs the paper's per-request discipline\n\n",
     );
     let mut t = TextTable::new(vec![
+        "Stream",
         "Policy",
         "Scheduler",
         "accepted",
@@ -151,9 +249,11 @@ pub fn admission_report(cells: &[AdmissionCell]) -> String {
         "activations",
         "queue drops",
         "misses",
+        "wait p95 [s]",
     ]);
     for c in cells {
         t.add_row(vec![
+            c.stream.clone(),
             c.policy.clone(),
             c.scheduler.clone(),
             format!("{}/{}", c.accepted, c.requests),
@@ -161,13 +261,16 @@ pub fn admission_report(cells: &[AdmissionCell]) -> String {
             c.activations.to_string(),
             c.queue_deadline_drops.to_string(),
             c.deadline_misses.to_string(),
+            format!("{:.2}", c.telemetry.queue_wait_p95),
         ]);
     }
     out.push_str(&t.to_string());
     out.push_str(
         "\nBatching trades scheduler activations (runtime overhead) against\n\
-         acceptance under tight slack; windows additionally risk queue-deadline\n\
-         drops at low load.\n",
+         acceptance under tight slack; fixed windows additionally risk\n\
+         queue-deadline drops at low load. The adaptive policies size their\n\
+         batches from the observed telemetry (arrival rate, rolling\n\
+         acceptance, queued slack) instead of a fixed knob.\n",
     );
     out
 }
@@ -187,38 +290,81 @@ mod tests {
         poisson_stream(&lib, 4.0, &spec, 31)
     }
 
+    fn fixed_policies() -> Vec<PolicyFactory> {
+        vec![
+            Box::new(|| Box::new(Immediate)),
+            Box::new(|| Box::new(BatchK(4))),
+            Box::new(|| Box::new(WindowTau(2.0))),
+        ]
+    }
+
     #[test]
-    fn grid_covers_every_policy_scheduler_pair() {
+    fn grid_covers_every_stream_policy_scheduler_triple() {
         let registry = standard_registry().subset(&[MDF_NAME, FIXED_NAME]);
         let policies = standard_policies();
+        let stream = small_stream();
         let cells = admission_grid(
             &scenarios::platform(),
             &registry,
             &policies,
-            &small_stream(),
+            &[("poisson", &stream)],
             2,
         );
         assert_eq!(cells.len(), policies.len() * registry.len());
-        // Policies outermost, registry order within.
+        // Policies outermost (within the stream), registry order within.
         assert_eq!(cells[0].policy, "Immediate");
         assert_eq!(cells[0].scheduler, MDF_NAME);
         assert_eq!(cells[1].scheduler, FIXED_NAME);
         assert_eq!(cells[2].policy, "BatchK(4)");
+        assert_eq!(cells[6].policy, "AdaptiveBatch");
+        assert_eq!(cells[8].policy, "SlackAware");
         for c in &cells {
+            assert_eq!(c.stream, "poisson");
             assert!((0.0..=1.0).contains(&c.acceptance_rate));
             assert!(c.accepted <= c.requests);
             assert!(c.energy_per_job >= 0.0);
             assert_eq!(c.deadline_misses, 0);
+            assert_eq!(c.telemetry.arrivals, c.requests);
         }
+    }
+
+    #[test]
+    fn multiple_streams_stack_in_order() {
+        let registry = standard_registry().subset(&[MDF_NAME]);
+        let a = small_stream();
+        let b = scenarios::scenario_s1();
+        let cells = admission_grid(
+            &scenarios::platform(),
+            &registry,
+            &fixed_policies(),
+            &[("poisson", &a), ("s1", &b)],
+            2,
+        );
+        assert_eq!(cells.len(), 2 * 3);
+        assert!(cells[..3].iter().all(|c| c.stream == "poisson"));
+        assert!(cells[3..].iter().all(|c| c.stream == "s1"));
+        assert_eq!(cells[3].requests, 2);
     }
 
     #[test]
     fn parallel_and_serial_grids_agree() {
         let registry = standard_registry().subset(&[MDF_NAME, FIXED_NAME]);
-        let policies = standard_policies();
         let stream = small_stream();
-        let serial = admission_grid(&scenarios::platform(), &registry, &policies, &stream, 1);
-        let parallel = admission_grid(&scenarios::platform(), &registry, &policies, &stream, 4);
+        let streams: &[(&str, &[ScenarioRequest])] = &[("poisson", &stream)];
+        let serial = admission_grid(
+            &scenarios::platform(),
+            &registry,
+            &standard_policies(),
+            streams,
+            1,
+        );
+        let parallel = admission_grid(
+            &scenarios::platform(),
+            &registry,
+            &standard_policies(),
+            streams,
+            4,
+        );
         assert_eq!(serial.len(), parallel.len());
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.policy, b.policy);
@@ -232,11 +378,16 @@ mod tests {
     #[test]
     fn batching_reduces_activations() {
         let registry = standard_registry().subset(&[MDF_NAME]);
+        let stream = small_stream();
+        let policies: Vec<PolicyFactory> = vec![
+            Box::new(|| Box::new(Immediate)),
+            Box::new(|| Box::new(BatchK(4))),
+        ];
         let cells = admission_grid(
             &scenarios::platform(),
             &registry,
-            &[AdmissionPolicy::Immediate, AdmissionPolicy::BatchK(4)],
-            &small_stream(),
+            &policies,
+            &[("poisson", &stream)],
             1,
         );
         let immediate = &cells[0];
@@ -248,35 +399,93 @@ mod tests {
     #[test]
     fn report_lists_all_cells() {
         let registry = standard_registry().subset(&[MDF_NAME]);
+        let stream = small_stream();
         let cells = admission_grid(
             &scenarios::platform(),
             &registry,
             &standard_policies(),
-            &small_stream(),
+            &[("poisson", &stream)],
             1,
         );
         let report = admission_report(&cells);
         assert!(report.contains("Immediate"));
         assert!(report.contains("BatchK(4)"));
         assert!(report.contains("WindowTau(2)"));
+        assert!(report.contains("AdaptiveBatch"));
+        assert!(report.contains("SlackAware"));
         assert!(report.contains(MDF_NAME));
+        assert!(report.contains("poisson"));
     }
 
     #[test]
     fn cells_roundtrip_through_serde_json() {
         let registry = standard_registry().subset(&[MDF_NAME]);
+        let stream = small_stream();
+        let policies: Vec<PolicyFactory> = vec![Box::new(|| Box::new(BatchK(2)))];
         let cells = admission_grid(
             &scenarios::platform(),
             &registry,
-            &[AdmissionPolicy::BatchK(2)],
-            &small_stream(),
+            &policies,
+            &[("poisson", &stream)],
             1,
         );
         let text = serde_json::to_string(&cells).unwrap();
         let back: Vec<AdmissionCell> = serde_json::from_str(&text).unwrap();
         assert_eq!(back.len(), cells.len());
+        assert_eq!(back[0].stream, cells[0].stream);
         assert_eq!(back[0].policy, cells[0].policy);
         assert_eq!(back[0].accepted, cells[0].accepted);
         assert_eq!(back[0].activations, cells[0].activations);
+        assert_eq!(back[0].telemetry, cells[0].telemetry);
+    }
+
+    #[test]
+    fn adaptive_policy_beats_fixed_cells_on_the_bursty_grid_stream() {
+        // Pins the reproducibility claim behind the committed baseline
+        // (`repro --quick --seed 2020`): on the grid's bursty stream,
+        // AdaptiveBatch strictly beats every fixed BatchK/WindowTau cell
+        // on acceptance rate for MMKP-MDF. The stream comes from the
+        // same `standard_streams` the repro binary runs.
+        let platform = amrm_platform::Platform::odroid_xu4();
+        let library = amrm_dataflow::apps::benchmark_suite(&platform);
+        let streams = standard_streams(&library, true, 2020, true);
+        let (_, stream) = streams
+            .into_iter()
+            .find(|(label, _)| *label == "bursty")
+            .expect("standard streams include a bursty shape");
+        let registry = standard_registry().subset(&[MDF_NAME]);
+        let policies: Vec<PolicyFactory> = vec![
+            Box::new(|| Box::new(BatchK(4))),
+            Box::new(|| Box::new(WindowTau(2.0))),
+            Box::new(|| Box::new(AdaptiveBatch::default())),
+        ];
+        let cells = admission_grid(&platform, &registry, &policies, &[("bursty", &stream)], 2);
+        let adaptive = &cells[2];
+        assert_eq!(adaptive.policy, "AdaptiveBatch");
+        for fixed in &cells[..2] {
+            assert!(
+                adaptive.acceptance_rate > fixed.acceptance_rate,
+                "AdaptiveBatch ({:.3}) does not strictly beat {} ({:.3}) on acceptance",
+                adaptive.acceptance_rate,
+                fixed.policy,
+                fixed.acceptance_rate
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_cells_without_stream_or_telemetry_still_parse() {
+        // The exact cell shape `repro --json` wrote before the telemetry
+        // subsystem existed.
+        let legacy = r#"{
+            "policy": "BatchK(4)", "scheduler": "MMKP-MDF",
+            "requests": 30, "accepted": 28, "acceptance_rate": 0.93,
+            "energy_per_job": 12.5, "activations": 8,
+            "queue_deadline_drops": 0, "deadline_misses": 0
+        }"#;
+        let cell: AdmissionCell = serde_json::from_str(legacy).unwrap();
+        assert_eq!(cell.stream, "poisson");
+        assert_eq!(cell.policy, "BatchK(4)");
+        assert_eq!(cell.telemetry, TelemetrySummary::default());
     }
 }

@@ -217,7 +217,7 @@ mod tests {
             &scenarios::platform(),
             &standard_registry().subset(&[amrm_baselines::MDF_NAME]),
             &crate::admission::standard_policies(),
-            &stream,
+            &[("poisson", &stream)],
             1,
         );
         let path = std::env::temp_dir().join("amrm_baseline_roundtrip.json");
@@ -232,7 +232,10 @@ mod tests {
             assert_eq!(a.scheduler, b.scheduler);
             assert_eq!(a.scheduled, b.scheduled);
         }
-        assert_eq!(back.admission.len(), 3);
+        assert_eq!(
+            back.admission.len(),
+            crate::admission::standard_policies().len()
+        );
         for (a, b) in baseline.admission.iter().zip(&back.admission) {
             assert_eq!(a.policy, b.policy);
             assert_eq!(a.accepted, b.accepted);

@@ -13,8 +13,9 @@
 //!   fig3        Figure 3  — S-curves of relative energy
 //!   fig4        Figure 4  — search-time box plots
 //!   ablation    extensions: job-order policy, online admission, DVFS
-//!   admission   extension: admission-policy × scheduler A/B grid
-//!               (Immediate vs BatchK vs WindowTau on one Poisson stream)
+//!   admission   extension: stream × admission-policy × scheduler A/B grid
+//!               (Immediate/BatchK/WindowTau plus the adaptive
+//!               AdaptiveBatch/SlackAware on Poisson and bursty streams)
 //!   all         everything above except `ablation`/`admission` (default)
 //!
 //! OPTIONS
@@ -27,21 +28,21 @@
 //!                    admission-policy grid to F
 //!   --schedulers L   comma-separated registry subset to evaluate (suite
 //!                    commands, ablation and admission; default: every
-//!                    registered scheduler)
+//!                    registered scheduler). Excluding EX-MEM unlocks
+//!                    full-length admission-grid streams (its exponential
+//!                    online search otherwise bounds them)
 //! ```
 
 use std::process::ExitCode;
 
-use amrm_baselines::standard_registry;
+use amrm_baselines::{standard_registry, EXMEM_NAME};
 use amrm_bench::runner::evaluate_suite;
 use amrm_bench::{admission, baseline, reports};
 use amrm_core::SchedulerRegistry;
 use amrm_dataflow::apps;
 use amrm_model::AppRef;
 use amrm_platform::Platform;
-use amrm_workload::{
-    generate_suite, poisson_stream, save_suite, ScenarioRequest, StreamSpec, SuiteSpec,
-};
+use amrm_workload::{generate_suite, save_suite, SuiteSpec};
 
 struct Options {
     command: String,
@@ -103,19 +104,55 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-/// The seeded Poisson stream the admission-policy grid runs on (shared by
-/// the `admission` command and the `--json` baseline embedding so both
-/// report the same cells).
-fn admission_stream(library: &[AppRef], quick: bool, seed: u64) -> Vec<ScenarioRequest> {
-    // Dense enough that a size-4 batch fills well inside a request's
-    // deadline slack — at sparse load BatchK degenerates to queue-deadline
-    // drops and the grid says nothing. Length is bounded by EX-MEM, whose
-    // exponential search runs online in every cell.
-    let spec = StreamSpec {
-        requests: if quick { 30 } else { 60 },
-        slack_range: (1.5, 3.0),
+/// Runs the stream × policy × scheduler admission grid for the `admission`
+/// command and the `--json` baseline embedding (both report the same
+/// cells). EX-MEM — when present — bounds the stream length (its
+/// exponential joint-batch search runs online in every cell); an explicit
+/// `--schedulers` subset without it unlocks full-length streams. The
+/// bursty stream additionally drops EX-MEM unless the user pinned a
+/// subset: its bursts stack ~15 concurrent jobs, far beyond what the
+/// exhaustive search finishes online.
+fn run_admission_grid(
+    platform: &Platform,
+    library: &[AppRef],
+    registry: &SchedulerRegistry,
+    opts: &Options,
+) -> Vec<admission::AdmissionCell> {
+    let with_exmem = registry.index_of(EXMEM_NAME).is_some();
+    let streams = admission::standard_streams(library, opts.quick, opts.seed, with_exmem);
+    let policies = admission::standard_policies();
+    let bursty_registry = if with_exmem && opts.schedulers.is_none() {
+        let names: Vec<&str> = registry
+            .names()
+            .into_iter()
+            .filter(|&n| n != EXMEM_NAME)
+            .collect();
+        Some(registry.subset(&names))
+    } else {
+        None
     };
-    poisson_stream(library, 2.0, &spec, seed)
+    let mut cells = Vec::new();
+    for (label, stream) in &streams {
+        let grid_registry = match (&bursty_registry, *label) {
+            (Some(online), "bursty") => online,
+            _ => registry,
+        };
+        eprintln!(
+            "running admission grid on `{label}`: {} policies × {} schedulers ({}), {} requests ...",
+            policies.len(),
+            grid_registry.len(),
+            grid_registry.names().join(", "),
+            stream.len()
+        );
+        cells.extend(admission::admission_grid(
+            platform,
+            grid_registry,
+            &policies,
+            &[(label, stream)],
+            opts.threads,
+        ));
+    }
+    cells
 }
 
 /// Resolves the evaluation registry: the full standard registry, or the
@@ -238,20 +275,7 @@ fn main() -> ExitCode {
             platform.name()
         );
         let library = apps::benchmark_suite(&platform);
-        let stream = admission_stream(&library, opts.quick, opts.seed);
-        eprintln!(
-            "running {} policies × {} schedulers over {} requests ...",
-            admission::standard_policies().len(),
-            registry.len(),
-            stream.len()
-        );
-        let cells = admission::admission_grid(
-            &platform,
-            &registry,
-            &admission::standard_policies(),
-            &stream,
-            opts.threads,
-        );
+        let cells = run_admission_grid(&platform, &library, &registry, &opts);
         println!("{}", admission::admission_report(&cells));
         return ExitCode::SUCCESS;
     }
@@ -313,20 +337,7 @@ fn main() -> ExitCode {
 
     if let Some(path) = &opts.json_out {
         let mut summary = baseline::summarize(&eval, opts.seed, opts.threads, opts.quick, elapsed);
-        let stream = admission_stream(&library, opts.quick, opts.seed);
-        eprintln!(
-            "running admission-policy grid ({} policies × {} schedulers, {} requests) ...",
-            admission::standard_policies().len(),
-            registry.len(),
-            stream.len()
-        );
-        summary.admission = admission::admission_grid(
-            &platform,
-            &registry,
-            &admission::standard_policies(),
-            &stream,
-            opts.threads,
-        );
+        summary.admission = run_admission_grid(&platform, &library, &registry, &opts);
         if let Err(e) = baseline::write_json(path, &summary) {
             eprintln!("error: cannot write baseline to {path}: {e}");
             return ExitCode::FAILURE;

@@ -4,24 +4,39 @@
 //! the registry makes the scheduling algorithm a plug-in — and the same
 //! holds for the admission discipline. An [`AdmissionPolicy`] decides how
 //! arrivals are grouped into scheduler activations: one at a time (the
-//! paper's discipline), in batches of a fixed size, or within a gathering
-//! time window. The `amrm-sim` event kernel consults the policy at every
+//! paper's discipline), in fixed batches or windows, or *adaptively*,
+//! sized from the online telemetry the `amrm-sim` kernel records
+//! ([`TelemetrySnapshot`]). The kernel consults the policy at every
 //! arrival; [`RuntimeManager::submit_batch`](crate::RuntimeManager::submit_batch)
 //! then admits or rejects the flushed batch atomically.
+//!
+//! `AdmissionPolicy` is a **trait**: implement it (plus
+//! [`label`](AdmissionPolicy::label)) and every consumer — the event
+//! kernel, `load_sweep_with`, the `repro admission` grid — picks the
+//! policy up unchanged. Stateless fixed policies ([`Immediate`],
+//! [`BatchK`], [`WindowTau`]) ignore the snapshot; the stateful
+//! [`AdaptiveBatch`] and [`SlackAware`] close the feedback loop from the
+//! telemetry series. Everything a policy can observe is simulated time
+//! and state, so adaptive decisions stay deterministic per seed.
+
+pub use amrm_metrics::TelemetrySnapshot;
 
 /// What the simulation kernel should do with the admission queue after a
 /// new request has been appended to it.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AdmissionDirective {
-    /// Flush the whole queue to the scheduler now.
+    /// Flush the whole queue to the scheduler now (closing any open
+    /// gathering window).
     Flush,
-    /// Keep queueing; no timer is involved (a later arrival or the end of
-    /// the stream will trigger the flush).
+    /// Keep queueing; no timer is involved (a later arrival, an already
+    /// open window, or the end of the stream will trigger the flush).
     Defer,
     /// Keep queueing and flush when the batching window expires at the
-    /// given absolute time (only emitted when a new window opens).
+    /// given absolute time. If a window is already open it is
+    /// *superseded* — returning an earlier expiry closes the running
+    /// window early (the [`SlackAware`] lever).
     OpenWindow {
-        /// Absolute expiry time of the freshly opened window.
+        /// Absolute expiry time of the (re-)opened window.
         expiry: f64,
     },
 }
@@ -29,96 +44,377 @@ pub enum AdmissionDirective {
 /// A batched-admission policy: decides how many queued requests reach the
 /// scheduler in one activation.
 ///
-/// * [`Immediate`](AdmissionPolicy::Immediate) — the paper's discipline:
-///   every request triggers its own scheduler activation on arrival.
-/// * [`BatchK`](AdmissionPolicy::BatchK) — gather `k` requests and admit
-///   them in one activation (leftovers flush at the end of the stream).
-///   `BatchK(1)` is exactly the per-request discipline.
-/// * [`WindowTau`](AdmissionPolicy::WindowTau) — the first queued arrival
-///   opens a gathering window of length `τ`; everything that arrives
-///   before the window expires is admitted together. `WindowTau(0.0)`
-///   degenerates to per-request admission (up to simultaneous arrivals,
-///   which are grouped).
+/// The kernel calls [`on_arrival`](AdmissionPolicy::on_arrival) once per
+/// arrival, after appending the request to the queue, with a read-only
+/// [`TelemetrySnapshot`] of the online series (queue depth, EWMA arrival
+/// rate, utilization, rolling acceptance, activation latency, …). The
+/// policy may keep internal state — the snapshot contains only
+/// simulated-time quantities, so stateful policies remain deterministic
+/// per stream seed.
 ///
-/// # Examples
+/// # Implementing a custom policy
 ///
 /// ```
-/// use amrm_core::{AdmissionDirective, AdmissionPolicy};
+/// use amrm_core::{AdmissionDirective, AdmissionPolicy, TelemetrySnapshot};
 ///
-/// let policy = AdmissionPolicy::BatchK(3);
-/// assert_eq!(policy.on_arrival(1, 0.0), AdmissionDirective::Defer);
-/// assert_eq!(policy.on_arrival(3, 0.5), AdmissionDirective::Flush);
-/// assert_eq!(policy.label(), "BatchK(3)");
+/// /// Flushes whenever at least half the platform sits idle.
+/// struct IdleRush;
+///
+/// impl AdmissionPolicy for IdleRush {
+///     fn on_arrival(&mut self, snapshot: &TelemetrySnapshot, _now: f64) -> AdmissionDirective {
+///         if snapshot.utilization < 0.5 {
+///             AdmissionDirective::Flush
+///         } else {
+///             AdmissionDirective::Defer
+///         }
+///     }
+///     fn label(&self) -> String {
+///         "IdleRush".to_string()
+///     }
+///     fn flush_at_stream_end(&self) -> bool {
+///         true // Defer-based policies must not starve leftovers
+///     }
+/// }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum AdmissionPolicy {
-    /// One scheduler activation per request, at its arrival.
-    Immediate,
-    /// Flush once the queue holds this many requests.
-    BatchK(usize),
-    /// Flush a gathering window this long after its first queued arrival.
-    WindowTau(f64),
-}
+pub trait AdmissionPolicy {
+    /// The directive for the queue after a new arrival at time `now`
+    /// (`snapshot.queue_depth` includes the newcomer; `now` equals
+    /// `snapshot.now`).
+    fn on_arrival(&mut self, snapshot: &TelemetrySnapshot, now: f64) -> AdmissionDirective;
 
-impl AdmissionPolicy {
-    /// Checks the policy's invariants: a batch size of at least one, a
-    /// finite non-negative window.
+    /// A short stable label (`"BatchK(4)"`, `"AdaptiveBatch"`) — the key
+    /// used by reports and the perf baseline. Distinct policy
+    /// configurations should never share a label.
+    fn label(&self) -> String;
+
+    /// Checks the policy's configuration invariants.
     ///
     /// # Errors
     ///
     /// Returns a human-readable description of the violation.
-    pub fn validate(&self) -> Result<(), String> {
-        match *self {
-            AdmissionPolicy::Immediate => Ok(()),
-            AdmissionPolicy::BatchK(0) => {
-                Err("BatchK needs a batch size of at least 1".to_string())
-            }
-            AdmissionPolicy::BatchK(_) => Ok(()),
-            AdmissionPolicy::WindowTau(tau) if !tau.is_finite() || tau < 0.0 => {
-                Err(format!("WindowTau needs a finite window ≥ 0, got {tau}"))
-            }
-            AdmissionPolicy::WindowTau(_) => Ok(()),
+    fn validate(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Whether leftovers must be flushed when the request stream ends.
+    /// Policies that `Defer` without a window (batch counting) would
+    /// otherwise starve a partial final batch; window policies flush at
+    /// their expiry instead.
+    fn flush_at_stream_end(&self) -> bool {
+        false
+    }
+}
+
+impl<P: AdmissionPolicy + ?Sized> AdmissionPolicy for Box<P> {
+    fn on_arrival(&mut self, snapshot: &TelemetrySnapshot, now: f64) -> AdmissionDirective {
+        (**self).on_arrival(snapshot, now)
+    }
+
+    fn label(&self) -> String {
+        (**self).label()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        (**self).validate()
+    }
+
+    fn flush_at_stream_end(&self) -> bool {
+        (**self).flush_at_stream_end()
+    }
+}
+
+/// The paper's discipline: every request triggers its own scheduler
+/// activation on arrival.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Immediate;
+
+impl AdmissionPolicy for Immediate {
+    fn on_arrival(&mut self, _snapshot: &TelemetrySnapshot, _now: f64) -> AdmissionDirective {
+        AdmissionDirective::Flush
+    }
+
+    fn label(&self) -> String {
+        "Immediate".to_string()
+    }
+}
+
+/// Gather a fixed number of requests and admit them in one activation
+/// (leftovers flush at the end of the stream). `BatchK(1)` is exactly the
+/// per-request discipline.
+///
+/// # Examples
+///
+/// ```
+/// use amrm_core::{AdmissionDirective, AdmissionPolicy, BatchK, TelemetrySnapshot};
+///
+/// let mut policy = BatchK(3);
+/// let queued = |n| TelemetrySnapshot { queue_depth: n, ..TelemetrySnapshot::default() };
+/// assert_eq!(policy.on_arrival(&queued(1), 0.0), AdmissionDirective::Defer);
+/// assert_eq!(policy.on_arrival(&queued(3), 0.5), AdmissionDirective::Flush);
+/// assert_eq!(policy.label(), "BatchK(3)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchK(pub usize);
+
+impl AdmissionPolicy for BatchK {
+    fn on_arrival(&mut self, snapshot: &TelemetrySnapshot, _now: f64) -> AdmissionDirective {
+        if snapshot.queue_depth >= self.0 {
+            AdmissionDirective::Flush
+        } else {
+            AdmissionDirective::Defer
         }
     }
 
-    /// The directive for a queue of `queue_len` requests (the newest just
-    /// appended) at time `now`, assuming no window is currently open —
-    /// the kernel tracks open windows itself and only asks on arrivals.
-    pub fn on_arrival(&self, queue_len: usize, now: f64) -> AdmissionDirective {
-        match *self {
-            AdmissionPolicy::Immediate => AdmissionDirective::Flush,
-            AdmissionPolicy::BatchK(k) if queue_len >= k => AdmissionDirective::Flush,
-            AdmissionPolicy::BatchK(_) => AdmissionDirective::Defer,
-            AdmissionPolicy::WindowTau(tau) if queue_len == 1 => {
-                AdmissionDirective::OpenWindow { expiry: now + tau }
-            }
-            AdmissionPolicy::WindowTau(_) => AdmissionDirective::Defer,
+    fn label(&self) -> String {
+        format!("BatchK({})", self.0)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.0 == 0 {
+            Err("BatchK needs a batch size of at least 1".to_string())
+        } else {
+            Ok(())
         }
     }
 
-    /// Whether leftovers must be flushed when the request stream ends
-    /// (`BatchK` would otherwise starve a partial final batch; window
-    /// policies flush at their expiry instead).
-    pub fn flush_at_stream_end(&self) -> bool {
-        matches!(self, AdmissionPolicy::BatchK(_))
+    fn flush_at_stream_end(&self) -> bool {
+        true
+    }
+}
+
+/// The first queued arrival opens a gathering window of fixed length `τ`;
+/// everything that arrives before the window expires is admitted
+/// together. `WindowTau(0.0)` degenerates to per-request admission (up to
+/// simultaneous arrivals, which are grouped).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowTau(pub f64);
+
+impl AdmissionPolicy for WindowTau {
+    fn on_arrival(&mut self, snapshot: &TelemetrySnapshot, now: f64) -> AdmissionDirective {
+        if snapshot.window_expiry.is_some() {
+            AdmissionDirective::Defer // join the already open window
+        } else {
+            AdmissionDirective::OpenWindow {
+                expiry: now + self.0,
+            }
+        }
     }
 
-    /// A short stable label (`"Immediate"`, `"BatchK(4)"`,
-    /// `"WindowTau(2)"`) — the key used by reports and the perf
-    /// baseline. The window is rendered at full precision so distinct
-    /// policies never share a label.
-    pub fn label(&self) -> String {
-        match *self {
-            AdmissionPolicy::Immediate => "Immediate".to_string(),
-            AdmissionPolicy::BatchK(k) => format!("BatchK({k})"),
-            AdmissionPolicy::WindowTau(tau) => format!("WindowTau({tau})"),
+    fn label(&self) -> String {
+        // Full precision so close-but-distinct windows never share a key.
+        format!("WindowTau({})", self.0)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if !self.0.is_finite() || self.0 < 0.0 {
+            Err(format!(
+                "WindowTau needs a finite window ≥ 0, got {}",
+                self.0
+            ))
+        } else {
+            Ok(())
         }
     }
 }
 
-impl std::fmt::Display for AdmissionPolicy {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.label())
+/// AIMD batch sizing from the telemetry feedback loop: grow the batch
+/// additively while load is high and admissions succeed, halve it on
+/// queue drops or a collapsing rolling acceptance.
+///
+/// The growth test is rate-aware: the batch only grows to `k + 1` if the
+/// EWMA arrival rate would fill it within
+/// [`gather_target`](AdaptiveBatch::gather_target) seconds — a batch that
+/// cannot fill fast enough would eat deadline slack in the queue, which
+/// is precisely what the multiplicative decrease punishes after the fact.
+///
+/// Under sparse load the policy therefore idles at `BatchK(1)` behaviour
+/// (no queue-drop risk), and under sustained dense load it climbs towards
+/// [`max_batch`](AdaptiveBatch::max_batch), cutting scheduler activations
+/// the way the paper's batching lever intends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveBatch {
+    /// Lower bound for the batch size (also the initial size).
+    pub min_batch: usize,
+    /// Upper bound for the batch size.
+    pub max_batch: usize,
+    /// Target gathering time: the batch grows only while the observed
+    /// arrival rate fills `k + 1` requests within this many simulated
+    /// seconds.
+    pub gather_target: f64,
+    /// Rolling acceptance below this halves the batch.
+    pub low_acceptance: f64,
+    /// Rolling acceptance at or above this (with sufficient load) grows
+    /// the batch by one.
+    pub high_acceptance: f64,
+    /// Current batch size.
+    k: usize,
+    /// Queue drops seen at the previous decision (drop deltas trigger the
+    /// multiplicative decrease).
+    last_drops: usize,
+}
+
+impl AdaptiveBatch {
+    /// The default configuration: batch in `[1, 12]`, 4-second gather
+    /// target, halve below 50 % rolling acceptance, grow at ≥ 90 %.
+    pub fn new() -> Self {
+        AdaptiveBatch {
+            min_batch: 1,
+            max_batch: 12,
+            gather_target: 4.0,
+            low_acceptance: 0.5,
+            high_acceptance: 0.9,
+            k: 1,
+            last_drops: 0,
+        }
+    }
+
+    /// The batch size currently targeted.
+    pub fn current_batch(&self) -> usize {
+        self.k
+    }
+}
+
+impl Default for AdaptiveBatch {
+    fn default() -> Self {
+        AdaptiveBatch::new()
+    }
+}
+
+impl AdmissionPolicy for AdaptiveBatch {
+    fn on_arrival(&mut self, snapshot: &TelemetrySnapshot, _now: f64) -> AdmissionDirective {
+        // Feedback first: shrink on fresh queue drops or collapsing
+        // acceptance (multiplicative decrease), otherwise grow while the
+        // batch keeps filling fast enough (additive increase).
+        if snapshot.queue_drops > self.last_drops
+            || snapshot.rolling_acceptance < self.low_acceptance
+        {
+            self.k = (self.k / 2).max(self.min_batch);
+        } else if snapshot.rolling_acceptance >= self.high_acceptance
+            && snapshot.arrival_rate * self.gather_target >= (self.k + 1) as f64
+        {
+            self.k = (self.k + 1).min(self.max_batch);
+        }
+        self.last_drops = snapshot.queue_drops;
+        if snapshot.queue_depth >= self.k {
+            AdmissionDirective::Flush
+        } else {
+            AdmissionDirective::Defer
+        }
+    }
+
+    fn label(&self) -> String {
+        "AdaptiveBatch".to_string()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.min_batch == 0 {
+            return Err("AdaptiveBatch needs a minimum batch of at least 1".to_string());
+        }
+        if self.max_batch < self.min_batch {
+            return Err(format!(
+                "AdaptiveBatch batch bounds are reversed ({} > {})",
+                self.min_batch, self.max_batch
+            ));
+        }
+        if !self.gather_target.is_finite() || self.gather_target <= 0.0 {
+            return Err(format!(
+                "AdaptiveBatch needs a positive finite gather target, got {}",
+                self.gather_target
+            ));
+        }
+        for (name, v) in [
+            ("low_acceptance", self.low_acceptance),
+            ("high_acceptance", self.high_acceptance),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("AdaptiveBatch {name} must be in [0, 1], got {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn flush_at_stream_end(&self) -> bool {
+        true
+    }
+}
+
+/// A gathering window that closes early when the tightest queued slack
+/// approaches the admission pipeline's recent activation latency (the
+/// telemetry EWMA of batch gathering delays).
+///
+/// Each arrival re-derives the latest affordable close time
+/// `now + min(max_window, min_slack / 2 − margin · activation_latency)`
+/// — at most half the tightest queued slack may be spent gathering (the
+/// other half is execution headroom; a window closing *at* a deadline
+/// would admit a request with zero time to run) — and *tightens* the
+/// open window if that is earlier than the current expiry: a
+/// tight-deadline request arriving mid-window pulls the flush forward
+/// instead of being dropped at its deadline. When the pipeline has
+/// recently held batches for long (large latency EWMA), the safety guard
+/// widens and windows close sooner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlackAware {
+    /// Upper bound on the gathering window, in simulated seconds.
+    pub max_window: f64,
+    /// Multiplier on the activation-latency EWMA subtracted from the
+    /// tightest queued slack before sizing the window.
+    pub margin: f64,
+}
+
+impl SlackAware {
+    /// The default configuration: windows of at most 2 s, guarded by
+    /// twice the recent activation latency.
+    pub fn new() -> Self {
+        SlackAware {
+            max_window: 2.0,
+            margin: 2.0,
+        }
+    }
+}
+
+impl Default for SlackAware {
+    fn default() -> Self {
+        SlackAware::new()
+    }
+}
+
+impl AdmissionPolicy for SlackAware {
+    fn on_arrival(&mut self, snapshot: &TelemetrySnapshot, now: f64) -> AdmissionDirective {
+        let slack = snapshot.min_queued_slack.unwrap_or(f64::INFINITY);
+        let guard = self.margin * snapshot.activation_latency;
+        // Gather for at most half the tightest slack (minus the latency
+        // guard): the remainder stays available for actual execution.
+        let allowance = (slack / 2.0 - guard).max(0.0);
+        let close_at = now + self.max_window.min(allowance);
+        match snapshot.window_expiry {
+            // Tighten the running window when the newest queue state
+            // affords less gathering time than originally planned.
+            Some(expiry) if close_at < expiry => {
+                AdmissionDirective::OpenWindow { expiry: close_at }
+            }
+            Some(_) => AdmissionDirective::Defer,
+            None => AdmissionDirective::OpenWindow { expiry: close_at },
+        }
+    }
+
+    fn label(&self) -> String {
+        "SlackAware".to_string()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if !self.max_window.is_finite() || self.max_window < 0.0 {
+            return Err(format!(
+                "SlackAware needs a finite window ≥ 0, got {}",
+                self.max_window
+            ));
+        }
+        if !self.margin.is_finite() || self.margin < 0.0 {
+            return Err(format!(
+                "SlackAware needs a finite margin ≥ 0, got {}",
+                self.margin
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -126,64 +422,236 @@ impl std::fmt::Display for AdmissionPolicy {
 mod tests {
     use super::*;
 
-    #[test]
-    fn immediate_always_flushes() {
-        for n in 1..5 {
-            assert_eq!(
-                AdmissionPolicy::Immediate.on_arrival(n, 1.0),
-                AdmissionDirective::Flush
-            );
+    fn snap(queue_depth: usize, now: f64) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            now,
+            queue_depth,
+            ..TelemetrySnapshot::default()
         }
     }
 
     #[test]
+    fn immediate_always_flushes() {
+        for n in 1..5 {
+            assert_eq!(
+                Immediate.on_arrival(&snap(n, 1.0), 1.0),
+                AdmissionDirective::Flush
+            );
+        }
+        assert!(!Immediate.flush_at_stream_end());
+    }
+
+    #[test]
     fn batch_k_flushes_at_k() {
-        let p = AdmissionPolicy::BatchK(2);
-        assert_eq!(p.on_arrival(1, 0.0), AdmissionDirective::Defer);
-        assert_eq!(p.on_arrival(2, 0.0), AdmissionDirective::Flush);
-        assert_eq!(p.on_arrival(3, 0.0), AdmissionDirective::Flush);
+        let mut p = BatchK(2);
+        assert_eq!(p.on_arrival(&snap(1, 0.0), 0.0), AdmissionDirective::Defer);
+        assert_eq!(p.on_arrival(&snap(2, 0.0), 0.0), AdmissionDirective::Flush);
+        assert_eq!(p.on_arrival(&snap(3, 0.0), 0.0), AdmissionDirective::Flush);
         assert!(p.flush_at_stream_end());
     }
 
     #[test]
     fn batch_one_is_per_request() {
         assert_eq!(
-            AdmissionPolicy::BatchK(1).on_arrival(1, 7.0),
+            BatchK(1).on_arrival(&snap(1, 7.0), 7.0),
             AdmissionDirective::Flush
         );
     }
 
     #[test]
-    fn window_opens_once_per_queue() {
-        let p = AdmissionPolicy::WindowTau(2.5);
+    fn window_opens_once_then_joins() {
+        let mut p = WindowTau(2.5);
         assert_eq!(
-            p.on_arrival(1, 4.0),
+            p.on_arrival(&snap(1, 4.0), 4.0),
             AdmissionDirective::OpenWindow { expiry: 6.5 }
         );
-        assert_eq!(p.on_arrival(2, 5.0), AdmissionDirective::Defer);
+        let joined = TelemetrySnapshot {
+            window_expiry: Some(6.5),
+            ..snap(2, 5.0)
+        };
+        assert_eq!(p.on_arrival(&joined, 5.0), AdmissionDirective::Defer);
         assert!(!p.flush_at_stream_end());
     }
 
     #[test]
     fn validation_rejects_degenerate_policies() {
-        assert!(AdmissionPolicy::Immediate.validate().is_ok());
-        assert!(AdmissionPolicy::BatchK(0).validate().is_err());
-        assert!(AdmissionPolicy::BatchK(4).validate().is_ok());
-        assert!(AdmissionPolicy::WindowTau(-1.0).validate().is_err());
-        assert!(AdmissionPolicy::WindowTau(f64::NAN).validate().is_err());
-        assert!(AdmissionPolicy::WindowTau(0.0).validate().is_ok());
+        assert!(Immediate.validate().is_ok());
+        assert!(BatchK(0).validate().is_err());
+        assert!(BatchK(4).validate().is_ok());
+        assert!(WindowTau(-1.0).validate().is_err());
+        assert!(WindowTau(f64::NAN).validate().is_err());
+        assert!(WindowTau(0.0).validate().is_ok());
+        assert!(AdaptiveBatch::default().validate().is_ok());
+        assert!(SlackAware::default().validate().is_ok());
+        let reversed = AdaptiveBatch {
+            min_batch: 4,
+            max_batch: 2,
+            ..AdaptiveBatch::default()
+        };
+        assert!(reversed.validate().is_err());
+        let bad_margin = SlackAware {
+            margin: f64::INFINITY,
+            ..SlackAware::default()
+        };
+        assert!(bad_margin.validate().is_err());
     }
 
     #[test]
     fn labels_are_stable_and_injective() {
-        assert_eq!(AdmissionPolicy::Immediate.label(), "Immediate");
-        assert_eq!(AdmissionPolicy::BatchK(4).label(), "BatchK(4)");
-        assert_eq!(AdmissionPolicy::WindowTau(2.0).label(), "WindowTau(2)");
-        assert_eq!(format!("{}", AdmissionPolicy::BatchK(2)), "BatchK(2)");
+        assert_eq!(Immediate.label(), "Immediate");
+        assert_eq!(BatchK(4).label(), "BatchK(4)");
+        assert_eq!(WindowTau(2.0).label(), "WindowTau(2)");
+        assert_eq!(AdaptiveBatch::default().label(), "AdaptiveBatch");
+        assert_eq!(SlackAware::default().label(), "SlackAware");
         // Full precision: close-but-distinct windows stay distinguishable.
-        assert_ne!(
-            AdmissionPolicy::WindowTau(0.25).label(),
-            AdmissionPolicy::WindowTau(0.251).label()
+        assert_ne!(WindowTau(0.25).label(), WindowTau(0.251).label());
+    }
+
+    #[test]
+    fn boxed_policies_forward_the_whole_trait() {
+        let mut boxed: Box<dyn AdmissionPolicy> = Box::new(BatchK(2));
+        assert_eq!(boxed.label(), "BatchK(2)");
+        assert!(boxed.validate().is_ok());
+        assert!(boxed.flush_at_stream_end());
+        assert_eq!(
+            boxed.on_arrival(&snap(2, 0.0), 0.0),
+            AdmissionDirective::Flush
         );
+    }
+
+    #[test]
+    fn adaptive_batch_grows_under_load_and_success() {
+        let mut p = AdaptiveBatch::default();
+        assert_eq!(p.current_batch(), 1);
+        // Dense arrivals (1 per 0.5 s), perfect acceptance: the batch
+        // climbs one step per decision while rate × target covers k + 1.
+        let busy = TelemetrySnapshot {
+            arrival_rate: 2.0,
+            rolling_acceptance: 1.0,
+            ..snap(1, 0.0)
+        };
+        for expected in [2, 3, 4] {
+            p.on_arrival(&busy, 0.0);
+            assert_eq!(p.current_batch(), expected);
+        }
+        // Rate 2/s with a 4 s target supports at most k = 8.
+        for _ in 0..20 {
+            p.on_arrival(&busy, 0.0);
+        }
+        assert_eq!(p.current_batch(), 8);
+    }
+
+    #[test]
+    fn adaptive_batch_halves_on_queue_drops() {
+        let mut p = AdaptiveBatch::default();
+        let busy = TelemetrySnapshot {
+            arrival_rate: 4.0,
+            rolling_acceptance: 1.0,
+            ..snap(1, 0.0)
+        };
+        for _ in 0..8 {
+            p.on_arrival(&busy, 0.0);
+        }
+        let grown = p.current_batch();
+        assert!(grown >= 6);
+        let dropped = TelemetrySnapshot {
+            queue_drops: 1,
+            ..busy.clone()
+        };
+        p.on_arrival(&dropped, 0.0);
+        assert_eq!(p.current_batch(), grown / 2);
+        // Same cumulative drop count again: no further decrease.
+        p.on_arrival(&dropped, 0.0);
+        assert!(p.current_batch() >= grown / 2);
+    }
+
+    #[test]
+    fn adaptive_batch_shrinks_on_low_acceptance() {
+        let mut p = AdaptiveBatch::default();
+        let busy = TelemetrySnapshot {
+            arrival_rate: 4.0,
+            rolling_acceptance: 1.0,
+            ..snap(1, 0.0)
+        };
+        for _ in 0..6 {
+            p.on_arrival(&busy, 0.0);
+        }
+        assert!(p.current_batch() > 1);
+        let failing = TelemetrySnapshot {
+            rolling_acceptance: 0.2,
+            ..busy
+        };
+        for _ in 0..5 {
+            p.on_arrival(&failing, 0.0);
+        }
+        assert_eq!(p.current_batch(), 1);
+    }
+
+    #[test]
+    fn adaptive_batch_flushes_at_current_size() {
+        let mut p = AdaptiveBatch::default();
+        // k stays 1 on an idle snapshot → every arrival flushes.
+        assert_eq!(p.on_arrival(&snap(1, 0.0), 0.0), AdmissionDirective::Flush);
+        assert!(p.flush_at_stream_end());
+    }
+
+    #[test]
+    fn slack_aware_sizes_window_from_slack_and_latency() {
+        let mut p = SlackAware {
+            max_window: 2.0,
+            margin: 2.0,
+        };
+        // Plenty of slack, no latency history: the full window opens.
+        let roomy = TelemetrySnapshot {
+            min_queued_slack: Some(10.0),
+            ..snap(1, 5.0)
+        };
+        assert_eq!(
+            p.on_arrival(&roomy, 5.0),
+            AdmissionDirective::OpenWindow { expiry: 7.0 }
+        );
+        // Slack 3.0 with latency EWMA 0.5 → allowance 3/2 − 2·0.5 = 0.5.
+        let tight = TelemetrySnapshot {
+            min_queued_slack: Some(3.0),
+            activation_latency: 0.5,
+            ..snap(1, 5.0)
+        };
+        assert_eq!(
+            p.on_arrival(&tight, 5.0),
+            AdmissionDirective::OpenWindow { expiry: 5.5 }
+        );
+        // Slack below the guard: the window degenerates to "flush now".
+        let exhausted = TelemetrySnapshot {
+            min_queued_slack: Some(0.5),
+            activation_latency: 1.0,
+            ..snap(1, 5.0)
+        };
+        assert_eq!(
+            p.on_arrival(&exhausted, 5.0),
+            AdmissionDirective::OpenWindow { expiry: 5.0 }
+        );
+    }
+
+    #[test]
+    fn slack_aware_tightens_but_never_extends_open_windows() {
+        let mut p = SlackAware::default();
+        // Open window expires at 8.0; a tight newcomer (slack 1) pulls it
+        // to 6.0 + 1/2 = 6.5.
+        let tight = TelemetrySnapshot {
+            min_queued_slack: Some(1.0),
+            window_expiry: Some(8.0),
+            ..snap(2, 6.0)
+        };
+        assert_eq!(
+            p.on_arrival(&tight, 6.0),
+            AdmissionDirective::OpenWindow { expiry: 6.5 }
+        );
+        // A roomy newcomer must not extend the window.
+        let roomy = TelemetrySnapshot {
+            min_queued_slack: Some(50.0),
+            window_expiry: Some(6.5),
+            ..snap(3, 6.2)
+        };
+        assert_eq!(p.on_arrival(&roomy, 6.2), AdmissionDirective::Defer);
     }
 }

@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 
 use amrm_model::{AppRef, Job, JobId, JobSet, Schedule, Segment};
-use amrm_platform::EPS;
+use amrm_platform::{ResourceVec, EPS};
 
 /// Remaining-ratio threshold below which a job counts as finished.
 pub(crate) const RHO_DONE: f64 = 1e-9;
@@ -255,6 +255,31 @@ impl ExecutionEngine {
             .map(|(i, j)| (j.id, i))
             .collect();
         finished
+    }
+
+    /// Cores busy *right now*: the per-type resource demand of the
+    /// schedule segment covering [`clock`](ExecutionEngine::clock),
+    /// restricted to jobs that are still active. Returns all zeros when
+    /// no segment covers the current instant (idle gap or drained
+    /// schedule) — the utilization sample the telemetry subsystem
+    /// records at every kernel event.
+    pub fn busy_cores(&self, num_types: usize) -> ResourceVec {
+        let mut busy = ResourceVec::zeros(num_types);
+        for seg in &self.schedule.segments()[self.live_from..] {
+            if seg.start() > self.clock + EPS {
+                break; // segments are time-ordered; nothing covers `clock`
+            }
+            if seg.end() <= self.clock + EPS {
+                continue;
+            }
+            for mp in seg.mappings() {
+                if let Some(&slot) = self.job_index.get(&mp.job) {
+                    busy += self.jobs[slot].app.point(mp.point).resources();
+                }
+            }
+            break;
+        }
+        busy
     }
 
     /// The earliest strictly-future completion time of any unfinished job

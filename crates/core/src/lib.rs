@@ -17,9 +17,10 @@
 //! * [`RuntimeManager`] — an online RM that admits requests (one at a
 //!   time or in atomic batches), executes adaptive schedules, meters
 //!   energy and re-activates the scheduler;
-//! * [`AdmissionPolicy`] — pluggable batched-admission disciplines
-//!   (per-request, fixed batch size, gathering window) consulted by the
-//!   `amrm-sim` event kernel.
+//! * [`AdmissionPolicy`] — the batched-admission *trait* consulted by the
+//!   `amrm-sim` event kernel: fixed disciplines ([`Immediate`],
+//!   [`BatchK`], [`WindowTau`]) plus telemetry-driven adaptive ones
+//!   ([`AdaptiveBatch`], [`SlackAware`]).
 //!
 //! # Examples
 //!
@@ -44,7 +45,10 @@ mod schedule_jobs;
 mod scheduler;
 mod variants;
 
-pub use crate::admission::{AdmissionDirective, AdmissionPolicy};
+pub use crate::admission::{
+    AdaptiveBatch, AdmissionDirective, AdmissionPolicy, BatchK, Immediate, SlackAware,
+    TelemetrySnapshot, WindowTau,
+};
 pub use crate::engine::{EngineJob, ExecutionEngine};
 pub use crate::manager::{Admission, ReactivationPolicy, RmStats, RuntimeManager};
 pub use crate::mdf::MmkpMdf;

@@ -105,6 +105,11 @@ pub struct RuntimeManager<S> {
     next_id: u64,
     engine: ExecutionEngine,
     stats: RmStats,
+    /// Wall-clock seconds the most recent [`submit_batch`]
+    /// (RuntimeManager::submit_batch) spent deciding — the
+    /// admission-decision latency sample the telemetry subsystem records
+    /// per activation.
+    last_decision_seconds: f64,
 }
 
 impl<S: Scheduler> RuntimeManager<S> {
@@ -123,6 +128,7 @@ impl<S: Scheduler> RuntimeManager<S> {
             next_id: 1,
             engine: ExecutionEngine::new(),
             stats: RmStats::default(),
+            last_decision_seconds: 0.0,
         }
     }
 
@@ -154,6 +160,18 @@ impl<S: Scheduler> RuntimeManager<S> {
     /// The execution engine driving this manager.
     pub fn engine(&self) -> &ExecutionEngine {
         &self.engine
+    }
+
+    /// Cores busy at the current instant, per platform core type (all
+    /// zeros while the platform idles).
+    pub fn busy_cores(&self) -> amrm_platform::ResourceVec {
+        self.engine.busy_cores(self.platform.num_types())
+    }
+
+    /// Wall-clock seconds the most recent batch admission decision took
+    /// (0.0 before the first [`submit_batch`](RuntimeManager::submit_batch)).
+    pub fn last_decision_seconds(&self) -> f64 {
+        self.last_decision_seconds
     }
 
     /// Snapshot of the unfinished jobs, with progress advanced to
@@ -214,8 +232,17 @@ impl<S: Scheduler> RuntimeManager<S> {
     /// legitimately expire before its batch is flushed.
     ///
     /// Returns one [`Admission`] per request, in input order; job ids are
-    /// assigned in input order whether admitted or not.
+    /// assigned in input order whether admitted or not. The wall-clock
+    /// decision time is recorded and exposed via
+    /// [`last_decision_seconds`](RuntimeManager::last_decision_seconds).
     pub fn submit_batch(&mut self, requests: &[(AppRef, f64)]) -> Vec<Admission> {
+        let started = std::time::Instant::now();
+        let admissions = self.decide_batch(requests);
+        self.last_decision_seconds = started.elapsed().as_secs_f64();
+        admissions
+    }
+
+    fn decide_batch(&mut self, requests: &[(AppRef, f64)]) -> Vec<Admission> {
         let now = self.engine.clock();
         let mut admissions = Vec::with_capacity(requests.len());
         // Candidates still decidable by the scheduler, with the positions
@@ -597,6 +624,21 @@ mod tests {
         let b = rm.submit(scenarios::lambda2(), 60.0);
         assert_eq!(a.job(), JobId(1));
         assert_eq!(b.job(), JobId(2));
+    }
+
+    #[test]
+    fn busy_cores_and_decision_latency_are_observable() {
+        let mut rm = RuntimeManager::new(scenarios::platform(), MmkpMdf::new());
+        assert_eq!(rm.busy_cores().total(), 0);
+        assert_eq!(rm.last_decision_seconds(), 0.0);
+        assert!(rm.submit(scenarios::lambda1(), 9.0).is_accepted());
+        assert!(rm.last_decision_seconds() > 0.0);
+        rm.advance_to(1.0);
+        // σ1 runs on 2L1B of the 2L2B platform: 3 of 4 cores busy.
+        assert_eq!(rm.busy_cores().total(), 3);
+        assert_eq!(rm.busy_cores().as_slice(), &[2, 1]);
+        rm.run_to_completion();
+        assert_eq!(rm.busy_cores().total(), 0);
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! Evaluation metrics and text reporting for the amrm workspace.
 //!
 //! Provides the statistics behind the paper's evaluation artifacts —
-//! geometric means (Table IV), S-curves (Fig. 3), box plots (Fig. 4) — and
-//! a small aligned-text table renderer for the regeneration harness.
+//! geometric means (Table IV), S-curves (Fig. 3), box plots (Fig. 4),
+//! percentiles — a small aligned-text table renderer for the regeneration
+//! harness, and the [`telemetry`] subsystem: O(1)-memory online time
+//! series ([`Telemetry`], [`TelemetrySnapshot`], [`TelemetrySummary`])
+//! that the `amrm-sim` event kernel feeds and adaptive admission policies
+//! read.
 //!
 //! # Examples
 //!
@@ -17,6 +21,10 @@
 
 mod stats;
 mod table;
+pub mod telemetry;
 
-pub use crate::stats::{geometric_mean, mean, quantile_sorted, BoxplotStats, SCurve};
+pub use crate::stats::{
+    geometric_mean, mean, percentile, quantile_sorted, BoxplotStats, Percentiles, SCurve,
+};
 pub use crate::table::TextTable;
+pub use crate::telemetry::{Ewma, RingBuffer, Telemetry, TelemetrySnapshot, TelemetrySummary};

@@ -56,6 +56,65 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
+/// Linear-interpolated percentile `p ∈ [0, 100]` of an *unsorted* sample
+/// slice; `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+///
+/// # Examples
+///
+/// ```
+/// use amrm_metrics::percentile;
+///
+/// let waits = [3.0, 1.0, 2.0, 4.0];
+/// assert!((percentile(&waits, 50.0).unwrap() - 2.5).abs() < 1e-12);
+/// assert!(percentile(&[], 95.0).is_none());
+/// ```
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile must be in [0, 100], got {p}"
+    );
+    Some(quantile_sorted(&sorted_copy(values)?, p / 100.0))
+}
+
+/// Ascending-sorted copy of `values`; `None` for an empty slice.
+fn sorted_copy(values: &[f64]) -> Option<Vec<f64>> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Some(sorted)
+}
+
+/// The p50/p95/p99 summary of a sample buffer — the shape the telemetry
+/// subsystem reports for admission-decision latency and queue waits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Computes the summary from an unsorted sample slice; `None` for an
+    /// empty slice.
+    pub fn from_samples(values: &[f64]) -> Option<Self> {
+        let sorted = sorted_copy(values)?;
+        Some(Percentiles {
+            p50: quantile_sorted(&sorted, 0.50),
+            p95: quantile_sorted(&sorted, 0.95),
+            p99: quantile_sorted(&sorted, 0.99),
+        })
+    }
+}
+
 /// Five-number summary plus mean, as drawn in the Fig. 4 box plots.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BoxplotStats {
@@ -179,6 +238,31 @@ mod tests {
         assert_eq!(s.q3, 4.0);
         assert!((s.mean - 3.0).abs() < 1e-12);
         assert!(BoxplotStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_interpolates_unsorted_input() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert!((percentile(&v, 0.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((percentile(&v, 50.0).unwrap() - 2.5).abs() < 1e-12);
+        assert!((percentile(&v, 100.0).unwrap() - 4.0).abs() < 1e-12);
+        assert!(percentile(&[], 50.0).is_none());
+        assert_eq!(percentile(&[7.0], 99.0), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 100]")]
+    fn out_of_range_percentile_panics() {
+        let _ = percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn percentiles_summary_orders_its_fields() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        let p = Percentiles::from_samples(&v).unwrap();
+        assert!((p.p50 - 50.5).abs() < 1e-9);
+        assert!(p.p50 < p.p95 && p.p95 < p.p99);
+        assert!(Percentiles::from_samples(&[]).is_none());
     }
 
     #[test]

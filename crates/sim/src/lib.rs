@@ -9,7 +9,7 @@
 //! paper (Poisson/diurnal/bursty streams, batched admission A/Bs).
 //!
 //! [`run_scenario`] is the per-request convenience wrapper
-//! (`AdmissionPolicy::Immediate`) matching the paper's discipline.
+//! ([`Immediate`](amrm_core::Immediate)) matching the paper's discipline.
 //!
 //! # Examples
 //!
@@ -36,9 +36,8 @@ mod sweep;
 pub use crate::simulation::Simulation;
 pub use crate::sweep::{load_sweep, load_sweep_with, registry_load_sweep, LoadPoint};
 
-use amrm_core::{
-    Admission, AdmissionPolicy, ReactivationPolicy, RmStats, RuntimeManager, Scheduler,
-};
+use amrm_core::{Admission, Immediate, ReactivationPolicy, RmStats, RuntimeManager, Scheduler};
+use amrm_metrics::TelemetrySummary;
 use amrm_model::{Job, JobId, JobSet, Schedule};
 use amrm_platform::Platform;
 use amrm_workload::ScenarioRequest;
@@ -63,6 +62,11 @@ pub struct SimOutcome {
     /// Requests dropped because their deadline passed while they waited
     /// in the admission queue (always 0 under per-request admission).
     pub queue_deadline_drops: usize,
+    /// End-of-run telemetry summary: queue-wait percentiles, EWMA
+    /// arrival rate and utilization, activation latency, rolling
+    /// acceptance (all zeros for the doc-hidden sequential driver, which
+    /// predates the telemetry subsystem).
+    pub telemetry: TelemetrySummary,
 }
 
 impl SimOutcome {
@@ -111,7 +115,7 @@ impl SimOutcome {
 ///
 /// This is the paper's per-request admission discipline: a thin wrapper
 /// over the event-driven [`Simulation`] kernel with
-/// [`AdmissionPolicy::Immediate`].
+/// [`Immediate`] admission.
 ///
 /// # Panics
 ///
@@ -122,14 +126,7 @@ pub fn run_scenario<S: Scheduler>(
     policy: ReactivationPolicy,
     requests: &[ScenarioRequest],
 ) -> SimOutcome {
-    Simulation::new(
-        platform,
-        scheduler,
-        policy,
-        AdmissionPolicy::Immediate,
-        requests,
-    )
-    .run()
+    Simulation::new(platform, scheduler, policy, Immediate, requests).run()
 }
 
 /// The pre-kernel per-arrival driver, kept verbatim as the equivalence
@@ -174,6 +171,7 @@ pub fn run_scenario_sequential<S: Scheduler>(
         trace: rm.executed_trace(),
         admitted_jobs: JobSet::new(admitted),
         queue_deadline_drops: 0,
+        telemetry: TelemetrySummary::default(),
     }
 }
 

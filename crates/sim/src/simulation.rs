@@ -5,10 +5,10 @@
 //! of a hand-rolled per-arrival loop. Four event kinds exist:
 //!
 //! * **arrival** — a request joins the admission queue; the policy decides
-//!   whether to flush the queue, keep gathering, or open a batching
+//!   whether to flush the queue, keep gathering, or (re-)open a batching
 //!   window;
-//! * **window expiry** — an open `WindowTau` batching window closes and
-//!   the queue is flushed to [`RuntimeManager::submit_batch`];
+//! * **window expiry** — an open batching window closes and the queue is
+//!   flushed to [`RuntimeManager::submit_batch`];
 //! * **job completion** — the next completion under the current schedule
 //!   (re-armed after every handled event and guarded by a generation
 //!   counter, so only *exact* completion instants are consumed — energy
@@ -18,7 +18,16 @@
 //!   submitted alone at that instant, where it is rejected without a
 //!   scheduler activation.
 //!
-//! With [`AdmissionPolicy::Immediate`] the kernel reproduces the paper's
+//! The kernel owns a [`Telemetry`] recorder: every arrival, flush and
+//! expiry feeds the online series (queue depth, EWMA arrival rate,
+//! platform utilization from the execution engine, rolling acceptance,
+//! activation latency), and every admission decision point hands the
+//! policy a read-only [`TelemetrySnapshot`] — the feedback loop the
+//! adaptive policies ([`amrm_core::AdaptiveBatch`],
+//! [`amrm_core::SlackAware`]) close. The end-of-run summary lands in
+//! [`SimOutcome::telemetry`].
+//!
+//! With [`amrm_core::Immediate`] the kernel reproduces the paper's
 //! per-request discipline event for event; `BatchK(1)` and `WindowTau(0)`
 //! are equivalent by construction (the property tests in
 //! `tests/admission_equivalence.rs` pin this down to the bit level).
@@ -28,7 +37,9 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use amrm_core::{
     Admission, AdmissionDirective, AdmissionPolicy, ReactivationPolicy, RuntimeManager, Scheduler,
+    TelemetrySnapshot,
 };
+use amrm_metrics::Telemetry;
 use amrm_model::{AppRef, Job, JobId, JobSet};
 use amrm_platform::Platform;
 use amrm_workload::ScenarioRequest;
@@ -110,7 +121,7 @@ impl Ord for Event {
 /// Admitting the Fig. 1 scenario in one `BatchK(2)` activation:
 ///
 /// ```
-/// use amrm_core::{AdmissionPolicy, MmkpMdf, ReactivationPolicy};
+/// use amrm_core::{BatchK, MmkpMdf, ReactivationPolicy};
 /// use amrm_sim::Simulation;
 /// use amrm_workload::scenarios;
 ///
@@ -118,7 +129,7 @@ impl Ord for Event {
 ///     scenarios::platform(),
 ///     MmkpMdf::new(),
 ///     ReactivationPolicy::OnArrival,
-///     AdmissionPolicy::BatchK(2),
+///     BatchK(2),
 ///     &scenarios::scenario_s1(),
 /// )
 /// .run();
@@ -127,9 +138,10 @@ impl Ord for Event {
 /// assert_eq!(outcome.stats.activations, 1);
 /// ```
 #[derive(Debug)]
-pub struct Simulation<S> {
+pub struct Simulation<S, A> {
     rm: RuntimeManager<S>,
-    admission: AdmissionPolicy,
+    admission: A,
+    telemetry: Telemetry,
     requests: Vec<ScenarioRequest>,
     events: BinaryHeap<Event>,
     /// Sorted request indices waiting for a batch flush, FIFO.
@@ -140,8 +152,8 @@ pub struct Simulation<S> {
     pending_arrivals: usize,
     /// Liveness stamp for completion events; bumped on every re-arm.
     completion_generation: u64,
-    /// Id of the currently open batching window, if any.
-    open_window: Option<u64>,
+    /// Id and absolute expiry of the currently open batching window.
+    open_window: Option<(u64, f64)>,
     next_window: u64,
     next_seq: u64,
     /// Admitted jobs at full remaining ratio, for the outcome.
@@ -151,7 +163,7 @@ pub struct Simulation<S> {
     queue_deadline_drops: usize,
 }
 
-impl<S: Scheduler> Simulation<S> {
+impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
     /// Creates a simulation over `requests` (sorted by arrival
     /// internally).
     ///
@@ -163,7 +175,7 @@ impl<S: Scheduler> Simulation<S> {
         platform: Platform,
         scheduler: S,
         reactivation: ReactivationPolicy,
-        admission: AdmissionPolicy,
+        admission: A,
         requests: &[ScenarioRequest],
     ) -> Self {
         if let Err(msg) = admission.validate() {
@@ -183,6 +195,7 @@ impl<S: Scheduler> Simulation<S> {
         let mut sim = Simulation {
             rm: RuntimeManager::with_policy(platform, scheduler, reactivation),
             admission,
+            telemetry: Telemetry::new(),
             decisions: vec![None; ordered.len()],
             pending_arrivals: ordered.len(),
             events: BinaryHeap::with_capacity(ordered.len() * 2),
@@ -203,8 +216,8 @@ impl<S: Scheduler> Simulation<S> {
     }
 
     /// The admission policy this simulation runs under.
-    pub fn admission_policy(&self) -> AdmissionPolicy {
-        self.admission
+    pub fn admission_policy(&self) -> &A {
+        &self.admission
     }
 
     /// Runs the event loop to quiescence, lets every admitted job finish,
@@ -215,6 +228,10 @@ impl<S: Scheduler> Simulation<S> {
         }
         debug_assert!(self.queue.is_empty(), "requests stranded in the queue");
         let total_energy = self.rm.run_to_completion();
+        // Fold the tail execution (after the last flush) into the energy
+        // series so the summary's energy/job matches the outcome's.
+        self.telemetry
+            .record_energy(total_energy, self.rm.stats().accepted);
 
         SimOutcome {
             admissions: self
@@ -228,7 +245,33 @@ impl<S: Scheduler> Simulation<S> {
             trace: self.rm.executed_trace(),
             admitted_jobs: JobSet::new(self.admitted),
             queue_deadline_drops: self.queue_deadline_drops,
+            telemetry: self.telemetry.summary(),
         }
+    }
+
+    /// Records the current platform utilization (busy cores per type
+    /// from the execution engine) into the telemetry series.
+    fn sample_utilization(&mut self) {
+        let busy = self.rm.busy_cores();
+        self.telemetry
+            .record_utilization(busy.as_slice(), self.rm.platform().counts().as_slice());
+    }
+
+    /// The read-only telemetry view at a decision point: series state
+    /// plus the kernel's queue depth, tightest queued slack and open
+    /// window.
+    fn snapshot(&self, now: f64) -> TelemetrySnapshot {
+        let min_queued_slack = self
+            .queue
+            .iter()
+            .map(|&i| self.requests[i].deadline - now)
+            .min_by(f64::total_cmp);
+        self.telemetry.snapshot(
+            now,
+            self.queue.len(),
+            min_queued_slack,
+            self.open_window.map(|(_, expiry)| expiry),
+        )
     }
 
     fn push_event(&mut self, time: f64, kind: EventKind) {
@@ -243,18 +286,24 @@ impl<S: Scheduler> Simulation<S> {
                 self.pending_arrivals -= 1;
                 self.rm.advance_to(event.time);
                 self.queue.push_back(request);
-                let directive = if self.open_window.is_some() {
-                    // A gathering window is already open; join it.
-                    AdmissionDirective::Defer
-                } else {
-                    self.admission.on_arrival(self.queue.len(), event.time)
-                };
+                self.telemetry.record_arrival(event.time);
+                self.sample_utilization();
+                let snapshot = self.snapshot(event.time);
+                let directive = self.admission.on_arrival(&snapshot, event.time);
                 match directive {
-                    AdmissionDirective::Flush => self.flush_queue(),
+                    AdmissionDirective::Flush => {
+                        // An explicit flush closes any open window.
+                        self.open_window = None;
+                        self.flush_queue();
+                    }
                     AdmissionDirective::OpenWindow { expiry } => {
+                        // Opens a fresh window — or supersedes the running
+                        // one (its expiry event goes stale via the id
+                        // check): adaptive policies tighten windows this
+                        // way when queued slack runs short.
                         let id = self.next_window;
                         self.next_window += 1;
-                        self.open_window = Some(id);
+                        self.open_window = Some((id, expiry));
                         self.push_event(expiry, EventKind::WindowExpiry { window: id });
                         self.guard_queued_deadline(request);
                     }
@@ -267,16 +316,21 @@ impl<S: Scheduler> Simulation<S> {
                         }
                     }
                 }
+                // Depth after the directive took effect (0 if flushed) —
+                // sampling before the flush would bias the series upward.
+                self.telemetry.record_queue_depth(self.queue.len());
                 self.rearm_completion();
             }
             EventKind::WindowExpiry { window } => {
-                if self.open_window != Some(window) {
+                if self.open_window.map(|(id, _)| id) != Some(window) {
                     return; // superseded window, nothing to do
                 }
                 self.open_window = None;
                 if !self.queue.is_empty() {
                     self.rm.advance_to(event.time);
+                    self.sample_utilization();
                     self.flush_queue();
+                    self.telemetry.record_queue_depth(self.queue.len());
                     self.rearm_completion();
                 }
             }
@@ -295,6 +349,7 @@ impl<S: Scheduler> Simulation<S> {
                 };
                 self.queue.remove(pos);
                 self.queue_deadline_drops += 1;
+                self.telemetry.record_queue_drop();
                 // If the drop emptied an open gathering window, close it:
                 // the next arrival must open a fresh full-length window,
                 // not join the stale one (its expiry event is skipped via
@@ -305,8 +360,10 @@ impl<S: Scheduler> Simulation<S> {
                 self.rm.advance_to(event.time);
                 // Submitted alone at its deadline: `submit_batch` rejects
                 // it without a scheduler activation once the deadline is
-                // no longer in the future.
-                self.flush_requests(&[request]);
+                // no longer in the future (so no activation sample is
+                // recorded for the pseudo-flush).
+                self.flush_requests(&[request], false);
+                self.telemetry.record_queue_depth(self.queue.len());
                 self.rearm_completion();
             }
         }
@@ -318,12 +375,21 @@ impl<S: Scheduler> Simulation<S> {
             return;
         }
         let batch: Vec<usize> = std::mem::take(&mut self.queue).into();
-        self.flush_requests(&batch);
+        self.flush_requests(&batch, true);
     }
 
-    /// Submits the given (sorted-index) requests as one batch and records
-    /// the decisions.
-    fn flush_requests(&mut self, batch: &[usize]) {
+    /// Submits the given (sorted-index) requests as one batch, records
+    /// the decisions and feeds the telemetry series (queue waits, the
+    /// activation's gathering latency and wall-clock decision time,
+    /// rolling acceptance, energy per job). `record_activation` is false
+    /// for the queue-deadline pseudo-flush, which never reaches the
+    /// scheduler.
+    fn flush_requests(&mut self, batch: &[usize], record_activation: bool) {
+        let now = self.rm.now();
+        for &i in batch {
+            self.telemetry
+                .record_queue_wait(now - self.requests[i].arrival);
+        }
         let submissions: Vec<(AppRef, f64)> = batch
             .iter()
             .map(|&i| {
@@ -332,9 +398,19 @@ impl<S: Scheduler> Simulation<S> {
             })
             .collect();
         let admissions = self.rm.submit_batch(&submissions);
+        if record_activation {
+            let oldest = batch
+                .iter()
+                .map(|&i| self.requests[i].arrival)
+                .fold(f64::INFINITY, f64::min);
+            self.telemetry
+                .record_activation(now - oldest, self.rm.last_decision_seconds());
+        }
+        let mut accepted = 0;
         for (&i, admission) in batch.iter().zip(&admissions) {
             self.decisions[i] = Some((admission.job(), admission.is_accepted()));
             if let Admission::Accepted { job } = admission {
+                accepted += 1;
                 let req = &self.requests[i];
                 self.admitted.push(Job::new(
                     *job,
@@ -345,6 +421,10 @@ impl<S: Scheduler> Simulation<S> {
                 ));
             }
         }
+        self.telemetry
+            .record_decisions(accepted, batch.len() - accepted);
+        self.telemetry
+            .record_energy(self.rm.total_energy(), self.rm.stats().accepted);
     }
 
     /// Schedules a queue-deadline guard for a request that stayed queued.
@@ -382,14 +462,14 @@ impl<S: Scheduler> Simulation<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use amrm_core::MmkpMdf;
-    use amrm_workload::{poisson_stream, scenarios, StreamSpec};
+    use amrm_core::{AdaptiveBatch, BatchK, Immediate, MmkpMdf, SlackAware, WindowTau};
+    use amrm_workload::{bursty_window_stream, poisson_stream, scenarios, StreamSpec};
 
     fn lib() -> Vec<AppRef> {
         vec![scenarios::lambda1(), scenarios::lambda2()]
     }
 
-    fn simulate(admission: AdmissionPolicy, requests: &[ScenarioRequest]) -> SimOutcome {
+    fn simulate<A: AdmissionPolicy>(admission: A, requests: &[ScenarioRequest]) -> SimOutcome {
         Simulation::new(
             scenarios::platform(),
             MmkpMdf::new(),
@@ -402,7 +482,7 @@ mod tests {
 
     #[test]
     fn immediate_reproduces_fig1c() {
-        let outcome = simulate(AdmissionPolicy::Immediate, &scenarios::scenario_s1());
+        let outcome = simulate(Immediate, &scenarios::scenario_s1());
         assert_eq!(outcome.accepted(), 2);
         assert!((outcome.total_energy - scenarios::fig1::ADAPTIVE_J).abs() < 5e-3);
         assert_eq!(outcome.stats.activations, 2);
@@ -413,7 +493,7 @@ mod tests {
     fn batch_k_admits_whole_queue_in_one_activation() {
         // Both S1 requests deferred until the second arrival at t = 1,
         // then admitted atomically.
-        let outcome = simulate(AdmissionPolicy::BatchK(2), &scenarios::scenario_s1());
+        let outcome = simulate(BatchK(2), &scenarios::scenario_s1());
         assert_eq!(outcome.accepted(), 2);
         assert_eq!(outcome.stats.activations, 1);
         assert_eq!(outcome.stats.deadline_misses, 0);
@@ -429,7 +509,7 @@ mod tests {
             arrival: 6.0,
             deadline: 20.0,
         });
-        let outcome = simulate(AdmissionPolicy::BatchK(2), &reqs);
+        let outcome = simulate(BatchK(2), &reqs);
         assert_eq!(outcome.admissions.len(), 3);
         assert_eq!(outcome.accepted(), 3);
         assert_eq!(outcome.stats.completed, 3);
@@ -451,7 +531,7 @@ mod tests {
                 deadline: 20.0,
             },
         ];
-        let outcome = simulate(AdmissionPolicy::WindowTau(2.0), &reqs);
+        let outcome = simulate(WindowTau(2.0), &reqs);
         assert_eq!(outcome.accepted(), 2);
         assert_eq!(outcome.stats.activations, 1);
         assert_eq!(outcome.stats.deadline_misses, 0);
@@ -463,7 +543,7 @@ mod tests {
         // at t = 2 is infeasible for MMKP-MDF, the rollback path admits
         // only σ1. Batching trades activations against acceptance — the
         // very dimension the policy grid measures.
-        let outcome = simulate(AdmissionPolicy::WindowTau(2.0), &scenarios::scenario_s1());
+        let outcome = simulate(WindowTau(2.0), &scenarios::scenario_s1());
         assert_eq!(outcome.accepted(), 1);
         // One joint attempt + two greedy retries.
         assert_eq!(outcome.stats.activations, 3);
@@ -475,7 +555,7 @@ mod tests {
         // A huge window: both S1 deadlines (9.0 and 5.0) pass before the
         // window expires at t = 50, so both requests are dropped at
         // exactly their deadlines and no scheduler activation ever runs.
-        let outcome = simulate(AdmissionPolicy::WindowTau(50.0), &scenarios::scenario_s1());
+        let outcome = simulate(WindowTau(50.0), &scenarios::scenario_s1());
         assert_eq!(outcome.accepted(), 0);
         assert_eq!(outcome.rejected(), 2);
         assert_eq!(outcome.queue_deadline_drops, 2);
@@ -501,7 +581,7 @@ mod tests {
                 deadline: 20.0,
             },
         ];
-        let outcome = simulate(AdmissionPolicy::WindowTau(5.0), &reqs);
+        let outcome = simulate(WindowTau(5.0), &reqs);
         assert_eq!(outcome.queue_deadline_drops, 1);
         assert_eq!(outcome.accepted(), 1);
         // r2 is admitted at t = 8 (fresh window) and runs ≥ 2 s from
@@ -520,8 +600,8 @@ mod tests {
             slack_range: (1.2, 2.5),
         };
         let stream = poisson_stream(&lib(), 3.0, &spec, 17);
-        let immediate = simulate(AdmissionPolicy::Immediate, &stream);
-        let window = simulate(AdmissionPolicy::WindowTau(0.0), &stream);
+        let immediate = simulate(Immediate, &stream);
+        let window = simulate(WindowTau(0.0), &stream);
         assert_eq!(immediate.admissions, window.admissions);
         assert_eq!(
             immediate.total_energy.to_bits(),
@@ -546,10 +626,10 @@ mod tests {
                 deadline: 20.0,
             },
         ];
-        let grouped = simulate(AdmissionPolicy::WindowTau(0.0), &reqs);
+        let grouped = simulate(WindowTau(0.0), &reqs);
         assert_eq!(grouped.accepted(), 2);
         assert_eq!(grouped.stats.activations, 1);
-        let separate = simulate(AdmissionPolicy::Immediate, &reqs);
+        let separate = simulate(Immediate, &reqs);
         assert_eq!(separate.accepted(), 2);
         assert_eq!(separate.stats.activations, 2);
     }
@@ -557,7 +637,143 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid admission policy")]
     fn zero_batch_size_panics() {
-        let _ = simulate(AdmissionPolicy::BatchK(0), &scenarios::scenario_s1());
+        let _ = simulate(BatchK(0), &scenarios::scenario_s1());
+    }
+
+    #[test]
+    fn telemetry_summary_tracks_the_run() {
+        let spec = StreamSpec {
+            requests: 25,
+            slack_range: (1.5, 2.5),
+        };
+        let stream = poisson_stream(&lib(), 2.0, &spec, 7);
+        let outcome = simulate(BatchK(3), &stream);
+        let t = &outcome.telemetry;
+        assert_eq!(t.arrivals, 25);
+        assert!(t.activations >= 1 && t.activations <= outcome.stats.activations);
+        assert!(t.arrival_rate > 0.0);
+        assert!((0.0..=1.0).contains(&t.utilization));
+        assert!((0.0..=1.0).contains(&t.rolling_acceptance));
+        // Batching by 3 makes most requests wait in the queue.
+        assert!(t.queue_wait_p95 > 0.0);
+        assert!(t.queue_wait_p50 <= t.queue_wait_p95);
+        assert!(t.decision_seconds_p50 > 0.0);
+        assert!(t.activation_latency > 0.0);
+        if outcome.accepted() > 0 {
+            assert!((t.energy_per_job - outcome.energy_per_job()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn immediate_telemetry_has_zero_queue_wait() {
+        let outcome = simulate(Immediate, &scenarios::scenario_s1());
+        assert_eq!(outcome.telemetry.queue_wait_p99, 0.0);
+        assert_eq!(outcome.telemetry.activation_latency, 0.0);
+        assert_eq!(outcome.telemetry.arrivals, 2);
+        assert_eq!(outcome.telemetry.queue_drops, 0);
+    }
+
+    #[test]
+    fn adaptive_batch_admits_everything_at_sparse_load() {
+        // At light load the AIMD policy idles at k = 1 and behaves like
+        // the per-request discipline: no queue drops, full acceptance on
+        // a stream Immediate fully accepts.
+        let spec = StreamSpec {
+            requests: 20,
+            slack_range: (1.5, 2.5),
+        };
+        let stream = poisson_stream(&lib(), 20.0, &spec, 13);
+        let immediate = simulate(Immediate, &stream);
+        let adaptive = simulate(AdaptiveBatch::default(), &stream);
+        assert_eq!(adaptive.queue_deadline_drops, 0);
+        assert_eq!(adaptive.accepted(), immediate.accepted());
+    }
+
+    #[test]
+    fn adaptive_batch_batches_under_dense_load() {
+        // Dense feasible arrivals with generous slack: the AIMD loop must
+        // grow past k = 1 and decide several requests per activation,
+        // spending fewer scheduler activations than requests.
+        let spec = StreamSpec {
+            requests: 40,
+            slack_range: (6.0, 8.0),
+        };
+        let stream = poisson_stream(&lib(), 1.5, &spec, 5);
+        let outcome = simulate(AdaptiveBatch::default(), &stream);
+        assert!(
+            outcome.stats.activations < stream.len(),
+            "activations {} show no batching over {} requests",
+            outcome.stats.activations,
+            stream.len()
+        );
+        assert!(outcome.accepted() > 0);
+    }
+
+    #[test]
+    fn slack_aware_avoids_window_tau_queue_drops() {
+        // A fixed 50 s window drops both S1 requests at their deadlines;
+        // SlackAware caps the window by the queued slack and admits.
+        let fixed = simulate(WindowTau(50.0), &scenarios::scenario_s1());
+        assert_eq!(fixed.accepted(), 0);
+        let adaptive = simulate(
+            SlackAware {
+                max_window: 50.0,
+                margin: 2.0,
+            },
+            &scenarios::scenario_s1(),
+        );
+        assert_eq!(adaptive.queue_deadline_drops, 0);
+        assert!(adaptive.accepted() >= 1);
+    }
+
+    #[test]
+    fn slack_aware_tightens_open_windows_for_urgent_arrivals() {
+        // r1 (slack 30) opens a 10 s window at t = 0; r2 arrives at t = 1
+        // with 4 s of slack. The superseded window must close at
+        // t = 1 + 4/2 = 3 — early enough for r2 (λ2, fastest point 2 s)
+        // to be admitted instead of dropped at t = 5.
+        let reqs = vec![
+            ScenarioRequest {
+                app: scenarios::lambda2(),
+                arrival: 0.0,
+                deadline: 30.0,
+            },
+            ScenarioRequest {
+                app: scenarios::lambda2(),
+                arrival: 1.0,
+                deadline: 5.0,
+            },
+        ];
+        let policy = SlackAware {
+            max_window: 10.0,
+            margin: 1.0,
+        };
+        let outcome = simulate(policy, &reqs);
+        assert_eq!(outcome.queue_deadline_drops, 0);
+        assert_eq!(outcome.accepted(), 2);
+        // One joint activation decided both.
+        assert_eq!(outcome.stats.activations, 1);
+        // The fixed window of the same length drops r2 at its deadline.
+        let fixed = simulate(WindowTau(10.0), &reqs);
+        assert_eq!(fixed.queue_deadline_drops, 1);
+        assert_eq!(fixed.accepted(), 1);
+    }
+
+    #[test]
+    fn adaptive_policies_are_deterministic_per_seed() {
+        let spec = StreamSpec {
+            requests: 40,
+            slack_range: (1.3, 2.5),
+        };
+        let stream = bursty_window_stream(&lib(), 0.5, 5.0, 12.0, &spec, 21);
+        let a = simulate(AdaptiveBatch::default(), &stream);
+        let b = simulate(AdaptiveBatch::default(), &stream);
+        assert_eq!(a.admissions, b.admissions);
+        assert_eq!(a.total_energy.to_bits(), b.total_energy.to_bits());
+        let c = simulate(SlackAware::default(), &stream);
+        let d = simulate(SlackAware::default(), &stream);
+        assert_eq!(c.admissions, d.admissions);
+        assert_eq!(c.total_energy.to_bits(), d.total_energy.to_bits());
     }
 
     #[test]
@@ -568,7 +784,7 @@ mod tests {
             arrival: 2.0,
             deadline: 1.0,
         }];
-        let _ = simulate(AdmissionPolicy::Immediate, &reqs);
+        let _ = simulate(Immediate, &reqs);
     }
 
     #[test]
@@ -624,8 +840,8 @@ mod tests {
                 deadline: 10.0,
             },
         ];
-        let immediate = simulate(AdmissionPolicy::Immediate, &reqs);
-        let window = simulate(AdmissionPolicy::WindowTau(0.0), &reqs);
+        let immediate = simulate(Immediate, &reqs);
+        let window = simulate(WindowTau(0.0), &reqs);
         assert_eq!(immediate.admissions, window.admissions);
         assert_eq!(immediate.stats, window.stats);
         assert_eq!(immediate.queue_deadline_drops, 0);

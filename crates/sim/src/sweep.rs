@@ -1,7 +1,7 @@
 //! Load sweeps: acceptance rate and energy of the online RM as a function
 //! of offered load (extension beyond the paper's static evaluation).
 
-use amrm_core::{AdmissionPolicy, ReactivationPolicy, Scheduler, SchedulerRegistry};
+use amrm_core::{AdmissionPolicy, Immediate, ReactivationPolicy, Scheduler, SchedulerRegistry};
 use amrm_model::AppRef;
 use amrm_platform::Platform;
 use amrm_workload::{poisson_stream, StreamSpec};
@@ -45,7 +45,7 @@ where
         platform,
         make_scheduler,
         policy,
-        AdmissionPolicy::Immediate,
+        || Immediate,
         apps,
         interarrivals,
         spec,
@@ -57,16 +57,21 @@ where
 /// seeded streams are driven through the event kernel, so per-request and
 /// batched admission can be A/B-compared point by point.
 ///
+/// `make_admission` is a *factory* — policies may be stateful (the
+/// adaptive ones are), so every load point gets a fresh instance; boxed
+/// factories (`|| Box::new(AdaptiveBatch::default()) as Box<dyn
+/// AdmissionPolicy>`) slot in directly.
+///
 /// # Panics
 ///
 /// Panics if `interarrivals` is empty, the stream spec is invalid, or the
 /// admission policy is invalid.
 #[allow(clippy::too_many_arguments)]
-pub fn load_sweep_with<S, F>(
+pub fn load_sweep_with<S, F, A, G>(
     platform: &Platform,
     make_scheduler: F,
     policy: ReactivationPolicy,
-    admission: AdmissionPolicy,
+    make_admission: G,
     apps: &[AppRef],
     interarrivals: &[f64],
     spec: &StreamSpec,
@@ -75,6 +80,8 @@ pub fn load_sweep_with<S, F>(
 where
     S: Scheduler,
     F: Fn() -> S,
+    A: AdmissionPolicy,
+    G: Fn() -> A,
 {
     assert!(
         !interarrivals.is_empty(),
@@ -88,7 +95,7 @@ where
                 platform.clone(),
                 make_scheduler(),
                 policy,
-                admission,
+                make_admission(),
                 &stream,
             )
             .run();
@@ -240,7 +247,7 @@ mod tests {
             &scenarios::platform(),
             MmkpMdf::new,
             ReactivationPolicy::OnArrival,
-            AdmissionPolicy::BatchK(1),
+            || amrm_core::BatchK(1),
             &lib(),
             &[2.0, 8.0],
             &spec,

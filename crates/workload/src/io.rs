@@ -1,10 +1,20 @@
-//! Saving and loading workload suites as JSON.
+//! Saving and loading workload suites and request streams as JSON.
+//!
+//! Suites persist their full operating-point tables; request *streams*
+//! persist only `(application name, arrival, deadline)` triples — the
+//! trace-replay format. [`load_stream`] resolves application names
+//! against a characterized library, so a recorded stream replays
+//! deterministically through `amrm_sim::Simulation` on any machine that
+//! can rebuild the same library.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
 
-use crate::TestCase;
+use amrm_model::AppRef;
+use serde::{Deserialize, Serialize};
+
+use crate::{ScenarioRequest, TestCase};
 
 /// Saves a suite to a JSON file.
 ///
@@ -24,6 +34,67 @@ pub fn save_suite(path: impl AsRef<Path>, cases: &[TestCase]) -> std::io::Result
 pub fn load_suite(path: impl AsRef<Path>) -> std::io::Result<Vec<TestCase>> {
     let file = File::open(path)?;
     serde_json::from_reader(BufReader::new(file)).map_err(std::io::Error::other)
+}
+
+/// One persisted request of a trace: the application *by name* plus the
+/// arrival/deadline instants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StreamRecord {
+    app: String,
+    arrival: f64,
+    deadline: f64,
+}
+
+/// Saves a request stream as a JSON trace of
+/// `(application name, arrival, deadline)` records.
+///
+/// # Errors
+///
+/// Returns any I/O or serialization error.
+pub fn save_stream(path: impl AsRef<Path>, stream: &[ScenarioRequest]) -> std::io::Result<()> {
+    let records: Vec<StreamRecord> = stream
+        .iter()
+        .map(|r| StreamRecord {
+            app: r.app.name().to_string(),
+            arrival: r.arrival,
+            deadline: r.deadline,
+        })
+        .collect();
+    let file = File::create(path)?;
+    serde_json::to_writer(BufWriter::new(file), &records).map_err(std::io::Error::other)
+}
+
+/// Loads a request stream written by [`save_stream`], resolving each
+/// record's application name against `library`.
+///
+/// # Errors
+///
+/// Returns any I/O or deserialization error, or an
+/// [`InvalidData`](std::io::ErrorKind::InvalidData) error naming the
+/// first application the library does not contain.
+pub fn load_stream(
+    path: impl AsRef<Path>,
+    library: &[AppRef],
+) -> std::io::Result<Vec<ScenarioRequest>> {
+    let file = File::open(path)?;
+    let records: Vec<StreamRecord> =
+        serde_json::from_reader(BufReader::new(file)).map_err(std::io::Error::other)?;
+    records
+        .into_iter()
+        .map(|r| {
+            let app = library.iter().find(|a| a.name() == r.app).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("application `{}` not in the provided library", r.app),
+                )
+            })?;
+            Ok(ScenarioRequest {
+                app: AppRef::clone(app),
+                arrival: r.arrival,
+                deadline: r.deadline,
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -55,5 +126,44 @@ mod tests {
     #[test]
     fn load_missing_file_errors() {
         assert!(load_suite("/nonexistent/amrm.json").is_err());
+        assert!(load_stream("/nonexistent/amrm.json", &[scenarios::lambda1()]).is_err());
+    }
+
+    #[test]
+    fn stream_roundtrips_exactly() {
+        let lib = vec![scenarios::lambda1(), scenarios::lambda2()];
+        let spec = crate::StreamSpec {
+            requests: 25,
+            slack_range: (1.2, 2.8),
+        };
+        let stream = crate::poisson_stream(&lib, 3.0, &spec, 17);
+        let path = std::env::temp_dir().join("amrm_stream_roundtrip.json");
+        save_stream(&path, &stream).unwrap();
+        let back = load_stream(&path, &lib).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back.len(), stream.len());
+        for (a, b) in stream.iter().zip(&back) {
+            assert_eq!(a.app.name(), b.app.name());
+            // Bit-exact floats: a replayed trace must drive the kernel
+            // identically to the recorded run.
+            assert_eq!(a.arrival.to_bits(), b.arrival.to_bits());
+            assert_eq!(a.deadline.to_bits(), b.deadline.to_bits());
+        }
+    }
+
+    #[test]
+    fn loading_a_stream_with_unknown_app_names_the_culprit() {
+        let stream = vec![crate::ScenarioRequest {
+            app: scenarios::lambda2(),
+            arrival: 0.0,
+            deadline: 5.0,
+        }];
+        let path = std::env::temp_dir().join("amrm_stream_unknown_app.json");
+        save_stream(&path, &stream).unwrap();
+        // A library missing λ2 cannot resolve the record.
+        let err = load_stream(&path, &[scenarios::lambda1()]).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("λ2"), "{err}");
     }
 }

@@ -7,7 +7,11 @@
 //! * [`generate_suite`] — the reproducible random multi-application setup
 //!   of Table III: 1676 cases of 1–4 jobs at weak/tight deadline levels,
 //!   drawn over the application library characterized by `amrm-dataflow`;
-//! * [`save_suite`]/[`load_suite`] — JSON persistence for generated suites.
+//! * [`save_suite`]/[`load_suite`] — JSON persistence for generated
+//!   suites;
+//! * [`save_stream`]/[`load_stream`] — trace replay: request streams
+//!   persisted as `(app name, arrival, deadline)` and resolved back
+//!   against a characterized library.
 //!
 //! # Examples
 //!
@@ -31,7 +35,7 @@ mod streams;
 mod testcase;
 
 pub use crate::generator::{generate_suite, tabulate, SuiteSpec, TABLE_III};
-pub use crate::io::{load_suite, save_suite};
+pub use crate::io::{load_stream, load_suite, save_stream, save_suite};
 pub use crate::scenarios::ScenarioRequest;
 pub use crate::streams::{
     bursty_stream, bursty_window_stream, diurnal_stream, periodic_stream, poisson_stream,

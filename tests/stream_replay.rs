@@ -1,0 +1,91 @@
+//! Trace replay: a recorded request stream saved with
+//! `workload::save_stream` and loaded back with `load_stream` must drive
+//! the event kernel *identically* to the original — admissions, energy
+//! bits, counters — including under the stateful adaptive policies.
+
+use amrm::core::{AdaptiveBatch, BatchK, MmkpMdf, ReactivationPolicy};
+use amrm::model::AppRef;
+use amrm::sim::Simulation;
+use amrm::workload::{
+    diurnal_stream, load_stream, save_stream, scenarios, ScenarioRequest, StreamSpec,
+};
+
+fn library() -> Vec<AppRef> {
+    vec![scenarios::lambda1(), scenarios::lambda2()]
+}
+
+fn replay_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(name)
+}
+
+fn simulate<A: amrm::core::AdmissionPolicy>(
+    admission: A,
+    stream: &[ScenarioRequest],
+) -> amrm::sim::SimOutcome {
+    Simulation::new(
+        scenarios::platform(),
+        MmkpMdf::new(),
+        ReactivationPolicy::OnArrival,
+        admission,
+        stream,
+    )
+    .run()
+}
+
+#[test]
+fn replayed_trace_reproduces_the_recorded_run_bit_for_bit() {
+    let lib = library();
+    let spec = StreamSpec {
+        requests: 40,
+        slack_range: (1.3, 2.6),
+    };
+    let recorded = diurnal_stream(&lib, 2.5, 3.0, 50.0, &spec, 99);
+    let path = replay_path("amrm_replay_diurnal.json");
+    save_stream(&path, &recorded).unwrap();
+    let replayed = load_stream(&path, &lib).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    for (label, live, replay) in [
+        (
+            "BatchK(3)",
+            simulate(BatchK(3), &recorded),
+            simulate(BatchK(3), &replayed),
+        ),
+        (
+            "AdaptiveBatch",
+            simulate(AdaptiveBatch::default(), &recorded),
+            simulate(AdaptiveBatch::default(), &replayed),
+        ),
+    ] {
+        assert_eq!(live.admissions, replay.admissions, "{label}: admissions");
+        assert_eq!(
+            live.total_energy.to_bits(),
+            replay.total_energy.to_bits(),
+            "{label}: energy"
+        );
+        assert_eq!(live.stats, replay.stats, "{label}: counters");
+        assert_eq!(
+            live.queue_deadline_drops, replay.queue_deadline_drops,
+            "{label}: drops"
+        );
+    }
+}
+
+#[test]
+fn replay_works_across_a_reordered_library() {
+    // Resolution is by name, so the library's ordering must not matter.
+    let spec = StreamSpec {
+        requests: 10,
+        slack_range: (1.5, 2.5),
+    };
+    let recorded = amrm::workload::poisson_stream(&library(), 3.0, &spec, 7);
+    let path = replay_path("amrm_replay_reordered.json");
+    save_stream(&path, &recorded).unwrap();
+    let reversed: Vec<AppRef> = library().into_iter().rev().collect();
+    let replayed = load_stream(&path, &reversed).unwrap();
+    let _ = std::fs::remove_file(&path);
+    for (a, b) in recorded.iter().zip(&replayed) {
+        assert_eq!(a.app.name(), b.app.name());
+        assert_eq!(a.deadline.to_bits(), b.deadline.to_bits());
+    }
+}
