@@ -1,4 +1,5 @@
-//! EX-MEM: exhaustive segment-by-segment search with memoization.
+//! EX-MEM: exhaustive segment-by-segment search with memoization — now
+//! *anytime* and reusable across runtime-manager activations.
 //!
 //! The paper's optimal reference: it "exhaustively checks all possible
 //! mappings for each of the mapping segments; in each constructed mapping
@@ -17,10 +18,31 @@
 //!   bound never overestimates, so optimality is preserved;
 //! * incumbent seeding with the MMKP-MDF solution: the heuristic's energy
 //!   is a valid upper bound and prunes most of the tree immediately.
+//!
+//! Two extensions make the exhaustive reference viable *online*:
+//!
+//! * **memo reuse across activations** — keys are `(time, {JobId, ρ})`,
+//!   so states proven at one activation are hits at the next (successive
+//!   activations of an online run revisit overlapping job states). A
+//!   per-job signature (application identity + deadline) guards validity:
+//!   any mismatch clears the table, so reuse never crosses unrelated runs.
+//! * **a deterministic anytime mode** — when the
+//!   [`SchedulingContext`]'s [`SearchBudget`] (or this instance's own cap)
+//!   bounds the search, exploration stops after that many *work units*
+//!   (state expansions + enumeration steps; never wall-clock, so budgeted
+//!   runs are reproducible per seed). A truncated search returns the best
+//!   feasible schedule found so far, falling back to MMKP-MDF's answer
+//!   when the budget expires with nothing feasible. Memo soundness is
+//!   preserved: results tainted by truncation are stored as upper-bound
+//!   (`Anytime`) entries, never as exact optima or infeasibility proofs.
+//!
+//! With an unbounded budget the search, its exploration order and its
+//! results are bit-identical to the pre-anytime EX-MEM (pinned by
+//! `tests/exmem_budget.rs`).
 
 use std::collections::HashMap;
 
-use amrm_core::{MmkpMdf, Scheduler};
+use amrm_core::{MmkpMdf, Scheduler, SchedulingContext, SearchBudget};
 use amrm_model::{Job, JobMapping, JobSet, Schedule, Segment};
 use amrm_platform::{Platform, ResourceVec, EPS};
 
@@ -28,8 +50,13 @@ use amrm_platform::{Platform, ResourceVec, EPS};
 const KEY_QUANTUM: f64 = 1e-9;
 /// Remaining ratio below which a job counts as finished.
 const RHO_EPS: f64 = 1e-9;
+/// Memo entries beyond which the table is cleared (a deterministic size
+/// cap: long streams reuse states heavily, but unrelated states from
+/// thousands of activations must not accumulate without bound).
+const MEMO_CAP: usize = 1 << 20;
 
-/// The exhaustive optimal scheduler (EX-MEM).
+/// The exhaustive optimal scheduler (EX-MEM), with memo reuse across
+/// activations and a budget-bounded anytime mode.
 ///
 /// # Examples
 ///
@@ -41,7 +68,7 @@ const RHO_EPS: f64 = 1e-9;
 /// // The adaptive schedule of Fig. 1(c) is optimal for S1 at t = 1.
 /// let jobs = scenarios::s1_jobs_at_t1();
 /// let schedule = ExMem::new()
-///     .schedule(&jobs, &scenarios::platform(), 1.0)
+///     .schedule_at(&jobs, &scenarios::platform(), 1.0)
 ///     .expect("feasible");
 /// let rho1 = 1.0 - 1.0 / 5.3;
 /// assert!((schedule.energy(&jobs) - (5.73 + 8.9 * rho1)).abs() < 1e-6);
@@ -49,7 +76,41 @@ const RHO_EPS: f64 = 1e-9;
 #[derive(Debug, Clone, Default)]
 pub struct ExMem {
     seed_with_mdf: bool,
+    reuse_memo: bool,
+    /// This instance's own search cap, combined with the context's budget
+    /// via [`SearchBudget::tightest`] at every activation.
+    budget: SearchBudget,
+    memo: HashMap<Key, MemoVal>,
+    /// Per-job validity guard for memo reuse: application identity and
+    /// deadline under which the job's memoized states were derived.
+    signatures: HashMap<u64, JobSig>,
     nodes_explored: u64,
+    degraded: bool,
+}
+
+/// What a job's memoized states were derived under; any change voids the
+/// whole table. The signature *owns* its [`AppRef`], so the allocation
+/// stays alive for as long as the memo may refer to it — pointer
+/// identity therefore cannot be recycled by a freed-and-reallocated
+/// application (the classic ABA hazard of comparing raw addresses).
+#[derive(Debug, Clone)]
+struct JobSig {
+    app: amrm_model::AppRef,
+    deadline_bits: u64,
+}
+
+impl JobSig {
+    fn of(job: &Job) -> Self {
+        JobSig {
+            app: amrm_model::AppRef::clone(job.app()),
+            deadline_bits: job.deadline().to_bits(),
+        }
+    }
+
+    fn matches(&self, job: &Job) -> bool {
+        amrm_model::AppRef::ptr_eq(&self.app, job.app())
+            && self.deadline_bits == job.deadline().to_bits()
+    }
 }
 
 /// One memoized result.
@@ -61,14 +122,21 @@ enum MemoVal {
         energy: f64,
         choice: Vec<Option<usize>>,
     },
-    /// The optimum from this state is ≥ this bound (search with that budget
-    /// found nothing better).
+    /// A *feasible* completion with this energy exists via this choice —
+    /// found under a truncated (budgeted) search, so it is an upper
+    /// bound, not a proven optimum.
+    Anytime {
+        energy: f64,
+        choice: Vec<Option<usize>>,
+    },
+    /// The optimum from this state is ≥ this bound (an exhaustive search
+    /// with that incumbent found nothing better).
     Bound { at_least: f64 },
     /// No feasible completion exists at all.
     Infeasible,
 }
 
-type Key = (u64, Vec<(u32, u64)>);
+type Key = (u64, Vec<(u64, u64)>);
 
 struct SearchCtx<'a> {
     jobs: &'a [Job],
@@ -79,30 +147,114 @@ struct SearchCtx<'a> {
     min_energy: Vec<f64>,
     /// Per job: minimum full-execution time over its feasible points.
     min_time: Vec<f64>,
-    memo: HashMap<Key, MemoVal>,
-    nodes: u64,
+    memo: &'a mut HashMap<Key, MemoVal>,
+    /// Work units spent so far this activation (state expansions +
+    /// enumeration steps) — the deterministic quantity the budget caps.
+    work: u64,
+    limit: Option<u64>,
+    /// Whether the result may be approximate: the budget truncated the
+    /// search, or an `Anytime` (upper-bound) memo entry was consumed.
+    approximate: bool,
+}
+
+impl SearchCtx<'_> {
+    /// Returns `true` (and marks the search approximate) once the work
+    /// budget is exhausted.
+    fn out_of_budget(&mut self) -> bool {
+        if self.limit.is_some_and(|l| self.work >= l) {
+            self.approximate = true;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 impl ExMem {
-    /// Creates an EX-MEM scheduler (incumbent-seeded by default).
+    /// Creates an EX-MEM scheduler (incumbent-seeded, memo-reusing,
+    /// unbounded by default — the exact reference configuration).
     pub fn new() -> Self {
         ExMem {
             seed_with_mdf: true,
+            reuse_memo: true,
+            budget: SearchBudget::unbounded(),
+            memo: HashMap::new(),
+            signatures: HashMap::new(),
             nodes_explored: 0,
+            degraded: false,
         }
     }
 
     /// Disables MDF incumbent seeding (pure exhaustive search with
     /// memoization — slower, same result; used by ablation benches).
+    /// Without the seed there is also no fallback schedule when a bounded
+    /// budget expires empty-handed.
+    #[must_use]
     pub fn without_seed(mut self) -> Self {
         self.seed_with_mdf = false;
         self
     }
 
-    /// Search nodes explored by the most recent
+    /// Disables memo reuse across activations: the table is cleared at
+    /// every [`schedule`](Scheduler::schedule) call, reproducing the
+    /// pre-reuse per-activation search exactly. Used by the equivalence
+    /// tests that pin memo reuse as behaviour-preserving.
+    #[must_use]
+    pub fn without_memo_reuse(mut self) -> Self {
+        self.reuse_memo = false;
+        self
+    }
+
+    /// Caps this instance's search at `limit` work units per activation
+    /// (composed with the context budget via [`SearchBudget::tightest`]).
+    #[must_use]
+    pub fn with_node_budget(self, limit: u64) -> Self {
+        self.with_budget(SearchBudget::nodes(limit))
+    }
+
+    /// Sets this instance's own [`SearchBudget`].
+    #[must_use]
+    pub fn with_budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Search work units spent by the most recent
     /// [`schedule`](Scheduler::schedule) call.
     pub fn nodes_explored(&self) -> u64 {
         self.nodes_explored
+    }
+
+    /// Whether the most recent call was truncated by its budget (the
+    /// returned schedule — if any — is best-found-so-far or the MDF
+    /// fallback, not a proven optimum).
+    pub fn last_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Memoized states currently retained for reuse across activations.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Clears the memo unless every job's identity matches the signature
+    /// it was memoized under (same application allocation, same
+    /// deadline). JobIds never recur with different parameters within one
+    /// runtime-manager run, so a mismatch means this instance crossed
+    /// into an unrelated job population.
+    fn guard_signatures(&mut self, jobs: &[Job]) {
+        let mismatch = jobs.iter().any(|job| {
+            self.signatures
+                .get(&job.id().0)
+                .is_some_and(|sig| !sig.matches(job))
+        });
+        if mismatch || self.memo.len() > MEMO_CAP {
+            self.memo.clear();
+            self.signatures.clear();
+        }
+        for job in jobs {
+            self.signatures.insert(job.id().0, JobSig::of(job));
+        }
     }
 }
 
@@ -111,9 +263,21 @@ impl Scheduler for ExMem {
         "EX-MEM"
     }
 
-    fn schedule(&mut self, jobs: &JobSet, platform: &Platform, now: f64) -> Option<Schedule> {
+    fn schedule(
+        &mut self,
+        jobs: &JobSet,
+        platform: &Platform,
+        ctx: &SchedulingContext,
+    ) -> Option<Schedule> {
+        let now = ctx.now;
         if jobs.is_empty() {
             return Some(Schedule::new());
+        }
+        if self.reuse_memo {
+            self.guard_signatures(jobs.jobs());
+        } else {
+            self.memo.clear();
+            self.signatures.clear();
         }
 
         let job_slice = jobs.jobs();
@@ -140,45 +304,56 @@ impl Scheduler for ExMem {
             options.push(opts);
         }
 
-        let mut ctx = SearchCtx {
+        // Incumbent: MDF's energy is an upper bound on the optimum, and
+        // its schedule is the fallback when a bounded budget expires with
+        // nothing feasible found.
+        let (incumbent, seed_schedule) = if self.seed_with_mdf {
+            match MmkpMdf::new().schedule(jobs, platform, ctx) {
+                Some(s) => (s.energy(jobs) + 1e-7, Some(s)),
+                None => (f64::INFINITY, None),
+            }
+        } else {
+            (f64::INFINITY, None)
+        };
+
+        let mut search = SearchCtx {
             jobs: job_slice,
             platform,
             options,
             min_energy,
             min_time,
-            memo: HashMap::new(),
-            nodes: 0,
-        };
-
-        // Incumbent: MDF's energy is an upper bound on the optimum.
-        let budget = if self.seed_with_mdf {
-            MmkpMdf::new()
-                .schedule(jobs, platform, now)
-                .map(|s| s.energy(jobs) + 1e-7)
-                .unwrap_or(f64::INFINITY)
-        } else {
-            f64::INFINITY
+            memo: &mut self.memo,
+            work: 0,
+            limit: self.budget.tightest(ctx.budget).node_limit(),
+            approximate: false,
         };
 
         let state: Vec<(usize, f64)> = (0..job_slice.len())
             .map(|i| (i, job_slice[i].remaining()))
             .collect();
-        let result = solve(&mut ctx, &state, now, budget);
-        self.nodes_explored = ctx.nodes;
-        result?;
+        let result = solve(&mut search, &state, now, incumbent);
+        let approximate = search.approximate;
+        self.nodes_explored = search.work;
+        self.degraded = approximate;
 
-        let schedule = reconstruct(&ctx, state, now);
+        let schedule = match result {
+            Some(_) => reconstruct(job_slice, &self.memo, state, now).or(seed_schedule),
+            // A truncated search that found nothing degrades to the MDF
+            // incumbent; an exhaustive failure is a genuine rejection.
+            None if approximate => seed_schedule,
+            None => None,
+        }?;
         debug_assert!(schedule.validate(jobs, platform, now).is_ok());
         Some(schedule)
     }
 }
 
-fn key_of(state: &[(usize, f64)], t: f64) -> Key {
+fn key_of(jobs: &[Job], state: &[(usize, f64)], t: f64) -> Key {
     (
         (t / KEY_QUANTUM).round() as u64,
         state
             .iter()
-            .map(|&(i, rho)| (i as u32, (rho / KEY_QUANTUM).round() as u64))
+            .map(|&(i, rho)| (jobs[i].id().0, (rho / KEY_QUANTUM).round() as u64))
             .collect(),
     )
 }
@@ -205,34 +380,52 @@ struct Candidate {
     bound: f64,
 }
 
-/// Exact minimum energy to finish `state` from time `t`, if it is `<
-/// budget`. Memoizes exact values and failure bounds.
-fn solve(ctx: &mut SearchCtx<'_>, state: &[(usize, f64)], t: f64, budget: f64) -> Option<f64> {
+/// Minimum energy to finish `state` from time `t`, if it is `< incumbent`.
+/// Exact when the search ran to completion; an upper bound when the work
+/// budget truncated it (`ctx.approximate`). Memoizes exact values and
+/// failure bounds only for untruncated subtrees, and feasible-but-
+/// unproven values as [`MemoVal::Anytime`].
+fn solve(ctx: &mut SearchCtx<'_>, state: &[(usize, f64)], t: f64, incumbent: f64) -> Option<f64> {
     if state.is_empty() {
-        return if budget > 0.0 { Some(0.0) } else { None };
+        return if incumbent > 0.0 { Some(0.0) } else { None };
     }
     if !viable(ctx, state, t) {
         return None;
     }
-    if lower_bound(ctx, state) >= budget {
+    if lower_bound(ctx, state) >= incumbent {
         return None;
     }
 
-    let key = key_of(state, t);
+    let key = key_of(ctx.jobs, state, t);
+    let mut anytime_hit: Option<f64> = None;
     match ctx.memo.get(&key) {
         Some(MemoVal::Exact { energy, .. }) => {
-            return if *energy < budget {
+            return if *energy < incumbent {
                 Some(*energy)
             } else {
                 None
             };
         }
         Some(MemoVal::Infeasible) => return None,
-        Some(MemoVal::Bound { at_least }) if budget <= *at_least + EPS => return None,
+        Some(MemoVal::Bound { at_least }) if incumbent <= *at_least + EPS => return None,
+        Some(MemoVal::Anytime { energy, .. }) => anytime_hit = Some(*energy),
         _ => {}
     }
 
-    ctx.nodes += 1;
+    if ctx.out_of_budget() {
+        // No work left: fall back to a previously found feasible
+        // completion of this state, if one beats the incumbent.
+        return match anytime_hit {
+            Some(energy) if energy < incumbent => Some(energy),
+            _ => None,
+        };
+    }
+    ctx.work += 1;
+
+    // Track approximation per subtree so untruncated sibling states still
+    // earn exact memo entries.
+    let approx_before = ctx.approximate;
+    ctx.approximate = false;
 
     // Enumerate all joint first-segment assignments.
     let mut candidates = Vec::new();
@@ -248,7 +441,7 @@ fn solve(ctx: &mut SearchCtx<'_>, state: &[(usize, f64)], t: f64, budget: f64) -
     // Best-first exploration makes the local branch-and-bound effective.
     candidates.sort_by(|a, b| a.bound.total_cmp(&b.bound));
 
-    let mut local_best = budget;
+    let mut local_best = incumbent;
     let mut best_choice: Option<Vec<Option<usize>>> = None;
     let mut pruned = false;
     for cand in candidates {
@@ -270,24 +463,60 @@ fn solve(ctx: &mut SearchCtx<'_>, state: &[(usize, f64)], t: f64, budget: f64) -
         }
     }
 
+    let subtree_approx = ctx.approximate;
+    ctx.approximate = subtree_approx || approx_before;
+
     match best_choice {
         Some(choice) => {
-            ctx.memo.insert(
-                key,
-                MemoVal::Exact {
-                    energy: local_best,
-                    choice,
-                },
-            );
+            if subtree_approx {
+                // Feasible but unproven: keep the better of old and new.
+                let keep_existing = matches!(
+                    ctx.memo.get(&key),
+                    Some(MemoVal::Anytime { energy, .. }) if *energy <= local_best
+                );
+                if !keep_existing {
+                    ctx.memo.insert(
+                        key,
+                        MemoVal::Anytime {
+                            energy: local_best,
+                            choice,
+                        },
+                    );
+                }
+            } else {
+                ctx.memo.insert(
+                    key,
+                    MemoVal::Exact {
+                        energy: local_best,
+                        choice,
+                    },
+                );
+            }
             Some(local_best)
         }
+        None if subtree_approx => {
+            // The truncated search found nothing new; a previously found
+            // completion still stands if it beats the incumbent. Never
+            // record a failure proof for a truncated subtree.
+            match anytime_hit {
+                Some(energy) if energy < incumbent => Some(energy),
+                _ => None,
+            }
+        }
         None => {
-            let val = if pruned || budget.is_finite() {
-                MemoVal::Bound { at_least: budget }
-            } else {
-                MemoVal::Infeasible
-            };
-            ctx.memo.insert(key, val);
+            // Exhaustive failure — but never overwrite a known feasible
+            // completion (from an earlier budgeted activation) with a
+            // bound that lacks its reconstruction choice.
+            if anytime_hit.is_none() {
+                let val = if pruned || incumbent.is_finite() {
+                    MemoVal::Bound {
+                        at_least: incumbent,
+                    }
+                } else {
+                    MemoVal::Infeasible
+                };
+                ctx.memo.insert(key, val);
+            }
             None
         }
     }
@@ -295,9 +524,12 @@ fn solve(ctx: &mut SearchCtx<'_>, state: &[(usize, f64)], t: f64, budget: f64) -
 
 /// Depth-first enumeration of per-job choices (run a feasible point or
 /// suspend), with component-wise resource pruning; complete assignments
-/// with at least one running job become [`Candidate`]s.
+/// with at least one running job become [`Candidate`]s. Each recursion
+/// step costs one budget work unit — with many concurrent jobs the joint
+/// assignment space is itself exponential, so a truncated enumeration
+/// (partial candidate list) is exactly what the anytime mode degrades to.
 fn enumerate(
-    ctx: &SearchCtx<'_>,
+    ctx: &mut SearchCtx<'_>,
     state: &[(usize, f64)],
     t: f64,
     depth: usize,
@@ -305,6 +537,10 @@ fn enumerate(
     used: &ResourceVec,
     out: &mut Vec<Candidate>,
 ) {
+    if ctx.out_of_budget() {
+        return;
+    }
+    ctx.work += 1;
     if depth == state.len() {
         push_candidate(ctx, state, t, choice, out);
         return;
@@ -314,7 +550,8 @@ fn enumerate(
     choice[depth] = None;
     enumerate(ctx, state, t, depth + 1, choice, used, out);
     // Option B: run one of its feasible points.
-    for &cfg in &ctx.options[ji] {
+    for idx in 0..ctx.options[ji].len() {
+        let cfg = ctx.options[ji][idx];
         let demand = used + ctx.jobs[ji].point(cfg).resources();
         if !demand.fits_within(ctx.platform.counts()) {
             continue;
@@ -374,19 +611,29 @@ fn push_candidate(
     });
 }
 
-/// Rebuilds the optimal schedule by replaying the memoized first-segment
-/// choices from the root state.
-fn reconstruct(ctx: &SearchCtx<'_>, mut state: Vec<(usize, f64)>, mut t: f64) -> Schedule {
+/// Rebuilds the schedule by replaying the memoized first-segment choices
+/// from the root state. `Exact` entries trace the optimal path; `Anytime`
+/// entries trace the best feasible path a truncated search recorded.
+/// Returns `None` if the path breaks (a later exhaustive pass replaced an
+/// anytime entry with a bound) — the caller then degrades to the MDF
+/// fallback.
+fn reconstruct(
+    jobs: &[Job],
+    memo: &HashMap<Key, MemoVal>,
+    mut state: Vec<(usize, f64)>,
+    mut t: f64,
+) -> Option<Schedule> {
     let mut schedule = Schedule::new();
     while !state.is_empty() {
-        let key = key_of(&state, t);
-        let Some(MemoVal::Exact { choice, .. }) = ctx.memo.get(&key) else {
-            unreachable!("optimal path must be memoized exactly");
+        let key = key_of(jobs, &state, t);
+        let choice = match memo.get(&key) {
+            Some(MemoVal::Exact { choice, .. }) | Some(MemoVal::Anytime { choice, .. }) => choice,
+            _ => return None,
         };
         let mut delta = f64::INFINITY;
         for (slot, &(ji, rho)) in state.iter().enumerate() {
             if let Some(cfg) = choice[slot] {
-                delta = delta.min(ctx.jobs[ji].point(cfg).time() * rho);
+                delta = delta.min(jobs[ji].point(cfg).time() * rho);
             }
         }
         let mut mappings = Vec::new();
@@ -394,8 +641,8 @@ fn reconstruct(ctx: &SearchCtx<'_>, mut state: Vec<(usize, f64)>, mut t: f64) ->
         for (slot, &(ji, rho)) in state.iter().enumerate() {
             match choice[slot] {
                 Some(cfg) => {
-                    mappings.push(JobMapping::new(ctx.jobs[ji].id(), cfg));
-                    let rho2 = rho - delta / ctx.jobs[ji].point(cfg).time();
+                    mappings.push(JobMapping::new(jobs[ji].id(), cfg));
+                    let rho2 = rho - delta / jobs[ji].point(cfg).time();
                     if rho2 > RHO_EPS {
                         next_state.push((ji, rho2));
                     }
@@ -407,7 +654,7 @@ fn reconstruct(ctx: &SearchCtx<'_>, mut state: Vec<(usize, f64)>, mut t: f64) ->
         state = next_state;
         t += delta;
     }
-    schedule
+    Some(schedule)
 }
 
 #[cfg(test)]
@@ -426,7 +673,7 @@ mod tests {
             1.0,
         )]);
         let platform = scenarios::platform();
-        let schedule = ExMem::new().schedule(&jobs, &platform, 0.0).unwrap();
+        let schedule = ExMem::new().schedule_at(&jobs, &platform, 0.0).unwrap();
         schedule.validate(&jobs, &platform, 0.0).unwrap();
         assert!((schedule.energy(&jobs) - 8.9).abs() < 1e-6);
     }
@@ -435,7 +682,7 @@ mod tests {
     fn fig1c_is_the_optimum_for_s1_at_t1() {
         let jobs = scenarios::s1_jobs_at_t1();
         let platform = scenarios::platform();
-        let schedule = ExMem::new().schedule(&jobs, &platform, 1.0).unwrap();
+        let schedule = ExMem::new().schedule_at(&jobs, &platform, 1.0).unwrap();
         schedule.validate(&jobs, &platform, 1.0).unwrap();
         let rho1 = 1.0 - 1.0 / 5.3;
         assert!((schedule.energy(&jobs) - (5.73 + 8.9 * rho1)).abs() < 1e-6);
@@ -445,7 +692,7 @@ mod tests {
     fn s2_feasible_with_same_energy() {
         let jobs = scenarios::s2_jobs_at_t1();
         let platform = scenarios::platform();
-        let schedule = ExMem::new().schedule(&jobs, &platform, 1.0).unwrap();
+        let schedule = ExMem::new().schedule_at(&jobs, &platform, 1.0).unwrap();
         schedule.validate(&jobs, &platform, 1.0).unwrap();
         let rho1 = 1.0 - 1.0 / 5.3;
         assert!((schedule.energy(&jobs) - (5.73 + 8.9 * rho1)).abs() < 1e-6);
@@ -460,8 +707,8 @@ mod tests {
                 Job::new(JobId(1), scenarios::lambda1(), 0.0, d1, 1.0),
                 Job::new(JobId(2), scenarios::lambda2(), 0.0, d2, 1.0),
             ]);
-            let opt = ExMem::new().schedule(&jobs, &platform, 0.0);
-            let heur = MmkpMdf::new().schedule(&jobs, &platform, 0.0);
+            let opt = ExMem::new().schedule_at(&jobs, &platform, 0.0);
+            let heur = MmkpMdf::new().schedule_at(&jobs, &platform, 0.0);
             if let Some(h) = &heur {
                 let o = opt.as_ref().expect("EX-MEM must succeed when MDF does");
                 assert!(
@@ -478,10 +725,10 @@ mod tests {
     fn seeded_and_unseeded_agree() {
         let jobs = scenarios::s1_jobs_at_t1();
         let platform = scenarios::platform();
-        let a = ExMem::new().schedule(&jobs, &platform, 1.0).unwrap();
+        let a = ExMem::new().schedule_at(&jobs, &platform, 1.0).unwrap();
         let b = ExMem::new()
             .without_seed()
-            .schedule(&jobs, &platform, 1.0)
+            .schedule_at(&jobs, &platform, 1.0)
             .unwrap();
         assert!((a.energy(&jobs) - b.energy(&jobs)).abs() < 1e-6);
     }
@@ -496,7 +743,7 @@ mod tests {
             1.0,
         )]);
         assert!(ExMem::new()
-            .schedule(&jobs, &scenarios::platform(), 0.0)
+            .schedule_at(&jobs, &scenarios::platform(), 0.0)
             .is_none());
     }
 
@@ -505,7 +752,7 @@ mod tests {
         // S2 at t = 1 (the fixed mapper rejects it — see fixed.rs tests).
         let jobs = scenarios::s2_jobs_at_t1();
         assert!(ExMem::new()
-            .schedule(&jobs, &scenarios::platform(), 1.0)
+            .schedule_at(&jobs, &scenarios::platform(), 1.0)
             .is_some());
     }
 
@@ -517,9 +764,9 @@ mod tests {
             Job::new(JobId(2), scenarios::lambda2(), 0.0, 9.0, 1.0),
             Job::new(JobId(3), scenarios::lambda2(), 0.0, 16.0, 0.6),
         ]);
-        let opt = ExMem::new().schedule(&jobs, &platform, 0.0).unwrap();
+        let opt = ExMem::new().schedule_at(&jobs, &platform, 0.0).unwrap();
         opt.validate(&jobs, &platform, 0.0).unwrap();
-        let heur = MmkpMdf::new().schedule(&jobs, &platform, 0.0).unwrap();
+        let heur = MmkpMdf::new().schedule_at(&jobs, &platform, 0.0).unwrap();
         assert!(opt.energy(&jobs) <= heur.energy(&jobs) + 1e-6);
     }
 
@@ -535,7 +782,7 @@ mod tests {
         );
         let jobs = JobSet::new(vec![Job::new(JobId(1), app, 0.0, 10.0, 1.0)]);
         assert!(ExMem::new()
-            .schedule(&jobs, &scenarios::platform(), 0.0)
+            .schedule_at(&jobs, &scenarios::platform(), 0.0)
             .is_none());
     }
 
@@ -543,7 +790,129 @@ mod tests {
     fn node_counter_reports_work() {
         let jobs = scenarios::s1_jobs_at_t1();
         let mut ex = ExMem::new();
-        ex.schedule(&jobs, &scenarios::platform(), 1.0).unwrap();
+        ex.schedule_at(&jobs, &scenarios::platform(), 1.0).unwrap();
         assert!(ex.nodes_explored() > 0);
+        assert!(!ex.last_degraded());
+        assert!(ex.memo_len() > 0);
+    }
+
+    #[test]
+    fn warm_memo_answers_repeat_activations_cheaply() {
+        let jobs = scenarios::s1_jobs_at_t1();
+        let platform = scenarios::platform();
+        let mut ex = ExMem::new();
+        let cold = ex.schedule_at(&jobs, &platform, 1.0).unwrap();
+        let cold_work = ex.nodes_explored();
+        let warm = ex.schedule_at(&jobs, &platform, 1.0).unwrap();
+        let warm_work = ex.nodes_explored();
+        assert_eq!(cold, warm, "memo hit must reproduce the same schedule");
+        assert!(
+            warm_work < cold_work,
+            "warm activation ({warm_work}) should cost less than cold ({cold_work})"
+        );
+    }
+
+    #[test]
+    fn signature_guard_clears_memo_across_unrelated_runs() {
+        // Same JobId, different deadline: the memoized states are invalid
+        // and must not leak into the second run.
+        let platform = scenarios::platform();
+        let mut ex = ExMem::new();
+        let a = JobSet::new(vec![Job::new(
+            JobId(1),
+            scenarios::lambda1(),
+            0.0,
+            9.0,
+            1.0,
+        )]);
+        let first = ex.schedule_at(&a, &platform, 0.0).unwrap();
+        assert!((first.energy(&a) - 8.9).abs() < 1e-6);
+        let b = JobSet::new(vec![Job::new(
+            JobId(1),
+            scenarios::lambda1(),
+            0.0,
+            30.0,
+            1.0,
+        )]);
+        let second = ex.schedule_at(&b, &platform, 0.0).unwrap();
+        second.validate(&b, &platform, 0.0).unwrap();
+        // With the loose deadline the cheapest point (1L, 11 J? — the
+        // energy-minimal feasible point) may differ; the result must be
+        // the true optimum for `b`, i.e. match a cold instance.
+        let fresh = ExMem::new().schedule_at(&b, &platform, 0.0).unwrap();
+        assert_eq!(
+            second.energy(&b).to_bits(),
+            fresh.energy(&b).to_bits(),
+            "stale memo leaked across a signature change"
+        );
+    }
+
+    #[test]
+    fn tiny_budget_degrades_to_the_mdf_fallback() {
+        let platform = scenarios::platform();
+        let jobs = JobSet::new(vec![
+            Job::new(JobId(1), scenarios::lambda1(), 0.0, 25.0, 1.0),
+            Job::new(JobId(2), scenarios::lambda2(), 0.0, 9.0, 1.0),
+            Job::new(JobId(3), scenarios::lambda2(), 0.0, 16.0, 0.6),
+        ]);
+        let mdf = MmkpMdf::new().schedule_at(&jobs, &platform, 0.0).unwrap();
+        let ctx = SchedulingContext::at(0.0).with_budget(SearchBudget::nodes(1));
+        let mut ex = ExMem::new();
+        let degraded = ex.schedule(&jobs, &platform, &ctx).unwrap();
+        assert!(ex.last_degraded());
+        degraded.validate(&jobs, &platform, 0.0).unwrap();
+        assert_eq!(
+            degraded.energy(&jobs).to_bits(),
+            mdf.energy(&jobs).to_bits(),
+            "a one-unit budget must return exactly MDF's schedule"
+        );
+    }
+
+    #[test]
+    fn budgeted_result_is_feasible_and_never_worse_than_mdf() {
+        let platform = scenarios::platform();
+        let jobs = JobSet::new(vec![
+            Job::new(JobId(1), scenarios::lambda1(), 0.0, 25.0, 1.0),
+            Job::new(JobId(2), scenarios::lambda2(), 0.0, 9.0, 1.0),
+            Job::new(JobId(3), scenarios::lambda2(), 0.0, 16.0, 0.6),
+        ]);
+        let mdf = MmkpMdf::new().schedule_at(&jobs, &platform, 0.0).unwrap();
+        for limit in [1u64, 10, 100, 1_000, 100_000] {
+            let ctx = SchedulingContext::at(0.0).with_budget(SearchBudget::nodes(limit));
+            let s = ExMem::new().schedule(&jobs, &platform, &ctx).unwrap();
+            s.validate(&jobs, &platform, 0.0).unwrap();
+            assert!(
+                s.energy(&jobs) <= mdf.energy(&jobs) + 1e-7,
+                "budget {limit}: {} > MDF {}",
+                s.energy(&jobs),
+                mdf.energy(&jobs)
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_search_is_deterministic() {
+        let platform = scenarios::platform();
+        let jobs = JobSet::new(vec![
+            Job::new(JobId(1), scenarios::lambda1(), 0.0, 25.0, 1.0),
+            Job::new(JobId(2), scenarios::lambda2(), 0.0, 9.0, 1.0),
+            Job::new(JobId(3), scenarios::lambda2(), 0.0, 16.0, 0.6),
+        ]);
+        let ctx = SchedulingContext::at(0.0).with_budget(SearchBudget::nodes(500));
+        let a = ExMem::new().schedule(&jobs, &platform, &ctx).unwrap();
+        let b = ExMem::new().schedule(&jobs, &platform, &ctx).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn huge_budget_is_exact() {
+        let jobs = scenarios::s1_jobs_at_t1();
+        let platform = scenarios::platform();
+        let unbounded = ExMem::new().schedule_at(&jobs, &platform, 1.0).unwrap();
+        let ctx = SchedulingContext::at(1.0).with_budget(SearchBudget::nodes(u64::MAX));
+        let mut budgeted = ExMem::new();
+        let capped = budgeted.schedule(&jobs, &platform, &ctx).unwrap();
+        assert!(!budgeted.last_degraded());
+        assert_eq!(unbounded, capped);
     }
 }

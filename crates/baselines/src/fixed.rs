@@ -11,7 +11,7 @@
 //! [`ReactivationPolicy`](amrm_core::ReactivationPolicy):
 //! `OnArrival` yields Fig. 1(a), `OnArrivalAndCompletion` yields Fig. 1(b).
 
-use amrm_core::Scheduler;
+use amrm_core::{Scheduler, SchedulingContext};
 use amrm_model::{JobMapping, JobSet, Schedule, Segment};
 use amrm_platform::{Platform, ResourceVec, EPS};
 
@@ -28,13 +28,13 @@ use amrm_platform::{Platform, ResourceVec, EPS};
 ///
 /// ```
 /// use amrm_baselines::FixedMapper;
-/// use amrm_core::Scheduler;
+/// use amrm_core::{Scheduler, SchedulingContext};
 /// use amrm_workload::scenarios;
 ///
 /// // S1 at t = 1: the best fixed mapping is 1L1B for both jobs.
 /// let jobs = scenarios::s1_jobs_at_t1();
 /// let schedule = FixedMapper::new()
-///     .schedule(&jobs, &scenarios::platform(), 1.0)
+///     .schedule_at(&jobs, &scenarios::platform(), 1.0)
 ///     .expect("feasible");
 /// // σ1 remaining on 1L1B: 10.9·ρ1 = 8.84 J, σ2: 6.44 J.
 /// let rho1 = 1.0 - 1.0 / 5.3;
@@ -42,7 +42,7 @@ use amrm_platform::{Platform, ResourceVec, EPS};
 ///
 /// // S2 is infeasible for any fixed mapping (Section III).
 /// let jobs = scenarios::s2_jobs_at_t1();
-/// assert!(FixedMapper::new().schedule(&jobs, &scenarios::platform(), 1.0).is_none());
+/// assert!(FixedMapper::new().schedule_at(&jobs, &scenarios::platform(), 1.0).is_none());
 /// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FixedMapper {
@@ -61,7 +61,13 @@ impl Scheduler for FixedMapper {
         "FIXED"
     }
 
-    fn schedule(&mut self, jobs: &JobSet, platform: &Platform, now: f64) -> Option<Schedule> {
+    fn schedule(
+        &mut self,
+        jobs: &JobSet,
+        platform: &Platform,
+        ctx: &SchedulingContext,
+    ) -> Option<Schedule> {
+        let now = ctx.now;
         if jobs.is_empty() {
             return Some(Schedule::new());
         }
@@ -200,7 +206,9 @@ mod tests {
     fn s1_at_t1_picks_1l1b_for_both() {
         let jobs = scenarios::s1_jobs_at_t1();
         let platform = scenarios::platform();
-        let schedule = FixedMapper::new().schedule(&jobs, &platform, 1.0).unwrap();
+        let schedule = FixedMapper::new()
+            .schedule_at(&jobs, &platform, 1.0)
+            .unwrap();
         schedule.validate(&jobs, &platform, 1.0).unwrap();
         let rho1 = 1.0 - 1.0 / 5.3;
         // Fig. 1(a): remaining energy 8.84 + 6.44; with the 1.679 J prefix
@@ -215,7 +223,7 @@ mod tests {
     fn s2_is_rejected() {
         let jobs = scenarios::s2_jobs_at_t1();
         assert!(FixedMapper::new()
-            .schedule(&jobs, &scenarios::platform(), 1.0)
+            .schedule_at(&jobs, &scenarios::platform(), 1.0)
             .is_none());
     }
 
@@ -223,7 +231,9 @@ mod tests {
     fn schedule_splits_at_completions() {
         let jobs = scenarios::s1_jobs_at_t1();
         let platform = scenarios::platform();
-        let schedule = FixedMapper::new().schedule(&jobs, &platform, 1.0).unwrap();
+        let schedule = FixedMapper::new()
+            .schedule_at(&jobs, &platform, 1.0)
+            .unwrap();
         // σ2 finishes at 4.5, σ1 at 1 + 6.57 ≈ 7.57 → two segments.
         assert_eq!(schedule.num_segments(), 2);
         assert!((schedule.completion_time(JobId(2)).unwrap() - 4.5).abs() < 1e-9);
@@ -241,14 +251,16 @@ mod tests {
             1.0,
         )]);
         let platform = scenarios::platform();
-        let schedule = FixedMapper::new().schedule(&jobs, &platform, 0.0).unwrap();
+        let schedule = FixedMapper::new()
+            .schedule_at(&jobs, &platform, 0.0)
+            .unwrap();
         assert!((schedule.energy(&jobs) - 8.9).abs() < 1e-9);
     }
 
     #[test]
     fn empty_set_is_trivially_feasible() {
         let schedule = FixedMapper::new()
-            .schedule(&JobSet::default(), &scenarios::platform(), 0.0)
+            .schedule_at(&JobSet::default(), &scenarios::platform(), 0.0)
             .unwrap();
         assert!(schedule.is_empty());
     }

@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use amrm_core::Scheduler;
+use amrm_core::{Scheduler, SchedulingContext};
 use amrm_model::{JobId, JobMapping, JobSet, Schedule, Segment};
 use amrm_platform::{Platform, ResourceVec, EPS};
 
@@ -27,7 +27,7 @@ use amrm_platform::{Platform, ResourceVec, EPS};
 ///
 /// ```
 /// use amrm_baselines::IncrementalMapper;
-/// use amrm_core::Scheduler;
+/// use amrm_core::{Scheduler, SchedulingContext};
 /// use amrm_workload::scenarios;
 ///
 /// // At t = 1 in scenario S1, σ1 already owns 2L1B; only 1 big core is
@@ -37,8 +37,8 @@ use amrm_platform::{Platform, ResourceVec, EPS};
 /// let first = amrm_model::JobSet::new(vec![amrm_model::Job::new(
 ///     amrm_model::JobId(1), scenarios::lambda1(), 0.0, 9.0, 1.0,
 /// )]);
-/// assert!(inc.schedule(&first, &platform, 0.0).is_some());
-/// assert!(inc.schedule(&scenarios::s1_jobs_at_t1(), &platform, 1.0).is_none());
+/// assert!(inc.schedule_at(&first, &platform, 0.0).is_some());
+/// assert!(inc.schedule_at(&scenarios::s1_jobs_at_t1(), &platform, 1.0).is_none());
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct IncrementalMapper {
@@ -62,7 +62,13 @@ impl Scheduler for IncrementalMapper {
         "INCREMENTAL"
     }
 
-    fn schedule(&mut self, jobs: &JobSet, platform: &Platform, now: f64) -> Option<Schedule> {
+    fn schedule(
+        &mut self,
+        jobs: &JobSet,
+        platform: &Platform,
+        ctx: &SchedulingContext,
+    ) -> Option<Schedule> {
+        let now = ctx.now;
         // Drop state for jobs that finished since the last activation.
         self.assigned.retain(|id, _| jobs.get(*id).is_some());
 
@@ -158,7 +164,7 @@ mod tests {
             9.0,
             1.0,
         )]);
-        let s = inc.schedule(&jobs, &platform, 0.0).unwrap();
+        let s = inc.schedule_at(&jobs, &platform, 0.0).unwrap();
         s.validate(&jobs, &platform, 0.0).unwrap();
         assert!((s.energy(&jobs) - 8.9).abs() < 1e-9);
         assert_eq!(inc.assignment(JobId(1)), Some(6)); // 2L1B
@@ -176,7 +182,7 @@ mod tests {
             30.0,
             1.0,
         )]);
-        inc.schedule(&first, &platform, 0.0).unwrap();
+        inc.schedule_at(&first, &platform, 0.0).unwrap();
         assert_eq!(inc.assignment(JobId(1)), Some(1)); // 2L, 7.01 J
 
         // σ2 arrives: only the two big cores are free.
@@ -184,7 +190,7 @@ mod tests {
             Job::new(JobId(1), scenarios::lambda1(), 0.0, 30.0, 1.0),
             Job::new(JobId(2), scenarios::lambda2(), 0.0, 12.0, 1.0),
         ]);
-        let s = inc.schedule(&both, &platform, 0.0).unwrap();
+        let s = inc.schedule_at(&both, &platform, 0.0).unwrap();
         s.validate(&both, &platform, 0.0).unwrap();
         // Cheapest big-core-only λ2 point: 1B (7.55 J).
         assert_eq!(inc.assignment(JobId(2)), Some(2));
@@ -201,9 +207,9 @@ mod tests {
             9.0,
             1.0,
         )]);
-        inc.schedule(&first, &platform, 0.0).unwrap(); // takes 2L1B
+        inc.schedule_at(&first, &platform, 0.0).unwrap(); // takes 2L1B
         assert!(inc
-            .schedule(&scenarios::s1_jobs_at_t1(), &platform, 1.0)
+            .schedule_at(&scenarios::s1_jobs_at_t1(), &platform, 1.0)
             .is_none());
         // Rejection must not leak state for σ2.
         assert!(inc.assignment(JobId(2)).is_none());
@@ -221,7 +227,7 @@ mod tests {
             9.0,
             1.0,
         )]);
-        inc.schedule(&first, &platform, 0.0).unwrap();
+        inc.schedule_at(&first, &platform, 0.0).unwrap();
         // σ1 finished; a new activation without it clears the slot and the
         // full platform is free again for σ2.
         let second = JobSet::new(vec![Job::new(
@@ -231,7 +237,7 @@ mod tests {
             12.0,
             1.0,
         )]);
-        let s = inc.schedule(&second, &platform, 6.0).unwrap();
+        let s = inc.schedule_at(&second, &platform, 6.0).unwrap();
         s.validate(&second, &platform, 6.0).unwrap();
         assert!(inc.assignment(JobId(1)).is_none());
         // Cheapest λ2 point overall is 1L (2.00 J) — feasible in 6 s? No:
@@ -244,7 +250,7 @@ mod tests {
     fn empty_set_resets_cleanly() {
         let mut inc = IncrementalMapper::new();
         let platform = scenarios::platform();
-        let s = inc.schedule(&JobSet::default(), &platform, 0.0).unwrap();
+        let s = inc.schedule_at(&JobSet::default(), &platform, 0.0).unwrap();
         assert!(s.is_empty());
     }
 }

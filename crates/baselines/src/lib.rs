@@ -5,7 +5,9 @@
 //!   single-segment analysis scope (Wildermann et al.);
 //! * [`FixedMapper`] — a state-of-the-art fixed mapper that never
 //!   reconfigures running jobs (Fig. 1(a)/(b) behaviour);
-//! * [`IncrementalMapper`] — maps new jobs onto currently free cores only.
+//! * [`IncrementalMapper`] — maps new jobs onto currently free cores only;
+//! * [`MetaScheduler`] — a telemetry-driven meta-scheduler switching
+//!   between the registry algorithms by observed load regime.
 //!
 //! All implement [`amrm_core::Scheduler`] and can be plugged into the
 //! [`amrm_core::RuntimeManager`] unchanged. [`standard_registry`] collects
@@ -22,8 +24,8 @@
 //!
 //! let jobs = scenarios::s1_jobs_at_t1();
 //! let platform = scenarios::platform();
-//! let optimal = ExMem::new().schedule(&jobs, &platform, 1.0).unwrap();
-//! let heuristic = MmkpMdf::new().schedule(&jobs, &platform, 1.0).unwrap();
+//! let optimal = ExMem::new().schedule_at(&jobs, &platform, 1.0).unwrap();
+//! let heuristic = MmkpMdf::new().schedule_at(&jobs, &platform, 1.0).unwrap();
 //! assert!(optimal.energy(&jobs) <= heuristic.energy(&jobs) + 1e-9);
 //! ```
 
@@ -31,11 +33,13 @@ mod exmem;
 mod fixed;
 mod incremental;
 mod lr;
+mod meta;
 
 pub use crate::exmem::ExMem;
 pub use crate::fixed::FixedMapper;
 pub use crate::incremental::IncrementalMapper;
 pub use crate::lr::MmkpLr;
+pub use crate::meta::{MetaConfig, MetaScheduler, Regime};
 
 use amrm_core::{MmkpMdf, SchedulerRegistry};
 
@@ -49,10 +53,12 @@ pub const MDF_NAME: &str = "MMKP-MDF";
 pub const FIXED_NAME: &str = "FIXED";
 /// Registry name of the incremental (free-cores-only) mapper.
 pub const INCREMENTAL_NAME: &str = "INCREMENTAL";
+/// Registry name of the telemetry-driven meta-scheduler.
+pub const META_NAME: &str = "META";
 
 /// All schedulers of the reproduction, in report order: the three the
 /// paper evaluates (EX-MEM, MMKP-LR, MMKP-MDF) followed by the fixed and
-/// incremental baselines.
+/// incremental baselines and the telemetry-driven META selector.
 ///
 /// Each name matches the scheduler's own [`Scheduler::name`]
 /// (`amrm_core::Scheduler::name`), so results keyed by registry name and
@@ -66,7 +72,7 @@ pub const INCREMENTAL_NAME: &str = "INCREMENTAL";
 /// let registry = standard_registry();
 /// assert_eq!(
 ///     registry.names(),
-///     vec!["EX-MEM", "MMKP-LR", "MMKP-MDF", "FIXED", "INCREMENTAL"]
+///     vec!["EX-MEM", "MMKP-LR", "MMKP-MDF", "FIXED", "INCREMENTAL", "META"]
 /// );
 /// let mut mdf = registry.create("MMKP-MDF").unwrap();
 /// assert_eq!(mdf.name(), "MMKP-MDF");
@@ -78,6 +84,7 @@ pub fn standard_registry() -> SchedulerRegistry {
         .with(MDF_NAME, || Box::new(MmkpMdf::new()))
         .with(FIXED_NAME, || Box::new(FixedMapper::new()))
         .with(INCREMENTAL_NAME, || Box::new(IncrementalMapper::new()))
+        .with(META_NAME, || Box::new(MetaScheduler::new()))
 }
 
 /// The three algorithms of the paper's evaluation (Section VI), in the
@@ -113,7 +120,7 @@ mod registry_tests {
         let platform = scenarios::platform();
         let jobs = scenarios::s1_jobs_at_t1();
         for (name, mut scheduler) in standard_registry().instantiate_all() {
-            if let Some(schedule) = scheduler.schedule(&jobs, &platform, 1.0) {
+            if let Some(schedule) = scheduler.schedule_at(&jobs, &platform, 1.0) {
                 schedule
                     .validate(&jobs, &platform, 1.0)
                     .unwrap_or_else(|e| panic!("{name} produced an invalid schedule: {e}"));

@@ -13,7 +13,7 @@
 //! repeats — the analysis scope is a single segment, which is exactly the
 //! limitation MMKP-MDF's full-horizon containers remove.
 
-use amrm_core::Scheduler;
+use amrm_core::{Scheduler, SchedulingContext};
 use amrm_model::{Job, JobMapping, JobSet, Schedule, Segment};
 use amrm_platform::{Platform, ResourceVec, EPS};
 
@@ -26,12 +26,12 @@ const RHO_EPS: f64 = 1e-9;
 ///
 /// ```
 /// use amrm_baselines::MmkpLr;
-/// use amrm_core::Scheduler;
+/// use amrm_core::{Scheduler, SchedulingContext};
 /// use amrm_workload::scenarios;
 ///
 /// let jobs = scenarios::s1_jobs_at_t1();
 /// let schedule = MmkpLr::new()
-///     .schedule(&jobs, &scenarios::platform(), 1.0)
+///     .schedule_at(&jobs, &scenarios::platform(), 1.0)
 ///     .expect("feasible");
 /// schedule.validate(&jobs, &scenarios::platform(), 1.0).unwrap();
 /// ```
@@ -80,7 +80,13 @@ impl Scheduler for MmkpLr {
         "MMKP-LR"
     }
 
-    fn schedule(&mut self, jobs: &JobSet, platform: &Platform, now: f64) -> Option<Schedule> {
+    fn schedule(
+        &mut self,
+        jobs: &JobSet,
+        platform: &Platform,
+        ctx: &SchedulingContext,
+    ) -> Option<Schedule> {
+        let now = ctx.now;
         if jobs.is_empty() {
             return Some(Schedule::new());
         }
@@ -305,7 +311,7 @@ mod tests {
             1.0,
         )]);
         let platform = scenarios::platform();
-        let schedule = MmkpLr::new().schedule(&jobs, &platform, 0.0).unwrap();
+        let schedule = MmkpLr::new().schedule_at(&jobs, &platform, 0.0).unwrap();
         schedule.validate(&jobs, &platform, 0.0).unwrap();
         assert!((schedule.energy(&jobs) - 8.9).abs() < 1e-6);
     }
@@ -314,9 +320,9 @@ mod tests {
     fn s1_at_t1_feasible_but_not_better_than_mdf() {
         let jobs = scenarios::s1_jobs_at_t1();
         let platform = scenarios::platform();
-        let lr = MmkpLr::new().schedule(&jobs, &platform, 1.0).unwrap();
+        let lr = MmkpLr::new().schedule_at(&jobs, &platform, 1.0).unwrap();
         lr.validate(&jobs, &platform, 1.0).unwrap();
-        let mdf = MmkpMdf::new().schedule(&jobs, &platform, 1.0).unwrap();
+        let mdf = MmkpMdf::new().schedule_at(&jobs, &platform, 1.0).unwrap();
         // The single-segment scope costs energy: LR must not beat MDF here.
         assert!(lr.energy(&jobs) >= mdf.energy(&jobs) - 1e-9);
     }
@@ -331,7 +337,7 @@ mod tests {
             1.0,
         )]);
         assert!(MmkpLr::new()
-            .schedule(&jobs, &scenarios::platform(), 0.0)
+            .schedule_at(&jobs, &scenarios::platform(), 0.0)
             .is_none());
     }
 
@@ -344,7 +350,7 @@ mod tests {
                 Job::new(JobId(2), scenarios::lambda2(), 0.0, d2, 1.0),
                 Job::new(JobId(3), scenarios::lambda2(), 0.0, d3, 0.8),
             ]);
-            if let Some(s) = MmkpLr::new().schedule(&jobs, &platform, 0.0) {
+            if let Some(s) = MmkpLr::new().schedule_at(&jobs, &platform, 0.0) {
                 s.validate(&jobs, &platform, 0.0).unwrap();
             }
         }
@@ -354,8 +360,8 @@ mod tests {
     fn iteration_budget_is_configurable() {
         let jobs = scenarios::s1_jobs_at_t1();
         let platform = scenarios::platform();
-        let a = MmkpLr::with_iterations(1).schedule(&jobs, &platform, 1.0);
-        let b = MmkpLr::new().schedule(&jobs, &platform, 1.0);
+        let a = MmkpLr::with_iterations(1).schedule_at(&jobs, &platform, 1.0);
+        let b = MmkpLr::new().schedule_at(&jobs, &platform, 1.0);
         // Both must produce valid schedules (possibly different energy).
         for s in [a, b].into_iter().flatten() {
             s.validate(&jobs, &platform, 1.0).unwrap();
@@ -371,7 +377,7 @@ mod tests {
     #[test]
     fn empty_set_is_trivially_feasible() {
         let schedule = MmkpLr::new()
-            .schedule(&JobSet::default(), &scenarios::platform(), 0.0)
+            .schedule_at(&JobSet::default(), &scenarios::platform(), 0.0)
             .unwrap();
         assert!(schedule.is_empty());
     }

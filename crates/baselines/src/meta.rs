@@ -1,0 +1,442 @@
+//! META: a telemetry-driven meta-scheduler that switches between registry
+//! algorithms by the observed load regime.
+//!
+//! The paper's core claim is that an *adaptable* runtime beats any fixed
+//! mapping policy by switching operating points as conditions change;
+//! hybrid design-time/run-time work (Weichslgartner et al.; E-Mapper)
+//! extends the same argument to the *selector itself*: no single
+//! scheduling algorithm dominates every regime, so the runtime should
+//! pick one per activation from the observed load and its time budget.
+//! [`MetaScheduler`] implements that selector on top of the
+//! [`SchedulingContext`]:
+//!
+//! | regime  | signal                                                        | algorithm |
+//! |---------|---------------------------------------------------------------|-----------|
+//! | *light* | calm arrivals, moderate utilization                           | MMKP-MDF (full-horizon containers, best heuristic energy) |
+//! | *heavy* | EWMA arrival rate **and** utilization above the enter thresholds | MMKP-LR (single-segment scope — cheapest per activation when many jobs stack) |
+//! | *exact* | calm **and** few jobs, shallow queue, generous slack          | budgeted EX-MEM (anytime; degrades to MDF's answer on budget expiry) |
+//!
+//! Regime changes are *hysteretic*: the heavy regime is entered at
+//! `heavy_enter_*` and only left once the signals fall below the lower
+//! `heavy_exit_*` thresholds, so a rate oscillating around one threshold
+//! does not flap the algorithm every activation. Everything the selector
+//! reads is simulated time and state (the context's telemetry snapshot),
+//! so META runs are deterministic per stream seed.
+
+use amrm_core::{MmkpMdf, Scheduler, SchedulingContext, SearchBudget};
+use amrm_model::{JobSet, Schedule};
+use amrm_platform::Platform;
+
+use crate::{ExMem, MmkpLr};
+
+/// The load regime META currently operates in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Regime {
+    /// Calm load: MMKP-MDF.
+    #[default]
+    Light,
+    /// Sustained overload: MMKP-LR.
+    Heavy,
+    /// Calm load with few jobs, a shallow queue and generous slack:
+    /// budgeted EX-MEM.
+    Exact,
+}
+
+impl Regime {
+    /// Display name used by reports and tests.
+    pub fn name(self) -> &'static str {
+        match self {
+            Regime::Light => "light",
+            Regime::Heavy => "heavy",
+            Regime::Exact => "exact",
+        }
+    }
+}
+
+/// Thresholds and budgets of the [`MetaScheduler`] regime switch.
+///
+/// The heavy regime is entered only when *both* enter signals hold (a
+/// rate spike alone, with an idle platform, is not overload) and left
+/// when *either* signal falls below its exit threshold. Exit thresholds
+/// sit well below the enter thresholds — the hysteresis band that keeps
+/// an oscillating signal from flapping the algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetaConfig {
+    /// EWMA arrival rate (requests per simulated second) at or above
+    /// which — together with utilization — the heavy regime is entered.
+    pub heavy_enter_rate: f64,
+    /// Arrival rate below which the heavy regime may be left.
+    pub heavy_exit_rate: f64,
+    /// EWMA platform utilization at or above which — together with the
+    /// rate — the heavy regime is entered.
+    pub heavy_enter_util: f64,
+    /// Utilization below which the heavy regime may be left.
+    pub heavy_exit_util: f64,
+    /// The exact regime requires at most this many unfinished jobs in the
+    /// activation.
+    pub exact_max_jobs: usize,
+    /// The exact regime requires at most this many requests still queued
+    /// at the last admission decision point.
+    pub exact_max_queue: usize,
+    /// The exact regime requires every job's slack (`deadline − now`) to
+    /// be at least this many simulated seconds.
+    pub exact_min_slack: f64,
+    /// The work budget handed to the anytime EX-MEM in the exact regime
+    /// (composed with the context's own budget).
+    pub exmem_budget: SearchBudget,
+}
+
+impl Default for MetaConfig {
+    /// Defaults tuned on the repro grid streams: heavy means arrivals
+    /// sustained above 1.5/s *and* a platform more than 85 % busy; the
+    /// band down to 0.9/s / 60 % is the hysteresis. Exact search is
+    /// allowed for up to 3 jobs with ≥ 4 s of slack each under the
+    /// standard online budget.
+    fn default() -> Self {
+        MetaConfig {
+            heavy_enter_rate: 1.5,
+            heavy_exit_rate: 0.9,
+            heavy_enter_util: 0.85,
+            heavy_exit_util: 0.6,
+            exact_max_jobs: 3,
+            exact_max_queue: 1,
+            exact_min_slack: 4.0,
+            exmem_budget: SearchBudget::online(),
+        }
+    }
+}
+
+impl MetaConfig {
+    /// Checks the configuration invariants (enter thresholds above exit
+    /// thresholds, sane ranges).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("heavy_enter_rate", self.heavy_enter_rate),
+            ("heavy_exit_rate", self.heavy_exit_rate),
+            ("exact_min_slack", self.exact_min_slack),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be finite and ≥ 0, got {v}"));
+            }
+        }
+        for (name, v) in [
+            ("heavy_enter_util", self.heavy_enter_util),
+            ("heavy_exit_util", self.heavy_exit_util),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0, 1], got {v}"));
+            }
+        }
+        if self.heavy_exit_rate > self.heavy_enter_rate {
+            return Err(format!(
+                "heavy rate thresholds reversed: exit {} > enter {}",
+                self.heavy_exit_rate, self.heavy_enter_rate
+            ));
+        }
+        if self.heavy_exit_util > self.heavy_enter_util {
+            return Err(format!(
+                "heavy utilization thresholds reversed: exit {} > enter {}",
+                self.heavy_exit_util, self.heavy_enter_util
+            ));
+        }
+        if self.exact_max_jobs == 0 {
+            return Err("exact_max_jobs must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// The telemetry-driven META scheduler: MMKP-MDF under light load, MMKP-LR
+/// under heavy load, budgeted anytime EX-MEM when the problem is small
+/// and slack is generous.
+///
+/// Registered in [`standard_registry`](crate::standard_registry) under
+/// `"META"`, so every registry consumer — suites, sweeps, the admission
+/// grid, the repro binary — picks it up with zero further changes.
+///
+/// # Examples
+///
+/// ```
+/// use amrm_baselines::MetaScheduler;
+/// use amrm_core::Scheduler;
+/// use amrm_workload::scenarios;
+///
+/// // With an idle default context META sits in the calm regimes and
+/// // matches the exact optimum on the motivational example.
+/// let jobs = scenarios::s1_jobs_at_t1();
+/// let schedule = MetaScheduler::new()
+///     .schedule_at(&jobs, &scenarios::platform(), 1.0)
+///     .expect("feasible");
+/// let rho1 = 1.0 - 1.0 / 5.3;
+/// assert!((schedule.energy(&jobs) - (5.73 + 8.9 * rho1)).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MetaScheduler {
+    config: MetaConfig,
+    regime: Regime,
+    switches: usize,
+    mdf: MmkpMdf,
+    lr: MmkpLr,
+    exmem: ExMem,
+}
+
+impl MetaScheduler {
+    /// Creates a META scheduler with the [`MetaConfig::default`]
+    /// thresholds.
+    pub fn new() -> Self {
+        MetaScheduler::with_config(MetaConfig::default())
+    }
+
+    /// Creates a META scheduler with explicit thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid
+    /// (see [`MetaConfig::validate`]).
+    pub fn with_config(config: MetaConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid MetaConfig: {msg}");
+        }
+        MetaScheduler {
+            config,
+            regime: Regime::Light,
+            switches: 0,
+            mdf: MmkpMdf::new(),
+            lr: MmkpLr::new(),
+            exmem: ExMem::new().with_budget(config.exmem_budget),
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &MetaConfig {
+        &self.config
+    }
+
+    /// The regime the most recent activation ran in.
+    pub fn regime(&self) -> Regime {
+        self.regime
+    }
+
+    /// Regime switches since construction — the flap count the hysteresis
+    /// keeps low.
+    pub fn switches(&self) -> usize {
+        self.switches
+    }
+
+    /// The regime the signals call for, honouring the heavy-regime
+    /// hysteresis relative to the current regime.
+    fn target_regime(&self, jobs: &JobSet, ctx: &SchedulingContext) -> Regime {
+        let t = &ctx.telemetry;
+        let heavy = if self.regime == Regime::Heavy {
+            // Leave only once either signal drops below its exit
+            // threshold (the hysteresis band).
+            t.arrival_rate >= self.config.heavy_exit_rate
+                && t.utilization >= self.config.heavy_exit_util
+        } else {
+            t.arrival_rate >= self.config.heavy_enter_rate
+                && t.utilization >= self.config.heavy_enter_util
+        };
+        if heavy {
+            return Regime::Heavy;
+        }
+        let shallow = jobs.len() <= self.config.exact_max_jobs
+            && t.queue_depth <= self.config.exact_max_queue;
+        let generous = jobs
+            .iter()
+            .all(|job| job.deadline() - ctx.now >= self.config.exact_min_slack);
+        if shallow && generous {
+            Regime::Exact
+        } else {
+            Regime::Light
+        }
+    }
+}
+
+impl Default for MetaScheduler {
+    fn default() -> Self {
+        MetaScheduler::new()
+    }
+}
+
+impl Scheduler for MetaScheduler {
+    fn name(&self) -> &str {
+        "META"
+    }
+
+    fn schedule(
+        &mut self,
+        jobs: &JobSet,
+        platform: &Platform,
+        ctx: &SchedulingContext,
+    ) -> Option<Schedule> {
+        let target = self.target_regime(jobs, ctx);
+        if target != self.regime {
+            self.regime = target;
+            self.switches += 1;
+        }
+        match self.regime {
+            Regime::Light => self.mdf.schedule(jobs, platform, ctx),
+            Regime::Heavy => self.lr.schedule(jobs, platform, ctx),
+            // The anytime EX-MEM composes its own budget with the
+            // context's and falls back to MDF's answer on expiry.
+            Regime::Exact => self.exmem.schedule(jobs, platform, ctx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrm_core::TelemetrySnapshot;
+    use amrm_model::{Job, JobId};
+    use amrm_workload::scenarios;
+
+    fn ctx_with(rate: f64, util: f64, now: f64) -> SchedulingContext {
+        SchedulingContext::at(now).with_telemetry(TelemetrySnapshot {
+            arrival_rate: rate,
+            utilization: util,
+            ..TelemetrySnapshot::default()
+        })
+    }
+
+    fn roomy_jobs() -> JobSet {
+        JobSet::new(vec![
+            Job::new(JobId(1), scenarios::lambda1(), 0.0, 25.0, 1.0),
+            Job::new(JobId(2), scenarios::lambda2(), 0.0, 20.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn idle_context_with_generous_slack_runs_exact() {
+        let mut meta = MetaScheduler::new();
+        let jobs = roomy_jobs();
+        let s = meta
+            .schedule(&jobs, &scenarios::platform(), &SchedulingContext::at(0.0))
+            .unwrap();
+        assert_eq!(meta.regime(), Regime::Exact);
+        s.validate(&jobs, &scenarios::platform(), 0.0).unwrap();
+        // Exact regime means optimal energy on this small instance.
+        let opt = ExMem::new()
+            .schedule_at(&jobs, &scenarios::platform(), 0.0)
+            .unwrap();
+        assert!((s.energy(&jobs) - opt.energy(&jobs)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_slack_falls_back_to_light() {
+        let mut meta = MetaScheduler::new();
+        // σ2's deadline 5 at t = 1 leaves slack 4 − ε below the default
+        // 4 s threshold once time advances past 1.
+        let jobs = scenarios::s1_jobs_at_t1();
+        let s = meta
+            .schedule(&jobs, &scenarios::platform(), &SchedulingContext::at(1.5))
+            .unwrap_or_else(|| panic!("light regime must schedule"));
+        assert_eq!(meta.regime(), Regime::Light);
+        s.validate(&jobs, &scenarios::platform(), 1.5).unwrap();
+    }
+
+    #[test]
+    fn sustained_overload_enters_heavy_and_hysteresis_holds() {
+        let mut meta = MetaScheduler::new();
+        let jobs = roomy_jobs();
+        let platform = scenarios::platform();
+        // Both signals above the enter thresholds: heavy.
+        assert!(meta
+            .schedule(&jobs, &platform, &ctx_with(2.0, 0.9, 0.0))
+            .is_some());
+        assert_eq!(meta.regime(), Regime::Heavy);
+        let after_enter = meta.switches();
+        // Inside the hysteresis band (below enter, above exit): stays.
+        for _ in 0..5 {
+            meta.schedule(&jobs, &platform, &ctx_with(1.2, 0.7, 0.0));
+            assert_eq!(meta.regime(), Regime::Heavy);
+        }
+        assert_eq!(meta.switches(), after_enter);
+        // Below the exit threshold: leaves.
+        meta.schedule(&jobs, &platform, &ctx_with(0.5, 0.7, 0.0));
+        assert_ne!(meta.regime(), Regime::Heavy);
+    }
+
+    #[test]
+    fn rate_oscillating_around_the_enter_threshold_does_not_flap() {
+        let mut meta = MetaScheduler::new();
+        let jobs = roomy_jobs();
+        let platform = scenarios::platform();
+        let enter = meta.config().heavy_enter_rate;
+        // 20 activations oscillating ±0.1 around the enter threshold with
+        // a hot platform: one switch into heavy, then the band holds.
+        for i in 0..20 {
+            let rate = if i % 2 == 0 { enter + 0.1 } else { enter - 0.1 };
+            meta.schedule(&jobs, &platform, &ctx_with(rate, 0.95, 0.0));
+        }
+        assert_eq!(meta.regime(), Regime::Heavy);
+        assert_eq!(
+            meta.switches(),
+            1,
+            "hysteresis must absorb an oscillation inside the band"
+        );
+    }
+
+    #[test]
+    fn a_spike_without_utilization_is_not_overload() {
+        let mut meta = MetaScheduler::new();
+        let jobs = roomy_jobs();
+        meta.schedule(&jobs, &scenarios::platform(), &ctx_with(5.0, 0.1, 0.0));
+        assert_ne!(meta.regime(), Regime::Heavy);
+    }
+
+    #[test]
+    fn deep_queue_blocks_the_exact_regime() {
+        let mut meta = MetaScheduler::new();
+        let jobs = roomy_jobs();
+        let ctx = SchedulingContext::at(0.0).with_telemetry(TelemetrySnapshot {
+            queue_depth: 5,
+            ..TelemetrySnapshot::default()
+        });
+        meta.schedule(&jobs, &scenarios::platform(), &ctx);
+        assert_eq!(meta.regime(), Regime::Light);
+    }
+
+    #[test]
+    fn regime_names_are_distinct() {
+        let names = [Regime::Light, Regime::Heavy, Regime::Exact].map(Regime::name);
+        assert_eq!(names, ["light", "heavy", "exact"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MetaConfig")]
+    fn reversed_thresholds_panic() {
+        let _ = MetaScheduler::with_config(MetaConfig {
+            heavy_enter_rate: 0.5,
+            heavy_exit_rate: 1.0,
+            ..MetaConfig::default()
+        });
+    }
+
+    #[test]
+    fn config_validation_catches_bad_ranges() {
+        assert!(MetaConfig::default().validate().is_ok());
+        assert!(MetaConfig {
+            heavy_enter_util: 1.5,
+            ..MetaConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MetaConfig {
+            exact_max_jobs: 0,
+            ..MetaConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MetaConfig {
+            heavy_enter_rate: f64::NAN,
+            ..MetaConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -17,10 +17,14 @@ fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("exmem_seed");
     group.sample_size(30);
     group.bench_function("seeded", |b| {
-        b.iter(|| ExMem::new().schedule(&jobs, &platform, 1.0))
+        b.iter(|| ExMem::new().schedule_at(&jobs, &platform, 1.0))
     });
     group.bench_function("unseeded", |b| {
-        b.iter(|| ExMem::new().without_seed().schedule(&jobs, &platform, 1.0))
+        b.iter(|| {
+            ExMem::new()
+                .without_seed()
+                .schedule_at(&jobs, &platform, 1.0)
+        })
     });
     group.finish();
 
@@ -28,7 +32,7 @@ fn bench_ablation(c: &mut Criterion) {
     group.sample_size(40);
     for iters in [1usize, 10, 100] {
         group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &n| {
-            b.iter(|| MmkpLr::with_iterations(n).schedule(&jobs, &platform, 1.0))
+            b.iter(|| MmkpLr::with_iterations(n).schedule_at(&jobs, &platform, 1.0))
         });
     }
     group.finish();

@@ -45,7 +45,7 @@ impl LinearManager {
             .chain(std::iter::once(&candidate))
             .map(EngineJob::as_job)
             .collect();
-        match self.scheduler.schedule(&jobs, &self.platform, now) {
+        match self.scheduler.schedule_at(&jobs, &self.platform, now) {
             Some(schedule) => {
                 self.engine.admit(candidate, schedule);
                 true

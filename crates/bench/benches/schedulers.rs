@@ -29,8 +29,8 @@ fn representative_cases(platform: &Platform) -> Vec<(usize, JobSet)> {
             .filter(|c| c.num_jobs() == jobs && c.level == DeadlineLevel::Tight)
             .map(|c| c.to_job_set())
             .find(|set| {
-                MmkpMdf::new().schedule(set, platform, 0.0).is_some()
-                    && MmkpLr::new().schedule(set, platform, 0.0).is_some()
+                MmkpMdf::new().schedule_at(set, platform, 0.0).is_some()
+                    && MmkpLr::new().schedule_at(set, platform, 0.0).is_some()
             });
         if let Some(set) = found {
             out.push((jobs, set));
@@ -47,7 +47,7 @@ fn bench_schedulers(c: &mut Criterion) {
     group.sample_size(60);
     for (jobs, set) in &cases {
         group.bench_with_input(BenchmarkId::from_parameter(jobs), set, |b, set| {
-            b.iter(|| MmkpMdf::new().schedule(set, &platform, 0.0))
+            b.iter(|| MmkpMdf::new().schedule_at(set, &platform, 0.0))
         });
     }
     group.finish();
@@ -56,7 +56,7 @@ fn bench_schedulers(c: &mut Criterion) {
     group.sample_size(40);
     for (jobs, set) in &cases {
         group.bench_with_input(BenchmarkId::from_parameter(jobs), set, |b, set| {
-            b.iter(|| MmkpLr::new().schedule(set, &platform, 0.0))
+            b.iter(|| MmkpLr::new().schedule_at(set, &platform, 0.0))
         });
     }
     group.finish();
@@ -66,7 +66,7 @@ fn bench_schedulers(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(4));
     for (jobs, set) in cases.iter().filter(|(j, _)| *j <= 3) {
         group.bench_with_input(BenchmarkId::from_parameter(jobs), set, |b, set| {
-            b.iter(|| ExMem::new().schedule(set, &platform, 0.0))
+            b.iter(|| ExMem::new().schedule_at(set, &platform, 0.0))
         });
     }
     group.finish();

@@ -28,7 +28,7 @@ pub fn job_order_report(cases: &[TestCase], platform: &Platform) -> String {
             .iter()
             .map(|&p| {
                 MmkpVariant::new(p)
-                    .schedule(&jobs, platform, 0.0)
+                    .schedule_at(&jobs, platform, 0.0)
                     .map(|s| s.energy(&jobs))
             })
             .collect();

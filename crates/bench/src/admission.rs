@@ -13,11 +13,10 @@
 //! [`TelemetrySummary`] aggregates — in the perf baseline
 //! (`BENCH_baseline.json`) whenever a suite run writes JSON.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
+use amrm_core::fanout::for_each_cell;
 use amrm_core::{
     AdaptiveBatch, AdmissionPolicy, BatchK, Immediate, ReactivationPolicy, SchedulerRegistry,
-    SlackAware, WindowTau,
+    SearchBudget, SlackAware, WindowTau,
 };
 use amrm_metrics::{TelemetrySummary, TextTable};
 use amrm_platform::Platform;
@@ -143,9 +142,14 @@ pub fn standard_streams(
 /// Runs every (stream × policy × scheduler) combination and collects one
 /// [`AdmissionCell`] per combination — streams outermost, then policies,
 /// schedulers in registry order innermost. Cells are independent
-/// simulations, so they are fanned out over `threads` OS threads via a
-/// shared work index (EX-MEM's slow online cells would otherwise
-/// serialize the whole grid).
+/// simulations, so they are fanned out over `threads` OS threads via the
+/// shared [`for_each_cell`] work index (a slow exhaustive cell would
+/// otherwise serialize the whole grid).
+///
+/// `budget` is the per-activation [`SearchBudget`] every cell's runtime
+/// manager forwards to its scheduler. The repro binary passes
+/// [`SearchBudget::online`], which is what lets the anytime EX-MEM run
+/// the full grid — bursty stream included — instead of sitting out.
 ///
 /// # Panics
 ///
@@ -157,6 +161,7 @@ pub fn admission_grid(
     policies: &[PolicyFactory],
     streams: &[(&str, &[ScenarioRequest])],
     threads: usize,
+    budget: SearchBudget,
 ) -> Vec<AdmissionCell> {
     assert!(threads > 0, "need at least one worker thread");
     assert!(!registry.is_empty(), "registry must not be empty");
@@ -187,6 +192,7 @@ pub fn admission_grid(
             policy,
             stream,
         )
+        .with_search_budget(budget)
         .run();
         AdmissionCell {
             stream: stream_label.to_string(),
@@ -202,36 +208,7 @@ pub fn admission_grid(
             telemetry: outcome.telemetry,
         }
     };
-    if threads == 1 || total < 2 {
-        return (0..total).map(run_cell).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut flat: Vec<Option<AdmissionCell>> = vec![None; total];
-    std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..threads.min(total))
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut produced = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= total {
-                            break;
-                        }
-                        produced.push((i, run_cell(i)));
-                    }
-                    produced
-                })
-            })
-            .collect();
-        for worker in workers {
-            for (i, cell) in worker.join().expect("worker panicked") {
-                flat[i] = Some(cell);
-            }
-        }
-    });
-    flat.into_iter()
-        .map(|c| c.expect("all cells filled by workers"))
-        .collect()
+    for_each_cell(total, threads, run_cell)
 }
 
 /// Renders a grid as a text table, one row per (stream, policy,
@@ -309,6 +286,7 @@ mod tests {
             &policies,
             &[("poisson", &stream)],
             2,
+            SearchBudget::unbounded(),
         );
         assert_eq!(cells.len(), policies.len() * registry.len());
         // Policies outermost (within the stream), registry order within.
@@ -339,6 +317,7 @@ mod tests {
             &fixed_policies(),
             &[("poisson", &a), ("s1", &b)],
             2,
+            SearchBudget::unbounded(),
         );
         assert_eq!(cells.len(), 2 * 3);
         assert!(cells[..3].iter().all(|c| c.stream == "poisson"));
@@ -357,6 +336,7 @@ mod tests {
             &standard_policies(),
             streams,
             1,
+            SearchBudget::unbounded(),
         );
         let parallel = admission_grid(
             &scenarios::platform(),
@@ -364,6 +344,7 @@ mod tests {
             &standard_policies(),
             streams,
             4,
+            SearchBudget::unbounded(),
         );
         assert_eq!(serial.len(), parallel.len());
         for (a, b) in serial.iter().zip(&parallel) {
@@ -389,6 +370,7 @@ mod tests {
             &policies,
             &[("poisson", &stream)],
             1,
+            SearchBudget::unbounded(),
         );
         let immediate = &cells[0];
         let batched = &cells[1];
@@ -406,6 +388,7 @@ mod tests {
             &standard_policies(),
             &[("poisson", &stream)],
             1,
+            SearchBudget::unbounded(),
         );
         let report = admission_report(&cells);
         assert!(report.contains("Immediate"));
@@ -428,6 +411,7 @@ mod tests {
             &policies,
             &[("poisson", &stream)],
             1,
+            SearchBudget::unbounded(),
         );
         let text = serde_json::to_string(&cells).unwrap();
         let back: Vec<AdmissionCell> = serde_json::from_str(&text).unwrap();
@@ -459,7 +443,14 @@ mod tests {
             Box::new(|| Box::new(WindowTau(2.0))),
             Box::new(|| Box::new(AdaptiveBatch::default())),
         ];
-        let cells = admission_grid(&platform, &registry, &policies, &[("bursty", &stream)], 2);
+        let cells = admission_grid(
+            &platform,
+            &registry,
+            &policies,
+            &[("bursty", &stream)],
+            2,
+            SearchBudget::online(),
+        );
         let adaptive = &cells[2];
         assert_eq!(adaptive.policy, "AdaptiveBatch");
         for fixed in &cells[..2] {
@@ -469,6 +460,98 @@ mod tests {
                 adaptive.acceptance_rate,
                 fixed.policy,
                 fixed.acceptance_rate
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_exmem_completes_the_bursty_quick_grid() {
+        // The stream EX-MEM used to sit out: its bursts stack more
+        // concurrent jobs than the exhaustive joint enumeration finishes
+        // online (a single unbudgeted cell ran for over ten minutes).
+        // Under the default online budget the anytime search degrades to
+        // best-found-so-far (or the MDF incumbent) and the whole quick
+        // grid — every standard policy — completes in seconds.
+        let platform = amrm_platform::Platform::odroid_xu4();
+        let library = amrm_dataflow::apps::benchmark_suite(&platform);
+        let streams = standard_streams(&library, true, 2020, true);
+        let (_, stream) = streams
+            .into_iter()
+            .find(|(label, _)| *label == "bursty")
+            .expect("standard streams include a bursty shape");
+        let registry = standard_registry().subset(&[amrm_baselines::EXMEM_NAME]);
+        let cells = admission_grid(
+            &platform,
+            &registry,
+            &standard_policies(),
+            &[("bursty", &stream)],
+            2,
+            SearchBudget::online(),
+        );
+        assert_eq!(cells.len(), standard_policies().len());
+        for c in &cells {
+            assert_eq!(c.scheduler, amrm_baselines::EXMEM_NAME);
+            assert!((0.0..=1.0).contains(&c.acceptance_rate));
+            assert_eq!(c.deadline_misses, 0);
+        }
+        assert!(
+            cells.iter().any(|c| c.accepted > 0),
+            "budgeted EX-MEM admitted nothing on the bursty stream"
+        );
+    }
+
+    #[test]
+    fn meta_tracks_the_best_fixed_scheduler_on_the_quick_grid() {
+        // The META acceptance criterion, pinned at the committed
+        // baseline's `--quick --seed 2020` configuration: on each grid
+        // stream, META's acceptance (averaged over the standard
+        // admission policies) is at least the best single fixed
+        // scheduler's minus 0.02, and strictly beats the worst one.
+        let platform = amrm_platform::Platform::odroid_xu4();
+        let library = amrm_dataflow::apps::benchmark_suite(&platform);
+        let streams = standard_streams(&library, true, 2020, true);
+        let stream_refs: Vec<(&str, &[ScenarioRequest])> = streams
+            .iter()
+            .map(|(label, stream)| (*label, stream.as_slice()))
+            .collect();
+        let registry = standard_registry();
+        let cells = admission_grid(
+            &platform,
+            &registry,
+            &standard_policies(),
+            &stream_refs,
+            4,
+            SearchBudget::online(),
+        );
+        for (label, _) in &stream_refs {
+            let mean_acceptance = |scheduler: &str| {
+                let rates: Vec<f64> = cells
+                    .iter()
+                    .filter(|c| c.stream == *label && c.scheduler == scheduler)
+                    .map(|c| c.acceptance_rate)
+                    .collect();
+                assert!(!rates.is_empty(), "no {scheduler} cells on {label}");
+                rates.iter().sum::<f64>() / rates.len() as f64
+            };
+            let meta = mean_acceptance(amrm_baselines::META_NAME);
+            let fixed: Vec<(String, f64)> = registry
+                .names()
+                .into_iter()
+                .filter(|n| *n != amrm_baselines::META_NAME)
+                .map(|n| (n.to_string(), mean_acceptance(n)))
+                .collect();
+            let best = fixed
+                .iter()
+                .map(|(_, a)| *a)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let worst = fixed.iter().map(|(_, a)| *a).fold(f64::INFINITY, f64::min);
+            assert!(
+                meta >= best - 0.02,
+                "{label}: META acceptance {meta:.3} below best fixed {best:.3} - 0.02 ({fixed:?})"
+            );
+            assert!(
+                meta > worst,
+                "{label}: META acceptance {meta:.3} does not beat worst fixed {worst:.3}"
             );
         }
     }

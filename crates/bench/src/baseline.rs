@@ -219,6 +219,7 @@ mod tests {
             &crate::admission::standard_policies(),
             &[("poisson", &stream)],
             1,
+            amrm_core::SearchBudget::unbounded(),
         );
         let path = std::env::temp_dir().join("amrm_baseline_roundtrip.json");
         write_json(&path, &baseline).unwrap();

@@ -15,34 +15,41 @@
 //!   ablation    extensions: job-order policy, online admission, DVFS
 //!   admission   extension: stream × admission-policy × scheduler A/B grid
 //!               (Immediate/BatchK/WindowTau plus the adaptive
-//!               AdaptiveBatch/SlackAware on Poisson and bursty streams)
-//!   all         everything above except `ablation`/`admission` (default)
+//!               AdaptiveBatch/SlackAware on Poisson and bursty streams;
+//!               every scheduler — budgeted EX-MEM and META included —
+//!               runs every stream under the online search budget)
+//!   sweep       extension: acceptance/energy curves over an offered-load
+//!               grid × schedulers × admission policies
+//!   all         everything above except `ablation`/`admission`/`sweep`
+//!               (default)
 //!
 //! OPTIONS
 //!   --seed N         RNG seed for suite generation (default 2020)
 //!   --threads N      worker threads (default: available parallelism)
-//!   --quick          divide all Table III counts by 10 (smoke run)
+//!   --quick          divide all Table III counts by 10 (smoke run);
+//!                    shrinks the sweep grid likewise
 //!   --suite-out F    save the generated suite as JSON
 //!   --json F         with suite commands: write per-scheduler energy/
 //!                    feasibility/search-time aggregates plus the
-//!                    admission-policy grid to F
+//!                    admission-policy grid to F; with `sweep`: write the
+//!                    sweep cells to F
 //!   --schedulers L   comma-separated registry subset to evaluate (suite
-//!                    commands, ablation and admission; default: every
-//!                    registered scheduler). Excluding EX-MEM unlocks
-//!                    full-length admission-grid streams (its exponential
-//!                    online search otherwise bounds them)
+//!                    commands, ablation, admission and sweep; default:
+//!                    every registered scheduler). Excluding EX-MEM
+//!                    unlocks full-length admission-grid streams (even
+//!                    budgeted, the exhaustive reference bounds them)
 //! ```
 
 use std::process::ExitCode;
 
 use amrm_baselines::{standard_registry, EXMEM_NAME};
 use amrm_bench::runner::evaluate_suite;
-use amrm_bench::{admission, baseline, reports};
-use amrm_core::SchedulerRegistry;
+use amrm_bench::{admission, baseline, reports, sweep};
+use amrm_core::{SchedulerRegistry, SearchBudget};
 use amrm_dataflow::apps;
 use amrm_model::AppRef;
 use amrm_platform::Platform;
-use amrm_workload::{generate_suite, save_suite, SuiteSpec};
+use amrm_workload::{generate_suite, save_suite, StreamSpec, SuiteSpec};
 
 struct Options {
     command: String,
@@ -106,12 +113,12 @@ fn parse_args() -> Result<Options, String> {
 
 /// Runs the stream × policy × scheduler admission grid for the `admission`
 /// command and the `--json` baseline embedding (both report the same
-/// cells). EX-MEM — when present — bounds the stream length (its
-/// exponential joint-batch search runs online in every cell); an explicit
-/// `--schedulers` subset without it unlocks full-length streams. The
-/// bursty stream additionally drops EX-MEM unless the user pinned a
-/// subset: its bursts stack ~15 concurrent jobs, far beyond what the
-/// exhaustive search finishes online.
+/// cells). Every scheduler runs every stream — bursty included — under
+/// the online [`SearchBudget`]: the anytime EX-MEM degrades to its MDF
+/// fallback instead of hanging when bursts stack ~15 concurrent jobs.
+/// EX-MEM — when present — still bounds the stream *length* (even
+/// budgeted, thousands of exhaustive activations dominate the grid); an
+/// explicit `--schedulers` subset without it unlocks full-length streams.
 fn run_admission_grid(
     platform: &Platform,
     library: &[AppRef],
@@ -121,38 +128,26 @@ fn run_admission_grid(
     let with_exmem = registry.index_of(EXMEM_NAME).is_some();
     let streams = admission::standard_streams(library, opts.quick, opts.seed, with_exmem);
     let policies = admission::standard_policies();
-    let bursty_registry = if with_exmem && opts.schedulers.is_none() {
-        let names: Vec<&str> = registry
-            .names()
-            .into_iter()
-            .filter(|&n| n != EXMEM_NAME)
-            .collect();
-        Some(registry.subset(&names))
-    } else {
-        None
-    };
-    let mut cells = Vec::new();
-    for (label, stream) in &streams {
-        let grid_registry = match (&bursty_registry, *label) {
-            (Some(online), "bursty") => online,
-            _ => registry,
-        };
-        eprintln!(
-            "running admission grid on `{label}`: {} policies × {} schedulers ({}), {} requests ...",
-            policies.len(),
-            grid_registry.len(),
-            grid_registry.names().join(", "),
-            stream.len()
-        );
-        cells.extend(admission::admission_grid(
-            platform,
-            grid_registry,
-            &policies,
-            &[(label, stream)],
-            opts.threads,
-        ));
-    }
-    cells
+    let stream_refs: Vec<(&str, &[amrm_workload::ScenarioRequest])> = streams
+        .iter()
+        .map(|(label, stream)| (*label, stream.as_slice()))
+        .collect();
+    eprintln!(
+        "running admission grid: {} streams × {} policies × {} schedulers ({}), {} requests each ...",
+        streams.len(),
+        policies.len(),
+        registry.len(),
+        registry.names().join(", "),
+        streams.first().map(|(_, s)| s.len()).unwrap_or(0)
+    );
+    admission::admission_grid(
+        platform,
+        registry,
+        &policies,
+        &stream_refs,
+        opts.threads,
+        SearchBudget::online(),
+    )
 }
 
 /// Resolves the evaluation registry: the full standard registry, or the
@@ -183,7 +178,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: repro [table2|motivation|table3|fig2|table4|fig3|fig4|ablation|\
-                 admission|all] [--seed N] [--threads N] [--quick] [--suite-out FILE] \
+                 admission|sweep|all] [--seed N] [--threads N] [--quick] [--suite-out FILE] \
                  [--json FILE] [--schedulers A,B,...]"
             );
             return if msg == "help" {
@@ -206,10 +201,10 @@ fn main() -> ExitCode {
         opts.command.as_str(),
         "fig2" | "table4" | "fig3" | "fig4" | "all"
     );
-    if opts.json_out.is_some() && !evaluates_suite {
+    if opts.json_out.is_some() && !evaluates_suite && opts.command != "sweep" {
         eprintln!(
             "error: --json only applies to commands that evaluate the suite \
-             (fig2, table4, fig3, fig4, all), not `{}`",
+             (fig2, table4, fig3, fig4, all) or `sweep`, not `{}`",
             opts.command
         );
         return ExitCode::FAILURE;
@@ -218,10 +213,11 @@ fn main() -> ExitCode {
         && !evaluates_suite
         && opts.command != "ablation"
         && opts.command != "admission"
+        && opts.command != "sweep"
     {
         eprintln!(
-            "error: --schedulers only applies to suite evaluation, `ablation` or `admission`, \
-             not `{}`",
+            "error: --schedulers only applies to suite evaluation, `ablation`, `admission` \
+             or `sweep`, not `{}`",
             opts.command
         );
         return ExitCode::FAILURE;
@@ -277,6 +273,59 @@ fn main() -> ExitCode {
         let library = apps::benchmark_suite(&platform);
         let cells = run_admission_grid(&platform, &library, &registry, &opts);
         println!("{}", admission::admission_report(&cells));
+        return ExitCode::SUCCESS;
+    }
+    if opts.command == "sweep" {
+        let platform = Platform::odroid_xu4();
+        eprintln!(
+            "characterizing application library on {} ...",
+            platform.name()
+        );
+        let library = apps::benchmark_suite(&platform);
+        let interarrivals: Vec<f64> = if opts.quick {
+            vec![1.0, 2.0, 4.0, 8.0]
+        } else {
+            vec![0.5, 1.0, 2.0, 4.0, 8.0, 16.0]
+        };
+        let spec = StreamSpec {
+            requests: if opts.quick { 40 } else { 150 },
+            slack_range: (1.5, 3.0),
+        };
+        let policies = admission::standard_policies();
+        eprintln!(
+            "running load sweep: {} loads × {} policies × {} schedulers ({}), {} requests each ...",
+            interarrivals.len(),
+            policies.len(),
+            registry.len(),
+            registry.names().join(", "),
+            spec.requests
+        );
+        let cells = sweep::sweep_grid(
+            &platform,
+            &registry,
+            &policies,
+            &library,
+            &interarrivals,
+            &spec,
+            opts.seed,
+            opts.threads,
+            SearchBudget::online(),
+        );
+        println!("{}", sweep::sweep_report(&cells, &interarrivals));
+        if let Some(path) = &opts.json_out {
+            let report = sweep::SweepReport {
+                seed: opts.seed,
+                quick: opts.quick,
+                requests_per_point: spec.requests,
+                interarrivals,
+                cells,
+            };
+            if let Err(e) = sweep::write_json(path, &report) {
+                eprintln!("error: cannot write sweep to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("sweep artifact written to {path}");
+        }
         return ExitCode::SUCCESS;
     }
 

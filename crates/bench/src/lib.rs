@@ -10,19 +10,27 @@
 //!   activations);
 //! * [`reports`] — renders each table/figure of the paper from those
 //!   results, one column per registered scheduler;
+//! * [`sweep`] — acceptance/energy curves over an offered-load grid ×
+//!   schedulers × admission policies (`repro sweep`);
 //! * [`baseline`] — condenses an evaluation into the machine-readable
 //!   perf baseline (`BENCH_baseline.json`).
 //!
-//! The `repro` binary drives all three; Criterion benches under `benches/`
-//! measure steady-state scheduler overhead (Fig. 4), the execution-engine
-//! hot path, and ablations.
+//! The `repro` binary drives all of them; Criterion benches under
+//! `benches/` measure steady-state scheduler overhead (Fig. 4), the
+//! execution-engine hot path, and ablations. Grid-shaped evaluations
+//! share one work-stealing fan-out helper, re-exported here as
+//! [`fanout`].
 
 pub mod ablation;
 pub mod admission;
 pub mod baseline;
 pub mod reports;
 pub mod runner;
+pub mod sweep;
+
+pub use amrm_core::fanout;
 
 pub use crate::admission::{admission_grid, admission_report, standard_policies, AdmissionCell};
 pub use crate::baseline::{summarize, write_json, PerfBaseline, SchedulerBaseline};
 pub use crate::runner::{evaluate_case, evaluate_suite, CaseResult, SchedResult, SuiteEvaluation};
+pub use crate::sweep::{sweep_grid, sweep_report, SweepCell, SweepReport};

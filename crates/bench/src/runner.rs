@@ -7,10 +7,10 @@
 //! scheduler, in registry order. Result queries are by scheduler *name*,
 //! so reports keep working when schedulers are added or reordered.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use amrm_core::SchedulerRegistry;
+use amrm_core::fanout::for_each_cell;
+use amrm_core::{Scheduler, SchedulerRegistry};
 use amrm_platform::Platform;
 use amrm_workload::{DeadlineLevel, TestCase};
 use serde::{Deserialize, Serialize};
@@ -152,7 +152,7 @@ fn evaluate_cell(
         .create_at(scheduler_idx)
         .expect("scheduler index in range");
     let t0 = Instant::now();
-    let schedule = scheduler.schedule(jobs, platform, 0.0);
+    let schedule = scheduler.schedule_at(jobs, platform, 0.0);
     let seconds = t0.elapsed().as_secs_f64();
     match schedule {
         Some(s) if s.validate(jobs, platform, 0.0).is_ok() => SchedResult {
@@ -188,7 +188,8 @@ pub fn evaluate_case(
 
 /// Evaluates a whole suite with every scheduler in `registry`, fanning
 /// *individual (case × scheduler) cells* out over `threads` OS threads
-/// via a shared work index.
+/// via the shared [`for_each_cell`] work index (also used by the
+/// admission grid and the load sweeps).
 ///
 /// Per-cell stealing matters because scheduler costs are wildly uneven:
 /// one EX-MEM cell can outlast hundreds of heuristic cells, and under the
@@ -211,46 +212,10 @@ pub fn evaluate_suite(
     );
     let scheduler_names: Vec<String> = registry.names().iter().map(|n| n.to_string()).collect();
     let columns = registry.len();
-    let total = cases.len() * columns;
-    if threads == 1 || total < 2 {
-        return SuiteEvaluation {
-            scheduler_names,
-            results: cases
-                .iter()
-                .map(|c| evaluate_case(c, platform, registry))
-                .collect(),
-        };
-    }
-
     // Job sets are shared across a case's cells, so build them once.
     let job_sets: Vec<amrm_model::JobSet> = cases.iter().map(TestCase::to_job_set).collect();
-    let next = AtomicUsize::new(0);
-    let mut flat: Vec<Option<SchedResult>> = vec![None; total];
-    std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..threads.min(total))
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut produced: Vec<(usize, SchedResult)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= total {
-                            break;
-                        }
-                        let (case_idx, sched_idx) = (i / columns, i % columns);
-                        produced.push((
-                            i,
-                            evaluate_cell(&job_sets[case_idx], platform, registry, sched_idx),
-                        ));
-                    }
-                    produced
-                })
-            })
-            .collect();
-        for worker in workers {
-            for (i, result) in worker.join().expect("worker panicked") {
-                flat[i] = Some(result);
-            }
-        }
+    let flat = for_each_cell(cases.len() * columns, threads, |i| {
+        evaluate_cell(&job_sets[i / columns], platform, registry, i % columns)
     });
 
     let mut flat = flat.into_iter();
@@ -262,10 +227,7 @@ pub fn evaluate_suite(
                 case_id: case.id,
                 level: case.level,
                 num_jobs: case.num_jobs(),
-                schedulers: (&mut flat)
-                    .take(columns)
-                    .map(|r| r.expect("all cells filled by workers"))
-                    .collect(),
+                schedulers: (&mut flat).take(columns).collect(),
             })
             .collect(),
     }

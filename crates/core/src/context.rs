@@ -1,0 +1,237 @@
+//! The scheduling context: everything a scheduler may observe at an
+//! activation beyond the job set and the platform.
+//!
+//! The paper's runtime manager hands its scheduling algorithm only the
+//! unfinished jobs and the clock. Hybrid design-time/run-time work
+//! (Weichslgartner et al.; E-Mapper) argues the runtime selector needs
+//! more: the *observed load* (to pick the right algorithm for the regime)
+//! and a *decision budget* (so an exhaustive reference can run online in
+//! anytime mode). [`SchedulingContext`] carries exactly those three
+//! things — the activation instant, a read-only
+//! [`TelemetrySnapshot`] of the online series, and a deterministic
+//! [`SearchBudget`]:
+//!
+//! * stateless heuristics ignore the context beyond
+//!   [`now`](SchedulingContext::now) and behave exactly as before;
+//! * search-based schedulers (EX-MEM) bound their exploration by the
+//!   budget and degrade to the best schedule found so far;
+//! * meta-schedulers (the `META` registry entry in `amrm-baselines`)
+//!   switch algorithms by the observed regime.
+//!
+//! The budget counts *search work units* — state expansions and
+//! enumeration steps — never wall-clock time, so a budgeted run is
+//! reproducible bit for bit per stream seed on any machine.
+//!
+//! # Examples
+//!
+//! ```
+//! use amrm_core::{MmkpMdf, Scheduler, SchedulingContext, SearchBudget};
+//! use amrm_workload::scenarios;
+//!
+//! let jobs = scenarios::s1_jobs_at_t1();
+//! let ctx = SchedulingContext::at(1.0).with_budget(SearchBudget::nodes(10_000));
+//! let schedule = MmkpMdf::new()
+//!     .schedule(&jobs, &scenarios::platform(), &ctx)
+//!     .expect("feasible");
+//! assert!(schedule.validate(&jobs, &scenarios::platform(), 1.0).is_ok());
+//! ```
+
+pub use amrm_metrics::TelemetrySnapshot;
+
+/// A deterministic bound on the search effort one scheduler activation may
+/// spend.
+///
+/// The budget is counted in *work units* (search-tree state expansions and
+/// per-job enumeration steps), not wall-clock time: two runs with the same
+/// seed and the same budget do exactly the same work and return exactly
+/// the same schedule. [`SearchBudget::unbounded`] (the default) disables
+/// the bound — a search-based scheduler then behaves exactly like its
+/// pre-budget self.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchBudget {
+    limit: Option<u64>,
+}
+
+impl SearchBudget {
+    /// The default online budget in work units, sized so a budgeted EX-MEM
+    /// activation over a burst of ~15 concurrent jobs completes in
+    /// milliseconds while small activations (a handful of jobs) are still
+    /// solved exactly.
+    pub const ONLINE_WORK_UNITS: u64 = 50_000;
+
+    /// No bound: search-based schedulers run to proven optimality.
+    pub const fn unbounded() -> Self {
+        SearchBudget { limit: None }
+    }
+
+    /// A bound of `limit` work units per activation.
+    pub const fn nodes(limit: u64) -> Self {
+        SearchBudget { limit: Some(limit) }
+    }
+
+    /// The standard online budget
+    /// ([`ONLINE_WORK_UNITS`](SearchBudget::ONLINE_WORK_UNITS) units) used
+    /// by the admission grid and the load sweeps, where every scheduler —
+    /// including the exhaustive reference — must decide in bounded time.
+    pub const fn online() -> Self {
+        SearchBudget::nodes(Self::ONLINE_WORK_UNITS)
+    }
+
+    /// The work-unit limit, or `None` when unbounded.
+    pub fn node_limit(&self) -> Option<u64> {
+        self.limit
+    }
+
+    /// Returns `true` when no limit is set.
+    pub fn is_unbounded(&self) -> bool {
+        self.limit.is_none()
+    }
+
+    /// Returns `true` once `work` units exhaust this budget.
+    pub fn is_exhausted_by(&self, work: u64) -> bool {
+        self.limit.is_some_and(|limit| work >= limit)
+    }
+
+    /// The tighter of two budgets (a scheduler's own cap composed with the
+    /// context's).
+    pub fn tightest(self, other: SearchBudget) -> SearchBudget {
+        match (self.limit, other.limit) {
+            (Some(a), Some(b)) => SearchBudget::nodes(a.min(b)),
+            (Some(a), None) => SearchBudget::nodes(a),
+            (None, b) => SearchBudget { limit: b },
+        }
+    }
+}
+
+impl std::fmt::Display for SearchBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.limit {
+            Some(limit) => write!(f, "SearchBudget({limit})"),
+            None => write!(f, "SearchBudget(∞)"),
+        }
+    }
+}
+
+/// The read-only context handed to [`Scheduler::schedule`]
+/// (crate::Scheduler::schedule) at every activation.
+///
+/// Constructed by the [`RuntimeManager`](crate::RuntimeManager) from its
+/// clock, the last telemetry snapshot it observed (fed by the `amrm-sim`
+/// event kernel via
+/// [`observe_telemetry`](crate::RuntimeManager::observe_telemetry)) and
+/// its configured [`SearchBudget`]. Standalone callers — the suite
+/// runner, tests, benches — use [`SchedulingContext::at`], which carries
+/// an idle snapshot and an unbounded budget and therefore reproduces the
+/// pre-context call `schedule(jobs, platform, now)` exactly.
+#[derive(Debug, Clone)]
+pub struct SchedulingContext {
+    /// The activation instant (simulated seconds) — the `now` of the
+    /// pre-context trait signature.
+    pub now: f64,
+    /// Read-only view of the online telemetry series at the most recent
+    /// admission decision point (an idle default outside the sim kernel).
+    /// Everything in it is simulated time and state, so context-aware
+    /// schedulers stay deterministic per stream seed.
+    pub telemetry: TelemetrySnapshot,
+    /// The search budget for this activation
+    /// ([`unbounded`](SearchBudget::unbounded) by default).
+    pub budget: SearchBudget,
+}
+
+impl SchedulingContext {
+    /// A context at time `now` with an idle telemetry snapshot and an
+    /// unbounded budget — the drop-in equivalent of the pre-context
+    /// `schedule(jobs, platform, now)` call.
+    pub fn at(now: f64) -> Self {
+        SchedulingContext {
+            now,
+            telemetry: TelemetrySnapshot::default(),
+            budget: SearchBudget::unbounded(),
+        }
+    }
+
+    /// Replaces the telemetry snapshot.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetrySnapshot) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the search budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_budget_never_exhausts() {
+        let b = SearchBudget::unbounded();
+        assert!(b.is_unbounded());
+        assert_eq!(b.node_limit(), None);
+        assert!(!b.is_exhausted_by(u64::MAX));
+        assert_eq!(SearchBudget::default(), b);
+    }
+
+    #[test]
+    fn bounded_budget_exhausts_at_limit() {
+        let b = SearchBudget::nodes(10);
+        assert!(!b.is_unbounded());
+        assert!(!b.is_exhausted_by(9));
+        assert!(b.is_exhausted_by(10));
+        assert!(b.is_exhausted_by(11));
+    }
+
+    #[test]
+    fn tightest_composes_caps() {
+        let a = SearchBudget::nodes(10);
+        let b = SearchBudget::nodes(20);
+        let inf = SearchBudget::unbounded();
+        assert_eq!(a.tightest(b), a);
+        assert_eq!(b.tightest(a), a);
+        assert_eq!(a.tightest(inf), a);
+        assert_eq!(inf.tightest(a), a);
+        assert_eq!(inf.tightest(inf), inf);
+    }
+
+    #[test]
+    fn online_budget_is_bounded() {
+        assert_eq!(
+            SearchBudget::online().node_limit(),
+            Some(SearchBudget::ONLINE_WORK_UNITS)
+        );
+    }
+
+    #[test]
+    fn context_at_is_the_pre_context_call() {
+        let ctx = SchedulingContext::at(2.5);
+        assert_eq!(ctx.now, 2.5);
+        assert!(ctx.budget.is_unbounded());
+        assert_eq!(ctx.telemetry.arrival_rate, 0.0);
+        assert_eq!(ctx.telemetry.queue_depth, 0);
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let snap = TelemetrySnapshot {
+            arrival_rate: 2.0,
+            ..TelemetrySnapshot::default()
+        };
+        let ctx = SchedulingContext::at(1.0)
+            .with_telemetry(snap)
+            .with_budget(SearchBudget::nodes(5));
+        assert_eq!(ctx.telemetry.arrival_rate, 2.0);
+        assert_eq!(ctx.budget.node_limit(), Some(5));
+    }
+
+    #[test]
+    fn budget_displays_limit() {
+        assert_eq!(SearchBudget::nodes(7).to_string(), "SearchBudget(7)");
+        assert_eq!(SearchBudget::unbounded().to_string(), "SearchBudget(∞)");
+    }
+}

@@ -1,0 +1,112 @@
+//! Work-stealing cell fan-out shared by every grid-shaped evaluation.
+//!
+//! The suite runner, the admission grid and the load sweeps all face the
+//! same shape of work: `total` independent cells whose costs are wildly
+//! uneven (one budgetless EX-MEM cell can outlast hundreds of heuristic
+//! cells). Static chunking stalls whole chunks behind one hard cell;
+//! [`for_each_cell`] instead lets worker threads steal individual cell
+//! indices off a shared atomic counter, so the wall clock is bounded by
+//! the slowest *single* cell, not the slowest chunk.
+//!
+//! Results come back in cell order regardless of which worker ran which
+//! cell, and `threads == 1` degenerates to a plain in-order loop — serial
+//! and parallel runs produce identical result vectors.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `run(i)` for every `i in 0..total` across `threads` OS threads via
+/// a shared work index, returning the results in index order.
+///
+/// `run` must be independent per cell (no cross-cell ordering is
+/// guaranteed beyond the returned vector's order). With `threads == 1`
+/// (or fewer than two cells) the cells run serially in order on the
+/// calling thread.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or a worker thread panics.
+///
+/// # Examples
+///
+/// ```
+/// use amrm_core::fanout::for_each_cell;
+///
+/// let squares = for_each_cell(5, 4, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn for_each_cell<T, F>(total: usize, threads: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    if threads == 1 || total < 2 {
+        return (0..total).map(run).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut flat: Vec<Option<T>> = (0..total).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads.min(total))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        produced.push((i, run(i)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (i, result) in worker.join().expect("worker panicked") {
+                flat[i] = Some(result);
+            }
+        }
+    });
+    flat.into_iter()
+        .map(|r| r.expect("all cells filled by workers"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_in_order() {
+        let serial = for_each_cell(23, 1, |i| i * 3);
+        let parallel = for_each_cell(23, 7, |i| i * 3);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[22], 66);
+    }
+
+    #[test]
+    fn empty_and_singleton_totals_work() {
+        assert_eq!(for_each_cell(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(for_each_cell(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn uneven_cell_costs_are_balanced() {
+        // Cells that sleep by index: stealing keeps every worker busy and
+        // the results still come back in order.
+        let out = for_each_cell(8, 4, |i| {
+            if i % 3 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker thread")]
+    fn zero_threads_panics() {
+        let _ = for_each_cell(3, 0, |i| i);
+    }
+}

@@ -4,7 +4,8 @@
 //! The crate provides:
 //!
 //! * [`Scheduler`] — the algorithm abstraction shared with the baselines in
-//!   `amrm-baselines`;
+//!   `amrm-baselines`; every activation receives a [`SchedulingContext`]
+//!   (clock, read-only telemetry snapshot, deterministic [`SearchBudget`]);
 //! * [`SchedulerRegistry`] — a named, ordered set of scheduler factories;
 //!   the extension point through which suites, sweeps and the repro binary
 //!   enumerate algorithms without hard-coded indices;
@@ -38,7 +39,9 @@
 //! ```
 
 mod admission;
+mod context;
 mod engine;
+pub mod fanout;
 mod manager;
 mod mdf;
 mod schedule_jobs;
@@ -49,6 +52,7 @@ pub use crate::admission::{
     AdaptiveBatch, AdmissionDirective, AdmissionPolicy, BatchK, Immediate, SlackAware,
     TelemetrySnapshot, WindowTau,
 };
+pub use crate::context::{SchedulingContext, SearchBudget};
 pub use crate::engine::{EngineJob, ExecutionEngine};
 pub use crate::manager::{Admission, ReactivationPolicy, RmStats, RuntimeManager};
 pub use crate::mdf::MmkpMdf;

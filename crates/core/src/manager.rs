@@ -5,7 +5,7 @@ use amrm_model::{AppRef, JobId, JobSet, Schedule};
 use amrm_platform::{Platform, EPS};
 
 use crate::engine::{EngineJob, ExecutionEngine};
-use crate::Scheduler;
+use crate::{Scheduler, SchedulingContext, SearchBudget, TelemetrySnapshot};
 
 /// When the runtime manager re-invokes its scheduler.
 ///
@@ -110,6 +110,13 @@ pub struct RuntimeManager<S> {
     /// admission-decision latency sample the telemetry subsystem records
     /// per activation.
     last_decision_seconds: f64,
+    /// The most recent telemetry snapshot observed via
+    /// [`observe_telemetry`](RuntimeManager::observe_telemetry); handed to
+    /// the scheduler inside every [`SchedulingContext`]. Stays at the idle
+    /// default when no telemetry source feeds this manager.
+    telemetry: TelemetrySnapshot,
+    /// Per-activation search budget forwarded through the context.
+    budget: SearchBudget,
 }
 
 impl<S: Scheduler> RuntimeManager<S> {
@@ -129,6 +136,45 @@ impl<S: Scheduler> RuntimeManager<S> {
             engine: ExecutionEngine::new(),
             stats: RmStats::default(),
             last_decision_seconds: 0.0,
+            telemetry: TelemetrySnapshot::default(),
+            budget: SearchBudget::unbounded(),
+        }
+    }
+
+    /// Builder-style override of the per-activation [`SearchBudget`]
+    /// (unbounded by default).
+    #[must_use]
+    pub fn with_search_budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the per-activation [`SearchBudget`] forwarded to the scheduler
+    /// through the [`SchedulingContext`].
+    pub fn set_search_budget(&mut self, budget: SearchBudget) {
+        self.budget = budget;
+    }
+
+    /// The configured per-activation search budget.
+    pub fn search_budget(&self) -> SearchBudget {
+        self.budget
+    }
+
+    /// Updates the telemetry snapshot handed to the scheduler at the next
+    /// activations. The `amrm-sim` event kernel calls this right before
+    /// every batch flush; outside a kernel the manager keeps the idle
+    /// default snapshot (so standalone `submit` calls behave like the
+    /// pre-context API).
+    pub fn observe_telemetry(&mut self, snapshot: TelemetrySnapshot) {
+        self.telemetry = snapshot;
+    }
+
+    /// The scheduling context for an activation at time `now`.
+    fn context(&self, now: f64) -> SchedulingContext {
+        SchedulingContext {
+            now,
+            telemetry: self.telemetry.clone(),
+            budget: self.budget,
         }
     }
 
@@ -160,6 +206,19 @@ impl<S: Scheduler> RuntimeManager<S> {
     /// The execution engine driving this manager.
     pub fn engine(&self) -> &ExecutionEngine {
         &self.engine
+    }
+
+    /// Read access to the scheduling algorithm (e.g. to inspect a
+    /// context-aware scheduler's regime after a run).
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
+    }
+
+    /// Consumes the manager and returns its scheduler — the way a run
+    /// hands back stateful algorithm internals (switch counters, memo
+    /// statistics) for inspection.
+    pub fn into_scheduler(self) -> S {
+        self.scheduler
     }
 
     /// Cores busy at the current instant, per platform core type (all
@@ -323,7 +382,8 @@ impl<S: Scheduler> RuntimeManager<S> {
             .map(EngineJob::as_job)
             .collect();
         self.stats.activations += 1;
-        let schedule = self.scheduler.schedule(&jobs, &self.platform, now)?;
+        let ctx = self.context(now);
+        let schedule = self.scheduler.schedule(&jobs, &self.platform, &ctx)?;
         debug_assert!(
             schedule.validate(&jobs, &self.platform, now).is_ok(),
             "scheduler {} produced an invalid schedule: {:?}",
@@ -359,7 +419,8 @@ impl<S: Scheduler> RuntimeManager<S> {
                         let jobs = self.engine.job_set();
                         let now = self.engine.clock();
                         self.stats.activations += 1;
-                        if let Some(schedule) = self.scheduler.schedule(&jobs, &self.platform, now)
+                        let ctx = self.context(now);
+                        if let Some(schedule) = self.scheduler.schedule(&jobs, &self.platform, &ctx)
                         {
                             debug_assert!(schedule.validate(&jobs, &self.platform, now).is_ok());
                             self.engine.replace_schedule(schedule);

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use amrm_model::{Job, JobId, JobSet, Schedule};
 use amrm_platform::{CapacityVec, Platform, EPS};
 
-use crate::{schedule_jobs, Scheduler};
+use crate::{schedule_jobs, Scheduler, SchedulingContext};
 
 /// The MMKP-MDF scheduler.
 ///
@@ -29,7 +29,7 @@ use crate::{schedule_jobs, Scheduler};
 ///
 /// let jobs = scenarios::s1_jobs_at_t1();
 /// let schedule = MmkpMdf::new()
-///     .schedule(&jobs, &scenarios::platform(), 1.0)
+///     .schedule_at(&jobs, &scenarios::platform(), 1.0)
 ///     .expect("feasible");
 /// let rho1 = 1.0 - 1.0 / 5.3;
 /// assert!((schedule.energy(&jobs) - (5.73 + 8.9 * rho1)).abs() < 1e-9);
@@ -116,10 +116,16 @@ impl Scheduler for MmkpMdf {
         "MMKP-MDF"
     }
 
-    fn schedule(&mut self, jobs: &JobSet, platform: &Platform, now: f64) -> Option<Schedule> {
+    fn schedule(
+        &mut self,
+        jobs: &JobSet,
+        platform: &Platform,
+        ctx: &SchedulingContext,
+    ) -> Option<Schedule> {
         if jobs.is_empty() {
             return Some(Schedule::new());
         }
+        let now = ctx.now;
         let horizon = jobs.max_deadline().expect("non-empty") - now;
         if horizon <= 0.0 {
             return None;
@@ -178,7 +184,7 @@ mod tests {
             1.0,
         )]);
         let schedule = MmkpMdf::new()
-            .schedule(&jobs, &scenarios::platform(), 0.0)
+            .schedule_at(&jobs, &scenarios::platform(), 0.0)
             .unwrap();
         schedule
             .validate(&jobs, &scenarios::platform(), 0.0)
@@ -200,7 +206,7 @@ mod tests {
     fn s1_at_t1_reproduces_fig1c() {
         let jobs = scenarios::s1_jobs_at_t1();
         let platform = scenarios::platform();
-        let schedule = MmkpMdf::new().schedule(&jobs, &platform, 1.0).unwrap();
+        let schedule = MmkpMdf::new().schedule_at(&jobs, &platform, 1.0).unwrap();
         schedule.validate(&jobs, &platform, 1.0).unwrap();
         let rho1 = 1.0 - 1.0 / 5.3;
         // Remaining-work energy 12.951 J; adding the 1.679 J prefix gives
@@ -220,7 +226,7 @@ mod tests {
         // same adaptive schedule as in S1.
         let jobs = scenarios::s2_jobs_at_t1();
         let platform = scenarios::platform();
-        let schedule = MmkpMdf::new().schedule(&jobs, &platform, 1.0).unwrap();
+        let schedule = MmkpMdf::new().schedule_at(&jobs, &platform, 1.0).unwrap();
         schedule.validate(&jobs, &platform, 1.0).unwrap();
         let rho1 = 1.0 - 1.0 / 5.3;
         assert!((schedule.energy(&jobs) - (5.73 + 8.9 * rho1)).abs() < 1e-9);
@@ -237,14 +243,14 @@ mod tests {
             1.0,
         )]);
         assert!(MmkpMdf::new()
-            .schedule(&jobs, &scenarios::platform(), 0.0)
+            .schedule_at(&jobs, &scenarios::platform(), 0.0)
             .is_none());
     }
 
     #[test]
     fn empty_job_set_yields_empty_schedule() {
         let schedule = MmkpMdf::new()
-            .schedule(&JobSet::default(), &scenarios::platform(), 0.0)
+            .schedule_at(&JobSet::default(), &scenarios::platform(), 0.0)
             .unwrap();
         assert!(schedule.is_empty());
     }
@@ -262,7 +268,7 @@ mod tests {
         );
         let jobs = JobSet::new(vec![Job::new(JobId(1), app, 0.0, 10.0, 1.0)]);
         let platform = scenarios::platform(); // only 2 little cores
-        let schedule = MmkpMdf::new().schedule(&jobs, &platform, 0.0).unwrap();
+        let schedule = MmkpMdf::new().schedule_at(&jobs, &platform, 0.0).unwrap();
         schedule.validate(&jobs, &platform, 0.0).unwrap();
         assert!((schedule.energy(&jobs) - 3.0).abs() < 1e-9);
     }
@@ -277,7 +283,7 @@ mod tests {
             1.0,
         )]);
         assert!(MmkpMdf::new()
-            .schedule(&jobs, &scenarios::platform(), 9.5)
+            .schedule_at(&jobs, &scenarios::platform(), 9.5)
             .is_none());
     }
 
@@ -289,7 +295,7 @@ mod tests {
             Job::new(JobId(3), scenarios::lambda2(), 0.0, 14.0, 0.7),
         ]);
         let platform = scenarios::platform();
-        let schedule = MmkpMdf::new().schedule(&jobs, &platform, 0.0).unwrap();
+        let schedule = MmkpMdf::new().schedule_at(&jobs, &platform, 0.0).unwrap();
         schedule.validate(&jobs, &platform, 0.0).unwrap();
     }
 

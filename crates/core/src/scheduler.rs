@@ -3,14 +3,23 @@
 use amrm_model::{JobSet, Schedule};
 use amrm_platform::Platform;
 
+use crate::context::SchedulingContext;
+
 /// A runtime-manager scheduling algorithm.
 ///
-/// At every RM activation (time `now`) the scheduler receives the full set
-/// of unfinished jobs `Σ` — progress ratios already advanced to `now` — and
-/// either produces a feasible adaptive [`Schedule`] covering the remaining
-/// execution of *all* jobs, or reports that no feasible schedule exists
-/// (in which case the RM rejects the newly arrived request and keeps the
-/// previous schedule).
+/// At every RM activation (context instant `ctx.now`) the scheduler
+/// receives the full set of unfinished jobs `Σ` — progress ratios already
+/// advanced to `ctx.now` — and either produces a feasible adaptive
+/// [`Schedule`] covering the remaining execution of *all* jobs, or reports
+/// that no feasible schedule exists (in which case the RM rejects the
+/// newly arrived request and keeps the previous schedule).
+///
+/// Beyond the clock, the [`SchedulingContext`] carries a read-only
+/// telemetry snapshot (for context-aware schedulers that pick strategies
+/// by observed load) and a deterministic [`SearchBudget`]
+/// (crate::SearchBudget) (for search-based schedulers that must decide in
+/// bounded time online). Schedulers that need neither simply read
+/// `ctx.now` and behave exactly as under the pre-context signature.
 ///
 /// Implementations take `&mut self` so they may keep internal caches
 /// (EX-MEM's memoization table) or tuning state across activations.
@@ -19,11 +28,25 @@ pub trait Scheduler {
     fn name(&self) -> &str;
 
     /// Attempts to build a feasible minimum-energy schedule for `jobs` on
-    /// `platform` starting at time `now`.
+    /// `platform` starting at time `ctx.now`, under the context's
+    /// telemetry view and search budget.
     ///
     /// Returns `None` if the algorithm cannot find a feasible schedule —
     /// the paper's `return ∅`.
-    fn schedule(&mut self, jobs: &JobSet, platform: &Platform, now: f64) -> Option<Schedule>;
+    fn schedule(
+        &mut self,
+        jobs: &JobSet,
+        platform: &Platform,
+        ctx: &SchedulingContext,
+    ) -> Option<Schedule>;
+
+    /// Convenience wrapper: schedules at time `now` under a default
+    /// context (idle telemetry, unbounded budget) — the exact equivalent
+    /// of the pre-context `schedule(jobs, platform, now)` call, used by
+    /// tests, benches and standalone suite evaluation.
+    fn schedule_at(&mut self, jobs: &JobSet, platform: &Platform, now: f64) -> Option<Schedule> {
+        self.schedule(jobs, platform, &SchedulingContext::at(now))
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
@@ -31,8 +54,13 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
         (**self).name()
     }
 
-    fn schedule(&mut self, jobs: &JobSet, platform: &Platform, now: f64) -> Option<Schedule> {
-        (**self).schedule(jobs, platform, now)
+    fn schedule(
+        &mut self,
+        jobs: &JobSet,
+        platform: &Platform,
+        ctx: &SchedulingContext,
+    ) -> Option<Schedule> {
+        (**self).schedule(jobs, platform, ctx)
     }
 }
 
@@ -190,7 +218,12 @@ mod tests {
             "dummy"
         }
 
-        fn schedule(&mut self, _: &JobSet, _: &Platform, _: f64) -> Option<Schedule> {
+        fn schedule(
+            &mut self,
+            _: &JobSet,
+            _: &Platform,
+            _: &SchedulingContext,
+        ) -> Option<Schedule> {
             Some(Schedule::new())
         }
     }
@@ -199,8 +232,12 @@ mod tests {
     fn trait_is_object_safe_and_boxable() {
         let mut boxed: Box<dyn Scheduler> = Box::new(Dummy);
         assert_eq!(boxed.name(), "dummy");
-        let s = boxed.schedule(&JobSet::default(), &Platform::homogeneous(1), 0.0);
+        let s = boxed.schedule_at(&JobSet::default(), &Platform::homogeneous(1), 0.0);
         assert!(s.is_some());
+        let ctx = SchedulingContext::at(1.0);
+        assert!(boxed
+            .schedule(&JobSet::default(), &Platform::homogeneous(1), &ctx)
+            .is_some());
     }
 
     #[test]
@@ -223,10 +260,10 @@ mod tests {
         let mut a = registry.create("dummy").unwrap();
         let mut b = registry.create_at(0).unwrap();
         assert!(a
-            .schedule(&JobSet::default(), &Platform::homogeneous(1), 0.0)
+            .schedule_at(&JobSet::default(), &Platform::homogeneous(1), 0.0)
             .is_some());
         assert!(b
-            .schedule(&JobSet::default(), &Platform::homogeneous(1), 0.0)
+            .schedule_at(&JobSet::default(), &Platform::homogeneous(1), 0.0)
             .is_some());
         assert!(registry.create("missing").is_none());
     }

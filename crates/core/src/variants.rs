@@ -13,7 +13,7 @@ use amrm_model::{JobId, JobSet, Schedule};
 use amrm_platform::Platform;
 
 use crate::mdf::feasible_configs;
-use crate::{schedule_jobs, Scheduler};
+use crate::{schedule_jobs, Scheduler, SchedulingContext};
 
 /// How the next unmapped job is chosen in the Algorithm 1 outer loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,10 +55,10 @@ impl JobOrderPolicy {
 /// let jobs = scenarios::s1_jobs_at_t1();
 /// let platform = scenarios::platform();
 /// let mdf = MmkpVariant::new(JobOrderPolicy::MaxDifference)
-///     .schedule(&jobs, &platform, 1.0)
+///     .schedule_at(&jobs, &platform, 1.0)
 ///     .unwrap();
 /// let naive = MmkpVariant::new(JobOrderPolicy::InsertionOrder)
-///     .schedule(&jobs, &platform, 1.0)
+///     .schedule_at(&jobs, &platform, 1.0)
 ///     .unwrap();
 /// // The MDF order can only help (here: 12.95 J vs 15.28 J).
 /// assert!(mdf.energy(&jobs) <= naive.energy(&jobs) + 1e-9);
@@ -90,10 +90,16 @@ impl Scheduler for MmkpVariant {
         }
     }
 
-    fn schedule(&mut self, jobs: &JobSet, platform: &Platform, now: f64) -> Option<Schedule> {
+    fn schedule(
+        &mut self,
+        jobs: &JobSet,
+        platform: &Platform,
+        ctx: &SchedulingContext,
+    ) -> Option<Schedule> {
         if jobs.is_empty() {
             return Some(Schedule::new());
         }
+        let now = ctx.now;
         let horizon = jobs.max_deadline().expect("non-empty") - now;
         if horizon <= 0.0 {
             return None;
@@ -188,9 +194,9 @@ mod tests {
     fn mdf_variant_matches_reference_implementation() {
         let platform = scenarios::platform();
         for jobs in [scenarios::s1_jobs_at_t1(), scenarios::s2_jobs_at_t1()] {
-            let reference = MmkpMdf::new().schedule(&jobs, &platform, 1.0);
+            let reference = MmkpMdf::new().schedule_at(&jobs, &platform, 1.0);
             let variant =
-                MmkpVariant::new(JobOrderPolicy::MaxDifference).schedule(&jobs, &platform, 1.0);
+                MmkpVariant::new(JobOrderPolicy::MaxDifference).schedule_at(&jobs, &platform, 1.0);
             match (reference, variant) {
                 (Some(a), Some(b)) => {
                     assert!((a.energy(&jobs) - b.energy(&jobs)).abs() < 1e-9);
@@ -212,7 +218,7 @@ mod tests {
             JobOrderPolicy::InsertionOrder,
         ] {
             let schedule = MmkpVariant::new(policy)
-                .schedule(&jobs, &platform, 1.0)
+                .schedule_at(&jobs, &platform, 1.0)
                 .unwrap_or_else(|| panic!("{} failed", policy.name()));
             schedule.validate(&jobs, &platform, 1.0).unwrap();
         }
@@ -223,16 +229,16 @@ mod tests {
         let platform = scenarios::platform();
         let jobs = scenarios::s1_jobs_at_t1();
         let mdf = MmkpVariant::new(JobOrderPolicy::MaxDifference)
-            .schedule(&jobs, &platform, 1.0)
+            .schedule_at(&jobs, &platform, 1.0)
             .unwrap();
         let plain = MmkpVariant::new(JobOrderPolicy::InsertionOrder)
-            .schedule(&jobs, &platform, 1.0)
+            .schedule_at(&jobs, &platform, 1.0)
             .unwrap();
         // Mapping σ1 first (MDF) secures 2L1B for it; insertion order maps
         // σ1 first as well here, so instead compare against EDF order,
         // which maps σ2 first and pushes σ1 to a worse point.
         let edf = MmkpVariant::new(JobOrderPolicy::EarliestDeadline)
-            .schedule(&jobs, &platform, 1.0)
+            .schedule_at(&jobs, &platform, 1.0)
             .unwrap();
         assert!(mdf.energy(&jobs) <= plain.energy(&jobs) + 1e-9);
         assert!(mdf.energy(&jobs) <= edf.energy(&jobs) + 1e-9);

@@ -37,7 +37,7 @@ pub use crate::simulation::Simulation;
 pub use crate::sweep::{load_sweep, load_sweep_with, registry_load_sweep, LoadPoint};
 
 use amrm_core::{Admission, Immediate, ReactivationPolicy, RmStats, RuntimeManager, Scheduler};
-use amrm_metrics::TelemetrySummary;
+use amrm_metrics::{Telemetry, TelemetrySummary};
 use amrm_model::{Job, JobId, JobSet, Schedule};
 use amrm_platform::Platform;
 use amrm_workload::ScenarioRequest;
@@ -129,11 +129,19 @@ pub fn run_scenario<S: Scheduler>(
     Simulation::new(platform, scheduler, policy, Immediate, requests).run()
 }
 
-/// The pre-kernel per-arrival driver, kept verbatim as the equivalence
-/// reference for the event-driven [`Simulation`]: the property tests in
+/// The pre-kernel per-arrival driver, kept as the equivalence reference
+/// for the event-driven [`Simulation`]: the property tests in
 /// `tests/admission_equivalence.rs` pin `Immediate`/`BatchK(1)`/
 /// `WindowTau(0)` kernel runs to this loop bit for bit. Not part of the
 /// public API surface.
+///
+/// The loop maintains its own [`Telemetry`] recorder and feeds the
+/// runtime manager exactly the snapshot sequence the event kernel
+/// produces under per-request admission (arrival → utilization sample →
+/// zero queue wait → context snapshot → submit → activation/decision/
+/// energy samples), so even *context-aware* schedulers (META) see
+/// bit-identical telemetry here and under the kernel's `Immediate`
+/// discipline.
 #[doc(hidden)]
 pub fn run_scenario_sequential<S: Scheduler>(
     platform: Platform,
@@ -145,11 +153,28 @@ pub fn run_scenario_sequential<S: Scheduler>(
     ordered.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
 
     let mut rm = RuntimeManager::with_policy(platform, scheduler, policy);
+    let mut telemetry = Telemetry::new();
     let mut admissions = Vec::with_capacity(ordered.len());
     let mut admitted = Vec::new();
     for req in ordered {
         rm.advance_to(req.arrival);
+        // Mirror the kernel's per-arrival telemetry feed (arrival gap,
+        // utilization sample, the flushed request's zero queue wait, the
+        // post-flush context snapshot) …
+        telemetry.record_arrival(req.arrival);
+        let busy = rm.busy_cores();
+        telemetry.record_utilization(busy.as_slice(), rm.platform().counts().as_slice());
+        telemetry.record_queue_wait(0.0);
+        rm.observe_telemetry(telemetry.snapshot(req.arrival, 0, None, None));
         let admission = rm.submit(amrm_model::AppRef::clone(&req.app), req.deadline);
+        // … and the post-decision samples (gathering latency 0 under
+        // per-request admission, rolling acceptance, energy per job,
+        // drained queue depth).
+        telemetry.record_activation(0.0, rm.last_decision_seconds());
+        let accepted = usize::from(admission.is_accepted());
+        telemetry.record_decisions(accepted, 1 - accepted);
+        telemetry.record_energy(rm.total_energy(), rm.stats().accepted);
+        telemetry.record_queue_depth(0);
         if let Admission::Accepted { job } = admission {
             admitted.push(Job::new(
                 job,
@@ -162,6 +187,7 @@ pub fn run_scenario_sequential<S: Scheduler>(
         admissions.push((admission.job(), admission.is_accepted()));
     }
     let total_energy = rm.run_to_completion();
+    telemetry.record_energy(total_energy, rm.stats().accepted);
 
     SimOutcome {
         admissions,
@@ -171,7 +197,7 @@ pub fn run_scenario_sequential<S: Scheduler>(
         trace: rm.executed_trace(),
         admitted_jobs: JobSet::new(admitted),
         queue_deadline_drops: 0,
-        telemetry: TelemetrySummary::default(),
+        telemetry: telemetry.summary(),
     }
 }
 

@@ -37,7 +37,7 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use amrm_core::{
     Admission, AdmissionDirective, AdmissionPolicy, ReactivationPolicy, RuntimeManager, Scheduler,
-    TelemetrySnapshot,
+    SearchBudget, TelemetrySnapshot,
 };
 use amrm_metrics::Telemetry;
 use amrm_model::{AppRef, Job, JobId, JobSet};
@@ -220,9 +220,26 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
         &self.admission
     }
 
+    /// Builder-style override of the per-activation [`SearchBudget`] the
+    /// runtime manager forwards to the scheduler through its
+    /// [`amrm_core::SchedulingContext`] (unbounded by default, so plain
+    /// simulations behave exactly like the pre-context kernel).
+    #[must_use]
+    pub fn with_search_budget(mut self, budget: SearchBudget) -> Self {
+        self.rm.set_search_budget(budget);
+        self
+    }
+
     /// Runs the event loop to quiescence, lets every admitted job finish,
     /// and returns the outcome.
-    pub fn run(mut self) -> SimOutcome {
+    pub fn run(self) -> SimOutcome {
+        self.run_with_scheduler().0
+    }
+
+    /// Like [`run`](Simulation::run), but also hands back the scheduler —
+    /// the way stateful algorithm internals (META's regime switch count,
+    /// EX-MEM's memo statistics) are inspected after a run.
+    pub fn run_with_scheduler(mut self) -> (SimOutcome, S) {
         while let Some(event) = self.events.pop() {
             self.handle(event);
         }
@@ -233,7 +250,7 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
         self.telemetry
             .record_energy(total_energy, self.rm.stats().accepted);
 
-        SimOutcome {
+        let outcome = SimOutcome {
             admissions: self
                 .decisions
                 .into_iter()
@@ -246,7 +263,8 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
             admitted_jobs: JobSet::new(self.admitted),
             queue_deadline_drops: self.queue_deadline_drops,
             telemetry: self.telemetry.summary(),
-        }
+        };
+        (outcome, self.rm.into_scheduler())
     }
 
     /// Records the current platform utilization (busy cores per type
@@ -397,6 +415,11 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
                 (AppRef::clone(&req.app), req.deadline)
             })
             .collect();
+        // The context feed: the runtime manager hands this snapshot —
+        // series state plus the post-flush queue — to the scheduler in
+        // the SchedulingContext of every activation this batch causes.
+        let snapshot = self.snapshot(now);
+        self.rm.observe_telemetry(snapshot);
         let admissions = self.rm.submit_batch(&submissions);
         if record_activation {
             let oldest = batch

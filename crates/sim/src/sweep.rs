@@ -1,7 +1,10 @@
 //! Load sweeps: acceptance rate and energy of the online RM as a function
 //! of offered load (extension beyond the paper's static evaluation).
 
-use amrm_core::{AdmissionPolicy, Immediate, ReactivationPolicy, Scheduler, SchedulerRegistry};
+use amrm_core::fanout::for_each_cell;
+use amrm_core::{
+    AdmissionPolicy, Immediate, ReactivationPolicy, Scheduler, SchedulerRegistry, SearchBudget,
+};
 use amrm_model::AppRef;
 use amrm_platform::Platform;
 use amrm_workload::{poisson_stream, StreamSpec};
@@ -39,7 +42,7 @@ pub fn load_sweep<S, F>(
 ) -> Vec<LoadPoint>
 where
     S: Scheduler,
-    F: Fn() -> S,
+    F: Fn() -> S + Sync,
 {
     load_sweep_with(
         platform,
@@ -50,6 +53,8 @@ where
         interarrivals,
         spec,
         seed,
+        SearchBudget::unbounded(),
+        1,
     )
 }
 
@@ -62,10 +67,17 @@ where
 /// factories (`|| Box::new(AdaptiveBatch::default()) as Box<dyn
 /// AdmissionPolicy>`) slot in directly.
 ///
+/// `budget` is the per-activation [`SearchBudget`] every simulated
+/// runtime manager forwards to its scheduler
+/// ([`SearchBudget::online`] lets the budgeted EX-MEM sweep alongside
+/// the heuristics), and the independent load points fan out over
+/// `threads` OS threads via the shared
+/// [`for_each_cell`](amrm_core::fanout::for_each_cell) work index.
+///
 /// # Panics
 ///
-/// Panics if `interarrivals` is empty, the stream spec is invalid, or the
-/// admission policy is invalid.
+/// Panics if `interarrivals` is empty, `threads` is zero, the stream
+/// spec is invalid, or the admission policy is invalid.
 #[allow(clippy::too_many_arguments)]
 pub fn load_sweep_with<S, F, A, G>(
     platform: &Platform,
@@ -76,37 +88,38 @@ pub fn load_sweep_with<S, F, A, G>(
     interarrivals: &[f64],
     spec: &StreamSpec,
     seed: u64,
+    budget: SearchBudget,
+    threads: usize,
 ) -> Vec<LoadPoint>
 where
     S: Scheduler,
-    F: Fn() -> S,
+    F: Fn() -> S + Sync,
     A: AdmissionPolicy,
-    G: Fn() -> A,
+    G: Fn() -> A + Sync,
 {
     assert!(
         !interarrivals.is_empty(),
         "sweep needs at least one load point"
     );
-    interarrivals
-        .iter()
-        .map(|&mean| {
-            let stream = poisson_stream(apps, mean, spec, seed);
-            let outcome = Simulation::new(
-                platform.clone(),
-                make_scheduler(),
-                policy,
-                make_admission(),
-                &stream,
-            )
-            .run();
-            LoadPoint {
-                mean_interarrival: mean,
-                acceptance_rate: outcome.acceptance_rate(),
-                energy_per_job: outcome.energy_per_job(),
-                outcome,
-            }
-        })
-        .collect()
+    for_each_cell(interarrivals.len(), threads, |i| {
+        let mean = interarrivals[i];
+        let stream = poisson_stream(apps, mean, spec, seed);
+        let outcome = Simulation::new(
+            platform.clone(),
+            make_scheduler(),
+            policy,
+            make_admission(),
+            &stream,
+        )
+        .with_search_budget(budget)
+        .run();
+        LoadPoint {
+            mean_interarrival: mean,
+            acceptance_rate: outcome.acceptance_rate(),
+            energy_per_job: outcome.energy_per_job(),
+            outcome,
+        }
+    })
 }
 
 /// Runs [`load_sweep`] for every scheduler in `registry`, re-using the
@@ -118,9 +131,16 @@ where
 /// can be compared under identical offered load without touching sweep
 /// code.
 ///
+/// Every (scheduler × load) cell is independent, so the grid fans out
+/// over `threads` OS threads via the shared work index — with the online
+/// `budget` bounding each activation, one slow exhaustive cell no longer
+/// serializes the sweep.
+///
 /// # Panics
 ///
-/// Panics if `interarrivals` is empty or the stream spec is invalid.
+/// Panics if `interarrivals` is empty, `threads` is zero, or the stream
+/// spec is invalid.
+#[allow(clippy::too_many_arguments)]
 pub fn registry_load_sweep(
     platform: &Platform,
     registry: &SchedulerRegistry,
@@ -129,21 +149,37 @@ pub fn registry_load_sweep(
     interarrivals: &[f64],
     spec: &StreamSpec,
     seed: u64,
+    budget: SearchBudget,
+    threads: usize,
 ) -> Vec<(String, Vec<LoadPoint>)> {
+    assert!(
+        !interarrivals.is_empty(),
+        "sweep needs at least one load point"
+    );
+    let columns = interarrivals.len();
+    let total = registry.len() * columns;
+    let flat = for_each_cell(total, threads, |cell| {
+        let factory = registry
+            .iter()
+            .nth(cell / columns)
+            .expect("scheduler index in range")
+            .1;
+        let mean = interarrivals[cell % columns];
+        let stream = poisson_stream(apps, mean, spec, seed);
+        let outcome = Simulation::new(platform.clone(), factory(), policy, Immediate, &stream)
+            .with_search_budget(budget)
+            .run();
+        LoadPoint {
+            mean_interarrival: mean,
+            acceptance_rate: outcome.acceptance_rate(),
+            energy_per_job: outcome.energy_per_job(),
+            outcome,
+        }
+    });
+    let mut flat = flat.into_iter();
     registry
         .iter()
-        .map(|(name, factory)| {
-            let points = load_sweep(
-                platform,
-                || factory(),
-                policy,
-                apps,
-                interarrivals,
-                spec,
-                seed,
-            );
-            (name.to_string(), points)
-        })
+        .map(|(name, _)| (name.to_string(), (&mut flat).take(columns).collect()))
         .collect()
 }
 
@@ -215,6 +251,8 @@ mod tests {
             &[4.0, 16.0],
             &spec,
             21,
+            SearchBudget::unbounded(),
+            2,
         );
         assert_eq!(sweeps.len(), 2);
         assert_eq!(sweeps[0].0, amrm_baselines::MDF_NAME);
@@ -252,6 +290,8 @@ mod tests {
             &[2.0, 8.0],
             &spec,
             5,
+            SearchBudget::unbounded(),
+            2,
         );
         for (a, b) in per_request.iter().zip(&batched) {
             assert_eq!(a.acceptance_rate.to_bits(), b.acceptance_rate.to_bits());
@@ -272,7 +312,7 @@ mod tests {
                 &mut self,
                 _: &amrm_model::JobSet,
                 _: &Platform,
-                _: f64,
+                _: &amrm_core::SchedulingContext,
             ) -> Option<amrm_model::Schedule> {
                 None
             }

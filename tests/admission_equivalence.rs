@@ -89,6 +89,15 @@ proptest! {
 
     /// `BatchK(1)` and `WindowTau(0)` are the per-request discipline on
     /// Poisson streams, for every registry scheduler.
+    ///
+    /// One scoping exception: the *context-aware* META scheduler is
+    /// compared under `Immediate` and `BatchK(1)` only. `WindowTau(0)`
+    /// makes the same admission decisions but through extra window-expiry
+    /// events, each of which feeds another utilization sample into the
+    /// telemetry EWMAs — a different observation process that a
+    /// telemetry-reactive scheduler may legitimately answer differently
+    /// at a regime boundary. Context-blind schedulers cannot see the
+    /// difference, so for them all three disciplines stay bit-identical.
     #[test]
     fn degenerate_batching_equals_per_request_path(
         seed in 0u64..1000,
@@ -108,6 +117,9 @@ proptest! {
             for make_policy in degenerate_policies() {
                 let policy = make_policy();
                 let label = policy.label();
+                if name == amrm::baselines::META_NAME && label.starts_with("WindowTau") {
+                    continue; // different telemetry history (see above)
+                }
                 let kernel = kernel_outcome(registry.create(name).unwrap(), policy, &stream);
                 assert_byte_identical(name, &label, &kernel, &reference);
             }

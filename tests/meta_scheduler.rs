@@ -1,0 +1,188 @@
+//! Determinism and hysteresis gates for the telemetry-driven META
+//! scheduler.
+//!
+//! Everything META observes — the context's telemetry snapshot, the job
+//! set, the clock — is simulated state, so repeated runs at a fixed seed
+//! must reproduce admissions, energy (bit for bit) *and the regime switch
+//! count* exactly, on both bursty and diurnal stream shapes and under
+//! both per-request and adaptive batched admission. A separate gate pins
+//! the hysteresis: an arrival rate oscillating around the heavy-enter
+//! threshold must not flap the algorithm every activation.
+
+use amrm::baselines::{MetaConfig, MetaScheduler, Regime};
+use amrm::core::{
+    AdaptiveBatch, AdmissionPolicy, Immediate, ReactivationPolicy, Scheduler, SchedulingContext,
+    SearchBudget, TelemetrySnapshot,
+};
+use amrm::model::{AppRef, Job, JobId, JobSet};
+use amrm::sim::Simulation;
+use amrm::workload::{bursty_window_stream, diurnal_stream, scenarios, StreamSpec};
+use proptest::prelude::*;
+
+fn library() -> Vec<AppRef> {
+    vec![scenarios::lambda1(), scenarios::lambda2()]
+}
+
+fn run_meta<A: AdmissionPolicy>(
+    stream: &[amrm::workload::ScenarioRequest],
+    admission: A,
+) -> (amrm::sim::SimOutcome, MetaScheduler) {
+    Simulation::new(
+        scenarios::platform(),
+        MetaScheduler::new(),
+        ReactivationPolicy::OnArrival,
+        admission,
+        stream,
+    )
+    .with_search_budget(SearchBudget::online())
+    .run_with_scheduler()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Identical seeds reproduce identical admissions, energy bits and
+    /// switch counts on bursty and diurnal streams, under per-request
+    /// and adaptive batched admission.
+    #[test]
+    fn meta_runs_are_deterministic_per_seed(
+        seed in 0u64..1000,
+        requests in 10usize..24,
+    ) {
+        let spec = StreamSpec { requests, slack_range: (1.3, 2.6) };
+        let streams = [
+            bursty_window_stream(&library(), 0.8, 6.0, 12.0, &spec, seed),
+            diurnal_stream(&library(), 2.5, 3.0, 40.0, &spec, seed),
+        ];
+        for stream in &streams {
+            let (first, meta_a) = run_meta(stream, Immediate);
+            let (second, meta_b) = run_meta(stream, Immediate);
+            assert_eq!(first.admissions, second.admissions, "admissions diverged");
+            assert_eq!(
+                first.total_energy.to_bits(),
+                second.total_energy.to_bits(),
+                "energy diverged"
+            );
+            assert_eq!(first.stats, second.stats, "counters diverged");
+            assert_eq!(
+                meta_a.switches(),
+                meta_b.switches(),
+                "regime switch counts diverged across identical runs"
+            );
+
+            let (third, meta_c) = run_meta(stream, AdaptiveBatch::default());
+            let (fourth, meta_d) = run_meta(stream, AdaptiveBatch::default());
+            assert_eq!(third.admissions, fourth.admissions);
+            assert_eq!(third.total_energy.to_bits(), fourth.total_energy.to_bits());
+            assert_eq!(third.queue_deadline_drops, fourth.queue_deadline_drops);
+            assert_eq!(meta_c.switches(), meta_d.switches());
+        }
+    }
+
+    /// META never produces a schedule that misses an admitted deadline,
+    /// whatever regime it lands in.
+    #[test]
+    fn meta_never_misses_admitted_deadlines(
+        seed in 0u64..1000,
+        requests in 8usize..20,
+    ) {
+        let spec = StreamSpec { requests, slack_range: (1.2, 3.0) };
+        let stream = bursty_window_stream(&library(), 0.5, 5.0, 10.0, &spec, seed);
+        let (outcome, _) = run_meta(&stream, Immediate);
+        assert_eq!(outcome.stats.deadline_misses, 0);
+        assert_eq!(outcome.stats.completed, outcome.accepted());
+    }
+}
+
+/// The hysteresis gate: a rate oscillating around the heavy-enter
+/// threshold — with the platform hot, so the utilization signal holds —
+/// causes exactly one switch into the heavy regime, not one per
+/// activation.
+#[test]
+fn oscillating_rate_does_not_switch_every_activation() {
+    let mut meta = MetaScheduler::new();
+    let platform = scenarios::platform();
+    let jobs = JobSet::new(vec![
+        Job::new(JobId(1), scenarios::lambda1(), 0.0, 25.0, 1.0),
+        Job::new(JobId(2), scenarios::lambda2(), 0.0, 20.0, 1.0),
+    ]);
+    let enter = meta.config().heavy_enter_rate;
+    let activations = 24;
+    for i in 0..activations {
+        let rate = if i % 2 == 0 { enter + 0.1 } else { enter - 0.1 };
+        let ctx = SchedulingContext::at(0.0).with_telemetry(TelemetrySnapshot {
+            arrival_rate: rate,
+            utilization: 0.95,
+            ..TelemetrySnapshot::default()
+        });
+        let schedule = meta.schedule(&jobs, &platform, &ctx);
+        assert!(schedule.is_some(), "activation {i} rejected a feasible set");
+    }
+    assert_eq!(meta.regime(), Regime::Heavy);
+    assert_eq!(
+        meta.switches(),
+        1,
+        "an oscillation inside the hysteresis band must cause exactly one \
+         switch, not {} over {activations} activations",
+        meta.switches()
+    );
+}
+
+/// Dropping clean out of the band (both signals below the exit
+/// thresholds) does leave the heavy regime — hysteresis delays exits, it
+/// does not latch them forever.
+#[test]
+fn calm_signals_leave_the_heavy_regime() {
+    let mut meta = MetaScheduler::new();
+    let platform = scenarios::platform();
+    let jobs = JobSet::new(vec![Job::new(
+        JobId(1),
+        scenarios::lambda1(),
+        0.0,
+        30.0,
+        1.0,
+    )]);
+    let hot = SchedulingContext::at(0.0).with_telemetry(TelemetrySnapshot {
+        arrival_rate: 3.0,
+        utilization: 0.95,
+        ..TelemetrySnapshot::default()
+    });
+    meta.schedule(&jobs, &platform, &hot);
+    assert_eq!(meta.regime(), Regime::Heavy);
+    let calm = SchedulingContext::at(0.0).with_telemetry(TelemetrySnapshot {
+        arrival_rate: 0.1,
+        utilization: 0.05,
+        ..TelemetrySnapshot::default()
+    });
+    meta.schedule(&jobs, &platform, &calm);
+    assert_ne!(meta.regime(), Regime::Heavy);
+}
+
+/// Tighter custom thresholds flow through `with_config` and still
+/// validate.
+#[test]
+fn custom_config_drives_the_switch() {
+    let config = MetaConfig {
+        heavy_enter_rate: 0.5,
+        heavy_exit_rate: 0.25,
+        heavy_enter_util: 0.3,
+        heavy_exit_util: 0.2,
+        ..MetaConfig::default()
+    };
+    let mut meta = MetaScheduler::with_config(config);
+    let platform = scenarios::platform();
+    let jobs = JobSet::new(vec![Job::new(
+        JobId(1),
+        scenarios::lambda2(),
+        0.0,
+        30.0,
+        1.0,
+    )]);
+    let ctx = SchedulingContext::at(0.0).with_telemetry(TelemetrySnapshot {
+        arrival_rate: 0.6,
+        utilization: 0.4,
+        ..TelemetrySnapshot::default()
+    });
+    meta.schedule(&jobs, &platform, &ctx);
+    assert_eq!(meta.regime(), Regime::Heavy);
+}

@@ -51,7 +51,7 @@ proptest! {
             Box::new(ExMem::new()),
         ];
         for mut s in schedulers {
-            if let Some(schedule) = s.schedule(&jobs, &platform, 0.0) {
+            if let Some(schedule) = s.schedule_at(&jobs, &platform, 0.0) {
                 prop_assert!(
                     schedule.validate(&jobs, &platform, 0.0).is_ok(),
                     "{} violated constraints: {:?}",
@@ -65,13 +65,13 @@ proptest! {
     #[test]
     fn exmem_dominates_heuristics(jobs in jobset_strategy()) {
         let platform = scenarios::platform();
-        let optimal = ExMem::new().schedule(&jobs, &platform, 0.0);
+        let optimal = ExMem::new().schedule_at(&jobs, &platform, 0.0);
         for mut s in [
             Box::new(MmkpMdf::new()) as Box<dyn Scheduler>,
             Box::new(MmkpLr::new()),
             Box::new(FixedMapper::new()),
         ] {
-            if let Some(schedule) = s.schedule(&jobs, &platform, 0.0) {
+            if let Some(schedule) = s.schedule_at(&jobs, &platform, 0.0) {
                 // (a) EX-MEM schedules whatever any heuristic schedules.
                 let opt = optimal.as_ref();
                 prop_assert!(opt.is_some(), "EX-MEM missed a case {} solved", s.name());
@@ -90,8 +90,8 @@ proptest! {
     #[test]
     fn mdf_energy_is_deterministic(jobs in jobset_strategy()) {
         let platform = scenarios::platform();
-        let a = MmkpMdf::new().schedule(&jobs, &platform, 0.0);
-        let b = MmkpMdf::new().schedule(&jobs, &platform, 0.0);
+        let a = MmkpMdf::new().schedule_at(&jobs, &platform, 0.0);
+        let b = MmkpMdf::new().schedule_at(&jobs, &platform, 0.0);
         match (a, b) {
             (Some(x), Some(y)) => {
                 prop_assert!((x.energy(&jobs) - y.energy(&jobs)).abs() < 1e-12);
@@ -109,9 +109,9 @@ proptest! {
         // fixed on every instance both solve (checked above) and that a
         // fixed-feasible case is adaptive-feasible.
         let platform = scenarios::platform();
-        if FixedMapper::new().schedule(&jobs, &platform, 0.0).is_some() {
+        if FixedMapper::new().schedule_at(&jobs, &platform, 0.0).is_some() {
             prop_assert!(
-                ExMem::new().schedule(&jobs, &platform, 0.0).is_some(),
+                ExMem::new().schedule_at(&jobs, &platform, 0.0).is_some(),
                 "fixed-feasible instance must be adaptively feasible"
             );
         }
@@ -127,7 +127,7 @@ fn progress_accounting_respects_2d_on_reconfigured_jobs() {
         Job::new(JobId(1), scenarios::lambda1(), 0.0, 9.0, 1.0 - 1.0 / 5.3),
         Job::new(JobId(2), scenarios::lambda2(), 0.0, 4.0, 1.0),
     ]);
-    let schedule = ExMem::new().schedule(&jobs, &platform, 1.0).unwrap();
+    let schedule = ExMem::new().schedule_at(&jobs, &platform, 1.0).unwrap();
     schedule.validate(&jobs, &platform, 1.0).unwrap();
     for job in jobs.iter() {
         let p = schedule.progress_of(job.id(), &jobs);

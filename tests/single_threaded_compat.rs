@@ -40,7 +40,7 @@ fn single_threaded_jobs_occupy_one_core_each() {
         Job::new(JobId(2), single_threaded_app("b", 8.0), 0.0, 9.0, 1.0),
         Job::new(JobId(3), single_threaded_app("c", 6.0), 0.0, 20.0, 0.5),
     ]);
-    let schedule = MmkpMdf::new().schedule(&jobs, &platform, 0.0).unwrap();
+    let schedule = MmkpMdf::new().schedule_at(&jobs, &platform, 0.0).unwrap();
     schedule.validate(&jobs, &platform, 0.0).unwrap();
     for seg in schedule.segments() {
         let demand = seg.demand(&jobs, 1);
@@ -64,7 +64,7 @@ fn contention_forces_edf_suspension() {
         Job::new(JobId(3), single_threaded_app("c", 4.0), 0.0, 6.0, 1.0),
         Job::new(JobId(4), single_threaded_app("d", 4.0), 0.0, 31.0, 1.0),
     ]);
-    let schedule = MmkpMdf::new().schedule(&jobs, &platform, 0.0).unwrap();
+    let schedule = MmkpMdf::new().schedule_at(&jobs, &platform, 0.0).unwrap();
     schedule.validate(&jobs, &platform, 0.0).unwrap();
     // The first segment hosts the two earliest deadlines.
     let first = &schedule.segments()[0];
@@ -81,8 +81,8 @@ fn single_threaded_matches_exhaustive_optimum_on_small_cases() {
             Job::new(JobId(1), single_threaded_app("a", 10.0), 0.0, d1, 1.0),
             Job::new(JobId(2), single_threaded_app("b", 8.0), 0.0, d2, 1.0),
         ]);
-        let mdf = MmkpMdf::new().schedule(&jobs, &platform, 0.0);
-        let opt = ExMem::new().schedule(&jobs, &platform, 0.0);
+        let mdf = MmkpMdf::new().schedule_at(&jobs, &platform, 0.0);
+        let opt = ExMem::new().schedule_at(&jobs, &platform, 0.0);
         match (mdf, opt) {
             (Some(h), Some(o)) => {
                 // With one-core points and ≤ #cores jobs, MDF picks each
@@ -116,7 +116,7 @@ fn homogeneous_platform_is_a_degenerate_heterogeneous_one() {
         10.0,
         1.0,
     )]);
-    let schedule = MmkpMdf::new().schedule(&jobs, &platform, 0.0).unwrap();
+    let schedule = MmkpMdf::new().schedule_at(&jobs, &platform, 0.0).unwrap();
     schedule.validate(&jobs, &platform, 0.0).unwrap();
     // Cheapest level that meets the deadline: the slow one (5 s ≤ 10 s).
     assert!((schedule.energy(&jobs) - 2.0).abs() < 1e-9);

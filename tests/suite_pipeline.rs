@@ -30,7 +30,7 @@ fn characterized_library_feeds_valid_schedulable_cases() {
             Box::new(MmkpMdf::new()) as Box<dyn Scheduler>,
             Box::new(MmkpLr::new()),
         ] {
-            if let Some(schedule) = s.schedule(&jobs, &platform, 0.0) {
+            if let Some(schedule) = s.schedule_at(&jobs, &platform, 0.0) {
                 schedule
                     .validate(&jobs, &platform, 0.0)
                     .unwrap_or_else(|e| panic!("{} invalid on case {}: {e}", s.name(), case.id));
@@ -58,7 +58,7 @@ fn weak_deadline_cases_are_all_mdf_schedulable() {
     for case in &suite {
         let jobs = case.to_job_set();
         assert!(
-            MmkpMdf::new().schedule(&jobs, &platform, 0.0).is_some(),
+            MmkpMdf::new().schedule_at(&jobs, &platform, 0.0).is_some(),
             "weak case {} rejected",
             case.id
         );
@@ -80,8 +80,8 @@ fn suite_roundtrips_through_json_with_schedulable_outcomes() {
     for (a, b) in suite.iter().zip(&restored) {
         let ja = a.to_job_set();
         let jb = b.to_job_set();
-        let sa = MmkpMdf::new().schedule(&ja, &platform, 0.0);
-        let sb = MmkpMdf::new().schedule(&jb, &platform, 0.0);
+        let sa = MmkpMdf::new().schedule_at(&ja, &platform, 0.0);
+        let sb = MmkpMdf::new().schedule_at(&jb, &platform, 0.0);
         match (sa, sb) {
             (Some(x), Some(y)) => {
                 assert!((x.energy(&ja) - y.energy(&jb)).abs() < 1e-9);

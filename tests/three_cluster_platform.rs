@@ -51,7 +51,7 @@ fn schedulers_handle_three_resource_types() {
         Box::new(ExMem::new()),
     ] {
         let schedule = s
-            .schedule(&jobs, &platform, 0.0)
+            .schedule_at(&jobs, &platform, 0.0)
             .unwrap_or_else(|| panic!("{} failed on m=3", s.name()));
         schedule
             .validate(&jobs, &platform, 0.0)
@@ -68,7 +68,7 @@ fn exmem_still_dominates_on_m3() {
         Job::new(JobId(1), a.clone(), 0.0, a.min_time() * 4.0, 1.0),
         Job::new(JobId(2), a.clone(), 0.0, a.min_time() * 2.5, 0.7),
     ]);
-    let opt = ExMem::new().schedule(&jobs, &platform, 0.0).unwrap();
-    let heur = MmkpMdf::new().schedule(&jobs, &platform, 0.0).unwrap();
+    let opt = ExMem::new().schedule_at(&jobs, &platform, 0.0).unwrap();
+    let heur = MmkpMdf::new().schedule_at(&jobs, &platform, 0.0).unwrap();
     assert!(opt.energy(&jobs) <= heur.energy(&jobs) + 1e-6);
 }
