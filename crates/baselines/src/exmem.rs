@@ -50,9 +50,13 @@ use amrm_platform::{Platform, ResourceVec, EPS};
 const KEY_QUANTUM: f64 = 1e-9;
 /// Remaining ratio below which a job counts as finished.
 const RHO_EPS: f64 = 1e-9;
-/// Memo entries beyond which the table is cleared (a deterministic size
-/// cap: long streams reuse states heavily, but unrelated states from
-/// thousands of activations must not accumulate without bound).
+/// Memo entries beyond which bounded eviction kicks in (a deterministic
+/// size cap: long streams reuse states heavily, but unrelated states from
+/// thousands of activations must not accumulate without bound). Crossing
+/// the cap evicts the refinable entry classes (`Anytime` upper bounds and
+/// incumbent-relative `Bound`s) wholesale and keeps the expensive proofs
+/// (`Exact`, `Infeasible`); only if the proofs alone still exceed the cap
+/// is the table cleared outright.
 const MEMO_CAP: usize = 1 << 20;
 
 /// The exhaustive optimal scheduler (EX-MEM), with memo reuse across
@@ -73,13 +77,15 @@ const MEMO_CAP: usize = 1 << 20;
 /// let rho1 = 1.0 - 1.0 / 5.3;
 /// assert!((schedule.energy(&jobs) - (5.73 + 8.9 * rho1)).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ExMem {
     seed_with_mdf: bool,
     reuse_memo: bool,
     /// This instance's own search cap, combined with the context's budget
     /// via [`SearchBudget::tightest`] at every activation.
     budget: SearchBudget,
+    /// Memo entries beyond which bounded eviction runs (see `MEMO_CAP`).
+    memo_cap: usize,
     memo: HashMap<Key, MemoVal>,
     /// Per-job validity guard for memo reuse: application identity and
     /// deadline under which the job's memoized states were derived.
@@ -178,6 +184,7 @@ impl ExMem {
             seed_with_mdf: true,
             reuse_memo: true,
             budget: SearchBudget::unbounded(),
+            memo_cap: MEMO_CAP,
             memo: HashMap::new(),
             signatures: HashMap::new(),
             nodes_explored: 0,
@@ -219,6 +226,20 @@ impl ExMem {
         self
     }
 
+    /// Overrides the memo-size cap beyond which bounded eviction runs
+    /// (default `1 << 20` entries). Used by memory-pressure tests and by
+    /// deployments trading reuse for footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn with_memo_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "memo cap must be at least 1");
+        self.memo_cap = cap;
+        self
+    }
+
     /// Search work units spent by the most recent
     /// [`schedule`](Scheduler::schedule) call.
     pub fn nodes_explored(&self) -> u64 {
@@ -248,13 +269,56 @@ impl ExMem {
                 .get(&job.id().0)
                 .is_some_and(|sig| !sig.matches(job))
         });
-        if mismatch || self.memo.len() > MEMO_CAP {
+        if mismatch {
             self.memo.clear();
             self.signatures.clear();
+        } else {
+            self.enforce_memo_cap();
         }
         for job in jobs {
             self.signatures.insert(job.id().0, JobSig::of(job));
         }
+    }
+
+    /// Bounded eviction at the memo cap. The old behaviour — wiping the
+    /// *entire* table at a cliff — threw away every exact optimum and
+    /// infeasibility proof along with the cheap entries; instead the
+    /// refinable classes are dropped first (`Anytime` upper bounds, which
+    /// a later exhaustive pass re-derives anyway, then incumbent-relative
+    /// `Bound`s), and the proofs survive. Eviction removes whole classes,
+    /// never individual entries, so it is independent of the hash map's
+    /// (randomized) iteration order and budgeted runs stay deterministic.
+    /// Only when the proofs alone still exceed the cap is the table
+    /// cleared outright.
+    fn enforce_memo_cap(&mut self) {
+        if self.memo.len() <= self.memo_cap {
+            return;
+        }
+        self.memo
+            .retain(|_, v| matches!(v, MemoVal::Exact { .. } | MemoVal::Infeasible));
+        if self.memo.len() > self.memo_cap {
+            self.memo.clear();
+            self.signatures.clear();
+            return;
+        }
+        // The signature map guards the memo and must not outgrow it: on
+        // a long stream of fresh job ids the mismatch clear never fires,
+        // so eviction time is when stale ids are shed. Keep only the
+        // signatures some surviving memo key still relies on (dropping a
+        // referenced one would disarm the validity guard).
+        let live: std::collections::HashSet<u64> = self
+            .memo
+            .keys()
+            .flat_map(|(_, state)| state.iter().map(|&(id, _)| id))
+            .collect();
+        self.signatures.retain(|id, _| live.contains(id));
+    }
+}
+
+impl Default for ExMem {
+    /// Same as [`ExMem::new`] — the exact reference configuration.
+    fn default() -> Self {
+        ExMem::new()
     }
 }
 
@@ -845,6 +909,91 @@ mod tests {
             fresh.energy(&b).to_bits(),
             "stale memo leaked across a signature change"
         );
+    }
+
+    #[test]
+    fn memo_cap_crossing_keeps_exact_entries_reusable() {
+        // Regression: crossing MEMO_CAP used to wipe the *whole* memo at
+        // a cliff, throwing away every exact optimum along with the cheap
+        // refinable entries. Bounded eviction must drop the Anytime/Bound
+        // classes and keep the proofs, so a warm re-activation of an
+        // already-proven state stays cheaper than its cold solve.
+        let platform = scenarios::platform();
+        let jobs_x = scenarios::s1_jobs_at_t1();
+
+        // Probe: the exact-solve footprint and cost of X.
+        let mut probe = ExMem::new();
+        probe.schedule_at(&jobs_x, &platform, 1.0).unwrap();
+        let exact_entries = probe.memo_len();
+        let cold_work = probe.nodes_explored();
+        assert!(exact_entries > 0);
+
+        // Cap sized so X's proofs fit but any truncated follow-up search
+        // pushes the table over it.
+        let mut ex = ExMem::new().with_memo_cap(exact_entries + 2);
+        let cold = ex.schedule_at(&jobs_x, &platform, 1.0).unwrap();
+        assert_eq!(ex.memo_len(), exact_entries);
+
+        // A budget-truncated activation over an unrelated job set (fresh
+        // ids, so no signature mismatch) piles refinable entries on top.
+        let jobs_y = JobSet::new(vec![
+            Job::new(JobId(11), scenarios::lambda1(), 0.0, 25.0, 1.0),
+            Job::new(JobId(12), scenarios::lambda2(), 0.0, 9.0, 1.0),
+            Job::new(JobId(13), scenarios::lambda2(), 0.0, 16.0, 0.6),
+        ]);
+        let ctx = SchedulingContext::at(0.0).with_budget(SearchBudget::nodes(400));
+        ex.schedule(&jobs_y, &platform, &ctx);
+        assert!(
+            ex.memo_len() > exact_entries + 2,
+            "memo {} did not cross the cap; raise the probe budget",
+            ex.memo_len()
+        );
+
+        // The next guarded activation evicts at the cap — X's exact
+        // entries must survive and answer the warm solve cheaply.
+        let warm = ex.schedule_at(&jobs_x, &platform, 1.0).unwrap();
+        assert_eq!(cold, warm, "eviction changed the proven optimum");
+        assert!(
+            ex.nodes_explored() < cold_work,
+            "warm work {} ≥ cold work {cold_work}: the exact entries were \
+             evicted with the rest",
+            ex.nodes_explored()
+        );
+        // Eviction also sheds signatures no surviving memo key relies on
+        // — on fresh-id streams the signature map must not outgrow the
+        // memo it guards. (Ids 1/2 were re-inserted for the warm call.)
+        let live: std::collections::HashSet<u64> = ex
+            .memo
+            .keys()
+            .flat_map(|(_, state)| state.iter().map(|&(id, _)| id))
+            .collect();
+        assert!(
+            ex.signatures
+                .keys()
+                .all(|id| live.contains(id) || *id == 1 || *id == 2),
+            "orphaned signatures survived the cap eviction"
+        );
+    }
+
+    #[test]
+    fn proof_overflow_still_clears_the_table() {
+        // When the proofs alone exceed the cap there is nothing selective
+        // left to do — the table clears outright and the search stays
+        // correct (cold cost, same optimum).
+        let platform = scenarios::platform();
+        let jobs = scenarios::s1_jobs_at_t1();
+        let mut ex = ExMem::new().with_memo_cap(1);
+        let first = ex.schedule_at(&jobs, &platform, 1.0).unwrap();
+        let cold_work = ex.nodes_explored();
+        let second = ex.schedule_at(&jobs, &platform, 1.0).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(ex.nodes_explored(), cold_work, "cap 1 cannot retain state");
+    }
+
+    #[test]
+    #[should_panic(expected = "memo cap")]
+    fn zero_memo_cap_panics() {
+        let _ = ExMem::new().with_memo_cap(0);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub use crate::exmem::ExMem;
 pub use crate::fixed::FixedMapper;
 pub use crate::incremental::IncrementalMapper;
 pub use crate::lr::MmkpLr;
-pub use crate::meta::{MetaConfig, MetaScheduler, Regime};
+pub use crate::meta::{BudgetRegime, MetaConfig, MetaScheduler, Regime};
 
 use amrm_core::{MmkpMdf, SchedulerRegistry};
 

@@ -557,6 +557,57 @@ mod tests {
     }
 
     #[test]
+    fn budget_adaptive_meta_tracks_fixed_budget_meta_on_the_quick_grid() {
+        // The budget-regime acceptance criterion, pinned at the committed
+        // baseline's `--quick --seed 2020` configuration: on each grid
+        // stream, budget-adaptive META's acceptance (averaged over the
+        // standard admission policies) is at least the fixed-budget
+        // configuration's. Tightening the exact-regime budget under
+        // latency pressure must never cost admissions — EX-MEM degrades
+        // to its MDF fallback, not to a rejection.
+        use amrm_baselines::MetaScheduler;
+        let platform = amrm_platform::Platform::odroid_xu4();
+        let library = amrm_dataflow::apps::benchmark_suite(&platform);
+        let streams = standard_streams(&library, true, 2020, true);
+        let stream_refs: Vec<(&str, &[ScenarioRequest])> = streams
+            .iter()
+            .map(|(label, stream)| (*label, stream.as_slice()))
+            .collect();
+        let registry = amrm_core::SchedulerRegistry::new()
+            .with("META-adaptive", || Box::new(MetaScheduler::new()))
+            .with(
+                "META-fixed",
+                || Box::new(MetaScheduler::with_fixed_budget()),
+            );
+        let cells = admission_grid(
+            &platform,
+            &registry,
+            &standard_policies(),
+            &stream_refs,
+            2,
+            SearchBudget::online(),
+        );
+        for (label, _) in &stream_refs {
+            let mean_acceptance = |scheduler: &str| {
+                let rates: Vec<f64> = cells
+                    .iter()
+                    .filter(|c| c.stream == *label && c.scheduler == scheduler)
+                    .map(|c| c.acceptance_rate)
+                    .collect();
+                assert!(!rates.is_empty(), "no {scheduler} cells on {label}");
+                rates.iter().sum::<f64>() / rates.len() as f64
+            };
+            let adaptive = mean_acceptance("META-adaptive");
+            let fixed = mean_acceptance("META-fixed");
+            assert!(
+                adaptive >= fixed,
+                "{label}: budget-adaptive META acceptance {adaptive:.3} \
+                 below fixed-budget {fixed:.3}"
+            );
+        }
+    }
+
+    #[test]
     fn legacy_cells_without_stream_or_telemetry_still_parse() {
         // The exact cell shape `repro --json` wrote before the telemetry
         // subsystem existed.

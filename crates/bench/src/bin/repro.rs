@@ -20,8 +20,12 @@
 //!               runs every stream under the online search budget)
 //!   sweep       extension: acceptance/energy curves over an offered-load
 //!               grid × schedulers × admission policies
-//!   all         everything above except `ablation`/`admission`/`sweep`
-//!               (default)
+//!   tune        extension: deterministic grid/random parameter fitting
+//!               for the AIMD constants, the SlackAware margin and the
+//!               META regime thresholds (poisson + bursty + diurnal
+//!               streams; --json writes the TuneReport artifact)
+//!   all         everything above except `ablation`/`admission`/`sweep`/
+//!               `tune` (default)
 //!
 //! OPTIONS
 //!   --seed N         RNG seed for suite generation (default 2020)
@@ -44,7 +48,7 @@ use std::process::ExitCode;
 
 use amrm_baselines::{standard_registry, EXMEM_NAME};
 use amrm_bench::runner::evaluate_suite;
-use amrm_bench::{admission, baseline, reports, sweep};
+use amrm_bench::{admission, baseline, reports, sweep, tune};
 use amrm_core::{SchedulerRegistry, SearchBudget};
 use amrm_dataflow::apps;
 use amrm_model::AppRef;
@@ -178,8 +182,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: repro [table2|motivation|table3|fig2|table4|fig3|fig4|ablation|\
-                 admission|sweep|all] [--seed N] [--threads N] [--quick] [--suite-out FILE] \
-                 [--json FILE] [--schedulers A,B,...]"
+                 admission|sweep|tune|all] [--seed N] [--threads N] [--quick] \
+                 [--suite-out FILE] [--json FILE] [--schedulers A,B,...]"
             );
             return if msg == "help" {
                 ExitCode::SUCCESS
@@ -201,10 +205,14 @@ fn main() -> ExitCode {
         opts.command.as_str(),
         "fig2" | "table4" | "fig3" | "fig4" | "all"
     );
-    if opts.json_out.is_some() && !evaluates_suite && opts.command != "sweep" {
+    if opts.json_out.is_some()
+        && !evaluates_suite
+        && opts.command != "sweep"
+        && opts.command != "tune"
+    {
         eprintln!(
             "error: --json only applies to commands that evaluate the suite \
-             (fig2, table4, fig3, fig4, all) or `sweep`, not `{}`",
+             (fig2, table4, fig3, fig4, all), `sweep` or `tune`, not `{}`",
             opts.command
         );
         return ExitCode::FAILURE;
@@ -217,7 +225,7 @@ fn main() -> ExitCode {
     {
         eprintln!(
             "error: --schedulers only applies to suite evaluation, `ablation`, `admission` \
-             or `sweep`, not `{}`",
+             or `sweep`, not `{}` (the tune search owns its scheduler set)",
             opts.command
         );
         return ExitCode::FAILURE;
@@ -273,6 +281,37 @@ fn main() -> ExitCode {
         let library = apps::benchmark_suite(&platform);
         let cells = run_admission_grid(&platform, &library, &registry, &opts);
         println!("{}", admission::admission_report(&cells));
+        return ExitCode::SUCCESS;
+    }
+    if opts.command == "tune" {
+        let platform = Platform::odroid_xu4();
+        eprintln!(
+            "characterizing application library on {} ...",
+            platform.name()
+        );
+        let library = apps::benchmark_suite(&platform);
+        let tune_opts = tune::TuneOptions {
+            seed: opts.seed,
+            quick: opts.quick,
+            threads: opts.threads,
+        };
+        eprintln!(
+            "fitting adaptive-policy and META parameters (seed {}, {} threads{}) ...",
+            opts.seed,
+            opts.threads,
+            if opts.quick { ", quick" } else { "" }
+        );
+        let t0 = std::time::Instant::now();
+        let report = tune::tune_grid(&platform, &library, &tune_opts);
+        eprintln!("search finished in {:.1} s", t0.elapsed().as_secs_f64());
+        println!("{}", tune::tune_report(&report));
+        if let Some(path) = &opts.json_out {
+            if let Err(e) = tune::write_json(path, &report) {
+                eprintln!("error: cannot write tune report to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("tune artifact written to {path}");
+        }
         return ExitCode::SUCCESS;
     }
     if opts.command == "sweep" {

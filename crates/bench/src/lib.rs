@@ -12,6 +12,9 @@
 //!   results, one column per registered scheduler;
 //! * [`sweep`] — acceptance/energy curves over an offered-load grid ×
 //!   schedulers × admission policies (`repro sweep`);
+//! * [`tune`] — deterministic grid/random parameter fitting for the
+//!   adaptive policies and the META thresholds (`repro tune`), scored in
+//!   the sweep's acceptance/energy currency;
 //! * [`baseline`] — condenses an evaluation into the machine-readable
 //!   perf baseline (`BENCH_baseline.json`).
 //!
@@ -27,6 +30,7 @@ pub mod baseline;
 pub mod reports;
 pub mod runner;
 pub mod sweep;
+pub mod tune;
 
 pub use amrm_core::fanout;
 
@@ -34,3 +38,4 @@ pub use crate::admission::{admission_grid, admission_report, standard_policies, 
 pub use crate::baseline::{summarize, write_json, PerfBaseline, SchedulerBaseline};
 pub use crate::runner::{evaluate_case, evaluate_suite, CaseResult, SchedResult, SuiteEvaluation};
 pub use crate::sweep::{sweep_grid, sweep_report, SweepCell, SweepReport};
+pub use crate::tune::{tune_grid, tune_report, TuneOptions, TuneReport};

@@ -1,0 +1,817 @@
+//! Parameter fitting for the adaptive subsystems: a deterministic
+//! grid-plus-random search over the AIMD constants ([`AdaptiveBatch`]),
+//! the [`SlackAware`] margin and the META regime thresholds
+//! ([`MetaConfig`]), scored with the same acceptance/energy currency the
+//! `repro sweep` curves report.
+//!
+//! The ROADMAP's standing complaint — and the argument of E-Mapper
+//! (Smejkal & Castrillon) and of Nejat et al.'s coordinated budget/
+//! configuration tuning — is that these knobs were hand-picked, not
+//! measured. [`tune_grid`] replaces folklore with measurement:
+//!
+//! 1. a **candidate list** per family is generated serially — the shipped
+//!    default first, then a coarse grid, then a few random samples drawn
+//!    from a seeded [`StdRng`] — so the list is a pure function of the
+//!    seed;
+//! 2. every candidate is **scored** on three seeded streams (steady
+//!    Poisson, bursty on/off windows, diurnal modulation) under
+//!    [`SearchBudget::online`]; policy candidates run under MMKP-MDF,
+//!    META candidates run under per-request *and* adaptive batched
+//!    admission. The score is mean acceptance, with mean energy per
+//!    admitted job as the tiebreak — the two axes of the sweep curves;
+//! 3. candidates fan out over OS threads via the shared
+//!    [`for_each_cell`] work index. Scores are pure per-candidate
+//!    functions and the winner reduction is serial, so the resulting
+//!    [`TuneReport`] is **bit-identical across thread counts** (pinned by
+//!    `tests/tune_determinism.rs`).
+//!
+//! The winners ship as constructors — [`AdaptiveBatch::fitted`],
+//! [`SlackAware::fitted`], [`MetaConfig::fitted`] — and the
+//! `repro tune [--quick] [--json]` subcommand emits the report artifact
+//! with the fitted-vs-shipped diff.
+
+use amrm_baselines::{MetaConfig, MetaScheduler};
+use amrm_core::fanout::for_each_cell;
+use amrm_core::{
+    AdaptiveBatch, AdmissionPolicy, Immediate, ReactivationPolicy, Scheduler, SearchBudget,
+    SlackAware,
+};
+use amrm_metrics::TextTable;
+use amrm_model::AppRef;
+use amrm_platform::Platform;
+use amrm_sim::Simulation;
+use amrm_workload::{bursty_window_stream, diurnal_stream, poisson_stream, StreamSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Acceptance differences below this are ties (energy breaks them).
+const ACCEPTANCE_EPS: f64 = 1e-9;
+/// Energy differences below this are ties (candidate order breaks them).
+const ENERGY_EPS: f64 = 1e-9;
+
+/// Options of one tuning run.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneOptions {
+    /// RNG seed: drives both the scored streams and the random samples.
+    pub seed: u64,
+    /// Quick mode: shorter streams (30 requests instead of 80).
+    pub quick: bool,
+    /// Worker threads for the candidate fan-out (must not change the
+    /// report — see `tests/tune_determinism.rs`).
+    pub threads: usize,
+}
+
+/// A candidate's fitness: the two axes of the sweep curves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TuneScore {
+    /// Mean acceptance rate over the scored cells (higher is better).
+    pub acceptance: f64,
+    /// Mean energy per admitted job over the scored cells, in joules
+    /// (lower is better; the tiebreak).
+    pub energy_per_job: f64,
+}
+
+impl TuneScore {
+    /// Strict dominance in the tuning order: higher acceptance first,
+    /// lower energy as the tiebreak. Ties in both leave the incumbent.
+    pub fn beats(&self, other: &TuneScore) -> bool {
+        if (self.acceptance - other.acceptance).abs() > ACCEPTANCE_EPS {
+            return self.acceptance > other.acceptance;
+        }
+        other.energy_per_job - self.energy_per_job > ENERGY_EPS
+    }
+}
+
+/// The tunable knobs of [`AdaptiveBatch`] (bounds stay at the shipped
+/// `min_batch = 1`; everything else is searched).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveBatchParams {
+    /// Upper bound for the AIMD batch size.
+    pub max_batch: usize,
+    /// Target gathering time in simulated seconds.
+    pub gather_target: f64,
+    /// Rolling acceptance below which the batch halves.
+    pub low_acceptance: f64,
+    /// Rolling acceptance at/above which the batch grows.
+    pub high_acceptance: f64,
+}
+
+impl AdaptiveBatchParams {
+    /// The shipped default, as searchable parameters.
+    pub fn shipped() -> Self {
+        AdaptiveBatchParams::of(&AdaptiveBatch::default())
+    }
+
+    fn of(p: &AdaptiveBatch) -> Self {
+        AdaptiveBatchParams {
+            max_batch: p.max_batch,
+            gather_target: p.gather_target,
+            low_acceptance: p.low_acceptance,
+            high_acceptance: p.high_acceptance,
+        }
+    }
+
+    /// Instantiates the policy these parameters describe.
+    pub fn policy(&self) -> AdaptiveBatch {
+        AdaptiveBatch::with_constants(
+            self.max_batch,
+            self.gather_target,
+            self.low_acceptance,
+            self.high_acceptance,
+        )
+    }
+}
+
+/// The tunable knobs of [`SlackAware`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlackAwareParams {
+    /// Upper bound on the gathering window, simulated seconds.
+    pub max_window: f64,
+    /// Multiplier on the activation-latency EWMA.
+    pub margin: f64,
+}
+
+impl SlackAwareParams {
+    /// The shipped default, as searchable parameters.
+    pub fn shipped() -> Self {
+        let p = SlackAware::default();
+        SlackAwareParams {
+            max_window: p.max_window,
+            margin: p.margin,
+        }
+    }
+
+    /// Instantiates the policy these parameters describe.
+    pub fn policy(&self) -> SlackAware {
+        SlackAware {
+            max_window: self.max_window,
+            margin: self.margin,
+        }
+    }
+}
+
+/// The tunable META regime thresholds (the budget-regime knobs and the
+/// exact-regime size limits keep their shipped values).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetaParams {
+    /// Heavy-regime enter threshold on the EWMA arrival rate.
+    pub heavy_enter_rate: f64,
+    /// Heavy-regime exit threshold on the arrival rate.
+    pub heavy_exit_rate: f64,
+    /// Heavy-regime enter threshold on the EWMA utilization.
+    pub heavy_enter_util: f64,
+    /// Heavy-regime exit threshold on the utilization.
+    pub heavy_exit_util: f64,
+    /// Minimum per-job slack for the exact regime, simulated seconds.
+    pub exact_min_slack: f64,
+}
+
+impl MetaParams {
+    /// The shipped default, as searchable parameters.
+    pub fn shipped() -> Self {
+        MetaParams::of(&MetaConfig::default())
+    }
+
+    fn of(c: &MetaConfig) -> Self {
+        MetaParams {
+            heavy_enter_rate: c.heavy_enter_rate,
+            heavy_exit_rate: c.heavy_exit_rate,
+            heavy_enter_util: c.heavy_enter_util,
+            heavy_exit_util: c.heavy_exit_util,
+            exact_min_slack: c.exact_min_slack,
+        }
+    }
+
+    /// Instantiates the configuration these thresholds describe.
+    pub fn config(&self) -> MetaConfig {
+        MetaConfig {
+            heavy_enter_rate: self.heavy_enter_rate,
+            heavy_exit_rate: self.heavy_exit_rate,
+            heavy_enter_util: self.heavy_enter_util,
+            heavy_exit_util: self.heavy_exit_util,
+            exact_min_slack: self.exact_min_slack,
+            ..MetaConfig::default()
+        }
+    }
+}
+
+/// One scored [`AdaptiveBatch`] candidate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptiveBatchCandidate {
+    /// The candidate's knobs.
+    pub params: AdaptiveBatchParams,
+    /// Its fitness on the tuning streams.
+    pub score: TuneScore,
+}
+
+/// One scored [`SlackAware`] candidate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlackAwareCandidate {
+    /// The candidate's knobs.
+    pub params: SlackAwareParams,
+    /// Its fitness on the tuning streams.
+    pub score: TuneScore,
+}
+
+/// One scored META-threshold candidate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetaCandidate {
+    /// The candidate's thresholds.
+    pub params: MetaParams,
+    /// Its fitness on the tuning streams.
+    pub score: TuneScore,
+}
+
+/// Search outcome of the [`AdaptiveBatch`] family: the shipped default,
+/// the winner, and whether the winner strictly dominates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptiveBatchOutcome {
+    /// Candidates evaluated (shipped default + grid + random samples).
+    pub evaluated: usize,
+    /// The shipped default and its score.
+    pub shipped: AdaptiveBatchCandidate,
+    /// The best-scoring candidate (the shipped default when nothing
+    /// strictly beats it).
+    pub winner: AdaptiveBatchCandidate,
+    /// `true` when the winner strictly beats the shipped default — the
+    /// signal for updating the shipped constants.
+    pub winner_dominates: bool,
+}
+
+/// Search outcome of the [`SlackAware`] family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlackAwareOutcome {
+    /// Candidates evaluated.
+    pub evaluated: usize,
+    /// The shipped default and its score.
+    pub shipped: SlackAwareCandidate,
+    /// The best-scoring candidate.
+    pub winner: SlackAwareCandidate,
+    /// `true` when the winner strictly beats the shipped default.
+    pub winner_dominates: bool,
+}
+
+/// Search outcome of the META-threshold family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetaOutcome {
+    /// Candidates evaluated.
+    pub evaluated: usize,
+    /// The shipped default and its score.
+    pub shipped: MetaCandidate,
+    /// The best-scoring candidate.
+    pub winner: MetaCandidate,
+    /// `true` when the winner strictly beats the shipped default.
+    pub winner_dominates: bool,
+}
+
+/// The whole tuning run plus its provenance — the `repro tune --json`
+/// artifact. Thread-count independent by construction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuneReport {
+    /// RNG seed of the streams and the random candidate samples.
+    pub seed: u64,
+    /// Whether the quick streams were used.
+    pub quick: bool,
+    /// Requests per tuning stream.
+    pub requests_per_stream: usize,
+    /// Labels of the scored streams, in evaluation order.
+    pub streams: Vec<String>,
+    /// The AIMD-constant search.
+    pub adaptive_batch: AdaptiveBatchOutcome,
+    /// The slack-margin search.
+    pub slack_aware: SlackAwareOutcome,
+    /// The META-threshold search.
+    pub meta: MetaOutcome,
+}
+
+/// The three seeded streams every candidate is scored on: the steady and
+/// bursty shapes of the admission grid plus a diurnal swing, so a winner
+/// must hold up across load regimes instead of overfitting one.
+pub fn tune_streams(
+    library: &[AppRef],
+    quick: bool,
+    seed: u64,
+) -> Vec<(&'static str, Vec<amrm_workload::ScenarioRequest>)> {
+    let spec = StreamSpec {
+        requests: if quick { 30 } else { 80 },
+        slack_range: (1.5, 3.0),
+    };
+    vec![
+        ("poisson", poisson_stream(library, 2.0, &spec, seed)),
+        (
+            "bursty",
+            bursty_window_stream(library, 1.0, 8.0, 15.0, &spec, seed),
+        ),
+        (
+            "diurnal",
+            diurnal_stream(library, 2.0, 3.0, 60.0, &spec, seed),
+        ),
+    ]
+}
+
+/// The batched-admission policy META candidates are scored under
+/// (besides [`Immediate`]). Pinned to literal constants — deliberately
+/// *not* [`AdaptiveBatch::default`] — so META candidate scores are a
+/// pure function of the tune seed and never shift when a future fitting
+/// round moves the shipped AIMD defaults; that independence is what
+/// makes the committed `TUNE_baseline.json` a stable fixed point. (The
+/// pinned values equal the 2020-fitted constants at the time of
+/// pinning.)
+fn meta_reference_batch_policy() -> AdaptiveBatch {
+    AdaptiveBatch::with_constants(
+        17,
+        2.4343004440087355,
+        0.388003278411439,
+        0.7996502860683732,
+    )
+}
+
+/// Scores one run: acceptance and energy/job of a single simulation.
+fn run_cell<S: Scheduler, A: AdmissionPolicy>(
+    platform: &Platform,
+    scheduler: S,
+    policy: A,
+    stream: &[amrm_workload::ScenarioRequest],
+) -> (f64, f64) {
+    let outcome = Simulation::new(
+        platform.clone(),
+        scheduler,
+        ReactivationPolicy::OnArrival,
+        policy,
+        stream,
+    )
+    .with_search_budget(SearchBudget::online())
+    .run();
+    (outcome.acceptance_rate(), outcome.energy_per_job())
+}
+
+/// Means over `(acceptance, energy)` cells into a [`TuneScore`].
+fn mean_score(cells: &[(f64, f64)]) -> TuneScore {
+    let n = cells.len() as f64;
+    TuneScore {
+        acceptance: cells.iter().map(|c| c.0).sum::<f64>() / n,
+        energy_per_job: cells.iter().map(|c| c.1).sum::<f64>() / n,
+    }
+}
+
+/// The deterministic candidate list of the [`AdaptiveBatch`] family:
+/// shipped default, coarse grid, then `extra` seeded random samples.
+fn adaptive_batch_candidates(rng: &mut StdRng, extra: usize) -> Vec<AdaptiveBatchParams> {
+    let mut out = vec![AdaptiveBatchParams::shipped()];
+    for &gather_target in &[2.0, 4.0, 6.0] {
+        for &max_batch in &[8usize, 12, 16] {
+            for &(low, high) in &[(0.4, 0.85), (0.5, 0.9), (0.6, 0.95)] {
+                out.push(AdaptiveBatchParams {
+                    max_batch,
+                    gather_target,
+                    low_acceptance: low,
+                    high_acceptance: high,
+                });
+            }
+        }
+    }
+    for _ in 0..extra {
+        out.push(AdaptiveBatchParams {
+            max_batch: rng.gen_range(4usize..=20),
+            gather_target: rng.gen_range(1.0..8.0),
+            low_acceptance: rng.gen_range(0.2..0.6),
+            high_acceptance: rng.gen_range(0.7..1.0),
+        });
+    }
+    out
+}
+
+/// The deterministic candidate list of the [`SlackAware`] family.
+fn slack_aware_candidates(rng: &mut StdRng, extra: usize) -> Vec<SlackAwareParams> {
+    let mut out = vec![SlackAwareParams::shipped()];
+    for &max_window in &[1.0, 2.0, 4.0] {
+        for &margin in &[0.5, 1.0, 2.0, 3.0] {
+            out.push(SlackAwareParams { max_window, margin });
+        }
+    }
+    for _ in 0..extra {
+        out.push(SlackAwareParams {
+            max_window: rng.gen_range(0.5..6.0),
+            margin: rng.gen_range(0.0..4.0),
+        });
+    }
+    out
+}
+
+/// The deterministic candidate list of the META-threshold family. Exit
+/// thresholds scale with their enter thresholds so every grid point keeps
+/// a hysteresis band and passes [`MetaConfig::validate`].
+fn meta_candidates(rng: &mut StdRng, extra: usize) -> Vec<MetaParams> {
+    let mut out = vec![MetaParams::shipped()];
+    for &enter_rate in &[1.0, 1.5, 2.0] {
+        for &enter_util in &[0.7, 0.85] {
+            for &exact_min_slack in &[3.0, 4.0] {
+                out.push(MetaParams {
+                    heavy_enter_rate: enter_rate,
+                    heavy_exit_rate: 0.6 * enter_rate,
+                    heavy_enter_util: enter_util,
+                    heavy_exit_util: 0.7 * enter_util,
+                    exact_min_slack,
+                });
+            }
+        }
+    }
+    for _ in 0..extra {
+        let enter_rate = rng.gen_range(0.8..2.5);
+        let enter_util = rng.gen_range(0.6..0.95);
+        out.push(MetaParams {
+            heavy_enter_rate: enter_rate,
+            heavy_exit_rate: rng.gen_range(0.3..0.9) * enter_rate,
+            heavy_enter_util: enter_util,
+            heavy_exit_util: rng.gen_range(0.5..0.9) * enter_util,
+            exact_min_slack: rng.gen_range(2.0..6.0),
+        });
+    }
+    out
+}
+
+/// Index of the best score; earlier candidates win ties, so the shipped
+/// default (index 0) is only displaced by a strict improvement.
+fn argbest(scores: &[TuneScore]) -> usize {
+    let mut best = 0;
+    for (i, score) in scores.iter().enumerate().skip(1) {
+        if score.beats(&scores[best]) {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Runs the whole three-family search and assembles the report.
+///
+/// Candidate lists are generated serially from the seed; scoring fans out
+/// over `opts.threads` via [`for_each_cell`]; the winner reduction is
+/// serial again — so the report is a pure function of `(library, opts
+/// minus threads)` and bit-identical across thread counts.
+///
+/// # Panics
+///
+/// Panics if `opts.threads` is zero or `library` is empty.
+pub fn tune_grid(platform: &Platform, library: &[AppRef], opts: &TuneOptions) -> TuneReport {
+    assert!(!library.is_empty(), "application library must not be empty");
+    let streams = tune_streams(library, opts.quick, opts.seed);
+    let requests_per_stream = streams.first().map(|(_, s)| s.len()).unwrap_or(0);
+
+    // Candidate generation is serial and seeded: the random tail of each
+    // family draws from its own deterministic sub-seed.
+    let extra = if opts.quick { 6 } else { 12 };
+    let ab = adaptive_batch_candidates(&mut StdRng::seed_from_u64(opts.seed ^ 0xadba), extra);
+    let sa = slack_aware_candidates(&mut StdRng::seed_from_u64(opts.seed ^ 0x51ac), extra / 2);
+    let meta = meta_candidates(&mut StdRng::seed_from_u64(opts.seed ^ 0x3e7a), extra / 2);
+
+    // One flat work index over all families, so slow META cells steal
+    // time from fast policy cells instead of serializing their family.
+    // Policy-family cells (AdaptiveBatch, SlackAware) share one scoring
+    // loop under MMKP-MDF; only the META family is scored differently.
+    let total = ab.len() + sa.len() + meta.len();
+    let scores = for_each_cell(total, opts.threads, |cell| {
+        // A fresh policy instance per stream — the adaptive policies are
+        // stateful, and state must not leak across scored streams.
+        let policy_factory: Option<Box<dyn Fn() -> Box<dyn AdmissionPolicy>>> = if cell < ab.len() {
+            let params = &ab[cell];
+            Some(Box::new(move || Box::new(params.policy())))
+        } else if cell < ab.len() + sa.len() {
+            let params = &sa[cell - ab.len()];
+            Some(Box::new(move || Box::new(params.policy())))
+        } else {
+            None
+        };
+        if let Some(factory) = policy_factory {
+            let cells: Vec<(f64, f64)> = streams
+                .iter()
+                .map(|(_, stream)| run_cell(platform, amrm_core::MmkpMdf::new(), factory(), stream))
+                .collect();
+            return mean_score(&cells);
+        }
+        let params = &meta[cell - ab.len() - sa.len()];
+        let mut cells = Vec::with_capacity(streams.len() * 2);
+        for (_, stream) in &streams {
+            cells.push(run_cell(
+                platform,
+                MetaScheduler::with_config(params.config()),
+                Immediate,
+                stream,
+            ));
+            cells.push(run_cell(
+                platform,
+                MetaScheduler::with_config(params.config()),
+                meta_reference_batch_policy(),
+                stream,
+            ));
+        }
+        mean_score(&cells)
+    });
+
+    let (ab_scores, rest) = scores.split_at(ab.len());
+    let (sa_scores, meta_scores) = rest.split_at(sa.len());
+
+    let ab_best = argbest(ab_scores);
+    let sa_best = argbest(sa_scores);
+    let meta_best = argbest(meta_scores);
+
+    TuneReport {
+        seed: opts.seed,
+        quick: opts.quick,
+        requests_per_stream,
+        streams: streams.iter().map(|(label, _)| label.to_string()).collect(),
+        adaptive_batch: AdaptiveBatchOutcome {
+            evaluated: ab.len(),
+            shipped: AdaptiveBatchCandidate {
+                params: ab[0].clone(),
+                score: ab_scores[0],
+            },
+            winner: AdaptiveBatchCandidate {
+                params: ab[ab_best].clone(),
+                score: ab_scores[ab_best],
+            },
+            winner_dominates: ab_best != 0,
+        },
+        slack_aware: SlackAwareOutcome {
+            evaluated: sa.len(),
+            shipped: SlackAwareCandidate {
+                params: sa[0].clone(),
+                score: sa_scores[0],
+            },
+            winner: SlackAwareCandidate {
+                params: sa[sa_best].clone(),
+                score: sa_scores[sa_best],
+            },
+            winner_dominates: sa_best != 0,
+        },
+        meta: MetaOutcome {
+            evaluated: meta.len(),
+            shipped: MetaCandidate {
+                params: meta[0].clone(),
+                score: meta_scores[0],
+            },
+            winner: MetaCandidate {
+                params: meta[meta_best].clone(),
+                score: meta_scores[meta_best],
+            },
+            winner_dominates: meta_best != 0,
+        },
+    }
+}
+
+/// Renders the tuning outcome: one shipped-vs-winner row pair per family,
+/// with the knobs spelled out and the score axes side by side.
+pub fn tune_report(report: &TuneReport) -> String {
+    let mut out = format!(
+        "Parameter fitting over {} streams ({} requests each, seed {}): \
+         grid + seeded random search, scored by mean acceptance with \
+         energy/job as the tiebreak\n\n",
+        report.streams.join("/"),
+        report.requests_per_stream,
+        report.seed,
+    );
+    let mut t = TextTable::new(vec![
+        "Family",
+        "Row",
+        "Parameters",
+        "acceptance",
+        "J/job",
+        "dominates",
+    ]);
+    let score_cols = |s: &TuneScore| {
+        (
+            format!("{:.4}", s.acceptance),
+            format!("{:.2}", s.energy_per_job),
+        )
+    };
+    let ab_params = |p: &AdaptiveBatchParams| {
+        format!(
+            "max_batch={} gather={} low={} high={}",
+            p.max_batch, p.gather_target, p.low_acceptance, p.high_acceptance
+        )
+    };
+    let sa_params = |p: &SlackAwareParams| format!("window={} margin={}", p.max_window, p.margin);
+    let meta_params = |p: &MetaParams| {
+        format!(
+            "rate={}/{} util={}/{} slack={}",
+            p.heavy_enter_rate,
+            p.heavy_exit_rate,
+            p.heavy_enter_util,
+            p.heavy_exit_util,
+            p.exact_min_slack
+        )
+    };
+    let mut row = |family: &str, kind: &str, params: String, score: &TuneScore, dominates: &str| {
+        let (acc, energy) = score_cols(score);
+        t.add_row(vec![
+            family.to_string(),
+            kind.to_string(),
+            params,
+            acc,
+            energy,
+            dominates.to_string(),
+        ]);
+    };
+    let flag = |d: bool| if d { "yes" } else { "no" };
+    row(
+        "AdaptiveBatch",
+        "shipped",
+        ab_params(&report.adaptive_batch.shipped.params),
+        &report.adaptive_batch.shipped.score,
+        "-",
+    );
+    row(
+        "AdaptiveBatch",
+        "winner",
+        ab_params(&report.adaptive_batch.winner.params),
+        &report.adaptive_batch.winner.score,
+        flag(report.adaptive_batch.winner_dominates),
+    );
+    row(
+        "SlackAware",
+        "shipped",
+        sa_params(&report.slack_aware.shipped.params),
+        &report.slack_aware.shipped.score,
+        "-",
+    );
+    row(
+        "SlackAware",
+        "winner",
+        sa_params(&report.slack_aware.winner.params),
+        &report.slack_aware.winner.score,
+        flag(report.slack_aware.winner_dominates),
+    );
+    row(
+        "META",
+        "shipped",
+        meta_params(&report.meta.shipped.params),
+        &report.meta.shipped.score,
+        "-",
+    );
+    row(
+        "META",
+        "winner",
+        meta_params(&report.meta.winner.params),
+        &report.meta.winner.score,
+        flag(report.meta.winner_dominates),
+    );
+    out.push_str(&t.to_string());
+    out.push_str(&format!(
+        "\nCandidates evaluated: {} AdaptiveBatch, {} SlackAware, {} META. \
+         A \"yes\" in `dominates` means the winner strictly beats the \
+         shipped default on these streams — the fitted() constructors \
+         record such winners.\n",
+        report.adaptive_batch.evaluated, report.slack_aware.evaluated, report.meta.evaluated,
+    ));
+    out
+}
+
+/// Writes a tune report as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns any I/O or serialization error.
+pub fn write_json(path: impl AsRef<std::path::Path>, report: &TuneReport) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), report)
+        .map_err(std::io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrm_workload::scenarios;
+
+    fn tiny_library() -> Vec<AppRef> {
+        vec![scenarios::lambda1(), scenarios::lambda2()]
+    }
+
+    #[test]
+    fn candidate_lists_start_with_the_shipped_defaults() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            adaptive_batch_candidates(&mut rng, 2)[0],
+            AdaptiveBatchParams::shipped()
+        );
+        assert_eq!(
+            slack_aware_candidates(&mut rng, 2)[0],
+            SlackAwareParams::shipped()
+        );
+        assert_eq!(meta_candidates(&mut rng, 2)[0], MetaParams::shipped());
+    }
+
+    #[test]
+    fn candidate_lists_are_seed_deterministic() {
+        let a = meta_candidates(&mut StdRng::seed_from_u64(9), 4);
+        let b = meta_candidates(&mut StdRng::seed_from_u64(9), 4);
+        assert_eq!(a, b);
+        let c = meta_candidates(&mut StdRng::seed_from_u64(10), 4);
+        assert_ne!(a, c, "different seeds must explore different samples");
+    }
+
+    #[test]
+    fn every_meta_candidate_validates() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for params in meta_candidates(&mut rng, 16) {
+            params
+                .config()
+                .validate()
+                .unwrap_or_else(|e| panic!("candidate {params:?} invalid: {e}"));
+        }
+    }
+
+    #[test]
+    fn every_policy_candidate_validates() {
+        let mut rng = StdRng::seed_from_u64(78);
+        for params in adaptive_batch_candidates(&mut rng, 16) {
+            params
+                .policy()
+                .validate()
+                .unwrap_or_else(|e| panic!("candidate {params:?} invalid: {e}"));
+        }
+        for params in slack_aware_candidates(&mut rng, 16) {
+            params
+                .policy()
+                .validate()
+                .unwrap_or_else(|e| panic!("candidate {params:?} invalid: {e}"));
+        }
+    }
+
+    #[test]
+    fn score_order_prefers_acceptance_then_energy() {
+        let better_acc = TuneScore {
+            acceptance: 0.9,
+            energy_per_job: 50.0,
+        };
+        let worse_acc = TuneScore {
+            acceptance: 0.8,
+            energy_per_job: 10.0,
+        };
+        assert!(better_acc.beats(&worse_acc));
+        assert!(!worse_acc.beats(&better_acc));
+        let cheaper = TuneScore {
+            acceptance: 0.9,
+            energy_per_job: 40.0,
+        };
+        assert!(cheaper.beats(&better_acc));
+        assert!(!better_acc.beats(&better_acc), "a tie must not dominate");
+        assert_eq!(argbest(&[worse_acc, better_acc, cheaper, cheaper]), 2);
+    }
+
+    #[test]
+    fn tune_streams_cover_three_shapes() {
+        let streams = tune_streams(&tiny_library(), true, 3);
+        let labels: Vec<&str> = streams.iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, vec!["poisson", "bursty", "diurnal"]);
+        assert!(streams.iter().all(|(_, s)| s.len() == 30));
+    }
+
+    #[test]
+    fn report_renders_all_families() {
+        // A miniature end-to-end run on the cheap scenario library.
+        let report = tune_grid(
+            &scenarios::platform(),
+            &tiny_library(),
+            &TuneOptions {
+                seed: 5,
+                quick: true,
+                threads: 2,
+            },
+        );
+        assert_eq!(report.streams.len(), 3);
+        assert!(report.adaptive_batch.evaluated > 27);
+        assert!(report.slack_aware.evaluated > 12);
+        assert!(report.meta.evaluated > 12);
+        let text = tune_report(&report);
+        assert!(text.contains("AdaptiveBatch"));
+        assert!(text.contains("SlackAware"));
+        assert!(text.contains("META"));
+        assert!(text.contains("shipped"));
+        assert!(text.contains("winner"));
+    }
+
+    #[test]
+    fn report_roundtrips_through_serde_json() {
+        let report = tune_grid(
+            &scenarios::platform(),
+            &tiny_library(),
+            &TuneOptions {
+                seed: 2,
+                quick: true,
+                threads: 1,
+            },
+        );
+        let text = serde_json::to_string(&report).unwrap();
+        let back: TuneReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.seed, report.seed);
+        assert_eq!(back.streams, report.streams);
+        assert_eq!(
+            back.adaptive_batch.winner.params,
+            report.adaptive_batch.winner.params
+        );
+        assert_eq!(
+            back.meta.winner.score.acceptance.to_bits(),
+            report.meta.winner.score.acceptance.to_bits()
+        );
+    }
+}

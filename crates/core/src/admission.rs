@@ -254,15 +254,46 @@ pub struct AdaptiveBatch {
 }
 
 impl AdaptiveBatch {
-    /// The default configuration: batch in `[1, 12]`, 4-second gather
-    /// target, halve below 50 % rolling acceptance, grow at ≥ 90 %.
+    /// The default configuration — the [`fitted`](AdaptiveBatch::fitted)
+    /// constants, which dominate the original hand-picked defaults
+    /// (batch in `[1, 12]`, 4 s gather, halve < 50 %, grow ≥ 90 %) on
+    /// every tuning stream.
     pub fn new() -> Self {
+        AdaptiveBatch::fitted()
+    }
+
+    /// The constants fitted by `repro tune --quick --seed 2020` against
+    /// the original hand-picked defaults: mean acceptance 0.556 vs 0.478
+    /// over the poisson/bursty/diurnal tuning streams, at lower energy
+    /// per job (the fitting run's deltas are recorded in CHANGES.md;
+    /// the committed `TUNE_baseline.json` is the *post-adoption* re-run,
+    /// whose shipped row equals this winner — the fixed point). The
+    /// shorter gather target batches only under genuinely dense arrivals
+    /// — over-eager batching was eating deadline slack in the queue.
+    pub fn fitted() -> Self {
+        AdaptiveBatch::with_constants(
+            17,
+            2.4343004440087355,
+            0.388003278411439,
+            0.7996502860683732,
+        )
+    }
+
+    /// An AIMD policy with explicit constants — the constructor the
+    /// `repro tune` parameter search instantiates candidates through.
+    /// The batch starts at (and is bounded below by) `min_batch = 1`.
+    pub fn with_constants(
+        max_batch: usize,
+        gather_target: f64,
+        low_acceptance: f64,
+        high_acceptance: f64,
+    ) -> Self {
         AdaptiveBatch {
             min_batch: 1,
-            max_batch: 12,
-            gather_target: 4.0,
-            low_acceptance: 0.5,
-            high_acceptance: 0.9,
+            max_batch,
+            gather_target,
+            low_acceptance,
+            high_acceptance,
             k: 1,
             last_drops: 0,
         }
@@ -362,12 +393,23 @@ pub struct SlackAware {
 }
 
 impl SlackAware {
-    /// The default configuration: windows of at most 2 s, guarded by
-    /// twice the recent activation latency.
+    /// The default configuration — the [`fitted`](SlackAware::fitted)
+    /// constants, which dominate the original hand-picked default
+    /// (2 s windows, margin 2) on every tuning stream.
     pub fn new() -> Self {
+        SlackAware::fitted()
+    }
+
+    /// The constants fitted by `repro tune --quick --seed 2020` against
+    /// the original hand-picked default: mean acceptance 0.522 vs 0.467
+    /// over the poisson/bursty/diurnal tuning streams (deltas recorded
+    /// in CHANGES.md; the committed `TUNE_baseline.json` is the
+    /// post-adoption fixed-point re-run). Shorter windows with a wider
+    /// latency guard hold less slack hostage while gathering.
+    pub fn fitted() -> Self {
         SlackAware {
-            max_window: 2.0,
-            margin: 2.0,
+            max_window: 1.0,
+            margin: 3.0,
         }
     }
 }
@@ -534,11 +576,25 @@ mod tests {
             p.on_arrival(&busy, 0.0);
             assert_eq!(p.current_batch(), expected);
         }
-        // Rate 2/s with a 4 s target supports at most k = 8.
+        // Rate 2/s with the fitted ~2.43 s gather target supports at
+        // most k = 4: the batch must stop growing exactly there.
         for _ in 0..20 {
             p.on_arrival(&busy, 0.0);
         }
-        assert_eq!(p.current_batch(), 8);
+        assert_eq!(p.current_batch(), 4);
+    }
+
+    #[test]
+    fn fitted_constants_are_the_defaults_and_validate() {
+        // The tune winner dominates the hand-picked constants, so the
+        // fitted configuration *is* the shipped default (same for
+        // SlackAware); both must satisfy their own invariants.
+        assert_eq!(AdaptiveBatch::fitted(), AdaptiveBatch::default());
+        assert!(AdaptiveBatch::fitted().validate().is_ok());
+        assert_eq!(SlackAware::fitted(), SlackAware::default());
+        assert!(SlackAware::fitted().validate().is_ok());
+        // The fitted AIMD policy still starts per-request.
+        assert_eq!(AdaptiveBatch::fitted().current_batch(), 1);
     }
 
     #[test]
@@ -629,6 +685,55 @@ mod tests {
         assert_eq!(
             p.on_arrival(&exhausted, 5.0),
             AdmissionDirective::OpenWindow { expiry: 5.0 }
+        );
+    }
+
+    #[test]
+    fn slack_aware_window_clamps_to_zero_length_under_latency_pressure() {
+        // Edge cases of the window arithmetic: whenever
+        // `margin × activation_latency` exceeds `min_queued_slack / 2`
+        // the allowance must clamp to a zero-length (immediate-flush)
+        // window at exactly `now` — never an expiry in the past, never a
+        // NaN. Pinned with a latency far beyond the queued slack and with
+        // an already-expired queued request (negative slack).
+        let mut p = SlackAware {
+            max_window: 2.0,
+            margin: 2.0,
+        };
+        let now = 9.0;
+        // Guard 2 × 100 = 200 ≫ slack/2 = 1.5.
+        let swamped = TelemetrySnapshot {
+            min_queued_slack: Some(3.0),
+            activation_latency: 100.0,
+            ..snap(1, now)
+        };
+        assert_eq!(
+            p.on_arrival(&swamped, now),
+            AdmissionDirective::OpenWindow { expiry: now }
+        );
+        // A queued request already past its deadline: slack is negative,
+        // the window must still degenerate to "flush now", not underflow.
+        let expired = TelemetrySnapshot {
+            min_queued_slack: Some(-1.0),
+            activation_latency: 0.5,
+            ..snap(1, now)
+        };
+        match p.on_arrival(&expired, now) {
+            AdmissionDirective::OpenWindow { expiry } => {
+                assert!(expiry.is_finite());
+                assert_eq!(expiry.to_bits(), now.to_bits(), "window opened off-instant");
+            }
+            other => panic!("expected a zero-length window, got {other:?}"),
+        }
+        // Under the same pressure a *running* window is tightened to the
+        // immediate-flush instant rather than left to linger.
+        let mid_window = TelemetrySnapshot {
+            window_expiry: Some(now + 1.5),
+            ..swamped
+        };
+        assert_eq!(
+            p.on_arrival(&mid_window, now),
+            AdmissionDirective::OpenWindow { expiry: now }
         );
     }
 

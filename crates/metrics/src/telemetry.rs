@@ -192,6 +192,13 @@ pub struct TelemetrySnapshot {
     /// flushed batch's oldest arrival and its scheduler activation — how
     /// long the admission pipeline has recently held requests back.
     pub activation_latency: f64,
+    /// 95th-percentile simulated queue wait (arrival → flush) over the
+    /// most recent [`Telemetry::SAMPLE_CAPACITY`] flushed requests; 0.0
+    /// before the first flush. Simulated time only — together with the
+    /// activation-latency EWMA this is the *decision-latency* signal a
+    /// budget-adaptive scheduler sizes its search effort from, without
+    /// breaking per-seed determinism.
+    pub queue_wait_p95: f64,
     /// Requests dropped from the queue at their deadline so far.
     pub queue_drops: usize,
     /// Arrivals observed so far.
@@ -214,6 +221,7 @@ impl Default for TelemetrySnapshot {
             rolling_acceptance: 1.0,
             energy_per_job: 0.0,
             activation_latency: 0.0,
+            queue_wait_p95: 0.0,
             queue_drops: 0,
             arrivals: 0,
             activations: 0,
@@ -285,6 +293,12 @@ pub struct Telemetry {
     /// [`Telemetry::ACCEPTANCE_WINDOW`] decisions.
     acceptance: RingBuffer,
     queue_wait: RingBuffer,
+    /// Cached queue-wait p95, invalidated on each recorded wait: the
+    /// snapshot is taken on every kernel event, and sorting the sample
+    /// ring there would put an O(n log n) pass on the hot event path.
+    /// A `Cell` because the lazily recomputed value must be stored from
+    /// the `&self` snapshot path (the recorder stays `Send`).
+    queue_wait_p95_cache: std::cell::Cell<Option<f64>>,
     decision_seconds: RingBuffer,
     total_energy: f64,
     total_accepted: usize,
@@ -313,6 +327,7 @@ impl Telemetry {
             activation_latency: Ewma::new(Self::ALPHA),
             acceptance: RingBuffer::new(Self::ACCEPTANCE_WINDOW),
             queue_wait: RingBuffer::new(Self::SAMPLE_CAPACITY),
+            queue_wait_p95_cache: std::cell::Cell::new(None),
             decision_seconds: RingBuffer::new(Self::SAMPLE_CAPACITY),
             total_energy: 0.0,
             total_accepted: 0,
@@ -381,6 +396,7 @@ impl Telemetry {
     /// request.
     pub fn record_queue_wait(&mut self, wait: f64) {
         self.queue_wait.push(wait.max(0.0));
+        self.queue_wait_p95_cache.set(None);
     }
 
     /// Records the decisions of one flushed batch for the rolling
@@ -418,12 +434,21 @@ impl Telemetry {
         }
     }
 
-    /// EWMA arrival rate in requests per simulated second (0.0 until a
-    /// positive inter-arrival gap has been observed).
+    /// Floor for the smoothed inter-arrival gap when inverting it into a
+    /// rate: a gap EWMA driven to zero by simultaneous burst arrivals
+    /// reports a very *high* (but finite, JSON-safe) rate instead of
+    /// falling back to 0.0 — the old cold-start underestimate read a
+    /// stacked burst as "no load" and delayed reactive schedulers'
+    /// heavy-regime entry.
+    const MIN_RATE_GAP: f64 = 1e-9;
+
+    /// EWMA arrival rate in requests per simulated second (0.0 until two
+    /// arrivals have been observed — one arrival carries no rate
+    /// information).
     fn arrival_rate(&self) -> f64 {
         match self.arrival_gap.value() {
-            Some(gap) if gap > 0.0 => 1.0 / gap,
-            _ => 0.0,
+            Some(gap) => 1.0 / gap.max(Self::MIN_RATE_GAP),
+            None => 0.0,
         }
     }
 
@@ -458,10 +483,25 @@ impl Telemetry {
             rolling_acceptance: self.rolling_acceptance(),
             energy_per_job: self.energy_per_job(),
             activation_latency: self.activation_latency.get(),
+            queue_wait_p95: self.queue_wait_p95(),
             queue_drops: self.queue_drops,
             arrivals: self.arrivals,
             activations: self.activations,
         }
+    }
+
+    /// 95th-percentile simulated queue wait over the retained samples
+    /// (0.0 while the ring is empty). Derived from simulated time only,
+    /// so snapshots carrying it keep adaptive consumers deterministic.
+    /// Recomputed only after a new wait sample invalidated the cache —
+    /// snapshots between flushes reuse the cached value.
+    fn queue_wait_p95(&self) -> f64 {
+        if let Some(cached) = self.queue_wait_p95_cache.get() {
+            return cached;
+        }
+        let p95 = crate::percentile(self.queue_wait.samples(), 95.0).unwrap_or(0.0);
+        self.queue_wait_p95_cache.set(Some(p95));
+        p95
     }
 
     /// Condenses the series into the end-of-run summary.
@@ -618,6 +658,56 @@ mod tests {
         assert_eq!(s.arrival_rate, 0.0);
         // No decisions yet: optimistic acceptance, like the snapshot.
         assert_eq!(s.rolling_acceptance, 1.0);
+    }
+
+    #[test]
+    fn ewma_cold_start_seeds_the_first_sample_as_the_mean() {
+        // Audit pin: the first sample must become the average verbatim —
+        // an EWMA that blended it against an implicit 0 would decay from
+        // zero and underestimate every early rate/level series.
+        for alpha in [0.05, 0.2, 1.0] {
+            let mut e = Ewma::new(alpha);
+            assert_eq!(e.value(), None, "no sample yet");
+            let first = e.update(7.5);
+            assert_eq!(first.to_bits(), 7.5f64.to_bits(), "alpha {alpha}");
+            assert_eq!(e.get().to_bits(), 7.5f64.to_bits());
+        }
+    }
+
+    #[test]
+    fn simultaneous_burst_arrivals_report_a_high_rate_not_zero() {
+        // Regression: a gap EWMA driven to 0 by back-to-back arrivals
+        // used to make `arrival_rate` fall back to 0.0 — a stacked burst
+        // read as "no load", delaying any reactive consumer's
+        // heavy-regime entry. The rate must be very high and finite.
+        let mut t = Telemetry::new();
+        for _ in 0..4 {
+            t.record_arrival(2.0);
+        }
+        let rate = t.snapshot(2.0, 4, None, None).arrival_rate;
+        assert!(rate >= 1e8, "burst rate {rate} still reads as calm");
+        assert!(rate.is_finite(), "rate must stay JSON-serializable");
+        // A single arrival still carries no rate information.
+        let mut cold = Telemetry::new();
+        cold.record_arrival(0.0);
+        assert_eq!(cold.snapshot(0.0, 1, None, None).arrival_rate, 0.0);
+    }
+
+    #[test]
+    fn snapshot_carries_the_queue_wait_percentile() {
+        let mut t = Telemetry::new();
+        assert_eq!(t.snapshot(0.0, 0, None, None).queue_wait_p95, 0.0);
+        for w in [0.0, 1.0, 2.0, 3.0] {
+            t.record_queue_wait(w);
+        }
+        let snap = t.snapshot(4.0, 0, None, None);
+        assert!((snap.queue_wait_p95 - 2.85).abs() < 1e-12);
+        // The snapshot percentile and the summary percentile agree on the
+        // same ring (the summary also reports p50/p99).
+        assert_eq!(
+            snap.queue_wait_p95.to_bits(),
+            t.summary().queue_wait_p95.to_bits()
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! * [`workload`] — motivational scenarios and the Table III generator
 //!   (`amrm-workload`);
 //! * [`sim`] — event-driven online RM simulation (`amrm-sim`);
-//! * [`metrics`] — evaluation statistics (`amrm-metrics`).
+//! * [`metrics`] — evaluation statistics (`amrm-metrics`);
+//! * [`bench`] — the regeneration/benchmark harness behind the `repro`
+//!   binary, including the `tune` parameter-fitting subsystem
+//!   (`amrm-bench`).
 //!
 //! # Quickstart
 //!
@@ -35,6 +38,7 @@
 //! ```
 
 pub use amrm_baselines as baselines;
+pub use amrm_bench as bench;
 pub use amrm_core as core;
 pub use amrm_dataflow as dataflow;
 pub use amrm_metrics as metrics;

@@ -9,10 +9,10 @@
 //! the hysteresis: an arrival rate oscillating around the heavy-enter
 //! threshold must not flap the algorithm every activation.
 
-use amrm::baselines::{MetaConfig, MetaScheduler, Regime};
+use amrm::baselines::{BudgetRegime, MetaConfig, MetaScheduler, Regime};
 use amrm::core::{
-    AdaptiveBatch, AdmissionPolicy, Immediate, ReactivationPolicy, Scheduler, SchedulingContext,
-    SearchBudget, TelemetrySnapshot,
+    AdaptiveBatch, AdmissionPolicy, BatchK, Immediate, ReactivationPolicy, Scheduler,
+    SchedulingContext, SearchBudget, TelemetrySnapshot,
 };
 use amrm::model::{AppRef, Job, JobId, JobSet};
 use amrm::sim::Simulation;
@@ -27,9 +27,17 @@ fn run_meta<A: AdmissionPolicy>(
     stream: &[amrm::workload::ScenarioRequest],
     admission: A,
 ) -> (amrm::sim::SimOutcome, MetaScheduler) {
+    run_meta_with(stream, admission, MetaScheduler::new())
+}
+
+fn run_meta_with<A: AdmissionPolicy>(
+    stream: &[amrm::workload::ScenarioRequest],
+    admission: A,
+    meta: MetaScheduler,
+) -> (amrm::sim::SimOutcome, MetaScheduler) {
     Simulation::new(
         scenarios::platform(),
-        MetaScheduler::new(),
+        meta,
         ReactivationPolicy::OnArrival,
         admission,
         stream,
@@ -76,6 +84,56 @@ proptest! {
             assert_eq!(third.total_energy.to_bits(), fourth.total_energy.to_bits());
             assert_eq!(third.queue_deadline_drops, fourth.queue_deadline_drops);
             assert_eq!(meta_c.switches(), meta_d.switches());
+        }
+    }
+
+    /// Budget-adaptive META is deterministic per seed — admissions,
+    /// energy bits, algorithm *and* budget switch counts — and, under the
+    /// degenerate per-request disciplines (`Immediate`, `BatchK(1)`,
+    /// whose prompt pipelines keep the decision-latency signal at zero),
+    /// bit-identical to the fixed-budget configuration.
+    #[test]
+    fn budget_adaptive_meta_is_deterministic_and_degenerates_cleanly(
+        seed in 0u64..1000,
+        requests in 10usize..24,
+    ) {
+        let spec = StreamSpec { requests, slack_range: (1.3, 2.6) };
+        let streams = [
+            bursty_window_stream(&library(), 0.8, 6.0, 12.0, &spec, seed),
+            diurnal_stream(&library(), 2.5, 3.0, 40.0, &spec, seed),
+        ];
+        for stream in &streams {
+            // Determinism of the adaptive-budget path itself (BatchK(4)
+            // produces non-zero queue waits, so the budget regime has a
+            // real signal to react to).
+            let (first, meta_a) = run_meta(stream, BatchK(4));
+            let (second, meta_b) = run_meta(stream, BatchK(4));
+            assert_eq!(first.admissions, second.admissions);
+            assert_eq!(first.total_energy.to_bits(), second.total_energy.to_bits());
+            assert_eq!(meta_a.switches(), meta_b.switches());
+            assert_eq!(
+                meta_a.budget_switches(),
+                meta_b.budget_switches(),
+                "budget regime switch counts diverged across identical runs"
+            );
+
+            // Degenerate disciplines: adaptive ≡ fixed, bit for bit.
+            let (ai, _) = run_meta(stream, Immediate);
+            let (fi, fixed_meta) =
+                run_meta_with(stream, Immediate, MetaScheduler::with_fixed_budget());
+            assert_eq!(ai.admissions, fi.admissions);
+            assert_eq!(ai.total_energy.to_bits(), fi.total_energy.to_bits());
+            assert_eq!(ai.stats, fi.stats);
+            assert_eq!(fixed_meta.budget_switches(), 0);
+            let (ab, adaptive_meta) = run_meta(stream, BatchK(1));
+            let (fb, _) = run_meta_with(stream, BatchK(1), MetaScheduler::with_fixed_budget());
+            assert_eq!(ab.admissions, fb.admissions);
+            assert_eq!(ab.total_energy.to_bits(), fb.total_energy.to_bits());
+            assert_eq!(
+                adaptive_meta.budget_switches(),
+                0,
+                "a prompt per-request pipeline must never tighten the budget"
+            );
         }
     }
 
@@ -156,6 +214,34 @@ fn calm_signals_leave_the_heavy_regime() {
     });
     meta.schedule(&jobs, &platform, &calm);
     assert_ne!(meta.regime(), Regime::Heavy);
+}
+
+/// The budget regime is not vacuous: a slow gathering pipeline (BatchK(4)
+/// on a bursty stream holds requests well past the 1.5 s enter threshold)
+/// must actually tighten the EX-MEM budget, and the tightened budget must
+/// reach the exact regime's activations.
+#[test]
+fn slow_pipeline_engages_the_tight_budget_regime() {
+    let spec = StreamSpec {
+        requests: 40,
+        slack_range: (1.5, 3.0),
+    };
+    let stream = bursty_window_stream(&library(), 1.0, 8.0, 15.0, &spec, 2020);
+    let (_, meta) = run_meta(&stream, BatchK(4));
+    assert!(
+        meta.budget_switches() >= 1,
+        "the decision-latency signal never engaged the budget regime"
+    );
+    assert_eq!(meta.budget_regime(), BudgetRegime::Tight);
+    assert_eq!(
+        meta.last_exact_budget(),
+        meta.config().exmem_tight_budget,
+        "the tight budget never reached an exact-regime activation"
+    );
+    // The same stream under a prompt pipeline stays generous.
+    let (_, prompt) = run_meta(&stream, Immediate);
+    assert_eq!(prompt.budget_regime(), BudgetRegime::Generous);
+    assert_eq!(prompt.budget_switches(), 0);
 }
 
 /// Tighter custom thresholds flow through `with_config` and still
