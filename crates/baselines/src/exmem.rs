@@ -464,14 +464,21 @@ fn solve(ctx: &mut SearchCtx<'_>, state: &[(usize, f64)], t: f64, incumbent: f64
     let mut anytime_hit: Option<f64> = None;
     match ctx.memo.get(&key) {
         Some(MemoVal::Exact { energy, .. }) => {
+            amrm_metrics::instrument::record_memo_hit();
             return if *energy < incumbent {
                 Some(*energy)
             } else {
                 None
             };
         }
-        Some(MemoVal::Infeasible) => return None,
-        Some(MemoVal::Bound { at_least }) if incumbent <= *at_least + EPS => return None,
+        Some(MemoVal::Infeasible) => {
+            amrm_metrics::instrument::record_memo_hit();
+            return None;
+        }
+        Some(MemoVal::Bound { at_least }) if incumbent <= *at_least + EPS => {
+            amrm_metrics::instrument::record_memo_hit();
+            return None;
+        }
         Some(MemoVal::Anytime { energy, .. }) => anytime_hit = Some(*energy),
         _ => {}
     }

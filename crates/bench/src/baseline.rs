@@ -56,6 +56,9 @@ pub struct PerfBaseline {
     /// (empty when the producing command skipped the online A/B, or the
     /// file predates the grid).
     pub admission: Vec<crate::admission::AdmissionCell>,
+    /// Streaming-kernel throughput cells (`repro profile`; empty when the
+    /// producing command skipped the profile, or the file predates it).
+    pub profile: Vec<crate::profile::ProfileCell>,
 }
 
 impl serde::Deserialize for PerfBaseline {
@@ -73,6 +76,11 @@ impl serde::Deserialize for PerfBaseline {
             schedulers: Vec::from_value(field("schedulers")?)?,
             // Absent in baselines written before the grid existed.
             admission: match field("admission") {
+                Ok(value) => Vec::from_value(value)?,
+                Err(_) => Vec::new(),
+            },
+            // Absent in baselines written before `repro profile` existed.
+            profile: match field("profile") {
                 Ok(value) => Vec::from_value(value)?,
                 Err(_) => Vec::new(),
             },
@@ -123,6 +131,7 @@ pub fn summarize(
         evaluation_seconds,
         schedulers,
         admission: Vec::new(),
+        profile: Vec::new(),
     }
 }
 
@@ -201,6 +210,7 @@ mod tests {
         assert_eq!(back.seed, 2020);
         assert_eq!(back.schedulers.len(), 1);
         assert!(back.admission.is_empty());
+        assert!(back.profile.is_empty());
     }
 
     #[test]

@@ -24,14 +24,25 @@
 //!               for the AIMD constants, the SlackAware margin and the
 //!               META regime thresholds (poisson + bursty + diurnal
 //!               streams; --json writes the TuneReport artifact)
+//!   profile     streaming-kernel throughput: a lazily generated diurnal
+//!               stream (1M requests; --quick: 20k) through MMKP-MDF and
+//!               META in lean mode, reporting requests/s, events/s and
+//!               the hot-path instrumentation counters (--json writes
+//!               the ProfileReport; --baseline F enforces the events/s
+//!               floor against a recorded BENCH_baseline.json)
 //!   all         everything above except `ablation`/`admission`/`sweep`/
-//!               `tune` (default)
+//!               `tune`/`profile` (default)
 //!
 //! OPTIONS
 //!   --seed N         RNG seed for suite generation (default 2020)
 //!   --threads N      worker threads (default: available parallelism)
 //!   --quick          divide all Table III counts by 10 (smoke run);
-//!                    shrinks the sweep grid likewise
+//!                    shrinks the sweep grid and profile stream likewise
+//!   --requests N     profile stream length (profile only; overrides the
+//!                    1M/20k default)
+//!   --baseline F     compare the profile against the profile cells
+//!                    recorded in baseline JSON F and fail below the
+//!                    events/s floor (profile only)
 //!   --suite-out F    save the generated suite as JSON
 //!   --json F         with suite commands: write per-scheduler energy/
 //!                    feasibility/search-time aggregates plus the
@@ -55,6 +66,12 @@ use amrm_model::AppRef;
 use amrm_platform::Platform;
 use amrm_workload::{generate_suite, save_suite, StreamSpec, SuiteSpec};
 
+// Opt-in allocation accounting for `repro profile`: build with
+// `--features count-alloc` to report per-run allocation tallies.
+#[cfg(feature = "count-alloc")]
+#[global_allocator]
+static COUNTING_ALLOCATOR: amrm_metrics::CountingAllocator = amrm_metrics::CountingAllocator;
+
 struct Options {
     command: String,
     seed: u64,
@@ -63,6 +80,8 @@ struct Options {
     suite_out: Option<String>,
     json_out: Option<String>,
     schedulers: Option<Vec<String>>,
+    requests: Option<usize>,
+    baseline_in: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -76,6 +95,8 @@ fn parse_args() -> Result<Options, String> {
         suite_out: None,
         json_out: None,
         schedulers: None,
+        requests: None,
+        baseline_in: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -104,6 +125,17 @@ fn parse_args() -> Result<Options, String> {
             "--schedulers" => {
                 let list = args.next().ok_or("--schedulers needs a list")?;
                 opts.schedulers = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--requests" => {
+                opts.requests = Some(
+                    args.next()
+                        .ok_or("--requests needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad request count: {e}"))?,
+                );
+            }
+            "--baseline" => {
+                opts.baseline_in = Some(args.next().ok_or("--baseline needs a path")?);
             }
             "--help" | "-h" => {
                 return Err("help".to_string());
@@ -182,8 +214,9 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: repro [table2|motivation|table3|fig2|table4|fig3|fig4|ablation|\
-                 admission|sweep|tune|all] [--seed N] [--threads N] [--quick] \
-                 [--suite-out FILE] [--json FILE] [--schedulers A,B,...]"
+                 admission|sweep|tune|profile|all] [--seed N] [--threads N] [--quick] \
+                 [--suite-out FILE] [--json FILE] [--schedulers A,B,...] \
+                 [--requests N] [--baseline FILE]"
             );
             return if msg == "help" {
                 ExitCode::SUCCESS
@@ -209,12 +242,24 @@ fn main() -> ExitCode {
         && !evaluates_suite
         && opts.command != "sweep"
         && opts.command != "tune"
+        && opts.command != "profile"
     {
         eprintln!(
             "error: --json only applies to commands that evaluate the suite \
-             (fig2, table4, fig3, fig4, all), `sweep` or `tune`, not `{}`",
+             (fig2, table4, fig3, fig4, all), `sweep`, `tune` or `profile`, not `{}`",
             opts.command
         );
+        return ExitCode::FAILURE;
+    }
+    if (opts.requests.is_some() || opts.baseline_in.is_some()) && opts.command != "profile" {
+        eprintln!(
+            "error: --requests/--baseline only apply to `profile`, not `{}`",
+            opts.command
+        );
+        return ExitCode::FAILURE;
+    }
+    if opts.requests == Some(0) {
+        eprintln!("error: --requests must be at least 1");
         return ExitCode::FAILURE;
     }
     if opts.schedulers.is_some()
@@ -311,6 +356,48 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             eprintln!("tune artifact written to {path}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if opts.command == "profile" {
+        let requests = opts
+            .requests
+            .unwrap_or(if opts.quick { 20_000 } else { 1_000_000 });
+        eprintln!(
+            "profiling streaming kernel: {requests} diurnal requests per scheduler \
+             (seed {}) ...",
+            opts.seed
+        );
+        let report = amrm_bench::profile::run_profile(requests, opts.seed);
+        println!("{}", amrm_bench::profile::profile_report(&report));
+        if let Some(path) = &opts.json_out {
+            if let Err(e) = amrm_bench::profile::write_json(path, &report) {
+                eprintln!("error: cannot write profile to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("profile artifact written to {path}");
+        }
+        if let Some(path) = &opts.baseline_in {
+            let recorded = match baseline::read_json(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: cannot read baseline from {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if recorded.profile.is_empty() {
+                eprintln!("baseline {path} has no profile cells; floor check skipped");
+            } else if let Err(msg) =
+                amrm_bench::profile::check_floor(&report.cells, &recorded.profile)
+            {
+                eprintln!("error: throughput floor violated: {msg}");
+                return ExitCode::FAILURE;
+            } else {
+                eprintln!(
+                    "throughput floor satisfied against {path} ({}% of recorded events/s required)",
+                    (amrm_bench::profile::FLOOR_FRACTION * 100.0) as u32
+                );
+            }
         }
         return ExitCode::SUCCESS;
     }
@@ -426,6 +513,12 @@ fn main() -> ExitCode {
     if let Some(path) = &opts.json_out {
         let mut summary = baseline::summarize(&eval, opts.seed, opts.threads, opts.quick, elapsed);
         summary.admission = run_admission_grid(&platform, &library, &registry, &opts);
+        let profile_requests = if opts.quick { 20_000 } else { 100_000 };
+        eprintln!(
+            "profiling streaming kernel for the baseline ({profile_requests} requests per \
+             scheduler) ..."
+        );
+        summary.profile = amrm_bench::profile::run_profile(profile_requests, opts.seed).cells;
         if let Err(e) = baseline::write_json(path, &summary) {
             eprintln!("error: cannot write baseline to {path}: {e}");
             return ExitCode::FAILURE;

@@ -15,6 +15,8 @@
 //! * [`tune`] — deterministic grid/random parameter fitting for the
 //!   adaptive policies and the META thresholds (`repro tune`), scored in
 //!   the sweep's acceptance/energy currency;
+//! * [`profile`] — million-request streaming-kernel throughput profile
+//!   with hot-path instrumentation counters (`repro profile`);
 //! * [`baseline`] — condenses an evaluation into the machine-readable
 //!   perf baseline (`BENCH_baseline.json`).
 //!
@@ -27,6 +29,7 @@
 pub mod ablation;
 pub mod admission;
 pub mod baseline;
+pub mod profile;
 pub mod reports;
 pub mod runner;
 pub mod sweep;
@@ -36,6 +39,9 @@ pub use amrm_core::fanout;
 
 pub use crate::admission::{admission_grid, admission_report, standard_policies, AdmissionCell};
 pub use crate::baseline::{summarize, write_json, PerfBaseline, SchedulerBaseline};
+pub use crate::profile::{
+    check_floor, profile_report, run_profile, run_profile_with, ProfileCell, ProfileReport,
+};
 pub use crate::runner::{evaluate_case, evaluate_suite, CaseResult, SchedResult, SuiteEvaluation};
 pub use crate::sweep::{sweep_grid, sweep_report, SweepCell, SweepReport};
 pub use crate::tune::{tune_grid, tune_report, TuneOptions, TuneReport};

@@ -20,7 +20,7 @@ use amrm_core::{ReactivationPolicy, SchedulerRegistry, SearchBudget};
 use amrm_metrics::TextTable;
 use amrm_model::AppRef;
 use amrm_platform::Platform;
-use amrm_sim::load_sweep_with;
+use amrm_sim::{load_sweep_streams, poisson_streams};
 use amrm_workload::StreamSpec;
 use serde::{Deserialize, Serialize};
 
@@ -95,6 +95,9 @@ pub fn sweep_grid(
     assert!(!policies.is_empty(), "need at least one admission policy");
     let columns = registry.len();
     let names = registry.names();
+    // Every (policy × scheduler) curve replays identical seeded streams,
+    // so generate them exactly once and share across all curves.
+    let streams = poisson_streams(apps, interarrivals, spec, seed);
     let curves = for_each_cell(policies.len() * columns, threads, |curve| {
         let policy_idx = curve / columns;
         let sched_idx = curve % columns;
@@ -103,15 +106,13 @@ pub fn sweep_grid(
             .nth(sched_idx)
             .expect("scheduler index in range")
             .1;
-        let points = load_sweep_with(
+        let points = load_sweep_streams(
             platform,
             || factory(),
             ReactivationPolicy::OnArrival,
             || policies[policy_idx](),
-            apps,
             interarrivals,
-            spec,
-            seed,
+            &streams,
             budget,
             1,
         );

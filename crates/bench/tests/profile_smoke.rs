@@ -1,0 +1,63 @@
+//! Smoke tests of the `repro profile` harness with the counting global
+//! allocator installed: the fast test pins the counter wiring and the
+//! allocation accounting; the ignored release-only test streams a
+//! million requests through MMKP-MDF and asserts the wall-clock and
+//! peak-memory bounds of the lazy kernel (run it with
+//! `cargo test --release -p amrm-bench --test profile_smoke -- --ignored`).
+
+use amrm_baselines::MDF_NAME;
+use amrm_bench::profile::{run_profile, run_profile_with};
+use amrm_metrics::CountingAllocator;
+
+#[global_allocator]
+static COUNTING_ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn quick_profile_reports_counters_and_allocations() {
+    let report = run_profile(2_000, 11);
+    assert!(CountingAllocator::installed());
+    assert!(report.peak_alloc_bytes > 0);
+    assert_eq!(report.cells.len(), 2);
+    for cell in &report.cells {
+        assert_eq!(cell.requests, 2_000);
+        assert!(cell.requests_per_second > 0.0);
+        assert!(cell.events_per_second > 0.0);
+        // One arrival event per request, plus completions.
+        assert!(cell.counters.events >= 2_000);
+        assert_eq!(cell.counters.flushes, 2_000);
+        assert!(cell.counters.schedule_calls > 0);
+        // The run does allocate (requests vector, engine state) — the
+        // accounting must see it.
+        assert!(cell.allocated_bytes > 0);
+        assert!(cell.allocation_calls > 0);
+    }
+}
+
+#[test]
+#[ignore = "release-only million-request throughput bound; run with -- --ignored"]
+fn million_request_stream_completes_within_bounds() {
+    let requests = 1_000_000;
+    let report = run_profile_with(requests, 2020, &[MDF_NAME]);
+    let cell = &report.cells[0];
+    assert_eq!(cell.requests, requests);
+    // Every request was decided (arrival handled) and most were decided
+    // cheaply: the kernel must stay event-linear.
+    assert!(cell.counters.events >= requests as u64);
+    // Wall-clock bound: ~5 s in release on a mid-range core; 120 s is
+    // ~25x headroom for slow CI machines (debug builds miss it — use
+    // --release).
+    assert!(
+        cell.wall_seconds < 120.0,
+        "1M-request MDF profile took {:.1} s (> 120 s bound)",
+        cell.wall_seconds
+    );
+    // Peak memory bound: the pulled requests/decisions are the only
+    // O(requests) state (~50 MiB at 1M); 512 MiB catches any
+    // accidentally re-materialized stream or trace accumulation.
+    let peak = CountingAllocator::peak_bytes();
+    assert!(
+        peak < 512 * 1024 * 1024,
+        "peak live allocation {:.1} MiB exceeds the 512 MiB bound",
+        peak as f64 / (1024.0 * 1024.0)
+    );
+}

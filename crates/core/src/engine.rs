@@ -106,6 +106,11 @@ pub struct ExecutionEngine {
     jobs: Vec<EngineJob>,
     job_index: HashMap<JobId, usize>,
     executed: Vec<Segment>,
+    /// When set, consumed segments are not appended to the executed
+    /// trace — progress and energy accounting are unaffected. Million-
+    /// request profile runs turn this on: the trace would otherwise grow
+    /// O(events) with no reader.
+    trace_disabled: bool,
 }
 
 impl ExecutionEngine {
@@ -146,9 +151,17 @@ impl ExecutionEngine {
     }
 
     /// The executed trace: the consumed portions of all successive
-    /// schedules, as one contiguous list of mapping segments.
+    /// schedules, as one contiguous list of mapping segments. Empty when
+    /// trace recording is disabled.
     pub fn executed_trace(&self) -> Schedule {
         Schedule::from_segments(self.executed.clone())
+    }
+
+    /// Enables or disables executed-trace recording (enabled by default).
+    /// Disabling only stops the O(events) trace accumulation; progress,
+    /// energy, and completion times are bit-identical either way.
+    pub fn set_record_trace(&mut self, record: bool) {
+        self.trace_disabled = !record;
     }
 
     /// Admits a job and installs the schedule covering it.
@@ -168,7 +181,10 @@ impl ExecutionEngine {
     ///
     /// Panics if any job's id is already active (or duplicated in the
     /// batch).
-    pub fn admit_batch(&mut self, jobs: Vec<EngineJob>, schedule: Schedule) {
+    ///
+    /// Takes any `EngineJob` iterator so hot paths can `drain(..)` a
+    /// reusable scratch buffer instead of moving a fresh `Vec` per batch.
+    pub fn admit_batch(&mut self, jobs: impl IntoIterator<Item = EngineJob>, schedule: Schedule) {
         for job in jobs {
             assert!(
                 !self.job_index.contains_key(&job.id),
@@ -229,7 +245,9 @@ impl ExecutionEngine {
                 let p = job.app.point(mp.point);
                 job.remaining -= dur / p.time();
                 self.energy += p.energy() * dur / p.time();
-                consumed.push(*mp);
+                if !self.trace_disabled {
+                    consumed.push(*mp);
+                }
             }
             if !consumed.is_empty() {
                 self.executed.push(Segment::new(from, to, consumed));

@@ -117,6 +117,11 @@ pub struct RuntimeManager<S> {
     telemetry: TelemetrySnapshot,
     /// Per-activation search budget forwarded through the context.
     budget: SearchBudget,
+    /// Reusable batch-decision buffers: viable candidates and the
+    /// positions of their admission slots. Emptied between batches; kept
+    /// to avoid two heap allocations per admission flush.
+    viable_scratch: Vec<EngineJob>,
+    viable_slots_scratch: Vec<usize>,
 }
 
 impl<S: Scheduler> RuntimeManager<S> {
@@ -138,6 +143,8 @@ impl<S: Scheduler> RuntimeManager<S> {
             last_decision_seconds: 0.0,
             telemetry: TelemetrySnapshot::default(),
             budget: SearchBudget::unbounded(),
+            viable_scratch: Vec::new(),
+            viable_slots_scratch: Vec::new(),
         }
     }
 
@@ -165,8 +172,17 @@ impl<S: Scheduler> RuntimeManager<S> {
     /// every batch flush; outside a kernel the manager keeps the idle
     /// default snapshot (so standalone `submit` calls behave like the
     /// pre-context API).
-    pub fn observe_telemetry(&mut self, snapshot: TelemetrySnapshot) {
-        self.telemetry = snapshot;
+    pub fn observe_telemetry(&mut self, snapshot: &TelemetrySnapshot) {
+        self.telemetry.clone_from(snapshot);
+    }
+
+    /// Enables or disables executed-trace recording in the engine
+    /// (enabled by default). Profile runs over millions of requests turn
+    /// it off: admissions, energy, and completion times are bit-identical
+    /// either way, only [`executed_trace`](RuntimeManager::executed_trace)
+    /// comes back empty.
+    pub fn set_record_trace(&mut self, record: bool) {
+        self.engine.set_record_trace(record);
     }
 
     /// The scheduling context for an activation at time `now`.
@@ -295,19 +311,45 @@ impl<S: Scheduler> RuntimeManager<S> {
     /// decision time is recorded and exposed via
     /// [`last_decision_seconds`](RuntimeManager::last_decision_seconds).
     pub fn submit_batch(&mut self, requests: &[(AppRef, f64)]) -> Vec<Admission> {
-        let started = std::time::Instant::now();
-        let admissions = self.decide_batch(requests);
-        self.last_decision_seconds = started.elapsed().as_secs_f64();
+        let mut admissions = Vec::with_capacity(requests.len());
+        self.submit_batch_into(requests, &mut admissions);
         admissions
     }
 
-    fn decide_batch(&mut self, requests: &[(AppRef, f64)]) -> Vec<Admission> {
+    /// [`submit_batch`](RuntimeManager::submit_batch) into a caller-owned
+    /// buffer: `admissions` is cleared and refilled, one entry per request
+    /// in input order. The event kernel reuses one buffer across every
+    /// flush, so steady-state admission allocates nothing here.
+    pub fn submit_batch_into(
+        &mut self,
+        requests: &[(AppRef, f64)],
+        admissions: &mut Vec<Admission>,
+    ) {
+        let started = std::time::Instant::now();
+        // The candidate buffers live on the manager so repeated batches
+        // reuse their capacity; they are taken out for the duration of
+        // the decision to keep the borrow checker out of the hot loop.
+        let mut viable = std::mem::take(&mut self.viable_scratch);
+        let mut viable_slots = std::mem::take(&mut self.viable_slots_scratch);
+        viable.clear();
+        viable_slots.clear();
+        self.decide_batch(requests, admissions, &mut viable, &mut viable_slots);
+        self.viable_scratch = viable;
+        self.viable_slots_scratch = viable_slots;
+        self.last_decision_seconds = started.elapsed().as_secs_f64();
+    }
+
+    fn decide_batch(
+        &mut self,
+        requests: &[(AppRef, f64)],
+        admissions: &mut Vec<Admission>,
+        viable: &mut Vec<EngineJob>,
+        viable_slots: &mut Vec<usize>,
+    ) {
         let now = self.engine.clock();
-        let mut admissions = Vec::with_capacity(requests.len());
+        admissions.clear();
         // Candidates still decidable by the scheduler, with the positions
         // of their (initially Rejected) admission slots.
-        let mut viable: Vec<EngineJob> = Vec::new();
-        let mut viable_slots: Vec<usize> = Vec::new();
         for (app, deadline) in requests {
             let id = JobId(self.next_id);
             self.next_id += 1;
@@ -324,23 +366,23 @@ impl<S: Scheduler> RuntimeManager<S> {
             admissions.push(Admission::Rejected { job: id });
         }
         if viable.is_empty() {
-            return admissions;
+            return;
         }
 
         // Fast path: one activation schedules existing jobs + whole batch.
-        if let Some(schedule) = self.activate_with(&viable, now) {
-            for &slot in &viable_slots {
+        if let Some(schedule) = self.activate_with(viable, now) {
+            for &slot in viable_slots.iter() {
                 admissions[slot] = Admission::Accepted {
                     job: admissions[slot].job(),
                 };
             }
             self.stats.accepted += viable.len();
-            self.engine.admit_batch(viable, schedule);
-            return admissions;
+            self.engine.admit_batch(viable.drain(..), schedule);
+            return;
         }
         if viable.len() == 1 {
             self.stats.rejected += 1;
-            return admissions;
+            return;
         }
 
         // Partially-infeasible batch: nothing was installed, so re-try the
@@ -349,7 +391,7 @@ impl<S: Scheduler> RuntimeManager<S> {
         // engine.
         let mut accepted: Vec<EngineJob> = Vec::new();
         let mut accepted_schedule: Option<Schedule> = None;
-        for (slot, candidate) in viable_slots.into_iter().zip(viable) {
+        for (slot, candidate) in viable_slots.drain(..).zip(viable.drain(..)) {
             accepted.push(candidate);
             match self.activate_with(&accepted, now) {
                 Some(schedule) => {
@@ -368,7 +410,6 @@ impl<S: Scheduler> RuntimeManager<S> {
         if let Some(schedule) = accepted_schedule {
             self.engine.admit_batch(accepted, schedule);
         }
-        admissions
     }
 
     /// Runs one scheduler activation over the engine's unfinished jobs
@@ -382,6 +423,7 @@ impl<S: Scheduler> RuntimeManager<S> {
             .map(EngineJob::as_job)
             .collect();
         self.stats.activations += 1;
+        amrm_metrics::instrument::record_schedule_call();
         let ctx = self.context(now);
         let schedule = self.scheduler.schedule(&jobs, &self.platform, &ctx)?;
         debug_assert!(
@@ -419,6 +461,7 @@ impl<S: Scheduler> RuntimeManager<S> {
                         let jobs = self.engine.job_set();
                         let now = self.engine.clock();
                         self.stats.activations += 1;
+                        amrm_metrics::instrument::record_schedule_call();
                         let ctx = self.context(now);
                         if let Some(schedule) = self.scheduler.schedule(&jobs, &self.platform, &ctx)
                         {

@@ -87,10 +87,18 @@ pub fn schedule_jobs(
             } else {
                 // Completes mid-segment: split it (lines 13–17).
                 let at = seg.start() + r;
-                schedule.split_segment(si, at);
-                schedule.add_mapping_to(si, JobMapping::new(id, point_idx));
-                rho = 0.0;
-                tf = schedule.segments()[si].end();
+                if at > seg.start() {
+                    schedule.split_segment(si, at);
+                    schedule.add_mapping_to(si, JobMapping::new(id, point_idx));
+                    rho = 0.0;
+                    tf = schedule.segments()[si].end();
+                } else {
+                    // At large clock values a remainder barely above
+                    // RHO_EPS yields a runtime below the float resolution
+                    // of `start` — the job is numerically complete here.
+                    rho = 0.0;
+                    tf = seg.start();
+                }
             }
             si += 1;
         }
@@ -98,9 +106,13 @@ pub fn schedule_jobs(
         // Lines 19–22: leftover work goes into a fresh tail segment.
         if rho > RHO_EPS {
             let r = point.time() * rho;
-            let seg = Segment::new(te, te + r, vec![JobMapping::new(id, point_idx)]);
-            schedule.push(seg);
-            te += r;
+            // Guard the same float-resolution edge as the split above: a
+            // vanishing remainder must not create an empty segment.
+            if te + r > te {
+                let seg = Segment::new(te, te + r, vec![JobMapping::new(id, point_idx)]);
+                schedule.push(seg);
+                te += r;
+            }
             tf = te;
         }
         // Keep te at the schedule tail even when the job fit entirely into

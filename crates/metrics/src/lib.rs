@@ -6,7 +6,8 @@
 //! harness, and the [`telemetry`] subsystem: O(1)-memory online time
 //! series ([`Telemetry`], [`TelemetrySnapshot`], [`TelemetrySummary`])
 //! that the `amrm-sim` event kernel feeds and adaptive admission policies
-//! read.
+//! read — plus the [`instrument`] layer: thread-local hot-path counters
+//! and an opt-in counting global allocator behind `repro profile`.
 //!
 //! # Examples
 //!
@@ -19,10 +20,12 @@
 //! assert!(BoxplotStats::from_samples(&rel).unwrap().median > 1.0);
 //! ```
 
+pub mod instrument;
 mod stats;
 mod table;
 pub mod telemetry;
 
+pub use crate::instrument::{CounterSnapshot, CountingAllocator};
 pub use crate::stats::{
     geometric_mean, mean, percentile, quantile_sorted, BoxplotStats, Percentiles, SCurve,
 };

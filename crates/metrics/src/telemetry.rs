@@ -473,21 +473,36 @@ impl Telemetry {
         min_queued_slack: Option<f64>,
         window_expiry: Option<f64>,
     ) -> TelemetrySnapshot {
-        TelemetrySnapshot {
-            now,
-            queue_depth,
-            min_queued_slack,
-            window_expiry,
-            arrival_rate: self.arrival_rate(),
-            utilization: self.utilization.get(),
-            rolling_acceptance: self.rolling_acceptance(),
-            energy_per_job: self.energy_per_job(),
-            activation_latency: self.activation_latency.get(),
-            queue_wait_p95: self.queue_wait_p95(),
-            queue_drops: self.queue_drops,
-            arrivals: self.arrivals,
-            activations: self.activations,
-        }
+        let mut out = TelemetrySnapshot::default();
+        self.snapshot_into(&mut out, now, queue_depth, min_queued_slack, window_expiry);
+        out
+    }
+
+    /// [`Telemetry::snapshot`] into a caller-owned snapshot: the event
+    /// kernel takes one per arrival, so the hot path refills a scratch
+    /// struct instead of constructing a fresh one each time. All fields
+    /// are overwritten; the previous contents never leak through.
+    pub fn snapshot_into(
+        &self,
+        out: &mut TelemetrySnapshot,
+        now: f64,
+        queue_depth: usize,
+        min_queued_slack: Option<f64>,
+        window_expiry: Option<f64>,
+    ) {
+        out.now = now;
+        out.queue_depth = queue_depth;
+        out.min_queued_slack = min_queued_slack;
+        out.window_expiry = window_expiry;
+        out.arrival_rate = self.arrival_rate();
+        out.utilization = self.utilization.get();
+        out.rolling_acceptance = self.rolling_acceptance();
+        out.energy_per_job = self.energy_per_job();
+        out.activation_latency = self.activation_latency.get();
+        out.queue_wait_p95 = self.queue_wait_p95();
+        out.queue_drops = self.queue_drops;
+        out.arrivals = self.arrivals;
+        out.activations = self.activations;
     }
 
     /// 95th-percentile simulated queue wait over the retained samples

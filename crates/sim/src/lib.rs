@@ -34,7 +34,10 @@ mod simulation;
 mod sweep;
 
 pub use crate::simulation::Simulation;
-pub use crate::sweep::{load_sweep, load_sweep_with, registry_load_sweep, LoadPoint};
+pub use crate::sweep::{
+    load_sweep, load_sweep_streams, load_sweep_with, poisson_streams, registry_load_sweep,
+    LoadPoint,
+};
 
 use amrm_core::{Admission, Immediate, ReactivationPolicy, RmStats, RuntimeManager, Scheduler};
 use amrm_metrics::{Telemetry, TelemetrySummary};
@@ -165,7 +168,7 @@ pub fn run_scenario_sequential<S: Scheduler>(
         let busy = rm.busy_cores();
         telemetry.record_utilization(busy.as_slice(), rm.platform().counts().as_slice());
         telemetry.record_queue_wait(0.0);
-        rm.observe_telemetry(telemetry.snapshot(req.arrival, 0, None, None));
+        rm.observe_telemetry(&telemetry.snapshot(req.arrival, 0, None, None));
         let admission = rm.submit(amrm_model::AppRef::clone(&req.app), req.deadline);
         // … and the post-decision samples (gathering latency 0 under
         // per-request admission, rolling acceptance, energy per job,

@@ -31,6 +31,24 @@
 //! per-request discipline event for event; `BatchK(1)` and `WindowTau(0)`
 //! are equivalent by construction (the property tests in
 //! `tests/admission_equivalence.rs` pin this down to the bit level).
+//!
+//! # Streaming and the hot path
+//!
+//! Arrivals are *pulled* lazily: the kernel holds exactly one pending
+//! arrival event and asks its request source for the next one only when
+//! that event is handled, so a million-request
+//! [`ArrivalStream`](amrm_workload::ArrivalStream) is never materialized
+//! ([`Simulation::from_stream`]). [`Simulation::new`] routes a
+//! pre-materialized slice through the same machinery, and the two are
+//! bit-identical: at equal times arrivals are ordered by class and then
+//! by push order, which the pull-ahead-one discipline preserves.
+//!
+//! The per-event hot path is allocation-free in steady state: flush
+//! batches, submissions, admissions and the telemetry snapshot live in
+//! scratch buffers reused across events, and the single live completion
+//! event is only re-armed when the engine's next completion instant
+//! actually changed (bitwise), so completion re-arming no longer thrashes
+//! the [`BinaryHeap`] with one stale entry per event.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -39,54 +57,55 @@ use amrm_core::{
     Admission, AdmissionDirective, AdmissionPolicy, ReactivationPolicy, RuntimeManager, Scheduler,
     SearchBudget, TelemetrySnapshot,
 };
-use amrm_metrics::Telemetry;
+use amrm_metrics::{instrument, Telemetry};
 use amrm_model::{AppRef, Job, JobId, JobSet};
 use amrm_platform::Platform;
 use amrm_workload::ScenarioRequest;
 
 use crate::SimOutcome;
 
-/// The kind of a kernel event. Variant order is the tie-break at equal
-/// times: completions retire first, arrivals join the queue next, window
-/// expiries flush after them (so simultaneous arrivals land in the same
-/// window flush), and queue deadlines come last — a flush at the very
-/// instant a queued request expires wins the tie, and the zero-slack
-/// candidate is uniformly auto-rejected by `submit_batch` rather than
-/// counted as a queue drop (keeping `WindowTau(0)` aligned with
-/// `Immediate` even for `deadline == arrival` requests).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EventKind {
-    /// A job completes under the current schedule; `generation` must match
-    /// the kernel's current completion generation or the event is stale.
-    Completion { generation: u64 },
-    /// The request with this (sorted) index arrives.
-    Arrival { request: usize },
-    /// The batching window with this id expires.
-    WindowExpiry { window: u64 },
-    /// The deadline of the queued request with this (sorted) index passes.
-    QueueDeadline { request: usize },
-}
-
-impl EventKind {
-    /// Tie-break class at equal event times (see the enum docs).
-    fn class(&self) -> u8 {
-        match self {
-            EventKind::Completion { .. } => 0,
-            EventKind::Arrival { .. } => 1,
-            EventKind::WindowExpiry { .. } => 2,
-            EventKind::QueueDeadline { .. } => 3,
-        }
-    }
+/// The class of a kernel event — the *single* encoding of the same-instant
+/// tie-break order (the `#[repr(u8)]` discriminants *are* the priorities):
+/// completions retire first, arrivals join the queue next, window expiries
+/// flush after them (so simultaneous arrivals land in the same window
+/// flush), and queue deadlines come last — a flush at the very instant a
+/// queued request expires wins the tie, and the zero-slack candidate is
+/// uniformly auto-rejected by `submit_batch` rather than counted as a
+/// queue drop (keeping `WindowTau(0)` aligned with `Immediate` even for
+/// `deadline == arrival` requests).
+#[repr(u8)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventClass {
+    /// A job completes under the current schedule; the payload carries
+    /// the arming generation and must match the kernel's current one or
+    /// the event is stale.
+    Completion = 0,
+    /// The request with the payload's (arrival-order) index arrives.
+    Arrival = 1,
+    /// The batching window with the payload's id expires.
+    WindowExpiry = 2,
+    /// The deadline of the queued request with the payload's index passes.
+    QueueDeadline = 3,
 }
 
 /// A time-stamped kernel event. Ordered for a min-heap on
 /// `(time, class, seq)`; `seq` makes the order total and deterministic.
+///
+/// The payload is a plain `u32` interpreted per class (request index,
+/// window id, or completion generation) — no boxed data, and the whole
+/// entry packs into 24 bytes so heap churn moves cache lines, not pages.
 #[derive(Debug, Clone, Copy)]
 struct Event {
     time: f64,
     seq: u64,
-    kind: EventKind,
+    payload: u32,
+    class: EventClass,
 }
+
+const _: () = assert!(
+    std::mem::size_of::<Event>() == 24,
+    "Event grew past 24 bytes"
+);
 
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
@@ -108,7 +127,7 @@ impl Ord for Event {
         other
             .time
             .total_cmp(&self.time)
-            .then_with(|| other.kind.class().cmp(&self.kind.class()))
+            .then_with(|| other.class.cmp(&self.class))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -137,30 +156,53 @@ impl Ord for Event {
 /// // Both requests were decided in a single scheduler activation.
 /// assert_eq!(outcome.stats.activations, 1);
 /// ```
-#[derive(Debug)]
 pub struct Simulation<S, A> {
     rm: RuntimeManager<S>,
     admission: A,
     telemetry: Telemetry,
+    /// The lazy arrival source; pulled one request ahead of the event
+    /// loop so the heap never holds more than one pending arrival.
+    source: Box<dyn Iterator<Item = ScenarioRequest>>,
+    /// Requests pulled from the source so far, in arrival order.
     requests: Vec<ScenarioRequest>,
     events: BinaryHeap<Event>,
-    /// Sorted request indices waiting for a batch flush, FIFO.
+    /// Request indices waiting for a batch flush, FIFO.
     queue: VecDeque<usize>,
-    /// Per sorted request: the admission decision, once made.
+    /// Per pulled request: the admission decision, once made.
     decisions: Vec<Option<(JobId, bool)>>,
-    /// Arrivals not yet popped from the event queue.
-    pending_arrivals: usize,
-    /// Liveness stamp for completion events; bumped on every re-arm.
-    completion_generation: u64,
+    /// Set once the source is drained: no arrival event is in the heap
+    /// and none will be pushed.
+    arrivals_done: bool,
+    /// Arrival time of the most recently pulled request — streams must be
+    /// non-decreasing.
+    last_arrival: f64,
+    /// Liveness stamp for completion events; bumped whenever the armed
+    /// completion instant must be invalidated.
+    completion_generation: u32,
+    /// The instant of the currently armed (live) completion event, if
+    /// any. Re-arming is skipped while the engine's next completion is
+    /// bitwise unchanged, so steady execution keeps one live event
+    /// instead of staling one per handled event.
+    armed_completion: Option<f64>,
     /// Id and absolute expiry of the currently open batching window.
-    open_window: Option<(u64, f64)>,
-    next_window: u64,
+    open_window: Option<(u32, f64)>,
+    next_window: u32,
     next_seq: u64,
     /// Admitted jobs at full remaining ratio, for the outcome.
     admitted: Vec<Job>,
     /// Requests dropped from the queue because their deadline passed
     /// before their batch was flushed.
     queue_deadline_drops: usize,
+    /// Lean outcome mode (see [`Simulation::without_trace`]): skip the
+    /// admitted-jobs accumulation (the engine's executed trace is gated
+    /// separately through the runtime manager).
+    lean: bool,
+    // Hot-path scratch buffers, reused across events so steady-state
+    // admission allocates nothing.
+    flush_scratch: Vec<usize>,
+    submit_scratch: Vec<(AppRef, f64)>,
+    admissions_scratch: Vec<Admission>,
+    snapshot_scratch: TelemetrySnapshot,
 }
 
 impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
@@ -178,9 +220,6 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
         admission: A,
         requests: &[ScenarioRequest],
     ) -> Self {
-        if let Err(msg) = admission.validate() {
-            panic!("invalid admission policy: {msg}");
-        }
         for req in requests {
             assert!(
                 req.deadline >= req.arrival,
@@ -191,27 +230,63 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
         }
         let mut ordered: Vec<ScenarioRequest> = requests.to_vec();
         ordered.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+        Self::from_stream(platform, scheduler, reactivation, admission, ordered)
+    }
 
+    /// Creates a simulation that pulls requests lazily from `stream`
+    /// (e.g. an [`amrm_workload::ArrivalStream`]) instead of holding a
+    /// materialized vector: the kernel keeps one pending arrival event
+    /// and asks the stream for the next request only when that event is
+    /// handled. For any stream, the outcome is bit-identical to
+    /// materializing it first and calling [`Simulation::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the admission policy is invalid; the run panics if the
+    /// stream yields decreasing arrival times or a deadline before its
+    /// arrival.
+    pub fn from_stream<I>(
+        platform: Platform,
+        scheduler: S,
+        reactivation: ReactivationPolicy,
+        admission: A,
+        stream: I,
+    ) -> Self
+    where
+        I: IntoIterator<Item = ScenarioRequest>,
+        I::IntoIter: 'static,
+    {
+        if let Err(msg) = admission.validate() {
+            panic!("invalid admission policy: {msg}");
+        }
+        let source = stream.into_iter();
+        let (lower, upper) = source.size_hint();
+        let known = upper.unwrap_or(lower);
         let mut sim = Simulation {
             rm: RuntimeManager::with_policy(platform, scheduler, reactivation),
             admission,
             telemetry: Telemetry::new(),
-            decisions: vec![None; ordered.len()],
-            pending_arrivals: ordered.len(),
-            events: BinaryHeap::with_capacity(ordered.len() * 2),
+            source: Box::new(source),
+            requests: Vec::with_capacity(known),
+            decisions: Vec::with_capacity(known),
+            arrivals_done: false,
+            last_arrival: f64::NEG_INFINITY,
+            events: BinaryHeap::with_capacity(64),
             queue: VecDeque::new(),
             completion_generation: 0,
+            armed_completion: None,
             open_window: None,
             next_window: 0,
             next_seq: 0,
             admitted: Vec::new(),
             queue_deadline_drops: 0,
-            requests: ordered,
+            lean: false,
+            flush_scratch: Vec::new(),
+            submit_scratch: Vec::new(),
+            admissions_scratch: Vec::new(),
+            snapshot_scratch: TelemetrySnapshot::default(),
         };
-        for i in 0..sim.requests.len() {
-            let time = sim.requests[i].arrival;
-            sim.push_event(time, EventKind::Arrival { request: i });
-        }
+        sim.pull_next_arrival();
         sim
     }
 
@@ -227,6 +302,19 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
     #[must_use]
     pub fn with_search_budget(mut self, budget: SearchBudget) -> Self {
         self.rm.set_search_budget(budget);
+        self
+    }
+
+    /// Disables the O(events) outcome bulk for long profile runs: the
+    /// engine stops recording the executed trace and the kernel stops
+    /// accumulating the admitted-jobs set, so
+    /// [`SimOutcome::trace`] and [`SimOutcome::admitted_jobs`] come back
+    /// empty. Everything else — admissions, energy (bit-for-bit), stats,
+    /// telemetry — is unaffected.
+    #[must_use]
+    pub fn without_trace(mut self) -> Self {
+        self.rm.set_record_trace(false);
+        self.lean = true;
         self
     }
 
@@ -267,6 +355,36 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
         (outcome, self.rm.into_scheduler())
     }
 
+    /// Pulls the next request from the source and arms its arrival
+    /// event, or marks the stream drained. Called once at construction
+    /// and once per handled arrival, so the heap holds at most one
+    /// pending arrival — the pull-ahead-one discipline that keeps lazy
+    /// and materialized streams bit-identical.
+    fn pull_next_arrival(&mut self) {
+        let Some(req) = self.source.next() else {
+            self.arrivals_done = true;
+            return;
+        };
+        assert!(
+            req.deadline >= req.arrival,
+            "request deadline {} before its arrival {}",
+            req.deadline,
+            req.arrival
+        );
+        assert!(
+            req.arrival >= self.last_arrival,
+            "arrival stream regressed: {} after {}",
+            req.arrival,
+            self.last_arrival
+        );
+        self.last_arrival = req.arrival;
+        let index =
+            u32::try_from(self.requests.len()).expect("request index exceeds u32 payload range");
+        self.push_event(req.arrival, EventClass::Arrival, index);
+        self.requests.push(req);
+        self.decisions.push(None);
+    }
+
     /// Records the current platform utilization (busy cores per type
     /// from the execution engine) into the telemetry series.
     fn sample_utilization(&mut self) {
@@ -275,39 +393,53 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
             .record_utilization(busy.as_slice(), self.rm.platform().counts().as_slice());
     }
 
-    /// The read-only telemetry view at a decision point: series state
-    /// plus the kernel's queue depth, tightest queued slack and open
-    /// window.
-    fn snapshot(&self, now: f64) -> TelemetrySnapshot {
+    /// Refills the scratch snapshot with the read-only telemetry view at
+    /// a decision point: series state plus the kernel's queue depth,
+    /// tightest queued slack and open window.
+    fn refresh_snapshot(&mut self, now: f64) {
         let min_queued_slack = self
             .queue
             .iter()
             .map(|&i| self.requests[i].deadline - now)
             .min_by(f64::total_cmp);
-        self.telemetry.snapshot(
+        self.telemetry.snapshot_into(
+            &mut self.snapshot_scratch,
             now,
             self.queue.len(),
             min_queued_slack,
             self.open_window.map(|(_, expiry)| expiry),
-        )
+        );
     }
 
-    fn push_event(&mut self, time: f64, kind: EventKind) {
+    fn push_event(&mut self, time: f64, class: EventClass, payload: u32) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.events.push(Event { time, seq, kind });
+        instrument::record_heap_push();
+        self.events.push(Event {
+            time,
+            seq,
+            payload,
+            class,
+        });
     }
 
     fn handle(&mut self, event: Event) {
-        match event.kind {
-            EventKind::Arrival { request } => {
-                self.pending_arrivals -= 1;
+        instrument::record_event();
+        match event.class {
+            EventClass::Arrival => {
+                let request = event.payload as usize;
+                // Pull ahead before any admission logic so the
+                // stream-drained check below sees the true state.
+                self.pull_next_arrival();
                 self.rm.advance_to(event.time);
                 self.queue.push_back(request);
+                instrument::record_queue_depth(self.queue.len());
                 self.telemetry.record_arrival(event.time);
                 self.sample_utilization();
-                let snapshot = self.snapshot(event.time);
-                let directive = self.admission.on_arrival(&snapshot, event.time);
+                self.refresh_snapshot(event.time);
+                let directive = self
+                    .admission
+                    .on_arrival(&self.snapshot_scratch, event.time);
                 match directive {
                     AdmissionDirective::Flush => {
                         // An explicit flush closes any open window.
@@ -322,12 +454,12 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
                         let id = self.next_window;
                         self.next_window += 1;
                         self.open_window = Some((id, expiry));
-                        self.push_event(expiry, EventKind::WindowExpiry { window: id });
+                        self.push_event(expiry, EventClass::WindowExpiry, id);
                         self.guard_queued_deadline(request);
                     }
                     AdmissionDirective::Defer => {
                         // BatchK never starves a partial final batch.
-                        if self.pending_arrivals == 0 && self.admission.flush_at_stream_end() {
+                        if self.arrivals_done && self.admission.flush_at_stream_end() {
                             self.flush_queue();
                         } else {
                             self.guard_queued_deadline(request);
@@ -339,8 +471,8 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
                 self.telemetry.record_queue_depth(self.queue.len());
                 self.rearm_completion();
             }
-            EventKind::WindowExpiry { window } => {
-                if self.open_window.map(|(id, _)| id) != Some(window) {
+            EventClass::WindowExpiry => {
+                if self.open_window.map(|(id, _)| id) != Some(event.payload) {
                     return; // superseded window, nothing to do
                 }
                 self.open_window = None;
@@ -352,16 +484,19 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
                     self.rearm_completion();
                 }
             }
-            EventKind::Completion { generation } => {
-                if generation != self.completion_generation {
+            EventClass::Completion => {
+                if event.payload != self.completion_generation {
                     return; // stale: the schedule changed since arming
                 }
+                // The armed event is the one firing right now.
+                self.armed_completion = None;
                 // `event.time` is the exact next completion instant, so
                 // the consume split matches the sequential driver's.
                 self.rm.advance_to(event.time);
                 self.rearm_completion();
             }
-            EventKind::QueueDeadline { request } => {
+            EventClass::QueueDeadline => {
+                let request = event.payload as usize;
                 let Some(pos) = self.queue.iter().position(|&r| r == request) else {
                     return; // already flushed
                 };
@@ -380,7 +515,7 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
                 // it without a scheduler activation once the deadline is
                 // no longer in the future (so no activation sample is
                 // recorded for the pseudo-flush).
-                self.flush_requests(&[request], false);
+                self.flush_one(request);
                 self.telemetry.record_queue_depth(self.queue.len());
                 self.rearm_completion();
             }
@@ -392,35 +527,45 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
         if self.queue.is_empty() {
             return;
         }
-        let batch: Vec<usize> = std::mem::take(&mut self.queue).into();
+        let mut batch = std::mem::take(&mut self.flush_scratch);
+        batch.clear();
+        batch.extend(self.queue.drain(..));
         self.flush_requests(&batch, true);
+        self.flush_scratch = batch;
     }
 
-    /// Submits the given (sorted-index) requests as one batch, records
-    /// the decisions and feeds the telemetry series (queue waits, the
-    /// activation's gathering latency and wall-clock decision time,
+    /// Submits a single (already dequeued) request as a pseudo-flush.
+    fn flush_one(&mut self, request: usize) {
+        self.flush_requests(&[request], false);
+    }
+
+    /// Submits the given (arrival-order index) requests as one batch,
+    /// records the decisions and feeds the telemetry series (queue waits,
+    /// the activation's gathering latency and wall-clock decision time,
     /// rolling acceptance, energy per job). `record_activation` is false
     /// for the queue-deadline pseudo-flush, which never reaches the
     /// scheduler.
     fn flush_requests(&mut self, batch: &[usize], record_activation: bool) {
+        instrument::record_flush();
         let now = self.rm.now();
         for &i in batch {
             self.telemetry
                 .record_queue_wait(now - self.requests[i].arrival);
         }
-        let submissions: Vec<(AppRef, f64)> = batch
-            .iter()
-            .map(|&i| {
-                let req = &self.requests[i];
-                (AppRef::clone(&req.app), req.deadline)
-            })
-            .collect();
+        let mut submissions = std::mem::take(&mut self.submit_scratch);
+        submissions.clear();
+        submissions.extend(batch.iter().map(|&i| {
+            let req = &self.requests[i];
+            (AppRef::clone(&req.app), req.deadline)
+        }));
         // The context feed: the runtime manager hands this snapshot —
         // series state plus the post-flush queue — to the scheduler in
         // the SchedulingContext of every activation this batch causes.
-        let snapshot = self.snapshot(now);
-        self.rm.observe_telemetry(snapshot);
-        let admissions = self.rm.submit_batch(&submissions);
+        self.refresh_snapshot(now);
+        self.rm.observe_telemetry(&self.snapshot_scratch);
+        let mut admissions = std::mem::take(&mut self.admissions_scratch);
+        self.rm.submit_batch_into(&submissions, &mut admissions);
+        self.submit_scratch = submissions;
         if record_activation {
             let oldest = batch
                 .iter()
@@ -434,16 +579,19 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
             self.decisions[i] = Some((admission.job(), admission.is_accepted()));
             if let Admission::Accepted { job } = admission {
                 accepted += 1;
-                let req = &self.requests[i];
-                self.admitted.push(Job::new(
-                    *job,
-                    AppRef::clone(&req.app),
-                    req.arrival,
-                    req.deadline,
-                    1.0,
-                ));
+                if !self.lean {
+                    let req = &self.requests[i];
+                    self.admitted.push(Job::new(
+                        *job,
+                        AppRef::clone(&req.app),
+                        req.arrival,
+                        req.deadline,
+                        1.0,
+                    ));
+                }
             }
         }
+        self.admissions_scratch = admissions;
         self.telemetry
             .record_decisions(accepted, batch.len() - accepted);
         self.telemetry
@@ -456,28 +604,43 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
     /// queue and is discarded without touching the clock.
     fn guard_queued_deadline(&mut self, request: usize) {
         let deadline = self.requests[request].deadline;
-        self.push_event(deadline, EventKind::QueueDeadline { request });
+        let index = u32::try_from(request).expect("request index exceeds u32 payload range");
+        self.push_event(deadline, EventClass::QueueDeadline, index);
     }
 
-    /// Re-arms the single live completion event from the engine's next
-    /// completion; every previously armed event becomes stale.
+    /// Keeps the single live completion event armed at the engine's next
+    /// completion instant. While that instant is bitwise unchanged the
+    /// armed event stays live as-is; when it changed, the generation bump
+    /// stales the old event and — if execution continues — a fresh one is
+    /// pushed. Stale events are no-ops at pop time, so the dedup only
+    /// removes heap churn, never reorders live events.
     ///
     /// Once the stream is exhausted and nothing waits for admission, no
     /// event can change the schedule any more and the tail execution is
     /// left to `run_to_completion` — exactly like the sequential driver,
     /// whose final clock is the *schedule end*, not the last completion.
     fn rearm_completion(&mut self) {
-        self.completion_generation += 1;
-        if self.pending_arrivals == 0 && self.queue.is_empty() {
+        if self.arrivals_done && self.queue.is_empty() {
+            if self.armed_completion.is_some() {
+                self.completion_generation = self.completion_generation.wrapping_add(1);
+                self.armed_completion = None;
+            }
             return;
         }
-        if let Some(tc) = self.rm.engine().next_completion() {
-            self.push_event(
-                tc,
-                EventKind::Completion {
-                    generation: self.completion_generation,
-                },
-            );
+        let next = self.rm.engine().next_completion();
+        let unchanged = match (next, self.armed_completion) {
+            (Some(a), Some(b)) => a.to_bits() == b.to_bits(),
+            (None, None) => true,
+            _ => false,
+        };
+        if unchanged {
+            return;
+        }
+        self.completion_generation = self.completion_generation.wrapping_add(1);
+        self.armed_completion = next;
+        if let Some(tc) = next {
+            let generation = self.completion_generation;
+            self.push_event(tc, EventClass::Completion, generation);
         }
     }
 }
@@ -486,7 +649,9 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
 mod tests {
     use super::*;
     use amrm_core::{AdaptiveBatch, BatchK, Immediate, MmkpMdf, SlackAware, WindowTau};
-    use amrm_workload::{bursty_window_stream, poisson_stream, scenarios, StreamSpec};
+    use amrm_workload::{
+        bursty_window_stream, poisson_stream, scenarios, ArrivalStream, StreamSpec,
+    };
 
     fn lib() -> Vec<AppRef> {
         vec![scenarios::lambda1(), scenarios::lambda2()]
@@ -818,59 +983,165 @@ mod tests {
         heap.push(Event {
             time: 1.0,
             seq: 3,
-            kind: EventKind::WindowExpiry { window: 0 },
+            payload: 0,
+            class: EventClass::WindowExpiry,
         });
         heap.push(Event {
             time: 1.0,
             seq: 1,
-            kind: EventKind::Arrival { request: 0 },
+            payload: 0,
+            class: EventClass::Arrival,
         });
         heap.push(Event {
             time: 1.0,
             seq: 2,
-            kind: EventKind::Completion { generation: 0 },
+            payload: 0,
+            class: EventClass::Completion,
         });
         heap.push(Event {
             time: 1.0,
             seq: 5,
-            kind: EventKind::QueueDeadline { request: 0 },
+            payload: 0,
+            class: EventClass::QueueDeadline,
         });
         heap.push(Event {
             time: 0.5,
             seq: 4,
-            kind: EventKind::Arrival { request: 1 },
+            payload: 1,
+            class: EventClass::Arrival,
         });
-        let order: Vec<u8> = std::iter::from_fn(|| heap.pop())
-            .map(|e| e.kind.class())
-            .collect();
+        let order: Vec<EventClass> = std::iter::from_fn(|| heap.pop()).map(|e| e.class).collect();
         // Earliest time first; at equal times completion < arrival <
         // window expiry < queue deadline.
-        assert_eq!(order, vec![1, 0, 1, 2, 3]);
+        assert_eq!(
+            order,
+            vec![
+                EventClass::Arrival,
+                EventClass::Completion,
+                EventClass::Arrival,
+                EventClass::WindowExpiry,
+                EventClass::QueueDeadline,
+            ]
+        );
     }
 
     #[test]
-    fn zero_slack_request_under_window_zero_matches_immediate() {
-        // deadline == arrival is legal input; both disciplines must
-        // reject it identically — in particular it is a rejection, not a
-        // queue-deadline drop (the same-instant flush wins the tie).
+    fn queue_deadline_is_the_last_class_at_equal_times() {
+        // The #[repr(u8)] discriminants are the one and only encoding of
+        // the same-instant tie-break; QueueDeadline must sort after every
+        // other class so a same-instant flush wins the tie.
+        let classes = [
+            EventClass::Completion,
+            EventClass::Arrival,
+            EventClass::WindowExpiry,
+            EventClass::QueueDeadline,
+        ];
+        for class in classes {
+            assert!(class <= EventClass::QueueDeadline);
+        }
+        assert_eq!(EventClass::Completion as u8, 0);
+        assert_eq!(EventClass::Arrival as u8, 1);
+        assert_eq!(EventClass::WindowExpiry as u8, 2);
+        assert_eq!(EventClass::QueueDeadline as u8, 3);
+        // And the event struct stays a compact Copy value.
+        assert_eq!(std::mem::size_of::<Event>(), 24);
+    }
+
+    #[test]
+    fn lazy_stream_matches_materialized_run_bit_for_bit() {
+        let spec = StreamSpec {
+            requests: 60,
+            slack_range: (1.2, 2.5),
+        };
+        let eager = diurnal_fixture(&spec);
+        let materialized = simulate(Immediate, &eager);
+        let streamed = Simulation::from_stream(
+            scenarios::platform(),
+            MmkpMdf::new(),
+            ReactivationPolicy::OnArrival,
+            Immediate,
+            ArrivalStream::diurnal(&lib(), 2.0, 3.0, 60.0, &spec, 23),
+        )
+        .run();
+        assert_eq!(materialized.admissions, streamed.admissions);
+        assert_eq!(
+            materialized.total_energy.to_bits(),
+            streamed.total_energy.to_bits()
+        );
+        assert_eq!(materialized.stats, streamed.stats);
+        assert_telemetry_eq(&materialized.telemetry, &streamed.telemetry);
+    }
+
+    /// Telemetry equality modulo the `decision_seconds_*` percentiles,
+    /// which sample real wall-clock scheduler time and so differ between
+    /// otherwise bit-identical runs.
+    fn assert_telemetry_eq(a: &amrm_metrics::TelemetrySummary, b: &amrm_metrics::TelemetrySummary) {
+        let mut a = a.clone();
+        let mut b = b.clone();
+        a.decision_seconds_p50 = 0.0;
+        a.decision_seconds_p95 = 0.0;
+        a.decision_seconds_p99 = 0.0;
+        b.decision_seconds_p50 = 0.0;
+        b.decision_seconds_p95 = 0.0;
+        b.decision_seconds_p99 = 0.0;
+        assert_eq!(a, b);
+    }
+
+    fn diurnal_fixture(spec: &StreamSpec) -> Vec<ScenarioRequest> {
+        ArrivalStream::diurnal(&lib(), 2.0, 3.0, 60.0, spec, 23).collect()
+    }
+
+    #[test]
+    fn without_trace_changes_nothing_but_the_bulk() {
+        let spec = StreamSpec {
+            requests: 40,
+            slack_range: (1.3, 2.2),
+        };
+        let stream = poisson_stream(&lib(), 2.0, &spec, 31);
+        let full = simulate(BatchK(2), &stream);
+        let lean = Simulation::new(
+            scenarios::platform(),
+            MmkpMdf::new(),
+            ReactivationPolicy::OnArrival,
+            BatchK(2),
+            &stream,
+        )
+        .without_trace()
+        .run();
+        assert_eq!(full.admissions, lean.admissions);
+        assert_eq!(full.total_energy.to_bits(), lean.total_energy.to_bits());
+        assert_eq!(full.stats, lean.stats);
+        assert_telemetry_eq(&full.telemetry, &lean.telemetry);
+        assert!(!full.trace.segments().is_empty());
+        assert!(lean.trace.segments().is_empty());
+        assert!(!full.admitted_jobs.is_empty());
+        assert!(lean.admitted_jobs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival stream regressed")]
+    fn decreasing_stream_panics() {
         let reqs = vec![
             ScenarioRequest {
-                app: scenarios::lambda2(),
-                arrival: 1.0,
-                deadline: 1.0,
+                app: scenarios::lambda1(),
+                arrival: 5.0,
+                deadline: 20.0,
             },
             ScenarioRequest {
-                app: scenarios::lambda2(),
-                arrival: 2.0,
-                deadline: 10.0,
+                app: scenarios::lambda1(),
+                arrival: 1.0,
+                deadline: 20.0,
             },
         ];
-        let immediate = simulate(Immediate, &reqs);
-        let window = simulate(WindowTau(0.0), &reqs);
-        assert_eq!(immediate.admissions, window.admissions);
-        assert_eq!(immediate.stats, window.stats);
-        assert_eq!(immediate.queue_deadline_drops, 0);
-        assert_eq!(window.queue_deadline_drops, 0);
-        assert_eq!(window.accepted(), 1);
+        // from_stream trusts the source's order — a regressing stream
+        // must be rejected (Simulation::new sorts instead).
+        let _ = Simulation::from_stream(
+            scenarios::platform(),
+            MmkpMdf::new(),
+            ReactivationPolicy::OnArrival,
+            Immediate,
+            reqs,
+        )
+        .run();
     }
 }

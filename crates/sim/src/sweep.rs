@@ -7,7 +7,7 @@ use amrm_core::{
 };
 use amrm_model::AppRef;
 use amrm_platform::Platform;
-use amrm_workload::{poisson_stream, StreamSpec};
+use amrm_workload::{poisson_stream, ScenarioRequest, StreamSpec};
 
 use crate::{SimOutcome, Simulation};
 
@@ -97,24 +97,87 @@ where
     A: AdmissionPolicy,
     G: Fn() -> A + Sync,
 {
+    let streams = poisson_streams(apps, interarrivals, spec, seed);
+    load_sweep_streams(
+        platform,
+        make_scheduler,
+        policy,
+        make_admission,
+        interarrivals,
+        &streams,
+        budget,
+        threads,
+    )
+}
+
+/// Materializes the seeded Poisson stream for every load point once, so
+/// sweep cells can *share* streams instead of regenerating them per cell
+/// (see [`load_sweep_streams`]). `streams[i]` corresponds to
+/// `interarrivals[i]`.
+///
+/// # Panics
+///
+/// Panics if the stream spec is invalid or `apps` is empty.
+pub fn poisson_streams(
+    apps: &[AppRef],
+    interarrivals: &[f64],
+    spec: &StreamSpec,
+    seed: u64,
+) -> Vec<Vec<ScenarioRequest>> {
+    interarrivals
+        .iter()
+        .map(|&mean| poisson_stream(apps, mean, spec, seed))
+        .collect()
+}
+
+/// [`load_sweep_with`] over pre-generated streams: `streams[i]` is the
+/// request stream driven at `interarrivals[i]` (generate them once with
+/// [`poisson_streams`]). Fan-out cells borrow the shared streams — no
+/// per-cell regeneration or cloning; only the platform is still cloned
+/// per cell, since the kernel takes it by value.
+///
+/// # Panics
+///
+/// Panics if `interarrivals` is empty or its length differs from
+/// `streams`, `threads` is zero, or the admission policy is invalid.
+#[allow(clippy::too_many_arguments)]
+pub fn load_sweep_streams<S, F, A, G>(
+    platform: &Platform,
+    make_scheduler: F,
+    policy: ReactivationPolicy,
+    make_admission: G,
+    interarrivals: &[f64],
+    streams: &[Vec<ScenarioRequest>],
+    budget: SearchBudget,
+    threads: usize,
+) -> Vec<LoadPoint>
+where
+    S: Scheduler,
+    F: Fn() -> S + Sync,
+    A: AdmissionPolicy,
+    G: Fn() -> A + Sync,
+{
     assert!(
         !interarrivals.is_empty(),
         "sweep needs at least one load point"
     );
+    assert_eq!(
+        interarrivals.len(),
+        streams.len(),
+        "one pre-generated stream per load point"
+    );
     for_each_cell(interarrivals.len(), threads, |i| {
-        let mean = interarrivals[i];
-        let stream = poisson_stream(apps, mean, spec, seed);
         let outcome = Simulation::new(
             platform.clone(),
             make_scheduler(),
             policy,
             make_admission(),
-            &stream,
+            &streams[i],
         )
         .with_search_budget(budget)
         .run();
         LoadPoint {
-            mean_interarrival: mean,
+            mean_interarrival: interarrivals[i],
             acceptance_rate: outcome.acceptance_rate(),
             energy_per_job: outcome.energy_per_job(),
             outcome,
@@ -158,6 +221,10 @@ pub fn registry_load_sweep(
     );
     let columns = interarrivals.len();
     let total = registry.len() * columns;
+    // One stream per load point, generated once and shared by every
+    // scheduler's cell at that point — the grid no longer regenerates an
+    // identical seeded stream `registry.len()` times per mean.
+    let streams = poisson_streams(apps, interarrivals, spec, seed);
     let flat = for_each_cell(total, threads, |cell| {
         let factory = registry
             .iter()
@@ -165,10 +232,15 @@ pub fn registry_load_sweep(
             .expect("scheduler index in range")
             .1;
         let mean = interarrivals[cell % columns];
-        let stream = poisson_stream(apps, mean, spec, seed);
-        let outcome = Simulation::new(platform.clone(), factory(), policy, Immediate, &stream)
-            .with_search_budget(budget)
-            .run();
+        let outcome = Simulation::new(
+            platform.clone(),
+            factory(),
+            policy,
+            Immediate,
+            &streams[cell % columns],
+        )
+        .with_search_budget(budget)
+        .run();
         LoadPoint {
             mean_interarrival: mean,
             acceptance_rate: outcome.acceptance_rate(),

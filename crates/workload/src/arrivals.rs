@@ -1,0 +1,439 @@
+//! Lazy request-stream generators: every shape from [`crate::streams`]
+//! as an [`Iterator`] that draws requests on demand from the seeded RNG.
+//!
+//! Materializing a million-request stream as a `Vec` costs tens of
+//! megabytes before the kernel processes a single event; the iterator
+//! form keeps O(1) generator state (current time, burst counter, RNG) and
+//! lets `amrm_sim::Simulation` pull the next arrival only when the
+//! previous one has been handled. The `Vec`-returning functions in
+//! [`crate::streams`] are thin `collect()` wrappers over these iterators,
+//! so the two forms are bit-identical by construction — a property the
+//! workspace proptests additionally pin against frozen reference
+//! implementations of the original one-shot generators.
+
+use amrm_model::AppRef;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{ScenarioRequest, StreamSpec};
+
+/// Rate shapes for the modulated-Poisson family. Evaluating the local
+/// mean must not consume randomness, so the RNG draw sequence — and
+/// therefore per-seed determinism — is identical across shapes.
+#[derive(Debug, Clone, Copy)]
+enum RateShape {
+    /// Constant mean inter-arrival time (plain Poisson).
+    Constant { mean: f64 },
+    /// Sinusoidal day/night swing between `mean / peak_factor` (rush)
+    /// and `mean * peak_factor` (night) over each `period`.
+    Diurnal {
+        mean: f64,
+        peak_factor: f64,
+        period: f64,
+    },
+    /// Square wave: even-numbered windows draw from `on`, odd from `off`.
+    BurstyWindow { on: f64, off: f64, window: f64 },
+}
+
+impl RateShape {
+    fn mean_at(&self, t: f64) -> f64 {
+        match *self {
+            RateShape::Constant { mean } => mean,
+            RateShape::Diurnal {
+                mean,
+                peak_factor,
+                period,
+            } => {
+                let phase = (2.0 * std::f64::consts::PI * t / period).sin();
+                mean * peak_factor.powf(-phase)
+            }
+            RateShape::BurstyWindow { on, off, window } => {
+                if ((t / window) as u64).is_multiple_of(2) {
+                    on
+                } else {
+                    off
+                }
+            }
+        }
+    }
+}
+
+/// Arrival-process shapes. Each variant owns exactly the mutable state
+/// the corresponding one-shot generator kept in its closure.
+#[derive(Debug, Clone)]
+enum Shape {
+    /// Exponential inter-arrivals from the local mean at the current time.
+    Modulated(RateShape),
+    /// Strictly periodic arrivals: request `i` lands at `i * period`.
+    Periodic { period: f64 },
+    /// Bursts of `burst_len` requests spaced `intra_gap` apart, separated
+    /// by `inter_gap` idle periods.
+    Bursty {
+        burst_len: usize,
+        intra_gap: f64,
+        inter_gap: f64,
+        in_burst: usize,
+    },
+}
+
+/// A lazy, seeded request stream: [`Iterator`] over [`ScenarioRequest`]s.
+///
+/// Constructed via [`ArrivalStream::poisson`] and friends; yields exactly
+/// `spec.requests` items with non-decreasing arrival times, then `None`
+/// forever. [`ExactSizeIterator`] reports the remaining count, so
+/// `collect()` pre-sizes correctly.
+///
+/// # Examples
+///
+/// ```
+/// use amrm_workload::{poisson_stream, scenarios, ArrivalStream, StreamSpec};
+///
+/// let lib = vec![scenarios::lambda1(), scenarios::lambda2()];
+/// let spec = StreamSpec::default();
+/// // The lazy iterator and the materialized Vec are bit-identical.
+/// let lazy: Vec<_> = ArrivalStream::poisson(&lib, 5.0, &spec, 7).collect();
+/// let eager = poisson_stream(&lib, 5.0, &spec, 7);
+/// assert_eq!(lazy.len(), eager.len());
+/// for (a, b) in lazy.iter().zip(&eager) {
+///     assert_eq!(a.arrival.to_bits(), b.arrival.to_bits());
+///     assert_eq!(a.deadline.to_bits(), b.deadline.to_bits());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalStream {
+    apps: Vec<AppRef>,
+    spec: StreamSpec,
+    rng: StdRng,
+    t: f64,
+    emitted: usize,
+    shape: Shape,
+}
+
+impl ArrivalStream {
+    /// Lazy form of [`crate::poisson_stream`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty, `mean_interarrival` is not positive, or
+    /// the slack range is invalid.
+    pub fn poisson(apps: &[AppRef], mean_interarrival: f64, spec: &StreamSpec, seed: u64) -> Self {
+        validate(apps, spec);
+        assert!(
+            mean_interarrival > 0.0,
+            "mean inter-arrival must be positive"
+        );
+        Self::new(
+            apps,
+            spec,
+            seed,
+            Shape::Modulated(RateShape::Constant {
+                mean: mean_interarrival,
+            }),
+        )
+    }
+
+    /// Lazy form of [`crate::periodic_stream`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty, `period` is not positive, or the slack
+    /// range is invalid.
+    pub fn periodic(apps: &[AppRef], period: f64, spec: &StreamSpec, seed: u64) -> Self {
+        validate(apps, spec);
+        assert!(period > 0.0, "period must be positive");
+        Self::new(apps, spec, seed, Shape::Periodic { period })
+    }
+
+    /// Lazy form of [`crate::bursty_stream`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty, any gap is negative, `burst_len` is
+    /// zero, or the slack range is invalid.
+    pub fn bursty(
+        apps: &[AppRef],
+        burst_len: usize,
+        intra_gap: f64,
+        inter_gap: f64,
+        spec: &StreamSpec,
+        seed: u64,
+    ) -> Self {
+        validate(apps, spec);
+        assert!(burst_len > 0, "bursts need at least one request");
+        assert!(
+            intra_gap >= 0.0 && inter_gap >= 0.0,
+            "gaps must be non-negative"
+        );
+        Self::new(
+            apps,
+            spec,
+            seed,
+            Shape::Bursty {
+                burst_len,
+                intra_gap,
+                inter_gap,
+                in_burst: 0,
+            },
+        )
+    }
+
+    /// Lazy form of [`crate::diurnal_stream`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty, `mean_interarrival` or `period` is not
+    /// positive, `peak_factor < 1`, or the slack range is invalid.
+    pub fn diurnal(
+        apps: &[AppRef],
+        mean_interarrival: f64,
+        peak_factor: f64,
+        period: f64,
+        spec: &StreamSpec,
+        seed: u64,
+    ) -> Self {
+        validate(apps, spec);
+        assert!(
+            mean_interarrival > 0.0,
+            "mean inter-arrival must be positive"
+        );
+        assert!(period > 0.0, "diurnal period must be positive");
+        assert!(peak_factor >= 1.0, "peak factor must be at least 1");
+        Self::new(
+            apps,
+            spec,
+            seed,
+            Shape::Modulated(RateShape::Diurnal {
+                mean: mean_interarrival,
+                peak_factor,
+                period,
+            }),
+        )
+    }
+
+    /// Lazy form of [`crate::bursty_window_stream`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty, any mean or the window length is not
+    /// positive, or the slack range is invalid.
+    pub fn bursty_window(
+        apps: &[AppRef],
+        on_interarrival: f64,
+        off_interarrival: f64,
+        window: f64,
+        spec: &StreamSpec,
+        seed: u64,
+    ) -> Self {
+        validate(apps, spec);
+        assert!(
+            on_interarrival > 0.0 && off_interarrival > 0.0,
+            "mean inter-arrivals must be positive"
+        );
+        assert!(window > 0.0, "window length must be positive");
+        Self::new(
+            apps,
+            spec,
+            seed,
+            Shape::Modulated(RateShape::BurstyWindow {
+                on: on_interarrival,
+                off: off_interarrival,
+                window,
+            }),
+        )
+    }
+
+    fn new(apps: &[AppRef], spec: &StreamSpec, seed: u64, shape: Shape) -> Self {
+        ArrivalStream {
+            apps: apps.to_vec(),
+            spec: spec.clone(),
+            rng: StdRng::seed_from_u64(seed),
+            t: 0.0,
+            emitted: 0,
+            shape,
+        }
+    }
+
+    /// Requests not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.spec.requests - self.emitted
+    }
+}
+
+impl Iterator for ArrivalStream {
+    type Item = ScenarioRequest;
+
+    fn next(&mut self) -> Option<ScenarioRequest> {
+        if self.emitted == self.spec.requests {
+            return None;
+        }
+        let index = self.emitted;
+        self.emitted += 1;
+        Some(match &mut self.shape {
+            Shape::Modulated(rate) => {
+                // Exponential inter-arrival from the local mean. The draw
+                // order (gap, then app, then slack) matches the one-shot
+                // generators exactly.
+                let u: f64 = self.rng.gen_range(1e-12..1.0);
+                self.t += -rate.mean_at(self.t) * u.ln();
+                request_at(&self.apps, self.t, &self.spec, &mut self.rng)
+            }
+            Shape::Periodic { period } => request_at(
+                &self.apps,
+                index as f64 * *period,
+                &self.spec,
+                &mut self.rng,
+            ),
+            Shape::Bursty {
+                burst_len,
+                intra_gap,
+                inter_gap,
+                in_burst,
+            } => {
+                // The request lands at the current time; the gap advance
+                // happens after, exactly as in the one-shot generator.
+                let req = request_at(&self.apps, self.t, &self.spec, &mut self.rng);
+                *in_burst += 1;
+                if *in_burst == *burst_len {
+                    *in_burst = 0;
+                    self.t += *inter_gap;
+                } else {
+                    self.t += *intra_gap;
+                }
+                req
+            }
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.remaining();
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for ArrivalStream {}
+
+impl std::iter::FusedIterator for ArrivalStream {}
+
+/// Draws the app and deadline slack for a request arriving at `t`.
+/// Shared with the `Vec`-returning wrappers in [`crate::streams`].
+pub(crate) fn request_at(
+    apps: &[AppRef],
+    t: f64,
+    spec: &StreamSpec,
+    rng: &mut StdRng,
+) -> ScenarioRequest {
+    let app = AppRef::clone(&apps[rng.gen_range(0..apps.len())]);
+    // Inclusive sampling: a degenerate range (lo == hi) is a constant
+    // slack, not a panic.
+    let slack = rng.gen_range(spec.slack_range.0..=spec.slack_range.1);
+    let deadline = t + app.min_time() * slack;
+    ScenarioRequest {
+        app,
+        arrival: t,
+        deadline,
+    }
+}
+
+pub(crate) fn validate(apps: &[AppRef], spec: &StreamSpec) {
+    assert!(!apps.is_empty(), "application library must not be empty");
+    if let Err(msg) = spec.validate() {
+        panic!("invalid stream spec: {msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use crate::streams::{
+        bursty_stream, bursty_window_stream, diurnal_stream, periodic_stream, poisson_stream,
+    };
+
+    fn lib() -> Vec<AppRef> {
+        vec![scenarios::lambda1(), scenarios::lambda2()]
+    }
+
+    fn assert_bit_identical(lazy: ArrivalStream, eager: &[ScenarioRequest]) {
+        assert_eq!(lazy.len(), eager.len());
+        let collected: Vec<_> = lazy.collect();
+        for (a, b) in collected.iter().zip(eager) {
+            assert_eq!(a.app.name(), b.app.name());
+            assert_eq!(a.arrival.to_bits(), b.arrival.to_bits());
+            assert_eq!(a.deadline.to_bits(), b.deadline.to_bits());
+        }
+    }
+
+    #[test]
+    fn every_shape_matches_its_materialized_counterpart() {
+        let spec = StreamSpec {
+            requests: 300,
+            slack_range: (1.2, 2.5),
+        };
+        assert_bit_identical(
+            ArrivalStream::poisson(&lib(), 4.0, &spec, 11),
+            &poisson_stream(&lib(), 4.0, &spec, 11),
+        );
+        assert_bit_identical(
+            ArrivalStream::periodic(&lib(), 3.0, &spec, 11),
+            &periodic_stream(&lib(), 3.0, &spec, 11),
+        );
+        assert_bit_identical(
+            ArrivalStream::bursty(&lib(), 4, 0.5, 9.0, &spec, 11),
+            &bursty_stream(&lib(), 4, 0.5, 9.0, &spec, 11),
+        );
+        assert_bit_identical(
+            ArrivalStream::diurnal(&lib(), 4.0, 3.0, 150.0, &spec, 11),
+            &diurnal_stream(&lib(), 4.0, 3.0, 150.0, &spec, 11),
+        );
+        assert_bit_identical(
+            ArrivalStream::bursty_window(&lib(), 0.5, 8.0, 40.0, &spec, 11),
+            &bursty_window_stream(&lib(), 0.5, 8.0, 40.0, &spec, 11),
+        );
+    }
+
+    #[test]
+    fn iterator_is_sized_and_fused() {
+        let spec = StreamSpec {
+            requests: 5,
+            ..StreamSpec::default()
+        };
+        let mut stream = ArrivalStream::poisson(&lib(), 2.0, &spec, 0);
+        assert_eq!(stream.len(), 5);
+        assert_eq!(stream.size_hint(), (5, Some(5)));
+        assert!(stream.next().is_some());
+        assert_eq!(stream.remaining(), 4);
+        assert_eq!(stream.by_ref().count(), 4);
+        assert!(stream.next().is_none());
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn arrivals_are_non_decreasing() {
+        let spec = StreamSpec {
+            requests: 500,
+            ..StreamSpec::default()
+        };
+        let mut last = f64::NEG_INFINITY;
+        for req in ArrivalStream::diurnal(&lib(), 2.0, 4.0, 80.0, &spec, 9) {
+            assert!(req.arrival >= last);
+            assert!(req.deadline >= req.arrival);
+            last = req.arrival;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_library_panics() {
+        let _ = ArrivalStream::poisson(&[], 1.0, &StreamSpec::default(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stream spec")]
+    fn invalid_spec_panics() {
+        let spec = StreamSpec {
+            requests: 5,
+            slack_range: (3.0, 1.0),
+        };
+        let _ = ArrivalStream::periodic(&lib(), 1.0, &spec, 0);
+    }
+}

@@ -28,12 +28,14 @@
 //! assert_eq!(suite.len(), 3);
 //! ```
 
+mod arrivals;
 mod generator;
 mod io;
 pub mod scenarios;
 mod streams;
 mod testcase;
 
+pub use crate::arrivals::ArrivalStream;
 pub use crate::generator::{generate_suite, tabulate, SuiteSpec, TABLE_III};
 pub use crate::io::{load_stream, load_suite, save_stream, save_suite};
 pub use crate::scenarios::ScenarioRequest;

@@ -1,12 +1,14 @@
 //! Online request-stream generators (extension beyond the paper's static
 //! test cases): Poisson, periodic, and bursty arrival processes over an
 //! application library. Streams feed `amrm-sim::run_scenario`.
+//!
+//! Every function here is a thin `collect()` wrapper over the lazy
+//! [`ArrivalStream`] iterators in [`crate::arrivals`] — the materialized
+//! `Vec` and the on-demand stream are bit-identical by construction.
 
 use amrm_model::AppRef;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-use crate::ScenarioRequest;
+use crate::{ArrivalStream, ScenarioRequest};
 
 /// Parameters shared by all stream generators.
 #[derive(Debug, Clone)]
@@ -51,41 +53,6 @@ impl StreamSpec {
     }
 }
 
-/// The shared sampling loop behind every (possibly rate-modulated)
-/// Poisson shape: exponential inter-arrivals drawn from the local mean at
-/// the current time. `mean_at` must not consume randomness, so the RNG
-/// stream — and therefore per-seed determinism — is identical across
-/// shapes.
-fn modulated_stream(
-    apps: &[AppRef],
-    spec: &StreamSpec,
-    seed: u64,
-    mean_at: impl Fn(f64) -> f64,
-) -> Vec<ScenarioRequest> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut t = 0.0;
-    (0..spec.requests)
-        .map(|_| {
-            let u: f64 = rng.gen_range(1e-12..1.0);
-            t += -mean_at(t) * u.ln();
-            request_at(apps, t, spec, &mut rng)
-        })
-        .collect()
-}
-
-fn request_at(apps: &[AppRef], t: f64, spec: &StreamSpec, rng: &mut StdRng) -> ScenarioRequest {
-    let app = AppRef::clone(&apps[rng.gen_range(0..apps.len())]);
-    // Inclusive sampling: a degenerate range (lo == hi) is a constant
-    // slack, not a panic.
-    let slack = rng.gen_range(spec.slack_range.0..=spec.slack_range.1);
-    let deadline = t + app.min_time() * slack;
-    ScenarioRequest {
-        app,
-        arrival: t,
-        deadline,
-    }
-}
-
 /// Poisson arrivals with the given mean inter-arrival time.
 ///
 /// # Panics
@@ -109,12 +76,7 @@ pub fn poisson_stream(
     spec: &StreamSpec,
     seed: u64,
 ) -> Vec<ScenarioRequest> {
-    validate(apps, spec);
-    assert!(
-        mean_interarrival > 0.0,
-        "mean inter-arrival must be positive"
-    );
-    modulated_stream(apps, spec, seed, |_| mean_interarrival)
+    ArrivalStream::poisson(apps, mean_interarrival, spec, seed).collect()
 }
 
 /// Strictly periodic arrivals with the given period.
@@ -129,12 +91,7 @@ pub fn periodic_stream(
     spec: &StreamSpec,
     seed: u64,
 ) -> Vec<ScenarioRequest> {
-    validate(apps, spec);
-    assert!(period > 0.0, "period must be positive");
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..spec.requests)
-        .map(|i| request_at(apps, i as f64 * period, spec, &mut rng))
-        .collect()
+    ArrivalStream::periodic(apps, period, spec, seed).collect()
 }
 
 /// Bursty on/off arrivals: bursts of `burst_len` back-to-back requests
@@ -152,28 +109,7 @@ pub fn bursty_stream(
     spec: &StreamSpec,
     seed: u64,
 ) -> Vec<ScenarioRequest> {
-    validate(apps, spec);
-    assert!(burst_len > 0, "bursts need at least one request");
-    assert!(
-        intra_gap >= 0.0 && inter_gap >= 0.0,
-        "gaps must be non-negative"
-    );
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut t = 0.0;
-    let mut in_burst = 0;
-    (0..spec.requests)
-        .map(|_| {
-            let req = request_at(apps, t, spec, &mut rng);
-            in_burst += 1;
-            if in_burst == burst_len {
-                in_burst = 0;
-                t += inter_gap;
-            } else {
-                t += intra_gap;
-            }
-            req
-        })
-        .collect()
+    ArrivalStream::bursty(apps, burst_len, intra_gap, inter_gap, spec, seed).collect()
 }
 
 /// Diurnal (day/night) load: Poisson arrivals whose mean inter-arrival
@@ -206,20 +142,7 @@ pub fn diurnal_stream(
     spec: &StreamSpec,
     seed: u64,
 ) -> Vec<ScenarioRequest> {
-    validate(apps, spec);
-    assert!(
-        mean_interarrival > 0.0,
-        "mean inter-arrival must be positive"
-    );
-    assert!(period > 0.0, "diurnal period must be positive");
-    assert!(peak_factor >= 1.0, "peak factor must be at least 1");
-    // The local mean swings log-symmetrically around the base:
-    // peak_factor^-sin(phase) ∈ [1/peak (rush), peak (night)], with the
-    // first half of each period being the rush side.
-    modulated_stream(apps, spec, seed, |t| {
-        let phase = (2.0 * std::f64::consts::PI * t / period).sin();
-        mean_interarrival * peak_factor.powf(-phase)
-    })
+    ArrivalStream::diurnal(apps, mean_interarrival, peak_factor, period, spec, seed).collect()
 }
 
 /// Bursty-window load: Poisson arrivals that alternate between an "on"
@@ -252,27 +175,8 @@ pub fn bursty_window_stream(
     spec: &StreamSpec,
     seed: u64,
 ) -> Vec<ScenarioRequest> {
-    validate(apps, spec);
-    assert!(
-        on_interarrival > 0.0 && off_interarrival > 0.0,
-        "mean inter-arrivals must be positive"
-    );
-    assert!(window > 0.0, "window length must be positive");
-    // Even-numbered windows are "on", odd ones "off".
-    modulated_stream(apps, spec, seed, |t| {
-        if ((t / window) as u64).is_multiple_of(2) {
-            on_interarrival
-        } else {
-            off_interarrival
-        }
-    })
-}
-
-fn validate(apps: &[AppRef], spec: &StreamSpec) {
-    assert!(!apps.is_empty(), "application library must not be empty");
-    if let Err(msg) = spec.validate() {
-        panic!("invalid stream spec: {msg}");
-    }
+    ArrivalStream::bursty_window(apps, on_interarrival, off_interarrival, window, spec, seed)
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,190 @@
+//! Property tests pinning the lazy [`ArrivalStream`] generators against
+//! *frozen* reference implementations of the original one-shot (eager)
+//! generators, bit for bit over random specs and seeds.
+//!
+//! The `Vec`-returning functions in `amrm::workload` are now thin
+//! `collect()` wrappers over the iterators, so comparing wrapper to
+//! iterator would be vacuous — the references below replicate the old
+//! closed-form algorithms (draw order: gap, app, slack) independently,
+//! so any accidental change to the RNG draw sequence fails here.
+
+use amrm::model::AppRef;
+use amrm::workload::{scenarios, ArrivalStream, ScenarioRequest, StreamSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn library() -> Vec<AppRef> {
+    vec![scenarios::lambda1(), scenarios::lambda2()]
+}
+
+/// Frozen copy of the original per-request draw: app index first, then
+/// an inclusive slack draw.
+fn ref_request_at(apps: &[AppRef], t: f64, spec: &StreamSpec, rng: &mut StdRng) -> ScenarioRequest {
+    let app = AppRef::clone(&apps[rng.gen_range(0..apps.len())]);
+    let slack = rng.gen_range(spec.slack_range.0..=spec.slack_range.1);
+    let deadline = t + app.min_time() * slack;
+    ScenarioRequest {
+        app,
+        arrival: t,
+        deadline,
+    }
+}
+
+/// Frozen copy of the original modulated-Poisson loop: exponential gap
+/// from the local mean (which consumes no randomness), then the request
+/// draws.
+fn ref_modulated(
+    apps: &[AppRef],
+    spec: &StreamSpec,
+    seed: u64,
+    mean_at: impl Fn(f64) -> f64,
+) -> Vec<ScenarioRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    (0..spec.requests)
+        .map(|_| {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            t += -mean_at(t) * u.ln();
+            ref_request_at(apps, t, spec, &mut rng)
+        })
+        .collect()
+}
+
+fn ref_periodic(
+    apps: &[AppRef],
+    period: f64,
+    spec: &StreamSpec,
+    seed: u64,
+) -> Vec<ScenarioRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..spec.requests)
+        .map(|i| ref_request_at(apps, i as f64 * period, spec, &mut rng))
+        .collect()
+}
+
+fn ref_bursty(
+    apps: &[AppRef],
+    burst_len: usize,
+    intra_gap: f64,
+    inter_gap: f64,
+    spec: &StreamSpec,
+    seed: u64,
+) -> Vec<ScenarioRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    let mut in_burst = 0;
+    (0..spec.requests)
+        .map(|_| {
+            let req = ref_request_at(apps, t, spec, &mut rng);
+            in_burst += 1;
+            if in_burst == burst_len {
+                in_burst = 0;
+                t += inter_gap;
+            } else {
+                t += intra_gap;
+            }
+            req
+        })
+        .collect()
+}
+
+fn assert_bit_identical(lazy: ArrivalStream, reference: &[ScenarioRequest]) {
+    let collected: Vec<_> = lazy.collect();
+    assert_eq!(collected.len(), reference.len());
+    for (a, b) in collected.iter().zip(reference) {
+        assert_eq!(a.app.name(), b.app.name());
+        assert_eq!(a.arrival.to_bits(), b.arrival.to_bits());
+        assert_eq!(a.deadline.to_bits(), b.deadline.to_bits());
+    }
+}
+
+/// Strategy for a valid spec: 1–60 requests, slack lower bound in
+/// [0.5, 2.5], and a width in [0, 2] — width 0 pins the slack.
+fn spec_strategy() -> impl Strategy<Value = StreamSpec> {
+    (1usize..=60, 0.5f64..=2.5, 0.0f64..=2.0).prop_map(|(requests, lo, width)| StreamSpec {
+        requests,
+        slack_range: (lo, lo + width),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lazy_poisson_matches_the_frozen_reference(
+        spec in spec_strategy(),
+        mean in 0.1f64..=10.0,
+        seed in 0u64..1000,
+    ) {
+        assert_bit_identical(
+            ArrivalStream::poisson(&library(), mean, &spec, seed),
+            &ref_modulated(&library(), &spec, seed, |_| mean),
+        );
+    }
+
+    #[test]
+    fn lazy_periodic_matches_the_frozen_reference(
+        spec in spec_strategy(),
+        period in 0.1f64..=10.0,
+        seed in 0u64..1000,
+    ) {
+        assert_bit_identical(
+            ArrivalStream::periodic(&library(), period, &spec, seed),
+            &ref_periodic(&library(), period, &spec, seed),
+        );
+    }
+
+    #[test]
+    fn lazy_bursty_matches_the_frozen_reference(
+        spec in spec_strategy(),
+        burst_len in 1usize..=5,
+        intra in 0.0f64..=1.0,
+        inter in 0.0f64..=20.0,
+        seed in 0u64..1000,
+    ) {
+        assert_bit_identical(
+            ArrivalStream::bursty(&library(), burst_len, intra, inter, &spec, seed),
+            &ref_bursty(&library(), burst_len, intra, inter, &spec, seed),
+        );
+    }
+
+    #[test]
+    fn lazy_diurnal_matches_the_frozen_reference(
+        spec in spec_strategy(),
+        mean in 0.1f64..=10.0,
+        peak in 1.0f64..=5.0,
+        period in 10.0f64..=200.0,
+        seed in 0u64..1000,
+    ) {
+        let reference = ref_modulated(&library(), &spec, seed, |t| {
+            let phase = (2.0 * std::f64::consts::PI * t / period).sin();
+            mean * peak.powf(-phase)
+        });
+        assert_bit_identical(
+            ArrivalStream::diurnal(&library(), mean, peak, period, &spec, seed),
+            &reference,
+        );
+    }
+
+    #[test]
+    fn lazy_bursty_window_matches_the_frozen_reference(
+        spec in spec_strategy(),
+        on in 0.1f64..=2.0,
+        off in 2.0f64..=20.0,
+        window in 5.0f64..=60.0,
+        seed in 0u64..1000,
+    ) {
+        let reference = ref_modulated(&library(), &spec, seed, |t| {
+            if ((t / window) as u64).is_multiple_of(2) {
+                on
+            } else {
+                off
+            }
+        });
+        assert_bit_identical(
+            ArrivalStream::bursty_window(&library(), on, off, window, &spec, seed),
+            &reference,
+        );
+    }
+}

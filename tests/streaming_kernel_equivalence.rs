@@ -1,0 +1,126 @@
+//! The equivalence gate for the streaming (lazy-arrival) kernel path.
+//!
+//! `Simulation::from_stream` pulls arrivals one ahead of the clock from a
+//! lazy iterator instead of materializing the whole request vector. That
+//! path must be *bit-identical* to `Simulation::new` over the collected
+//! stream — admissions, accumulated energy (raw f64 bits), end time,
+//! counters, drops and the executed trace — for **every** scheduler in
+//! the standard registry, under the online search budget the profile
+//! harness uses. The lean (`without_trace`) builder must change only the
+//! bulk outcome fields, never a decision.
+
+use amrm::baselines::standard_registry;
+use amrm::core::{Immediate, ReactivationPolicy, SearchBudget};
+use amrm::model::AppRef;
+use amrm::sim::{SimOutcome, Simulation};
+use amrm::workload::{scenarios, ArrivalStream, ScenarioRequest, StreamSpec};
+
+fn library() -> Vec<AppRef> {
+    vec![scenarios::lambda1(), scenarios::lambda2()]
+}
+
+fn spec() -> StreamSpec {
+    StreamSpec {
+        requests: 50,
+        slack_range: (1.2, 2.5),
+    }
+}
+
+fn diurnal(seed: u64) -> ArrivalStream {
+    ArrivalStream::diurnal(&library(), 2.0, 3.0, 60.0, &spec(), seed)
+}
+
+fn materialized_outcome(name: &str, stream: &[ScenarioRequest]) -> SimOutcome {
+    let registry = standard_registry();
+    Simulation::new(
+        scenarios::platform(),
+        registry.create(name).unwrap(),
+        ReactivationPolicy::OnArrival,
+        Immediate,
+        stream,
+    )
+    .with_search_budget(SearchBudget::online())
+    .run()
+}
+
+fn streamed_outcome(name: &str, seed: u64, lean: bool) -> SimOutcome {
+    let registry = standard_registry();
+    let sim = Simulation::from_stream(
+        scenarios::platform(),
+        registry.create(name).unwrap(),
+        ReactivationPolicy::OnArrival,
+        Immediate,
+        diurnal(seed),
+    )
+    .with_search_budget(SearchBudget::online());
+    if lean { sim.without_trace() } else { sim }.run()
+}
+
+/// Full-outcome equality modulo the `decision_seconds_*` telemetry
+/// percentiles, which sample real wall-clock scheduler time.
+fn assert_bit_identical(name: &str, seed: u64, streamed: &SimOutcome, reference: &SimOutcome) {
+    assert_eq!(
+        streamed.admissions, reference.admissions,
+        "{name}/seed {seed}: admissions diverged"
+    );
+    assert_eq!(
+        streamed.total_energy.to_bits(),
+        reference.total_energy.to_bits(),
+        "{name}/seed {seed}: energy diverged ({} vs {})",
+        streamed.total_energy,
+        reference.total_energy
+    );
+    assert_eq!(
+        streamed.end_time.to_bits(),
+        reference.end_time.to_bits(),
+        "{name}/seed {seed}: end time diverged"
+    );
+    assert_eq!(
+        streamed.stats, reference.stats,
+        "{name}/seed {seed}: counters diverged"
+    );
+    assert_eq!(
+        streamed.queue_deadline_drops, reference.queue_deadline_drops,
+        "{name}/seed {seed}: drops diverged"
+    );
+    let mut a = streamed.telemetry.clone();
+    let mut b = reference.telemetry.clone();
+    a.decision_seconds_p50 = 0.0;
+    a.decision_seconds_p95 = 0.0;
+    a.decision_seconds_p99 = 0.0;
+    b.decision_seconds_p50 = 0.0;
+    b.decision_seconds_p95 = 0.0;
+    b.decision_seconds_p99 = 0.0;
+    assert_eq!(a, b, "{name}/seed {seed}: telemetry diverged");
+}
+
+#[test]
+fn lazy_kernel_is_bit_identical_for_every_registry_scheduler() {
+    let registry = standard_registry();
+    for seed in [7u64, 23, 404] {
+        let stream: Vec<ScenarioRequest> = diurnal(seed).collect();
+        for (name, _) in registry.iter() {
+            let reference = materialized_outcome(name, &stream);
+            let streamed = streamed_outcome(name, seed, false);
+            assert_bit_identical(name, seed, &streamed, &reference);
+            assert_eq!(
+                streamed.trace, reference.trace,
+                "{name}/seed {seed}: executed trace diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn lean_mode_preserves_every_decision() {
+    let registry = standard_registry();
+    let seed = 23u64;
+    let stream: Vec<ScenarioRequest> = diurnal(seed).collect();
+    for (name, _) in registry.iter() {
+        let reference = materialized_outcome(name, &stream);
+        let lean = streamed_outcome(name, seed, true);
+        assert_bit_identical(name, seed, &lean, &reference);
+        // Lean mode skips only the bulk per-job outcome state.
+        assert!(lean.admitted_jobs.is_empty());
+    }
+}
