@@ -59,6 +59,9 @@ pub struct PerfBaseline {
     /// Streaming-kernel throughput cells (`repro profile`; empty when the
     /// producing command skipped the profile, or the file predates it).
     pub profile: Vec<crate::profile::ProfileCell>,
+    /// Sharded-federation cells (`repro shard`; empty when the producing
+    /// command skipped the shard bench, or the file predates it).
+    pub shard: Vec<crate::shard::ShardCell>,
 }
 
 impl serde::Deserialize for PerfBaseline {
@@ -81,6 +84,11 @@ impl serde::Deserialize for PerfBaseline {
             },
             // Absent in baselines written before `repro profile` existed.
             profile: match field("profile") {
+                Ok(value) => Vec::from_value(value)?,
+                Err(_) => Vec::new(),
+            },
+            // Absent in baselines written before `repro shard` existed.
+            shard: match field("shard") {
                 Ok(value) => Vec::from_value(value)?,
                 Err(_) => Vec::new(),
             },
@@ -132,6 +140,7 @@ pub fn summarize(
         schedulers,
         admission: Vec::new(),
         profile: Vec::new(),
+        shard: Vec::new(),
     }
 }
 
@@ -211,6 +220,38 @@ mod tests {
         assert_eq!(back.schedulers.len(), 1);
         assert!(back.admission.is_empty());
         assert!(back.profile.is_empty());
+        assert!(back.shard.is_empty());
+    }
+
+    #[test]
+    fn pre_shard_baseline_with_profile_cells_still_parses() {
+        // The shape written between `repro profile` and `repro shard`:
+        // profile cells present, no `shard` key — reads back with an
+        // empty shard section, not an error.
+        let pre_shard = r#"{
+            "seed": 2020, "threads": 1, "quick": true, "cases": 1,
+            "evaluation_seconds": 0.1,
+            "schedulers": [{
+                "scheduler": "MMKP-MDF", "scheduled": 1, "cases": 1,
+                "geomean_energy_vs_exmem": null,
+                "mean_search_seconds": 0.001, "max_search_seconds": 0.002
+            }],
+            "admission": [],
+            "profile": [{
+                "scheduler": "MMKP-MDF", "requests": 10, "accepted": 9,
+                "wall_seconds": 0.01, "requests_per_second": 1000.0,
+                "events_per_second": 2000.0,
+                "counters": {
+                    "events": 20, "heap_pushes": 20, "flushes": 10,
+                    "schedule_calls": 10, "memo_hits": 0,
+                    "peak_queue_depth": 1
+                },
+                "allocated_bytes": 0, "allocation_calls": 0
+            }]
+        }"#;
+        let back: PerfBaseline = serde_json::from_str(pre_shard).unwrap();
+        assert_eq!(back.profile.len(), 1);
+        assert!(back.shard.is_empty());
     }
 
     #[test]

@@ -30,8 +30,14 @@
 //!               the hot-path instrumentation counters (--json writes
 //!               the ProfileReport; --baseline F enforces the events/s
 //!               floor against a recorded BENCH_baseline.json)
+//!   shard       sharded-federation weak scaling: shard counts × routing
+//!               policies (RoundRobin/JSQ/EnergyAware/HashAffinity) over
+//!               one dispatched arrival stream at fixed per-shard load
+//!               (40k requests/shard; --quick: 2k), plus skewed-routing
+//!               rows on a hotspot stream and one work-stealing row
+//!               (--json writes the ShardReport)
 //!   all         everything above except `ablation`/`admission`/`sweep`/
-//!               `tune`/`profile` (default)
+//!               `tune`/`profile`/`shard` (default)
 //!
 //! OPTIONS
 //!   --seed N         RNG seed for suite generation (default 2020)
@@ -214,7 +220,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: repro [table2|motivation|table3|fig2|table4|fig3|fig4|ablation|\
-                 admission|sweep|tune|profile|all] [--seed N] [--threads N] [--quick] \
+                 admission|sweep|tune|profile|shard|all] [--seed N] [--threads N] [--quick] \
                  [--suite-out FILE] [--json FILE] [--schedulers A,B,...] \
                  [--requests N] [--baseline FILE]"
             );
@@ -243,10 +249,11 @@ fn main() -> ExitCode {
         && opts.command != "sweep"
         && opts.command != "tune"
         && opts.command != "profile"
+        && opts.command != "shard"
     {
         eprintln!(
             "error: --json only applies to commands that evaluate the suite \
-             (fig2, table4, fig3, fig4, all), `sweep`, `tune` or `profile`, not `{}`",
+             (fig2, table4, fig3, fig4, all), `sweep`, `tune`, `profile` or `shard`, not `{}`",
             opts.command
         );
         return ExitCode::FAILURE;
@@ -270,7 +277,8 @@ fn main() -> ExitCode {
     {
         eprintln!(
             "error: --schedulers only applies to suite evaluation, `ablation`, `admission` \
-             or `sweep`, not `{}` (the tune search owns its scheduler set)",
+             or `sweep`, not `{}` (the tune search and the shard bench own their \
+             scheduler sets)",
             opts.command
         );
         return ExitCode::FAILURE;
@@ -401,6 +409,26 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    if opts.command == "shard" {
+        eprintln!(
+            "running sharded-federation bench: shard counts {:?} × 4 routing policies \
+             (seed {}, {} dispatcher threads{}) ...",
+            amrm_bench::shard::WEAK_SHARD_COUNTS,
+            opts.seed,
+            opts.threads,
+            if opts.quick { ", quick" } else { "" }
+        );
+        let report = amrm_bench::shard::run_shard_bench(opts.quick, opts.seed, opts.threads);
+        println!("{}", amrm_bench::shard::shard_report(&report));
+        if let Some(path) = &opts.json_out {
+            if let Err(e) = amrm_bench::shard::write_json(path, &report) {
+                eprintln!("error: cannot write shard report to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("shard artifact written to {path}");
+        }
+        return ExitCode::SUCCESS;
+    }
     if opts.command == "sweep" {
         let platform = Platform::odroid_xu4();
         eprintln!(
@@ -519,6 +547,9 @@ fn main() -> ExitCode {
              scheduler) ..."
         );
         summary.profile = amrm_bench::profile::run_profile(profile_requests, opts.seed).cells;
+        eprintln!("running sharded-federation bench for the baseline ...");
+        summary.shard =
+            amrm_bench::shard::run_shard_bench(opts.quick, opts.seed, opts.threads).cells;
         if let Err(e) = baseline::write_json(path, &summary) {
             eprintln!("error: cannot write baseline to {path}: {e}");
             return ExitCode::FAILURE;

@@ -17,6 +17,9 @@
 //!   the sweep's acceptance/energy currency;
 //! * [`profile`] — million-request streaming-kernel throughput profile
 //!   with hot-path instrumentation counters (`repro profile`);
+//! * [`shard`] — sharded-federation weak-scaling benchmark: shard counts
+//!   × routing policies over one dispatched arrival stream
+//!   (`repro shard`);
 //! * [`baseline`] — condenses an evaluation into the machine-readable
 //!   perf baseline (`BENCH_baseline.json`).
 //!
@@ -32,6 +35,7 @@ pub mod baseline;
 pub mod profile;
 pub mod reports;
 pub mod runner;
+pub mod shard;
 pub mod sweep;
 pub mod tune;
 
@@ -43,5 +47,8 @@ pub use crate::profile::{
     check_floor, profile_report, run_profile, run_profile_with, ProfileCell, ProfileReport,
 };
 pub use crate::runner::{evaluate_case, evaluate_suite, CaseResult, SchedResult, SuiteEvaluation};
+pub use crate::shard::{
+    run_shard_bench, shard_report, weak_scaling_speedup, ShardCell, ShardReport,
+};
 pub use crate::sweep::{sweep_grid, sweep_report, SweepCell, SweepReport};
 pub use crate::tune::{tune_grid, tune_report, TuneOptions, TuneReport};

@@ -1,0 +1,48 @@
+//! Weak-scaling smoke gate for the sharded federation.
+//!
+//! The headline claim of `repro shard` is that dispatching one arrival
+//! stream over N independent runtime managers scales near-linearly in
+//! aggregate throughput when the dispatcher actually has cores to spread
+//! the shards over.  That claim cannot be checked on a single-core CI
+//! box (shards then time-slice one core and the speedup collapses to
+//! ~1×), so this test is `#[ignore]` and self-gates on the machine's
+//! core count: run it explicitly on an 8-core-or-wider host with
+//!
+//! ```text
+//! cargo test --release -p amrm-bench --test shard_smoke -- --ignored
+//! ```
+
+use amrm_bench::shard::{weak_scaling_grid, weak_scaling_speedup};
+use amrm_platform::Platform;
+
+/// Minimum cores for the speedup assertion to be meaningful.
+const REQUIRED_CORES: usize = 8;
+
+/// Required aggregate req/s ratio, 8 shards over 1 shard.
+const REQUIRED_SPEEDUP: f64 = 4.0;
+
+#[test]
+#[ignore = "needs >= 8 cores and a release build; run with -- --ignored"]
+fn eight_shards_quadruple_single_shard_throughput() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < REQUIRED_CORES {
+        println!(
+            "skipping weak-scaling gate: {cores} core(s) available, \
+             {REQUIRED_CORES} required for shards to run in parallel"
+        );
+        return;
+    }
+    let platform = Platform::odroid_xu4();
+    let library = amrm_dataflow::apps::benchmark_suite(&platform);
+    // Quick per-shard load (matches `repro shard --quick`), endpoints of
+    // the sweep only, all shards advanced by one dispatcher pool as wide
+    // as the machine.
+    let cells = weak_scaling_grid(&library, 2_000, &[1, 8], 2020, cores);
+    let speedup = weak_scaling_speedup(&cells, "RoundRobin").expect("both endpoint cells present");
+    println!("weak-scaling speedup on {cores} cores: {speedup:.2}x");
+    assert!(
+        speedup >= REQUIRED_SPEEDUP,
+        "8-shard federation must reach {REQUIRED_SPEEDUP}x the 1-shard \
+         aggregate throughput on {cores} cores, got {speedup:.2}x"
+    );
+}

@@ -21,7 +21,11 @@
 //! * [`AdmissionPolicy`] — the batched-admission *trait* consulted by the
 //!   `amrm-sim` event kernel: fixed disciplines ([`Immediate`],
 //!   [`BatchK`], [`WindowTau`]) plus telemetry-driven adaptive ones
-//!   ([`AdaptiveBatch`], [`SlackAware`]).
+//!   ([`AdaptiveBatch`], [`SlackAware`]);
+//! * [`RoutingPolicy`] — the federation routing *trait* consulted by the
+//!   `amrm-sim` dispatcher when N managers run side by side behind one
+//!   arrival stream: [`RoundRobin`], [`JoinShortestQueue`],
+//!   [`EnergyAware`], [`HashAffinity`].
 //!
 //! # Examples
 //!
@@ -44,6 +48,7 @@ mod engine;
 pub mod fanout;
 mod manager;
 mod mdf;
+pub mod routing;
 mod schedule_jobs;
 mod scheduler;
 mod variants;
@@ -56,6 +61,10 @@ pub use crate::context::{SchedulingContext, SearchBudget};
 pub use crate::engine::{EngineJob, ExecutionEngine};
 pub use crate::manager::{Admission, ReactivationPolicy, RmStats, RuntimeManager};
 pub use crate::mdf::MmkpMdf;
+pub use crate::routing::{
+    EnergyAware, HashAffinity, JoinShortestQueue, RoundRobin, RouteRequest, RoutingPolicy,
+    ShardView,
+};
 pub use crate::schedule_jobs::schedule_jobs;
 pub use crate::scheduler::{Scheduler, SchedulerFactory, SchedulerRegistry};
 pub use crate::variants::{JobOrderPolicy, MmkpVariant};

@@ -65,8 +65,10 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
 }
 
 /// A factory producing fresh scheduler instances. Shared (`Arc`) so
-/// registries can be subset and handed across evaluation threads.
-pub type SchedulerFactory = std::sync::Arc<dyn Fn() -> Box<dyn Scheduler> + Send + Sync>;
+/// registries can be subset and handed across evaluation threads; the
+/// produced boxes are `Send` so a created scheduler can itself move to a
+/// worker thread (federation shards migrate between fan-out epochs).
+pub type SchedulerFactory = std::sync::Arc<dyn Fn() -> Box<dyn Scheduler + Send> + Send + Sync>;
 
 /// A named, ordered collection of scheduler factories.
 ///
@@ -111,7 +113,7 @@ impl SchedulerRegistry {
     pub fn register<F, S>(&mut self, name: impl Into<String>, factory: F)
     where
         F: Fn() -> Box<S> + Send + Sync + 'static,
-        S: Scheduler + 'static,
+        S: Scheduler + Send + 'static,
     {
         let name = name.into();
         assert!(
@@ -120,7 +122,7 @@ impl SchedulerRegistry {
         );
         self.entries.push((
             name,
-            std::sync::Arc::new(move || factory() as Box<dyn Scheduler>),
+            std::sync::Arc::new(move || factory() as Box<dyn Scheduler + Send>),
         ));
     }
 
@@ -129,7 +131,7 @@ impl SchedulerRegistry {
     pub fn with<F, S>(mut self, name: impl Into<String>, factory: F) -> Self
     where
         F: Fn() -> Box<S> + Send + Sync + 'static,
-        S: Scheduler + 'static,
+        S: Scheduler + Send + 'static,
     {
         self.register(name, factory);
         self
@@ -156,7 +158,7 @@ impl SchedulerRegistry {
     }
 
     /// Instantiates the scheduler registered under `name`.
-    pub fn create(&self, name: &str) -> Option<Box<dyn Scheduler>> {
+    pub fn create(&self, name: &str) -> Option<Box<dyn Scheduler + Send>> {
         self.entries
             .iter()
             .find(|(n, _)| n == name)
@@ -164,7 +166,7 @@ impl SchedulerRegistry {
     }
 
     /// Instantiates the scheduler at `index` in the enumeration order.
-    pub fn create_at(&self, index: usize) -> Option<Box<dyn Scheduler>> {
+    pub fn create_at(&self, index: usize) -> Option<Box<dyn Scheduler + Send>> {
         self.entries.get(index).map(|(_, f)| f())
     }
 
@@ -174,7 +176,7 @@ impl SchedulerRegistry {
     }
 
     /// Instantiates every scheduler, in registration order.
-    pub fn instantiate_all(&self) -> Vec<(&str, Box<dyn Scheduler>)> {
+    pub fn instantiate_all(&self) -> Vec<(&str, Box<dyn Scheduler + Send>)> {
         self.entries
             .iter()
             .map(|(n, f)| (n.as_str(), f()))

@@ -30,9 +30,11 @@
 //! assert!((outcome.total_energy - 14.63).abs() < 5e-3);
 //! ```
 
+pub mod federation;
 mod simulation;
 mod sweep;
 
+pub use crate::federation::{Federation, FederationConfig, FederationOutcome};
 pub use crate::simulation::Simulation;
 pub use crate::sweep::{
     load_sweep, load_sweep_streams, load_sweep_with, poisson_streams, registry_load_sweep,
@@ -49,8 +51,17 @@ use amrm_workload::ScenarioRequest;
 #[derive(Debug, Clone)]
 pub struct SimOutcome {
     /// Per request (in arrival order): the assigned job id and whether the
-    /// request was admitted.
+    /// request was admitted. Empty in aggregated-outcome mode
+    /// ([`Simulation::aggregated`]), where the per-request records are
+    /// folded into [`offered`](SimOutcome::offered) and the acceptance
+    /// counters instead.
     pub admissions: Vec<(JobId, bool)>,
+    /// Requests decided, maintained as a running counter in both modes
+    /// (equals `admissions.len()` whenever records are kept).
+    pub offered: usize,
+    /// Requests admitted, as a running counter (equals the fold of
+    /// `admissions` whenever records are kept).
+    pub accepted_total: usize,
     /// Total energy metered over the whole run, in joules.
     pub total_energy: f64,
     /// Final simulated time (all admitted jobs completed).
@@ -65,6 +76,14 @@ pub struct SimOutcome {
     /// Requests dropped because their deadline passed while they waited
     /// in the admission queue (always 0 under per-request admission).
     pub queue_deadline_drops: usize,
+    /// Requests the federation dispatcher stole out of this shard's
+    /// queue and re-routed (always 0 outside a federation); their
+    /// decisions are counted at the thief shard.
+    pub stolen: usize,
+    /// High-water mark of simultaneously tracked request slots — the
+    /// flat-memory bound in aggregated mode, the total request count when
+    /// records are kept.
+    pub peak_live_requests: usize,
     /// End-of-run telemetry summary: queue-wait percentiles, EWMA
     /// arrival rate and utilization, activation latency, rolling
     /// acceptance (all zeros for the doc-hidden sequential driver, which
@@ -73,23 +92,24 @@ pub struct SimOutcome {
 }
 
 impl SimOutcome {
-    /// Number of admitted requests.
+    /// Number of admitted requests (counter-backed, so aggregated runs
+    /// report it without per-request records).
     pub fn accepted(&self) -> usize {
-        self.admissions.iter().filter(|(_, ok)| *ok).count()
+        self.accepted_total
     }
 
     /// Number of rejected requests.
     pub fn rejected(&self) -> usize {
-        self.admissions.len() - self.accepted()
+        self.offered - self.accepted_total
     }
 
     /// Acceptance rate in `[0, 1]`; an empty stream accepted nothing, so
     /// its rate is 0.0 (never a division by zero).
     pub fn acceptance_rate(&self) -> f64 {
-        if self.admissions.is_empty() {
+        if self.offered == 0 {
             return 0.0;
         }
-        self.accepted() as f64 / self.admissions.len() as f64
+        self.accepted_total as f64 / self.offered as f64
     }
 
     /// Total energy per admitted job, in joules; 0.0 when nothing was
@@ -192,7 +212,11 @@ pub fn run_scenario_sequential<S: Scheduler>(
     let total_energy = rm.run_to_completion();
     telemetry.record_energy(total_energy, rm.stats().accepted);
 
+    let accepted_total = admissions.iter().filter(|(_, ok)| *ok).count();
     SimOutcome {
+        offered: admissions.len(),
+        accepted_total,
+        peak_live_requests: admissions.len(),
         admissions,
         total_energy,
         end_time: rm.now(),
@@ -200,6 +224,7 @@ pub fn run_scenario_sequential<S: Scheduler>(
         trace: rm.executed_trace(),
         admitted_jobs: JobSet::new(admitted),
         queue_deadline_drops: 0,
+        stolen: 0,
         telemetry: telemetry.summary(),
     }
 }

@@ -55,7 +55,7 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use amrm_core::{
     Admission, AdmissionDirective, AdmissionPolicy, ReactivationPolicy, RuntimeManager, Scheduler,
-    SearchBudget, TelemetrySnapshot,
+    SearchBudget, ShardView, TelemetrySnapshot,
 };
 use amrm_metrics::{instrument, Telemetry};
 use amrm_model::{AppRef, Job, JobId, JobSet};
@@ -161,8 +161,9 @@ pub struct Simulation<S, A> {
     admission: A,
     telemetry: Telemetry,
     /// The lazy arrival source; pulled one request ahead of the event
-    /// loop so the heap never holds more than one pending arrival.
-    source: Box<dyn Iterator<Item = ScenarioRequest>>,
+    /// loop so the heap never holds more than one pending arrival. `Send`
+    /// so a federation shard can migrate between fan-out worker threads.
+    source: Box<dyn Iterator<Item = ScenarioRequest> + Send>,
     /// Requests pulled from the source so far, in arrival order.
     requests: Vec<ScenarioRequest>,
     events: BinaryHeap<Event>,
@@ -197,6 +198,35 @@ pub struct Simulation<S, A> {
     /// admitted-jobs accumulation (the engine's executed trace is gated
     /// separately through the runtime manager).
     lean: bool,
+    /// External-arrival mode (see [`Simulation::open`]): the kernel owns
+    /// no stream; a federation dispatcher injects arrivals between
+    /// lockstep epochs.
+    external: bool,
+    /// External mode: the dispatcher declared the global stream over.
+    external_closed: bool,
+    /// External mode: arrival events injected but not yet handled.
+    pending_arrivals: usize,
+    /// Requests stolen out of this shard's admission queue by the
+    /// federation dispatcher; their decision slots legitimately stay
+    /// empty here (the thief shard decides them).
+    stolen: usize,
+    /// Aggregated-outcome mode (see [`Simulation::aggregated`]): decided
+    /// request slots are folded into running counters and recycled, so
+    /// memory stays flat in the stream length.
+    aggregate: bool,
+    /// Aggregated mode: recycled request slots, reused LIFO.
+    free_slots: Vec<u32>,
+    /// Aggregated mode, per slot: a queue-deadline guard event is still
+    /// pending. A slot is only recycled once unguarded — the invariant
+    /// that keeps a stale guard from dropping a later tenant.
+    guarded: Vec<bool>,
+    /// Requests decided so far (the admissions fold, maintained in both
+    /// modes and pinned equal to the per-request records).
+    offered: usize,
+    /// Requests admitted so far.
+    accepted_total: usize,
+    /// High-water mark of live (undecided or guard-pinned) request slots.
+    peak_live: usize,
     // Hot-path scratch buffers, reused across events so steady-state
     // admission allocates nothing.
     flush_scratch: Vec<usize>,
@@ -254,7 +284,7 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
     ) -> Self
     where
         I: IntoIterator<Item = ScenarioRequest>,
-        I::IntoIter: 'static,
+        I::IntoIter: Send + 'static,
     {
         if let Err(msg) = admission.validate() {
             panic!("invalid admission policy: {msg}");
@@ -281,6 +311,16 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
             admitted: Vec::new(),
             queue_deadline_drops: 0,
             lean: false,
+            external: false,
+            external_closed: false,
+            pending_arrivals: 0,
+            stolen: 0,
+            aggregate: false,
+            free_slots: Vec::new(),
+            guarded: Vec::new(),
+            offered: 0,
+            accepted_total: 0,
+            peak_live: 0,
             flush_scratch: Vec::new(),
             submit_scratch: Vec::new(),
             admissions_scratch: Vec::new(),
@@ -318,6 +358,61 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
         self
     }
 
+    /// Creates an *externally driven* simulation: the kernel owns no
+    /// request stream — a federation dispatcher injects arrivals with
+    /// [`inject_request`](Simulation::inject_request) and advances the
+    /// shard in sim-time lockstep with
+    /// [`advance_until`](Simulation::advance_until). Once the dispatcher
+    /// has [`close_stream`](Simulation::close_stream)ed and
+    /// [`finalize`](Simulation::finalize)d the shard,
+    /// [`finish`](Simulation::finish) drains the tail exactly like
+    /// [`run`](Simulation::run) would.
+    ///
+    /// Injecting the whole stream in arrival order reproduces a
+    /// [`Simulation::from_stream`] run bit for bit: same-instant events
+    /// are ordered by class first, and within a class by push order,
+    /// which batched injection preserves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the admission policy is invalid.
+    pub fn open(
+        platform: Platform,
+        scheduler: S,
+        reactivation: ReactivationPolicy,
+        admission: A,
+    ) -> Self {
+        let mut sim = Self::from_stream(
+            platform,
+            scheduler,
+            reactivation,
+            admission,
+            std::iter::empty(),
+        );
+        sim.external = true;
+        sim
+    }
+
+    /// Switches on the aggregated (flat-memory) outcome mode: decided
+    /// request slots are folded into running counters
+    /// ([`SimOutcome::offered`], acceptance, energy — latency percentiles
+    /// already live in the telemetry's bounded rings) and recycled, so a
+    /// 10M-request or multi-shard run keeps memory flat instead of
+    /// holding one record per request. [`SimOutcome::admissions`] comes
+    /// back empty; everything else — counters, energy (bit-for-bit),
+    /// stats, telemetry — matches the recording run exactly. Implies
+    /// [`without_trace`](Simulation::without_trace).
+    #[must_use]
+    pub fn aggregated(mut self) -> Self {
+        self = self.without_trace();
+        self.aggregate = true;
+        // The constructor pulled ahead before the mode flipped on —
+        // backfill the per-slot guard flags for already-pulled slots.
+        self.guarded.resize(self.requests.len(), false);
+        self.peak_live = self.peak_live.max(self.requests.len());
+        self
+    }
+
     /// Runs the event loop to quiescence, lets every admitted job finish,
     /// and returns the outcome.
     pub fn run(self) -> SimOutcome {
@@ -328,6 +423,15 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
     /// the way stateful algorithm internals (META's regime switch count,
     /// EX-MEM's memo statistics) are inspected after a run.
     pub fn run_with_scheduler(mut self) -> (SimOutcome, S) {
+        let outcome = self.finish();
+        (outcome, self.rm.into_scheduler())
+    }
+
+    /// Drains every remaining event, lets the admitted jobs finish and
+    /// builds the outcome in place — the tail shared by
+    /// [`run`](Simulation::run) and the federation (which holds shards in
+    /// mutexes and cannot consume them by value on worker threads).
+    pub(crate) fn finish(&mut self) -> SimOutcome {
         while let Some(event) = self.events.pop() {
             self.handle(event);
         }
@@ -338,21 +442,39 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
         self.telemetry
             .record_energy(total_energy, self.rm.stats().accepted);
 
-        let outcome = SimOutcome {
-            admissions: self
-                .decisions
-                .into_iter()
-                .map(|d| d.expect("every request decided"))
-                .collect(),
+        let admissions = if self.aggregate {
+            Vec::new()
+        } else {
+            let decisions = std::mem::take(&mut self.decisions);
+            debug_assert_eq!(
+                decisions.iter().filter(|d| d.is_none()).count(),
+                self.stolen,
+                "the undecided slots must be exactly the stolen ones"
+            );
+            decisions.into_iter().flatten().collect()
+        };
+        SimOutcome {
+            admissions,
+            offered: self.offered,
+            accepted_total: self.accepted_total,
             total_energy,
             end_time: self.rm.now(),
             stats: self.rm.stats(),
             trace: self.rm.executed_trace(),
-            admitted_jobs: JobSet::new(self.admitted),
+            admitted_jobs: JobSet::new(std::mem::take(&mut self.admitted)),
             queue_deadline_drops: self.queue_deadline_drops,
+            stolen: self.stolen,
+            peak_live_requests: self.peak_live_requests(),
             telemetry: self.telemetry.summary(),
-        };
-        (outcome, self.rm.into_scheduler())
+        }
+    }
+
+    /// High-water mark of simultaneously tracked request slots. In
+    /// aggregated mode this is the flat-memory bound (live = undecided +
+    /// guard-pinned); in recording mode it equals the requests pulled so
+    /// far, since slots are never recycled.
+    pub fn peak_live_requests(&self) -> usize {
+        self.peak_live
     }
 
     /// Pulls the next request from the source and arms its arrival
@@ -361,10 +483,20 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
     /// pending arrival — the pull-ahead-one discipline that keeps lazy
     /// and materialized streams bit-identical.
     fn pull_next_arrival(&mut self) {
+        if self.external {
+            return; // the dispatcher injects arrivals instead
+        }
         let Some(req) = self.source.next() else {
             self.arrivals_done = true;
             return;
         };
+        self.admit_arrival(req);
+    }
+
+    /// Validates stream monotonicity, allocates a request slot and arms
+    /// the arrival event — shared by the stream pull and external
+    /// injection.
+    fn admit_arrival(&mut self, req: ScenarioRequest) {
         assert!(
             req.deadline >= req.arrival,
             "request deadline {} before its arrival {}",
@@ -378,11 +510,163 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
             self.last_arrival
         );
         self.last_arrival = req.arrival;
-        let index =
-            u32::try_from(self.requests.len()).expect("request index exceeds u32 payload range");
-        self.push_event(req.arrival, EventClass::Arrival, index);
-        self.requests.push(req);
-        self.decisions.push(None);
+        let arrival = req.arrival;
+        let slot = self.alloc_slot(req);
+        self.push_event(arrival, EventClass::Arrival, slot);
+    }
+
+    /// Allocates the slot tracking a pulled/injected request: a recycled
+    /// one in aggregated mode, a fresh record otherwise. Slot indices
+    /// ride in event payloads and the admission queue but never order
+    /// events, so recycling cannot perturb the event sequence.
+    fn alloc_slot(&mut self, req: ScenarioRequest) -> u32 {
+        let slot = if let Some(slot) = self.free_slots.pop() {
+            let i = slot as usize;
+            debug_assert!(!self.guarded[i], "recycled a guard-pinned slot");
+            self.requests[i] = req;
+            self.decisions[i] = None;
+            slot
+        } else {
+            let index = u32::try_from(self.requests.len())
+                .expect("request index exceeds u32 payload range");
+            self.requests.push(req);
+            self.decisions.push(None);
+            if self.aggregate {
+                self.guarded.push(false);
+            }
+            index
+        };
+        let live = self.requests.len() - self.free_slots.len();
+        self.peak_live = self.peak_live.max(live);
+        slot
+    }
+
+    /// Whether no further arrival can ever be handled: the stream-owned
+    /// kernel's drained flag, or — externally driven — a closed stream
+    /// with no injected arrival pending. While the *global* last arrival
+    /// is being handled both formulations are true, which keeps the
+    /// final-flush discipline of a 1-shard federation bit-identical to a
+    /// stream-owned run.
+    fn arrivals_exhausted(&self) -> bool {
+        if self.external {
+            self.external_closed && self.pending_arrivals == 0
+        } else {
+            self.arrivals_done
+        }
+    }
+
+    /// External mode: injects one dispatcher-routed arrival. Injections
+    /// must be non-decreasing in arrival time, mirroring the stream
+    /// contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stream-owned simulation, after
+    /// [`close_stream`](Simulation::close_stream), on a regressing
+    /// arrival, or on a deadline before its arrival.
+    pub fn inject_request(&mut self, req: ScenarioRequest) {
+        assert!(
+            self.external,
+            "inject_request needs a Simulation::open kernel"
+        );
+        assert!(!self.external_closed, "arrival stream already closed");
+        self.admit_arrival(req);
+        self.pending_arrivals += 1;
+    }
+
+    /// External mode: handles every event strictly before `t` — the
+    /// lockstep epoch advance. The dispatcher picks `t` as the next
+    /// epoch's first arrival instant, so the state observed at the
+    /// barrier is exactly what a single stream-owned kernel would show
+    /// there.
+    pub fn advance_until(&mut self, t: f64) {
+        debug_assert!(self.external, "advance_until is the dispatcher's tick");
+        while let Some(event) = self.events.peek() {
+            if event.time >= t {
+                break;
+            }
+            let event = self.events.pop().expect("peeked event vanished");
+            self.handle(event);
+        }
+    }
+
+    /// External mode: declares the global arrival stream over. Injected
+    /// arrivals still in flight drain through
+    /// [`finalize`](Simulation::finalize).
+    pub fn close_stream(&mut self) {
+        debug_assert!(self.external, "close_stream is the dispatcher's tick");
+        self.external_closed = true;
+    }
+
+    /// External mode, after [`close_stream`](Simulation::close_stream):
+    /// handles every event up to *and including* `t_close` (the global
+    /// stream's last arrival instant), then flushes deferred leftovers
+    /// the way a stream-owned kernel flushes them while handling its last
+    /// arrival — a shard whose local last arrival predates `t_close` has
+    /// no arrival event left to trigger that flush on its own.
+    pub fn finalize(&mut self, t_close: f64) {
+        debug_assert!(
+            self.external && self.external_closed,
+            "finalize follows close_stream"
+        );
+        while let Some(event) = self.events.peek() {
+            if event.time > t_close {
+                break;
+            }
+            let event = self.events.pop().expect("peeked event vanished");
+            self.handle(event);
+        }
+        if !self.queue.is_empty() && self.admission.flush_at_stream_end() {
+            self.rm.advance_to(t_close.max(self.rm.now()));
+            self.sample_utilization();
+            self.flush_queue();
+            self.telemetry.record_queue_depth(self.queue.len());
+            self.rearm_completion();
+        }
+    }
+
+    /// External mode: removes the most recently queued (still unadmitted)
+    /// request so the dispatcher can re-route it to an idle shard.
+    /// Returns `None` when the queue is empty. The stolen slot's decision
+    /// legitimately stays unmade here — the thief shard decides the
+    /// request — and its pending deadline guard goes stale (the pop-time
+    /// queue-membership check discards it).
+    pub fn steal_queued(&mut self) -> Option<ScenarioRequest> {
+        debug_assert!(self.external, "steal_queued is the dispatcher's tick");
+        let slot = self.queue.pop_back()?;
+        self.stolen += 1;
+        let req = self.requests[slot].clone();
+        // Mirror the queue-drop path: a steal that empties an open
+        // gathering window closes it, so the next arrival opens a fresh
+        // full-length window instead of joining a stale one.
+        if self.queue.is_empty() {
+            self.open_window = None;
+        }
+        self.telemetry.record_queue_depth(self.queue.len());
+        if self.aggregate && !self.guarded[slot] {
+            self.free_slots
+                .push(u32::try_from(slot).expect("slot index fits the event payload"));
+        }
+        Some(req)
+    }
+
+    /// The dispatcher's read-only load view of this shard at a routing
+    /// barrier. Injected-but-unhandled arrivals count toward the queue
+    /// depth so barrier-time ties are not undercounted.
+    pub fn shard_view(&self, shard: usize) -> ShardView {
+        let stats = self.rm.stats();
+        let now = self.rm.now();
+        let snap = self.telemetry.snapshot(now, self.queue.len(), None, None);
+        ShardView {
+            shard,
+            queue_depth: self.queue.len() + self.pending_arrivals,
+            running_jobs: stats.accepted - stats.completed,
+            utilization: snap.utilization,
+            energy_per_job: snap.energy_per_job,
+            rolling_acceptance: snap.rolling_acceptance,
+            arrival_rate: snap.arrival_rate,
+            now,
+        }
     }
 
     /// Records the current platform utilization (busy cores per type
@@ -429,8 +713,14 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
             EventClass::Arrival => {
                 let request = event.payload as usize;
                 // Pull ahead before any admission logic so the
-                // stream-drained check below sees the true state.
-                self.pull_next_arrival();
+                // stream-drained check below sees the true state; the
+                // externally driven kernel tracks its in-flight
+                // injections for the same check instead.
+                if self.external {
+                    self.pending_arrivals -= 1;
+                } else {
+                    self.pull_next_arrival();
+                }
                 self.rm.advance_to(event.time);
                 self.queue.push_back(request);
                 instrument::record_queue_depth(self.queue.len());
@@ -459,7 +749,7 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
                     }
                     AdmissionDirective::Defer => {
                         // BatchK never starves a partial final batch.
-                        if self.arrivals_done && self.admission.flush_at_stream_end() {
+                        if self.arrivals_exhausted() && self.admission.flush_at_stream_end() {
                             self.flush_queue();
                         } else {
                             self.guard_queued_deadline(request);
@@ -497,8 +787,22 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
             }
             EventClass::QueueDeadline => {
                 let request = event.payload as usize;
+                let was_guarded = if self.aggregate {
+                    // Slots recycle only while unguarded, so a popped
+                    // guard always belongs to the slot's current (or
+                    // last) tenant — never to a later one.
+                    debug_assert!(self.guarded[request], "stale guard on a recycled slot");
+                    std::mem::replace(&mut self.guarded[request], false)
+                } else {
+                    false
+                };
                 let Some(pos) = self.queue.iter().position(|&r| r == request) else {
-                    return; // already flushed
+                    // Already flushed (or stolen): in aggregated mode the
+                    // guard was the only thing pinning the slot.
+                    if was_guarded {
+                        self.free_slots.push(event.payload);
+                    }
+                    return;
                 };
                 self.queue.remove(pos);
                 self.queue_deadline_drops += 1;
@@ -577,8 +881,10 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
         let mut accepted = 0;
         for (&i, admission) in batch.iter().zip(&admissions) {
             self.decisions[i] = Some((admission.job(), admission.is_accepted()));
+            self.offered += 1;
             if let Admission::Accepted { job } = admission {
                 accepted += 1;
+                self.accepted_total += 1;
                 if !self.lean {
                     let req = &self.requests[i];
                     self.admitted.push(Job::new(
@@ -589,6 +895,13 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
                         1.0,
                     ));
                 }
+            }
+            // Aggregated mode: the record is folded, recycle the slot —
+            // unless a pending deadline guard still points at it (the
+            // guard recycles it when it fires).
+            if self.aggregate && !self.guarded[i] {
+                self.free_slots
+                    .push(u32::try_from(i).expect("slot index fits the event payload"));
             }
         }
         self.admissions_scratch = admissions;
@@ -605,6 +918,10 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
     fn guard_queued_deadline(&mut self, request: usize) {
         let deadline = self.requests[request].deadline;
         let index = u32::try_from(request).expect("request index exceeds u32 payload range");
+        if self.aggregate {
+            debug_assert!(!self.guarded[request], "double guard on one tenancy");
+            self.guarded[request] = true;
+        }
         self.push_event(deadline, EventClass::QueueDeadline, index);
     }
 
@@ -620,7 +937,7 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
     /// left to `run_to_completion` — exactly like the sequential driver,
     /// whose final clock is the *schedule end*, not the last completion.
     fn rearm_completion(&mut self) {
-        if self.arrivals_done && self.queue.is_empty() {
+        if self.arrivals_exhausted() && self.queue.is_empty() {
             if self.armed_completion.is_some() {
                 self.completion_generation = self.completion_generation.wrapping_add(1);
                 self.armed_completion = None;
@@ -1116,6 +1433,54 @@ mod tests {
         assert!(lean.trace.segments().is_empty());
         assert!(!full.admitted_jobs.is_empty());
         assert!(lean.admitted_jobs.is_empty());
+    }
+
+    #[test]
+    fn aggregated_outcome_equals_the_fold_of_full_records() {
+        // The flat-memory contract: every aggregate counter must equal
+        // the corresponding fold over the recording run's per-request
+        // records, and everything shared (energy bits, stats, telemetry)
+        // must be untouched by the mode switch.
+        let spec = StreamSpec {
+            requests: 120,
+            slack_range: (1.2, 2.5),
+        };
+        let build = || {
+            Simulation::from_stream(
+                scenarios::platform(),
+                MmkpMdf::new(),
+                ReactivationPolicy::OnArrival,
+                BatchK(4),
+                ArrivalStream::diurnal(&lib(), 2.0, 3.0, 60.0, &spec, 77),
+            )
+        };
+        let full = build().run();
+        let flat = build().aggregated().run();
+
+        // Drops are decided (rejected) records, so the recording run has
+        // one record per request regardless of expiries.
+        assert_eq!(full.admissions.len(), spec.requests);
+        assert_eq!(flat.admissions, Vec::new());
+        assert_eq!(flat.offered, full.admissions.len());
+        assert_eq!(
+            flat.accepted_total,
+            full.admissions.iter().filter(|(_, ok)| *ok).count()
+        );
+        assert_eq!(flat.queue_deadline_drops, full.queue_deadline_drops);
+        assert_eq!(flat.total_energy.to_bits(), full.total_energy.to_bits());
+        assert_eq!(flat.end_time.to_bits(), full.end_time.to_bits());
+        assert_eq!(flat.stats, full.stats);
+        assert_telemetry_eq(&flat.telemetry, &full.telemetry);
+
+        // Flat memory: recycled slots keep the high-water mark far below
+        // the stream length, while the recording run pins every slot.
+        assert_eq!(full.peak_live_requests, spec.requests);
+        assert!(
+            flat.peak_live_requests < spec.requests / 2,
+            "aggregated mode must recycle slots: peak {} of {} requests",
+            flat.peak_live_requests,
+            spec.requests
+        );
     }
 
     #[test]

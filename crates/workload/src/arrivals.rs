@@ -107,6 +107,10 @@ pub struct ArrivalStream {
     t: f64,
     emitted: usize,
     shape: Shape,
+    /// Per-app skew: `(hot index, hot fraction)` — each request targets
+    /// `apps[hot]` with the given probability instead of the uniform
+    /// draw. `None` keeps the uniform app mix.
+    hotspot: Option<(usize, f64)>,
 }
 
 impl ArrivalStream {
@@ -242,6 +246,48 @@ impl ArrivalStream {
         )
     }
 
+    /// Skewed Poisson stream for federation experiments: arrivals are
+    /// plain Poisson at `mean_interarrival`, but each request targets
+    /// `apps[hot_app]` with probability `hot_fraction` (falling back to
+    /// the uniform draw otherwise). A high fraction concentrates load on
+    /// one application — the workload where affinity routing pins one
+    /// shard and queue-aware routing pays off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty, `mean_interarrival` is not positive,
+    /// `hot_app` is out of range, `hot_fraction` is outside `[0, 1]`, or
+    /// the slack range is invalid.
+    pub fn hotspot(
+        apps: &[AppRef],
+        mean_interarrival: f64,
+        hot_app: usize,
+        hot_fraction: f64,
+        spec: &StreamSpec,
+        seed: u64,
+    ) -> Self {
+        validate(apps, spec);
+        assert!(
+            mean_interarrival > 0.0,
+            "mean inter-arrival must be positive"
+        );
+        assert!(hot_app < apps.len(), "hot app index out of range");
+        assert!(
+            (0.0..=1.0).contains(&hot_fraction),
+            "hot fraction must lie in [0, 1]"
+        );
+        let mut stream = Self::new(
+            apps,
+            spec,
+            seed,
+            Shape::Modulated(RateShape::Constant {
+                mean: mean_interarrival,
+            }),
+        );
+        stream.hotspot = Some((hot_app, hot_fraction));
+        stream
+    }
+
     fn new(apps: &[AppRef], spec: &StreamSpec, seed: u64, shape: Shape) -> Self {
         ArrivalStream {
             apps: apps.to_vec(),
@@ -250,6 +296,7 @@ impl ArrivalStream {
             t: 0.0,
             emitted: 0,
             shape,
+            hotspot: None,
         }
     }
 
@@ -268,21 +315,18 @@ impl Iterator for ArrivalStream {
         }
         let index = self.emitted;
         self.emitted += 1;
-        Some(match &mut self.shape {
+        // Draw order per request: (gap for modulated shapes,) then app,
+        // then slack — matching the one-shot generators exactly. The gap
+        // advances below never consume randomness, so hoisting the time
+        // computation ahead of the request draw is bit-preserving.
+        let at = match &mut self.shape {
             Shape::Modulated(rate) => {
-                // Exponential inter-arrival from the local mean. The draw
-                // order (gap, then app, then slack) matches the one-shot
-                // generators exactly.
+                // Exponential inter-arrival from the local mean.
                 let u: f64 = self.rng.gen_range(1e-12..1.0);
                 self.t += -rate.mean_at(self.t) * u.ln();
-                request_at(&self.apps, self.t, &self.spec, &mut self.rng)
+                self.t
             }
-            Shape::Periodic { period } => request_at(
-                &self.apps,
-                index as f64 * *period,
-                &self.spec,
-                &mut self.rng,
-            ),
+            Shape::Periodic { period } => index as f64 * *period,
             Shape::Bursty {
                 burst_len,
                 intra_gap,
@@ -291,7 +335,7 @@ impl Iterator for ArrivalStream {
             } => {
                 // The request lands at the current time; the gap advance
                 // happens after, exactly as in the one-shot generator.
-                let req = request_at(&self.apps, self.t, &self.spec, &mut self.rng);
+                let at = self.t;
                 *in_burst += 1;
                 if *in_burst == *burst_len {
                     *in_burst = 0;
@@ -299,8 +343,30 @@ impl Iterator for ArrivalStream {
                 } else {
                     self.t += *intra_gap;
                 }
-                req
+                at
             }
+        };
+        Some(match self.hotspot {
+            Some((hot, fraction)) => {
+                // Heat draw first, then the uniform app draw — consumed
+                // even when the hot app wins, so the per-request draw
+                // count (and thus the slack sequence) never depends on
+                // which way the coin lands.
+                let heat: f64 = self.rng.gen_range(0.0..1.0);
+                let uniform = self.rng.gen_range(0..self.apps.len());
+                let chosen = if heat < fraction { hot } else { uniform };
+                let app = AppRef::clone(&self.apps[chosen]);
+                let slack = self
+                    .rng
+                    .gen_range(self.spec.slack_range.0..=self.spec.slack_range.1);
+                let deadline = at + app.min_time() * slack;
+                ScenarioRequest {
+                    app,
+                    arrival: at,
+                    deadline,
+                }
+            }
+            None => request_at(&self.apps, at, &self.spec, &mut self.rng),
         })
     }
 
@@ -389,6 +455,42 @@ mod tests {
             ArrivalStream::bursty_window(&lib(), 0.5, 8.0, 40.0, &spec, 11),
             &bursty_window_stream(&lib(), 0.5, 8.0, 40.0, &spec, 11),
         );
+    }
+
+    #[test]
+    fn hotspot_skews_the_app_mix_without_touching_arrivals() {
+        let spec = StreamSpec {
+            requests: 400,
+            slack_range: (1.2, 2.5),
+        };
+        let skewed: Vec<_> = ArrivalStream::hotspot(&lib(), 2.0, 1, 0.9, &spec, 13).collect();
+        let hot_name = lib()[1].name().to_string();
+        let hot = skewed.iter().filter(|r| r.app.name() == hot_name).count();
+        // 90% hot + 5% uniform fallback ≈ 95%; leave slack for variance.
+        assert!(hot >= 300, "hot app got only {hot} of 400 requests");
+        assert!(skewed.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        // fraction 0 still consumes the heat draw but never overrides:
+        // the app mix stays roughly uniform.
+        let uniform: Vec<_> = ArrivalStream::hotspot(&lib(), 2.0, 1, 0.0, &spec, 13).collect();
+        let cold = uniform.iter().filter(|r| r.app.name() == hot_name).count();
+        assert!((100..=300).contains(&cold), "unskewed mix gave {cold}");
+        // Same seed → identical arrival instants regardless of fraction
+        // (heat/app/slack draws happen after the gap draw).
+        for (a, b) in skewed.iter().zip(&uniform) {
+            assert_eq!(a.arrival.to_bits(), b.arrival.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hot app index out of range")]
+    fn hotspot_rejects_bad_index() {
+        let _ = ArrivalStream::hotspot(&lib(), 1.0, 7, 0.5, &StreamSpec::default(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot fraction")]
+    fn hotspot_rejects_bad_fraction() {
+        let _ = ArrivalStream::hotspot(&lib(), 1.0, 0, 1.5, &StreamSpec::default(), 0);
     }
 
     #[test]

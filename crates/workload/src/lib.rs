@@ -40,7 +40,7 @@ pub use crate::generator::{generate_suite, tabulate, SuiteSpec, TABLE_III};
 pub use crate::io::{load_stream, load_suite, save_stream, save_suite};
 pub use crate::scenarios::ScenarioRequest;
 pub use crate::streams::{
-    bursty_stream, bursty_window_stream, diurnal_stream, periodic_stream, poisson_stream,
-    StreamSpec,
+    bursty_stream, bursty_window_stream, diurnal_stream, hotspot_stream, periodic_stream,
+    poisson_stream, StreamSpec,
 };
 pub use crate::testcase::{DeadlineLevel, TestCase, TestJob};

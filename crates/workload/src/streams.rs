@@ -179,6 +179,37 @@ pub fn bursty_window_stream(
         .collect()
 }
 
+/// Skewed Poisson arrivals: each request targets `apps[hot_app]` with
+/// probability `hot_fraction`, otherwise a uniform draw — the federation
+/// workload where affinity routing concentrates load on one shard.
+///
+/// # Panics
+///
+/// Panics if `apps` is empty, `mean_interarrival` is not positive,
+/// `hot_app` is out of range, `hot_fraction` is outside `[0, 1]`, or the
+/// slack range is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use amrm_workload::{hotspot_stream, scenarios, StreamSpec};
+///
+/// let lib = vec![scenarios::lambda1(), scenarios::lambda2()];
+/// let stream = hotspot_stream(&lib, 2.0, 0, 0.85, &StreamSpec::default(), 5);
+/// let hot = stream.iter().filter(|r| r.app.name() == lib[0].name()).count();
+/// assert!(hot * 2 > stream.len(), "hot app must dominate the mix");
+/// ```
+pub fn hotspot_stream(
+    apps: &[AppRef],
+    mean_interarrival: f64,
+    hot_app: usize,
+    hot_fraction: f64,
+    spec: &StreamSpec,
+    seed: u64,
+) -> Vec<ScenarioRequest> {
+    ArrivalStream::hotspot(apps, mean_interarrival, hot_app, hot_fraction, spec, seed).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,197 @@
+//! The degenerate-federation equivalence gate.
+//!
+//! A [`Federation`] with a single shard and round-robin routing is just a
+//! `Simulation` with extra bookkeeping: every request routes to shard 0
+//! and the lockstep epochs merely chop the stream into arbitrary-sized
+//! injection batches.  That degenerate case must be *bit-identical* to
+//! the plain batch kernel — admissions, accumulated energy (raw f64
+//! bits), end time, counters, drops and the executed trace — for
+//! **every** scheduler in the standard registry, at every epoch length.
+//! Anything less means the dispatcher tier itself distorts results, and
+//! no cross-policy comparison it produces can be trusted.
+//!
+//! The second gate is determinism: the dispatcher fans shards out over a
+//! worker pool, so the merged outcome must not depend on the pool width.
+
+use amrm::baselines::standard_registry;
+use amrm::core::{
+    EnergyAware, HashAffinity, Immediate, JoinShortestQueue, ReactivationPolicy, RoundRobin,
+    RoutingPolicy, Scheduler, SearchBudget,
+};
+use amrm::model::AppRef;
+use amrm::sim::{Federation, FederationConfig, FederationOutcome, SimOutcome, Simulation};
+use amrm::workload::{scenarios, ArrivalStream, ScenarioRequest, StreamSpec};
+use proptest::prelude::*;
+
+fn library() -> Vec<AppRef> {
+    vec![scenarios::lambda1(), scenarios::lambda2()]
+}
+
+fn diurnal(requests: usize, seed: u64) -> ArrivalStream {
+    let spec = StreamSpec {
+        requests,
+        slack_range: (1.2, 2.5),
+    };
+    ArrivalStream::diurnal(&library(), 2.0, 3.0, 60.0, &spec, seed)
+}
+
+fn plain_outcome(name: &str, stream: &[ScenarioRequest]) -> SimOutcome {
+    let registry = standard_registry();
+    Simulation::new(
+        scenarios::platform(),
+        registry.create(name).unwrap(),
+        ReactivationPolicy::OnArrival,
+        Immediate,
+        stream,
+    )
+    .with_search_budget(SearchBudget::online())
+    .run()
+}
+
+fn one_shard_federation(
+    name: &str,
+    stream: impl Iterator<Item = ScenarioRequest>,
+    epoch: usize,
+    threads: usize,
+) -> FederationOutcome {
+    let registry = standard_registry();
+    let shard: Simulation<Box<dyn Scheduler + Send>, Immediate> = Simulation::open(
+        scenarios::platform(),
+        registry.create(name).unwrap(),
+        ReactivationPolicy::OnArrival,
+        Immediate,
+    )
+    .with_search_budget(SearchBudget::online());
+    Federation::new(vec![shard], Box::new(RoundRobin::new()))
+        .with_config(FederationConfig {
+            threads,
+            epoch,
+            steal_threshold: None,
+        })
+        .run(stream)
+}
+
+/// Full-outcome equality modulo the `decision_seconds_*` telemetry
+/// percentiles, which sample real wall-clock scheduler time.
+fn assert_bit_identical(label: &str, federated: &SimOutcome, reference: &SimOutcome) {
+    assert_eq!(
+        federated.admissions, reference.admissions,
+        "{label}: admissions diverged"
+    );
+    assert_eq!(
+        federated.total_energy.to_bits(),
+        reference.total_energy.to_bits(),
+        "{label}: energy diverged ({} vs {})",
+        federated.total_energy,
+        reference.total_energy
+    );
+    assert_eq!(
+        federated.end_time.to_bits(),
+        reference.end_time.to_bits(),
+        "{label}: end time diverged"
+    );
+    assert_eq!(
+        federated.stats, reference.stats,
+        "{label}: counters diverged"
+    );
+    assert_eq!(
+        federated.queue_deadline_drops, reference.queue_deadline_drops,
+        "{label}: drops diverged"
+    );
+    assert_eq!(federated.trace, reference.trace, "{label}: trace diverged");
+    let mut a = federated.telemetry.clone();
+    let mut b = reference.telemetry.clone();
+    a.decision_seconds_p50 = 0.0;
+    a.decision_seconds_p95 = 0.0;
+    a.decision_seconds_p99 = 0.0;
+    b.decision_seconds_p50 = 0.0;
+    b.decision_seconds_p95 = 0.0;
+    b.decision_seconds_p99 = 0.0;
+    assert_eq!(a, b, "{label}: telemetry diverged");
+}
+
+#[test]
+fn one_shard_federation_is_bit_identical_for_every_registry_scheduler() {
+    let registry = standard_registry();
+    for seed in [7u64, 23, 404] {
+        let stream: Vec<ScenarioRequest> = diurnal(50, seed).collect();
+        for (name, _) in registry.iter() {
+            let reference = plain_outcome(name, &stream);
+            let federated = one_shard_federation(name, diurnal(50, seed), 64, 1);
+            assert_eq!(federated.offered(), 50);
+            assert_eq!(federated.routed, vec![50]);
+            assert_bit_identical(
+                &format!("{name}/seed {seed}"),
+                &federated.shards[0],
+                &reference,
+            );
+        }
+    }
+}
+
+#[test]
+fn merged_outcome_does_not_depend_on_dispatcher_pool_width() {
+    let registry = standard_registry();
+    let policies: Vec<fn() -> Box<dyn RoutingPolicy + Send>> = vec![
+        || Box::new(RoundRobin::new()),
+        || Box::new(JoinShortestQueue::new()),
+        || Box::new(EnergyAware::new()),
+        || Box::new(HashAffinity::new()),
+    ];
+    for make_policy in policies {
+        let run = |threads: usize| {
+            let shards: Vec<Simulation<Box<dyn Scheduler + Send>, Immediate>> = (0..4)
+                .map(|_| {
+                    Simulation::open(
+                        scenarios::platform(),
+                        registry.create(amrm::baselines::MDF_NAME).unwrap(),
+                        ReactivationPolicy::OnArrival,
+                        Immediate,
+                    )
+                    .with_search_budget(SearchBudget::online())
+                })
+                .collect();
+            Federation::new(shards, make_policy())
+                .with_config(FederationConfig {
+                    threads,
+                    ..FederationConfig::default()
+                })
+                .run(diurnal(80, 23))
+        };
+        let serial = run(1);
+        let pooled = run(4);
+        assert_eq!(serial.routed, pooled.routed, "{}", serial.routing);
+        assert_eq!(serial.stolen, pooled.stolen, "{}", serial.routing);
+        for (idx, (a, b)) in serial.shards.iter().zip(&pooled.shards).enumerate() {
+            assert_bit_identical(&format!("{} shard {idx}", serial.routing), a, b);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random stream length × epoch × seed: the dispatcher's epoch
+    /// chopping must never leak into the single shard's results.
+    #[test]
+    fn one_shard_equivalence_holds_for_random_streams_and_epochs(
+        requests in 1usize..=40,
+        epoch in 1usize..=16,
+        seed in 0u64..500,
+    ) {
+        let stream: Vec<ScenarioRequest> = diurnal(requests, seed).collect();
+        let reference = plain_outcome(amrm::baselines::MDF_NAME, &stream);
+        let federated = one_shard_federation(
+            amrm::baselines::MDF_NAME,
+            stream.iter().cloned(),
+            epoch,
+            1,
+        );
+        assert_eq!(federated.offered(), requests);
+        assert_bit_identical(
+            &format!("MDF/seed {seed}/epoch {epoch}"),
+            &federated.shards[0],
+            &reference,
+        );
+    }
+}
