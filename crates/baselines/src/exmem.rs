@@ -43,6 +43,7 @@
 use std::collections::HashMap;
 
 use amrm_core::{MmkpMdf, Scheduler, SchedulingContext, SearchBudget};
+use amrm_metrics::journal::{EventKind, JournalEvent};
 use amrm_model::{Job, JobMapping, JobSet, Schedule, Segment};
 use amrm_platform::{Platform, ResourceVec, EPS};
 
@@ -92,6 +93,9 @@ pub struct ExMem {
     signatures: HashMap<u64, JobSig>,
     nodes_explored: u64,
     degraded: bool,
+    /// Memo entries dropped by cap eviction during the current
+    /// activation — reported as one aggregate `memo_evict` journal event.
+    last_evicted: usize,
 }
 
 /// What a job's memoized states were derived under; any change voids the
@@ -161,6 +165,11 @@ struct SearchCtx<'a> {
     /// Whether the result may be approximate: the budget truncated the
     /// search, or an `Anytime` (upper-bound) memo entry was consumed.
     approximate: bool,
+    /// Memo lookups this activation that returned a conclusive entry
+    /// (exact / infeasible / pruning bound).
+    memo_hits: u64,
+    /// States expanded after an inconclusive lookup.
+    memo_misses: u64,
 }
 
 impl SearchCtx<'_> {
@@ -189,6 +198,7 @@ impl ExMem {
             signatures: HashMap::new(),
             nodes_explored: 0,
             degraded: false,
+            last_evicted: 0,
         }
     }
 
@@ -291,7 +301,8 @@ impl ExMem {
     /// Only when the proofs alone still exceed the cap is the table
     /// cleared outright.
     fn enforce_memo_cap(&mut self) {
-        if self.memo.len() <= self.memo_cap {
+        let before = self.memo.len();
+        if before <= self.memo_cap {
             return;
         }
         self.memo
@@ -299,8 +310,10 @@ impl ExMem {
         if self.memo.len() > self.memo_cap {
             self.memo.clear();
             self.signatures.clear();
+            self.last_evicted += before;
             return;
         }
+        self.last_evicted += before - self.memo.len();
         // The signature map guards the memo and must not outgrow it: on
         // a long stream of fresh job ids the mismatch clear never fires,
         // so eviction time is when stale ids are shed. Keep only the
@@ -337,6 +350,7 @@ impl Scheduler for ExMem {
         if jobs.is_empty() {
             return Some(Schedule::new());
         }
+        self.last_evicted = 0;
         if self.reuse_memo {
             self.guard_signatures(jobs.jobs());
         } else {
@@ -390,6 +404,8 @@ impl Scheduler for ExMem {
             work: 0,
             limit: self.budget.tightest(ctx.budget).node_limit(),
             approximate: false,
+            memo_hits: 0,
+            memo_misses: 0,
         };
 
         let state: Vec<(usize, f64)> = (0..job_slice.len())
@@ -397,8 +413,41 @@ impl Scheduler for ExMem {
             .collect();
         let result = solve(&mut search, &state, now, incumbent);
         let approximate = search.approximate;
+        let (hits, misses) = (search.memo_hits, search.memo_misses);
         self.nodes_explored = search.work;
         self.degraded = approximate;
+
+        // One aggregate event per activation, never per lookup: the memo
+        // is consulted once per expanded state, so per-hit emission would
+        // dominate the search itself.
+        if ctx.trace.is_enabled() {
+            if hits > 0 {
+                ctx.trace.emit(
+                    JournalEvent::at(now, EventKind::MemoHit)
+                        .detail(hits.min(u64::from(u32::MAX)) as u32)
+                        .value(self.memo.len() as f64),
+                );
+            }
+            if misses > 0 {
+                ctx.trace.emit(
+                    JournalEvent::at(now, EventKind::MemoMiss)
+                        .detail(misses.min(u64::from(u32::MAX)) as u32),
+                );
+            }
+            if approximate {
+                ctx.trace.emit(
+                    JournalEvent::at(now, EventKind::Truncation)
+                        .value(self.nodes_explored as f64)
+                        .aux(self.budget.tightest(ctx.budget).node_limit().unwrap_or(0) as f64),
+                );
+            }
+            if self.last_evicted > 0 {
+                ctx.trace.emit(
+                    JournalEvent::at(now, EventKind::MemoEvict)
+                        .detail(self.last_evicted.min(u32::MAX as usize) as u32),
+                );
+            }
+        }
 
         let schedule = match result {
             Some(_) => reconstruct(job_slice, &self.memo, state, now).or(seed_schedule),
@@ -465,6 +514,7 @@ fn solve(ctx: &mut SearchCtx<'_>, state: &[(usize, f64)], t: f64, incumbent: f64
     match ctx.memo.get(&key) {
         Some(MemoVal::Exact { energy, .. }) => {
             amrm_metrics::instrument::record_memo_hit();
+            ctx.memo_hits += 1;
             return if *energy < incumbent {
                 Some(*energy)
             } else {
@@ -473,10 +523,12 @@ fn solve(ctx: &mut SearchCtx<'_>, state: &[(usize, f64)], t: f64, incumbent: f64
         }
         Some(MemoVal::Infeasible) => {
             amrm_metrics::instrument::record_memo_hit();
+            ctx.memo_hits += 1;
             return None;
         }
         Some(MemoVal::Bound { at_least }) if incumbent <= *at_least + EPS => {
             amrm_metrics::instrument::record_memo_hit();
+            ctx.memo_hits += 1;
             return None;
         }
         Some(MemoVal::Anytime { energy, .. }) => anytime_hit = Some(*energy),
@@ -492,6 +544,7 @@ fn solve(ctx: &mut SearchCtx<'_>, state: &[(usize, f64)], t: f64, incumbent: f64
         };
     }
     ctx.work += 1;
+    ctx.memo_misses += 1;
 
     // Track approximation per subtree so untruncated sibling states still
     // earn exact memo entries.

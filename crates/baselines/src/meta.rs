@@ -35,6 +35,7 @@
 //! budget-adaptive runs stay deterministic per stream seed.
 
 use amrm_core::{MmkpMdf, Scheduler, SchedulingContext, SearchBudget};
+use amrm_metrics::journal::{EventKind, JournalEvent};
 use amrm_model::{JobSet, Schedule};
 use amrm_platform::Platform;
 
@@ -418,6 +419,15 @@ impl Scheduler for MetaScheduler {
         if target != self.regime {
             self.regime = target;
             self.switches += 1;
+            if ctx.trace.is_enabled() {
+                // The switch verdict plus the signals that triggered it.
+                ctx.trace.emit(
+                    JournalEvent::at(ctx.now, EventKind::RegimeSwitch)
+                        .detail(target as u32)
+                        .value(ctx.telemetry.arrival_rate)
+                        .aux(ctx.telemetry.utilization),
+                );
+            }
         }
         if self.config.adaptive_budget {
             // The budget regime tracks every activation — like the
@@ -427,6 +437,14 @@ impl Scheduler for MetaScheduler {
             if budget_target != self.budget_regime {
                 self.budget_regime = budget_target;
                 self.budget_switches += 1;
+                if ctx.trace.is_enabled() {
+                    let t = &ctx.telemetry;
+                    ctx.trace.emit(
+                        JournalEvent::at(ctx.now, EventKind::BudgetSwitch)
+                            .detail(budget_target as u32)
+                            .value(t.activation_latency.max(t.queue_wait_p95)),
+                    );
+                }
             }
         }
         match self.regime {

@@ -212,7 +212,11 @@ pub fn admission_grid(
 }
 
 /// Renders a grid as a text table, one row per (stream, policy,
-/// scheduler), with the telemetry-side queue-wait p95 as the last column.
+/// scheduler). The queue-wait and decision-time tail columns come from
+/// the *streaming* log-bucketed histograms — exact over the whole run in
+/// O(1) memory — rather than the telemetry's bounded recent-window
+/// percentile rings (which remain the adaptive policies' control
+/// signals).
 pub fn admission_report(cells: &[AdmissionCell]) -> String {
     let mut out = String::from(
         "Admission-policy A/B: fixed and adaptive batching vs the paper's per-request discipline\n\n",
@@ -227,6 +231,7 @@ pub fn admission_report(cells: &[AdmissionCell]) -> String {
         "queue drops",
         "misses",
         "wait p95 [s]",
+        "decide p95 [ms]",
     ]);
     for c in cells {
         t.add_row(vec![
@@ -238,7 +243,8 @@ pub fn admission_report(cells: &[AdmissionCell]) -> String {
             c.activations.to_string(),
             c.queue_deadline_drops.to_string(),
             c.deadline_misses.to_string(),
-            format!("{:.2}", c.telemetry.queue_wait_p95),
+            format!("{:.2}", c.telemetry.queue_wait_hist.p95),
+            format!("{:.2}", c.telemetry.decision_seconds_hist.p95 * 1e3),
         ]);
     }
     out.push_str(&t.to_string());

@@ -62,6 +62,10 @@ pub struct PerfBaseline {
     /// Sharded-federation cells (`repro shard`; empty when the producing
     /// command skipped the shard bench, or the file predates it).
     pub shard: Vec<crate::shard::ShardCell>,
+    /// Event-journal counts of the traced federated run (`repro trace`;
+    /// empty when the producing command skipped the trace, or the file
+    /// predates it).
+    pub trace: Vec<crate::trace::TraceCount>,
 }
 
 impl serde::Deserialize for PerfBaseline {
@@ -89,6 +93,11 @@ impl serde::Deserialize for PerfBaseline {
             },
             // Absent in baselines written before `repro shard` existed.
             shard: match field("shard") {
+                Ok(value) => Vec::from_value(value)?,
+                Err(_) => Vec::new(),
+            },
+            // Absent in baselines written before `repro trace` existed.
+            trace: match field("trace") {
                 Ok(value) => Vec::from_value(value)?,
                 Err(_) => Vec::new(),
             },
@@ -141,6 +150,7 @@ pub fn summarize(
         admission: Vec::new(),
         profile: Vec::new(),
         shard: Vec::new(),
+        trace: Vec::new(),
     }
 }
 
@@ -221,6 +231,7 @@ mod tests {
         assert!(back.admission.is_empty());
         assert!(back.profile.is_empty());
         assert!(back.shard.is_empty());
+        assert!(back.trace.is_empty());
     }
 
     #[test]
@@ -252,6 +263,8 @@ mod tests {
         let back: PerfBaseline = serde_json::from_str(pre_shard).unwrap();
         assert_eq!(back.profile.len(), 1);
         assert!(back.shard.is_empty());
+        // A pre-trace baseline reads back with an empty trace section.
+        assert!(back.trace.is_empty());
     }
 
     #[test]

@@ -36,8 +36,16 @@
 //!               (40k requests/shard; --quick: 2k), plus skewed-routing
 //!               rows on a hotspot stream and one work-stealing row
 //!               (--json writes the ShardReport)
+//!   trace       event-journal trace: a bursty stream through 4 META
+//!               shards under batched admission with hash-affinity
+//!               routing and work stealing, the structured journal
+//!               enabled end to end (20k requests; --quick: 2k);
+//!               reports events by kind and rejects by reason
+//!               (--json writes the TraceReport; --sample N keeps one
+//!               request lifecycle in N; --out writes a Perfetto-loadable
+//!               Chrome trace-event file)
 //!   all         everything above except `ablation`/`admission`/`sweep`/
-//!               `tune`/`profile`/`shard` (default)
+//!               `tune`/`profile`/`shard`/`trace` (default)
 //!
 //! OPTIONS
 //!   --seed N         RNG seed for suite generation (default 2020)
@@ -49,6 +57,10 @@
 //!   --baseline F     compare the profile against the profile cells
 //!                    recorded in baseline JSON F and fail below the
 //!                    events/s floor (profile only)
+//!   --sample N       journal one request lifecycle in N, deterministic
+//!                    by arrival ordinal (trace only; default 0 = all)
+//!   --out F          write the Chrome trace-event (Perfetto) file to F
+//!                    (trace only)
 //!   --suite-out F    save the generated suite as JSON
 //!   --json F         with suite commands: write per-scheduler energy/
 //!                    feasibility/search-time aggregates plus the
@@ -88,6 +100,8 @@ struct Options {
     schedulers: Option<Vec<String>>,
     requests: Option<usize>,
     baseline_in: Option<String>,
+    sample: Option<u64>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -103,6 +117,8 @@ fn parse_args() -> Result<Options, String> {
         schedulers: None,
         requests: None,
         baseline_in: None,
+        sample: None,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -142,6 +158,17 @@ fn parse_args() -> Result<Options, String> {
             }
             "--baseline" => {
                 opts.baseline_in = Some(args.next().ok_or("--baseline needs a path")?);
+            }
+            "--sample" => {
+                opts.sample = Some(
+                    args.next()
+                        .ok_or("--sample needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad sample divisor: {e}"))?,
+                );
+            }
+            "--out" => {
+                opts.trace_out = Some(args.next().ok_or("--out needs a path")?);
             }
             "--help" | "-h" => {
                 return Err("help".to_string());
@@ -220,9 +247,9 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: repro [table2|motivation|table3|fig2|table4|fig3|fig4|ablation|\
-                 admission|sweep|tune|profile|shard|all] [--seed N] [--threads N] [--quick] \
-                 [--suite-out FILE] [--json FILE] [--schedulers A,B,...] \
-                 [--requests N] [--baseline FILE]"
+                 admission|sweep|tune|profile|shard|trace|all] [--seed N] [--threads N] \
+                 [--quick] [--suite-out FILE] [--json FILE] [--schedulers A,B,...] \
+                 [--requests N] [--baseline FILE] [--sample N] [--out FILE]"
             );
             return if msg == "help" {
                 ExitCode::SUCCESS
@@ -250,10 +277,19 @@ fn main() -> ExitCode {
         && opts.command != "tune"
         && opts.command != "profile"
         && opts.command != "shard"
+        && opts.command != "trace"
     {
         eprintln!(
             "error: --json only applies to commands that evaluate the suite \
-             (fig2, table4, fig3, fig4, all), `sweep`, `tune`, `profile` or `shard`, not `{}`",
+             (fig2, table4, fig3, fig4, all), `sweep`, `tune`, `profile`, `shard` \
+             or `trace`, not `{}`",
+            opts.command
+        );
+        return ExitCode::FAILURE;
+    }
+    if (opts.sample.is_some() || opts.trace_out.is_some()) && opts.command != "trace" {
+        eprintln!(
+            "error: --sample/--out only apply to `trace`, not `{}`",
             opts.command
         );
         return ExitCode::FAILURE;
@@ -429,6 +465,38 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    if opts.command == "trace" {
+        let sample = opts.sample.unwrap_or(0);
+        eprintln!(
+            "tracing federated META run: {} bursty requests over {} shards \
+             (seed {}{}) ...",
+            if opts.quick { 2_000 } else { 20_000 },
+            amrm_bench::trace::TRACE_SHARDS,
+            opts.seed,
+            if sample > 1 {
+                format!(", 1-in-{sample} sampling")
+            } else {
+                String::new()
+            }
+        );
+        let run = amrm_bench::trace::run_trace(opts.quick, opts.seed, sample);
+        println!("{}", amrm_bench::trace::trace_report(&run.report));
+        if let Some(path) = &opts.json_out {
+            if let Err(e) = amrm_bench::trace::write_json(path, &run.report) {
+                eprintln!("error: cannot write trace report to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("trace report written to {path}");
+        }
+        if let Some(path) = &opts.trace_out {
+            if let Err(e) = amrm_bench::trace::write_chrome(path, &run.tracks) {
+                eprintln!("error: cannot write Chrome trace to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("Chrome trace written to {path} (open at https://ui.perfetto.dev)");
+        }
+        return ExitCode::SUCCESS;
+    }
     if opts.command == "sweep" {
         let platform = Platform::odroid_xu4();
         eprintln!(
@@ -550,6 +618,10 @@ fn main() -> ExitCode {
         eprintln!("running sharded-federation bench for the baseline ...");
         summary.shard =
             amrm_bench::shard::run_shard_bench(opts.quick, opts.seed, opts.threads).cells;
+        eprintln!("tracing federated META run for the baseline ...");
+        summary.trace = amrm_bench::trace::run_trace(opts.quick, opts.seed, 0)
+            .report
+            .counts;
         if let Err(e) = baseline::write_json(path, &summary) {
             eprintln!("error: cannot write baseline to {path}: {e}");
             return ExitCode::FAILURE;

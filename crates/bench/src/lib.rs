@@ -20,6 +20,8 @@
 //! * [`shard`] — sharded-federation weak-scaling benchmark: shard counts
 //!   × routing policies over one dispatched arrival stream
 //!   (`repro shard`);
+//! * [`trace`] — deterministic event-journal trace of a federated META
+//!   run with Chrome trace-event (Perfetto) export (`repro trace`);
 //! * [`baseline`] — condenses an evaluation into the machine-readable
 //!   perf baseline (`BENCH_baseline.json`).
 //!
@@ -37,6 +39,7 @@ pub mod reports;
 pub mod runner;
 pub mod shard;
 pub mod sweep;
+pub mod trace;
 pub mod tune;
 
 pub use amrm_core::fanout;
@@ -51,4 +54,5 @@ pub use crate::shard::{
     run_shard_bench, shard_report, weak_scaling_speedup, ShardCell, ShardReport,
 };
 pub use crate::sweep::{sweep_grid, sweep_report, SweepCell, SweepReport};
+pub use crate::trace::{run_trace, trace_report, TraceCount, TraceReport, TraceRun};
 pub use crate::tune::{tune_grid, tune_report, TuneOptions, TuneReport};

@@ -112,7 +112,11 @@ pub fn run_profile_with(requests: usize, seed: u64, schedulers: &[&str]) -> Prof
                 &spec,
                 seed,
             );
-            instrument::reset();
+            // Drain (not just read) the thread-local counters around the
+            // cell: a leftover snapshot from an earlier run on this thread
+            // must not bleed into this cell, and this cell's counts must
+            // not bleed into the next.
+            let _ = instrument::take();
             let alloc0 = CountingAllocator::total_allocated_bytes();
             let calls0 = CountingAllocator::allocation_calls();
             let t0 = Instant::now();
@@ -127,7 +131,7 @@ pub fn run_profile_with(requests: usize, seed: u64, schedulers: &[&str]) -> Prof
             .without_trace()
             .run();
             let wall = t0.elapsed().as_secs_f64().max(f64::EPSILON);
-            let counters = instrument::snapshot();
+            let counters = instrument::take();
             ProfileCell {
                 scheduler: name.to_string(),
                 requests,

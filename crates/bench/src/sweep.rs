@@ -17,7 +17,7 @@
 
 use amrm_core::fanout::for_each_cell;
 use amrm_core::{ReactivationPolicy, SchedulerRegistry, SearchBudget};
-use amrm_metrics::TextTable;
+use amrm_metrics::{instrument, CounterSnapshot, TextTable};
 use amrm_model::AppRef;
 use amrm_platform::Platform;
 use amrm_sim::{load_sweep_streams, poisson_streams};
@@ -49,6 +49,10 @@ pub struct SweepCell {
     pub queue_deadline_drops: usize,
     /// Admitted jobs that finished late (0 unless a scheduler misbehaved).
     pub deadline_misses: usize,
+    /// Hot-path instrumentation counters for this cell alone: the
+    /// thread-local counters are *drained* around every point, so cells
+    /// sharing a worker thread no longer bleed counts into each other.
+    pub counters: CounterSnapshot,
 }
 
 /// A whole sweep run plus its provenance, ready to serialize as a JSON
@@ -106,32 +110,41 @@ pub fn sweep_grid(
             .nth(sched_idx)
             .expect("scheduler index in range")
             .1;
-        let points = load_sweep_streams(
-            platform,
-            || factory(),
-            ReactivationPolicy::OnArrival,
-            || policies[policy_idx](),
-            interarrivals,
-            &streams,
-            budget,
-            1,
-        );
         let label = policies[policy_idx]().label();
-        points
-            .into_iter()
-            .map(|p| SweepCell {
-                policy: label.clone(),
-                scheduler: names[sched_idx].to_string(),
-                mean_interarrival: p.mean_interarrival,
-                requests: p.outcome.admissions.len(),
-                accepted: p.outcome.accepted(),
-                acceptance_rate: p.acceptance_rate,
-                energy_per_job: p.energy_per_job,
-                activations: p.outcome.stats.activations,
-                queue_deadline_drops: p.outcome.queue_deadline_drops,
-                deadline_misses: p.outcome.stats.deadline_misses,
-            })
-            .collect::<Vec<_>>()
+        let mut out = Vec::with_capacity(interarrivals.len());
+        // One point per call so the thread-local counters can be drained
+        // around each cell: consecutive cells on the same worker thread
+        // must not leak counts into each other.
+        for i in 0..interarrivals.len() {
+            let _ = instrument::take();
+            let points = load_sweep_streams(
+                platform,
+                || factory(),
+                ReactivationPolicy::OnArrival,
+                || policies[policy_idx](),
+                &interarrivals[i..=i],
+                &streams[i..=i],
+                budget,
+                1,
+            );
+            let counters = instrument::take();
+            for p in points {
+                out.push(SweepCell {
+                    policy: label.clone(),
+                    scheduler: names[sched_idx].to_string(),
+                    mean_interarrival: p.mean_interarrival,
+                    requests: p.outcome.admissions.len(),
+                    accepted: p.outcome.accepted(),
+                    acceptance_rate: p.acceptance_rate,
+                    energy_per_job: p.energy_per_job,
+                    activations: p.outcome.stats.activations,
+                    queue_deadline_drops: p.outcome.queue_deadline_drops,
+                    deadline_misses: p.outcome.stats.deadline_misses,
+                    counters,
+                });
+            }
+        }
+        out
     });
     curves.into_iter().flatten().collect()
 }

@@ -37,6 +37,7 @@
 //! ```
 
 pub use amrm_metrics::TelemetrySnapshot;
+pub use amrm_metrics::TraceSink;
 
 /// A deterministic bound on the search effort one scheduler activation may
 /// spend.
@@ -136,17 +137,23 @@ pub struct SchedulingContext {
     /// The search budget for this activation
     /// ([`unbounded`](SearchBudget::unbounded) by default).
     pub budget: SearchBudget,
+    /// Decision-journal handle: schedulers emit structured decision
+    /// events (regime switches, memo traffic, truncations) through it.
+    /// Disabled by default — a single branch — and **sim-time payloads
+    /// only**, so journaling never perturbs per-seed determinism.
+    pub trace: TraceSink,
 }
 
 impl SchedulingContext {
-    /// A context at time `now` with an idle telemetry snapshot and an
-    /// unbounded budget — the drop-in equivalent of the pre-context
-    /// `schedule(jobs, platform, now)` call.
+    /// A context at time `now` with an idle telemetry snapshot, an
+    /// unbounded budget and no trace sink — the drop-in equivalent of
+    /// the pre-context `schedule(jobs, platform, now)` call.
     pub fn at(now: f64) -> Self {
         SchedulingContext {
             now,
             telemetry: TelemetrySnapshot::default(),
             budget: SearchBudget::unbounded(),
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -161,6 +168,13 @@ impl SchedulingContext {
     #[must_use]
     pub fn with_budget(mut self, budget: SearchBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Replaces the trace sink.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceSink) -> Self {
+        self.trace = trace;
         self
     }
 }

@@ -57,9 +57,9 @@ pub use crate::admission::{
     AdaptiveBatch, AdmissionDirective, AdmissionPolicy, BatchK, Immediate, SlackAware,
     TelemetrySnapshot, WindowTau,
 };
-pub use crate::context::{SchedulingContext, SearchBudget};
+pub use crate::context::{SchedulingContext, SearchBudget, TraceSink};
 pub use crate::engine::{EngineJob, ExecutionEngine};
-pub use crate::manager::{Admission, ReactivationPolicy, RmStats, RuntimeManager};
+pub use crate::manager::{Admission, DecisionReason, ReactivationPolicy, RmStats, RuntimeManager};
 pub use crate::mdf::MmkpMdf;
 pub use crate::routing::{
     EnergyAware, HashAffinity, JoinShortestQueue, RoundRobin, RouteRequest, RoutingPolicy,

@@ -4,8 +4,10 @@
 use amrm_model::{AppRef, JobId, JobSet, Schedule};
 use amrm_platform::{Platform, EPS};
 
+use amrm_metrics::journal::{EventKind, JournalEvent};
+
 use crate::engine::{EngineJob, ExecutionEngine};
-use crate::{Scheduler, SchedulingContext, SearchBudget, TelemetrySnapshot};
+use crate::{Scheduler, SchedulingContext, SearchBudget, TelemetrySnapshot, TraceSink};
 
 /// When the runtime manager re-invokes its scheduler.
 ///
@@ -38,6 +40,24 @@ pub enum Admission {
         /// Id that was tentatively assigned to the rejected request.
         job: JobId,
     },
+}
+
+/// Why a batch decision turned out the way it did, per request — the
+/// journal's reject-reason taxonomy, kept in lockstep with the
+/// [`Admission`] slots of the most recent
+/// [`submit_batch`](RuntimeManager::submit_batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionReason {
+    /// Admitted (under the joint schedule or a greedy retry).
+    Accepted,
+    /// Deadline at/behind `now` when the batch was decided; the scheduler
+    /// never saw the request.
+    ExpiredBeforeFlush,
+    /// No feasible joint schedule existed even for this request alone.
+    InfeasibleJointSchedule,
+    /// The joint batch was infeasible and the greedy retry could not fit
+    /// this request next to the prefix accepted before it.
+    RollbackVictim,
 }
 
 impl Admission {
@@ -117,6 +137,13 @@ pub struct RuntimeManager<S> {
     telemetry: TelemetrySnapshot,
     /// Per-activation search budget forwarded through the context.
     budget: SearchBudget,
+    /// Decision-journal handle cloned into every [`SchedulingContext`];
+    /// disabled by default (one branch per emission site).
+    trace: TraceSink,
+    /// Per-request reasons for the most recent batch decision, parallel
+    /// to its admissions (in input order). Refilled on every
+    /// [`submit_batch`](RuntimeManager::submit_batch).
+    last_reasons: Vec<DecisionReason>,
     /// Reusable batch-decision buffers: viable candidates and the
     /// positions of their admission slots. Emptied between batches; kept
     /// to avoid two heap allocations per admission flush.
@@ -143,6 +170,8 @@ impl<S: Scheduler> RuntimeManager<S> {
             last_decision_seconds: 0.0,
             telemetry: TelemetrySnapshot::default(),
             budget: SearchBudget::unbounded(),
+            trace: TraceSink::disabled(),
+            last_reasons: Vec::new(),
             viable_scratch: Vec::new(),
             viable_slots_scratch: Vec::new(),
         }
@@ -185,12 +214,33 @@ impl<S: Scheduler> RuntimeManager<S> {
         self.engine.set_record_trace(record);
     }
 
+    /// Installs the decision-journal sink cloned into every scheduling
+    /// context (and used by the manager's own `ScheduleDecision` events).
+    /// The default disabled sink costs one branch per emission site.
+    pub fn set_trace_sink(&mut self, trace: TraceSink) {
+        self.trace = trace;
+    }
+
+    /// The trace sink handed to schedulers (disabled unless
+    /// [`set_trace_sink`](RuntimeManager::set_trace_sink) installed one).
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Per-request [`DecisionReason`]s of the most recent batch decision,
+    /// parallel (in input order) to the admissions it returned. Empty
+    /// before the first batch.
+    pub fn last_decision_reasons(&self) -> &[DecisionReason] {
+        &self.last_reasons
+    }
+
     /// The scheduling context for an activation at time `now`.
     fn context(&self, now: f64) -> SchedulingContext {
         SchedulingContext {
             now,
             telemetry: self.telemetry.clone(),
             budget: self.budget,
+            trace: self.trace.clone(),
         }
     }
 
@@ -348,6 +398,7 @@ impl<S: Scheduler> RuntimeManager<S> {
     ) {
         let now = self.engine.clock();
         admissions.clear();
+        self.last_reasons.clear();
         // Candidates still decidable by the scheduler, with the positions
         // of their (initially Rejected) admission slots.
         for (app, deadline) in requests {
@@ -359,9 +410,12 @@ impl<S: Scheduler> RuntimeManager<S> {
                 // activation — no scheduler sees a deadline at/behind
                 // `now`.
                 self.stats.rejected += 1;
+                self.last_reasons.push(DecisionReason::ExpiredBeforeFlush);
             } else {
                 viable_slots.push(admissions.len());
                 viable.push(EngineJob::fresh(id, AppRef::clone(app), now, *deadline));
+                // Placeholder; every path below overwrites the slot.
+                self.last_reasons.push(DecisionReason::RollbackVictim);
             }
             admissions.push(Admission::Rejected { job: id });
         }
@@ -375,6 +429,7 @@ impl<S: Scheduler> RuntimeManager<S> {
                 admissions[slot] = Admission::Accepted {
                     job: admissions[slot].job(),
                 };
+                self.last_reasons[slot] = DecisionReason::Accepted;
             }
             self.stats.accepted += viable.len();
             self.engine.admit_batch(viable.drain(..), schedule);
@@ -382,6 +437,7 @@ impl<S: Scheduler> RuntimeManager<S> {
         }
         if viable.len() == 1 {
             self.stats.rejected += 1;
+            self.last_reasons[viable_slots[0]] = DecisionReason::InfeasibleJointSchedule;
             return;
         }
 
@@ -398,11 +454,13 @@ impl<S: Scheduler> RuntimeManager<S> {
                     admissions[slot] = Admission::Accepted {
                         job: admissions[slot].job(),
                     };
+                    self.last_reasons[slot] = DecisionReason::Accepted;
                     self.stats.accepted += 1;
                     accepted_schedule = Some(schedule);
                 }
                 None => {
                     self.stats.rejected += 1;
+                    self.last_reasons[slot] = DecisionReason::RollbackVictim;
                     accepted.pop();
                 }
             }
@@ -432,6 +490,15 @@ impl<S: Scheduler> RuntimeManager<S> {
             self.scheduler.name(),
             schedule.validate(&jobs, &self.platform, now)
         );
+        if self.trace.is_enabled() {
+            // The chosen candidate's (2a) energy is only computed when a
+            // journal is attached — the disabled path stays one branch.
+            self.trace.emit(
+                JournalEvent::at(now, EventKind::ScheduleDecision)
+                    .detail(jobs.len() as u32)
+                    .value(schedule.energy(&jobs)),
+            );
+        }
         Some(schedule)
     }
 

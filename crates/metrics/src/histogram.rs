@@ -1,0 +1,319 @@
+//! Log-bucketed streaming histograms: O(1)-memory distribution sketches
+//! for per-request latencies.
+//!
+//! A [`LogHistogram`] spreads the positive reals over [`BUCKETS`] = 64
+//! power-of-two buckets: bucket 0 collects zero, negative and
+//! below-range values, bucket `i` (1..=63) covers
+//! `[2^(i-33), 2^(i-32))` seconds — from ~2.3e-10 s up to 2^31 s, far
+//! beyond any sim horizon — and the top bucket absorbs everything
+//! larger. Bucket selection reads the IEEE-754 exponent field directly
+//! (`floor(log2 v)` exactly, no libm call), so two runs that record the
+//! same bit-identical values always produce the same bit-identical
+//! histogram regardless of platform math libraries.
+//!
+//! Unlike the bounded sample rings behind
+//! [`Telemetry`](crate::Telemetry)'s interpolated percentiles, a
+//! histogram sees *every* sample of a stream at constant memory, which
+//! is what bench reporting wants for multi-million-request aggregated
+//! runs. Quantiles are bucket-resolved (returned as the containing
+//! bucket's upper edge, clamped to the observed min/max), trading ≤ 2×
+//! value resolution for the flat footprint.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets, including the below-range catch-all at index 0.
+pub const BUCKETS: usize = 64;
+
+// Bucket `i` (for `i >= 1`) holds values whose binary exponent is
+// `i + MIN_EXP - 1`, i.e. the bucket's upper edge is `2^(i + MIN_EXP)`.
+const MIN_EXP: i64 = -32;
+
+/// Exact `2^e` for `|e|` well inside the normal f64 exponent range.
+fn pow2(e: i64) -> f64 {
+    f64::from_bits(((e + 1023) as u64) << 52)
+}
+
+/// A fixed-size log2-bucketed histogram of non-negative samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Per-bucket sample counts.
+    counts: [u64; BUCKETS],
+    /// Total samples recorded.
+    count: u64,
+    /// Sum of all recorded values.
+    sum: f64,
+    /// Smallest recorded value (0.0 when empty).
+    min: f64,
+    /// Largest recorded value (0.0 when empty).
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// The bucket index a value falls into, via direct IEEE-754
+    /// exponent extraction (deterministic across platforms).
+    pub fn bucket_of(value: f64) -> usize {
+        if value <= 0.0 || !value.is_finite() {
+            return 0; // zero, negative, NaN (NaN fails both the
+                      // comparison and the finiteness check)
+        }
+        let biased = (value.to_bits() >> 52) & 0x7ff;
+        if biased == 0 {
+            return 0; // subnormal: below every bucket edge
+        }
+        let exp = biased as i64 - 1023;
+        let idx = exp - MIN_EXP + 1;
+        idx.clamp(0, BUCKETS as i64 - 1) as usize
+    }
+
+    /// The `[lower, upper)` value range of bucket `i`. Bucket 0's lower
+    /// edge is 0, the top bucket's upper edge is unbounded (`INFINITY`).
+    pub fn bucket_bounds(i: usize) -> (f64, f64) {
+        assert!(i < BUCKETS, "bucket index out of range");
+        if i == 0 {
+            (0.0, pow2(MIN_EXP))
+        } else if i == BUCKETS - 1 {
+            (pow2(MIN_EXP + i as i64 - 1), f64::INFINITY)
+        } else {
+            (pow2(MIN_EXP + i as i64 - 1), pow2(MIN_EXP + i as i64))
+        }
+    }
+
+    /// Records one sample. Negative or non-finite values count into the
+    /// catch-all bucket but do not move the min/max/sum tracking.
+    pub fn record(&mut self, value: f64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        if value.is_finite() && value >= 0.0 {
+            if self.count == 1 || value < self.min {
+                self.min = value;
+            }
+            if value > self.max {
+                self.max = value;
+            }
+            self.sum += value;
+        }
+    }
+
+    /// Folds another histogram into this one (bucket-wise).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Per-bucket counts, index 0 first.
+    pub fn counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Smallest recorded value (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest recorded value (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Bucket-resolved quantile estimate for `q` in `[0, 1]`: the upper
+    /// edge of the bucket containing the `ceil(q·n)`-th sample, clamped
+    /// to the observed `[min, max]`. Resolution is one power of two.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                if i == 0 {
+                    return self.min;
+                }
+                let (_, upper) = Self::bucket_bounds(i);
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Condenses the histogram into the serializable summary embedded in
+    /// telemetry summaries and bench cells.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
+    }
+}
+
+/// End-of-run aggregates of one [`LogHistogram`] — the flat shape bench
+/// cells serialize.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Bucket-resolved median.
+    pub p50: f64,
+    /// Bucket-resolved 95th percentile.
+    pub p95: f64,
+    /// Bucket-resolved 99th percentile.
+    pub p99: f64,
+    /// Exact maximum.
+    pub max: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_exact_floor_log2() {
+        assert_eq!(LogHistogram::bucket_of(0.0), 0);
+        assert_eq!(LogHistogram::bucket_of(-1.0), 0);
+        assert_eq!(LogHistogram::bucket_of(f64::NAN), 0);
+        // 1.0 has exponent 0 → bucket 33; edges are half-open below.
+        assert_eq!(LogHistogram::bucket_of(1.0), 33);
+        assert_eq!(LogHistogram::bucket_of(1.999), 33);
+        assert_eq!(LogHistogram::bucket_of(2.0), 34);
+        assert_eq!(LogHistogram::bucket_of(0.5), 32);
+        // Far below range collapses into the catch-all.
+        assert_eq!(LogHistogram::bucket_of(1e-300), 0);
+        // Far above range saturates the top bucket.
+        assert_eq!(LogHistogram::bucket_of(1e300), BUCKETS - 1);
+        let (lo, hi) = LogHistogram::bucket_bounds(33);
+        assert_eq!(lo, 1.0);
+        assert_eq!(hi, 2.0);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_resolved_and_clamped() {
+        let mut h = LogHistogram::new();
+        for _ in 0..90 {
+            h.record(1.0);
+        }
+        for _ in 0..10 {
+            h.record(100.0);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 10.9).abs() < 1e-9);
+        // p50 lands in bucket [1,2): upper edge 2, clamped to max 100.
+        assert_eq!(h.quantile(0.50), 2.0);
+        // p95 lands in the 100.0 bucket [64,128): clamped to max.
+        assert_eq!(h.quantile(0.95), 100.0);
+        assert_eq!(h.max(), 100.0);
+        assert_eq!(h.min(), 1.0);
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p95, 100.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let values_a = [0.01, 0.5, 3.0, 700.0];
+        let values_b = [0.0, 2.0, 2.0, 9.5, 1e-12];
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for v in values_a {
+            a.record(v);
+            all.record(v);
+        }
+        for v in values_b {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        // Merging into an empty histogram is a copy.
+        let mut empty = LogHistogram::new();
+        empty.merge(&all);
+        assert_eq!(empty, all);
+    }
+
+    #[test]
+    fn histogram_roundtrips_through_json() {
+        let mut h = LogHistogram::new();
+        for v in [0.25, 1.5, 1.5, 40.0] {
+            h.record(v);
+        }
+        let text = serde_json::to_string(&h).unwrap();
+        let back: LogHistogram = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, h);
+        let s = serde_json::to_string(&h.summary()).unwrap();
+        let sum: HistogramSummary = serde_json::from_str(&s).unwrap();
+        assert_eq!(sum, h.summary());
+    }
+
+    #[test]
+    fn identical_sample_streams_produce_bit_identical_histograms() {
+        let samples: Vec<f64> = (0..1000).map(|i| (i as f64) * 0.037).collect();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for &v in &samples {
+            a.record(v);
+            b.record(v);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.quantile(0.95).to_bits(), b.quantile(0.95).to_bits());
+    }
+}

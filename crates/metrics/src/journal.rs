@@ -1,0 +1,707 @@
+//! Deterministic structured event journal for online-decision tracing.
+//!
+//! Every interesting decision the stack makes — request lifecycle steps
+//! in the sim kernel, admit/reject verdicts with their reason, META
+//! regime flips with the triggering signal values, EX-MEM memo traffic,
+//! federation routing verdicts and steals — can be emitted as a flat
+//! [`JournalEvent`] through a [`TraceSink`]. The sink is a cheap
+//! cloneable handle: disabled (the default) it is a single branch on the
+//! hot path; enabled it appends into a shared ring-buffered [`Journal`].
+//!
+//! Determinism rules, enforced by convention and pinned by proptests in
+//! `amrm-sim`:
+//!
+//! * event payloads carry **sim-time values only** — never wall-clock
+//!   readings, so two runs at the same seed journal identically;
+//! * optional 1-in-N sampling is keyed by the event's request id
+//!   (`id % N == 0`), never by an RNG, so enabling or tuning sampling
+//!   cannot perturb the simulation itself;
+//! * memory stays flat: exact per-kind and per-reject-reason counters
+//!   plus a bounded event ring (oldest events overwritten, tallied in
+//!   [`Journal::dropped`]).
+//!
+//! Exporters: [`write_jsonl`] (one JSON object per line) and
+//! [`write_chrome_trace`] (Chrome trace-event JSON, loadable in Perfetto
+//! — one track per shard, regime switches doubled as counter tracks).
+
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use serde::value::Value;
+
+/// Everything the stack journals, in rough lifecycle order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A request entered the kernel (value = absolute deadline).
+    Arrival,
+    /// An admission window opened (value = expiry instant).
+    WindowOpen,
+    /// An open admission window was superseded by a tighter/later expiry
+    /// (value = new expiry instant).
+    WindowTighten,
+    /// A queue flush handed a batch to the runtime manager
+    /// (detail = batch size).
+    Flush,
+    /// The scheduler produced a feasible joint schedule
+    /// (detail = jobs scheduled, value = chosen candidate energy in J).
+    ScheduleDecision,
+    /// A request was admitted.
+    Admit,
+    /// A request was rejected (detail = [`RejectReason`] code).
+    Reject,
+    /// An admitted request's application completed.
+    Completion,
+    /// META switched algorithm regime (detail = regime code,
+    /// value = EWMA arrival rate, aux = EWMA utilization).
+    RegimeSwitch,
+    /// META switched budget regime (detail = 0 generous / 1 tight,
+    /// value = the triggering decision-latency signal).
+    BudgetSwitch,
+    /// EX-MEM memo lookup hit (detail = jobs in the key).
+    MemoHit,
+    /// EX-MEM memo lookup missed (detail = jobs in the key).
+    MemoMiss,
+    /// EX-MEM evicted memo entries to stay under its cap
+    /// (detail = entries evicted).
+    MemoEvict,
+    /// EX-MEM's anytime search truncated on budget exhaustion.
+    Truncation,
+    /// The federation dispatcher advanced every shard to a lockstep
+    /// barrier (detail = epoch ordinal, value = barrier instant).
+    EpochBarrier,
+    /// The dispatcher routed a request to a shard (detail = shard index,
+    /// value = that shard's queue depth as seen by the policy).
+    Route,
+    /// Work-stealing migrated queued requests between shards
+    /// (detail = thief shard, value = victim shard, aux = requests moved).
+    Steal,
+}
+
+/// Number of [`EventKind`] variants (journal counter width).
+pub const KIND_COUNT: usize = 17;
+
+impl EventKind {
+    /// Every kind, in declaration order (= counter index order).
+    pub const ALL: [EventKind; KIND_COUNT] = [
+        EventKind::Arrival,
+        EventKind::WindowOpen,
+        EventKind::WindowTighten,
+        EventKind::Flush,
+        EventKind::ScheduleDecision,
+        EventKind::Admit,
+        EventKind::Reject,
+        EventKind::Completion,
+        EventKind::RegimeSwitch,
+        EventKind::BudgetSwitch,
+        EventKind::MemoHit,
+        EventKind::MemoMiss,
+        EventKind::MemoEvict,
+        EventKind::Truncation,
+        EventKind::EpochBarrier,
+        EventKind::Route,
+        EventKind::Steal,
+    ];
+
+    /// Stable machine-readable name (used by both exporters and CI greps).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Arrival => "arrival",
+            EventKind::WindowOpen => "window_open",
+            EventKind::WindowTighten => "window_tighten",
+            EventKind::Flush => "flush",
+            EventKind::ScheduleDecision => "schedule_decision",
+            EventKind::Admit => "admit",
+            EventKind::Reject => "reject",
+            EventKind::Completion => "completion",
+            EventKind::RegimeSwitch => "regime_switch",
+            EventKind::BudgetSwitch => "budget_switch",
+            EventKind::MemoHit => "memo_hit",
+            EventKind::MemoMiss => "memo_miss",
+            EventKind::MemoEvict => "memo_evict",
+            EventKind::Truncation => "truncation",
+            EventKind::EpochBarrier => "epoch_barrier",
+            EventKind::Route => "route",
+            EventKind::Steal => "steal",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Why a request was rejected — the `detail` payload of
+/// [`EventKind::Reject`] events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum RejectReason {
+    /// The deadline had already passed when the batch was flushed.
+    ExpiredBeforeFlush,
+    /// No feasible joint schedule contained the request, even alone on
+    /// top of the running set.
+    InfeasibleJointSchedule,
+    /// The request was provisionally accepted, then rolled back to make
+    /// a later greedy retry feasible.
+    RollbackVictim,
+    /// The request's deadline expired while it sat in the admission
+    /// queue (never reached the scheduler).
+    QueueDeadline,
+}
+
+/// Number of [`RejectReason`] variants.
+pub const REASON_COUNT: usize = 4;
+
+impl RejectReason {
+    /// Every reason, in declaration order (= counter index order).
+    pub const ALL: [RejectReason; REASON_COUNT] = [
+        RejectReason::ExpiredBeforeFlush,
+        RejectReason::InfeasibleJointSchedule,
+        RejectReason::RollbackVictim,
+        RejectReason::QueueDeadline,
+    ];
+
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::ExpiredBeforeFlush => "expired_before_flush",
+            RejectReason::InfeasibleJointSchedule => "infeasible_joint_schedule",
+            RejectReason::RollbackVictim => "rollback_victim",
+            RejectReason::QueueDeadline => "queue_deadline",
+        }
+    }
+
+    /// Reason carried by a [`Reject`](EventKind::Reject) event's
+    /// `detail`, if the code is in range.
+    pub fn from_code(code: u32) -> Option<RejectReason> {
+        RejectReason::ALL.get(code as usize).copied()
+    }
+}
+
+/// One journaled decision: a flat, `Copy` record (sim-time only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JournalEvent {
+    /// Sim-time instant of the decision.
+    pub time: f64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Journal request id (arrival ordinal) the event belongs to, or -1
+    /// for events not tied to one request (barriers, regime switches).
+    pub request: i64,
+    /// Kind-specific small payload (reason/regime/shard/batch size).
+    pub detail: u32,
+    /// Kind-specific primary value (deadline, energy, signal, depth).
+    pub value: f64,
+    /// Kind-specific secondary value.
+    pub aux: f64,
+}
+
+impl JournalEvent {
+    /// A bare event at `time`; chain the builders for payload fields.
+    pub fn at(time: f64, kind: EventKind) -> Self {
+        JournalEvent {
+            time,
+            kind,
+            request: -1,
+            detail: 0,
+            value: 0.0,
+            aux: 0.0,
+        }
+    }
+
+    /// Ties the event to a journal request id (enables sampling).
+    pub fn request(mut self, id: u64) -> Self {
+        self.request = id as i64;
+        self
+    }
+
+    /// Sets the kind-specific small payload.
+    pub fn detail(mut self, detail: u32) -> Self {
+        self.detail = detail;
+        self
+    }
+
+    /// Sets the kind-specific primary value.
+    pub fn value(mut self, value: f64) -> Self {
+        self.value = value;
+        self
+    }
+
+    /// Sets the kind-specific secondary value.
+    pub fn aux(mut self, aux: f64) -> Self {
+        self.aux = aux;
+        self
+    }
+}
+
+/// Journal shape: ring capacity and request sampling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JournalConfig {
+    /// Maximum events retained; older events are overwritten (and
+    /// tallied in [`Journal::dropped`]). Counters stay exact regardless.
+    pub capacity: usize,
+    /// Record request-tied events only for ids with `id % sample == 0`;
+    /// `0` or `1` records every request. Keyed by the deterministic
+    /// arrival ordinal — never an RNG — so sampling cannot perturb the
+    /// simulation.
+    pub sample: u64,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig {
+            capacity: 65_536,
+            sample: 0,
+        }
+    }
+}
+
+impl JournalConfig {
+    /// The default config with 1-in-`sample` request sampling.
+    pub fn sampled(sample: u64) -> Self {
+        JournalConfig {
+            sample,
+            ..JournalConfig::default()
+        }
+    }
+}
+
+/// A bounded event journal with exact per-kind and per-reject-reason
+/// counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Journal {
+    config: JournalConfig,
+    events: Vec<JournalEvent>,
+    head: usize,
+    counts: [u64; KIND_COUNT],
+    reject_reasons: [u64; REASON_COUNT],
+    dropped: u64,
+}
+
+impl Journal {
+    /// An empty journal with the given shape.
+    pub fn new(config: JournalConfig) -> Self {
+        assert!(config.capacity > 0, "journal capacity must be positive");
+        Journal {
+            config,
+            events: Vec::new(),
+            head: 0,
+            counts: [0; KIND_COUNT],
+            reject_reasons: [0; REASON_COUNT],
+            dropped: 0,
+        }
+    }
+
+    /// Whether the given request id passes the sampling filter.
+    pub fn samples(&self, request: i64) -> bool {
+        request < 0
+            || self.config.sample <= 1
+            || (request as u64).is_multiple_of(self.config.sample)
+    }
+
+    /// Appends an event (subject to request sampling).
+    pub fn emit(&mut self, event: JournalEvent) {
+        if !self.samples(event.request) {
+            return;
+        }
+        self.counts[event.kind.index()] += 1;
+        if event.kind == EventKind::Reject {
+            if let Some(reason) = RejectReason::from_code(event.detail) {
+                self.reject_reasons[reason as usize] += 1;
+            }
+        }
+        if self.events.len() < self.config.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % self.config.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> Vec<JournalEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.head..]);
+        out.extend_from_slice(&self.events[..self.head]);
+        out
+    }
+
+    /// Events retained in the ring right now.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was ever journaled.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Events recorded over the whole run (including ring-evicted ones).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Events overwritten by the bounded ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The journal's shape.
+    pub fn config(&self) -> JournalConfig {
+        self.config
+    }
+
+    /// Exact per-kind event counts, [`EventKind::ALL`] order.
+    pub fn counts(&self) -> &[u64; KIND_COUNT] {
+        &self.counts
+    }
+
+    /// Exact count for one kind.
+    pub fn count_of(&self, kind: EventKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Exact per-reason reject counts, [`RejectReason::ALL`] order.
+    pub fn reject_reasons(&self) -> &[u64; REASON_COUNT] {
+        &self.reject_reasons
+    }
+
+    /// Exact count for one reject reason.
+    pub fn rejects_for(&self, reason: RejectReason) -> u64 {
+        self.reject_reasons[reason as usize]
+    }
+
+    /// Checks that every sampled request's lifecycle in the retained
+    /// events is complete: an `arrival` and a terminal event (`admit` +
+    /// `completion`, a `reject`, or a `steal` — a stolen request leaves
+    /// this shard and its lifecycle continues under a new id at the
+    /// thief). Only meaningful when nothing was ring-evicted; returns
+    /// `Ok` vacuously if events were dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the ids of requests with a missing arrival or terminal.
+    pub fn validate_lifecycles(&self) -> Result<(), String> {
+        if self.dropped > 0 {
+            return Ok(());
+        }
+        use std::collections::BTreeMap;
+        // (has arrival, has terminal)
+        let mut seen: BTreeMap<i64, (bool, bool)> = BTreeMap::new();
+        for e in &self.events {
+            if e.request < 0 {
+                continue;
+            }
+            let entry = seen.entry(e.request).or_insert((false, false));
+            match e.kind {
+                EventKind::Arrival => entry.0 = true,
+                EventKind::Reject | EventKind::Completion | EventKind::Steal => entry.1 = true,
+                _ => {}
+            }
+        }
+        let incomplete: Vec<String> = seen
+            .iter()
+            .filter(|(_, (arrived, terminal))| !(*arrived && *terminal))
+            .map(|(id, _)| id.to_string())
+            .collect();
+        if incomplete.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "requests with incomplete lifecycles: {}",
+                incomplete.join(", ")
+            ))
+        }
+    }
+}
+
+/// A cheap cloneable handle through which any layer journals events.
+///
+/// Disabled (the default) the handle is a `None` check — the hot path
+/// pays one branch. Enabled, all clones share one mutex-guarded
+/// [`Journal`]; the whole handle is `Send + Sync` so it can ride inside
+/// schedulers and shards that migrate across worker threads.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    inner: Option<Arc<Mutex<Journal>>>,
+}
+
+impl TraceSink {
+    /// The no-op sink.
+    pub fn disabled() -> Self {
+        TraceSink { inner: None }
+    }
+
+    /// A sink recording into a fresh journal of the given shape.
+    pub fn enabled(config: JournalConfig) -> Self {
+        TraceSink {
+            inner: Some(Arc::new(Mutex::new(Journal::new(config)))),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Journals one event (no-op when disabled).
+    pub fn emit(&self, event: JournalEvent) {
+        if let Some(journal) = &self.inner {
+            journal.lock().expect("journal mutex poisoned").emit(event);
+        }
+    }
+
+    /// A copy of the journal as recorded so far (`None` when disabled).
+    pub fn snapshot(&self) -> Option<Journal> {
+        self.inner
+            .as_ref()
+            .map(|j| j.lock().expect("journal mutex poisoned").clone())
+    }
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn event_value(e: &JournalEvent) -> Value {
+    obj(vec![
+        ("t", Value::Float(e.time)),
+        ("kind", Value::Str(e.kind.name().to_string())),
+        ("request", Value::Int(e.request)),
+        ("detail", Value::UInt(e.detail as u64)),
+        ("value", Value::Float(e.value)),
+        ("aux", Value::Float(e.aux)),
+    ])
+}
+
+/// Writes the retained events as JSON Lines, oldest first.
+///
+/// # Errors
+///
+/// Returns any I/O error.
+pub fn write_jsonl<W: Write>(journal: &Journal, w: &mut W) -> io::Result<()> {
+    for e in journal.events() {
+        let line = serde_json::to_string(&event_value(&e)).map_err(io::Error::other)?;
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Builds a Chrome trace-event document (Perfetto-loadable) from one
+/// journal per track: instant events on the track's thread, regime and
+/// budget switches doubled as counter tracks, sim seconds mapped to
+/// trace microseconds.
+pub fn chrome_trace_value(tracks: &[(&str, &Journal)]) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    for (pid, (label, journal)) in tracks.iter().enumerate() {
+        let pid = pid as u64;
+        events.push(obj(vec![
+            ("name", Value::Str("process_name".to_string())),
+            ("ph", Value::Str("M".to_string())),
+            ("pid", Value::UInt(pid)),
+            ("tid", Value::UInt(0)),
+            ("args", obj(vec![("name", Value::Str(label.to_string()))])),
+        ]));
+        for e in journal.events() {
+            let ts = Value::Float(e.time * 1e6);
+            events.push(obj(vec![
+                ("name", Value::Str(e.kind.name().to_string())),
+                ("cat", Value::Str("amrm".to_string())),
+                ("ph", Value::Str("i".to_string())),
+                ("s", Value::Str("t".to_string())),
+                ("ts", ts.clone()),
+                ("pid", Value::UInt(pid)),
+                ("tid", Value::UInt(0)),
+                (
+                    "args",
+                    obj(vec![
+                        ("request", Value::Int(e.request)),
+                        ("detail", Value::UInt(e.detail as u64)),
+                        ("value", Value::Float(e.value)),
+                        ("aux", Value::Float(e.aux)),
+                    ]),
+                ),
+            ]));
+            let counter = match e.kind {
+                EventKind::RegimeSwitch => Some("regime"),
+                EventKind::BudgetSwitch => Some("budget_regime"),
+                _ => None,
+            };
+            if let Some(name) = counter {
+                events.push(obj(vec![
+                    ("name", Value::Str(name.to_string())),
+                    ("ph", Value::Str("C".to_string())),
+                    ("ts", ts),
+                    ("pid", Value::UInt(pid)),
+                    ("args", obj(vec![(name, Value::UInt(e.detail as u64))])),
+                ]));
+            }
+        }
+    }
+    obj(vec![
+        ("traceEvents", Value::Arr(events)),
+        ("displayTimeUnit", Value::Str("ms".to_string())),
+    ])
+}
+
+/// Writes [`chrome_trace_value`] as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns any I/O or serialization error.
+pub fn write_chrome_trace<W: Write>(tracks: &[(&str, &Journal)], w: &mut W) -> io::Result<()> {
+    serde_json::to_writer(w, &chrome_trace_value(tracks)).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lifecycle(journal: &mut Journal, id: u64, admit: bool) {
+        let t = id as f64;
+        journal.emit(
+            JournalEvent::at(t, EventKind::Arrival)
+                .request(id)
+                .value(t + 5.0),
+        );
+        journal.emit(JournalEvent::at(t + 0.5, EventKind::Flush).detail(1));
+        if admit {
+            journal.emit(JournalEvent::at(t + 0.5, EventKind::Admit).request(id));
+            journal.emit(JournalEvent::at(t + 2.0, EventKind::Completion).request(id));
+        } else {
+            journal.emit(
+                JournalEvent::at(t + 0.5, EventKind::Reject)
+                    .request(id)
+                    .detail(RejectReason::InfeasibleJointSchedule as u32),
+            );
+        }
+    }
+
+    #[test]
+    fn counters_stay_exact_when_the_ring_wraps() {
+        let mut j = Journal::new(JournalConfig {
+            capacity: 8,
+            sample: 0,
+        });
+        for id in 0..10 {
+            lifecycle(&mut j, id, id % 2 == 0);
+        }
+        assert_eq!(j.count_of(EventKind::Arrival), 10);
+        assert_eq!(j.count_of(EventKind::Admit), 5);
+        assert_eq!(j.count_of(EventKind::Reject), 5);
+        assert_eq!(j.rejects_for(RejectReason::InfeasibleJointSchedule), 5);
+        assert_eq!(j.len(), 8);
+        assert!(j.dropped() > 0);
+    }
+
+    #[test]
+    fn ring_returns_events_in_emission_order_after_wrapping() {
+        let mut j = Journal::new(JournalConfig {
+            capacity: 8,
+            sample: 0,
+        });
+        for i in 0..11u64 {
+            j.emit(JournalEvent::at(i as f64, EventKind::Flush).detail(i as u32));
+        }
+        let events = j.events();
+        assert_eq!(events.len(), 8);
+        let details: Vec<u32> = events.iter().map(|e| e.detail).collect();
+        assert_eq!(details, (3..11).collect::<Vec<u32>>());
+        assert_eq!(j.dropped(), 3);
+        assert_eq!(j.count_of(EventKind::Flush), 11);
+    }
+
+    #[test]
+    fn sampling_is_keyed_by_request_id() {
+        let mut j = Journal::new(JournalConfig::sampled(4));
+        for id in 0..16 {
+            lifecycle(&mut j, id, true);
+        }
+        // 1-in-4 request-tied events; Flush has no request and always lands.
+        assert_eq!(j.count_of(EventKind::Arrival), 4);
+        assert_eq!(j.count_of(EventKind::Admit), 4);
+        assert_eq!(j.count_of(EventKind::Flush), 16);
+        // And the sampled requests' lifecycles stay complete.
+        j.validate_lifecycles().unwrap();
+    }
+
+    #[test]
+    fn lifecycle_validation_flags_missing_terminals() {
+        let mut j = Journal::new(JournalConfig::default());
+        lifecycle(&mut j, 0, true);
+        j.emit(JournalEvent::at(9.0, EventKind::Arrival).request(9));
+        let err = j.validate_lifecycles().unwrap_err();
+        assert!(err.contains('9'));
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing_and_enabled_sink_shares_one_journal() {
+        let off = TraceSink::disabled();
+        assert!(!off.is_enabled());
+        off.emit(JournalEvent::at(0.0, EventKind::Arrival).request(0));
+        assert!(off.snapshot().is_none());
+
+        let on = TraceSink::enabled(JournalConfig::default());
+        let clone = on.clone();
+        on.emit(JournalEvent::at(0.0, EventKind::Arrival).request(0));
+        clone.emit(JournalEvent::at(1.0, EventKind::Completion).request(0));
+        let journal = on.snapshot().unwrap();
+        assert_eq!(journal.total(), 2);
+    }
+
+    #[test]
+    fn jsonl_export_is_one_object_per_line_with_stable_names() {
+        let mut j = Journal::new(JournalConfig::default());
+        lifecycle(&mut j, 3, false);
+        let mut buf = Vec::new();
+        write_jsonl(&j, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"kind\":\"arrival\""));
+        assert!(lines[2].contains("\"kind\":\"reject\""));
+        for line in lines {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert!(v.as_obj().is_some());
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_tracks_instants_and_counters() {
+        let mut a = Journal::new(JournalConfig::default());
+        lifecycle(&mut a, 0, true);
+        a.emit(
+            JournalEvent::at(1.0, EventKind::RegimeSwitch)
+                .detail(2)
+                .value(0.8)
+                .aux(0.6),
+        );
+        let mut b = Journal::new(JournalConfig::default());
+        b.emit(JournalEvent::at(0.5, EventKind::Route).detail(0).value(1.0));
+        let doc = chrome_trace_value(&[("dispatcher", &b), ("shard 0", &a)]);
+        let mut buf = Vec::new();
+        write_chrome_trace(&[("dispatcher", &b), ("shard 0", &a)], &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Loadable JSON with the trace-event envelope.
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert!(back.as_obj().is_some());
+        assert!(text.contains("traceEvents"));
+        assert!(text.contains("process_name"));
+        assert!(text.contains("regime_switch"));
+        assert!(text.contains("\"ph\":\"C\""));
+        assert!(text.contains("route"));
+        // Two process-name metadata records, one per track.
+        let Value::Obj(fields) = &doc else {
+            panic!("expected object")
+        };
+        let Value::Arr(events) = &fields[0].1 else {
+            panic!("expected traceEvents array")
+        };
+        let meta = events
+            .iter()
+            .filter(|e| serde_json::to_string(e).unwrap().contains("process_name"))
+            .count();
+        assert_eq!(meta, 2);
+    }
+}

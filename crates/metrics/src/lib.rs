@@ -7,7 +7,10 @@
 //! series ([`Telemetry`], [`TelemetrySnapshot`], [`TelemetrySummary`])
 //! that the `amrm-sim` event kernel feeds and adaptive admission policies
 //! read — plus the [`instrument`] layer: thread-local hot-path counters
-//! and an opt-in counting global allocator behind `repro profile`.
+//! and an opt-in counting global allocator behind `repro profile` — plus
+//! the observability layer: the deterministic structured event
+//! [`journal`] ([`TraceSink`], JSONL and Chrome-trace exporters) and
+//! O(1)-memory log-bucketed streaming histograms ([`LogHistogram`]).
 //!
 //! # Examples
 //!
@@ -20,12 +23,18 @@
 //! assert!(BoxplotStats::from_samples(&rel).unwrap().median > 1.0);
 //! ```
 
+pub mod histogram;
 pub mod instrument;
+pub mod journal;
 mod stats;
 mod table;
 pub mod telemetry;
 
+pub use crate::histogram::{HistogramSummary, LogHistogram};
 pub use crate::instrument::{CounterSnapshot, CountingAllocator};
+pub use crate::journal::{
+    EventKind, Journal, JournalConfig, JournalEvent, RejectReason, TraceSink,
+};
 pub use crate::stats::{
     geometric_mean, mean, percentile, quantile_sorted, BoxplotStats, Percentiles, SCurve,
 };

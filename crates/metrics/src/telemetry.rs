@@ -35,8 +35,9 @@
 //! assert_eq!(snap.queue_depth, 1);
 //! ```
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
+use crate::histogram::{HistogramSummary, LogHistogram};
 use crate::stats::Percentiles;
 
 /// A fixed-capacity ring of `f64` samples: pushing beyond capacity
@@ -237,7 +238,14 @@ impl Default for TelemetrySnapshot {
 /// series is empty. `decision_seconds_*` are wall-clock scheduler
 /// decision times — machine-dependent, like the suite's search times;
 /// everything else is simulated time and reproducible per seed.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// The `*_hist` summaries come from streaming [`LogHistogram`]s that see
+/// **every** sample of the run (not just the bounded rings), at O(1)
+/// memory — the distribution aggregates bench reporting uses for
+/// multi-million-request aggregated runs. `Deserialize` is hand-written
+/// (the vendored serde stub has no `#[serde(default)]`): summaries
+/// written before the histograms existed read back with empty ones.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct TelemetrySummary {
     /// Arrivals observed.
     pub arrivals: usize,
@@ -273,6 +281,54 @@ pub struct TelemetrySummary {
     pub decision_seconds_p95: f64,
     /// 99th-percentile wall-clock decision time, seconds.
     pub decision_seconds_p99: f64,
+    /// Whole-run queue-wait distribution (simulated seconds), streamed
+    /// through a log-bucketed histogram.
+    pub queue_wait_hist: HistogramSummary,
+    /// Whole-run wall-clock decision-time distribution (seconds) —
+    /// machine-dependent, reporting only.
+    pub decision_seconds_hist: HistogramSummary,
+    /// Whole-run slack-at-admission distribution: `deadline − now` of
+    /// each **admitted** request at its decision instant, simulated
+    /// seconds.
+    pub admission_slack_hist: HistogramSummary,
+}
+
+impl serde::Deserialize for TelemetrySummary {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let Some(fields) = v.as_obj() else {
+            return Err(serde::Error::new("expected TelemetrySummary object"));
+        };
+        let field = |name: &str| serde::value::get_field(fields, name);
+        // Histogram summaries are absent in files written before the
+        // streaming histograms existed — default to empty.
+        let hist = |name: &str| -> Result<HistogramSummary, serde::Error> {
+            match field(name) {
+                Ok(value) => HistogramSummary::from_value(value),
+                Err(_) => Ok(HistogramSummary::default()),
+            }
+        };
+        Ok(TelemetrySummary {
+            arrivals: usize::from_value(field("arrivals")?)?,
+            activations: usize::from_value(field("activations")?)?,
+            queue_drops: usize::from_value(field("queue_drops")?)?,
+            arrival_rate: f64::from_value(field("arrival_rate")?)?,
+            queue_depth: f64::from_value(field("queue_depth")?)?,
+            utilization: f64::from_value(field("utilization")?)?,
+            utilization_per_type: Vec::from_value(field("utilization_per_type")?)?,
+            rolling_acceptance: f64::from_value(field("rolling_acceptance")?)?,
+            energy_per_job: f64::from_value(field("energy_per_job")?)?,
+            activation_latency: f64::from_value(field("activation_latency")?)?,
+            queue_wait_p50: f64::from_value(field("queue_wait_p50")?)?,
+            queue_wait_p95: f64::from_value(field("queue_wait_p95")?)?,
+            queue_wait_p99: f64::from_value(field("queue_wait_p99")?)?,
+            decision_seconds_p50: f64::from_value(field("decision_seconds_p50")?)?,
+            decision_seconds_p95: f64::from_value(field("decision_seconds_p95")?)?,
+            decision_seconds_p99: f64::from_value(field("decision_seconds_p99")?)?,
+            queue_wait_hist: hist("queue_wait_hist")?,
+            decision_seconds_hist: hist("decision_seconds_hist")?,
+            admission_slack_hist: hist("admission_slack_hist")?,
+        })
+    }
 }
 
 /// The online telemetry recorder owned by the simulation kernel.
@@ -300,6 +356,12 @@ pub struct Telemetry {
     /// the `&self` snapshot path (the recorder stays `Send`).
     queue_wait_p95_cache: std::cell::Cell<Option<f64>>,
     decision_seconds: RingBuffer,
+    /// Whole-run streaming distributions (the rings above cap at
+    /// [`Telemetry::SAMPLE_CAPACITY`]; these see every sample at O(1)
+    /// memory).
+    queue_wait_hist: LogHistogram,
+    decision_seconds_hist: LogHistogram,
+    admission_slack_hist: LogHistogram,
     total_energy: f64,
     total_accepted: usize,
     queue_drops: usize,
@@ -329,6 +391,9 @@ impl Telemetry {
             queue_wait: RingBuffer::new(Self::SAMPLE_CAPACITY),
             queue_wait_p95_cache: std::cell::Cell::new(None),
             decision_seconds: RingBuffer::new(Self::SAMPLE_CAPACITY),
+            queue_wait_hist: LogHistogram::new(),
+            decision_seconds_hist: LogHistogram::new(),
+            admission_slack_hist: LogHistogram::new(),
             total_energy: 0.0,
             total_accepted: 0,
             queue_drops: 0,
@@ -390,13 +455,30 @@ impl Telemetry {
         self.activations += 1;
         self.activation_latency.update(gather_latency.max(0.0));
         self.decision_seconds.push(decision_seconds.max(0.0));
+        self.decision_seconds_hist.record(decision_seconds.max(0.0));
     }
 
     /// Records the simulated queue wait (arrival → flush) of one flushed
     /// request.
     pub fn record_queue_wait(&mut self, wait: f64) {
         self.queue_wait.push(wait.max(0.0));
+        self.queue_wait_hist.record(wait.max(0.0));
         self.queue_wait_p95_cache.set(None);
+    }
+
+    /// Records the remaining slack (`deadline − now`) of one **admitted**
+    /// request at its decision instant.
+    pub fn record_admission_slack(&mut self, slack: f64) {
+        self.admission_slack_hist.record(slack.max(0.0));
+    }
+
+    /// Folds another recorder's streaming histograms into this one (used
+    /// when merging per-shard telemetry for federation-wide reporting).
+    pub fn merge_histograms(&mut self, other: &Telemetry) {
+        self.queue_wait_hist.merge(&other.queue_wait_hist);
+        self.decision_seconds_hist
+            .merge(&other.decision_seconds_hist);
+        self.admission_slack_hist.merge(&other.admission_slack_hist);
     }
 
     /// Records the decisions of one flushed batch for the rolling
@@ -546,6 +628,9 @@ impl Telemetry {
             decision_seconds_p50: decision.p50,
             decision_seconds_p95: decision.p95,
             decision_seconds_p99: decision.p99,
+            queue_wait_hist: self.queue_wait_hist.summary(),
+            decision_seconds_hist: self.decision_seconds_hist.summary(),
+            admission_slack_hist: self.admission_slack_hist.summary(),
         }
     }
 }
@@ -736,5 +821,45 @@ mod tests {
         let text = serde_json::to_string(&s).unwrap();
         let back: TelemetrySummary = serde_json::from_str(&text).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn streaming_histograms_see_every_sample_not_just_the_ring() {
+        let mut t = Telemetry::new();
+        let n = Telemetry::SAMPLE_CAPACITY * 3;
+        for i in 0..n {
+            t.record_queue_wait(i as f64 * 0.01);
+        }
+        t.record_activation(0.5, 0.002);
+        t.record_admission_slack(4.0);
+        let s = t.summary();
+        // The ring keeps only the last SAMPLE_CAPACITY samples; the
+        // histogram counted all of them.
+        assert_eq!(s.queue_wait_hist.count, n as u64);
+        assert_eq!(s.decision_seconds_hist.count, 1);
+        assert_eq!(s.admission_slack_hist.count, 1);
+        assert!(s.queue_wait_hist.p95 > 0.0);
+        assert!((s.admission_slack_hist.max - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn legacy_summary_without_histograms_still_parses() {
+        // The exact shape written before the streaming histograms
+        // existed — must read back with empty histogram summaries.
+        let legacy = r#"{
+            "arrivals": 3, "activations": 2, "queue_drops": 0,
+            "arrival_rate": 0.5, "queue_depth": 1.0, "utilization": 0.25,
+            "utilization_per_type": [0.25, 0.0],
+            "rolling_acceptance": 1.0, "energy_per_job": 10.0,
+            "activation_latency": 0.1,
+            "queue_wait_p50": 0.2, "queue_wait_p95": 0.4,
+            "queue_wait_p99": 0.5,
+            "decision_seconds_p50": 0.001, "decision_seconds_p95": 0.002,
+            "decision_seconds_p99": 0.003
+        }"#;
+        let back: TelemetrySummary = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.arrivals, 3);
+        assert_eq!(back.queue_wait_hist, HistogramSummary::default());
+        assert_eq!(back.admission_slack_hist, HistogramSummary::default());
     }
 }

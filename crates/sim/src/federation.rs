@@ -68,7 +68,8 @@ use std::sync::Mutex;
 
 use amrm_core::fanout::for_each_cell;
 use amrm_core::{AdmissionPolicy, RouteRequest, RoutingPolicy, Scheduler, ShardView};
-use amrm_metrics::instrument;
+use amrm_metrics::journal::{EventKind, JournalEvent};
+use amrm_metrics::{instrument, Journal, TraceSink};
 use amrm_workload::ScenarioRequest;
 
 use crate::{SimOutcome, Simulation};
@@ -114,6 +115,11 @@ pub struct FederationOutcome {
     pub stolen: usize,
     /// The routing policy's label, for reports.
     pub routing: String,
+    /// The dispatcher's decision journal (epoch barriers, per-request
+    /// routing verdicts, steals), when one was attached with
+    /// [`Federation::with_trace`]. Per-shard journals ride inside each
+    /// shard's [`SimOutcome::journal`].
+    pub journal: Option<Journal>,
 }
 
 impl FederationOutcome {
@@ -166,6 +172,10 @@ pub struct Federation<S, A> {
     shards: Vec<Mutex<Simulation<S, A>>>,
     routing: Box<dyn RoutingPolicy + Send>,
     config: FederationConfig,
+    /// The dispatcher's own journal sink (disabled by default). Shards
+    /// keep per-shard journals instead — cross-shard interleaving into
+    /// one ring would depend on thread timing.
+    trace: TraceSink,
 }
 
 impl<S, A> Federation<S, A>
@@ -189,6 +199,7 @@ where
             shards: shards.into_iter().map(Mutex::new).collect(),
             routing,
             config: FederationConfig::default(),
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -198,6 +209,17 @@ where
         assert!(config.threads > 0, "need at least one worker thread");
         assert!(config.epoch > 0, "epochs must route at least one arrival");
         self.config = config;
+        self
+    }
+
+    /// Attaches a journal sink to the *dispatcher*: epoch barriers,
+    /// per-request routing verdicts (policy target and the queue depth
+    /// seen) and steals are journaled on the routing thread, so the
+    /// record is deterministic regardless of worker-thread count. Give
+    /// each shard its own journal via [`Simulation::with_journal`].
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceSink) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -232,6 +254,7 @@ where
         // requests are re-injected as arrivals at this barrier time.
         let mut advanced_to = f64::NEG_INFINITY;
         let mut last_arrival = 0.0;
+        let mut epoch_ordinal: u32 = 0;
 
         while let Some(first) = pending.take() {
             last_arrival = first.arrival;
@@ -259,6 +282,7 @@ where
                     stolen += self.steal_pass(threshold, advanced_to, &mut views, &mut routed);
                 }
             }
+            let epoch_arrivals = batch.len();
             for req in batch.drain(..) {
                 let target = self.routing.route(
                     &RouteRequest {
@@ -273,6 +297,14 @@ where
                     "routing policy `{}` picked shard {target} of {n}",
                     self.routing.label()
                 );
+                if self.trace.is_enabled() {
+                    // The verdict and the load the policy saw making it.
+                    self.trace.emit(
+                        JournalEvent::at(req.arrival, EventKind::Route)
+                            .detail(target as u32)
+                            .value(views[target].queue_depth as f64),
+                    );
+                }
                 views[target].queue_depth += 1;
                 routed[target] += 1;
                 self.shard(target).inject_request(req);
@@ -280,9 +312,17 @@ where
 
             if let Some(next) = &pending {
                 let barrier = next.arrival;
+                if self.trace.is_enabled() {
+                    self.trace.emit(
+                        JournalEvent::at(barrier, EventKind::EpochBarrier)
+                            .detail(epoch_ordinal)
+                            .value(epoch_arrivals as f64),
+                    );
+                }
                 self.advance_all(|shard| shard.advance_until(barrier));
                 advanced_to = barrier;
             }
+            epoch_ordinal = epoch_ordinal.wrapping_add(1);
         }
 
         // Stream over: drain in-flight arrivals and flush deferred
@@ -299,6 +339,7 @@ where
             routed,
             stolen,
             routing: self.routing.label(),
+            journal: self.trace.snapshot(),
         }
     }
 
@@ -367,6 +408,14 @@ where
                 let Some(req) = self.shard(victim).steal_queued() else {
                     break;
                 };
+                if self.trace.is_enabled() {
+                    self.trace.emit(
+                        JournalEvent::at(barrier, EventKind::Steal)
+                            .detail(thief as u32)
+                            .value(victim as f64)
+                            .aux(views[victim].queue_depth as f64),
+                    );
+                }
                 views[victim].queue_depth -= 1;
                 views[thief].queue_depth += 1;
                 routed[victim] -= 1;

@@ -42,7 +42,7 @@ pub use crate::sweep::{
 };
 
 use amrm_core::{Admission, Immediate, ReactivationPolicy, RmStats, RuntimeManager, Scheduler};
-use amrm_metrics::{Telemetry, TelemetrySummary};
+use amrm_metrics::{Journal, Telemetry, TelemetrySummary};
 use amrm_model::{Job, JobId, JobSet, Schedule};
 use amrm_platform::Platform;
 use amrm_workload::ScenarioRequest;
@@ -89,6 +89,10 @@ pub struct SimOutcome {
     /// acceptance (all zeros for the doc-hidden sequential driver, which
     /// predates the telemetry subsystem).
     pub telemetry: TelemetrySummary,
+    /// Snapshot of the structured event journal, when one was attached
+    /// with [`Simulation::with_journal`] (`None` otherwise — and for the
+    /// sequential driver, which predates the journal).
+    pub journal: Option<Journal>,
 }
 
 impl SimOutcome {
@@ -226,6 +230,7 @@ pub fn run_scenario_sequential<S: Scheduler>(
         queue_deadline_drops: 0,
         stolen: 0,
         telemetry: telemetry.summary(),
+        journal: None,
     }
 }
 

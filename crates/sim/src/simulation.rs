@@ -54,10 +54,11 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
 use amrm_core::{
-    Admission, AdmissionDirective, AdmissionPolicy, ReactivationPolicy, RuntimeManager, Scheduler,
-    SearchBudget, ShardView, TelemetrySnapshot,
+    Admission, AdmissionDirective, AdmissionPolicy, DecisionReason, ReactivationPolicy,
+    RuntimeManager, Scheduler, SearchBudget, ShardView, TelemetrySnapshot,
 };
-use amrm_metrics::{instrument, Telemetry};
+use amrm_metrics::journal::{EventKind, JournalConfig, JournalEvent, RejectReason};
+use amrm_metrics::{instrument, Telemetry, TraceSink};
 use amrm_model::{AppRef, Job, JobId, JobSet};
 use amrm_platform::Platform;
 use amrm_workload::ScenarioRequest;
@@ -227,6 +228,26 @@ pub struct Simulation<S, A> {
     accepted_total: usize,
     /// High-water mark of live (undecided or guard-pinned) request slots.
     peak_live: usize,
+    /// Decision-journal sink shared with the runtime manager and (via
+    /// the scheduling context) the scheduler. Disabled by default: every
+    /// emission site is gated on one branch, so the journal-off hot path
+    /// is bit-identical to the pre-journal kernel.
+    journal: TraceSink,
+    /// Request-sampling modulus copied out of the journal config
+    /// (`0`/`1` = every request), mirrored here so the kernel can skip
+    /// per-request bookkeeping for unsampled ids without taking the lock.
+    journal_sample: u64,
+    /// Per request slot: the journal request id (global arrival ordinal)
+    /// of the slot's current tenant. Only maintained while the journal
+    /// is enabled.
+    journal_ids: Vec<u64>,
+    /// Next journal request id (arrival ordinal, assigned at pull/inject).
+    next_journal_id: u64,
+    /// Sampled admitted jobs awaiting completion: `(engine job id,
+    /// journal request id)`. Swept against the engine's live set after
+    /// every clock advance so each admitted sampled request gets its
+    /// terminal `completion` event.
+    journal_live: Vec<(JobId, u64)>,
     // Hot-path scratch buffers, reused across events so steady-state
     // admission allocates nothing.
     flush_scratch: Vec<usize>,
@@ -321,6 +342,11 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
             offered: 0,
             accepted_total: 0,
             peak_live: 0,
+            journal: TraceSink::disabled(),
+            journal_sample: 0,
+            journal_ids: Vec::new(),
+            next_journal_id: 0,
+            journal_live: Vec::new(),
             flush_scratch: Vec::new(),
             submit_scratch: Vec::new(),
             admissions_scratch: Vec::new(),
@@ -356,6 +382,44 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
         self.rm.set_record_trace(false);
         self.lean = true;
         self
+    }
+
+    /// Attaches a structured event journal: the kernel emits the
+    /// request lifecycle (arrival → window open/tighten → flush →
+    /// schedule decision → admit/reject-with-reason → completion), and
+    /// the same sink rides into every [`amrm_core::SchedulingContext`]
+    /// so context-aware schedulers journal their own decisions. Memory
+    /// stays flat (ring buffer; exact counters survive eviction) and all
+    /// payloads are sim-time, so enabling the journal leaves admissions,
+    /// energy bits, stats and telemetry bit-identical to a journal-free
+    /// run. The resulting [`Journal`](amrm_metrics::Journal) lands in
+    /// [`SimOutcome::journal`].
+    #[must_use]
+    pub fn with_journal(mut self, config: JournalConfig) -> Self {
+        self.install_journal(TraceSink::enabled(config), config.sample);
+        self
+    }
+
+    /// Installs an externally owned journal sink (the federation gives
+    /// each shard its own so cross-shard interleaving cannot perturb
+    /// event order). `sample` must match the sink's journal config.
+    pub fn install_journal(&mut self, sink: TraceSink, sample: u64) {
+        self.journal_sample = sample;
+        self.rm.set_trace_sink(sink.clone());
+        // Backfill ids for requests pulled ahead of this call (the
+        // constructor pulls one arrival before builders run).
+        while self.journal_ids.len() < self.requests.len() {
+            self.journal_ids.push(self.next_journal_id);
+            self.next_journal_id += 1;
+        }
+        self.journal = sink;
+    }
+
+    /// Whether the journal samples this request id (mirrors
+    /// [`Journal::samples`](amrm_metrics::Journal::samples) without
+    /// taking the sink lock).
+    fn journal_samples(&self, id: u64) -> bool {
+        self.journal_sample <= 1 || id.is_multiple_of(self.journal_sample)
     }
 
     /// Creates an *externally driven* simulation: the kernel owns no
@@ -441,6 +505,16 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
         // series so the summary's energy/job matches the outcome's.
         self.telemetry
             .record_energy(total_energy, self.rm.stats().accepted);
+        if self.journal.is_enabled() {
+            // Jobs completing in the tail (after the last event) retire
+            // inside run_to_completion; close their lifecycles at the
+            // final clock.
+            let now = self.rm.now();
+            for (_, jid) in self.journal_live.drain(..) {
+                self.journal
+                    .emit(JournalEvent::at(now, EventKind::Completion).request(jid));
+            }
+        }
 
         let admissions = if self.aggregate {
             Vec::new()
@@ -466,6 +540,7 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
             stolen: self.stolen,
             peak_live_requests: self.peak_live_requests(),
             telemetry: self.telemetry.summary(),
+            journal: self.journal.snapshot(),
         }
     }
 
@@ -538,6 +613,16 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
         };
         let live = self.requests.len() - self.free_slots.len();
         self.peak_live = self.peak_live.max(live);
+        if self.journal.is_enabled() {
+            let id = self.next_journal_id;
+            self.next_journal_id += 1;
+            let i = slot as usize;
+            if i < self.journal_ids.len() {
+                self.journal_ids[i] = id;
+            } else {
+                self.journal_ids.push(id);
+            }
+        }
         slot
     }
 
@@ -636,6 +721,15 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
         let slot = self.queue.pop_back()?;
         self.stolen += 1;
         let req = self.requests[slot].clone();
+        if self.journal.is_enabled() {
+            // Terminal on this shard: the request re-arrives (under a
+            // fresh journal id) at the thief.
+            self.journal.emit(
+                JournalEvent::at(self.rm.now(), EventKind::Steal)
+                    .request(self.journal_ids[slot])
+                    .value(req.deadline),
+            );
+        }
         // Mirror the queue-drop path: a steal that empties an open
         // gathering window closes it, so the next arrival opens a fresh
         // full-length window instead of joining a stale one.
@@ -725,6 +819,13 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
                 self.queue.push_back(request);
                 instrument::record_queue_depth(self.queue.len());
                 self.telemetry.record_arrival(event.time);
+                if self.journal.is_enabled() {
+                    self.journal.emit(
+                        JournalEvent::at(event.time, EventKind::Arrival)
+                            .request(self.journal_ids[request])
+                            .value(self.requests[request].deadline),
+                    );
+                }
                 self.sample_utilization();
                 self.refresh_snapshot(event.time);
                 let directive = self
@@ -741,10 +842,24 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
                         // one (its expiry event goes stale via the id
                         // check): adaptive policies tighten windows this
                         // way when queued slack runs short.
+                        let tightened = self.open_window.is_some();
                         let id = self.next_window;
                         self.next_window += 1;
                         self.open_window = Some((id, expiry));
                         self.push_event(expiry, EventClass::WindowExpiry, id);
+                        if self.journal.is_enabled() {
+                            let kind = if tightened {
+                                EventKind::WindowTighten
+                            } else {
+                                EventKind::WindowOpen
+                            };
+                            self.journal.emit(
+                                JournalEvent::at(event.time, kind)
+                                    .request(self.journal_ids[request])
+                                    .detail(id)
+                                    .value(expiry),
+                            );
+                        }
                         self.guard_queued_deadline(request);
                     }
                     AdmissionDirective::Defer => {
@@ -852,6 +967,10 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
     fn flush_requests(&mut self, batch: &[usize], record_activation: bool) {
         instrument::record_flush();
         let now = self.rm.now();
+        if record_activation && self.journal.is_enabled() {
+            self.journal
+                .emit(JournalEvent::at(now, EventKind::Flush).detail(batch.len() as u32));
+        }
         for &i in batch {
             self.telemetry
                 .record_queue_wait(now - self.requests[i].arrival);
@@ -879,12 +998,25 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
                 .record_activation(now - oldest, self.rm.last_decision_seconds());
         }
         let mut accepted = 0;
-        for (&i, admission) in batch.iter().zip(&admissions) {
+        for (pos, (&i, admission)) in batch.iter().zip(&admissions).enumerate() {
             self.decisions[i] = Some((admission.job(), admission.is_accepted()));
             self.offered += 1;
+            if self.journal.is_enabled() {
+                // Reasons are parallel (in input order) to the batch.
+                let reason = self.rm.last_decision_reasons()[pos];
+                self.journal_decision(i, now, reason, record_activation);
+            }
             if let Admission::Accepted { job } = admission {
                 accepted += 1;
                 self.accepted_total += 1;
+                self.telemetry
+                    .record_admission_slack(self.requests[i].deadline - now);
+                if self.journal.is_enabled() {
+                    let jid = self.journal_ids[i];
+                    if self.journal_samples(jid) {
+                        self.journal_live.push((*job, jid));
+                    }
+                }
                 if !self.lean {
                     let req = &self.requests[i];
                     self.admitted.push(Job::new(
@@ -909,6 +1041,67 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
             .record_decisions(accepted, batch.len() - accepted);
         self.telemetry
             .record_energy(self.rm.total_energy(), self.rm.stats().accepted);
+    }
+
+    /// Journals one batch decision as an `admit` (with its
+    /// slack-at-admission) or a `reject` (with the reason code). The
+    /// queue-deadline pseudo-flush never reaches the scheduler, so its
+    /// manager-side `ExpiredBeforeFlush` verdict is reported as the
+    /// taxonomy's `QueueDeadline` — the request expired *while queued*,
+    /// not merely before its batch flushed.
+    fn journal_decision(&self, slot: usize, now: f64, reason: DecisionReason, flushed: bool) {
+        let jid = self.journal_ids[slot];
+        match reason {
+            DecisionReason::Accepted => {
+                self.journal.emit(
+                    JournalEvent::at(now, EventKind::Admit)
+                        .request(jid)
+                        .value(self.requests[slot].deadline - now),
+                );
+            }
+            reason => {
+                let code = if flushed {
+                    match reason {
+                        DecisionReason::ExpiredBeforeFlush => RejectReason::ExpiredBeforeFlush,
+                        DecisionReason::InfeasibleJointSchedule => {
+                            RejectReason::InfeasibleJointSchedule
+                        }
+                        DecisionReason::RollbackVictim => RejectReason::RollbackVictim,
+                        DecisionReason::Accepted => unreachable!("matched above"),
+                    }
+                } else {
+                    RejectReason::QueueDeadline
+                };
+                self.journal.emit(
+                    JournalEvent::at(now, EventKind::Reject)
+                        .request(jid)
+                        .detail(code as u32),
+                );
+            }
+        }
+    }
+
+    /// Emits `completion` events for sampled admitted jobs the engine
+    /// has retired since the last sweep. Called (journal-gated) after
+    /// every clock advance; the tail after the last event is drained in
+    /// [`finish`](Simulation::finish).
+    fn sweep_completed_journal(&mut self) {
+        if self.journal_live.is_empty() {
+            return;
+        }
+        let now = self.rm.now();
+        let engine = self.rm.engine();
+        let mut k = 0;
+        while k < self.journal_live.len() {
+            let (job, jid) = self.journal_live[k];
+            if engine.jobs().iter().any(|j| j.id == job) {
+                k += 1;
+            } else {
+                self.journal
+                    .emit(JournalEvent::at(now, EventKind::Completion).request(jid));
+                self.journal_live.swap_remove(k);
+            }
+        }
     }
 
     /// Schedules a queue-deadline guard for a request that stayed queued.
@@ -937,6 +1130,9 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
     /// left to `run_to_completion` — exactly like the sequential driver,
     /// whose final clock is the *schedule end*, not the last completion.
     fn rearm_completion(&mut self) {
+        if self.journal.is_enabled() {
+            self.sweep_completed_journal();
+        }
         if self.arrivals_exhausted() && self.queue.is_empty() {
             if self.armed_completion.is_some() {
                 self.completion_generation = self.completion_generation.wrapping_add(1);
@@ -1398,9 +1594,11 @@ mod tests {
         a.decision_seconds_p50 = 0.0;
         a.decision_seconds_p95 = 0.0;
         a.decision_seconds_p99 = 0.0;
+        a.decision_seconds_hist = Default::default();
         b.decision_seconds_p50 = 0.0;
         b.decision_seconds_p95 = 0.0;
         b.decision_seconds_p99 = 0.0;
+        b.decision_seconds_hist = Default::default();
         assert_eq!(a, b);
     }
 

@@ -104,9 +104,11 @@ fn assert_bit_identical(label: &str, federated: &SimOutcome, reference: &SimOutc
     a.decision_seconds_p50 = 0.0;
     a.decision_seconds_p95 = 0.0;
     a.decision_seconds_p99 = 0.0;
+    a.decision_seconds_hist = Default::default();
     b.decision_seconds_p50 = 0.0;
     b.decision_seconds_p95 = 0.0;
     b.decision_seconds_p99 = 0.0;
+    b.decision_seconds_hist = Default::default();
     assert_eq!(a, b, "{label}: telemetry diverged");
 }
 

@@ -1,0 +1,149 @@
+//! Determinism and non-perturbation gates for the event journal.
+//!
+//! Two properties, both over every scheduler in the standard registry:
+//!
+//! 1. **Reproducibility** — two runs at the same seed produce *identical*
+//!    journals, event for event (the journal records sim-time quantities
+//!    only, so nothing wall-clock can leak in).
+//! 2. **Observation-only** — enabling the journal (sampling off) leaves
+//!    admissions, accumulated energy bits, counters and telemetry
+//!    bit-identical to the journal-free run; the journal is a pure
+//!    observer of the hot path.
+
+use amrm::baselines::standard_registry;
+use amrm::core::{AdmissionPolicy, BatchK, ReactivationPolicy, SearchBudget};
+use amrm::metrics::journal::JournalConfig;
+use amrm::sim::{SimOutcome, Simulation};
+use amrm::workload::{poisson_stream, scenarios, ScenarioRequest, StreamSpec};
+use proptest::prelude::*;
+
+fn library() -> Vec<amrm::model::AppRef> {
+    vec![scenarios::lambda1(), scenarios::lambda2()]
+}
+
+fn run_outcome(
+    name: &str,
+    stream: &[ScenarioRequest],
+    admission: impl AdmissionPolicy,
+    journal: Option<JournalConfig>,
+) -> SimOutcome {
+    let sim = Simulation::new(
+        scenarios::platform(),
+        standard_registry().create(name).unwrap(),
+        ReactivationPolicy::OnArrival,
+        admission,
+        stream,
+    )
+    .with_search_budget(SearchBudget::online());
+    match journal {
+        Some(config) => sim.with_journal(config),
+        None => sim,
+    }
+    .run()
+}
+
+/// Equality modulo the wall-clock `decision_seconds_*` telemetry.
+fn assert_bit_identical(name: &str, seed: u64, journaled: &SimOutcome, plain: &SimOutcome) {
+    assert_eq!(
+        journaled.admissions, plain.admissions,
+        "{name}/seed {seed}: admissions diverged"
+    );
+    assert_eq!(
+        journaled.total_energy.to_bits(),
+        plain.total_energy.to_bits(),
+        "{name}/seed {seed}: energy diverged"
+    );
+    assert_eq!(
+        journaled.end_time.to_bits(),
+        plain.end_time.to_bits(),
+        "{name}/seed {seed}: end time diverged"
+    );
+    assert_eq!(
+        journaled.stats, plain.stats,
+        "{name}/seed {seed}: counters diverged"
+    );
+    assert_eq!(
+        journaled.queue_deadline_drops, plain.queue_deadline_drops,
+        "{name}/seed {seed}: drops diverged"
+    );
+    let mut a = journaled.telemetry.clone();
+    let mut b = plain.telemetry.clone();
+    a.decision_seconds_p50 = 0.0;
+    a.decision_seconds_p95 = 0.0;
+    a.decision_seconds_p99 = 0.0;
+    a.decision_seconds_hist = Default::default();
+    b.decision_seconds_p50 = 0.0;
+    b.decision_seconds_p95 = 0.0;
+    b.decision_seconds_p99 = 0.0;
+    b.decision_seconds_hist = Default::default();
+    assert_eq!(a, b, "{name}/seed {seed}: telemetry diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Same seed, same journal — event for event, for every scheduler.
+    #[test]
+    fn journals_are_identical_across_runs_at_one_seed(
+        seed in 0u64..1000,
+        mean in 1.5f64..6.0,
+        requests in 6usize..14,
+    ) {
+        let spec = StreamSpec { requests, slack_range: (1.2, 2.5) };
+        let stream = poisson_stream(&library(), mean, &spec, seed);
+        for (name, _) in standard_registry().iter() {
+            let a = run_outcome(name, &stream, BatchK(2), Some(JournalConfig::default()));
+            let b = run_outcome(name, &stream, BatchK(2), Some(JournalConfig::default()));
+            let (ja, jb) = (a.journal.unwrap(), b.journal.unwrap());
+            prop_assert_eq!(
+                ja.events(), jb.events(),
+                "{}/seed {}: journals diverged", name, seed
+            );
+            prop_assert_eq!(ja.counts(), jb.counts());
+            prop_assert_eq!(ja.reject_reasons(), jb.reject_reasons());
+        }
+    }
+
+    /// Journal on (sampling off) vs journal-free: the simulation itself
+    /// is bit-identical — the journal only observes.
+    #[test]
+    fn enabling_the_journal_perturbs_nothing(
+        seed in 0u64..1000,
+        mean in 1.5f64..6.0,
+        requests in 6usize..14,
+    ) {
+        let spec = StreamSpec { requests, slack_range: (1.2, 2.5) };
+        let stream = poisson_stream(&library(), mean, &spec, seed);
+        for (name, _) in standard_registry().iter() {
+            let journaled = run_outcome(name, &stream, BatchK(2), Some(JournalConfig::default()));
+            let plain = run_outcome(name, &stream, BatchK(2), None);
+            assert_bit_identical(name, seed, &journaled, &plain);
+            prop_assert!(plain.journal.is_none());
+            prop_assert!(journaled.journal.is_some());
+        }
+    }
+}
+
+/// Deterministic 1-in-N sampling also reproduces exactly and also
+/// perturbs nothing — it thins the lifecycle events by arrival ordinal,
+/// never by RNG.
+#[test]
+fn sampled_journals_reproduce_and_do_not_perturb() {
+    let spec = StreamSpec {
+        requests: 12,
+        slack_range: (1.2, 2.5),
+    };
+    let stream = poisson_stream(&library(), 2.0, &spec, 42);
+    for (name, _) in standard_registry().iter() {
+        let config = JournalConfig::sampled(4);
+        let a = run_outcome(name, &stream, BatchK(3), Some(config));
+        let b = run_outcome(name, &stream, BatchK(3), Some(config));
+        assert_eq!(
+            a.journal.as_ref().unwrap().events(),
+            b.journal.as_ref().unwrap().events(),
+            "{name}: sampled journals diverged"
+        );
+        let plain = run_outcome(name, &stream, BatchK(3), None);
+        assert_bit_identical(name, 42, &a, &plain);
+    }
+}

@@ -1,0 +1,142 @@
+//! Reject-reason taxonomy coverage: one scenario per [`RejectReason`],
+//! each asserting that the journal's per-reason tallies match the
+//! [`SimOutcome`] accounting bit for bit — same rejects, same admits,
+//! same queue-deadline drops, with the reason attributed to the right
+//! taxonomy bucket.
+
+use amrm::core::{AdmissionPolicy, BatchK, Immediate, MmkpMdf, ReactivationPolicy, WindowTau};
+use amrm::metrics::journal::{EventKind, JournalConfig, RejectReason};
+use amrm::metrics::Journal;
+use amrm::sim::{SimOutcome, Simulation};
+use amrm::workload::{scenarios, ScenarioRequest};
+
+fn journaled<A: AdmissionPolicy>(admission: A, requests: Vec<ScenarioRequest>) -> SimOutcome {
+    Simulation::new(
+        scenarios::platform(),
+        MmkpMdf::new(),
+        ReactivationPolicy::OnArrival,
+        admission,
+        &requests,
+    )
+    .with_journal(JournalConfig::default())
+    .run()
+}
+
+/// The journal's decision tallies must mirror the outcome's accounting
+/// exactly: every admit and reject journaled, reasons summing to the
+/// reject count.
+fn assert_accounting_matches(outcome: &SimOutcome) -> Journal {
+    let journal = outcome.journal.clone().expect("journal enabled");
+    assert_eq!(
+        journal.count_of(EventKind::Admit),
+        outcome.accepted() as u64
+    );
+    assert_eq!(
+        journal.count_of(EventKind::Reject),
+        outcome.rejected() as u64
+    );
+    assert_eq!(
+        journal.reject_reasons().iter().sum::<u64>(),
+        outcome.rejected() as u64
+    );
+    assert_eq!(
+        journal.rejects_for(RejectReason::QueueDeadline),
+        outcome.queue_deadline_drops as u64
+    );
+    journal.validate_lifecycles().expect("complete lifecycles");
+    journal
+}
+
+#[test]
+fn queue_deadline_drops_journal_as_queue_deadline() {
+    // A 50-second gathering window outlives both S1 deadlines: the
+    // kernel drops each request from the queue at its deadline through
+    // the pseudo-flush, and no scheduler activation ever runs.
+    let outcome = journaled(WindowTau(50.0), scenarios::scenario_s1());
+    assert_eq!(outcome.accepted(), 0);
+    assert_eq!(outcome.rejected(), 2);
+    assert_eq!(outcome.queue_deadline_drops, 2);
+    let journal = assert_accounting_matches(&outcome);
+    assert_eq!(journal.rejects_for(RejectReason::QueueDeadline), 2);
+    // The pseudo-flush never reaches the scheduler: no flush or decision
+    // events, only the lifecycle bookends.
+    assert_eq!(journal.count_of(EventKind::Flush), 0);
+    assert_eq!(journal.count_of(EventKind::ScheduleDecision), 0);
+}
+
+#[test]
+fn expired_in_batch_journals_as_expired_before_flush() {
+    // The second arrival lands exactly at the first request's deadline
+    // and completes the size-2 batch. Arrival events outrank
+    // queue-deadline events at the same instant, so the flush — not the
+    // deadline drop — consumes the first request, and the manager
+    // rejects its zero-slack deadline without an activation.
+    let requests = vec![
+        ScenarioRequest {
+            app: scenarios::lambda2(),
+            arrival: 0.0,
+            deadline: 3.0,
+        },
+        ScenarioRequest {
+            app: scenarios::lambda1(),
+            arrival: 3.0,
+            deadline: 12.0,
+        },
+    ];
+    let outcome = journaled(BatchK(2), requests);
+    assert_eq!(outcome.accepted(), 1);
+    assert_eq!(outcome.rejected(), 1);
+    assert_eq!(outcome.queue_deadline_drops, 0);
+    let journal = assert_accounting_matches(&outcome);
+    assert_eq!(journal.rejects_for(RejectReason::ExpiredBeforeFlush), 1);
+}
+
+#[test]
+fn lone_infeasible_candidate_journals_as_infeasible_joint_schedule() {
+    // One request with positive slack that no operating point can meet:
+    // the scheduler activates, finds nothing, and the batch of one is
+    // rejected as an infeasible joint schedule.
+    let requests = vec![ScenarioRequest {
+        app: scenarios::lambda1(),
+        arrival: 0.0,
+        deadline: 0.5,
+    }];
+    let outcome = journaled(Immediate, requests);
+    assert_eq!(outcome.accepted(), 0);
+    assert_eq!(outcome.rejected(), 1);
+    let journal = assert_accounting_matches(&outcome);
+    assert_eq!(
+        journal.rejects_for(RejectReason::InfeasibleJointSchedule),
+        1
+    );
+    // The failed activation installs no schedule, so there is no
+    // `schedule_decision` (that event carries the chosen schedule's
+    // energy) — just the flush and the reject.
+    assert_eq!(journal.count_of(EventKind::ScheduleDecision), 0);
+    assert_eq!(journal.count_of(EventKind::Flush), 1);
+}
+
+#[test]
+fn greedy_rollback_journals_as_rollback_victim() {
+    // Two copies of the expensive app share one batch under a deadline
+    // each could meet alone but not jointly: the atomic batch fails, the
+    // greedy retry admits the first and rolls the second back.
+    let requests = vec![
+        ScenarioRequest {
+            app: scenarios::lambda1(),
+            arrival: 0.0,
+            deadline: 6.0,
+        },
+        ScenarioRequest {
+            app: scenarios::lambda1(),
+            arrival: 0.5,
+            deadline: 6.0,
+        },
+    ];
+    let outcome = journaled(BatchK(2), requests);
+    assert_eq!(outcome.accepted(), 1, "first copy must fit alone");
+    assert_eq!(outcome.rejected(), 1);
+    assert_eq!(outcome.queue_deadline_drops, 0);
+    let journal = assert_accounting_matches(&outcome);
+    assert_eq!(journal.rejects_for(RejectReason::RollbackVictim), 1);
+}

@@ -88,9 +88,11 @@ fn assert_bit_identical(name: &str, seed: u64, streamed: &SimOutcome, reference:
     a.decision_seconds_p50 = 0.0;
     a.decision_seconds_p95 = 0.0;
     a.decision_seconds_p99 = 0.0;
+    a.decision_seconds_hist = Default::default();
     b.decision_seconds_p50 = 0.0;
     b.decision_seconds_p95 = 0.0;
     b.decision_seconds_p99 = 0.0;
+    b.decision_seconds_hist = Default::default();
     assert_eq!(a, b, "{name}/seed {seed}: telemetry diverged");
 }
 
