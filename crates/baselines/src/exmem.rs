@@ -36,16 +36,38 @@
 //!   preserved: results tainted by truncation are stored as upper-bound
 //!   (`Anytime`) entries, never as exact optima or infeasibility proofs.
 //!
+//! Two further extensions make it viable at *scale* (ROADMAP item 3):
+//!
+//! * **capped candidate ranking** — when the budget carries a finite
+//!   [`rank_cap`](SearchBudget::rank_cap), each expanded state scores its
+//!   first-segment candidates with the cheap admissible lower bound
+//!   (segment energy + per-job minimum-energy completion, no joint
+//!   feasibility beyond the segment itself), ranks them, and recurses
+//!   into only the top-N. Exactly like budget truncation, a finite cap
+//!   taints the subtree: results memoize as `Anytime` upper bounds, never
+//!   as exact optima or failure proofs, so soundness is unchanged. With
+//!   `rank_cap = usize::MAX` the legacy exhaustive enumeration runs
+//!   verbatim (proptest-pinned bit-identical in `tests/exmem_budget.rs`).
+//! * **a persistent warm-start cache** — the cross-activation memo lives
+//!   in an owned [`MappingCache`] that serializes its proofs (`Exact` +
+//!   `Infeasible`) to JSON alongside recorded workload traces, so a
+//!   replayed stream warm-starts from proofs instead of re-searching
+//!   (see `cache.rs` for the format and the content-based signature
+//!   revalidation that replaces pointer identity across the
+//!   serialization boundary).
+//!
 //! With an unbounded budget the search, its exploration order and its
 //! results are bit-identical to the pre-anytime EX-MEM (pinned by
 //! `tests/exmem_budget.rs`).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use amrm_core::{MmkpMdf, Scheduler, SchedulingContext, SearchBudget};
 use amrm_metrics::journal::{EventKind, JournalEvent};
 use amrm_model::{Job, JobMapping, JobSet, Schedule, Segment};
 use amrm_platform::{Platform, ResourceVec, EPS};
+
+use crate::cache::{Key, MappingCache, MemoVal};
 
 /// Quantization step for memoization keys (progress ratios and time).
 const KEY_QUANTUM: f64 = 1e-9;
@@ -87,89 +109,70 @@ pub struct ExMem {
     budget: SearchBudget,
     /// Memo entries beyond which bounded eviction runs (see `MEMO_CAP`).
     memo_cap: usize,
-    memo: HashMap<Key, MemoVal>,
-    /// Per-job validity guard for memo reuse: application identity and
-    /// deadline under which the job's memoized states were derived.
-    signatures: HashMap<u64, JobSig>,
+    /// The cross-activation memo, its per-job validity signatures, and
+    /// the warm (loaded-from-disk) key set — extracted into an owned,
+    /// serializable store (see `cache.rs`).
+    cache: MappingCache,
     nodes_explored: u64,
     degraded: bool,
     /// Memo entries dropped by cap eviction during the current
     /// activation — reported as one aggregate `memo_evict` journal event.
     last_evicted: usize,
+    /// Candidates dropped by the rank cap during the most recent
+    /// activation — reported as one aggregate `rank_pruned` event.
+    last_rank_pruned: u64,
+    /// Conclusive memo hits served from disk-loaded entries during the
+    /// most recent activation — reported as one `cache_warm_hit` event.
+    last_warm_hits: u64,
 }
 
-/// What a job's memoized states were derived under; any change voids the
-/// whole table. The signature *owns* its [`AppRef`], so the allocation
-/// stays alive for as long as the memo may refer to it — pointer
-/// identity therefore cannot be recycled by a freed-and-reallocated
-/// application (the classic ABA hazard of comparing raw addresses).
-#[derive(Debug, Clone)]
-struct JobSig {
-    app: amrm_model::AppRef,
-    deadline_bits: u64,
-}
-
-impl JobSig {
-    fn of(job: &Job) -> Self {
-        JobSig {
-            app: amrm_model::AppRef::clone(job.app()),
-            deadline_bits: job.deadline().to_bits(),
-        }
-    }
-
-    fn matches(&self, job: &Job) -> bool {
-        amrm_model::AppRef::ptr_eq(&self.app, job.app())
-            && self.deadline_bits == job.deadline().to_bits()
-    }
-}
-
-/// One memoized result.
-#[derive(Debug, Clone)]
-enum MemoVal {
-    /// Exact optimum from this state, with the optimal first-segment
-    /// assignment (`None` = job suspended) in state order.
-    Exact {
-        energy: f64,
-        choice: Vec<Option<usize>>,
-    },
-    /// A *feasible* completion with this energy exists via this choice —
-    /// found under a truncated (budgeted) search, so it is an upper
-    /// bound, not a proven optimum.
-    Anytime {
-        energy: f64,
-        choice: Vec<Option<usize>>,
-    },
-    /// The optimum from this state is ≥ this bound (an exhaustive search
-    /// with that incumbent found nothing better).
-    Bound { at_least: f64 },
-    /// No feasible completion exists at all.
-    Infeasible,
-}
-
-type Key = (u64, Vec<(u64, u64)>);
+/// How many candidates past the rank cap the capped enumeration still
+/// generates before stopping: ranking needs a margin of slack so the
+/// lower-bound sort has something to choose from, but generation must not
+/// degenerate back into the exponential full enumeration.
+const RANK_OVERSAMPLE: usize = 4;
 
 struct SearchCtx<'a> {
     jobs: &'a [Job],
     platform: &'a Platform,
     /// Per job: operating points that fit the platform, by index.
     options: Vec<Vec<usize>>,
+    /// Per job: the same feasible points reordered cheapest-energy-first
+    /// (ties by index) — the generation order of the rank-capped
+    /// enumeration, so the kept prefix is the low-energy one. Empty when
+    /// the cap is infinite (the legacy enumeration ignores it).
+    ranked_options: Vec<Vec<usize>>,
     /// Per job: minimum full-execution energy over its feasible points.
     min_energy: Vec<f64>,
     /// Per job: minimum full-execution time over its feasible points.
     min_time: Vec<f64>,
     memo: &'a mut HashMap<Key, MemoVal>,
+    /// Keys loaded from a persisted cache (warm-start accounting).
+    warm: &'a HashSet<Key>,
     /// Work units spent so far this activation (state expansions +
     /// enumeration steps) — the deterministic quantity the budget caps.
     work: u64,
     limit: Option<u64>,
+    /// Per-state candidate cap (`usize::MAX` = exhaustive enumeration).
+    rank_cap: usize,
     /// Whether the result may be approximate: the budget truncated the
-    /// search, or an `Anytime` (upper-bound) memo entry was consumed.
+    /// search, the rank cap dropped candidates, or an `Anytime`
+    /// (upper-bound) memo entry was consumed.
     approximate: bool,
+    /// Whether the *work budget* specifically ran out this activation
+    /// (monotone; drives the `truncation` journal event, which must not
+    /// fire for mere rank-cap taint — that has its own `rank_pruned`
+    /// signal).
+    budget_truncated: bool,
     /// Memo lookups this activation that returned a conclusive entry
     /// (exact / infeasible / pruning bound).
     memo_hits: u64,
     /// States expanded after an inconclusive lookup.
     memo_misses: u64,
+    /// Candidates dropped by the rank cap this activation.
+    rank_pruned: u64,
+    /// Conclusive hits served from disk-loaded (warm) entries.
+    warm_hits: u64,
 }
 
 impl SearchCtx<'_> {
@@ -178,6 +181,7 @@ impl SearchCtx<'_> {
     fn out_of_budget(&mut self) -> bool {
         if self.limit.is_some_and(|l| self.work >= l) {
             self.approximate = true;
+            self.budget_truncated = true;
             true
         } else {
             false
@@ -194,12 +198,31 @@ impl ExMem {
             reuse_memo: true,
             budget: SearchBudget::unbounded(),
             memo_cap: MEMO_CAP,
-            memo: HashMap::new(),
-            signatures: HashMap::new(),
+            cache: MappingCache::new(),
             nodes_explored: 0,
             degraded: false,
             last_evicted: 0,
+            last_rank_pruned: 0,
+            last_warm_hits: 0,
         }
+    }
+
+    /// Installs a (typically disk-loaded) [`MappingCache`] so this
+    /// instance warm-starts from its proofs. Loaded entries are *not*
+    /// trusted blindly: at every activation the content-based signatures
+    /// are revalidated against the current jobs' applications and
+    /// deadlines, and any mismatch clears the table before a single hit
+    /// is served.
+    #[must_use]
+    pub fn with_cache(mut self, cache: MappingCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The cross-activation mapping cache (save it with
+    /// [`MappingCache::save`] to warm-start a later run).
+    pub fn cache(&self) -> &MappingCache {
+        &self.cache
     }
 
     /// Disables MDF incumbent seeding (pure exhaustive search with
@@ -228,6 +251,10 @@ impl ExMem {
     pub fn with_node_budget(self, limit: u64) -> Self {
         self.with_budget(SearchBudget::nodes(limit))
     }
+
+    /// The default memo-size cap (see `MEMO_CAP`), exposed so the tune
+    /// search can anchor its candidate grid on the shipped value.
+    pub const DEFAULT_MEMO_CAP: usize = MEMO_CAP;
 
     /// Sets this instance's own [`SearchBudget`].
     #[must_use]
@@ -265,28 +292,47 @@ impl ExMem {
 
     /// Memoized states currently retained for reuse across activations.
     pub fn memo_len(&self) -> usize {
-        self.memo.len()
+        self.cache.len()
+    }
+
+    /// Candidates dropped by the rank cap during the most recent
+    /// [`schedule`](Scheduler::schedule) call.
+    pub fn last_rank_pruned(&self) -> u64 {
+        self.last_rank_pruned
+    }
+
+    /// Conclusive memo hits served from disk-loaded (warm) cache entries
+    /// during the most recent [`schedule`](Scheduler::schedule) call.
+    pub fn last_warm_hits(&self) -> u64 {
+        self.last_warm_hits
     }
 
     /// Clears the memo unless every job's identity matches the signature
-    /// it was memoized under (same application allocation, same
-    /// deadline). JobIds never recur with different parameters within one
-    /// runtime-manager run, so a mismatch means this instance crossed
-    /// into an unrelated job population.
+    /// it was memoized under (same application name and operating-point
+    /// content, same deadline). JobIds never recur with different
+    /// parameters within one runtime-manager run, so a mismatch means
+    /// this instance crossed into an unrelated job population — or was
+    /// warm-started from a cache recorded against a different
+    /// application library.
     fn guard_signatures(&mut self, jobs: &[Job]) {
         let mismatch = jobs.iter().any(|job| {
-            self.signatures
+            self.cache
+                .signatures
                 .get(&job.id().0)
                 .is_some_and(|sig| !sig.matches(job))
         });
         if mismatch {
-            self.memo.clear();
-            self.signatures.clear();
+            self.cache.clear();
         } else {
             self.enforce_memo_cap();
         }
         for job in jobs {
-            self.signatures.insert(job.id().0, JobSig::of(job));
+            // Matching signatures are kept as-is (the common warm case),
+            // so steady-state activations never re-allocate name strings.
+            self.cache
+                .signatures
+                .entry(job.id().0)
+                .or_insert_with(|| crate::cache::JobSig::of(job));
         }
     }
 
@@ -301,30 +347,33 @@ impl ExMem {
     /// Only when the proofs alone still exceed the cap is the table
     /// cleared outright.
     fn enforce_memo_cap(&mut self) {
-        let before = self.memo.len();
+        let before = self.cache.memo.len();
         if before <= self.memo_cap {
             return;
         }
-        self.memo
+        self.cache
+            .memo
             .retain(|_, v| matches!(v, MemoVal::Exact { .. } | MemoVal::Infeasible));
-        if self.memo.len() > self.memo_cap {
-            self.memo.clear();
-            self.signatures.clear();
+        if self.cache.memo.len() > self.memo_cap {
+            self.cache.clear();
             self.last_evicted += before;
             return;
         }
-        self.last_evicted += before - self.memo.len();
+        self.last_evicted += before - self.cache.memo.len();
         // The signature map guards the memo and must not outgrow it: on
         // a long stream of fresh job ids the mismatch clear never fires,
         // so eviction time is when stale ids are shed. Keep only the
         // signatures some surviving memo key still relies on (dropping a
         // referenced one would disarm the validity guard).
-        let live: std::collections::HashSet<u64> = self
+        let live: HashSet<u64> = self
+            .cache
             .memo
             .keys()
             .flat_map(|(_, state)| state.iter().map(|&(id, _)| id))
             .collect();
-        self.signatures.retain(|id, _| live.contains(id));
+        self.cache.signatures.retain(|id, _| live.contains(id));
+        let memo = &self.cache.memo;
+        self.cache.warm.retain(|key| memo.contains_key(key));
     }
 }
 
@@ -354,8 +403,7 @@ impl Scheduler for ExMem {
         if self.reuse_memo {
             self.guard_signatures(jobs.jobs());
         } else {
-            self.memo.clear();
-            self.signatures.clear();
+            self.cache.clear();
         }
 
         let job_slice = jobs.jobs();
@@ -394,18 +442,49 @@ impl Scheduler for ExMem {
             (f64::INFINITY, None)
         };
 
+        let effective = self.budget.tightest(ctx.budget);
+        let rank_cap = effective.rank_cap().unwrap_or(usize::MAX);
+        // Under a finite cap the enumeration runs cheapest-energy-first,
+        // so the generated (and therefore kept) prefix is the low-energy
+        // one; uncapped searches keep the legacy point order verbatim.
+        let ranked_options = if rank_cap == usize::MAX {
+            Vec::new()
+        } else {
+            options
+                .iter()
+                .enumerate()
+                .map(|(i, opts)| {
+                    let mut by_energy = opts.clone();
+                    by_energy.sort_by(|&a, &b| {
+                        job_slice[i]
+                            .point(a)
+                            .energy()
+                            .total_cmp(&job_slice[i].point(b).energy())
+                            .then(a.cmp(&b))
+                    });
+                    by_energy
+                })
+                .collect()
+        };
+
         let mut search = SearchCtx {
             jobs: job_slice,
             platform,
             options,
+            ranked_options,
             min_energy,
             min_time,
-            memo: &mut self.memo,
+            memo: &mut self.cache.memo,
+            warm: &self.cache.warm,
             work: 0,
-            limit: self.budget.tightest(ctx.budget).node_limit(),
+            limit: effective.node_limit(),
+            rank_cap,
             approximate: false,
+            budget_truncated: false,
             memo_hits: 0,
             memo_misses: 0,
+            rank_pruned: 0,
+            warm_hits: 0,
         };
 
         let state: Vec<(usize, f64)> = (0..job_slice.len())
@@ -413,9 +492,12 @@ impl Scheduler for ExMem {
             .collect();
         let result = solve(&mut search, &state, now, incumbent);
         let approximate = search.approximate;
+        let budget_truncated = search.budget_truncated;
         let (hits, misses) = (search.memo_hits, search.memo_misses);
         self.nodes_explored = search.work;
         self.degraded = approximate;
+        self.last_rank_pruned = search.rank_pruned;
+        self.last_warm_hits = search.warm_hits;
 
         // One aggregate event per activation, never per lookup: the memo
         // is consulted once per expanded state, so per-hit emission would
@@ -425,7 +507,7 @@ impl Scheduler for ExMem {
                 ctx.trace.emit(
                     JournalEvent::at(now, EventKind::MemoHit)
                         .detail(hits.min(u64::from(u32::MAX)) as u32)
-                        .value(self.memo.len() as f64),
+                        .value(self.cache.len() as f64),
                 );
             }
             if misses > 0 {
@@ -434,11 +516,11 @@ impl Scheduler for ExMem {
                         .detail(misses.min(u64::from(u32::MAX)) as u32),
                 );
             }
-            if approximate {
+            if budget_truncated {
                 ctx.trace.emit(
                     JournalEvent::at(now, EventKind::Truncation)
                         .value(self.nodes_explored as f64)
-                        .aux(self.budget.tightest(ctx.budget).node_limit().unwrap_or(0) as f64),
+                        .aux(effective.node_limit().unwrap_or(0) as f64),
                 );
             }
             if self.last_evicted > 0 {
@@ -447,10 +529,24 @@ impl Scheduler for ExMem {
                         .detail(self.last_evicted.min(u32::MAX as usize) as u32),
                 );
             }
+            if self.last_rank_pruned > 0 {
+                ctx.trace.emit(
+                    JournalEvent::at(now, EventKind::RankPrune)
+                        .detail(self.last_rank_pruned.min(u64::from(u32::MAX)) as u32)
+                        .value(rank_cap as f64),
+                );
+            }
+            if self.last_warm_hits > 0 {
+                ctx.trace.emit(
+                    JournalEvent::at(now, EventKind::CacheWarmHit)
+                        .detail(self.last_warm_hits.min(u64::from(u32::MAX)) as u32)
+                        .value(self.cache.warm_len() as f64),
+                );
+            }
         }
 
         let schedule = match result {
-            Some(_) => reconstruct(job_slice, &self.memo, state, now).or(seed_schedule),
+            Some(_) => reconstruct(job_slice, &self.cache.memo, state, now).or(seed_schedule),
             // A truncated search that found nothing degrades to the MDF
             // incumbent; an exhaustive failure is a genuine rejection.
             None if approximate => seed_schedule,
@@ -515,6 +611,9 @@ fn solve(ctx: &mut SearchCtx<'_>, state: &[(usize, f64)], t: f64, incumbent: f64
         Some(MemoVal::Exact { energy, .. }) => {
             amrm_metrics::instrument::record_memo_hit();
             ctx.memo_hits += 1;
+            if !ctx.warm.is_empty() && ctx.warm.contains(&key) {
+                ctx.warm_hits += 1;
+            }
             return if *energy < incumbent {
                 Some(*energy)
             } else {
@@ -524,6 +623,9 @@ fn solve(ctx: &mut SearchCtx<'_>, state: &[(usize, f64)], t: f64, incumbent: f64
         Some(MemoVal::Infeasible) => {
             amrm_metrics::instrument::record_memo_hit();
             ctx.memo_hits += 1;
+            if !ctx.warm.is_empty() && ctx.warm.contains(&key) {
+                ctx.warm_hits += 1;
+            }
             return None;
         }
         Some(MemoVal::Bound { at_least }) if incumbent <= *at_least + EPS => {
@@ -551,19 +653,54 @@ fn solve(ctx: &mut SearchCtx<'_>, state: &[(usize, f64)], t: f64, incumbent: f64
     let approx_before = ctx.approximate;
     ctx.approximate = false;
 
-    // Enumerate all joint first-segment assignments.
+    // Enumerate joint first-segment assignments: all of them when the
+    // rank cap is infinite (the legacy exhaustive order, bit-identical),
+    // otherwise a cheapest-energy-first generation stopped at a small
+    // multiple of the cap.
     let mut candidates = Vec::new();
-    enumerate(
-        ctx,
-        state,
-        t,
-        0,
-        &mut vec![None; state.len()],
-        &ResourceVec::zeros(ctx.platform.num_types()),
-        &mut candidates,
-    );
+    if ctx.rank_cap == usize::MAX {
+        enumerate(
+            ctx,
+            state,
+            t,
+            0,
+            &mut vec![None; state.len()],
+            &ResourceVec::zeros(ctx.platform.num_types()),
+            &mut candidates,
+        );
+    } else {
+        let gen_cap = ctx.rank_cap.saturating_mul(RANK_OVERSAMPLE).max(1);
+        enumerate_ranked(
+            ctx,
+            state,
+            t,
+            0,
+            &mut vec![None; state.len()],
+            &ResourceVec::zeros(ctx.platform.num_types()),
+            &mut candidates,
+            gen_cap,
+        );
+        if candidates.len() >= gen_cap {
+            // The generation cap may have cut the space short; without
+            // proof of completeness the subtree is approximate (the
+            // rank-cap truncation below will usually also fire).
+            ctx.approximate = true;
+        }
+    }
     // Best-first exploration makes the local branch-and-bound effective.
+    // The sort is stable, so ties keep generation order and capped runs
+    // stay deterministic.
     candidates.sort_by(|a, b| a.bound.total_cmp(&b.bound));
+    if candidates.len() > ctx.rank_cap {
+        // Capped ranking: only the top-N cheapest lower bounds survive
+        // full recursive evaluation. Dropping candidates taints the
+        // subtree exactly like budget truncation — the result memoizes
+        // as an `Anytime` upper bound, never as a proof.
+        let dropped = (candidates.len() - ctx.rank_cap) as u64;
+        candidates.truncate(ctx.rank_cap);
+        ctx.rank_pruned += dropped;
+        ctx.approximate = true;
+    }
 
     let mut local_best = incumbent;
     let mut best_choice: Option<Vec<Option<usize>>> = None;
@@ -684,6 +821,52 @@ fn enumerate(
         enumerate(ctx, state, t, depth + 1, choice, &demand, out);
     }
     choice[depth] = None;
+}
+
+/// The rank-capped twin of [`enumerate`]: per-job points are tried
+/// cheapest-full-execution-energy-first and *before* the suspend option,
+/// and generation stops once `gen_cap` candidates exist — so the kept
+/// prefix is the low-energy corner of the joint space rather than an
+/// arbitrary one. Work accounting matches the legacy enumeration (one
+/// unit per recursion step) and the budget is honoured identically.
+#[allow(clippy::too_many_arguments)]
+fn enumerate_ranked(
+    ctx: &mut SearchCtx<'_>,
+    state: &[(usize, f64)],
+    t: f64,
+    depth: usize,
+    choice: &mut Vec<Option<usize>>,
+    used: &ResourceVec,
+    out: &mut Vec<Candidate>,
+    gen_cap: usize,
+) {
+    if out.len() >= gen_cap || ctx.out_of_budget() {
+        return;
+    }
+    ctx.work += 1;
+    if depth == state.len() {
+        push_candidate(ctx, state, t, choice, out);
+        return;
+    }
+    let (ji, _) = state[depth];
+    // Run options first, cheapest energy first.
+    for idx in 0..ctx.ranked_options[ji].len() {
+        let cfg = ctx.ranked_options[ji][idx];
+        let demand = used + ctx.jobs[ji].point(cfg).resources();
+        if !demand.fits_within(ctx.platform.counts()) {
+            continue;
+        }
+        choice[depth] = Some(cfg);
+        enumerate_ranked(ctx, state, t, depth + 1, choice, &demand, out, gen_cap);
+        if out.len() >= gen_cap {
+            choice[depth] = None;
+            return;
+        }
+    }
+    // Suspend last: an all-suspended assignment never advances time, so
+    // deprioritizing suspension keeps the generated prefix productive.
+    choice[depth] = None;
+    enumerate_ranked(ctx, state, t, depth + 1, choice, used, out, gen_cap);
 }
 
 fn push_candidate(
@@ -1023,12 +1206,14 @@ mod tests {
         // — on fresh-id streams the signature map must not outgrow the
         // memo it guards. (Ids 1/2 were re-inserted for the warm call.)
         let live: std::collections::HashSet<u64> = ex
+            .cache
             .memo
             .keys()
             .flat_map(|(_, state)| state.iter().map(|&(id, _)| id))
             .collect();
         assert!(
-            ex.signatures
+            ex.cache
+                .signatures
                 .keys()
                 .all(|id| live.contains(id) || *id == 1 || *id == 2),
             "orphaned signatures survived the cap eviction"
@@ -1111,6 +1296,146 @@ mod tests {
         let a = ExMem::new().schedule(&jobs, &platform, &ctx).unwrap();
         let b = ExMem::new().schedule(&jobs, &platform, &ctx).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn max_rank_cap_is_the_legacy_enumeration() {
+        // `usize::MAX` normalizes to no cap at the budget layer, so the
+        // legacy exhaustive path runs verbatim: identical schedule AND
+        // identical work accounting.
+        let platform = scenarios::platform();
+        let jobs = scenarios::s1_jobs_at_t1();
+        let plain = SchedulingContext::at(1.0).with_budget(SearchBudget::nodes(50_000));
+        let capped = SchedulingContext::at(1.0)
+            .with_budget(SearchBudget::nodes(50_000).with_rank_cap(usize::MAX));
+        let mut a = ExMem::new();
+        let mut b = ExMem::new();
+        let sa = a.schedule(&jobs, &platform, &plain).unwrap();
+        let sb = b.schedule(&jobs, &platform, &capped).unwrap();
+        assert_eq!(sa, sb);
+        assert_eq!(a.nodes_explored(), b.nodes_explored());
+    }
+
+    #[test]
+    fn finite_rank_cap_never_memoizes_exact() {
+        // Soundness: a state solved under a finite cap that actually
+        // dropped candidates is truncation-tainted — it must memoize as
+        // `Anytime` (or not at all), never as an `Exact` optimum or an
+        // `Infeasible`/`Bound` failure proof.
+        let platform = scenarios::platform();
+        let jobs = JobSet::new(vec![
+            Job::new(JobId(1), scenarios::lambda1(), 0.0, 25.0, 1.0),
+            Job::new(JobId(2), scenarios::lambda2(), 0.0, 9.0, 1.0),
+            Job::new(JobId(3), scenarios::lambda2(), 0.0, 16.0, 0.6),
+        ]);
+        let ctx =
+            SchedulingContext::at(0.0).with_budget(SearchBudget::nodes(50_000).with_rank_cap(1));
+        let mut ex = ExMem::new();
+        let s = ex.schedule(&jobs, &platform, &ctx).unwrap();
+        s.validate(&jobs, &platform, 0.0).unwrap();
+        assert!(ex.last_rank_pruned() > 0, "cap 1 must drop candidates");
+        assert!(ex.last_degraded(), "a pruning cap taints the activation");
+        assert!(
+            !ex.cache
+                .memo
+                .values()
+                .any(|v| matches!(v, MemoVal::Exact { .. } | MemoVal::Infeasible)),
+            "a capped activation that pruned must not record proofs"
+        );
+        assert_eq!(ex.cache().proof_count(), 0);
+    }
+
+    #[test]
+    fn rank_capped_result_is_feasible_and_never_worse_than_mdf() {
+        let platform = scenarios::platform();
+        let jobs = JobSet::new(vec![
+            Job::new(JobId(1), scenarios::lambda1(), 0.0, 25.0, 1.0),
+            Job::new(JobId(2), scenarios::lambda2(), 0.0, 9.0, 1.0),
+            Job::new(JobId(3), scenarios::lambda2(), 0.0, 16.0, 0.6),
+        ]);
+        let mdf = MmkpMdf::new().schedule_at(&jobs, &platform, 0.0).unwrap();
+        for cap in [1usize, 2, 4, 8, 24, 256] {
+            let ctx = SchedulingContext::at(0.0)
+                .with_budget(SearchBudget::nodes(50_000).with_rank_cap(cap));
+            let s = ExMem::new().schedule(&jobs, &platform, &ctx).unwrap();
+            s.validate(&jobs, &platform, 0.0).unwrap();
+            assert!(
+                s.energy(&jobs) <= mdf.energy(&jobs) + 1e-7,
+                "cap {cap}: {} > MDF {}",
+                s.energy(&jobs),
+                mdf.energy(&jobs)
+            );
+        }
+    }
+
+    #[test]
+    fn warm_cache_replays_the_cold_proofs() {
+        let platform = scenarios::platform();
+        let jobs = scenarios::s1_jobs_at_t1();
+
+        let mut cold = ExMem::new();
+        let cold_schedule = cold.schedule_at(&jobs, &platform, 1.0).unwrap();
+        let cold_work = cold.nodes_explored();
+        assert_eq!(cold.last_warm_hits(), 0, "a cold run has no warm entries");
+
+        // Roundtrip through the serialized form, as `repro --warm-cache`
+        // does, then solve the same activation warm.
+        let value = serde::Serialize::to_value(cold.cache());
+        let loaded = <MappingCache as serde::Deserialize>::from_value(&value).unwrap();
+        assert!(loaded.warm_len() > 0);
+        let mut warm = ExMem::new().with_cache(loaded);
+        let warm_schedule = warm.schedule_at(&jobs, &platform, 1.0).unwrap();
+        assert_eq!(
+            cold_schedule, warm_schedule,
+            "warm replay must reproduce the cold schedule exactly"
+        );
+        assert!(warm.last_warm_hits() > 0, "the root hit must count as warm");
+        assert!(
+            warm.nodes_explored() < cold_work,
+            "warm work {} should undercut cold work {cold_work}",
+            warm.nodes_explored()
+        );
+    }
+
+    #[test]
+    fn warm_cache_from_a_different_library_is_revalidated_away() {
+        // The bugfix satellite: signatures are content-based, so a cache
+        // recorded against one application library must be cleared — not
+        // trusted — when the points or deadlines differ, even though the
+        // JobIds and app names collide.
+        let platform = scenarios::platform();
+        let jobs = scenarios::s1_jobs_at_t1();
+        let mut cold = ExMem::new();
+        cold.schedule_at(&jobs, &platform, 1.0).unwrap();
+        let value = serde::Serialize::to_value(cold.cache());
+        let loaded = <MappingCache as serde::Deserialize>::from_value(&value).unwrap();
+
+        // Same ids, same app names would require an edited library to
+        // collide; a moved deadline is the cheapest content change.
+        let job_slice = jobs.jobs();
+        let shifted = JobSet::new(
+            job_slice
+                .iter()
+                .map(|j| {
+                    Job::new(
+                        j.id(),
+                        j.app().clone(),
+                        j.arrival(),
+                        j.deadline() + 5.0,
+                        j.remaining(),
+                    )
+                })
+                .collect(),
+        );
+        let mut warm = ExMem::new().with_cache(loaded);
+        let s = warm.schedule_at(&shifted, &platform, 1.0).unwrap();
+        assert_eq!(warm.last_warm_hits(), 0, "stale warm entries were served");
+        let fresh = ExMem::new().schedule_at(&shifted, &platform, 1.0).unwrap();
+        assert_eq!(
+            s.energy(&shifted).to_bits(),
+            fresh.energy(&shifted).to_bits(),
+            "the revalidated run must match a cold instance bit for bit"
+        );
     }
 
     #[test]

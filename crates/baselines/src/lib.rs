@@ -29,12 +29,14 @@
 //! assert!(optimal.energy(&jobs) <= heuristic.energy(&jobs) + 1e-9);
 //! ```
 
+mod cache;
 mod exmem;
 mod fixed;
 mod incremental;
 mod lr;
 mod meta;
 
+pub use crate::cache::MappingCache;
 pub use crate::exmem::ExMem;
 pub use crate::fixed::FixedMapper;
 pub use crate::incremental::IncrementalMapper;

@@ -176,7 +176,11 @@ impl MetaConfig {
             adaptive_budget: true,
             budget_tight_enter_delay: 1.5,
             budget_tight_exit_delay: 0.5,
-            exmem_tight_budget: SearchBudget::nodes(SearchBudget::ONLINE_WORK_UNITS / 8),
+            // The tight regime keeps the online rank cap: shrinking the
+            // work budget 8× without capping the per-node fan-out would
+            // leave even less budget to survive wide enumerations.
+            exmem_tight_budget: SearchBudget::nodes(SearchBudget::ONLINE_WORK_UNITS / 8)
+                .with_rank_cap(SearchBudget::ONLINE_RANK_CAP),
         }
     }
 

@@ -18,7 +18,8 @@ use amrm_core::{
     AdaptiveBatch, AdmissionPolicy, BatchK, Immediate, ReactivationPolicy, SchedulerRegistry,
     SearchBudget, SlackAware, WindowTau,
 };
-use amrm_metrics::{TelemetrySummary, TextTable};
+use amrm_metrics::journal::{EventKind, JournalConfig};
+use amrm_metrics::{TelemetrySummary, TextTable, TraceSink};
 use amrm_platform::Platform;
 use amrm_sim::Simulation;
 use amrm_workload::ScenarioRequest;
@@ -51,6 +52,15 @@ pub struct AdmissionCell {
     pub queue_deadline_drops: usize,
     /// Admitted jobs that finished late (0 unless a scheduler misbehaved).
     pub deadline_misses: usize,
+    /// Exact-path activations that exhausted their node budget and fell
+    /// back to the anytime incumbent (0 for the heuristic schedulers).
+    pub exact_truncations: u64,
+    /// Exact-path activations where the rank cap pruned first-segment
+    /// candidates before full evaluation.
+    pub rank_pruned: u64,
+    /// Exact-path activations that served at least one warm-start
+    /// (disk-loaded) mapping-cache proof.
+    pub cache_warm_hits: u64,
     /// End-of-run telemetry aggregates (queue-wait percentiles, EWMA
     /// utilization and arrival rate, rolling acceptance, …).
     pub telemetry: TelemetrySummary,
@@ -79,6 +89,20 @@ impl serde::Deserialize for AdmissionCell {
             activations: usize::from_value(field("activations")?)?,
             queue_deadline_drops: usize::from_value(field("queue_deadline_drops")?)?,
             deadline_misses: usize::from_value(field("deadline_misses")?)?,
+            // Absent in baselines written before the exact-path
+            // (rank-cap + warm-cache) counters existed.
+            exact_truncations: match field("exact_truncations") {
+                Ok(value) => u64::from_value(value)?,
+                Err(_) => 0,
+            },
+            rank_pruned: match field("rank_pruned") {
+                Ok(value) => u64::from_value(value)?,
+                Err(_) => 0,
+            },
+            cache_warm_hits: match field("cache_warm_hits") {
+                Ok(value) => u64::from_value(value)?,
+                Err(_) => 0,
+            },
             telemetry: match field("telemetry") {
                 Ok(value) => TelemetrySummary::from_value(value)?,
                 Err(_) => TelemetrySummary::default(),
@@ -185,15 +209,28 @@ pub fn admission_grid(
         let scheduler = registry
             .create_at(sched_idx)
             .expect("scheduler index in range");
-        let outcome = Simulation::new(
+        // The journal is observation-only (sampling cannot perturb the
+        // simulation), so installing it per cell changes no decision; it
+        // is what surfaces the exact path's truncation / rank-prune /
+        // warm-hit aggregates, which are exact counters even when the
+        // bounded ring evicts events.
+        let config = JournalConfig::default();
+        let mut sim = Simulation::new(
             platform.clone(),
             scheduler,
             ReactivationPolicy::OnArrival,
             policy,
             stream,
         )
-        .with_search_budget(budget)
-        .run();
+        .with_search_budget(budget);
+        sim.install_journal(TraceSink::enabled(config), config.sample);
+        let outcome = sim.run();
+        let journal = outcome.journal.as_ref().expect("journal installed");
+        let (exact_truncations, rank_pruned, cache_warm_hits) = (
+            journal.count_of(EventKind::Truncation),
+            journal.count_of(EventKind::RankPrune),
+            journal.count_of(EventKind::CacheWarmHit),
+        );
         AdmissionCell {
             stream: stream_label.to_string(),
             policy: policy_label,
@@ -205,6 +242,9 @@ pub fn admission_grid(
             activations: outcome.stats.activations,
             queue_deadline_drops: outcome.queue_deadline_drops,
             deadline_misses: outcome.stats.deadline_misses,
+            exact_truncations,
+            rank_pruned,
+            cache_warm_hits,
             telemetry: outcome.telemetry,
         }
     };
@@ -230,6 +270,9 @@ pub fn admission_report(cells: &[AdmissionCell]) -> String {
         "activations",
         "queue drops",
         "misses",
+        "trunc",
+        "pruned",
+        "warm",
         "wait p95 [s]",
         "decide p95 [ms]",
     ]);
@@ -243,6 +286,9 @@ pub fn admission_report(cells: &[AdmissionCell]) -> String {
             c.activations.to_string(),
             c.queue_deadline_drops.to_string(),
             c.deadline_misses.to_string(),
+            c.exact_truncations.to_string(),
+            c.rank_pruned.to_string(),
+            c.cache_warm_hits.to_string(),
             format!("{:.2}", c.telemetry.queue_wait_hist.p95),
             format!("{:.2}", c.telemetry.decision_seconds_hist.p95 * 1e3),
         ]);
@@ -309,6 +355,10 @@ mod tests {
             assert!(c.energy_per_job >= 0.0);
             assert_eq!(c.deadline_misses, 0);
             assert_eq!(c.telemetry.arrivals, c.requests);
+            // The heuristics never hit the exact path's aggregates.
+            assert_eq!(c.exact_truncations, 0);
+            assert_eq!(c.rank_pruned, 0);
+            assert_eq!(c.cache_warm_hits, 0);
         }
     }
 
@@ -504,6 +554,12 @@ mod tests {
             cells.iter().any(|c| c.accepted > 0),
             "budgeted EX-MEM admitted nothing on the bursty stream"
         );
+        // The capped online budget prunes wide bursts instead of burning
+        // the node budget on them — the prune aggregate must surface.
+        assert!(
+            cells.iter().any(|c| c.rank_pruned > 0),
+            "no bursty cell recorded rank-cap pruning"
+        );
     }
 
     #[test]
@@ -627,5 +683,9 @@ mod tests {
         assert_eq!(cell.stream, "poisson");
         assert_eq!(cell.policy, "BatchK(4)");
         assert_eq!(cell.telemetry, TelemetrySummary::default());
+        // Pre-exact-path baselines read back with zeroed counters.
+        assert_eq!(cell.exact_truncations, 0);
+        assert_eq!(cell.rank_pruned, 0);
+        assert_eq!(cell.cache_warm_hits, 0);
     }
 }

@@ -66,6 +66,11 @@ pub struct PerfBaseline {
     /// empty when the producing command skipped the trace, or the file
     /// predates it).
     pub trace: Vec<crate::trace::TraceCount>,
+    /// EX-MEM exact-path cells: capped-vs-uncapped ranking and
+    /// cold-vs-warm cache replay (`repro exact`; empty when the
+    /// producing command skipped the exact bench, or the file predates
+    /// it).
+    pub exact: Vec<crate::exact::ExactCell>,
 }
 
 impl serde::Deserialize for PerfBaseline {
@@ -98,6 +103,11 @@ impl serde::Deserialize for PerfBaseline {
             },
             // Absent in baselines written before `repro trace` existed.
             trace: match field("trace") {
+                Ok(value) => Vec::from_value(value)?,
+                Err(_) => Vec::new(),
+            },
+            // Absent in baselines written before `repro exact` existed.
+            exact: match field("exact") {
                 Ok(value) => Vec::from_value(value)?,
                 Err(_) => Vec::new(),
             },
@@ -151,6 +161,7 @@ pub fn summarize(
         profile: Vec::new(),
         shard: Vec::new(),
         trace: Vec::new(),
+        exact: Vec::new(),
     }
 }
 
@@ -232,6 +243,7 @@ mod tests {
         assert!(back.profile.is_empty());
         assert!(back.shard.is_empty());
         assert!(back.trace.is_empty());
+        assert!(back.exact.is_empty());
     }
 
     #[test]
@@ -263,8 +275,9 @@ mod tests {
         let back: PerfBaseline = serde_json::from_str(pre_shard).unwrap();
         assert_eq!(back.profile.len(), 1);
         assert!(back.shard.is_empty());
-        // A pre-trace baseline reads back with an empty trace section.
+        // A pre-trace baseline reads back with empty newer sections.
         assert!(back.trace.is_empty());
+        assert!(back.exact.is_empty());
     }
 
     #[test]

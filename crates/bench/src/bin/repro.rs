@@ -44,8 +44,15 @@
 //!               (--json writes the TraceReport; --sample N keeps one
 //!               request lifecycle in N; --out writes a Perfetto-loadable
 //!               Chrome trace-event file)
+//!   exact       EX-MEM exact path at scale: capped-vs-uncapped candidate
+//!               ranking on the bursty grid stream (truncation A/B at one
+//!               node budget), then cold-solve vs warm-start replay of a
+//!               calm stream through the persistent mapping cache
+//!               (--json writes the ExactReport; --cache-out saves the
+//!               cold run's proof cache; --warm-cache replays from a
+//!               previously saved cache file)
 //!   all         everything above except `ablation`/`admission`/`sweep`/
-//!               `tune`/`profile`/`shard`/`trace` (default)
+//!               `tune`/`profile`/`shard`/`trace`/`exact` (default)
 //!
 //! OPTIONS
 //!   --seed N         RNG seed for suite generation (default 2020)
@@ -61,6 +68,10 @@
 //!                    by arrival ordinal (trace only; default 0 = all)
 //!   --out F          write the Chrome trace-event (Perfetto) file to F
 //!                    (trace only)
+//!   --cache-out F    save the cold run's mapping cache (proofs only) to F
+//!                    (exact only)
+//!   --warm-cache F   replay warm from the mapping cache saved at F
+//!                    (exact only)
 //!   --suite-out F    save the generated suite as JSON
 //!   --json F         with suite commands: write per-scheduler energy/
 //!                    feasibility/search-time aggregates plus the
@@ -102,6 +113,8 @@ struct Options {
     baseline_in: Option<String>,
     sample: Option<u64>,
     trace_out: Option<String>,
+    warm_cache: Option<String>,
+    cache_out: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -119,6 +132,8 @@ fn parse_args() -> Result<Options, String> {
         baseline_in: None,
         sample: None,
         trace_out: None,
+        warm_cache: None,
+        cache_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -169,6 +184,12 @@ fn parse_args() -> Result<Options, String> {
             }
             "--out" => {
                 opts.trace_out = Some(args.next().ok_or("--out needs a path")?);
+            }
+            "--warm-cache" => {
+                opts.warm_cache = Some(args.next().ok_or("--warm-cache needs a path")?);
+            }
+            "--cache-out" => {
+                opts.cache_out = Some(args.next().ok_or("--cache-out needs a path")?);
             }
             "--help" | "-h" => {
                 return Err("help".to_string());
@@ -247,9 +268,10 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: repro [table2|motivation|table3|fig2|table4|fig3|fig4|ablation|\
-                 admission|sweep|tune|profile|shard|trace|all] [--seed N] [--threads N] \
+                 admission|sweep|tune|profile|shard|trace|exact|all] [--seed N] [--threads N] \
                  [--quick] [--suite-out FILE] [--json FILE] [--schedulers A,B,...] \
-                 [--requests N] [--baseline FILE] [--sample N] [--out FILE]"
+                 [--requests N] [--baseline FILE] [--sample N] [--out FILE] \
+                 [--warm-cache FILE] [--cache-out FILE]"
             );
             return if msg == "help" {
                 ExitCode::SUCCESS
@@ -278,11 +300,19 @@ fn main() -> ExitCode {
         && opts.command != "profile"
         && opts.command != "shard"
         && opts.command != "trace"
+        && opts.command != "exact"
     {
         eprintln!(
             "error: --json only applies to commands that evaluate the suite \
-             (fig2, table4, fig3, fig4, all), `sweep`, `tune`, `profile`, `shard` \
-             or `trace`, not `{}`",
+             (fig2, table4, fig3, fig4, all), `sweep`, `tune`, `profile`, `shard`, \
+             `trace` or `exact`, not `{}`",
+            opts.command
+        );
+        return ExitCode::FAILURE;
+    }
+    if (opts.warm_cache.is_some() || opts.cache_out.is_some()) && opts.command != "exact" {
+        eprintln!(
+            "error: --warm-cache/--cache-out only apply to `exact`, not `{}`",
             opts.command
         );
         return ExitCode::FAILURE;
@@ -497,6 +527,38 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    if opts.command == "exact" {
+        eprintln!(
+            "running EX-MEM exact-path bench: ranking A/B on the bursty grid stream, \
+             cold-then-warm cache replay (seed {}{}) ...",
+            opts.seed,
+            if opts.quick { ", quick" } else { "" }
+        );
+        let report = match amrm_bench::exact::run_exact(
+            opts.quick,
+            opts.seed,
+            opts.warm_cache.as_deref().map(std::path::Path::new),
+            opts.cache_out.as_deref().map(std::path::Path::new),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: exact-path bench failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", amrm_bench::exact::exact_report(&report));
+        if let Some(path) = &opts.cache_out {
+            eprintln!("mapping cache saved to {path}");
+        }
+        if let Some(path) = &opts.json_out {
+            if let Err(e) = amrm_bench::exact::write_json(path, &report) {
+                eprintln!("error: cannot write exact report to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("exact artifact written to {path}");
+        }
+        return ExitCode::SUCCESS;
+    }
     if opts.command == "sweep" {
         let platform = Platform::odroid_xu4();
         eprintln!(
@@ -622,6 +684,14 @@ fn main() -> ExitCode {
         summary.trace = amrm_bench::trace::run_trace(opts.quick, opts.seed, 0)
             .report
             .counts;
+        eprintln!("running EX-MEM exact-path bench for the baseline ...");
+        match amrm_bench::exact::run_exact(opts.quick, opts.seed, None, None) {
+            Ok(report) => summary.exact = report.cells,
+            Err(e) => {
+                eprintln!("error: exact-path bench failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         if let Err(e) = baseline::write_json(path, &summary) {
             eprintln!("error: cannot write baseline to {path}: {e}");
             return ExitCode::FAILURE;

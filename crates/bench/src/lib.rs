@@ -22,6 +22,9 @@
 //!   (`repro shard`);
 //! * [`trace`] — deterministic event-journal trace of a federated META
 //!   run with Chrome trace-event (Perfetto) export (`repro trace`);
+//! * [`exact`] — EX-MEM exact-path A/B: capped candidate ranking vs the
+//!   uncapped enumeration on the bursty grid stream, and cold-solve vs
+//!   warm-start replay from a persisted mapping cache (`repro exact`);
 //! * [`baseline`] — condenses an evaluation into the machine-readable
 //!   perf baseline (`BENCH_baseline.json`).
 //!
@@ -34,6 +37,7 @@
 pub mod ablation;
 pub mod admission;
 pub mod baseline;
+pub mod exact;
 pub mod profile;
 pub mod reports;
 pub mod runner;
@@ -46,6 +50,7 @@ pub use amrm_core::fanout;
 
 pub use crate::admission::{admission_grid, admission_report, standard_policies, AdmissionCell};
 pub use crate::baseline::{summarize, write_json, PerfBaseline, SchedulerBaseline};
+pub use crate::exact::{exact_report, run_exact, run_exact_with, ExactCell, ExactReport};
 pub use crate::profile::{
     check_floor, profile_report, run_profile, run_profile_with, ProfileCell, ProfileReport,
 };

@@ -18,7 +18,7 @@
 
 use std::time::Instant;
 
-use amrm_baselines::{standard_registry, MDF_NAME, META_NAME};
+use amrm_baselines::{standard_registry, EXMEM_NAME, MDF_NAME, META_NAME};
 use amrm_core::{Immediate, ReactivationPolicy, SearchBudget};
 use amrm_metrics::{instrument, CounterSnapshot, CountingAllocator, TextTable};
 use amrm_platform::Platform;
@@ -75,15 +75,32 @@ pub struct ProfileReport {
     pub peak_alloc_bytes: u64,
 }
 
+/// The EX-MEM exact-path profile cell runs at `requests /
+/// EXACT_PROFILE_DIVISOR` arrivals: a budgeted exhaustive activation
+/// costs orders of magnitude more than a heuristic one, and the cell
+/// exists to watch the *per-activation* cost of the capped ranked search
+/// (and its memo hit rate), not to race the streaming kernel.
+pub const EXACT_PROFILE_DIVISOR: usize = 100;
+
 /// Runs the throughput profile: `requests` diurnal arrivals through the
 /// streaming kernel once per profiled scheduler (MMKP-MDF, META), in lean
-/// outcome mode under [`SearchBudget::online`].
+/// outcome mode under [`SearchBudget::online`], plus an EX-MEM exact-path
+/// cell at `requests / `[`EXACT_PROFILE_DIVISOR`] arrivals (each cell's
+/// own `requests` field records its count).
 ///
 /// # Panics
 ///
 /// Panics if `requests` is zero.
 pub fn run_profile(requests: usize, seed: u64) -> ProfileReport {
-    run_profile_with(requests, seed, &[MDF_NAME, META_NAME])
+    let mut report = run_profile_with(requests, seed, &[MDF_NAME, META_NAME]);
+    let exact = run_profile_with(
+        (requests / EXACT_PROFILE_DIVISOR).max(1),
+        seed,
+        &[EXMEM_NAME],
+    );
+    report.cells.extend(exact.cells);
+    report.peak_alloc_bytes = report.peak_alloc_bytes.max(exact.peak_alloc_bytes);
+    report
 }
 
 /// [`run_profile`] over an explicit registry subset — the 1M-request
@@ -157,11 +174,13 @@ pub fn run_profile_with(requests: usize, seed: u64, schedulers: &[&str]) -> Prof
 /// footnote.
 pub fn profile_report(report: &ProfileReport) -> String {
     let mut out = format!(
-        "Streaming-kernel throughput profile: {} diurnal requests per scheduler (seed {})\n\n",
-        report.requests, report.seed
+        "Streaming-kernel throughput profile: {} diurnal requests per heuristic \
+         scheduler, 1/{} of that on the EX-MEM exact path (seed {})\n\n",
+        report.requests, EXACT_PROFILE_DIVISOR, report.seed
     );
     let mut t = TextTable::new(vec![
         "Scheduler",
+        "requests",
         "accepted",
         "wall s",
         "req/s",
@@ -176,6 +195,7 @@ pub fn profile_report(report: &ProfileReport) -> String {
     for c in &report.cells {
         t.add_row(vec![
             c.scheduler.clone(),
+            c.requests.to_string(),
             c.accepted.to_string(),
             format!("{:.2}", c.wall_seconds),
             format!("{:.0}", c.requests_per_second),
@@ -268,10 +288,18 @@ mod tests {
     fn profile_measures_throughput_and_counters() {
         let report = run_profile(200, 7);
         assert_eq!(report.requests, 200);
-        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cells.len(), 3);
         assert_eq!(report.cells[0].scheduler, MDF_NAME);
         assert_eq!(report.cells[1].scheduler, META_NAME);
-        for c in &report.cells {
+        assert_eq!(report.cells[2].scheduler, EXMEM_NAME);
+        // The exact-path cell runs at the reduced request count; its own
+        // `requests` field records it.
+        let exact = &report.cells[2];
+        assert_eq!(exact.requests, 200 / EXACT_PROFILE_DIVISOR);
+        assert!(exact.accepted <= exact.requests);
+        assert!(exact.wall_seconds > 0.0);
+        assert!(exact.counters.schedule_calls > 0);
+        for c in &report.cells[..2] {
             assert_eq!(c.requests, 200);
             assert!(c.accepted <= c.requests);
             assert!(c.wall_seconds > 0.0);

@@ -30,13 +30,14 @@
 //! `repro tune [--quick] [--json]` subcommand emits the report artifact
 //! with the fitted-vs-shipped diff.
 
-use amrm_baselines::{MetaConfig, MetaScheduler};
+use amrm_baselines::{ExMem, MetaConfig, MetaScheduler};
 use amrm_core::fanout::for_each_cell;
 use amrm_core::{
     AdaptiveBatch, AdmissionPolicy, Immediate, ReactivationPolicy, Scheduler, SearchBudget,
     SlackAware,
 };
-use amrm_metrics::TextTable;
+use amrm_metrics::journal::{EventKind, JournalConfig};
+use amrm_metrics::{TextTable, TraceSink};
 use amrm_model::AppRef;
 use amrm_platform::Platform;
 use amrm_sim::Simulation;
@@ -196,6 +197,36 @@ impl MetaParams {
     }
 }
 
+/// The tunable knobs of EX-MEM's capped exact path: how many ranked
+/// first-segment candidates survive to full evaluation per node, and how
+/// large the cross-activation memo may grow before bounded eviction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExMemParams {
+    /// Online rank cap (first-segment candidates fully evaluated).
+    pub rank_cap: usize,
+    /// Memo entries beyond which bounded eviction runs.
+    pub memo_cap: usize,
+}
+
+impl ExMemParams {
+    /// The shipped defaults, as searchable parameters.
+    pub fn shipped() -> Self {
+        ExMemParams {
+            rank_cap: SearchBudget::ONLINE_RANK_CAP,
+            memo_cap: ExMem::DEFAULT_MEMO_CAP,
+        }
+    }
+
+    /// Instantiates the scheduler these parameters describe. The rank
+    /// cap travels in the instance's own [`SearchBudget`], composed
+    /// min-wise with the context's online budget at every activation.
+    pub fn scheduler(&self) -> ExMem {
+        ExMem::new()
+            .with_budget(SearchBudget::unbounded().with_rank_cap(self.rank_cap))
+            .with_memo_cap(self.memo_cap)
+    }
+}
+
 /// One scored [`AdaptiveBatch`] candidate.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AdaptiveBatchCandidate {
@@ -221,6 +252,19 @@ pub struct MetaCandidate {
     pub params: MetaParams,
     /// Its fitness on the tuning streams.
     pub score: TuneScore,
+}
+
+/// One scored EX-MEM exact-path candidate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExMemCandidate {
+    /// The candidate's knobs.
+    pub params: ExMemParams,
+    /// Its fitness on the tuning streams.
+    pub score: TuneScore,
+    /// Budget truncations across the tuning streams — the contract axis:
+    /// a candidate may only win if it keeps at least the 2× truncation
+    /// drop against the uncapped reference (see [`exmem_eligible`]).
+    pub truncations: u64,
 }
 
 /// Search outcome of the [`AdaptiveBatch`] family: the shipped default,
@@ -265,6 +309,28 @@ pub struct MetaOutcome {
     pub winner_dominates: bool,
 }
 
+/// Search outcome of the EX-MEM exact-path family. Unlike the policy
+/// families, acceptance alone cannot pick this winner: a cap wide enough
+/// stops pruning, the node budget truncates instead, truncated
+/// activations memoize only `Anytime` results, and the warm-start proof
+/// cache silently dies. So the search also pins the truncation count of
+/// the *uncapped* reference, and only candidates that preserve the ≥2×
+/// truncation drop of the capped path are eligible to win.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExMemOutcome {
+    /// Candidates evaluated.
+    pub evaluated: usize,
+    /// Budget truncations of the uncapped reference over the same
+    /// streams — the bar [`exmem_eligible`] holds candidates to.
+    pub uncapped_truncations: u64,
+    /// The shipped default and its score.
+    pub shipped: ExMemCandidate,
+    /// The best-scoring candidate.
+    pub winner: ExMemCandidate,
+    /// `true` when the winner strictly beats the shipped default.
+    pub winner_dominates: bool,
+}
+
 /// The whole tuning run plus its provenance — the `repro tune --json`
 /// artifact. Thread-count independent by construction.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -283,6 +349,8 @@ pub struct TuneReport {
     pub slack_aware: SlackAwareOutcome,
     /// The META-threshold search.
     pub meta: MetaOutcome,
+    /// The EX-MEM exact-path search (rank cap × memo cap).
+    pub exmem: ExMemOutcome,
 }
 
 /// The three seeded streams every candidate is scored on: the steady and
@@ -327,12 +395,17 @@ fn meta_reference_batch_policy() -> AdaptiveBatch {
     )
 }
 
-/// Scores one run: acceptance and energy/job of a single simulation.
+/// Scores one run: acceptance and energy/job of a single simulation
+/// under the given context [`SearchBudget`]. Policy and META candidates
+/// run under [`SearchBudget::online`]; EX-MEM candidates run under the
+/// bare online *node* budget — their rank cap travels in the scheduler
+/// instance, and the context must not clamp it to the shipped value.
 fn run_cell<S: Scheduler, A: AdmissionPolicy>(
     platform: &Platform,
     scheduler: S,
     policy: A,
     stream: &[amrm_workload::ScenarioRequest],
+    budget: SearchBudget,
 ) -> (f64, f64) {
     let outcome = Simulation::new(
         platform.clone(),
@@ -341,9 +414,52 @@ fn run_cell<S: Scheduler, A: AdmissionPolicy>(
         policy,
         stream,
     )
-    .with_search_budget(SearchBudget::online())
+    .with_search_budget(budget)
     .run();
     (outcome.acceptance_rate(), outcome.energy_per_job())
+}
+
+/// Scores one EX-MEM run — acceptance, energy/job and the budget
+/// truncation count, the last via an observation-only journal (journals
+/// cannot perturb the simulation, so scores stay bit-identical to
+/// unjournaled runs). The context budget carries only the online node
+/// limit; the candidate's rank cap rides in the scheduler instance.
+fn run_exmem_cell(
+    platform: &Platform,
+    scheduler: ExMem,
+    stream: &[amrm_workload::ScenarioRequest],
+) -> (f64, f64, u64) {
+    let config = JournalConfig::default();
+    let mut sim = Simulation::new(
+        platform.clone(),
+        scheduler,
+        ReactivationPolicy::OnArrival,
+        Immediate,
+        stream,
+    )
+    .with_search_budget(SearchBudget::nodes(SearchBudget::ONLINE_WORK_UNITS));
+    sim.install_journal(TraceSink::enabled(config), config.sample);
+    let outcome = sim.run();
+    let truncations = outcome
+        .journal
+        .as_ref()
+        .map(|j| j.count_of(EventKind::Truncation))
+        .unwrap_or(0);
+    (
+        outcome.acceptance_rate(),
+        outcome.energy_per_job(),
+        truncations,
+    )
+}
+
+/// The exact-path contract an EX-MEM candidate must honor to win: at
+/// most half the uncapped reference's budget truncations over the tuning
+/// streams. Truncated activations memoize only `Anytime` results — no
+/// `Exact` proofs, nothing for the persistent cache to replay — so a cap
+/// that stops cutting truncations has stopped doing its job no matter
+/// how well it scores on acceptance.
+fn exmem_eligible(truncations: u64, uncapped_truncations: u64) -> bool {
+    truncations * 2 <= uncapped_truncations
 }
 
 /// Means over `(acceptance, energy)` cells into a [`TuneScore`].
@@ -431,6 +547,26 @@ fn meta_candidates(rng: &mut StdRng, extra: usize) -> Vec<MetaParams> {
     out
 }
 
+/// The deterministic candidate list of the EX-MEM exact-path family: the
+/// shipped pair first, then a rank-cap × memo-cap grid around it, then
+/// `extra` seeded random samples. Memo caps are powers of two — eviction
+/// granularity, not a fine-grained knob.
+fn exmem_candidates(rng: &mut StdRng, extra: usize) -> Vec<ExMemParams> {
+    let mut out = vec![ExMemParams::shipped()];
+    for &rank_cap in &[8usize, 12, 16, 32, 48, 64] {
+        for &memo_cap in &[1usize << 16, 1 << 20] {
+            out.push(ExMemParams { rank_cap, memo_cap });
+        }
+    }
+    for _ in 0..extra {
+        out.push(ExMemParams {
+            rank_cap: rng.gen_range(4usize..=96),
+            memo_cap: 1usize << rng.gen_range(14u32..22),
+        });
+    }
+    out
+}
+
 /// Index of the best score; earlier candidates win ties, so the shipped
 /// default (index 0) is only displaced by a strict improvement.
 fn argbest(scores: &[TuneScore]) -> usize {
@@ -464,12 +600,31 @@ pub fn tune_grid(platform: &Platform, library: &[AppRef], opts: &TuneOptions) ->
     let ab = adaptive_batch_candidates(&mut StdRng::seed_from_u64(opts.seed ^ 0xadba), extra);
     let sa = slack_aware_candidates(&mut StdRng::seed_from_u64(opts.seed ^ 0x51ac), extra / 2);
     let meta = meta_candidates(&mut StdRng::seed_from_u64(opts.seed ^ 0x3e7a), extra / 2);
+    let ex = exmem_candidates(&mut StdRng::seed_from_u64(opts.seed ^ 0xe0e0), extra / 2);
 
-    // One flat work index over all families, so slow META cells steal
-    // time from fast policy cells instead of serializing their family.
-    // Policy-family cells (AdaptiveBatch, SlackAware) share one scoring
-    // loop under MMKP-MDF; only the META family is scored differently.
-    let total = ab.len() + sa.len() + meta.len();
+    // The uncapped EX-MEM reference pins the truncation bar every capped
+    // candidate must clear (see [`exmem_eligible`]). Three serial runs
+    // before the fan-out: cheap, and trivially thread-independent.
+    let uncapped_truncations: u64 = streams
+        .iter()
+        .map(|(_, stream)| {
+            run_exmem_cell(
+                platform,
+                ExMem::new().with_budget(SearchBudget::unbounded()),
+                stream,
+            )
+            .2
+        })
+        .sum();
+
+    // One flat work index over all families, so slow META and EX-MEM
+    // cells steal time from fast policy cells instead of serializing
+    // their family. Policy-family cells (AdaptiveBatch, SlackAware)
+    // share one scoring loop under MMKP-MDF; META and EX-MEM cells are
+    // scored with their own schedulers below. Cells yield
+    // `(score, truncations)`; the truncation axis is only meaningful —
+    // and only nonzero — for EX-MEM cells.
+    let total = ab.len() + sa.len() + meta.len() + ex.len();
     let scores = for_each_cell(total, opts.threads, |cell| {
         // A fresh policy instance per stream — the adaptive policies are
         // stateful, and state must not leak across scored streams.
@@ -485,35 +640,82 @@ pub fn tune_grid(platform: &Platform, library: &[AppRef], opts: &TuneOptions) ->
         if let Some(factory) = policy_factory {
             let cells: Vec<(f64, f64)> = streams
                 .iter()
-                .map(|(_, stream)| run_cell(platform, amrm_core::MmkpMdf::new(), factory(), stream))
+                .map(|(_, stream)| {
+                    run_cell(
+                        platform,
+                        amrm_core::MmkpMdf::new(),
+                        factory(),
+                        stream,
+                        SearchBudget::online(),
+                    )
+                })
                 .collect();
-            return mean_score(&cells);
+            return (mean_score(&cells), 0);
         }
-        let params = &meta[cell - ab.len() - sa.len()];
-        let mut cells = Vec::with_capacity(streams.len() * 2);
+        if cell < ab.len() + sa.len() + meta.len() {
+            let params = &meta[cell - ab.len() - sa.len()];
+            let mut cells = Vec::with_capacity(streams.len() * 2);
+            for (_, stream) in &streams {
+                cells.push(run_cell(
+                    platform,
+                    MetaScheduler::with_config(params.config()),
+                    Immediate,
+                    stream,
+                    SearchBudget::online(),
+                ));
+                cells.push(run_cell(
+                    platform,
+                    MetaScheduler::with_config(params.config()),
+                    meta_reference_batch_policy(),
+                    stream,
+                    SearchBudget::online(),
+                ));
+            }
+            return (mean_score(&cells), 0);
+        }
+        // EX-MEM cells: the candidate's rank cap rides in the scheduler
+        // instance, so the context budget carries only the online node
+        // limit — `tightest()` must not clamp caps above the shipped
+        // default.
+        let params = &ex[cell - ab.len() - sa.len() - meta.len()];
+        let mut cells = Vec::with_capacity(streams.len());
+        let mut truncations = 0u64;
         for (_, stream) in &streams {
-            cells.push(run_cell(
-                platform,
-                MetaScheduler::with_config(params.config()),
-                Immediate,
-                stream,
-            ));
-            cells.push(run_cell(
-                platform,
-                MetaScheduler::with_config(params.config()),
-                meta_reference_batch_policy(),
-                stream,
-            ));
+            let (acceptance, energy, trunc) = run_exmem_cell(platform, params.scheduler(), stream);
+            cells.push((acceptance, energy));
+            truncations += trunc;
         }
-        mean_score(&cells)
+        (mean_score(&cells), truncations)
     });
 
-    let (ab_scores, rest) = scores.split_at(ab.len());
-    let (sa_scores, meta_scores) = rest.split_at(sa.len());
+    let (ab_cells, rest) = scores.split_at(ab.len());
+    let (sa_cells, rest) = rest.split_at(sa.len());
+    let (meta_cells, ex_cells) = rest.split_at(meta.len());
+    let strip =
+        |cells: &[(TuneScore, u64)]| -> Vec<TuneScore> { cells.iter().map(|c| c.0).collect() };
+    let (ab_scores, sa_scores, meta_scores) = (strip(ab_cells), strip(sa_cells), strip(meta_cells));
+    let ex_scores = strip(ex_cells);
+    // Ineligible EX-MEM candidates (contract breakers) are ranked with a
+    // sentinel score no real run can reach, so they can never displace
+    // the shipped default; their *true* scores still go in the report.
+    let ex_ranked: Vec<TuneScore> = ex_cells
+        .iter()
+        .map(|&(score, truncations)| {
+            if exmem_eligible(truncations, uncapped_truncations) {
+                score
+            } else {
+                TuneScore {
+                    acceptance: -1.0,
+                    energy_per_job: f64::MAX,
+                }
+            }
+        })
+        .collect();
 
-    let ab_best = argbest(ab_scores);
-    let sa_best = argbest(sa_scores);
-    let meta_best = argbest(meta_scores);
+    let ab_best = argbest(&ab_scores);
+    let sa_best = argbest(&sa_scores);
+    let meta_best = argbest(&meta_scores);
+    let ex_best = argbest(&ex_ranked);
 
     TuneReport {
         seed: opts.seed,
@@ -556,6 +758,21 @@ pub fn tune_grid(platform: &Platform, library: &[AppRef], opts: &TuneOptions) ->
             },
             winner_dominates: meta_best != 0,
         },
+        exmem: ExMemOutcome {
+            evaluated: ex.len(),
+            uncapped_truncations,
+            shipped: ExMemCandidate {
+                params: ex[0].clone(),
+                score: ex_scores[0],
+                truncations: ex_cells[0].1,
+            },
+            winner: ExMemCandidate {
+                params: ex[ex_best].clone(),
+                score: ex_scores[ex_best],
+                truncations: ex_cells[ex_best].1,
+            },
+            winner_dominates: ex_best != 0,
+        },
     }
 }
 
@@ -591,6 +808,7 @@ pub fn tune_report(report: &TuneReport) -> String {
         )
     };
     let sa_params = |p: &SlackAwareParams| format!("window={} margin={}", p.max_window, p.margin);
+    let ex_params = |p: &ExMemParams| format!("rank_cap={} memo_cap={}", p.rank_cap, p.memo_cap);
     let meta_params = |p: &MetaParams| {
         format!(
             "rate={}/{} util={}/{} slack={}",
@@ -655,13 +873,43 @@ pub fn tune_report(report: &TuneReport) -> String {
         &report.meta.winner.score,
         flag(report.meta.winner_dominates),
     );
+    row(
+        "EX-MEM",
+        "shipped",
+        format!(
+            "{} trunc={}",
+            ex_params(&report.exmem.shipped.params),
+            report.exmem.shipped.truncations
+        ),
+        &report.exmem.shipped.score,
+        "-",
+    );
+    row(
+        "EX-MEM",
+        "winner",
+        format!(
+            "{} trunc={}",
+            ex_params(&report.exmem.winner.params),
+            report.exmem.winner.truncations
+        ),
+        &report.exmem.winner.score,
+        flag(report.exmem.winner_dominates),
+    );
     out.push_str(&t.to_string());
     out.push_str(&format!(
-        "\nCandidates evaluated: {} AdaptiveBatch, {} SlackAware, {} META. \
-         A \"yes\" in `dominates` means the winner strictly beats the \
-         shipped default on these streams — the fitted() constructors \
-         record such winners.\n",
-        report.adaptive_batch.evaluated, report.slack_aware.evaluated, report.meta.evaluated,
+        "\nCandidates evaluated: {} AdaptiveBatch, {} SlackAware, {} META, \
+         {} EX-MEM. A \"yes\" in `dominates` means the winner strictly \
+         beats the shipped default on these streams — the fitted() \
+         constructors and the shipped exact-path caps record such \
+         winners. EX-MEM candidates must additionally keep a ≥2× drop in \
+         budget truncations against the uncapped reference ({} over these \
+         streams) — an over-wide cap stops producing Exact proofs and \
+         starves the warm-start cache.\n",
+        report.adaptive_batch.evaluated,
+        report.slack_aware.evaluated,
+        report.meta.evaluated,
+        report.exmem.evaluated,
+        report.exmem.uncapped_truncations,
     ));
     out
 }
@@ -698,6 +946,49 @@ mod tests {
             SlackAwareParams::shipped()
         );
         assert_eq!(meta_candidates(&mut rng, 2)[0], MetaParams::shipped());
+        assert_eq!(exmem_candidates(&mut rng, 2)[0], ExMemParams::shipped());
+    }
+
+    #[test]
+    fn exmem_candidates_are_seed_deterministic_and_sane() {
+        let a = exmem_candidates(&mut StdRng::seed_from_u64(9), 4);
+        let b = exmem_candidates(&mut StdRng::seed_from_u64(9), 4);
+        assert_eq!(a, b);
+        let c = exmem_candidates(&mut StdRng::seed_from_u64(10), 4);
+        assert_ne!(a, c, "different seeds must explore different samples");
+        for params in &a {
+            assert!(params.rank_cap >= 1, "a zero rank cap evaluates nothing");
+            assert!(params.memo_cap.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn exmem_eligibility_is_the_two_x_truncation_contract() {
+        // Calm streams (no uncapped truncations) demand a clean run.
+        assert!(exmem_eligible(0, 0));
+        assert!(!exmem_eligible(1, 0));
+        // Busy streams demand at least a 2× drop.
+        assert!(exmem_eligible(7, 15));
+        assert!(!exmem_eligible(8, 15));
+    }
+
+    #[test]
+    fn exmem_candidate_budget_survives_online_composition() {
+        // The candidate's cap must govern when composed with the bare
+        // online node budget the EX-MEM cells are scored under; the
+        // shipped `online()` budget would clamp caps above 24.
+        let candidate = ExMemParams {
+            rank_cap: 64,
+            memo_cap: 1 << 16,
+        };
+        let own = SearchBudget::unbounded().with_rank_cap(candidate.rank_cap);
+        let context = SearchBudget::nodes(SearchBudget::ONLINE_WORK_UNITS);
+        assert_eq!(own.tightest(context).rank_cap(), Some(64));
+        assert_eq!(
+            own.tightest(SearchBudget::online()).rank_cap(),
+            Some(SearchBudget::ONLINE_RANK_CAP),
+            "the shipped online budget clamps — the reason cells use nodes()"
+        );
     }
 
     #[test]
@@ -782,10 +1073,13 @@ mod tests {
         assert!(report.adaptive_batch.evaluated > 27);
         assert!(report.slack_aware.evaluated > 12);
         assert!(report.meta.evaluated > 12);
+        assert!(report.exmem.evaluated > 12);
         let text = tune_report(&report);
         assert!(text.contains("AdaptiveBatch"));
         assert!(text.contains("SlackAware"));
         assert!(text.contains("META"));
+        assert!(text.contains("EX-MEM"));
+        assert!(text.contains("rank_cap="));
         assert!(text.contains("shipped"));
         assert!(text.contains("winner"));
     }
@@ -813,5 +1107,6 @@ mod tests {
             back.meta.winner.score.acceptance.to_bits(),
             report.meta.winner.score.acceptance.to_bits()
         );
+        assert_eq!(back.exmem.winner.params, report.exmem.winner.params);
     }
 }

@@ -17,8 +17,13 @@ fn quick_profile_reports_counters_and_allocations() {
     let report = run_profile(2_000, 11);
     assert!(CountingAllocator::installed());
     assert!(report.peak_alloc_bytes > 0);
-    assert_eq!(report.cells.len(), 2);
-    for cell in &report.cells {
+    // Two heuristic cells plus the reduced-count EX-MEM exact-path cell.
+    assert_eq!(report.cells.len(), 3);
+    let exact = &report.cells[2];
+    assert_eq!(exact.requests, 20);
+    assert!(exact.counters.schedule_calls > 0);
+    assert!(exact.allocated_bytes > 0);
+    for cell in &report.cells[..2] {
         assert_eq!(cell.requests, 2_000);
         assert!(cell.requests_per_second > 0.0);
         assert!(cell.events_per_second > 0.0);

@@ -67,6 +67,13 @@ pub enum EventKind {
     MemoEvict,
     /// EX-MEM's anytime search truncated on budget exhaustion.
     Truncation,
+    /// EX-MEM's rank cap dropped first-segment candidates before full
+    /// evaluation (detail = candidates dropped, value = the cap).
+    RankPrune,
+    /// EX-MEM served a conclusive memo hit from a disk-loaded warm-start
+    /// cache entry (detail = warm hits this activation,
+    /// value = warm entries resident).
+    CacheWarmHit,
     /// The federation dispatcher advanced every shard to a lockstep
     /// barrier (detail = epoch ordinal, value = barrier instant).
     EpochBarrier,
@@ -79,7 +86,7 @@ pub enum EventKind {
 }
 
 /// Number of [`EventKind`] variants (journal counter width).
-pub const KIND_COUNT: usize = 17;
+pub const KIND_COUNT: usize = 19;
 
 impl EventKind {
     /// Every kind, in declaration order (= counter index order).
@@ -98,6 +105,8 @@ impl EventKind {
         EventKind::MemoMiss,
         EventKind::MemoEvict,
         EventKind::Truncation,
+        EventKind::RankPrune,
+        EventKind::CacheWarmHit,
         EventKind::EpochBarrier,
         EventKind::Route,
         EventKind::Steal,
@@ -120,6 +129,8 @@ impl EventKind {
             EventKind::MemoMiss => "memo_miss",
             EventKind::MemoEvict => "memo_evict",
             EventKind::Truncation => "truncation",
+            EventKind::RankPrune => "rank_pruned",
+            EventKind::CacheWarmHit => "cache_warm_hit",
             EventKind::EpochBarrier => "epoch_barrier",
             EventKind::Route => "route",
             EventKind::Steal => "steal",

@@ -59,6 +59,15 @@ fn assert_reports_bit_identical(a: &TuneReport, b: &TuneReport) {
         a.meta.shipped.score.energy_per_job.to_bits(),
         b.meta.shipped.score.energy_per_job.to_bits()
     );
+    assert_eq!(a.exmem.winner.params, b.exmem.winner.params);
+    assert_eq!(
+        a.exmem.winner.score.acceptance.to_bits(),
+        b.exmem.winner.score.acceptance.to_bits()
+    );
+    assert_eq!(
+        a.exmem.shipped.score.energy_per_job.to_bits(),
+        b.exmem.shipped.score.energy_per_job.to_bits()
+    );
     // The serialized artifacts — what `repro tune --json` commits — must
     // match byte for byte.
     let ja = serde_json::to_string(a).expect("report serializes");
@@ -110,6 +119,7 @@ fn winners_never_score_below_the_shipped_defaults() {
             &report.slack_aware.winner.score,
         ),
         (&report.meta.shipped.score, &report.meta.winner.score),
+        (&report.exmem.shipped.score, &report.exmem.winner.score),
     ] {
         assert!(
             !shipped.beats(winner),
