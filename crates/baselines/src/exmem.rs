@@ -359,6 +359,12 @@ impl ExMem {
             self.last_evicted += before;
             return;
         }
+        #[cfg(debug_assertions)]
+        if let Some(msg) =
+            amrm_metrics::invariant::cap_exceeded(self.cache.memo.len(), Some(self.memo_cap))
+        {
+            panic!("EX-MEM memo {msg}");
+        }
         self.last_evicted += before - self.cache.memo.len();
         // The signature map guards the memo and must not outgrow it: on
         // a long stream of fresh job ids the mismatch clear never fires,
@@ -491,6 +497,12 @@ impl Scheduler for ExMem {
             .map(|i| (i, job_slice[i].remaining()))
             .collect();
         let result = solve(&mut search, &state, now, incumbent);
+        // Budget invariant: `out_of_budget` checks before every spend,
+        // so the work counter may hit the limit but never pass it.
+        #[cfg(debug_assertions)]
+        if let Some(msg) = amrm_metrics::invariant::budget_overdraw(search.work, search.limit) {
+            panic!("EX-MEM {msg}");
+        }
         let approximate = search.approximate;
         let budget_truncated = search.budget_truncated;
         let (hits, misses) = (search.memo_hits, search.memo_misses);

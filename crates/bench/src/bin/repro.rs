@@ -44,6 +44,14 @@
 //!               (--json writes the TraceReport; --sample N keeps one
 //!               request lifecycle in N; --out writes a Perfetto-loadable
 //!               Chrome trace-event file)
+//!   lint        determinism lint: the tidy-style amrm-lint pass over the
+//!               workspace sources (wall-clock reads, HashMap iteration,
+//!               derive(Default) drift, fan-out accumulation, bare
+//!               unwraps, unseeded RNGs, tie-break enum repr, stale
+//!               allowlist entries, library prints, partial_cmp) with
+//!               the committed lint.allow exceptions; exits non-zero on
+//!               any violation (--json writes the LintReport; --root
+//!               scans another tree, e.g. the lint fixtures)
 //!   exact       EX-MEM exact path at scale: capped-vs-uncapped candidate
 //!               ranking on the bursty grid stream (truncation A/B at one
 //!               node budget), then cold-solve vs warm-start replay of a
@@ -70,6 +78,8 @@
 //!                    (trace only)
 //!   --cache-out F    save the cold run's mapping cache (proofs only) to F
 //!                    (exact only)
+//!   --root DIR       scan root for the lint pass (lint only; default:
+//!                    the workspace root this binary was built from)
 //!   --warm-cache F   replay warm from the mapping cache saved at F
 //!                    (exact only)
 //!   --suite-out F    save the generated suite as JSON
@@ -115,6 +125,7 @@ struct Options {
     trace_out: Option<String>,
     warm_cache: Option<String>,
     cache_out: Option<String>,
+    lint_root: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -134,6 +145,7 @@ fn parse_args() -> Result<Options, String> {
         trace_out: None,
         warm_cache: None,
         cache_out: None,
+        lint_root: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -190,6 +202,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--cache-out" => {
                 opts.cache_out = Some(args.next().ok_or("--cache-out needs a path")?);
+            }
+            "--root" => {
+                opts.lint_root = Some(args.next().ok_or("--root needs a directory")?);
             }
             "--help" | "-h" => {
                 return Err("help".to_string());
@@ -268,10 +283,10 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: repro [table2|motivation|table3|fig2|table4|fig3|fig4|ablation|\
-                 admission|sweep|tune|profile|shard|trace|exact|all] [--seed N] [--threads N] \
-                 [--quick] [--suite-out FILE] [--json FILE] [--schedulers A,B,...] \
-                 [--requests N] [--baseline FILE] [--sample N] [--out FILE] \
-                 [--warm-cache FILE] [--cache-out FILE]"
+                 admission|sweep|tune|profile|shard|trace|lint|exact|all] [--seed N] \
+                 [--threads N] [--quick] [--suite-out FILE] [--json FILE] \
+                 [--schedulers A,B,...] [--requests N] [--baseline FILE] [--sample N] \
+                 [--out FILE] [--warm-cache FILE] [--cache-out FILE] [--root DIR]"
             );
             return if msg == "help" {
                 ExitCode::SUCCESS
@@ -301,11 +316,19 @@ fn main() -> ExitCode {
         && opts.command != "shard"
         && opts.command != "trace"
         && opts.command != "exact"
+        && opts.command != "lint"
     {
         eprintln!(
             "error: --json only applies to commands that evaluate the suite \
              (fig2, table4, fig3, fig4, all), `sweep`, `tune`, `profile`, `shard`, \
-             `trace` or `exact`, not `{}`",
+             `trace`, `lint` or `exact`, not `{}`",
+            opts.command
+        );
+        return ExitCode::FAILURE;
+    }
+    if opts.lint_root.is_some() && opts.command != "lint" {
+        eprintln!(
+            "error: --root only applies to `lint`, not `{}`",
             opts.command
         );
         return ExitCode::FAILURE;
@@ -363,6 +386,38 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if opts.command == "lint" {
+        // The binary is built from crates/bench, two levels below the
+        // workspace root that holds the sources and `lint.allow`.
+        let root = opts.lint_root.clone().unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .expect("crates/bench sits two levels below the workspace root")
+                .display()
+                .to_string()
+        });
+        let report = match amrm_lint::run_lint(std::path::Path::new(&root)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: lint pass failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", amrm_lint::report::render(&report));
+        if let Some(path) = &opts.json_out {
+            if let Err(e) = amrm_lint::report::write_json(path, &report) {
+                eprintln!("error: cannot write lint report to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("lint report written to {path}");
+        }
+        return if report.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     match opts.command.as_str() {
         "table2" | "all" => println!("{}", reports::table2_report()),
         _ => {}

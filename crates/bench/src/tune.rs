@@ -625,6 +625,8 @@ pub fn tune_grid(platform: &Platform, library: &[AppRef], opts: &TuneOptions) ->
     // `(score, truncations)`; the truncation axis is only meaningful —
     // and only nonzero — for EX-MEM cells.
     let total = ab.len() + sa.len() + meta.len() + ex.len();
+    // lint:serial-merge — `truncations` below is a per-cell local,
+    // returned with the cell and merged serially via `scores`.
     let scores = for_each_cell(total, opts.threads, |cell| {
         // A fresh policy instance per stream — the adaptive policies are
         // stateful, and state must not leak across scored streams.

@@ -1,0 +1,12 @@
+// AMRM-L001 negative: the pattern only in a string literal, a comment
+// (Instant::now), and inside a #[cfg(test)] region.
+
+pub const DOC: &str = "Instant::now is banned outside summary paths";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timers_are_fine_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,5 @@
+// AMRM-L001 positive: a wall-clock read outside any test region.
+
+pub fn decision_epoch() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,21 @@
+// AMRM-L002 negative: BTreeMap iterates in key order, and Vec iteration
+// is insertion-ordered — neither involves a hash map's randomized order.
+
+use std::collections::BTreeMap;
+
+pub struct Sorted {
+    entries: BTreeMap<u64, f64>,
+}
+
+impl Sorted {
+    pub fn total(&self, extra: &[f64]) -> f64 {
+        let mut sum = 0.0;
+        for v in self.entries.values() {
+            sum += v;
+        }
+        for v in extra.iter() {
+            sum += v;
+        }
+        sum
+    }
+}

@@ -1,0 +1,17 @@
+// AMRM-L002 positive: iterating a HashMap field in randomized order.
+
+use std::collections::HashMap;
+
+pub struct Memo {
+    entries: HashMap<u64, f64>,
+}
+
+impl Memo {
+    pub fn total(&self) -> f64 {
+        let mut sum = 0.0;
+        for v in self.entries.values() {
+            sum += v;
+        }
+        sum
+    }
+}

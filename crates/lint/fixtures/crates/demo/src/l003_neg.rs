@@ -1,0 +1,33 @@
+// AMRM-L003 negative: a delegating new(), a unit struct, and a
+// parameterized constructor — none can drift from the derive.
+
+#[derive(Debug, Default)]
+pub struct Registry {
+    pub names: Vec<String>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Marker;
+
+impl Marker {
+    pub fn new() -> Self {
+        Marker
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct Tagged {
+    pub tag: u8,
+}
+
+impl Tagged {
+    pub fn new(tag: u8) -> Self {
+        Tagged { tag }
+    }
+}

@@ -1,0 +1,13 @@
+// AMRM-L003 positive: derive(Default) zeroes `cap` while the canonical
+// no-arg constructor sets 100 — the two construction paths diverge.
+
+#[derive(Debug, Clone, Default)]
+pub struct BudgetCfg {
+    pub cap: usize,
+}
+
+impl BudgetCfg {
+    pub fn new() -> Self {
+        BudgetCfg { cap: 100 }
+    }
+}

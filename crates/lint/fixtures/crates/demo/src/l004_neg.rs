@@ -1,0 +1,16 @@
+// AMRM-L004 negative: the accumulation is per-cell-local and the
+// audited serial merge is marked.
+
+pub fn score_all(weights: &[f64], threads: usize) -> f64 {
+    // lint:serial-merge — per-cell partial sums, merged serially below.
+    let partials = for_each_cell(weights.len(), threads, |cell| {
+        let mut local = 0.0;
+        local += weights[cell];
+        local
+    });
+    partials.iter().sum()
+}
+
+fn for_each_cell<T>(n: usize, _threads: usize, f: impl FnMut(usize) -> T) -> Vec<T> {
+    (0..n).map(f).collect()
+}

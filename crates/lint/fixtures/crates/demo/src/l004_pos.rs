@@ -1,0 +1,15 @@
+// AMRM-L004 positive: a `+=` inside the fan-out closure with no
+// serial-merge marker anywhere near the call.
+
+pub fn score_all(weights: &[f64], threads: usize) -> f64 {
+    let mut total = 0.0;
+    let _ = for_each_cell(weights.len(), threads, |cell| {
+        total += weights[cell];
+        total
+    });
+    total
+}
+
+fn for_each_cell<T>(n: usize, _threads: usize, f: impl FnMut(usize) -> T) -> Vec<T> {
+    (0..n).map(f).collect()
+}

@@ -1,0 +1,19 @@
+// AMRM-L005 negative: expect() with an invariant message in library
+// code, and a bare unwrap() confined to a #[cfg(test)] region.
+
+pub fn first_positive(values: &[f64]) -> f64 {
+    *values
+        .iter()
+        .find(|v| **v > 0.0)
+        .expect("caller guarantees a positive value")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = [1.0];
+        let _ = super::first_positive(&v);
+        let _ = v.first().unwrap();
+    }
+}

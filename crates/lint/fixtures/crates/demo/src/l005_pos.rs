@@ -1,0 +1,5 @@
+// AMRM-L005 positive: a bare unwrap() in library code.
+
+pub fn first_positive(values: &[f64]) -> f64 {
+    *values.iter().find(|v| **v > 0.0).unwrap()
+}

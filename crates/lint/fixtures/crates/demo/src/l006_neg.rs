@@ -1,0 +1,8 @@
+// AMRM-L006 negative: an explicitly seeded RNG, plus the banned names
+// appearing only in a comment (thread_rng, OsRng) and a string.
+
+pub const HINT: &str = "seed with StdRng::seed_from_u64, never from_entropy";
+
+pub fn seeded(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}

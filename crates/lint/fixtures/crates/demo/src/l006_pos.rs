@@ -1,0 +1,8 @@
+// AMRM-L006 positive: an entropy-seeded RNG breaks same-seed
+// reproducibility. (Fixtures are scanned, never compiled — the call
+// stands in for rand::thread_rng().)
+
+pub fn jitter() -> f64 {
+    let mut rng = thread_rng();
+    rng.next_f64()
+}

@@ -1,0 +1,16 @@
+// AMRM-L007 negative: the repr pins the discriminants (first enum), and
+// an Ord enum without explicit discriminants is not a tie-break
+// encoding (second enum).
+
+#[repr(u8)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TieBreak {
+    Completion = 0,
+    Arrival = 1,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Plain {
+    First,
+    Second,
+}

@@ -1,0 +1,9 @@
+// AMRM-L007 positive: an Ord-derived tie-break enum with explicit
+// discriminants but no #[repr(u8)].
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TieBreak {
+    Completion = 0,
+    Arrival = 1,
+    Expiry = 2,
+}

@@ -1,0 +1,14 @@
+// AMRM-L009 negative: the library returns data; a print under
+// #[cfg(test)] is debugging aid, not library output.
+
+pub fn report(energy: f64) -> String {
+    format!("total energy: {energy:.2} J")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_are_fine_in_tests() {
+        println!("{}", super::report(1.0));
+    }
+}

@@ -1,0 +1,5 @@
+// AMRM-L009 positive: a library crate printing to stdout.
+
+pub fn report(energy: f64) {
+    println!("total energy: {energy:.2} J");
+}

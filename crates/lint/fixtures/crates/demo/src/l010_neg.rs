@@ -1,0 +1,6 @@
+// AMRM-L010 negative: total_cmp is the total order over floats (NaN
+// included) — no unwrap, no panic, one deterministic order.
+
+pub fn sort_energies(values: &mut [f64]) {
+    values.sort_by(f64::total_cmp);
+}

@@ -1,0 +1,6 @@
+// AMRM-L010 positive: partial_cmp on floats — None on NaN, and the
+// expect detonates mid-sort at the worst time.
+
+pub fn sort_energies(values: &mut [f64]) {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN energies"));
+}

@@ -1,0 +1,225 @@
+//! The committed `lint.allow` exception file.
+//!
+//! Each justified exception is one line:
+//!
+//! ```text
+//! AMRM-L001 crates/core/src/manager.rs contains="Instant::now" reason="wall-clock decision timing is summary-only"
+//! ```
+//!
+//! * `code` and `path` are mandatory and must match the violation
+//!   exactly;
+//! * `contains="…"` optionally narrows the entry to flagged lines
+//!   containing the substring (recommended — it keeps the entry
+//!   anchored to the audited code);
+//! * `reason="…"` is mandatory: an exception without a justification is
+//!   a parse error, not a suppression.
+//!
+//! Entries are themselves linted: one that no longer suppresses any
+//! live violation is *stale* and reported as `AMRM-L008`, so the
+//! allowlist can only shrink alongside the code it excuses.
+
+use std::path::Path;
+
+use crate::report::{Suppression, Violation};
+use crate::rules;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// 1-based line in `lint.allow` (for staleness diagnostics).
+    pub line: usize,
+    /// The rule code this entry suppresses.
+    pub code: String,
+    /// Relative path of the file the entry covers.
+    pub path: String,
+    /// Optional substring the flagged raw line must contain.
+    pub contains: String,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
+impl AllowEntry {
+    /// Whether this entry suppresses the given violation (matched
+    /// against the raw source line).
+    pub fn matches(&self, v: &Violation, raw_line: &str) -> bool {
+        self.code == v.code
+            && self.path == v.file
+            && (self.contains.is_empty() || raw_line.contains(&self.contains))
+    }
+}
+
+/// The name of the exception file at the scan root.
+pub const ALLOW_FILE: &str = "lint.allow";
+
+/// Parses `lint.allow` content.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for malformed entries:
+/// unknown rule codes, missing fields or a missing `reason`.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (code, rest) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| format!("lint.allow:{}: entry needs `CODE PATH …`", idx + 1))?;
+        if !rules::all().iter().any(|r| r.code == code) {
+            return Err(format!(
+                "lint.allow:{}: unknown rule code `{code}`",
+                idx + 1
+            ));
+        }
+        let rest = rest.trim_start();
+        let (path, rest) = rest
+            .split_once(char::is_whitespace)
+            .map(|(p, r)| (p, r.trim_start()))
+            .unwrap_or((rest, ""));
+        if path.is_empty() {
+            return Err(format!("lint.allow:{}: entry needs a file path", idx + 1));
+        }
+        let contains = quoted_field(rest, "contains").unwrap_or_default();
+        let Some(reason) = quoted_field(rest, "reason") else {
+            return Err(format!(
+                "lint.allow:{}: entry needs a reason=\"…\" justification",
+                idx + 1
+            ));
+        };
+        if reason.trim().is_empty() {
+            return Err(format!("lint.allow:{}: reason must not be empty", idx + 1));
+        }
+        entries.push(AllowEntry {
+            line: idx + 1,
+            code: code.to_string(),
+            path: path.to_string(),
+            contains,
+            reason,
+        });
+    }
+    Ok(entries)
+}
+
+/// Extracts `key="value"` from an entry tail.
+fn quoted_field(rest: &str, key: &str) -> Option<String> {
+    let marker = format!("{key}=\"");
+    let start = rest.find(&marker)? + marker.len();
+    let end = rest[start..].find('"')?;
+    Some(rest[start..start + end].to_string())
+}
+
+/// Loads the allowlist next to the scan root; a missing file is an
+/// empty allowlist.
+///
+/// # Errors
+///
+/// Propagates parse errors ([`parse`]) and I/O errors other than
+/// `NotFound`.
+pub fn load(root: &Path) -> Result<Vec<AllowEntry>, String> {
+    let path = root.join(ALLOW_FILE);
+    match std::fs::read_to_string(&path) {
+        Ok(text) => parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+/// Splits raw violations into (surviving, suppressed) under the
+/// allowlist and appends an `AMRM-L008` violation for every stale
+/// entry. `raw_line_of` resolves a violation to its raw source line so
+/// `contains=` anchors can be checked.
+pub fn apply(
+    entries: &[AllowEntry],
+    raw: Vec<Violation>,
+    raw_line_of: impl Fn(&Violation) -> String,
+) -> (Vec<Violation>, Vec<Suppression>) {
+    let mut used = vec![0usize; entries.len()];
+    let mut violations = Vec::new();
+    let mut allowed = Vec::new();
+    for v in raw {
+        let line = raw_line_of(&v);
+        match entries.iter().position(|e| e.matches(&v, &line)) {
+            Some(i) => {
+                used[i] += 1;
+                allowed.push(Suppression {
+                    code: v.code,
+                    file: v.file,
+                    line: v.line,
+                    reason: entries[i].reason.clone(),
+                });
+            }
+            None => violations.push(v),
+        }
+    }
+    let stale_rule = rules::all()
+        .iter()
+        .find(|r| r.code == rules::STALE_ALLOW_CODE)
+        .expect("L008 is registered");
+    for (entry, &count) in entries.iter().zip(&used) {
+        if count == 0 {
+            violations.push(Violation {
+                code: rules::STALE_ALLOW_CODE.to_string(),
+                file: ALLOW_FILE.to_string(),
+                line: entry.line,
+                excerpt: format!(
+                    "{} {} contains=\"{}\"",
+                    entry.code, entry.path, entry.contains
+                ),
+                hint: stale_rule.hint.to_string(),
+            });
+        }
+    }
+    (violations, allowed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_entries() {
+        let text = "# comment\n\nAMRM-L001 crates/core/src/manager.rs contains=\"Instant::now\" reason=\"summary-only\"\n";
+        let entries = parse(text).expect("valid allowlist parses");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].code, "AMRM-L001");
+        assert_eq!(entries[0].contains, "Instant::now");
+        assert_eq!(entries[0].reason, "summary-only");
+        assert_eq!(entries[0].line, 3);
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let err = parse("AMRM-L001 a.rs contains=\"x\"\n").expect_err("missing reason rejected");
+        assert!(err.contains("reason"));
+    }
+
+    #[test]
+    fn unknown_codes_are_rejected() {
+        let err = parse("AMRM-L099 a.rs reason=\"x\"\n").expect_err("unknown code rejected");
+        assert!(err.contains("AMRM-L099"));
+    }
+
+    #[test]
+    fn stale_entries_become_l008() {
+        let entries = parse(
+            "AMRM-L001 a.rs contains=\"gone\" reason=\"was audited\"\n\
+             AMRM-L001 a.rs contains=\"Instant\" reason=\"still live\"\n",
+        )
+        .expect("valid allowlist parses");
+        let raw = vec![Violation {
+            code: "AMRM-L001".into(),
+            file: "a.rs".into(),
+            line: 4,
+            excerpt: "let t = Instant::now();".into(),
+            hint: String::new(),
+        }];
+        let (violations, allowed) = apply(&entries, raw, |_| "let t = Instant::now();".into());
+        assert_eq!(allowed.len(), 1);
+        assert_eq!(allowed[0].reason, "still live");
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].code, "AMRM-L008");
+        assert_eq!(violations[0].line, 1);
+    }
+}

@@ -1,0 +1,758 @@
+//! The determinism rule set.
+//!
+//! Every rule has a stable code (`AMRM-L001` …), a one-line fix hint
+//! and a line/token check over [`SourceFile`]s. The rules encode the
+//! workspace's determinism conventions — same-seed bit-identity across
+//! thread counts, pool widths and journal on/off rests on them:
+//!
+//! | code | convention |
+//! |------|------------|
+//! | L001 | wall-clock reads never feed sim-time state |
+//! | L002 | `HashMap`/`HashSet` iteration order never reaches output |
+//! | L003 | `derive(Default)` must not diverge from `new()` |
+//! | L004 | fan-out closures accumulate per-cell, merge serially |
+//! | L005 | no bare `unwrap()` in library crates |
+//! | L006 | RNGs are seeded, never entropy-constructed |
+//! | L007 | tie-break enums carry `#[repr(u8)]` |
+//! | L008 | allowlist entries must still match a live line |
+//! | L009 | library crates never print |
+//! | L010 | float ordering uses `total_cmp`, never `partial_cmp` |
+//!
+//! Each static rule names the same invariant the debug-assertions
+//! runtime layer checks dynamically (see `amrm_metrics::invariant`).
+
+use crate::report::Violation;
+use crate::scan::SourceFile;
+
+/// A registered lint rule.
+pub struct Rule {
+    /// Stable error code (`AMRM-L00x`).
+    pub code: &'static str,
+    /// Short kebab-style name for the report table.
+    pub name: &'static str,
+    /// One-line fix hint attached to every violation.
+    pub hint: &'static str,
+    /// The line/token check; pushes violations for one file.
+    pub check: fn(&Rule, &SourceFile, &mut Vec<Violation>),
+}
+
+impl Rule {
+    fn violation(&self, file: &SourceFile, idx: usize) -> Violation {
+        Violation {
+            code: self.code.to_string(),
+            file: file.rel_path.clone(),
+            line: idx + 1,
+            excerpt: file.raw[idx].trim().to_string(),
+            hint: self.hint.to_string(),
+        }
+    }
+}
+
+/// The code of the allowlist-staleness rule, reported by the allowlist
+/// layer rather than a per-file check.
+pub const STALE_ALLOW_CODE: &str = "AMRM-L008";
+
+/// The full rule registry, in code order. `AMRM-L008` has no per-file
+/// check — stale allowlist entries are synthesized by the driver — but
+/// it is registered here so the report tallies it zeros-included.
+pub fn all() -> &'static [Rule] {
+    &RULES
+}
+
+static RULES: [Rule; 10] = [
+    Rule {
+        code: "AMRM-L001",
+        name: "wall-clock-read",
+        hint: "wall-clock time must never feed sim-time state; keep it in \
+               summary-only paths and allowlist the site with a reason",
+        check: check_wall_clock,
+    },
+    Rule {
+        code: "AMRM-L002",
+        name: "hash-iteration",
+        hint: "HashMap/HashSet iteration order is randomized and leaks into \
+               output; sort after collect, use BTreeMap, or allowlist an \
+               order-independent use with a reason",
+        check: check_hash_iteration,
+    },
+    Rule {
+        code: "AMRM-L003",
+        name: "derive-default-drift",
+        hint: "derive(Default) silently diverges when new() sets non-zero \
+               fields; write an explicit `impl Default` delegating to new()",
+        check: check_derive_default,
+    },
+    Rule {
+        code: "AMRM-L004",
+        name: "fanout-accumulation",
+        hint: "accumulate inside the cell's return value and merge serially \
+               after for_each_cell; mark an audited serial merge with \
+               `// lint:serial-merge`",
+        check: check_fanout_accumulation,
+    },
+    Rule {
+        code: "AMRM-L005",
+        name: "bare-unwrap",
+        hint: "use .expect(\"invariant message\") or propagate the error — a \
+               bare unwrap() hides which invariant failed",
+        check: check_bare_unwrap,
+    },
+    Rule {
+        code: "AMRM-L006",
+        name: "unseeded-rng",
+        hint: "seed RNGs explicitly (StdRng::seed_from_u64) — entropy-seeded \
+               RNGs break same-seed reproducibility",
+        check: check_unseeded_rng,
+    },
+    Rule {
+        code: "AMRM-L007",
+        name: "tiebreak-repr",
+        hint: "an Ord-derived enum with explicit discriminants is a tie-break \
+               encoding; add #[repr(u8)] so the discriminants are the single \
+               stable order",
+        check: check_tiebreak_repr,
+    },
+    Rule {
+        code: STALE_ALLOW_CODE,
+        name: "stale-allowlist",
+        hint: "the allowlist entry no longer matches any flagged line; remove \
+               it or update its contains= pattern",
+        check: check_nothing,
+    },
+    Rule {
+        code: "AMRM-L009",
+        name: "library-print",
+        hint: "library crates stay silent — return data and let amrm-bench \
+               render it",
+        check: check_library_print,
+    },
+    Rule {
+        code: "AMRM-L010",
+        name: "float-partial-cmp",
+        hint: "use f64::total_cmp — partial_cmp is None on NaN and unwrapping \
+               it panics (or sorts unstably) at the worst time",
+        check: check_float_partial_cmp,
+    },
+];
+
+/// L008 is synthesized by the allowlist layer; nothing to do per file.
+fn check_nothing(_rule: &Rule, _file: &SourceFile, _out: &mut Vec<Violation>) {}
+
+// ---------------------------------------------------------------------
+// token helpers (std-only; no regex crate in this image)
+
+/// Whether `needle` occurs in `line` with non-identifier characters (or
+/// the line edge) on both sides.
+fn word_in(line: &str, needle: &str) -> bool {
+    find_word(line, needle).is_some()
+}
+
+/// Finds the byte offset of a whole-word occurrence of `needle`.
+fn find_word(line: &str, needle: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let left_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let right_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if left_ok && right_ok {
+            return Some(start);
+        }
+        from = end;
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Reads the identifier ending at byte offset `end` (exclusive),
+/// walking backwards over `[A-Za-z0-9_]`.
+fn ident_ending_at(line: &str, end: usize) -> Option<&str> {
+    let bytes = line.as_bytes();
+    let mut start = end;
+    while start > 0 && is_ident_byte(bytes[start - 1]) {
+        start -= 1;
+    }
+    if start == end {
+        None
+    } else {
+        Some(&line[start..end])
+    }
+}
+
+// ---------------------------------------------------------------------
+// AMRM-L001 — wall-clock reads
+
+fn check_wall_clock(rule: &Rule, file: &SourceFile, out: &mut Vec<Violation>) {
+    const PATTERNS: &[&str] = &["Instant::now", "SystemTime::now", "SystemTime::UNIX_EPOCH"];
+    for (i, line) in file.code.iter().enumerate() {
+        if !file.is_code_line(i) {
+            continue;
+        }
+        if PATTERNS.iter().any(|p| line.contains(p)) {
+            out.push(rule.violation(file, i));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// AMRM-L002 — HashMap/HashSet iteration
+
+/// Iteration methods whose visit order is the map's randomized hash
+/// order. `retain` mutates in that order too (its predicate must be
+/// order-independent to be sound).
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+fn check_hash_iteration(rule: &Rule, file: &SourceFile, out: &mut Vec<Violation>) {
+    // Pass 1: names bound or typed as HashMap/HashSet in this file
+    // (locals, fields and parameters — a per-file heuristic).
+    let mut names: Vec<String> = Vec::new();
+    for line in &file.code {
+        collect_hash_bindings(line, &mut names);
+    }
+    if names.is_empty() {
+        return;
+    }
+    names.sort();
+    names.dedup();
+
+    // Pass 2: iteration over one of those names.
+    for (i, line) in file.code.iter().enumerate() {
+        if !file.is_code_line(i) {
+            continue;
+        }
+        if names
+            .iter()
+            .any(|n| calls_iter_method(line, n) || for_loop_over(line, n))
+        {
+            out.push(rule.violation(file, i));
+        }
+    }
+}
+
+/// Records identifiers declared with a HashMap/HashSet type or
+/// constructor on this line.
+fn collect_hash_bindings(line: &str, names: &mut Vec<String>) {
+    for marker in ["HashMap<", "HashSet<", "HashMap::", "HashSet::"] {
+        let mut from = 0;
+        while let Some(pos) = line[from..].find(marker) {
+            let at = from + pos;
+            from = at + marker.len();
+            let before = line[..at].trim_end();
+            // `name: HashMap<…>` (field, param, let-with-annotation),
+            // possibly through `&`/`&mut`.
+            let before_ty = before
+                .trim_end_matches('&')
+                .trim_end()
+                .trim_end_matches("mut")
+                .trim_end();
+            if let Some(stripped) = before_ty.strip_suffix(':') {
+                let stripped = stripped.trim_end();
+                if let Some(name) = ident_ending_at(stripped, stripped.len()) {
+                    names.push(name.to_string());
+                    continue;
+                }
+            }
+            // `let [mut] name = HashMap::new()` / `…with_capacity(…)`.
+            if let Some(eq) = before.rfind('=') {
+                let lhs = before[..eq].trim_end();
+                if let Some(name) = ident_ending_at(lhs, lhs.len()) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+    }
+}
+
+/// Whether the line calls `<name>.<iter-method>(` (directly or through
+/// a field path ending in `name`).
+fn calls_iter_method(line: &str, name: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = find_word(&line[from..], name) {
+        let start = from + pos;
+        let after = &line[start + name.len()..];
+        from = start + name.len();
+        let after = after.trim_start();
+        let Some(rest) = after.strip_prefix('.') else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        for m in ITER_METHODS {
+            if let Some(tail) = rest.strip_prefix(m) {
+                if tail.trim_start().starts_with('(') {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Whether the line is a `for … in` loop over `name` (by reference or
+/// by value).
+fn for_loop_over(line: &str, name: &str) -> bool {
+    let Some(for_pos) = find_word(line, "for") else {
+        return false;
+    };
+    let Some(in_rel) = find_word(&line[for_pos..], "in") else {
+        return false;
+    };
+    let operand = line[for_pos + in_rel + 2..].trim();
+    let operand = operand.trim_end_matches('{').trim_end();
+    let operand = operand
+        .trim_start_matches('&')
+        .trim_start_matches("mut ")
+        .trim_start();
+    // Match `name` or a path ending in `.name`.
+    operand == name || operand.ends_with(&format!(".{name}"))
+}
+
+// ---------------------------------------------------------------------
+// AMRM-L003 — derive(Default) diverging from new()
+
+fn check_derive_default(rule: &Rule, file: &SourceFile, out: &mut Vec<Violation>) {
+    for (i, line) in file.code.iter().enumerate() {
+        if !file.is_code_line(i) {
+            continue;
+        }
+        if !(line.contains("derive(") && word_in(line, "Default")) {
+            continue;
+        }
+        // Find the annotated item: skip further attributes.
+        let mut j = i + 1;
+        while j < file.code.len() {
+            let s = file.code[j].trim_start();
+            if s.starts_with("#[") || s.is_empty() {
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        let Some(item) = file.code.get(j) else {
+            continue;
+        };
+        let Some(name) = struct_name(item) else {
+            continue; // enums and others are out of scope
+        };
+        // A unit struct has no fields the derive could zero out.
+        if item.trim_end().ends_with(';') && !item.contains('(') {
+            continue;
+        }
+        if let Some(body) = fn_new_body(file, &name) {
+            if !body.contains("default()") {
+                out.push(rule.violation(file, i));
+            }
+        }
+    }
+}
+
+/// Extracts `Name` from a `struct Name …` item line.
+fn struct_name(line: &str) -> Option<String> {
+    let pos = find_word(line, "struct")?;
+    let rest = line[pos + "struct".len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        None
+    } else {
+        Some(rest[..end].to_string())
+    }
+}
+
+/// Concatenated body of `fn new` inside the first `impl <Name>` block
+/// in the same file, if any.
+fn fn_new_body(file: &SourceFile, name: &str) -> Option<String> {
+    let impl_start = file.code.iter().position(|l| {
+        let Some(pos) = find_word(l, "impl") else {
+            return false;
+        };
+        // `impl Name` but not `impl Trait for Other`.
+        let rest = l[pos + 4..].trim_start();
+        rest.starts_with(name)
+            && !rest.contains(" for ")
+            && rest[name.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !(c.is_alphanumeric() || c == '_'))
+    })?;
+    // Brace-match the impl block.
+    let impl_end = match_braces(&file.code, impl_start)?;
+    let new_line = (impl_start..=impl_end).find(|&k| {
+        find_word(&file.code[k], "fn")
+            .is_some_and(|p| file.code[k][p + 2..].trim_start().starts_with("new"))
+    })?;
+    // Only a no-argument `new()` is comparable to `Default::default()`;
+    // a parameterized constructor has no canonical default to drift
+    // from.
+    if new_has_params(&file.code, new_line) {
+        return None;
+    }
+    let new_end = match_braces(&file.code, new_line)?;
+    Some(file.code[new_line..=new_end].join("\n"))
+}
+
+/// Whether the `fn new` starting on `new_line` declares parameters.
+fn new_has_params(code: &[String], new_line: usize) -> bool {
+    let window = code[new_line..code.len().min(new_line + 5)].join("\n");
+    let Some(p) = find_word(&window, "new") else {
+        return false;
+    };
+    let Some(open_rel) = window[p..].find('(') else {
+        return false;
+    };
+    let open = p + open_rel;
+    let mut depth = 0usize;
+    for (off, c) in window[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return !window[open + 1..open + off].trim().is_empty();
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Index of the line closing the brace block opened at (or after)
+/// `start`.
+fn match_braces(code: &[String], start: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut opened = false;
+    for (k, line) in code.iter().enumerate().skip(start) {
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if opened && depth <= 0 {
+            return Some(k);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// AMRM-L004 — accumulation inside for_each_cell closures
+
+/// The marker comment acknowledging an audited serial merge near a
+/// fan-out call.
+pub const SERIAL_MERGE_MARKER: &str = "lint:serial-merge";
+
+fn check_fanout_accumulation(rule: &Rule, file: &SourceFile, out: &mut Vec<Violation>) {
+    for (i, line) in file.code.iter().enumerate() {
+        if !file.is_code_line(i) || !line.contains("for_each_cell(") {
+            continue;
+        }
+        let Some(end) = match_parens(&file.code, i) else {
+            continue;
+        };
+        let span_has_accum = (i..=end).any(|k| {
+            let l = &file.code[k];
+            l.contains("+=") && !l.trim_start().starts_with('+')
+        });
+        if !span_has_accum {
+            continue;
+        }
+        // The marker lives in a comment, so look at the *raw* lines: up
+        // to three lines above the call or anywhere inside the span.
+        let lo = i.saturating_sub(3);
+        let marked = (lo..=end).any(|k| file.raw[k].contains(SERIAL_MERGE_MARKER));
+        if !marked {
+            out.push(rule.violation(file, i));
+        }
+    }
+}
+
+/// Index of the line closing the parenthesis opened on `start` (the
+/// whole `for_each_cell(…)` call, closure included).
+fn match_parens(code: &[String], start: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut opened = false;
+    for (k, line) in code.iter().enumerate().skip(start) {
+        for c in line.chars() {
+            match c {
+                '(' => {
+                    depth += 1;
+                    opened = true;
+                }
+                ')' => depth -= 1,
+                _ => {}
+            }
+        }
+        if opened && depth <= 0 {
+            return Some(k);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// AMRM-L005 — bare unwrap in library crates
+
+fn check_bare_unwrap(rule: &Rule, file: &SourceFile, out: &mut Vec<Violation>) {
+    if !file.in_library_crate() {
+        return;
+    }
+    for (i, line) in file.code.iter().enumerate() {
+        if file.is_code_line(i) && line.contains(".unwrap()") {
+            out.push(rule.violation(file, i));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// AMRM-L006 — entropy-seeded RNG construction
+
+fn check_unseeded_rng(rule: &Rule, file: &SourceFile, out: &mut Vec<Violation>) {
+    const PATTERNS: &[&str] = &[
+        "thread_rng",
+        "from_entropy",
+        "from_os_rng",
+        "rand::random",
+        "OsRng",
+    ];
+    for (i, line) in file.code.iter().enumerate() {
+        if !file.is_code_line(i) {
+            continue;
+        }
+        if PATTERNS.iter().any(|p| word_in(line, p)) {
+            out.push(rule.violation(file, i));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// AMRM-L007 — tie-break enums without #[repr(u8)]
+
+fn check_tiebreak_repr(rule: &Rule, file: &SourceFile, out: &mut Vec<Violation>) {
+    for (i, line) in file.code.iter().enumerate() {
+        if !file.is_code_line(i) {
+            continue;
+        }
+        let Some(pos) = find_word(line, "enum") else {
+            continue;
+        };
+        // `enum Name` item lines only (skip `enum` inside generics etc.).
+        let before = line[..pos].trim();
+        if !(before.is_empty() || before == "pub" || before.starts_with("pub(")) {
+            continue;
+        }
+        // Gather the contiguous attribute block above.
+        let mut attrs = String::new();
+        let mut k = i;
+        while k > 0 {
+            let s = file.code[k - 1].trim_start();
+            if s.starts_with("#[") || s.starts_with("#!") || s.is_empty() {
+                attrs.push_str(s);
+                attrs.push('\n');
+                k -= 1;
+            } else {
+                break;
+            }
+        }
+        let derives_ord = attrs.contains("derive(") && attrs.contains("Ord");
+        if !derives_ord {
+            continue;
+        }
+        let Some(end) = match_braces(&file.code, i) else {
+            continue;
+        };
+        let has_discriminants = (i..=end).any(|k| {
+            let l = file.code[k].trim();
+            if let Some(eq) = l.find("= ") {
+                l[eq + 2..]
+                    .trim_start()
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit())
+            } else {
+                false
+            }
+        });
+        if has_discriminants && !attrs.contains("#[repr(") {
+            out.push(rule.violation(file, i));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// AMRM-L009 — printing from library crates
+
+fn check_library_print(rule: &Rule, file: &SourceFile, out: &mut Vec<Violation>) {
+    if !file.in_library_crate() {
+        return;
+    }
+    const PATTERNS: &[&str] = &["println!", "print!", "eprintln!", "eprint!", "dbg!"];
+    for (i, line) in file.code.iter().enumerate() {
+        if !file.is_code_line(i) {
+            continue;
+        }
+        if PATTERNS.iter().any(|p| line.contains(p)) {
+            out.push(rule.violation(file, i));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// AMRM-L010 — partial_cmp on floats
+
+fn check_float_partial_cmp(rule: &Rule, file: &SourceFile, out: &mut Vec<Violation>) {
+    for (i, line) in file.code.iter().enumerate() {
+        if file.is_code_line(i) && line.contains(".partial_cmp(") {
+            out.push(rule.violation(file, i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_rule(code: &str, path: &str, src: &str) -> Vec<Violation> {
+        let rule = all()
+            .iter()
+            .find(|r| r.code == code)
+            .expect("registered rule code");
+        let file = SourceFile::from_source(path.to_string(), src);
+        let mut out = Vec::new();
+        (rule.check)(rule, &file, &mut out);
+        out
+    }
+
+    #[test]
+    fn l001_flags_wall_clock_but_not_strings() {
+        let v = run_rule(
+            "AMRM-L001",
+            "crates/core/src/x.rs",
+            "let t = std::time::Instant::now();\nlet s = \"Instant::now\";\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn l002_flags_iteration_of_declared_maps_only() {
+        let src = "use std::collections::HashMap;\n\
+                   struct S { memo: HashMap<u64, f64> }\n\
+                   fn f(s: &S, v: &Vec<u32>) {\n\
+                       for x in s.memo.values() { let _ = x; }\n\
+                       for y in v.iter() { let _ = y; }\n\
+                   }\n";
+        let v = run_rule("AMRM-L002", "crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn l003_flags_divergent_new_but_not_delegating_default() {
+        let divergent = "#[derive(Debug, Default)]\n\
+                         struct Cfg { cap: usize }\n\
+                         impl Cfg {\n\
+                             pub fn new() -> Self { Cfg { cap: 100 } }\n\
+                         }\n";
+        let delegating = "#[derive(Default)]\n\
+                          struct Reg { v: Vec<u32> }\n\
+                          impl Reg {\n\
+                              pub fn new() -> Self { Reg::default() }\n\
+                          }\n";
+        assert_eq!(run_rule("AMRM-L003", "a.rs", divergent).len(), 1);
+        assert!(run_rule("AMRM-L003", "a.rs", delegating).is_empty());
+    }
+
+    #[test]
+    fn l003_skips_unit_structs_and_parameterized_constructors() {
+        let unit = "#[derive(Clone, Copy, Default)]\n\
+                    pub struct Jsq;\n\
+                    impl Jsq {\n\
+                        pub fn new() -> Self { Jsq }\n\
+                    }\n";
+        let parameterized = "#[derive(Clone, Default)]\n\
+                             struct Variant { policy: u8 }\n\
+                             impl Variant {\n\
+                                 pub fn new(policy: u8) -> Self { Variant { policy } }\n\
+                             }\n";
+        assert!(run_rule("AMRM-L003", "a.rs", unit).is_empty());
+        assert!(run_rule("AMRM-L003", "a.rs", parameterized).is_empty());
+    }
+
+    #[test]
+    fn l004_respects_serial_merge_marker() {
+        let bad = "let r = for_each_cell(n, threads, |i| {\n\
+                       total += weights[i];\n\
+                   });\n";
+        let good = "// lint:serial-merge — per-cell sums merged after the join\n\
+                    let r = for_each_cell(n, threads, |i| {\n\
+                        total += weights[i];\n\
+                    });\n";
+        assert_eq!(run_rule("AMRM-L004", "a.rs", bad).len(), 1);
+        assert!(run_rule("AMRM-L004", "a.rs", good).is_empty());
+    }
+
+    #[test]
+    fn l005_limited_to_library_crates_outside_tests() {
+        let src = "fn f() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n";
+        assert_eq!(run_rule("AMRM-L005", "crates/core/src/x.rs", src).len(), 1);
+        assert!(run_rule("AMRM-L005", "crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l007_wants_repr_on_ord_discriminant_enums() {
+        let bad = "#[derive(PartialEq, Eq, PartialOrd, Ord)]\n\
+                   enum Class {\n\
+                       A = 0,\n\
+                       B = 1,\n\
+                   }\n";
+        let good = "#[repr(u8)]\n\
+                    #[derive(PartialEq, Eq, PartialOrd, Ord)]\n\
+                    enum Class {\n\
+                        A = 0,\n\
+                        B = 1,\n\
+                    }\n";
+        let no_discriminants = "#[derive(PartialEq, Eq, PartialOrd, Ord)]\n\
+                                enum Plain { A, B }\n";
+        assert_eq!(run_rule("AMRM-L007", "a.rs", bad).len(), 1);
+        assert!(run_rule("AMRM-L007", "a.rs", good).is_empty());
+        assert!(run_rule("AMRM-L007", "a.rs", no_discriminants).is_empty());
+    }
+
+    #[test]
+    fn l010_flags_calls_not_trait_impls() {
+        let src = "fn partial_cmp(&self, o: &Self) -> Option<Ordering> {\n\
+                       Some(self.cmp(o))\n\
+                   }\n\
+                   fn sortit(v: &mut Vec<f64>) {\n\
+                       v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+                   }\n";
+        let v = run_rule("AMRM-L010", "a.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 5);
+    }
+}

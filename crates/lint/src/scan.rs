@@ -1,0 +1,365 @@
+//! Source loading and normalization for the lint pass.
+//!
+//! The rules operate on *cleaned* lines: comments and string-literal
+//! contents are blanked out (replaced by spaces, so byte offsets and
+//! line counts survive) and the `#[cfg(test)]` module region of each
+//! file is marked so rules can skip test code. This is a tidy-style
+//! line/token scanner, not a parser — the cleaning exists precisely so
+//! a pattern such as `Instant::now` inside a diagnostic string or a
+//! doc comment never false-positives.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A workspace source file, pre-processed for rule checks.
+pub struct SourceFile {
+    /// Path relative to the scan root, with `/` separators.
+    pub rel_path: String,
+    /// Raw lines as committed (used for excerpts and marker comments).
+    pub raw: Vec<String>,
+    /// Lines with comments and string contents blanked out.
+    pub code: Vec<String>,
+    /// Per line: `true` when the line sits inside a `#[cfg(test)]`
+    /// module (rules skip those lines).
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Loads and normalizes one file.
+    pub fn load(root: &Path, path: &Path) -> io::Result<SourceFile> {
+        let text = fs::read_to_string(path)?;
+        let rel_path = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        Ok(SourceFile::from_source(rel_path, &text))
+    }
+
+    /// Builds a [`SourceFile`] from in-memory source (fixture tests use
+    /// this directly).
+    pub fn from_source(rel_path: String, text: &str) -> SourceFile {
+        let raw: Vec<String> = text.lines().map(str::to_string).collect();
+        let code = clean_source(&raw);
+        let in_test = mark_test_regions(&code);
+        SourceFile {
+            rel_path,
+            raw,
+            code,
+            in_test,
+        }
+    }
+
+    /// Whether the line (0-based) is ordinary library/binary code the
+    /// rules should inspect.
+    pub fn is_code_line(&self, idx: usize) -> bool {
+        !self.in_test[idx]
+    }
+
+    /// Whether the file lives in a library crate (`crates/<name>/src/`
+    /// outside the `amrm-bench` tool crate, or the root facade `src/`).
+    /// Library-only rules (bare `unwrap`, printing) apply here.
+    pub fn in_library_crate(&self) -> bool {
+        let p = self.rel_path.as_str();
+        if p.starts_with("src/") {
+            return true;
+        }
+        if let Some(rest) = p.strip_prefix("crates/") {
+            if let Some((krate, tail)) = rest.split_once('/') {
+                return krate != "bench" && tail.starts_with("src/");
+            }
+        }
+        false
+    }
+}
+
+/// Blanks comments and string-literal contents, preserving line and
+/// column structure. Handles line comments, (nested) block comments,
+/// ordinary strings with escapes, raw strings (`r"…"`, `r#"…"#`, …),
+/// and character literals (without confusing lifetimes for them).
+fn clean_source(raw: &[String]) -> Vec<String> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mode {
+        Code,
+        /// Nested block comments: depth.
+        Block(u32),
+        /// Ordinary `"…"` string.
+        Str,
+        /// Raw string with this many `#`s.
+        RawStr(u32),
+    }
+
+    let mut mode = Mode::Code;
+    let mut out = Vec::with_capacity(raw.len());
+    for line in raw {
+        let bytes: Vec<char> = line.chars().collect();
+        let mut cleaned = String::with_capacity(line.len());
+        let mut i = 0;
+        while i < bytes.len() {
+            match mode {
+                Mode::Block(depth) => {
+                    if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                        mode = if depth > 1 {
+                            Mode::Block(depth - 1)
+                        } else {
+                            Mode::Code
+                        };
+                        cleaned.push_str("  ");
+                        i += 2;
+                    } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                        mode = Mode::Block(depth + 1);
+                        cleaned.push_str("  ");
+                        i += 2;
+                    } else {
+                        cleaned.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if bytes[i] == '\\' {
+                        cleaned.push_str("  ");
+                        i += 2;
+                    } else if bytes[i] == '"' {
+                        mode = Mode::Code;
+                        cleaned.push('"');
+                        i += 1;
+                    } else {
+                        cleaned.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if bytes[i] == '"' {
+                        let mut ok = true;
+                        for k in 0..hashes as usize {
+                            if bytes.get(i + 1 + k) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            mode = Mode::Code;
+                            cleaned.push('"');
+                            for _ in 0..hashes {
+                                cleaned.push(' ');
+                            }
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                    }
+                    cleaned.push(' ');
+                    i += 1;
+                }
+                Mode::Code => {
+                    let c = bytes[i];
+                    if c == '/' && bytes.get(i + 1) == Some(&'/') {
+                        // Line comment: drop the rest of the line.
+                        break;
+                    }
+                    if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                        mode = Mode::Block(1);
+                        cleaned.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        mode = Mode::Str;
+                        cleaned.push('"');
+                        i += 1;
+                        continue;
+                    }
+                    if c == 'r' && !prev_is_ident(&bytes, i) {
+                        // Possible raw string: r"…" or r#"…"# etc.
+                        let mut j = i + 1;
+                        let mut hashes = 0u32;
+                        while bytes.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&'"') {
+                            mode = Mode::RawStr(hashes);
+                            for _ in i..=j {
+                                cleaned.push(' ');
+                            }
+                            cleaned.pop();
+                            cleaned.push('"');
+                            i = j + 1;
+                            continue;
+                        }
+                    }
+                    if c == '\'' {
+                        // Char literal vs lifetime: a literal closes
+                        // within a couple of characters ('x', '\n').
+                        if bytes.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: skip to closing quote.
+                            let mut j = i + 2;
+                            while j < bytes.len() && bytes[j] != '\'' {
+                                j += 1;
+                            }
+                            for _ in i..=j.min(bytes.len() - 1) {
+                                cleaned.push(' ');
+                            }
+                            i = j + 1;
+                            continue;
+                        }
+                        if bytes.get(i + 2) == Some(&'\'') {
+                            cleaned.push_str("   ");
+                            i += 3;
+                            continue;
+                        }
+                        // Lifetime: keep the tick, move on.
+                        cleaned.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    cleaned.push(c);
+                    i += 1;
+                }
+            }
+        }
+        // A string literal cannot span lines without a trailing escape;
+        // treat an open ordinary string as closed at end of line (the
+        // scanner is line-oriented and multi-line strings are blanked
+        // conservatively).
+        out.push(cleaned);
+    }
+    out
+}
+
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
+}
+
+/// Marks the lines belonging to `#[cfg(test)]` items (typically the
+/// trailing `mod tests` block) by brace-matching from the attribute.
+fn mark_test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].contains("#[cfg(test)]") {
+            // Find the opening brace of the annotated item and match it.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < code.len() {
+                in_test[j] = true;
+                for c in code[j].chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+/// Recursively collects the `.rs` files under `root`, skipping build
+/// output, vendored stubs, test/bench directories and the lint fixtures
+/// themselves. Sorted by relative path so reports are deterministic.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    const SKIP_DIRS: &[&str] = &["target", "vendor", "tests", "benches", "fixtures", ".git"];
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src =
+            "let x = \"Instant::now\"; // Instant::now\nlet y = 1; /* SystemTime */ let z = 2;\n";
+        let f = SourceFile::from_source("a.rs".into(), src);
+        assert!(!f.code[0].contains("Instant"));
+        assert!(!f.code[1].contains("SystemTime"));
+        assert!(f.code[1].contains("let z = 2;"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let j = r#\"{\"k\": \"Instant::now\"}\"#;\nlet open = 1;\n";
+        let f = SourceFile::from_source("a.rs".into(), src);
+        assert!(!f.code[0].contains("Instant"));
+        // The raw string must not leave the scanner stuck in string mode.
+        assert!(f.code[1].contains("let open = 1;"));
+    }
+
+    #[test]
+    fn char_literals_do_not_open_strings() {
+        let src = "let q = '\"';\nlet t = \"x\";\nlet after = 3;\n";
+        let f = SourceFile::from_source("a.rs".into(), src);
+        assert!(f.code[2].contains("let after = 3;"));
+    }
+
+    #[test]
+    fn lifetimes_survive_cleaning() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\n";
+        let f = SourceFile::from_source("a.rs".into(), src);
+        assert!(f.code[0].contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
+        let f = SourceFile::from_source("a.rs".into(), src);
+        assert!(f.is_code_line(0));
+        assert!(!f.is_code_line(3));
+        assert!(f.is_code_line(5));
+    }
+
+    #[test]
+    fn library_crate_classification() {
+        let lib = SourceFile::from_source("crates/core/src/mdf.rs".into(), "");
+        let tool = SourceFile::from_source("crates/bench/src/runner.rs".into(), "");
+        let facade = SourceFile::from_source("src/lib.rs".into(), "");
+        assert!(lib.in_library_crate());
+        assert!(!tool.in_library_crate());
+        assert!(facade.in_library_crate());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let a = 1;\n";
+        let f = SourceFile::from_source("a.rs".into(), src);
+        assert!(f.code[0].contains("let a = 1;"));
+        assert!(!f.code[0].contains("outer"));
+    }
+}

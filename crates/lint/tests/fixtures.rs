@@ -1,0 +1,93 @@
+//! Fixture-corpus coverage: every rule has one positive (fires exactly
+//! once) and one negative (stays silent) under `fixtures/`, plus a live
+//! and a stale allowlist entry exercising the suppression path and the
+//! `AMRM-L008` staleness rule.
+
+use std::path::PathBuf;
+
+use amrm_lint::{rules, run_lint, LintReport};
+
+fn fixture_report() -> LintReport {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    run_lint(&root).expect("fixture corpus scans cleanly")
+}
+
+#[test]
+fn every_rule_fires_exactly_once() {
+    let report = fixture_report();
+    assert!(report.files_scanned >= 17, "fixture corpus went missing");
+    for rule in rules::all() {
+        let tally = report
+            .rules
+            .iter()
+            .find(|r| r.code == rule.code)
+            .expect("every rule is tallied");
+        assert_eq!(
+            tally.violations, 1,
+            "rule {} ({}) should fire exactly once on its positive fixture",
+            rule.code, rule.name
+        );
+    }
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn negatives_stay_silent() {
+    let report = fixture_report();
+    for v in &report.violations {
+        assert!(
+            !v.file.ends_with("_neg.rs"),
+            "negative fixture {} flagged: [{}] line {}: {}",
+            v.file,
+            v.code,
+            v.line,
+            v.excerpt
+        );
+    }
+}
+
+#[test]
+fn positives_are_flagged_in_their_own_file() {
+    let report = fixture_report();
+    // Each per-file rule's single violation must point into the
+    // matching lXXX_pos.rs fixture (L008's lives in lint.allow itself).
+    for v in &report.violations {
+        let digits = &v.code[6..]; // "AMRM-L001" -> "001"
+        if v.code == rules::STALE_ALLOW_CODE {
+            assert_eq!(v.file, "lint.allow");
+        } else {
+            let expected = format!("l{digits}_pos.rs");
+            assert!(
+                v.file.ends_with(&expected),
+                "[{}] expected in {}, found in {}",
+                v.code,
+                expected,
+                v.file
+            );
+        }
+    }
+}
+
+#[test]
+fn live_allowlist_entry_suppresses_with_its_reason() {
+    let report = fixture_report();
+    assert_eq!(report.allowed.len(), 1);
+    let s = &report.allowed[0];
+    assert_eq!(s.code, "AMRM-L001");
+    assert!(s.file.ends_with("l008_allowed.rs"));
+    assert_eq!(s.reason, "fixture: audited summary-only timer");
+}
+
+#[test]
+fn stale_allowlist_entry_surfaces_as_l008() {
+    let report = fixture_report();
+    let stale: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.code == rules::STALE_ALLOW_CODE)
+        .collect();
+    assert_eq!(stale.len(), 1);
+    assert_eq!(stale[0].file, "lint.allow");
+    assert_eq!(stale[0].line, 5, "the stale entry sits on line 5");
+    assert!(stale[0].excerpt.contains("crates/demo/src/removed.rs"));
+}

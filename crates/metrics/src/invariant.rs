@@ -1,0 +1,113 @@
+//! Pure checkers behind the debug-assertions runtime invariant layer.
+//!
+//! The static side of the determinism contract is `amrm-lint`
+//! (`repro lint`); this module is the dynamic side: small, pure
+//! predicates that the sim kernel and the schedulers wrap in
+//! `debug_assert!`-gated checks, so every `cargo test` run exercises the
+//! same conventions the lint names — at zero release-build cost. Each
+//! checker returns `None` when the invariant holds and a diagnostic
+//! message when it does not, so the call sites stay one-liners and the
+//! predicates themselves are unit-testable without `should_panic`.
+
+/// Checks the event-heap pop order: `prev` and `next` are consecutive
+/// popped events as `(time, class discriminant)`.
+///
+/// Sim time must never run backwards across pops. At one instant,
+/// events pop in `EventClass` tie-break order (`Completion` before
+/// `Arrival` before `WindowExpiry` before `QueueDeadline`) — *unless* a
+/// push happened between the two pops: handling a same-instant event may
+/// legally arm a lower class at the same time (e.g. a flush re-arming a
+/// completion), which then pops next. `pushed_since` reports whether
+/// such a push intervened.
+///
+/// Returns `None` when the order is legal, or a diagnostic naming the
+/// offending pair.
+pub fn pop_order_violation(prev: (f64, u8), next: (f64, u8), pushed_since: bool) -> Option<String> {
+    if next.0 < prev.0 {
+        return Some(format!(
+            "event heap popped backwards in time: t={} after t={}",
+            next.0, prev.0
+        ));
+    }
+    if next.0 == prev.0 && !pushed_since && next.1 < prev.1 {
+        return Some(format!(
+            "event heap broke the tie-break order at t={}: class {} popped after class {} \
+             with no intervening push",
+            next.0, next.1, prev.1
+        ));
+    }
+    None
+}
+
+/// Checks that a budgeted search never overdraws: `work` is the nodes
+/// actually expanded, `limit` the configured budget (`None` =
+/// unbounded). The budget contract is *check before spend*, so `work`
+/// may reach the limit but never pass it — a pass means some path
+/// expanded a node without consulting the budget first.
+///
+/// Returns `None` when within budget.
+pub fn budget_overdraw(work: u64, limit: Option<u64>) -> Option<String> {
+    match limit {
+        Some(limit) if work > limit => Some(format!(
+            "search budget overdrawn: {work} work units spent against a limit of {limit}"
+        )),
+        _ => None,
+    }
+}
+
+/// Checks a capacity bound after an eviction pass: `len` entries
+/// retained against a cap of `cap` (`None` = uncapped).
+///
+/// Returns `None` when the bound holds.
+pub fn cap_exceeded(len: usize, cap: Option<usize>) -> Option<String> {
+    match cap {
+        Some(cap) if len > cap => Some(format!(
+            "capacity bound violated after eviction: {len} entries retained, cap {cap}"
+        )),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_order_accepts_forward_time_and_tiebreak() {
+        assert!(pop_order_violation((1.0, 3), (2.0, 0), false).is_none());
+        assert!(pop_order_violation((1.0, 0), (1.0, 1), false).is_none());
+        assert!(pop_order_violation((1.0, 1), (1.0, 1), false).is_none());
+    }
+
+    #[test]
+    fn pop_order_rejects_backward_time() {
+        let msg = pop_order_violation((2.0, 0), (1.0, 0), true).expect("backward time flagged");
+        assert!(msg.contains("backwards"));
+    }
+
+    #[test]
+    fn pop_order_rejects_tiebreak_regression_without_push() {
+        let msg = pop_order_violation((1.0, 2), (1.0, 0), false).expect("regression flagged");
+        assert!(msg.contains("tie-break"));
+    }
+
+    #[test]
+    fn pop_order_allows_tiebreak_regression_after_push() {
+        // A same-instant handler armed a lower class — legal.
+        assert!(pop_order_violation((1.0, 2), (1.0, 0), true).is_none());
+    }
+
+    #[test]
+    fn budget_boundary_is_inclusive() {
+        assert!(budget_overdraw(50, Some(50)).is_none());
+        assert!(budget_overdraw(50, None).is_none());
+        assert!(budget_overdraw(51, Some(50)).is_some());
+    }
+
+    #[test]
+    fn cap_boundary_is_inclusive() {
+        assert!(cap_exceeded(8, Some(8)).is_none());
+        assert!(cap_exceeded(9, Some(8)).is_some());
+        assert!(cap_exceeded(usize::MAX, None).is_none());
+    }
+}

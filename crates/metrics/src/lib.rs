@@ -25,6 +25,7 @@
 
 pub mod histogram;
 pub mod instrument;
+pub mod invariant;
 pub mod journal;
 mod stats;
 mod table;

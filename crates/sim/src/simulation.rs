@@ -254,6 +254,13 @@ pub struct Simulation<S, A> {
     submit_scratch: Vec<(AppRef, f64)>,
     admissions_scratch: Vec<Admission>,
     snapshot_scratch: TelemetrySnapshot,
+    /// Debug-only pop-order witness: the last popped `(time, class)` and
+    /// whether a push intervened since — see
+    /// [`amrm_metrics::invariant::pop_order_violation`].
+    #[cfg(debug_assertions)]
+    last_popped: Option<(f64, u8)>,
+    #[cfg(debug_assertions)]
+    pushed_since_pop: bool,
 }
 
 impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
@@ -351,6 +358,10 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
             submit_scratch: Vec::new(),
             admissions_scratch: Vec::new(),
             snapshot_scratch: TelemetrySnapshot::default(),
+            #[cfg(debug_assertions)]
+            last_popped: None,
+            #[cfg(debug_assertions)]
+            pushed_since_pop: false,
         };
         sim.pull_next_arrival();
         sim
@@ -527,6 +538,16 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
             );
             decisions.into_iter().flatten().collect()
         };
+        let journal = self.journal.snapshot();
+        // Test-mode invariant: every sampled request this kernel
+        // journaled closed its lifecycle (arrival + completion, reject
+        // or steal). Vacuous when the ring evicted events.
+        #[cfg(debug_assertions)]
+        if let Some(journal) = &journal {
+            if let Err(msg) = journal.validate_lifecycles() {
+                panic!("journal lifecycle invariant violated at finish: {msg}");
+            }
+        }
         SimOutcome {
             admissions,
             offered: self.offered,
@@ -540,7 +561,7 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
             stolen: self.stolen,
             peak_live_requests: self.peak_live_requests(),
             telemetry: self.telemetry.summary(),
-            journal: self.journal.snapshot(),
+            journal,
         }
     }
 
@@ -793,6 +814,10 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
         let seq = self.next_seq;
         self.next_seq += 1;
         instrument::record_heap_push();
+        #[cfg(debug_assertions)]
+        {
+            self.pushed_since_pop = true;
+        }
         self.events.push(Event {
             time,
             seq,
@@ -803,6 +828,24 @@ impl<S: Scheduler, A: AdmissionPolicy> Simulation<S, A> {
 
     fn handle(&mut self, event: Event) {
         instrument::record_event();
+        #[cfg(debug_assertions)]
+        {
+            // Time must never run backwards across pops, and same-instant
+            // events must respect the EventClass tie-break unless a
+            // handler armed a new event in between.
+            let popped = (event.time, event.class as u8);
+            if let Some(prev) = self.last_popped {
+                if let Some(msg) = amrm_metrics::invariant::pop_order_violation(
+                    prev,
+                    popped,
+                    self.pushed_since_pop,
+                ) {
+                    panic!("{msg}");
+                }
+            }
+            self.last_popped = Some(popped);
+            self.pushed_since_pop = false;
+        }
         match event.class {
             EventClass::Arrival => {
                 let request = event.payload as usize;
